@@ -1,0 +1,307 @@
+(* The benchmark harness: regenerates every table and figure from the
+   paper's evaluation, runs the ablation studies listed in DESIGN.md,
+   and runs Bechamel microbenchmarks of the substrate.
+
+   Usage:
+     bench/main.exe              run everything (what bench_output.txt records)
+     bench/main.exe t1|t3|t4     one table
+     bench/main.exe f1|f2|f3|f4  one figure
+     bench/main.exe ablations    the ablation studies
+     bench/main.exe micro        Bechamel microbenchmarks only *)
+
+module W = Cheri_workloads
+module A = Cheri_analysis
+module Abi = Cheri_compiler.Abi
+module Machine = Cheri_isa.Machine
+
+let ppf = Format.std_formatter
+let section name = Format.fprintf ppf "@.=== %s ===@." name
+
+(* -- tables ----------------------------------------------------------------- *)
+
+let table1 () =
+  section "Table 1 (idiom survey over the synthetic corpus)";
+  A.Corpus.print ppf (A.Corpus.run ())
+
+let table3 () =
+  section "Table 3 (idioms supported by each abstract-machine interpretation)";
+  Cheri_interp.Table3.print ppf ();
+  (* verify against the paper inline *)
+  let rows = Cheri_interp.Table3.table () in
+  let ok =
+    List.for_all
+      (fun (r : Cheri_interp.Table3.row) ->
+        match List.assoc_opt r.model_name Cheri_interp.Table3.paper_expectation_strict_reading with
+        | Some expected -> List.map snd r.cells = expected
+        | None -> false)
+      rows
+  in
+  Format.fprintf ppf "matches the paper: %s@." (if ok then "yes" else "NO");
+  Format.fprintf ppf "@.supplementary idioms (\u{00a7}2 Last Word, \u{00a7}3.5 xor list):@.";
+  Cheri_interp.Table3.print_supplementary ppf ()
+
+let table4 () =
+  section "Table 4 (lines changed to port each workload)";
+  W.Port_audit.print ppf (W.Port_audit.table4 ())
+
+(* -- figures ---------------------------------------------------------------- *)
+
+let figure1 () =
+  section "Figure 1 (Olden, 100 MHz cycle model)";
+  W.Figures.print_figure1 ppf (W.Figures.figure1 ())
+
+let figure2 () =
+  section "Figure 2 (Dhrystone)";
+  W.Figures.print_figure2 ppf (W.Figures.figure2 ())
+
+let figure3 () =
+  section "Figure 3 (tcpdump over the synthetic trace)";
+  W.Figures.print_figure3 ppf (W.Figures.figure3 ())
+
+let figure4 () =
+  section "Figure 4 (zlib-style compression overhead by input size)";
+  W.Figures.print_figure4 ppf (W.Figures.figure4 ())
+
+(* -- ablations --------------------------------------------------------------- *)
+
+(* 1. tag granularity: how much collateral capability invalidation do
+   coarser tag granules cause? *)
+let ablation_tag_granularity () =
+  section "Ablation: tag granularity vs collateral capability invalidation";
+  Format.fprintf ppf "%-10s%24s@." "GRANULE" "caps surviving neighbour writes";
+  List.iter
+    (fun granule ->
+      let mem = Cheri_tagmem.Tagmem.create ~granule ~size_bytes:(1 lsl 16) () in
+      let n = 256 in
+      (* a capability every 64 bytes, then a 1-byte write 40 bytes after
+         each capability (inside the granule only if granule > 40) *)
+      for i = 0 to n - 1 do
+        let addr = Int64.of_int (i * 64) in
+        Cheri_tagmem.Tagmem.store_cap mem ~addr
+          (Cheri_core.Capability.make ~base:addr ~length:8L ~perms:Cheri_core.Perms.all)
+      done;
+      for i = 0 to n - 1 do
+        Cheri_tagmem.Tagmem.store_byte mem (Int64.of_int ((i * 64) + 40)) 0xff
+      done;
+      Format.fprintf ppf "%-10d%16d / %d@." granule (Cheri_tagmem.Tagmem.count_tags mem) n)
+    [ 32; 64; 128; 256 ]
+
+(* 2. cache geometry: the Olden capability overhead as the L2 grows.
+   TreeAdd's tree is ~100 KB of 24-byte nodes under MIPS but ~400 KB of
+   96-byte nodes under capabilities, so mid-sized L2s hold one working
+   set but not the other. *)
+let ablation_cache_geometry () =
+  section "Ablation: TreeAdd capability overhead vs L2 size";
+  Format.fprintf ppf "%-10s%12s%12s%12s@." "L2" "MIPS(s)" "CHERIv3(s)" "overhead";
+  let k = List.find (fun k -> k.W.Olden.kname = "TreeAdd") W.Olden.kernels in
+  let src = k.W.Olden.source { W.Olden.scale = 2 } in
+  List.iter
+    (fun l2_kb ->
+      let timing = { Cheri_isa.Cache.Timing.paper_config with l2_size = l2_kb * 1024 } in
+      let config abi = { (Cheri_compiler.Codegen.machine_config abi) with Machine.timing } in
+      let mips = W.Runner.run ~config:(config Abi.Mips) Abi.Mips src in
+      let v3abi = Abi.Cheri Cheri_core.Cap_ops.V3 in
+      let v3 = W.Runner.run ~config:(config v3abi) v3abi src in
+      Format.fprintf ppf "%-10s%12.4f%12.4f%11.2fx@."
+        (string_of_int l2_kb ^ "K")
+        (W.Runner.seconds mips) (W.Runner.seconds v3)
+        (float_of_int v3.W.Runner.cycles /. float_of_int mips.W.Runner.cycles))
+    [ 32; 64; 128; 256; 512 ]
+
+(* 3. offset vs base-mutation: forward pointer *arithmetic* costs the
+   same on both revisions (one register-indexed capability
+   instruction); pointer *derivation* — address-of-local, null
+   reconstruction from integers — is where v2's lack of offsets shows:
+   CIncBase from the DDC plus an explicit null branch, versus one
+   CIncOffset immediate or CFromPtr. *)
+let ablation_v2_v3_arith () =
+  section "Ablation: CHERIv2 base-mutation vs CHERIv3 offset derivation";
+  let src =
+    {|
+void set(long *p, long v) { *p = v; }
+int main(void) {
+  long x = 0;
+  long acc = 0;
+  for (long i = 0; i < 40000; i++) {
+    set(&x, i);                 /* derive a stack pointer every call */
+    long *q = (long *)(i % 2 == 0 ? (long)&x : 0);  /* int->ptr with null case */
+    if (q) acc = acc + *q;
+  }
+  print_int(acc & 1023);
+  print_char('\n');
+  return 0;
+}
+|}
+  in
+  List.iter
+    (fun abi ->
+      let m = W.Runner.run abi src in
+      Format.fprintf ppf "%-10s instret=%9d cycles=%9d@." (Abi.name abi) m.W.Runner.instret
+        m.W.Runner.cycles)
+    Abi.all;
+  Format.fprintf ppf
+    "(CHERIv2 derives pointers by CIncBase from the DDC and needs an explicit@.";
+  Format.fprintf ppf
+    " null-check branch on int-to-pointer casts; CHERIv3 does each in one@.";
+  Format.fprintf ppf " instruction. Forward pointer arithmetic costs the same on both.)@."
+
+(* 4. fail-open vs fail-closed: run a suite of buggy programs under MPX
+   (fail-open) and HardBound (fail-closed) and count which bugs trap *)
+let ablation_fail_modes () =
+  section "Ablation: fail-open (MPX) vs fail-closed (HardBound) on buggy code";
+  let buggy =
+    [
+      ( "stale-int-roundtrip",
+        {|
+int main(void) {
+  long *p = (long *)malloc(8);
+  long a = (long)p;
+  a = a + 32;                  /* now points at a different object */
+  long *q = (long *)(a - 32 + 64);
+  *q = 1;                      /* overflowing write via laundered int */
+  return 0;
+}
+|} );
+      ( "overflow-via-int",
+        {|
+int main(void) {
+  char *p = (char *)malloc(16);
+  long a = (long)p;
+  char *q = (char *)(a + 20); /* out of bounds after laundering */
+  *q = 'x';
+  return 0;
+}
+|} );
+      ( "direct-overflow",
+        {|
+int main(void) {
+  char *p = (char *)malloc(16);
+  p[20] = 'x';
+  return 0;
+}
+|} );
+    ]
+  in
+  let caught model src =
+    match Cheri_interp.Interp.run_with model src with
+    | Cheri_interp.Interp.Fault _ -> true
+    | _ -> false
+  in
+  Format.fprintf ppf "%-24s%12s%12s@." "BUG" "MPX" "HardBound";
+  List.iter
+    (fun (name, src) ->
+      let show m = if caught m src then "trapped" else "missed" in
+      Format.fprintf ppf "%-24s%12s%12s@." name
+        (show Cheri_models.Registry.mpx)
+        (show Cheri_models.Registry.hardbound))
+    buggy
+
+let ablations () =
+  ablation_tag_granularity ();
+  ablation_cache_geometry ();
+  ablation_v2_v3_arith ();
+  ablation_fail_modes ()
+
+(* -- Bechamel microbenchmarks -------------------------------------------------- *)
+
+let micro () =
+  section "Bechamel microbenchmarks (host-native substrate performance)";
+  let open Bechamel in
+  let cap = Cheri_core.Capability.make ~base:0x1000L ~length:0x1000L ~perms:Cheri_core.Perms.all in
+  let mem = Cheri_tagmem.Tagmem.create ~size_bytes:(1 lsl 16) () in
+  let hierarchy = Cheri_isa.Cache.Timing.create Cheri_isa.Cache.Timing.paper_config in
+  let loop_machine () =
+    let b = Cheri_asm.Asm.Builder.create () in
+    let e = Cheri_asm.Asm.Builder.emit b in
+    e (Cheri_isa.Insn.Li (8, Cheri_isa.Insn.Imm 0L));
+    Cheri_asm.Asm.Builder.label b "loop";
+    e (Cheri_isa.Insn.Alui (Cheri_isa.Insn.ADD, 8, 8, Cheri_isa.Insn.Imm 1L));
+    e (Cheri_isa.Insn.Alui (Cheri_isa.Insn.SLT, 9, 8, Cheri_isa.Insn.Imm 1000L));
+    e (Cheri_isa.Insn.Branchz (Cheri_isa.Insn.NEZ, 9, Cheri_isa.Insn.Sym "loop"));
+    e Cheri_isa.Insn.Halt;
+    Cheri_asm.Asm.make_machine (Cheri_asm.Asm.link b)
+  in
+  let interp_src = "int main(void) { long s = 0; for (int i = 0; i < 200; i++) s += i; return s & 255; }" in
+  let tests =
+    [
+      (* one Test.make per paper table/figure pipeline, plus substrate ops *)
+      Test.make ~name:"t3/idiom-classify (CHERIv3 x DECONST)" (Staged.stage (fun () ->
+           Cheri_interp.Table3.classify Cheri_models.Registry.cheriv3 Cheri_interp.Idiom_cases.Deconst));
+      Test.make ~name:"t1/analyze-small-package" (Staged.stage (fun () ->
+           A.Finder.analyze_source (A.Corpus.generate ~scale:500 (List.hd A.Corpus.paper_table1)).A.Corpus.source));
+      Test.make ~name:"t4/port-audit" (Staged.stage (fun () -> W.Port_audit.table4 ()));
+      Test.make ~name:"f1/compile-treeadd-v3" (Staged.stage (fun () ->
+           Cheri_compiler.Codegen.compile_source
+             (Abi.Cheri Cheri_core.Cap_ops.V3)
+             ((List.find (fun k -> k.W.Olden.kname = "TreeAdd") W.Olden.kernels).W.Olden.source
+                { W.Olden.scale = 1 })));
+      Test.make ~name:"core/cap-ptr-add-v3" (Staged.stage (fun () ->
+           Cheri_core.Cap_ops.ptr_add Cheri_core.Cap_ops.V3 cap 8L));
+      Test.make ~name:"core/check-access" (Staged.stage (fun () ->
+           Cheri_core.Capability.check_access cap ~addr:0x1800L ~size:8 ~perm:Cheri_core.Perms.Load));
+      Test.make ~name:"tagmem/store-load-int" (Staged.stage (fun () ->
+           Cheri_tagmem.Tagmem.store_int mem ~addr:128L ~size:8 42L;
+           Cheri_tagmem.Tagmem.load_int mem ~addr:128L ~size:8));
+      Test.make ~name:"tagmem/store-load-cap" (Staged.stage (fun () ->
+           Cheri_tagmem.Tagmem.store_cap mem ~addr:256L cap;
+           Cheri_tagmem.Tagmem.load_cap mem ~addr:256L));
+      Test.make ~name:"cache/hierarchy-access" (Staged.stage (fun () ->
+           Cheri_isa.Cache.Timing.access_cycles hierarchy 0x4000L ~size:8));
+      Test.make ~name:"isa/run-4k-instructions" (Staged.stage (fun () ->
+           Cheri_isa.Machine.run (loop_machine ())));
+      Test.make ~name:"interp/pdp11-small-program" (Staged.stage (fun () ->
+           Cheri_interp.Interp.run_with Cheri_models.Registry.pdp11 interp_src));
+    ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun tst ->
+          let results = Benchmark.run cfg instances tst in
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock results in
+          match Analyze.OLS.estimates est with
+          | Some [ time_per_run ] ->
+              Format.fprintf ppf "%-44s %12.1f ns/run@." (Test.Elt.name tst) time_per_run
+          | _ -> Format.fprintf ppf "%-44s (no estimate)@." (Test.Elt.name tst))
+        (Test.elements test))
+    tests
+
+(* -- driver ---------------------------------------------------------------------- *)
+
+let all () =
+  table1 ();
+  table3 ();
+  table4 ();
+  figure1 ();
+  figure2 ();
+  figure3 ();
+  figure4 ();
+  ablations ();
+  micro ()
+
+let () =
+  let job = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (try
+     match job with
+     | "all" -> all ()
+     | "t1" -> table1 ()
+     | "t3" -> table3 ()
+     | "t4" -> table4 ()
+     | "f1" -> figure1 ()
+     | "f2" -> figure2 ()
+     | "f3" -> figure3 ()
+     | "f4" -> figure4 ()
+     | "ablations" -> ablations ()
+     | "micro" -> micro ()
+     | other ->
+         Format.eprintf "unknown job %s@." other;
+         exit 2
+   with W.Runner.Run_failed msg ->
+     Format.eprintf "benchmark run failed: %s@." msg;
+     exit 1);
+  Format.pp_print_flush ppf ()

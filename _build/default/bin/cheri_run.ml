@@ -1,0 +1,115 @@
+(* Run a mini-C source file on the abstract machine under a chosen
+   pointer model (default CHERIv3):
+
+     cheri-run [-m pdp11|hardbound|mpx|relaxed|strict|cheriv2|cheriv3] file.c
+     cheri-run -a file.c          # run under every model
+     cheri-run -S [-abi mips|v2|v3] file.c   # dump softcore assembly
+     cheri-run -x [-abi mips|v2|v3] file.c   # compile and execute on the softcore *)
+
+let usage () =
+  prerr_endline "usage: cheri-run [-m MODEL] [-a] [-S|-x [-abi ABI]] file.c";
+  exit 2
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let report name outcome =
+  match outcome with
+  | Cheri_interp.Interp.Exit (code, out) ->
+      print_string out;
+      Format.printf "[%s] exit %Ld@." name code
+  | Fault (f, out) ->
+      print_string out;
+      Format.printf "[%s] FAULT: %a@." name Cheri_models.Fault.pp f
+  | Stuck msg -> Format.printf "[%s] stuck: %s@." name msg
+
+let dump_assembly abi src =
+  let linked = Cheri_compiler.Codegen.compile_source abi src in
+  Array.iteri (fun i insn -> Format.printf "%5d  %a@." i Cheri_isa.Insn.pp insn)
+    linked.Cheri_asm.Asm.code;
+  Format.printf "; data segment: %d bytes at 0x%Lx@."
+    (Bytes.length linked.Cheri_asm.Asm.data)
+    linked.Cheri_asm.Asm.data_base;
+  List.iter (fun (s, i) -> Format.printf "; code symbol %-24s -> %d@." s i)
+    (List.sort compare linked.Cheri_asm.Asm.code_symbols)
+
+let execute_on_softcore abi src =
+  let outcome, m = Cheri_compiler.Codegen.run abi src in
+  print_string (Cheri_isa.Machine.output m);
+  let st = Cheri_isa.Machine.stats m in
+  Format.printf "[%s] %a  (%d cycles, %d instructions)@."
+    (Cheri_compiler.Abi.name abi)
+    Cheri_isa.Machine.pp_outcome outcome st.Cheri_isa.Machine.st_cycles
+    st.Cheri_isa.Machine.st_instret
+
+let () =
+  let model = ref "cheriv3" in
+  let all = ref false in
+  let dump = ref false in
+  let exec = ref false in
+  let abi = ref Cheri_compiler.Abi.(Cheri Cheri_core.Cap_ops.V3) in
+  let file = ref None in
+  let rec parse = function
+    | "-m" :: m :: rest ->
+        model := m;
+        parse rest
+    | "-a" :: rest ->
+        all := true;
+        parse rest
+    | "-S" :: rest ->
+        dump := true;
+        parse rest
+    | "-x" :: rest ->
+        exec := true;
+        parse rest
+    | "-abi" :: a :: rest ->
+        (match Cheri_compiler.Abi.of_key a with
+        | Some x -> abi := x
+        | None ->
+            Format.eprintf "unknown ABI %s@." a;
+            exit 2);
+        parse rest
+    | f :: rest ->
+        file := Some f;
+        parse rest
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !file with
+  | None -> usage ()
+  | Some path -> (
+      let src = read_file path in
+      match
+        try Ok (Minic.Typecheck.compile src) with
+        | Minic.Typecheck.Type_error m -> Error ("type error: " ^ m)
+        | Minic.Parser.Parse_error (m, line) ->
+            Error (Printf.sprintf "parse error at line %d: %s" line m)
+        | Minic.Lexer.Lex_error (m, line) ->
+            Error (Printf.sprintf "lex error at line %d: %s" line m)
+      with
+      | Error msg ->
+          prerr_endline msg;
+          exit 1
+      | Ok prog ->
+          if !dump then dump_assembly !abi src
+          else if !exec then execute_on_softcore !abi src
+          else if !all then
+            List.iter
+              (fun m ->
+                let module M = (val m : Cheri_models.Model.S) in
+                let module I = Cheri_interp.Interp.Make (M) in
+                report M.name (I.run_program prog))
+              Cheri_models.Registry.all
+          else
+            match Cheri_models.Registry.by_key !model with
+            | None ->
+                Format.eprintf "unknown model %s@." !model;
+                exit 2
+            | Some m ->
+                let module M = (val m) in
+                let module I = Cheri_interp.Interp.Make (M) in
+                report M.name (I.run_program prog))

@@ -1,0 +1,32 @@
+(* Print the paper's tables and figures from the command line:
+
+     cheri-tables            # every table and figure (slow: runs the simulator)
+     cheri-tables t1         # the idiom survey over the synthetic corpus
+     cheri-tables t3         # idioms vs abstract-machine interpretations
+     cheri-tables t4         # porting effort
+     cheri-tables f1..f4     # the performance figures *)
+
+module W = Cheri_workloads
+
+let ppf = Format.std_formatter
+
+let run = function
+  | "t1" -> Cheri_analysis.Corpus.print ppf (Cheri_analysis.Corpus.run ())
+  | "t3" -> Cheri_interp.Table3.print ppf ()
+  | "t4" -> W.Port_audit.print ppf (W.Port_audit.table4 ())
+  | "f1" -> W.Figures.print_figure1 ppf (W.Figures.figure1 ())
+  | "f2" -> W.Figures.print_figure2 ppf (W.Figures.figure2 ())
+  | "f3" -> W.Figures.print_figure3 ppf (W.Figures.figure3 ())
+  | "f4" -> W.Figures.print_figure4 ppf (W.Figures.figure4 ())
+  | other ->
+      Format.eprintf "unknown table %s (expected t1, t3, t4, f1, f2, f3, f4)@." other;
+      exit 2
+
+let () =
+  (try
+     if Array.length Sys.argv > 1 then run Sys.argv.(1)
+     else List.iter run [ "t1"; "t3"; "t4"; "f1"; "f2"; "f3"; "f4" ]
+   with W.Runner.Run_failed msg ->
+     Format.eprintf "run failed: %s@." msg;
+     exit 1);
+  Format.pp_print_flush ppf ()

@@ -1,0 +1,1 @@
+examples/gc_demo.ml: Cheri_core Cheri_gc Cheri_tagmem Format Int64

@@ -1,0 +1,1 @@
+examples/packet_filter.ml: Cheri_compiler Cheri_core Cheri_isa Format List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cheri_compiler Cheri_core Cheri_interp Cheri_isa Format List Result

@@ -1,0 +1,1 @@
+examples/sandbox.ml: Cheri_asm Cheri_core Cheri_isa Format

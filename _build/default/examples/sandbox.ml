@@ -1,0 +1,132 @@
+(* Compartmentalization with capabilities, at the ISA level.
+
+     dune exec examples/sandbox.exe
+
+   "The total memory that is reachable from a piece of code is the
+   transitive closure of the memory capabilities reachable from its
+   capability registers" (§4.1). We hand a hand-written "plugin"
+   routine a deliberately narrowed capability — bounded to one buffer,
+   with the store permission removed (the __input qualifier) — and
+   watch the hardware stop each escape attempt:
+
+   1. reading inside the window works;
+   2. writing through the read-only capability traps;
+   3. walking past the window's end traps;
+   4. and the plugin cannot conjure rights: deriving from its own
+      capability can only shrink it. *)
+
+module I = Cheri_isa.Insn
+module Machine = Cheri_isa.Machine
+module Asm = Cheri_asm.Asm
+module Perms = Cheri_core.Perms
+
+let imm v = I.Imm v
+
+(* Build: a 64-byte public window inside a larger secret buffer. The
+   monitor (code before the plugin) derives the narrowed capability in
+   c3; the plugin may only use c3. Each scenario is its own program,
+   sharing the same prologue. *)
+let program ~attack =
+  let b = Asm.Builder.create () in
+  let e = Asm.Builder.emit b in
+  (* monitor: allocate 256 bytes, write a secret at +192, a public
+     value at +64, then derive the plugin's window [64, 128) *)
+  e (I.Li (2, imm Machine.syscall_malloc));
+  e (I.Li (4, imm 256L));
+  e I.Syscall;
+  e (I.Li (8, imm 0x5ec2e7L));
+  e (I.Cstore { w = I.D; rv = 8; cb = 1; roff = 0; off = 192 });
+  e (I.Li (8, imm 42L));
+  e (I.Cstore { w = I.D; rv = 8; cb = 1; roff = 0; off = 64 });
+  (* narrow: base += 64, length = 64, drop stores: the __input view *)
+  e (I.Li (9, imm 64L));
+  e (I.Cincbase (3, 1, 9));
+  e (I.Csetoffset (3, 3, 0));  (* cursor to the window base *)
+  e (I.Csetlen (3, 3, 9));
+  e (I.Candperm (3, 3, Perms.to_bits Perms.read_only));
+  (* wipe every other capability register the plugin could steal *)
+  e (I.Ccleartag (1, 1));
+  e (I.Ccleartag (11, 11));
+  (* plugin code runs here, with only c3 *)
+  attack b e;
+  (* plugin returns its result in r4; exit *)
+  e (I.Li (2, imm Machine.syscall_exit));
+  e I.Syscall;
+  Asm.make_machine (Asm.link b)
+
+let run name m =
+  match Machine.run m with
+  | Machine.Exit code -> Format.printf "%-28s exit(%Ld)@." name code
+  | Machine.Trap { trap; _ } -> Format.printf "%-28s trap: %a@." name Machine.pp_trap trap
+  | o -> Format.printf "%-28s %a@." name Machine.pp_outcome o
+
+let () =
+  Format.printf "a plugin holding only a 64-byte read-only window:@.@.";
+
+  run "read inside the window"
+    (program ~attack:(fun _b e ->
+         e (I.Cload { w = I.D; signed = false; rd = 4; cb = 3; roff = 0; off = 0 })));
+
+  run "write through __input cap"
+    (program ~attack:(fun _b e ->
+         e (I.Li (8, imm 1L));
+         e (I.Cstore { w = I.D; rv = 8; cb = 3; roff = 0; off = 0 })));
+
+  run "read past the window (+128)"
+    (program ~attack:(fun _b e ->
+         (* the secret lives at +128 relative to the window base *)
+         e (I.Cload { w = I.D; signed = false; rd = 4; cb = 3; roff = 0; off = 128 })));
+
+  run "grow own bounds"
+    (program ~attack:(fun _b e ->
+         e (I.Li (8, imm 256L));
+         e (I.Csetlen (4, 3, 8));
+         e (I.Cload { w = I.D; signed = false; rd = 4; cb = 4; roff = 0; off = 128 })));
+
+  run "forge from an integer"
+    (program ~attack:(fun _b e ->
+         (* guess the secret's virtual address, stuff it into an
+            integer, and try to use it as a pointer: the result is an
+            untagged capability *)
+         e (I.Cgetbase (8, 3));
+         e (I.Alui (I.ADD, 8, 8, imm 128L));
+         e (I.Ccleartag (5, 3));
+         e (I.Csetoffset (5, 5, 8));
+         e (I.Cload { w = I.D; signed = false; rd = 4; cb = 5; roff = 0; off = 0 })));
+
+  run "use the wiped registers"
+    (program ~attack:(fun _b e ->
+         e (I.Cload { w = I.D; signed = false; rd = 4; cb = 1; roff = 0; off = 192 })));
+
+  (* sealed capabilities: an opaque token the plugin can hold and hand
+     back, but neither use nor tamper with *)
+  Format.printf "@.with a sealed token (CSeal otype=9) in c6:@.@.";
+  let sealed_program ~attack =
+    program ~attack:(fun b e ->
+        (* monitor seals a window capability before the plugin runs;
+           built here inside `attack` position so the token exists —
+           the first emitted block is still monitor code *)
+        e (I.Li (8, imm 9L));
+        e (I.Cfromptr (7, 0, 8));
+        e (I.Cseal (6, 3, 7));
+        e (I.Ccleartag (7, 7));
+        attack b e)
+  in
+  run "deref the sealed token"
+    (sealed_program ~attack:(fun _b e ->
+         e (I.Cload { w = I.D; signed = false; rd = 4; cb = 6; roff = 0; off = 0 })));
+  run "modify the sealed token"
+    (sealed_program ~attack:(fun _b e -> e (I.Cincoffsetimm (6, 6, 8L))));
+  run "unseal with forged authority"
+    (sealed_program ~attack:(fun _b e ->
+         e (I.Li (8, imm 9L));
+         e (I.Ccleartag (5, 3));
+         e (I.Csetoffset (5, 5, 8));
+         e (I.Cunseal (4, 6, 5))));
+
+  Format.printf
+    "@.only the in-window read succeeds; every escape is a capability trap.@.";
+  Format.printf
+    "(the legacy path through the DDC is the remaining hole — a real@.";
+  Format.printf
+    " compartment also clears or narrows c0, which the kernel does per-domain.)@."

@@ -1,0 +1,1 @@
+lib/analysis/corpus.ml: Buffer Finder Format Idiom List Printf String

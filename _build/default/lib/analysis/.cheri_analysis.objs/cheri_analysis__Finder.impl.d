@@ -1,0 +1,1 @@
+lib/analysis/finder.ml: Hashtbl Idiom Int64 List Minic Optimizer Option

@@ -1,0 +1,1 @@
+lib/analysis/idiom.ml: Format List Option

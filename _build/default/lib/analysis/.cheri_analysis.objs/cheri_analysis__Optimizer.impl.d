@@ -1,0 +1,1 @@
+lib/analysis/optimizer.ml: Hashtbl Int64 List Minic Option

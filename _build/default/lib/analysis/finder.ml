@@ -1,0 +1,217 @@
+(* The idiom finder: the reproduction of the paper's modified-Clang
+   analysis (§2), retargeted from LLVM IR to our typed AST. The
+   detection logic is the same in spirit: pointer-to-integer and
+   integer-to-pointer conversion pairs, arithmetic between them,
+   const-removing casts, backwards member arithmetic, and narrowing
+   stores — counted only when they survive {!Optimizer}.
+
+   Classification is single-label per site, mirroring the paper's
+   machine-assisted manual classification: a ptr->int cast feeding
+   arithmetic is IA (or MASK for and/or with a constant), feeding a
+   narrower cast is WIDE, otherwise INT. *)
+
+module T = Minic.Typed
+open Minic.Ast
+
+type state = { mutable counts : Idiom.Counts.t; taint : (string, unit) Hashtbl.t }
+
+let bump st i = st.counts <- Idiom.Counts.bump st.counts i
+
+(* strip value-preserving casts *)
+let rec strip (e : T.expr) = match e.T.e with T.Cast inner -> strip inner | _ -> e
+
+(* the literal value of an index expression, looking through casts and
+   negation *)
+let rec literal (e : T.expr) =
+  match e.T.e with
+  | T.Num v -> Some v
+  | T.Cast inner -> literal inner
+  | T.Unop (Neg, inner) -> Option.map Int64.neg (literal inner)
+  | _ -> None
+
+let is_negative_index e =
+  match literal e with
+  | Some v -> Int64.compare v 0L < 0
+  | None -> ( match e.T.e with T.Unop (Neg, _) -> true | _ -> false)
+
+let is_ptr = function Tptr _ -> true | _ -> false
+let is_int = function Tint _ -> true | _ -> false
+let narrow = function Tint { bits; _ } -> bits < 64 | _ -> false
+
+(* does this expression carry a pointer-derived integer? *)
+let rec derived st (e : T.expr) =
+  match e.T.e with
+  | T.Cast inner -> (is_ptr (strip inner).T.ty && is_int e.T.ty) || derived st inner
+  | T.Load { T.l = T.Lvar name; _ } -> Hashtbl.mem st.taint name
+  | T.Binop (_, a, b) -> derived st a || derived st b
+  | T.Unop (_, a) -> derived st a
+  | T.Cond (_, a, b) -> derived st a || derived st b
+  | _ -> false
+
+(* flow-insensitive taint: locals assigned pointer-derived integers *)
+let compute_taint st (body : T.stmt list) =
+  let changed = ref true in
+  let note name rhs =
+    if derived st rhs && not (Hashtbl.mem st.taint name) then begin
+      Hashtbl.replace st.taint name ();
+      changed := true
+    end
+  in
+  let visit_expr (e : T.expr) =
+    match e.T.e with
+    | T.Assign ({ T.l = T.Lvar name; _ }, rhs) -> note name rhs
+    | _ -> ()
+  in
+  let visit_stmt (s : T.stmt) =
+    match s with T.Decl { name; init = Some rhs; _ } -> note name rhs | _ -> ()
+  in
+  while !changed do
+    changed := false;
+    List.iter (T.iter_stmt visit_expr visit_stmt) body
+  done
+
+(* main per-expression classification *)
+let rec scan st (e : T.expr) =
+  match e.T.e with
+  | T.Num _ | T.Str _ | T.Sizeof _ | T.Fun_addr _ -> ()
+  | T.Load lv | T.Addr_of lv -> scan_lvalue st lv
+  | T.Unop (_, a) -> scan st a
+  | T.Binop (op, a, b) ->
+      (if derived st a || derived st b then
+         match (op, literal (strip b), literal (strip a)) with
+         | (Band | Bor | Bxor), Some _, _ | (Band | Bor | Bxor), _, Some _ -> bump st Idiom.Mask
+         | (Add | Sub | Mul | Div | Mod | Shl | Shr), _, _ -> bump st Idiom.Ia
+         | _ -> ());
+      scan_operand st a;
+      scan_operand st b
+  | T.Intcap_arith (op, a, b) ->
+      (match (op, literal (strip b)) with
+      | (Band | Bor | Bxor), Some _ -> bump st Idiom.Mask
+      | (Add | Sub | Mul | Div | Mod | Shl | Shr), _ -> bump st Idiom.Ia
+      | _ -> ());
+      scan_operand st a;
+      scan_operand st b
+  | T.Ptr_add { p; i; _ } ->
+      (* nested adds with opposite-sign literal indices: an
+         out-of-bounds intermediate brought back in bounds *)
+      (match ((strip p).T.e, literal i, is_negative_index i) with
+      | T.Ptr_add { i = i_inner; _ }, _, outer_neg -> (
+          match (literal i_inner, is_negative_index i_inner) with
+          | Some _, inner_neg when inner_neg <> outer_neg -> bump st Idiom.Ii
+          | None, inner_neg when inner_neg <> outer_neg && literal i <> None -> bump st Idiom.Ii
+          | _ -> if is_negative_index i then bump st Idiom.Sub)
+      | _, _, true -> bump st Idiom.Sub
+      | _ -> ());
+      scan st p;
+      scan st i
+  | T.Ptr_diff { a; b; _ } ->
+      bump st Idiom.Sub;
+      scan st a;
+      scan st b
+  | T.Ptr_cmp (_, a, b) ->
+      scan st a;
+      scan st b
+  | T.Assign (lv, rhs) ->
+      (* a pointer-derived wide value stored into a narrow integer *)
+      if narrow lv.T.lty && derived st rhs then bump st Idiom.Wide;
+      scan_lvalue st lv;
+      scan st rhs
+  | T.Call (_, args) | T.Builtin (_, args) -> List.iter (scan st) args
+  | T.Call_ptr (fn, args) ->
+      scan st fn;
+      List.iter (scan st) args
+  | T.Cast inner -> scan_cast st e inner
+  | T.Cond (c, a, b) ->
+      scan st c;
+      scan st a;
+      scan st b
+  | T.Incdec (_, lv) -> scan_lvalue st lv
+
+(* an operand position of integer arithmetic: ptr->int casts here are
+   already accounted to IA/MASK by the parent, so only recurse *)
+and scan_operand st (e : T.expr) =
+  match e.T.e with
+  | T.Cast inner when is_ptr (strip inner).T.ty && is_int e.T.ty -> scan st (strip inner)
+  | _ -> scan st e
+
+and scan_cast st (node : T.expr) inner =
+  let src = inner.T.ty and dst = node.T.ty in
+  match (src, dst) with
+  | Tptr a, Tptr b when a.pointee_const && not b.pointee_const ->
+      bump st Idiom.Deconst;
+      scan st inner
+  | _, Tptr { pointee = Tstruct _ | Tunion _; _ }
+    when (match (strip inner).T.e with
+         | T.Ptr_add { i; _ } -> is_negative_index i
+         | _ -> false) ->
+      (* backwards arithmetic cast to an enclosing aggregate *)
+      bump st Idiom.Container;
+      (* consume the inner Ptr_add so it is not also counted as SUB *)
+      let stripped = strip inner in
+      (match stripped.T.e with
+      | T.Ptr_add { p; i; _ } ->
+          scan st p;
+          scan st i
+      | _ -> scan st inner)
+  | Tptr _, Tint { bits; _ } ->
+      if bits < 64 then bump st Idiom.Wide else bump st Idiom.Int_;
+      scan st inner
+  | Tptr _, Tintcap ->
+      bump st Idiom.Int_;
+      scan st inner
+  | Tint _, Tint { bits; _ } when bits < 64 && derived st inner -> (
+      (* narrowing a pointer-derived integer *)
+      bump st Idiom.Wide;
+      match (strip inner).T.ty with
+      | Tptr _ -> scan st (strip inner) (* don't double-count the inner INT *)
+      | _ -> scan st inner)
+  | Tint _, Tint { bits; _ }
+    when bits < 64 && is_ptr (strip inner).T.ty ->
+      bump st Idiom.Wide;
+      scan st (strip inner)
+  | _ -> scan st inner
+
+and scan_lvalue st (lv : T.lvalue) =
+  match lv.T.l with
+  | T.Lvar _ | T.Lglobal _ -> ()
+  | T.Lderef e -> scan st e
+  | T.Lfield (base, _) -> scan_lvalue st base
+
+(* statement walker applying [scan] exactly once per top-level
+   expression ([scan] recurses into subexpressions itself) *)
+let rec walk st (s : T.stmt) =
+  match s with
+  | T.Expr e -> scan st e
+  | T.Decl { init; _ } -> Option.iter (scan st) init
+  | T.If (c, a, b) ->
+      scan st c;
+      List.iter (walk st) a;
+      List.iter (walk st) b
+  | T.While (c, b) ->
+      scan st c;
+      List.iter (walk st) b
+  | T.Dowhile (b, c) ->
+      List.iter (walk st) b;
+      scan st c
+  | T.For (i, c, step, b) ->
+      Option.iter (walk st) i;
+      Option.iter (scan st) c;
+      Option.iter (scan st) step;
+      List.iter (walk st) b
+  | T.Return e -> Option.iter (scan st) e
+  | T.Break | T.Continue -> ()
+  | T.Block b -> List.iter (walk st) b
+
+let analyze_function (f : T.func) : Idiom.Counts.t =
+  let st = { counts = Idiom.Counts.zero; taint = Hashtbl.create 8 } in
+  compute_taint st f.T.body;
+  List.iter (walk st) f.T.body;
+  st.counts
+
+let analyze ?(optimize = true) (p : T.program) : Idiom.Counts.t =
+  let p = if optimize then Optimizer.optimize p else p in
+  List.fold_left
+    (fun acc f -> Idiom.Counts.add acc (analyze_function f))
+    Idiom.Counts.zero p.T.funcs
+
+let analyze_source ?optimize src = analyze ?optimize (Minic.Typecheck.compile src)

@@ -1,0 +1,36 @@
+(* The idiom taxonomy of §2 / Table 1. *)
+
+type t =
+  | Deconst  (** const qualifier removed by a cast *)
+  | Container  (** enclosing struct recovered from a member pointer *)
+  | Sub  (** arbitrary pointer subtraction *)
+  | Ii  (** out-of-bounds intermediate results *)
+  | Int_  (** pointer stored in an integer variable *)
+  | Ia  (** integer arithmetic on a pointer value *)
+  | Mask  (** flag bits masked in/out of a pointer *)
+  | Wide  (** pointer stored in a too-narrow integer *)
+
+let all = [ Deconst; Container; Sub; Ii; Int_; Ia; Mask; Wide ]
+
+let name = function
+  | Deconst -> "DECONST"
+  | Container -> "CONTAINER"
+  | Sub -> "SUB"
+  | Ii -> "II"
+  | Int_ -> "INT"
+  | Ia -> "IA"
+  | Mask -> "MASK"
+  | Wide -> "WIDE"
+
+module Counts = struct
+  type nonrec t = (t * int) list
+
+  let zero = List.map (fun i -> (i, 0)) all
+  let get counts i = Option.value ~default:0 (List.assoc_opt i counts)
+  let bump counts i = List.map (fun (j, n) -> if i = j then (j, n + 1) else (j, n)) counts
+  let add a b = List.map (fun (i, n) -> (i, n + get b i)) a
+  let total t = List.fold_left (fun acc (_, n) -> acc + n) 0 t
+
+  let pp ppf t =
+    List.iter (fun (i, n) -> Format.fprintf ppf "%s=%d " (name i) n) t
+end

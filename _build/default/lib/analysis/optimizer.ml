@@ -1,0 +1,201 @@
+(* A small cleanup pass: constant folding plus dead-local elimination.
+
+   The paper's analyzer only counts idiom instances "that survive
+   optimization because [the rest] will have no effect on run-time
+   enforcement" (§2). This pass plays the role of LLVM's -O2 for that
+   purpose: an idiom planted in code whose result is never observable
+   disappears before the finder runs. *)
+
+module T = Minic.Typed
+open Minic.Ast
+
+let rec is_pure (e : T.expr) =
+  match e.T.e with
+  | T.Num _ | T.Str _ | T.Sizeof _ | T.Fun_addr _ -> true
+  | T.Load lv | T.Addr_of lv -> pure_lvalue lv
+  | T.Unop (_, a) | T.Cast a -> is_pure a
+  | T.Binop (_, a, b) | T.Ptr_cmp (_, a, b) | T.Intcap_arith (_, a, b) -> is_pure a && is_pure b
+  | T.Ptr_add { p; i; _ } -> is_pure p && is_pure i
+  | T.Ptr_diff { a; b; _ } -> is_pure a && is_pure b
+  | T.Cond (c, a, b) -> is_pure c && is_pure a && is_pure b
+  | T.Assign _ | T.Call _ | T.Call_ptr _ | T.Builtin _ | T.Incdec _ -> false
+
+and pure_lvalue (lv : T.lvalue) =
+  match lv.T.l with
+  | T.Lvar _ | T.Lglobal _ -> true
+  | T.Lderef e -> is_pure e
+  | T.Lfield (base, _) -> pure_lvalue base
+
+(* -- constant folding ----------------------------------------------------- *)
+
+let fold_binop op a b =
+  match op with
+  | Add -> Some (Int64.add a b)
+  | Sub -> Some (Int64.sub a b)
+  | Mul -> Some (Int64.mul a b)
+  | Div -> if b = 0L then None else Some (Int64.div a b)
+  | Mod -> if b = 0L then None else Some (Int64.rem a b)
+  | Band -> Some (Int64.logand a b)
+  | Bor -> Some (Int64.logor a b)
+  | Bxor -> Some (Int64.logxor a b)
+  | Shl -> Some (Int64.shift_left a (Int64.to_int b land 63))
+  | Shr -> Some (Int64.shift_right a (Int64.to_int b land 63))
+  | Eq -> Some (if a = b then 1L else 0L)
+  | Ne -> Some (if a <> b then 1L else 0L)
+  | Lt -> Some (if a < b then 1L else 0L)
+  | Le -> Some (if a <= b then 1L else 0L)
+  | Gt -> Some (if a > b then 1L else 0L)
+  | Ge -> Some (if a >= b then 1L else 0L)
+  | Land | Lor -> None
+
+let rec fold_expr (e : T.expr) : T.expr =
+  let mk kind = { e with T.e = kind } in
+  match e.T.e with
+  | T.Num _ | T.Str _ | T.Sizeof _ | T.Fun_addr _ -> e
+  | T.Load lv -> mk (T.Load (fold_lvalue lv))
+  | T.Addr_of lv -> mk (T.Addr_of (fold_lvalue lv))
+  | T.Unop (op, a) -> (
+      let a = fold_expr a in
+      match (op, a.T.e) with
+      | Neg, T.Num v -> mk (T.Num (Int64.neg v))
+      | Bnot, T.Num v -> mk (T.Num (Int64.lognot v))
+      | Lnot, T.Num v -> mk (T.Num (if v = 0L then 1L else 0L))
+      | _ -> mk (T.Unop (op, a)))
+  | T.Binop (op, a, b) -> (
+      let a = fold_expr a and b = fold_expr b in
+      match (a.T.e, b.T.e) with
+      | T.Num x, T.Num y -> (
+          match fold_binop op x y with Some v -> mk (T.Num v) | None -> mk (T.Binop (op, a, b)))
+      | _ -> mk (T.Binop (op, a, b)))
+  | T.Ptr_add { p; i; elem } -> mk (T.Ptr_add { p = fold_expr p; i = fold_expr i; elem })
+  | T.Ptr_diff { a; b; elem } -> mk (T.Ptr_diff { a = fold_expr a; b = fold_expr b; elem })
+  | T.Ptr_cmp (op, a, b) -> mk (T.Ptr_cmp (op, fold_expr a, fold_expr b))
+  | T.Intcap_arith (op, a, b) -> mk (T.Intcap_arith (op, fold_expr a, fold_expr b))
+  | T.Assign (lv, v) -> mk (T.Assign (fold_lvalue lv, fold_expr v))
+  | T.Call (f, args) -> mk (T.Call (f, List.map fold_expr args))
+  | T.Call_ptr (fn, args) -> mk (T.Call_ptr (fold_expr fn, List.map fold_expr args))
+  | T.Builtin (b, args) -> mk (T.Builtin (b, List.map fold_expr args))
+  | T.Cast a -> mk (T.Cast (fold_expr a))
+  | T.Cond (c, a, b) -> (
+      let c = fold_expr c in
+      match c.T.e with
+      | T.Num v -> if v <> 0L then fold_expr a else fold_expr b
+      | _ -> mk (T.Cond (c, fold_expr a, fold_expr b)))
+  | T.Incdec (k, lv) -> mk (T.Incdec (k, fold_lvalue lv))
+
+and fold_lvalue (lv : T.lvalue) : T.lvalue =
+  match lv.T.l with
+  | T.Lvar _ | T.Lglobal _ -> lv
+  | T.Lderef e -> { lv with T.l = T.Lderef (fold_expr e) }
+  | T.Lfield (base, f) -> { lv with T.l = T.Lfield (fold_lvalue base, f) }
+
+(* -- dead local elimination ------------------------------------------------ *)
+
+(* locals that are read (loaded or address-taken) anywhere in the body *)
+let used_locals (body : T.stmt list) =
+  let used = Hashtbl.create 32 in
+  let rec use_lvalue ?(write_target = false) (lv : T.lvalue) =
+    match lv.T.l with
+    | T.Lvar name -> if not write_target then Hashtbl.replace used name ()
+    | T.Lglobal _ -> ()
+    | T.Lderef e -> use_expr e
+    | T.Lfield (base, _) ->
+        (* writing through a field still needs the base address *)
+        use_lvalue ~write_target:false base
+  and use_expr (e : T.expr) =
+    match e.T.e with
+    | T.Num _ | T.Str _ | T.Sizeof _ | T.Fun_addr _ -> ()
+    | T.Load lv | T.Addr_of lv -> use_lvalue lv
+    | T.Unop (_, a) | T.Cast a -> use_expr a
+    | T.Binop (_, a, b) | T.Ptr_cmp (_, a, b) | T.Intcap_arith (_, a, b) ->
+        use_expr a;
+        use_expr b
+    | T.Ptr_add { p; i; _ } ->
+        use_expr p;
+        use_expr i
+    | T.Ptr_diff { a; b; _ } ->
+        use_expr a;
+        use_expr b
+    | T.Assign (lv, v) ->
+        use_lvalue ~write_target:true lv;
+        use_expr v
+    | T.Call (_, args) | T.Builtin (_, args) -> List.iter use_expr args
+    | T.Call_ptr (fn, args) ->
+        use_expr fn;
+        List.iter use_expr args
+    | T.Cond (c, a, b) ->
+        use_expr c;
+        use_expr a;
+        use_expr b
+    | T.Incdec (_, lv) -> use_lvalue ~write_target:false lv
+  in
+  let rec use_stmt (s : T.stmt) =
+    match s with
+    | T.Expr e -> use_expr e
+    | T.Decl { init; _ } -> Option.iter use_expr init
+    | T.If (c, a, b) ->
+        use_expr c;
+        List.iter use_stmt a;
+        List.iter use_stmt b
+    | T.While (c, b) ->
+        use_expr c;
+        List.iter use_stmt b
+    | T.Dowhile (b, c) ->
+        List.iter use_stmt b;
+        use_expr c
+    | T.For (i, c, st, b) ->
+        Option.iter use_stmt i;
+        Option.iter use_expr c;
+        Option.iter use_expr st;
+        List.iter use_stmt b
+    | T.Return e -> Option.iter use_expr e
+    | T.Break | T.Continue -> ()
+    | T.Block b -> List.iter use_stmt b
+  in
+  List.iter use_stmt body;
+  used
+
+let rec eliminate used (stmts : T.stmt list) : T.stmt list =
+  List.filter_map
+    (fun s ->
+      match s with
+      | T.Decl { name; init; _ } when not (Hashtbl.mem used name) -> (
+          match init with
+          | Some e when not (is_pure e) -> Some (T.Expr e)
+          | _ -> None)
+      | T.Expr { T.e = T.Assign ({ T.l = T.Lvar name; _ }, rhs); _ }
+        when (not (Hashtbl.mem used name)) && is_pure rhs ->
+          None
+      | T.Expr e when is_pure e -> None
+      | T.If (c, a, b) -> Some (T.If (c, eliminate used a, eliminate used b))
+      | T.While (c, b) -> Some (T.While (c, eliminate used b))
+      | T.Dowhile (b, c) -> Some (T.Dowhile (eliminate used b, c))
+      | T.For (i, c, st, b) -> Some (T.For (i, c, st, eliminate used b))
+      | T.Block b -> Some (T.Block (eliminate used b))
+      | s -> Some s)
+    stmts
+
+let rec map_stmt_exprs f (s : T.stmt) : T.stmt =
+  match s with
+  | T.Expr e -> T.Expr (f e)
+  | T.Decl { name; ty; const; init } -> T.Decl { name; ty; const; init = Option.map f init }
+  | T.If (c, a, b) -> T.If (f c, List.map (map_stmt_exprs f) a, List.map (map_stmt_exprs f) b)
+  | T.While (c, b) -> T.While (f c, List.map (map_stmt_exprs f) b)
+  | T.Dowhile (b, c) -> T.Dowhile (List.map (map_stmt_exprs f) b, f c)
+  | T.For (i, c, st, b) ->
+      T.For
+        (Option.map (map_stmt_exprs f) i, Option.map f c, Option.map f st,
+         List.map (map_stmt_exprs f) b)
+  | T.Return e -> T.Return (Option.map f e)
+  | T.Break | T.Continue -> s
+  | T.Block b -> T.Block (List.map (map_stmt_exprs f) b)
+
+let optimize_func (f : T.func) : T.func =
+  let body = List.map (map_stmt_exprs fold_expr) f.T.body in
+  (* two rounds of elimination catch chains like a = ptr-int; b = a; *)
+  let body = eliminate (used_locals body) body in
+  let body = eliminate (used_locals body) body in
+  { f with T.body }
+
+let optimize (p : T.program) : T.program =
+  { p with T.funcs = List.map optimize_func p.T.funcs }

@@ -1,0 +1,1 @@
+lib/asm/asm.ml: Array Buffer Bytes Cheri_core Cheri_isa Cheri_tagmem Hashtbl Int64 List Printf String

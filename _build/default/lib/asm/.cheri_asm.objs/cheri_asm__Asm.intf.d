@@ -1,0 +1,1 @@
+lib/asm/asm.mli: Cheri_isa

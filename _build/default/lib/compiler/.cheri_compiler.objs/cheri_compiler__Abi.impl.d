@@ -1,0 +1,1 @@
+lib/compiler/abi.ml: Cheri_core Minic String

@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Abi Bytes Char Cheri_asm Cheri_core Cheri_isa Format Hashtbl Int64 List Minic Option Printf String

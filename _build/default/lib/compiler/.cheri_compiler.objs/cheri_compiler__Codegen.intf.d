@@ -1,0 +1,1 @@
+lib/compiler/codegen.mli: Abi Cheri_asm Cheri_isa Minic

@@ -1,0 +1,55 @@
+(* The three compilation targets of the evaluation (§5.2):
+
+   - [Mips]: the conventional PDP-11-style ABI — pointers are 64-bit
+     integers, every access goes through the legacy load/store path
+     (implicitly checked only against the all-memory default data
+     capability).
+   - [Cheri V2]: the hybrid ABI used for the original CHERI C compiler
+     — pointer-typed values are capabilities without offsets (pointer
+     addition moves the base; subtraction does not exist), while the
+     stack and globals are reached through legacy addressing.
+   - [Cheri V3]: the pure-capability ABI — all pointers including the
+     stack pointer are fat capabilities with offsets.
+
+   Register conventions (on top of {!Cheri_isa.Machine}'s fixed ones):
+   integer args r4-r7, integer temporaries r8-r23, capability args
+   c3-c6, capability return c2, capability temporaries c12-c19, stack
+   capability c11 (V3), the never-written null capability c20. *)
+
+type t = Mips | Cheri of Cheri_core.Cap_ops.revision
+
+let name = function
+  | Mips -> "MIPS"
+  | Cheri Cheri_core.Cap_ops.V2 -> "CHERIv2"
+  | Cheri Cheri_core.Cap_ops.V3 -> "CHERIv3"
+
+let target = function
+  | Mips -> Minic.Layout.mips_target
+  | Cheri _ -> Minic.Layout.cheri_target
+
+let all = [ Mips; Cheri Cheri_core.Cap_ops.V2; Cheri Cheri_core.Cap_ops.V3 ]
+
+let of_key key =
+  match String.lowercase_ascii key with
+  | "mips" -> Some Mips
+  | "cheriv2" | "v2" -> Some (Cheri Cheri_core.Cap_ops.V2)
+  | "cheriv3" | "v3" -> Some (Cheri Cheri_core.Cap_ops.V3)
+  | _ -> None
+
+(* register conventions *)
+let int_arg_regs = [ 4; 5; 6; 7 ]
+let cap_arg_regs = [ 3; 4; 5; 6 ]
+let int_temp_regs = [ 8; 9; 10; 11; 12; 13; 14; 15; 16; 17; 18; 19; 20; 21; 22; 23 ]
+let cap_temp_regs = [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+let reg_sp = 29
+let reg_ra = 31
+let reg_ret = 2
+let creg_ddc = 0
+let creg_ret = 2
+let creg_stack = 11
+let creg_null = 20
+
+exception Unsupported of string
+(* A construct this ABI cannot compile — e.g. pointer subtraction under
+   CHERIv2. These are exactly the places a port has to change code,
+   which is what Table 4 counts. *)

@@ -1,0 +1,1195 @@
+(* Code generator: typed mini-C to the CHERI softcore, under one of the
+   three ABIs of §5.2. Deliberately simple (no register allocation
+   beyond expression temporaries, locals always in the stack frame):
+   the evaluation compares ABIs against each other on the same
+   simulator, so what matters is that the *same* strategy is used
+   everywhere and that pointer traffic faithfully changes width and
+   instruction selection between ABIs. *)
+
+open Minic.Ast
+module T = Minic.Typed
+module L = Minic.Layout
+module I = Cheri_isa.Insn
+module Asm = Cheri_asm.Asm
+module B = Asm.Builder
+module Machine = Cheri_isa.Machine
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let unsupported fmt = Format.kasprintf (fun s -> raise (Abi.Unsupported s)) fmt
+
+type vclass = Gpr of int | Capr of int
+
+type addr =
+  | Astack of int  (* frame offset; cur_push is added at emission *)
+  | Aglobal of string * int
+  | Aptr of int * int  (* register (gpr for MIPS, cap reg otherwise) + offset *)
+
+type ctx = {
+  abi : Abi.t;
+  trapv : bool;  (* -ftrapv: signed additive ops use the trapping ADDT *)
+  prog : T.program;
+  b : B.t;
+  strings : (string, string) Hashtbl.t;  (* literal -> data label *)
+  mutable locals : (string * int) list;
+  mutable frame_size : int;
+  mutable cur_push : int;
+  mutable int_free : int list;
+  mutable cap_free : int list;
+  mutable live : vclass list;
+  mutable epilogue : string;
+  mutable break_labels : string list;
+  mutable continue_labels : string list;
+}
+
+let is_cheri ctx = match ctx.abi with Abi.Cheri _ -> true | Abi.Mips -> false
+let revision ctx = match ctx.abi with Abi.Cheri r -> r | Abi.Mips -> Cheri_core.Cap_ops.V3
+let is_v2 ctx = ctx.abi = Abi.Cheri Cheri_core.Cap_ops.V2
+let is_v3 ctx = ctx.abi = Abi.Cheri Cheri_core.Cap_ops.V3
+let target ctx = Abi.target ctx.abi
+let sizeof ctx ty = L.size_of ctx.prog (target ctx) ty
+let alignof ctx ty = L.align_of ctx.prog (target ctx) ty
+let elem_size ctx ty = L.elem_size ctx.prog (target ctx) ty
+let is_ptr_ty = function Tptr _ | Tintcap -> true | _ -> false
+let is_cap_value ctx ty = is_cheri ctx && is_ptr_ty ty
+let emit ctx i = B.emit ctx.b i
+let imm v = I.Imm v
+
+(* -- temporaries --------------------------------------------------------- *)
+
+let alloc_gpr ctx =
+  match ctx.int_free with
+  | r :: rest ->
+      ctx.int_free <- rest;
+      ctx.live <- Gpr r :: ctx.live;
+      r
+  | [] -> err "out of integer temporaries (expression too deep)"
+
+let alloc_capr ctx =
+  match ctx.cap_free with
+  | r :: rest ->
+      ctx.cap_free <- rest;
+      ctx.live <- Capr r :: ctx.live;
+      r
+  | [] -> err "out of capability temporaries (expression too deep)"
+
+let alloc_class ctx ty = if is_cap_value ctx ty then Capr (alloc_capr ctx) else Gpr (alloc_gpr ctx)
+
+let free_temp ctx v =
+  ctx.live <- List.filter (fun x -> x <> v) ctx.live;
+  match v with
+  | Gpr r -> ctx.int_free <- r :: ctx.int_free
+  | Capr r -> ctx.cap_free <- r :: ctx.cap_free
+
+(* -- stack and addressing ------------------------------------------------ *)
+
+let slot_bytes = 32 (* uniform spill slot: fits a capability *)
+
+let sp_adjust ctx delta =
+  if delta <> 0 then
+    if is_v3 ctx then emit ctx (I.Cincoffsetimm (Abi.creg_stack, Abi.creg_stack, Int64.of_int delta))
+    else emit ctx (I.Alui (I.ADD, Abi.reg_sp, Abi.reg_sp, imm (Int64.of_int delta)))
+
+(* store/load a register at an sp-relative byte offset *)
+let store_sp ctx v off =
+  match (ctx.abi, v) with
+  | Abi.Mips, Gpr r -> emit ctx (I.Store { w = I.D; rv = r; rs = Abi.reg_sp; off })
+  | Abi.Mips, Capr _ -> err "capability temporary under MIPS ABI"
+  | Abi.Cheri Cheri_core.Cap_ops.V3, Gpr r ->
+      emit ctx (I.Cstore { w = I.D; rv = r; cb = Abi.creg_stack; roff = 0; off })
+  | Abi.Cheri Cheri_core.Cap_ops.V3, Capr c ->
+      emit ctx (I.Csc { cs = c; cb = Abi.creg_stack; roff = 0; off })
+  | Abi.Cheri Cheri_core.Cap_ops.V2, Gpr r ->
+      emit ctx (I.Store { w = I.D; rv = r; rs = Abi.reg_sp; off })
+  | Abi.Cheri Cheri_core.Cap_ops.V2, Capr c ->
+      emit ctx (I.Csc { cs = c; cb = Abi.creg_ddc; roff = Abi.reg_sp; off })
+
+let load_sp ctx v off =
+  match (ctx.abi, v) with
+  | Abi.Mips, Gpr r -> emit ctx (I.Load { w = I.D; signed = true; rd = r; rs = Abi.reg_sp; off })
+  | Abi.Mips, Capr _ -> err "capability temporary under MIPS ABI"
+  | Abi.Cheri Cheri_core.Cap_ops.V3, Gpr r ->
+      emit ctx (I.Cload { w = I.D; signed = true; rd = r; cb = Abi.creg_stack; roff = 0; off })
+  | Abi.Cheri Cheri_core.Cap_ops.V3, Capr c ->
+      emit ctx (I.Clc { cd = c; cb = Abi.creg_stack; roff = 0; off })
+  | Abi.Cheri Cheri_core.Cap_ops.V2, Gpr r ->
+      emit ctx (I.Load { w = I.D; signed = true; rd = r; rs = Abi.reg_sp; off })
+  | Abi.Cheri Cheri_core.Cap_ops.V2, Capr c ->
+      emit ctx (I.Clc { cd = c; cb = Abi.creg_ddc; roff = Abi.reg_sp; off })
+
+let push_value ctx v =
+  sp_adjust ctx (-slot_bytes);
+  ctx.cur_push <- ctx.cur_push + slot_bytes;
+  store_sp ctx v 0
+
+let pop_discard ctx n =
+  sp_adjust ctx (n * slot_bytes);
+  ctx.cur_push <- ctx.cur_push - (n * slot_bytes)
+
+(* width/signedness of a scalar type *)
+let width_of ctx ty =
+  match ty with
+  | Tint { bits = 8; signed } -> (I.B, signed)
+  | Tint { bits = 16; signed } -> (I.H, signed)
+  | Tint { bits = 32; signed } -> (I.W, signed)
+  | Tint { bits = 64; signed } -> (I.D, signed)
+  | Tptr _ | Tintcap when not (is_cheri ctx) -> (I.D, false)
+  | Tfunptr _ -> (I.D, false)
+  | _ -> err "width_of: not a scalar type %s" (Format.asprintf "%a" pp_ty ty)
+
+(* scalar load from an addr into a fresh temp *)
+let load_addr ctx addr ty : vclass =
+  if is_cap_value ctx ty then begin
+    let c = alloc_capr ctx in
+    (match addr with
+    | Astack off -> (
+        let off = off + ctx.cur_push in
+        match ctx.abi with
+        | Abi.Cheri Cheri_core.Cap_ops.V3 ->
+            emit ctx (I.Clc { cd = c; cb = Abi.creg_stack; roff = 0; off })
+        | Abi.Cheri Cheri_core.Cap_ops.V2 ->
+            emit ctx (I.Clc { cd = c; cb = Abi.creg_ddc; roff = Abi.reg_sp; off })
+        | Abi.Mips -> assert false)
+    | Aglobal (sym, off) ->
+        let r = alloc_gpr ctx in
+        emit ctx (I.Li (r, I.Sym_addr (sym, Int64.of_int off)));
+        emit ctx (I.Clc { cd = c; cb = Abi.creg_ddc; roff = r; off = 0 });
+        free_temp ctx (Gpr r)
+    | Aptr (cb, off) -> emit ctx (I.Clc { cd = c; cb; roff = 0; off }));
+    Capr c
+  end
+  else begin
+    let w, signed = width_of ctx ty in
+    let r = alloc_gpr ctx in
+    (match addr with
+    | Astack off -> (
+        let off = off + ctx.cur_push in
+        match ctx.abi with
+        | Abi.Cheri Cheri_core.Cap_ops.V3 ->
+            emit ctx (I.Cload { w; signed; rd = r; cb = Abi.creg_stack; roff = 0; off })
+        | _ -> emit ctx (I.Load { w; signed; rd = r; rs = Abi.reg_sp; off }))
+    | Aglobal (sym, off) ->
+        emit ctx (I.Li (r, I.Sym_addr (sym, Int64.of_int off)));
+        if is_v3 ctx || is_v2 ctx then
+          emit ctx (I.Cload { w; signed; rd = r; cb = Abi.creg_ddc; roff = r; off = 0 })
+        else emit ctx (I.Load { w; signed; rd = r; rs = r; off = 0 })
+    | Aptr (p, off) ->
+        if is_cheri ctx then emit ctx (I.Cload { w; signed; rd = r; cb = p; roff = 0; off })
+        else emit ctx (I.Load { w; signed; rd = r; rs = p; off }));
+    Gpr r
+  end
+
+let store_addr ctx addr ty (v : vclass) =
+  if is_cap_value ctx ty then begin
+    let c = match v with Capr c -> c | Gpr _ -> err "integer value stored as capability" in
+    match addr with
+    | Astack off -> (
+        let off = off + ctx.cur_push in
+        match ctx.abi with
+        | Abi.Cheri Cheri_core.Cap_ops.V3 ->
+            emit ctx (I.Csc { cs = c; cb = Abi.creg_stack; roff = 0; off })
+        | Abi.Cheri Cheri_core.Cap_ops.V2 ->
+            emit ctx (I.Csc { cs = c; cb = Abi.creg_ddc; roff = Abi.reg_sp; off })
+        | Abi.Mips -> assert false)
+    | Aglobal (sym, off) ->
+        let r = alloc_gpr ctx in
+        emit ctx (I.Li (r, I.Sym_addr (sym, Int64.of_int off)));
+        emit ctx (I.Csc { cs = c; cb = Abi.creg_ddc; roff = r; off = 0 });
+        free_temp ctx (Gpr r)
+    | Aptr (cb, off) -> emit ctx (I.Csc { cs = c; cb; roff = 0; off })
+  end
+  else begin
+    let w, _ = width_of ctx ty in
+    let rv = match v with Gpr r -> r | Capr _ -> err "capability stored as integer" in
+    match addr with
+    | Astack off -> (
+        let off = off + ctx.cur_push in
+        match ctx.abi with
+        | Abi.Cheri Cheri_core.Cap_ops.V3 ->
+            emit ctx (I.Cstore { w; rv; cb = Abi.creg_stack; roff = 0; off })
+        | _ -> emit ctx (I.Store { w; rv; rs = Abi.reg_sp; off }))
+    | Aglobal (sym, off) ->
+        let r = alloc_gpr ctx in
+        emit ctx (I.Li (r, I.Sym_addr (sym, Int64.of_int off)));
+        if is_cheri ctx then emit ctx (I.Cstore { w; rv; cb = Abi.creg_ddc; roff = r; off = 0 })
+        else emit ctx (I.Store { w; rv; rs = r; off = 0 });
+        free_temp ctx (Gpr r)
+    | Aptr (p, off) ->
+        if is_cheri ctx then emit ctx (I.Cstore { w; rv; cb = p; roff = 0; off })
+        else emit ctx (I.Store { w; rv; rs = p; off })
+  end
+
+(* materialize an address as a pointer value *)
+let materialize ctx addr : vclass =
+  match ctx.abi with
+  | Abi.Mips -> (
+      match addr with
+      | Astack off ->
+          let r = alloc_gpr ctx in
+          emit ctx (I.Alui (I.ADD, r, Abi.reg_sp, imm (Int64.of_int (off + ctx.cur_push))));
+          Gpr r
+      | Aglobal (sym, off) ->
+          let r = alloc_gpr ctx in
+          emit ctx (I.Li (r, I.Sym_addr (sym, Int64.of_int off)));
+          Gpr r
+      | Aptr (p, 0) ->
+          let r = alloc_gpr ctx in
+          emit ctx (I.Alu (I.ADD, r, p, 0));
+          Gpr r
+      | Aptr (p, off) ->
+          let r = alloc_gpr ctx in
+          emit ctx (I.Alui (I.ADD, r, p, imm (Int64.of_int off)));
+          Gpr r)
+  | Abi.Cheri Cheri_core.Cap_ops.V3 -> (
+      match addr with
+      | Astack off ->
+          let c = alloc_capr ctx in
+          emit ctx (I.Cincoffsetimm (c, Abi.creg_stack, Int64.of_int (off + ctx.cur_push)));
+          Capr c
+      | Aglobal (sym, off) ->
+          let r = alloc_gpr ctx in
+          emit ctx (I.Li (r, I.Sym_addr (sym, Int64.of_int off)));
+          let c = alloc_capr ctx in
+          emit ctx (I.Cfromptr (c, Abi.creg_ddc, r));
+          free_temp ctx (Gpr r);
+          Capr c
+      | Aptr (p, 0) ->
+          let c = alloc_capr ctx in
+          emit ctx (I.Cmove (c, p));
+          Capr c
+      | Aptr (p, off) ->
+          let c = alloc_capr ctx in
+          emit ctx (I.Cincoffsetimm (c, p, Int64.of_int off));
+          Capr c)
+  | Abi.Cheri Cheri_core.Cap_ops.V2 -> (
+      (* CFromPtr is a CHERIv3 instruction (Table 2); under v2 a
+         pointer is derived from the DDC by CIncBase, which moves the
+         base to the address *)
+      match addr with
+      | Astack off ->
+          let r = alloc_gpr ctx in
+          emit ctx (I.Alui (I.ADD, r, Abi.reg_sp, imm (Int64.of_int (off + ctx.cur_push))));
+          let c = alloc_capr ctx in
+          emit ctx (I.Cincbase (c, Abi.creg_ddc, r));
+          free_temp ctx (Gpr r);
+          Capr c
+      | Aglobal (sym, off) ->
+          let r = alloc_gpr ctx in
+          emit ctx (I.Li (r, I.Sym_addr (sym, Int64.of_int off)));
+          let c = alloc_capr ctx in
+          emit ctx (I.Cincbase (c, Abi.creg_ddc, r));
+          free_temp ctx (Gpr r);
+          Capr c
+      | Aptr (p, 0) ->
+          let c = alloc_capr ctx in
+          emit ctx (I.Cmove (c, p));
+          Capr c
+      | Aptr (p, off) ->
+          (* CHERIv2 pointer derivation moves the base — monotonic, and
+             traps at run time if [off] is negative *)
+          let r = alloc_gpr ctx in
+          emit ctx (I.Li (r, imm (Int64.of_int off)));
+          let c = alloc_capr ctx in
+          emit ctx (I.Cincbase (c, p, r));
+          free_temp ctx (Gpr r);
+          Capr c)
+
+(* -- expressions ---------------------------------------------------------- *)
+
+let as_gpr = function Gpr r -> r | Capr _ -> err "expected an integer register"
+let as_capr = function Capr c -> c | Gpr _ -> err "expected a capability register"
+
+(* truncate an integer temp to the width/signedness of [ty] *)
+let truncate_temp ctx r ty =
+  match ty with
+  | Tint { bits; signed } when bits < 64 ->
+      let shift = Int64.of_int (64 - bits) in
+      emit ctx (I.Alui (I.SLL, r, r, imm shift));
+      emit ctx (I.Alui ((if signed then I.SRA else I.SRL), r, r, imm shift))
+  | _ -> ()
+
+(* read the pointer value (base + offset) of a capability into a gpr *)
+let cap_address ctx c =
+  let rb = alloc_gpr ctx in
+  emit ctx (I.Cgetbase (rb, c));
+  let ro = alloc_gpr ctx in
+  emit ctx (I.Cgetoffset (ro, c));
+  emit ctx (I.Alu (I.ADD, rb, rb, ro));
+  free_temp ctx (Gpr ro);
+  rb
+
+let rec gen_expr ctx (e : T.expr) : vclass =
+  match e.T.e with
+  | T.Num v ->
+      let r = alloc_gpr ctx in
+      emit ctx (I.Li (r, imm v));
+      Gpr r
+  | T.Str s ->
+      let label = intern_string ctx s in
+      materialize ctx (Aglobal (label, 0))
+  | T.Load lv -> (
+      let addr, cleanup = gen_lvalue ctx lv in
+      let v = load_addr ctx addr lv.T.lty in
+      List.iter (free_temp ctx) cleanup;
+      v)
+  | T.Addr_of lv ->
+      let addr, cleanup = gen_lvalue ctx lv in
+      let v = materialize ctx addr in
+      List.iter (free_temp ctx) cleanup;
+      v
+  | T.Unop (op, a) -> (
+      let r = as_gpr (gen_expr ctx a) in
+      (match op with
+      | Neg -> emit ctx (I.Alu (I.SUB, r, 0, r))
+      | Bnot -> emit ctx (I.Alu (I.NOR, r, r, 0))
+      | Lnot -> emit ctx (I.Alui (I.SEQ, r, r, imm 0L)));
+      truncate_temp ctx r e.T.ty;
+      Gpr r)
+  | T.Binop (Land, a, b) -> gen_short_circuit ctx ~is_and:true a b
+  | T.Binop (Lor, a, b) -> gen_short_circuit ctx ~is_and:false a b
+  | T.Binop (op, a, b) ->
+      let ra = as_gpr (gen_expr ctx a) in
+      let rb = as_gpr (gen_expr ctx b) in
+      gen_int_binop ctx op ra rb a.T.ty;
+      free_temp ctx (Gpr rb);
+      truncate_temp ctx ra e.T.ty;
+      Gpr ra
+  | T.Ptr_add { p; i; elem } ->
+      let pv = gen_expr ctx p in
+      let ri = as_gpr (gen_expr ctx i) in
+      scale_index ctx ri (elem_size ctx elem);
+      let out = gen_ptr_add ctx pv ri in
+      free_temp ctx (Gpr ri);
+      out
+  | T.Ptr_diff { a; b; elem } ->
+      if is_v2 ctx then unsupported "pointer subtraction is not available on CHERIv2";
+      let va = gen_expr ctx a in
+      let vb = gen_expr ctx b in
+      let ra, rb =
+        if is_cheri ctx then begin
+          let ra = cap_address ctx (as_capr va) in
+          let rb = cap_address ctx (as_capr vb) in
+          free_temp ctx va;
+          free_temp ctx vb;
+          (ra, rb)
+        end
+        else (as_gpr va, as_gpr vb)
+      in
+      emit ctx (I.Alu (I.SUB, ra, ra, rb));
+      free_temp ctx (Gpr rb);
+      let esz = elem_size ctx elem in
+      if esz > 1 then
+        if esz land (esz - 1) = 0 then
+          emit ctx (I.Alui (I.SRA, ra, ra, imm (Int64.of_int (log2i esz))))
+        else begin
+          let rd = alloc_gpr ctx in
+          emit ctx (I.Li (rd, imm (Int64.of_int esz)));
+          emit ctx (I.Alu (I.DIV, ra, ra, rd));
+          free_temp ctx (Gpr rd)
+        end;
+      Gpr ra
+  | T.Ptr_cmp (op, a, b) ->
+      let va = gen_expr ctx a in
+      let vb = gen_expr ctx b in
+      let rd =
+        if is_cheri ctx then begin
+          let ca = as_capr va and cb = as_capr vb in
+          let rd = alloc_gpr ctx in
+          (match op with
+          | Eq -> emit ctx (I.Cptrcmp (I.CEQ, rd, ca, cb))
+          | Ne -> emit ctx (I.Cptrcmp (I.CNE, rd, ca, cb))
+          | Lt -> emit ctx (I.Cptrcmp (I.CLTU, rd, ca, cb))
+          | Le -> emit ctx (I.Cptrcmp (I.CLEU, rd, ca, cb))
+          | Gt -> emit ctx (I.Cptrcmp (I.CLTU, rd, cb, ca))
+          | Ge -> emit ctx (I.Cptrcmp (I.CLEU, rd, cb, ca))
+          | _ -> err "bad pointer comparison");
+          rd
+        end
+        else begin
+          let ra = as_gpr va and rb = as_gpr vb in
+          let rd = alloc_gpr ctx in
+          (match op with
+          | Eq -> emit ctx (I.Alu (I.SEQ, rd, ra, rb))
+          | Ne -> emit ctx (I.Alu (I.SNE, rd, ra, rb))
+          | Lt -> emit ctx (I.Alu (I.SLTU, rd, ra, rb))
+          | Gt -> emit ctx (I.Alu (I.SLTU, rd, rb, ra))
+          | Le ->
+              emit ctx (I.Alu (I.SLTU, rd, rb, ra));
+              emit ctx (I.Alui (I.SEQ, rd, rd, imm 0L))
+          | Ge ->
+              emit ctx (I.Alu (I.SLTU, rd, ra, rb));
+              emit ctx (I.Alui (I.SEQ, rd, rd, imm 0L))
+          | _ -> err "bad pointer comparison");
+          rd
+        end
+      in
+      free_temp ctx va;
+      free_temp ctx vb;
+      Gpr rd
+  | T.Intcap_arith (op, a, b) ->
+      let va = gen_expr ctx a in
+      let rb = as_gpr (gen_expr ctx b) in
+      if is_cheri ctx then begin
+        (match revision ctx with
+        | Cheri_core.Cap_ops.V2 ->
+            unsupported "intcap_t arithmetic (CHERIv2 supports only store and load)"
+        | Cheri_core.Cap_ops.V3 -> ());
+        let c = as_capr va in
+        (* address -> integer op -> CSetOffset relative to the base *)
+        let raddr = cap_address ctx c in
+        gen_int_binop ctx op raddr rb a.T.ty;
+        let rbase = alloc_gpr ctx in
+        emit ctx (I.Cgetbase (rbase, c));
+        emit ctx (I.Alu (I.SUB, raddr, raddr, rbase));
+        free_temp ctx (Gpr rbase);
+        let out = alloc_capr ctx in
+        emit ctx (I.Csetoffset (out, c, raddr));
+        free_temp ctx (Gpr raddr);
+        free_temp ctx va;
+        free_temp ctx (Gpr rb);
+        Capr out
+      end
+      else begin
+        let ra = as_gpr va in
+        gen_int_binop ctx op ra rb a.T.ty;
+        free_temp ctx (Gpr rb);
+        Gpr ra
+      end
+  | T.Assign (lv, rhs) -> (
+      match lv.T.lty with
+      | Tstruct _ | Tunion _ ->
+          let src_lv =
+            match rhs.T.e with
+            | T.Load src -> src
+            | _ -> err "aggregate assignment from non-lvalue"
+          in
+          let dst_addr, c1 = gen_lvalue ctx lv in
+          let src_addr, c2 = gen_lvalue ctx src_lv in
+          emit_copy ctx dst_addr src_addr lv.T.lty;
+          List.iter (free_temp ctx) (c1 @ c2);
+          (* aggregate assignment has no useful value in this subset *)
+          let r = alloc_gpr ctx in
+          emit ctx (I.Li (r, imm 0L));
+          Gpr r
+      | _ ->
+          let v = gen_expr ctx rhs in
+          let addr, cleanup = gen_lvalue ctx lv in
+          store_addr ctx addr lv.T.lty v;
+          List.iter (free_temp ctx) cleanup;
+          v)
+  | T.Call (fname, args) -> gen_call ctx fname args e.T.ty
+  | T.Fun_addr fname ->
+      let r = alloc_gpr ctx in
+      emit ctx (I.Li (r, I.Sym_addr ("fn_" ^ fname, 0L)));
+      Gpr r
+  | T.Call_ptr (fn, args) -> gen_call_common ctx (`Indirect fn) args e.T.ty
+  | T.Builtin (b, args) -> gen_builtin ctx b args
+  | T.Cast inner -> gen_cast ctx inner e.T.ty
+  | T.Cond (c, a, b) ->
+      let else_l = B.fresh_label ctx.b "cond_else" in
+      let end_l = B.fresh_label ctx.b "cond_end" in
+      let rc = as_gpr (gen_expr ctx c) in
+      emit ctx (I.Branchz (I.EQZ, rc, I.Sym else_l));
+      free_temp ctx (Gpr rc);
+      (* both branches write the same destination temp *)
+      let dest = alloc_class ctx e.T.ty in
+      let va = gen_expr ctx a in
+      move ctx dest va;
+      free_temp ctx va;
+      emit ctx (I.J (I.Sym end_l));
+      B.label ctx.b else_l;
+      let vb = gen_expr ctx b in
+      move ctx dest vb;
+      free_temp ctx vb;
+      B.label ctx.b end_l;
+      dest
+  | T.Incdec (k, lv) ->
+      let addr, cleanup = gen_lvalue ctx lv in
+      let old = load_addr ctx addr lv.T.lty in
+      let dir = match k with Preinc | Postinc -> 1 | Predec | Postdec -> -1 in
+      let updated =
+        match lv.T.lty with
+        | Tptr { pointee; _ } -> (
+            (* note: [old] stays live — post-increment returns it *)
+            let delta = dir * elem_size ctx pointee in
+            match ctx.abi with
+            | Abi.Mips ->
+                let out = alloc_gpr ctx in
+                emit ctx (I.Alui (I.ADD, out, as_gpr old, imm (Int64.of_int delta)));
+                Gpr out
+            | Abi.Cheri Cheri_core.Cap_ops.V3 ->
+                let out = alloc_capr ctx in
+                emit ctx (I.Cincoffsetimm (out, as_capr old, Int64.of_int delta));
+                Capr out
+            | Abi.Cheri Cheri_core.Cap_ops.V2 ->
+                let rd = alloc_gpr ctx in
+                emit ctx (I.Li (rd, imm (Int64.of_int delta)));
+                let out = alloc_capr ctx in
+                emit ctx (I.Cincbase (out, as_capr old, rd));
+                free_temp ctx (Gpr rd);
+                Capr out)
+        | Tintcap when is_cheri ctx ->
+            let c = as_capr old in
+            let out = alloc_capr ctx in
+            emit ctx (I.Cincoffsetimm (out, c, Int64.of_int dir));
+            Capr out
+        | ty ->
+            let r = as_gpr old in
+            let out = alloc_gpr ctx in
+            emit ctx (I.Alui (I.ADD, out, r, imm (Int64.of_int dir)));
+            truncate_temp ctx out ty;
+            Gpr out
+      in
+      store_addr ctx addr lv.T.lty updated;
+      List.iter (free_temp ctx) cleanup;
+      let result =
+        match k with
+        | Preinc | Predec ->
+            free_temp ctx old;
+            updated
+        | Postinc | Postdec ->
+            free_temp ctx updated;
+            old
+      in
+      result
+  | T.Sizeof ty ->
+      let r = alloc_gpr ctx in
+      emit ctx (I.Li (r, imm (Int64.of_int (sizeof ctx ty))));
+      Gpr r
+
+and log2i n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+and scale_index ctx r esz =
+  if esz = 1 then ()
+  else if esz land (esz - 1) = 0 then emit ctx (I.Alui (I.SLL, r, r, imm (Int64.of_int (log2i esz))))
+  else begin
+    let rs = alloc_gpr ctx in
+    emit ctx (I.Li (rs, imm (Int64.of_int esz)));
+    emit ctx (I.Alu (I.MUL, r, r, rs));
+    free_temp ctx (Gpr rs)
+  end
+
+and gen_ptr_add ctx pv rdelta : vclass =
+  match ctx.abi with
+  | Abi.Mips ->
+      let rp = as_gpr pv in
+      let out = alloc_gpr ctx in
+      emit ctx (I.Alu (I.ADD, out, rp, rdelta));
+      free_temp ctx pv;
+      Gpr out
+  | Abi.Cheri Cheri_core.Cap_ops.V3 ->
+      let cp = as_capr pv in
+      let out = alloc_capr ctx in
+      emit ctx (I.Cincoffset (out, cp, rdelta));
+      free_temp ctx pv;
+      Capr out
+  | Abi.Cheri Cheri_core.Cap_ops.V2 ->
+      let cp = as_capr pv in
+      let out = alloc_capr ctx in
+      emit ctx (I.Cincbase (out, cp, rdelta));
+      free_temp ctx pv;
+      Capr out
+
+and gen_int_binop ctx op ra rb operand_ty =
+  let signed = match operand_ty with Tint { signed; _ } -> signed | _ -> true in
+  match op with
+  | Add -> emit ctx (I.Alu ((if ctx.trapv && signed then I.ADDT else I.ADD), ra, ra, rb))
+  | Sub -> emit ctx (I.Alu (I.SUB, ra, ra, rb))
+  | Mul -> emit ctx (I.Alu (I.MUL, ra, ra, rb))
+  | Div -> emit ctx (I.Alu ((if signed then I.DIV else I.DIVU), ra, ra, rb))
+  | Mod -> emit ctx (I.Alu ((if signed then I.REM else I.REMU), ra, ra, rb))
+  | Shl -> emit ctx (I.Alu (I.SLL, ra, ra, rb))
+  | Shr -> emit ctx (I.Alu ((if signed then I.SRA else I.SRL), ra, ra, rb))
+  | Band -> emit ctx (I.Alu (I.AND, ra, ra, rb))
+  | Bor -> emit ctx (I.Alu (I.OR, ra, ra, rb))
+  | Bxor -> emit ctx (I.Alu (I.XOR, ra, ra, rb))
+  | Eq -> emit ctx (I.Alu (I.SEQ, ra, ra, rb))
+  | Ne -> emit ctx (I.Alu (I.SNE, ra, ra, rb))
+  | Lt -> emit ctx (I.Alu ((if signed then I.SLT else I.SLTU), ra, ra, rb))
+  | Gt -> emit ctx (I.Alu ((if signed then I.SLT else I.SLTU), ra, rb, ra))
+  | Le ->
+      emit ctx (I.Alu ((if signed then I.SLT else I.SLTU), ra, rb, ra));
+      emit ctx (I.Alui (I.SEQ, ra, ra, imm 0L))
+  | Ge ->
+      emit ctx (I.Alu ((if signed then I.SLT else I.SLTU), ra, ra, rb));
+      emit ctx (I.Alui (I.SEQ, ra, ra, imm 0L))
+  | Land | Lor -> err "short-circuit operator in integer path"
+
+and gen_short_circuit ctx ~is_and a b : vclass =
+  let end_l = B.fresh_label ctx.b "sc_end" in
+  let ra = as_gpr (gen_expr ctx a) in
+  emit ctx (I.Alui (I.SNE, ra, ra, imm 0L));
+  emit ctx (I.Branchz ((if is_and then I.EQZ else I.NEZ), ra, I.Sym end_l));
+  let rb = as_gpr (gen_expr ctx b) in
+  emit ctx (I.Alui (I.SNE, ra, rb, imm 0L));
+  free_temp ctx (Gpr rb);
+  B.label ctx.b end_l;
+  Gpr ra
+
+and move ctx dest src =
+  match (dest, src) with
+  | Gpr d, Gpr s -> if d <> s then emit ctx (I.Alu (I.ADD, d, s, 0))
+  | Capr d, Capr s -> if d <> s then emit ctx (I.Cmove (d, s))
+  | _ -> err "register class mismatch in move"
+
+and gen_cast ctx inner dst_ty : vclass =
+  let src_ty = inner.T.ty in
+  let v = gen_expr ctx inner in
+  match (src_ty, dst_ty) with
+  | _, Tvoid ->
+      free_temp ctx v;
+      let r = alloc_gpr ctx in
+      emit ctx (I.Li (r, imm 0L));
+      Gpr r
+  | Tint _, Tint _ ->
+      truncate_temp ctx (as_gpr v) dst_ty;
+      v
+  | (Tptr _ | Tintcap), (Tptr _ | Tintcap) when is_cheri ctx -> v
+  | (Tptr _ | Tintcap), (Tptr _ | Tintcap) -> v
+  | (Tptr _ | Tintcap), Tint _ ->
+      if is_cheri ctx then begin
+        let r = cap_address ctx (as_capr v) in
+        free_temp ctx v;
+        truncate_temp ctx r dst_ty;
+        Gpr r
+      end
+      else begin
+        truncate_temp ctx (as_gpr v) dst_ty;
+        v
+      end
+  | Tint _, Tfunptr _ | Tfunptr _, Tfunptr _ -> v
+  | Tfunptr _, Tint _ ->
+      truncate_temp ctx (as_gpr v) dst_ty;
+      v
+  | Tint _, (Tptr _ | Tintcap) ->
+      if is_v3 ctx then begin
+        (* CFromPtr rederives from the DDC; zero gives canonical null *)
+        let c = alloc_capr ctx in
+        emit ctx (I.Cfromptr (c, Abi.creg_ddc, as_gpr v));
+        free_temp ctx v;
+        Capr c
+      end
+      else if is_v2 ctx then begin
+        (* pre-CFromPtr: derive via CIncBase, with the null special
+           case the paper later moved into hardware (§4.2) *)
+        let r = as_gpr v in
+        let c = alloc_capr ctx in
+        let nonzero = B.fresh_label ctx.b "fromint_nz" in
+        let done_l = B.fresh_label ctx.b "fromint_done" in
+        emit ctx (I.Branchz (I.NEZ, r, I.Sym nonzero));
+        emit ctx (I.Cmove (c, Abi.creg_null));
+        emit ctx (I.J (I.Sym done_l));
+        B.label ctx.b nonzero;
+        emit ctx (I.Cincbase (c, Abi.creg_ddc, r));
+        B.label ctx.b done_l;
+        free_temp ctx v;
+        Capr c
+      end
+      else v
+  | _ -> err "unsupported cast in codegen"
+
+(* lvalue -> (addr, temps to free after use) *)
+and gen_lvalue ctx (lv : T.lvalue) : addr * vclass list =
+  match lv.T.l with
+  | T.Lvar name -> (
+      match List.assoc_opt name ctx.locals with
+      | Some off -> (Astack off, [])
+      | None -> err "unknown local %s" name)
+  | T.Lglobal name -> (Aglobal (name, 0), [])
+  | T.Lderef e ->
+      let v = gen_expr ctx e in
+      if is_cheri ctx then (Aptr (as_capr v, 0), [ v ]) else (Aptr (as_gpr v, 0), [ v ])
+  | T.Lfield (base, fname) ->
+      let addr, cleanup = gen_lvalue ctx base in
+      let off = L.field_offset ctx.prog (target ctx) base.T.lty fname in
+      let addr' =
+        match addr with
+        | Astack o -> Astack (o + off)
+        | Aglobal (s, o) -> Aglobal (s, o + off)
+        | Aptr (r, o) -> Aptr (r, o + off)
+      in
+      (addr', cleanup)
+
+(* field-wise aggregate copy that preserves capabilities *)
+and emit_copy ctx dst src ty =
+  let shift a off =
+    match a with
+    | Astack o -> Astack (o + off)
+    | Aglobal (s, o) -> Aglobal (s, o + off)
+    | Aptr (r, o) -> Aptr (r, o + off)
+  in
+  match ty with
+  | Tstruct _ -> (
+      match T.fields_of ctx.prog ty with
+      | Some fields ->
+          List.iter
+            (fun (fname, fty) ->
+              let off = L.field_offset ctx.prog (target ctx) ty fname in
+              emit_copy ctx (shift dst off) (shift src off) fty)
+            fields
+      | None -> err "unknown struct in copy")
+  | Tunion _ ->
+      (* copy as raw words; capability fields do not survive a union
+         copy, matching a tag-oblivious word copy of tagged memory *)
+      let size = sizeof ctx ty in
+      let rec go off =
+        if off + 8 <= size then begin
+          let v = load_addr ctx (shift src off) tlong in
+          store_addr ctx (shift dst off) tlong v;
+          free_temp ctx v;
+          go (off + 8)
+        end
+        else if off < size then begin
+          let v = load_addr ctx (shift src off) tuchar in
+          store_addr ctx (shift dst off) tuchar v;
+          free_temp ctx v;
+          go (off + 1)
+        end
+      in
+      go 0
+  | Tarray (elem, n) ->
+      let esz = sizeof ctx elem in
+      for i = 0 to n - 1 do
+        emit_copy ctx (shift dst (i * esz)) (shift src (i * esz)) elem
+      done
+  | scalar ->
+      let v = load_addr ctx src scalar in
+      store_addr ctx dst scalar v;
+      free_temp ctx v
+
+(* -- calls ---------------------------------------------------------------- *)
+
+and gen_call ctx fname args ret_ty : vclass =
+  (match T.find_func ctx.prog fname with
+  | Some _ -> ()
+  | None -> err "call to unknown function %s" fname);
+  gen_call_common ctx (`Direct fname) args ret_ty
+
+and gen_call_common ctx target args ret_ty : vclass =
+  (* 0. an indirect target is evaluated first and parked on the stack *)
+  let has_target_slot =
+    match target with
+    | `Indirect fn ->
+        let v = gen_expr ctx fn in
+        push_value ctx v;
+        free_temp ctx v;
+        true
+    | `Direct _ -> false
+  in
+  (* 1. evaluate arguments, parking each on the stack *)
+  List.iter
+    (fun a ->
+      let v = gen_expr ctx a in
+      push_value ctx v;
+      free_temp ctx v)
+    args;
+  let nargs = List.length args in
+  (* 2. save live temporaries *)
+  let saved = ctx.live in
+  List.iter (fun v -> push_value ctx v) saved;
+  let nsaved = List.length saved in
+  (* 3. load arguments into the argument registers *)
+  let int_args = ref Abi.int_arg_regs and cap_args = ref Abi.cap_arg_regs in
+  List.iteri
+    (fun i (a : T.expr) ->
+      let slot_off = (nsaved + (nargs - 1 - i)) * slot_bytes in
+      if is_cap_value ctx a.T.ty then begin
+        match !cap_args with
+        | creg :: rest ->
+            cap_args := rest;
+            load_sp ctx (Capr creg) slot_off
+        | [] -> err "too many capability arguments in call"
+      end
+      else
+        match !int_args with
+        | reg :: rest ->
+            int_args := rest;
+            load_sp ctx (Gpr reg) slot_off
+        | [] -> err "too many integer arguments in call")
+    args;
+  (* 4. call; an indirect target is popped into the scratch register r25
+     (outside the temporary pool) just before the jump *)
+  (match target with
+  | `Direct fname -> emit ctx (I.Jal (I.Sym ("fn_" ^ fname)))
+  | `Indirect _ ->
+      load_sp ctx (Gpr 25) ((nsaved + nargs) * slot_bytes);
+      emit ctx (I.Jalr 25));
+  (* 5. restore saved temporaries (top of stack = last saved) *)
+  List.iteri (fun i v -> load_sp ctx v ((nsaved - 1 - i) * slot_bytes)) saved;
+  pop_discard ctx (nsaved + nargs + if has_target_slot then 1 else 0);
+  (* 6. fetch the result *)
+  match ret_ty with
+  | Tvoid ->
+      let r = alloc_gpr ctx in
+      emit ctx (I.Li (r, imm 0L));
+      Gpr r
+  | ty when is_cap_value ctx ty ->
+      let c = alloc_capr ctx in
+      emit ctx (I.Cmove (c, Abi.creg_ret));
+      Capr c
+  | _ ->
+      let r = alloc_gpr ctx in
+      emit ctx (I.Alu (I.ADD, r, Abi.reg_ret, 0));
+      Gpr r
+
+and legacy_address ctx (v : vclass) : int =
+  (* the integer virtual address of a pointer value, for syscalls *)
+  if is_cheri ctx then begin
+    let r = cap_address ctx (as_capr v) in
+    free_temp ctx v;
+    r
+  end
+  else as_gpr v
+
+and gen_builtin ctx b args : vclass =
+  let syscall n =
+    emit ctx (I.Li (Abi.reg_ret, imm n));
+    emit ctx I.Syscall
+  in
+  match (b, args) with
+  | T.Bmalloc, [ size ] ->
+      let v = gen_expr ctx size in
+      emit ctx (I.Alu (I.ADD, 4, as_gpr v, 0));
+      free_temp ctx v;
+      syscall Machine.syscall_malloc;
+      if is_cheri ctx then begin
+        let c = alloc_capr ctx in
+        emit ctx (I.Cmove (c, 1));
+        Capr c
+      end
+      else begin
+        let r = alloc_gpr ctx in
+        emit ctx (I.Alu (I.ADD, r, Abi.reg_ret, 0));
+        Gpr r
+      end
+  | T.Bfree, [ p ] ->
+      let v = gen_expr ctx p in
+      let r = legacy_address ctx v in
+      emit ctx (I.Alu (I.ADD, 4, r, 0));
+      free_temp ctx (Gpr r);
+      syscall Machine.syscall_free;
+      let rz = alloc_gpr ctx in
+      emit ctx (I.Li (rz, imm 0L));
+      Gpr rz
+  | T.Bprint_int, [ x ] ->
+      let v = gen_expr ctx x in
+      emit ctx (I.Alu (I.ADD, 4, as_gpr v, 0));
+      free_temp ctx v;
+      syscall Machine.syscall_print_int;
+      let rz = alloc_gpr ctx in
+      emit ctx (I.Li (rz, imm 0L));
+      Gpr rz
+  | T.Bprint_char, [ x ] ->
+      let v = gen_expr ctx x in
+      emit ctx (I.Alu (I.ADD, 4, as_gpr v, 0));
+      free_temp ctx v;
+      syscall Machine.syscall_print_char;
+      let rz = alloc_gpr ctx in
+      emit ctx (I.Li (rz, imm 0L));
+      Gpr rz
+  | T.Bprint_str, [ p ] ->
+      let v = gen_expr ctx p in
+      let r = legacy_address ctx v in
+      emit ctx (I.Alu (I.ADD, 4, r, 0));
+      free_temp ctx (Gpr r);
+      syscall Machine.syscall_print_cstr;
+      let rz = alloc_gpr ctx in
+      emit ctx (I.Li (rz, imm 0L));
+      Gpr rz
+  | T.Bclock, [] ->
+      syscall Machine.syscall_clock;
+      let r = alloc_gpr ctx in
+      emit ctx (I.Alu (I.ADD, r, Abi.reg_ret, 0));
+      Gpr r
+  | T.Bexit, [ x ] ->
+      let v = gen_expr ctx x in
+      emit ctx (I.Alu (I.ADD, 4, as_gpr v, 0));
+      free_temp ctx v;
+      syscall Machine.syscall_exit;
+      let rz = alloc_gpr ctx in
+      emit ctx (I.Li (rz, imm 0L));
+      Gpr rz
+  | _ -> err "builtin arity mismatch"
+
+and intern_string ctx s =
+  match Hashtbl.find_opt ctx.strings s with
+  | Some l -> l
+  | None ->
+      let l = Printf.sprintf ".str_%d" (Hashtbl.length ctx.strings) in
+      Hashtbl.replace ctx.strings s l;
+      B.data_label ctx.b l;
+      B.data_bytes ctx.b s;
+      B.data_bytes ctx.b "\000";
+      l
+
+(* -- statements ------------------------------------------------------------ *)
+
+let rec gen_stmt ctx (s : T.stmt) =
+  match s with
+  | T.Expr e -> free_temp ctx (gen_expr ctx e)
+  | T.Decl { name; ty; init; _ } -> (
+      match init with
+      | None -> ()
+      | Some e ->
+          let v = gen_expr ctx e in
+          let off = List.assoc name ctx.locals in
+          store_addr ctx (Astack off) ty v;
+          free_temp ctx v)
+  | T.If (c, a, b) ->
+      let else_l = B.fresh_label ctx.b "else" in
+      let end_l = B.fresh_label ctx.b "endif" in
+      let rc = as_gpr (gen_expr ctx c) in
+      emit ctx (I.Branchz (I.EQZ, rc, I.Sym else_l));
+      free_temp ctx (Gpr rc);
+      List.iter (gen_stmt ctx) a;
+      emit ctx (I.J (I.Sym end_l));
+      B.label ctx.b else_l;
+      List.iter (gen_stmt ctx) b;
+      B.label ctx.b end_l
+  | T.While (c, body) ->
+      let head = B.fresh_label ctx.b "while" in
+      let exit_l = B.fresh_label ctx.b "wend" in
+      B.label ctx.b head;
+      let rc = as_gpr (gen_expr ctx c) in
+      emit ctx (I.Branchz (I.EQZ, rc, I.Sym exit_l));
+      free_temp ctx (Gpr rc);
+      gen_loop_body ctx ~continue_l:head ~break_l:exit_l body;
+      emit ctx (I.J (I.Sym head));
+      B.label ctx.b exit_l
+  | T.Dowhile (body, c) ->
+      let head = B.fresh_label ctx.b "do" in
+      let check = B.fresh_label ctx.b "docheck" in
+      let exit_l = B.fresh_label ctx.b "doend" in
+      B.label ctx.b head;
+      gen_loop_body ctx ~continue_l:check ~break_l:exit_l body;
+      B.label ctx.b check;
+      let rc = as_gpr (gen_expr ctx c) in
+      emit ctx (I.Branchz (I.NEZ, rc, I.Sym head));
+      free_temp ctx (Gpr rc);
+      B.label ctx.b exit_l
+  | T.For (init, cond, step, body) ->
+      Option.iter (gen_stmt ctx) init;
+      let head = B.fresh_label ctx.b "for" in
+      let cont = B.fresh_label ctx.b "forstep" in
+      let exit_l = B.fresh_label ctx.b "forend" in
+      B.label ctx.b head;
+      (match cond with
+      | Some c ->
+          let rc = as_gpr (gen_expr ctx c) in
+          emit ctx (I.Branchz (I.EQZ, rc, I.Sym exit_l));
+          free_temp ctx (Gpr rc)
+      | None -> ());
+      gen_loop_body ctx ~continue_l:cont ~break_l:exit_l body;
+      B.label ctx.b cont;
+      Option.iter (fun e -> free_temp ctx (gen_expr ctx e)) step;
+      emit ctx (I.J (I.Sym head));
+      B.label ctx.b exit_l
+  | T.Return None -> emit ctx (I.J (I.Sym ctx.epilogue))
+  | T.Return (Some e) ->
+      let v = gen_expr ctx e in
+      (match v with
+      | Gpr r -> emit ctx (I.Alu (I.ADD, Abi.reg_ret, r, 0))
+      | Capr c -> emit ctx (I.Cmove (Abi.creg_ret, c)));
+      free_temp ctx v;
+      emit ctx (I.J (I.Sym ctx.epilogue))
+  | T.Break -> (
+      match ctx.break_labels with
+      | l :: _ -> emit ctx (I.J (I.Sym l))
+      | [] -> err "break outside loop")
+  | T.Continue -> (
+      match ctx.continue_labels with
+      | l :: _ -> emit ctx (I.J (I.Sym l))
+      | [] -> err "continue outside loop")
+  | T.Block b -> List.iter (gen_stmt ctx) b
+
+and gen_loop_body ctx ~continue_l ~break_l body =
+  ctx.break_labels <- break_l :: ctx.break_labels;
+  ctx.continue_labels <- continue_l :: ctx.continue_labels;
+  List.iter (gen_stmt ctx) body;
+  ctx.break_labels <- List.tl ctx.break_labels;
+  ctx.continue_labels <- List.tl ctx.continue_labels
+
+(* -- functions -------------------------------------------------------------- *)
+
+let align_up_i n a = (n + a - 1) / a * a
+
+(* assign every local (params + declarations anywhere in the body) a
+   frame slot; slot 0 holds the return address *)
+let build_frame ctx (f : T.func) =
+  let locals = ref [] in
+  let offset = ref slot_bytes (* skip the ra slot *) in
+  let place name ty =
+    let a = max 8 (alignof ctx ty) in
+    offset := align_up_i !offset a;
+    locals := (name, !offset) :: !locals;
+    offset := !offset + max 8 (sizeof ctx ty)
+  in
+  List.iter (fun (name, ty) -> place name ty) f.T.params;
+  List.iter
+    (fun s ->
+      T.iter_stmt
+        (fun _ -> ())
+        (fun s -> match s with T.Decl { name; ty; _ } -> place name ty | _ -> ())
+        s)
+    f.T.body;
+  ctx.locals <- !locals;
+  ctx.frame_size <- align_up_i !offset slot_bytes
+
+let store_ra ctx =
+  if is_v3 ctx then
+    emit ctx (I.Cstore { w = I.D; rv = Abi.reg_ra; cb = Abi.creg_stack; roff = 0; off = 0 })
+  else emit ctx (I.Store { w = I.D; rv = Abi.reg_ra; rs = Abi.reg_sp; off = 0 })
+
+let load_ra ctx =
+  if is_v3 ctx then
+    emit ctx
+      (I.Cload { w = I.D; signed = false; rd = Abi.reg_ra; cb = Abi.creg_stack; roff = 0; off = 0 })
+  else emit ctx (I.Load { w = I.D; signed = false; rd = Abi.reg_ra; rs = Abi.reg_sp; off = 0 })
+
+let gen_function ctx (f : T.func) =
+  build_frame ctx f;
+  ctx.cur_push <- 0;
+  ctx.int_free <- Abi.int_temp_regs;
+  ctx.cap_free <- Abi.cap_temp_regs;
+  ctx.live <- [];
+  ctx.epilogue <- B.fresh_label ctx.b ("epilogue_" ^ f.T.fname);
+  B.label ctx.b ("fn_" ^ f.T.fname);
+  sp_adjust ctx (-ctx.frame_size);
+  store_ra ctx;
+  (* copy incoming arguments to their frame slots *)
+  let int_args = ref Abi.int_arg_regs and cap_args = ref Abi.cap_arg_regs in
+  List.iter
+    (fun (name, ty) ->
+      let off = List.assoc name ctx.locals in
+      if is_cap_value ctx ty then begin
+        match !cap_args with
+        | c :: rest ->
+            cap_args := rest;
+            store_addr ctx (Astack off) ty (Capr c)
+        | [] -> err "too many capability parameters in %s" f.T.fname
+      end
+      else
+        match !int_args with
+        | r :: rest ->
+            int_args := rest;
+            store_addr ctx (Astack off) ty (Gpr r)
+        | [] -> err "too many integer parameters in %s" f.T.fname)
+    f.T.params;
+  List.iter (gen_stmt ctx) f.T.body;
+  (* fall off the end: return 0 *)
+  emit ctx (I.Li (Abi.reg_ret, imm 0L));
+  B.label ctx.b ctx.epilogue;
+  load_ra ctx;
+  sp_adjust ctx ctx.frame_size;
+  emit ctx (I.Jr Abi.reg_ra)
+
+(* -- globals ----------------------------------------------------------------- *)
+
+let encode_int v size =
+  let b = Bytes.create size in
+  for i = 0 to size - 1 do
+    Bytes.set b i (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL)))
+  done;
+  Bytes.to_string b
+
+let emit_globals ctx =
+  List.iter
+    (fun (g : T.global) ->
+      let size = max 1 (sizeof ctx g.T.gty) in
+      B.data_align ctx.b (max 8 (alignof ctx g.T.gty));
+      B.data_label ctx.b g.T.gname;
+      match g.T.ginit with
+      | T.Izero -> B.data_zeros ctx.b size
+      | T.Iint v -> (
+          match g.T.gty with
+          | Tint { bits; _ } ->
+              B.data_bytes ctx.b (encode_int v (bits / 8));
+              B.data_zeros ctx.b (size - (bits / 8))
+          | _ ->
+              if v <> 0L then err "non-null pointer constant initializer for %s" g.T.gname;
+              B.data_zeros ctx.b size)
+      | T.Ilist vs -> (
+          match g.T.gty with
+          | Tarray ((Tint { bits; _ } as ety), n) ->
+              let esz = bits / 8 in
+              List.iter (fun v -> B.data_bytes ctx.b (encode_int v esz)) vs;
+              B.data_zeros ctx.b ((n - List.length vs) * esz);
+              ignore ety
+          | _ -> err "list initializer for non-array %s" g.T.gname)
+      | T.Istr s -> (
+          match g.T.gty with
+          | Tarray (Tint { bits = 8; _ }, n) ->
+              B.data_bytes ctx.b s;
+              B.data_zeros ctx.b (n - String.length s)
+          | Tptr _ ->
+              (* pointer to a string literal: space now, initialized by
+                 the startup stub *)
+              B.data_zeros ctx.b size
+          | _ -> err "string initializer for %s" g.T.gname))
+    ctx.prog.T.globals
+
+(* startup stub: initialize pointer globals, call main, exit *)
+let gen_start ctx =
+  B.label ctx.b "_start";
+  List.iter
+    (fun (g : T.global) ->
+      match (g.T.ginit, g.T.gty) with
+      | T.Istr s, Tptr _ ->
+          let label = intern_string ctx s in
+          let v = materialize ctx (Aglobal (label, 0)) in
+          store_addr ctx (Aglobal (g.T.gname, 0)) g.T.gty v;
+          free_temp ctx v
+      | _ -> ())
+    ctx.prog.T.globals;
+  emit ctx (I.Jal (I.Sym "fn_main"));
+  emit ctx (I.Alu (I.ADD, 4, Abi.reg_ret, 0));
+  emit ctx (I.Li (Abi.reg_ret, imm Machine.syscall_exit));
+  emit ctx I.Syscall
+
+(* -- entry points -------------------------------------------------------------- *)
+
+let compile ?(trapv = false) abi (prog : T.program) : Asm.linked =
+  let ctx =
+    {
+      abi;
+      trapv;
+      prog;
+      b = B.create ();
+      strings = Hashtbl.create 16;
+      locals = [];
+      frame_size = 0;
+      cur_push = 0;
+      int_free = Abi.int_temp_regs;
+      cap_free = Abi.cap_temp_regs;
+      live = [];
+      epilogue = "";
+      break_labels = [];
+      continue_labels = [];
+    }
+  in
+  gen_start ctx;
+  List.iter (gen_function ctx) prog.T.funcs;
+  emit_globals ctx;
+  Asm.link ctx.b
+
+let compile_source ?trapv abi src = compile ?trapv abi (Minic.Typecheck.compile src)
+
+let machine_config ?(trapv = false) abi =
+  let cfg =
+    match abi with
+    | Abi.Mips -> Machine.default_config Cheri_core.Cap_ops.V3
+    | Abi.Cheri r -> Machine.default_config r
+  in
+  { cfg with Machine.trap_on_signed_overflow = trapv }
+
+let machine_for ?config ?trapv abi linked =
+  let config = match config with Some c -> c | None -> machine_config ?trapv abi in
+  Asm.make_machine ~config linked
+
+let run ?fuel ?config ?trapv abi src =
+  let linked = compile_source ?trapv abi src in
+  let m = machine_for ?config ?trapv abi linked in
+  (Machine.run ?fuel m, m)

@@ -1,0 +1,47 @@
+(** Code generator: typed mini-C to the simulated CHERI softcore,
+    under one of the three ABIs of the paper's §5.2 evaluation
+    ({!Abi.t}): legacy MIPS, hybrid CHERIv2, or pure-capability
+    CHERIv3.
+
+    The strategy is deliberately uniform across ABIs (frame-resident
+    locals, expression temporaries, no register allocation): the
+    evaluation compares ABIs against each other on the same simulator,
+    so what matters is that pointer traffic faithfully changes width
+    (8 vs 32 bytes) and instruction selection (legacy loads vs
+    capability loads, [CIncOffset] vs [CIncBase]) between ABIs. *)
+
+exception Error of string
+(** Internal codegen limits, e.g. expression too deep for the
+    temporary pools, or too many arguments. *)
+
+val compile : ?trapv:bool -> Abi.t -> Minic.Typed.program -> Cheri_asm.Asm.linked
+(** Compile a checked program to a linked image. [trapv] selects
+    [-ftrapv]-style trapping signed addition (the paper's §3.1.1 AIR
+    discussion), emitting the [ADDT] opcode. Raises {!Error} or
+    {!Abi.Unsupported} (e.g. pointer subtraction under CHERIv2 — the
+    Table 4 porting boundary). *)
+
+val compile_source : ?trapv:bool -> Abi.t -> string -> Cheri_asm.Asm.linked
+(** Parse, type-check, and compile source text. *)
+
+val machine_config : ?trapv:bool -> Abi.t -> Cheri_isa.Machine.config
+(** The default machine configuration for an ABI: the matching ISA
+    revision and, with [trapv], the overflow-trap enable. *)
+
+val machine_for :
+  ?config:Cheri_isa.Machine.config ->
+  ?trapv:bool ->
+  Abi.t ->
+  Cheri_asm.Asm.linked ->
+  Cheri_isa.Machine.t
+(** A reset machine with the image loaded. *)
+
+val run :
+  ?fuel:int ->
+  ?config:Cheri_isa.Machine.config ->
+  ?trapv:bool ->
+  Abi.t ->
+  string ->
+  Cheri_isa.Machine.outcome * Cheri_isa.Machine.t
+(** Compile source text and run it to completion; returns the outcome
+    and the stopped machine (for output and statistics). *)

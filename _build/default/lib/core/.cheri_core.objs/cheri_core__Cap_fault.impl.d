@@ -1,0 +1,1 @@
+lib/core/cap_fault.ml: Format Perms

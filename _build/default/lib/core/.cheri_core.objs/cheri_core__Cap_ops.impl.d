@@ -1,0 +1,1 @@
+lib/core/cap_ops.ml: Bits Cap_fault Capability Cheri_util Format Int64 Perms

@@ -1,0 +1,1 @@
+lib/core/cap_ops.mli: Cap_fault Capability Format Perms

@@ -1,0 +1,1 @@
+lib/core/capability.ml: Array Bits Cap_fault Cheri_util Format Int64 Perms Printf

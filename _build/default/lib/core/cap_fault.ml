@@ -1,0 +1,24 @@
+type t =
+  | Tag_violation
+  | Bounds_violation of { addr : int64; base : int64; top : int64 }
+  | Perm_violation of Perms.perm
+  | Length_violation
+  | Alignment_violation of { addr : int64; required : int }
+  | Representation_violation
+  | Seal_violation of string
+  | Unsupported of string
+
+let pp ppf = function
+  | Tag_violation -> Format.fprintf ppf "tag violation"
+  | Bounds_violation { addr; base; top } ->
+      Format.fprintf ppf "bounds violation: 0x%Lx not in [0x%Lx, 0x%Lx)" addr base top
+  | Perm_violation p -> Format.fprintf ppf "permission violation: %a" Perms.pp (Perms.of_list p [])
+  | Length_violation -> Format.fprintf ppf "length violation"
+  | Alignment_violation { addr; required } ->
+      Format.fprintf ppf "alignment violation: 0x%Lx requires %d-byte alignment" addr required
+  | Representation_violation -> Format.fprintf ppf "representation violation"
+  | Seal_violation what -> Format.fprintf ppf "seal violation: %s" what
+  | Unsupported what -> Format.fprintf ppf "unsupported operation: %s" what
+
+let to_string t = Format.asprintf "%a" pp t
+let equal (a : t) b = a = b

@@ -1,0 +1,26 @@
+(** Faults raised by capability-checked operations.
+
+    These correspond to the hardware traps of the CHERI coprocessor:
+    every memory access and every capability manipulation either
+    succeeds or stops the machine with one of these causes. *)
+
+type t =
+  | Tag_violation  (** the capability's tag is clear — it is not valid *)
+  | Bounds_violation of { addr : int64; base : int64; top : int64 }
+      (** the access at [addr] fell outside [base, top) *)
+  | Perm_violation of Perms.perm  (** the capability lacks this right *)
+  | Length_violation
+      (** an operation tried to grow a capability's bounds *)
+  | Alignment_violation of { addr : int64; required : int }
+  | Representation_violation
+      (** CHERIv2 only: the requested pointer value cannot be encoded
+          (e.g. a cursor before the base, which v2 cannot represent) *)
+  | Seal_violation of string
+      (** using, modifying, or wrongly (un)sealing a sealed capability *)
+  | Unsupported of string
+      (** the operation does not exist in this ISA revision, e.g.
+          pointer subtraction under CHERIv2 *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

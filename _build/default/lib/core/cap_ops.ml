@@ -1,0 +1,114 @@
+open Cheri_util
+
+type revision = V2 | V3
+
+let pp_revision ppf = function
+  | V2 -> Format.pp_print_string ppf "CHERIv2"
+  | V3 -> Format.pp_print_string ppf "CHERIv3"
+
+let c_get_base (c : Capability.t) = c.base
+let c_get_len (c : Capability.t) = c.length
+let c_get_offset (c : Capability.t) = c.offset
+let c_get_perm (c : Capability.t) = c.perms
+let c_get_tag (c : Capability.t) = c.tag
+let c_and_perm = Capability.restrict_perms
+let c_clear_tag = Capability.clear_tag
+
+let sealed_err what (c : Capability.t) =
+  if c.sealed && c.tag then Error (Cap_fault.Seal_violation what) else Ok ()
+
+let c_inc_base rev (c : Capability.t) delta =
+  if not c.tag then Error Cap_fault.Tag_violation
+  else if c.sealed then Error (Cap_fault.Seal_violation "CIncBase on a sealed capability")
+  else if Bits.ugt delta c.length then Error Cap_fault.Length_violation
+  else
+    let base = Int64.add c.base delta in
+    let length = Int64.sub c.length delta in
+    let offset =
+      match rev with V2 -> 0L | V3 -> Int64.sub c.offset delta
+    in
+    Ok (Capability.with_bounds_unchecked c ~base ~length ~offset)
+
+let c_set_len (c : Capability.t) len =
+  if not c.tag then Error Cap_fault.Tag_violation
+  else if c.sealed then Error (Cap_fault.Seal_violation "CSetLen on a sealed capability")
+  else if Bits.ugt len c.length then Error Cap_fault.Length_violation
+  else Ok (Capability.with_bounds_unchecked c ~base:c.base ~length:len ~offset:c.offset)
+
+let c_inc_offset rev (c : Capability.t) delta =
+  match rev with
+  | V2 -> Error (Cap_fault.Unsupported "CIncOffset (CHERIv3 only)")
+  | V3 -> (
+      match sealed_err "CIncOffset on a sealed capability" c with
+      | Error _ as e -> e
+      | Ok () -> Ok (Capability.with_offset_unchecked c (Int64.add c.offset delta)))
+
+let c_set_offset rev (c : Capability.t) offset =
+  match rev with
+  | V2 -> Error (Cap_fault.Unsupported "CSetOffset (CHERIv3 only)")
+  | V3 -> (
+      match sealed_err "CSetOffset on a sealed capability" c with
+      | Error _ as e -> e
+      | Ok () -> Ok (Capability.with_offset_unchecked c offset))
+
+let c_ptr_cmp (a : Capability.t) (b : Capability.t) =
+  match (a.tag, b.tag) with
+  | false, true -> -1
+  | true, false -> 1
+  | _ -> Bits.ucompare (Capability.address a) (Capability.address b)
+
+let c_from_ptr ~ddc value =
+  if not (c_get_tag ddc) then Error Cap_fault.Tag_violation
+  else if value = 0L then Ok Capability.null
+  else Ok (Capability.with_offset_unchecked ddc value)
+
+let c_to_ptr (c : Capability.t) ~relative_to =
+  if not c.tag then 0L
+  else
+    let addr = Capability.address c in
+    if Capability.in_bounds relative_to ~addr ~size:0 then Int64.sub addr relative_to.Capability.base
+    else 0L
+
+let ptr_add rev c delta =
+  match rev with
+  | V3 -> c_inc_offset V3 c delta
+  | V2 ->
+      if Int64.compare delta 0L < 0 then Error Cap_fault.Representation_violation
+      else c_inc_base V2 c delta
+
+let ptr_sub rev a b =
+  match rev with
+  | V2 -> Error (Cap_fault.Unsupported "pointer subtraction")
+  | V3 -> Ok (Int64.sub (Capability.address a) (Capability.address b))
+
+(* CSeal cd, cs, ct: seal [cs] with the object type named by [ct]'s
+   address; [ct] must be tagged, unsealed, and carry the Seal
+   permission. CUnseal reverses it under the same authority, checking
+   that the authority's cursor names the matching type. *)
+let c_seal ~authority (c : Capability.t) =
+  if not (c_get_tag c) then Error Cap_fault.Tag_violation
+  else if c.sealed then Error (Cap_fault.Seal_violation "capability is already sealed")
+  else if not (c_get_tag authority) then Error Cap_fault.Tag_violation
+  else if authority.Capability.sealed then
+    Error (Cap_fault.Seal_violation "sealing authority is itself sealed")
+  else if not (Perms.mem Perms.Seal authority.Capability.perms) then
+    Error (Cap_fault.Perm_violation Perms.Seal)
+  else Ok (Capability.seal_unchecked c ~otype:(Capability.address authority))
+
+let c_unseal ~authority (c : Capability.t) =
+  if not (c_get_tag c) then Error Cap_fault.Tag_violation
+  else if not c.Capability.sealed then
+    Error (Cap_fault.Seal_violation "capability is not sealed")
+  else if not (c_get_tag authority) then Error Cap_fault.Tag_violation
+  else if authority.Capability.sealed then
+    Error (Cap_fault.Seal_violation "unsealing authority is itself sealed")
+  else if not (Perms.mem Perms.Seal authority.Capability.perms) then
+    Error (Cap_fault.Perm_violation Perms.Seal)
+  else if Capability.address authority <> c.Capability.otype then
+    Error (Cap_fault.Seal_violation "object type does not match the authority")
+  else Ok (Capability.unseal_unchecked c)
+
+let int_to_cap _rev value = Capability.with_offset_unchecked Capability.null value
+let cap_to_int c = Capability.address c
+let load_check c ~addr ~size = Capability.check_access c ~addr ~size ~perm:Perms.Load
+let store_check c ~addr ~size = Capability.check_access c ~addr ~size ~perm:Perms.Store

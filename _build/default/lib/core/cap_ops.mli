@@ -1,0 +1,107 @@
+(** Instruction-level capability semantics for the two ISA revisions.
+
+    These functions are the executable specification of the capability
+    coprocessor: the CHERIv2 operation set (monotonic base/length
+    manipulation, no pointer subtraction) and the CHERIv3 additions of
+    Table 2 ([CIncOffset], [CSetOffset], [CGetOffset], [CPtrCmp],
+    [CFromPtr], [CToPtr]). The ISA simulator and the abstract-machine
+    pointer models both execute through this module, so Table 3 and
+    Figures 1–3 share one source of truth for what each revision
+    permits. *)
+
+type revision = V2 | V3
+
+val pp_revision : Format.formatter -> revision -> unit
+
+(** {1 Field accessors (CGetBase / CGetLen / CGetOffset / CGetPerm / CGetTag)} *)
+
+val c_get_base : Capability.t -> int64
+val c_get_len : Capability.t -> int64
+val c_get_offset : Capability.t -> int64
+val c_get_perm : Capability.t -> Perms.t
+val c_get_tag : Capability.t -> bool
+
+(** {1 Monotonic manipulation (both revisions)} *)
+
+val c_and_perm : Capability.t -> Perms.t -> Capability.t
+(** Intersect permissions ([CAndPerm]); cannot add rights. *)
+
+val c_clear_tag : Capability.t -> Capability.t
+
+val c_inc_base : revision -> Capability.t -> int64 -> (Capability.t, Cap_fault.t) result
+(** [CIncBase]: advance the base by a non-negative delta and shrink the
+    length to match. Under V3 the offset is adjusted so that the
+    pointer value [base + offset] is unchanged (paper §4.1); under V2
+    the offset is pinned at zero, so the pointer moves with the base.
+    Deltas outside [0, length] fault — bounds never grow. *)
+
+val c_set_len : Capability.t -> int64 -> (Capability.t, Cap_fault.t) result
+(** Shrink the length; growing it is a {!Cap_fault.Length_violation}. *)
+
+(** {1 CHERIv3 fat-pointer operations (Table 2)} *)
+
+val c_inc_offset : revision -> Capability.t -> int64 -> (Capability.t, Cap_fault.t) result
+(** [CIncOffset]: move the cursor by any amount, in or out of bounds.
+    V3 only; under V2 this operation does not exist and faults with
+    [Unsupported]. Valid on untagged capabilities too — that is how
+    [intcap_t] arithmetic works. *)
+
+val c_set_offset : revision -> Capability.t -> int64 -> (Capability.t, Cap_fault.t) result
+
+val c_ptr_cmp : Capability.t -> Capability.t -> int
+(** [CPtrCmp]: compare two capabilities as pointers, i.e. by
+    [base + offset], unsigned. All tagged capabilities order after all
+    untagged ones, so an integer smuggled in a capability register can
+    never compare equal to a live pointer (§4.1). *)
+
+val c_from_ptr : ddc:Capability.t -> int64 -> (Capability.t, Cap_fault.t) result
+(** [CFromPtr]: rederive a capability from an integer pointer relative
+    to a base capability (normally the default data capability). The
+    integer 0 yields the canonical null capability, per C's null
+    pointer semantics. *)
+
+val c_to_ptr : Capability.t -> relative_to:Capability.t -> int64
+(** [CToPtr]: the capability's address as an offset from
+    [relative_to]'s base, or 0 when untagged or out of range — the
+    hybrid-ABI escape hatch. *)
+
+(** {1 Sealing (object capabilities)} *)
+
+val c_seal : authority:Capability.t -> Capability.t -> (Capability.t, Cap_fault.t) result
+(** [CSeal]: turn a capability into an immutable, non-dereferenceable
+    token of the object type named by [authority]'s address. The
+    authority must be tagged, unsealed, and hold {!Perms.Seal}. Sealed
+    capabilities survive in memory and registers but trap on any use
+    or modification until unsealed — the building block for
+    compartment entry points. *)
+
+val c_unseal : authority:Capability.t -> Capability.t -> (Capability.t, Cap_fault.t) result
+(** [CUnseal]: reverse {!c_seal} under the same authority; the
+    authority's address must equal the sealed capability's object
+    type. *)
+
+(** {1 Pointer-flavoured composites used by compilers and interpreters} *)
+
+val ptr_add : revision -> Capability.t -> int64 -> (Capability.t, Cap_fault.t) result
+(** C pointer addition in bytes. V3: [c_inc_offset]. V2: [c_inc_base]
+    restricted to non-negative deltas within bounds — the restriction
+    that broke tcpdump (§5.2). *)
+
+val ptr_sub : revision -> Capability.t -> Capability.t -> (int64, Cap_fault.t) result
+(** C pointer subtraction. V3: difference of addresses. V2: faults with
+    [Unsupported "pointer subtraction"] — the paper's headline
+    incompatibility. *)
+
+val int_to_cap : revision -> int64 -> Capability.t
+(** Store an integer into a capability register ([intcap_t]): the value
+    becomes the offset of the canonical null capability. *)
+
+val cap_to_int : Capability.t -> int64
+(** Read an [intcap_t] back as an integer: the address. *)
+
+val load_check :
+  Capability.t -> addr:int64 -> size:int -> (unit, Cap_fault.t) result
+(** Dereference check for a data load at absolute address [addr]. *)
+
+val store_check :
+  Capability.t -> addr:int64 -> size:int -> (unit, Cap_fault.t) result

@@ -1,0 +1,96 @@
+open Cheri_util
+
+type t = {
+  tag : bool;
+  base : int64;
+  length : int64;
+  offset : int64;
+  perms : Perms.t;
+  sealed : bool;
+  otype : int64;
+}
+
+let null =
+  {
+    tag = false;
+    base = 0L;
+    length = 0L;
+    offset = 0L;
+    perms = Perms.empty;
+    sealed = false;
+    otype = 0L;
+  }
+
+let make ~base ~length ~perms =
+  let top = Int64.add base length in
+  if Bits.ult top base then invalid_arg "Capability.make: base + length overflows";
+  { tag = true; base; length; offset = 0L; perms; sealed = false; otype = 0L }
+
+let make_untagged ~base ~length ~offset ~perms =
+  { tag = false; base; length; offset; perms; sealed = false; otype = 0L }
+let with_offset_unchecked t offset = { t with offset }
+let with_bounds_unchecked t ~base ~length ~offset = { t with base; length; offset }
+let clear_tag t = { t with tag = false }
+let seal_unchecked t ~otype = { t with sealed = true; otype }
+let unseal_unchecked t = { t with sealed = false; otype = 0L }
+let address t = Int64.add t.base t.offset
+let top t = Int64.add t.base t.length
+let is_null t = (not t.tag) && t.base = 0L && t.length = 0L && t.offset = 0L
+
+let in_bounds t ~addr ~size =
+  let last = Int64.add addr (Int64.of_int size) in
+  Bits.uge addr t.base && Bits.ule last (top t) && Bits.uge last addr
+
+let check_access t ~addr ~size ~perm =
+  if not t.tag then Error Cap_fault.Tag_violation
+  else if t.sealed then Error (Cap_fault.Seal_violation "dereference of a sealed capability")
+  else if not (Perms.mem perm t.perms) then Error (Cap_fault.Perm_violation perm)
+  else if not (in_bounds t ~addr ~size) then
+    Error (Cap_fault.Bounds_violation { addr; base = t.base; top = top t })
+  else Ok ()
+
+let restrict_perms t perms = { t with perms = Perms.inter t.perms perms }
+
+let subset_of c parent =
+  (not c.tag)
+  || (parent.tag
+     && Bits.uge c.base parent.base
+     && Bits.ule (top c) (top parent)
+     && Perms.subset c.perms parent.perms)
+
+let equal a b =
+  a.tag = b.tag && a.base = b.base && a.length = b.length && a.offset = b.offset
+  && Perms.equal a.perms b.perms
+  && a.sealed = b.sealed && a.otype = b.otype
+
+(* Spill layout (little-endian word order):
+   word 0: base
+   word 1: length
+   word 2: offset
+   word 3: perms in bits 0-7, sealed in bit 8, otype in bits 16-47 *)
+let to_words t =
+  let meta = Perms.to_bits t.perms in
+  let meta = if t.sealed then Int64.logor meta 0x100L else meta in
+  let meta = Int64.logor meta (Int64.shift_left (Int64.logand t.otype 0xffffffffL) 16) in
+  [| t.base; t.length; t.offset; meta |]
+
+let of_words ~tag words =
+  if Array.length words <> 4 then invalid_arg "Capability.of_words: expected 4 words";
+  let meta = words.(3) in
+  {
+    tag;
+    base = words.(0);
+    length = words.(1);
+    offset = words.(2);
+    perms = Perms.of_bits meta;
+    sealed = Int64.logand meta 0x100L <> 0L;
+    otype = Int64.logand (Int64.shift_right_logical meta 16) 0xffffffffL;
+  }
+
+let byte_width = 32
+
+let pp ppf t =
+  Format.fprintf ppf "cap{%c base=0x%Lx len=0x%Lx off=0x%Lx perms=%a%s}"
+    (if t.tag then 'v' else '-')
+    t.base t.length t.offset Perms.pp t.perms
+    (if t.sealed then Printf.sprintf " sealed:%Ld" t.otype else "")

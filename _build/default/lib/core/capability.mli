@@ -1,0 +1,94 @@
+(** CHERI memory capabilities.
+
+    A capability is an unforgeable, hardware-protected reference to a
+    region of virtual memory. CHERIv2 capabilities are the triple
+    [(base, length, perms)]; CHERIv3 "fat-capabilities" (the paper's
+    contribution, §4.1) add an [offset] so the capability carries a
+    full fat-pointer cursor [base + offset] that may roam outside the
+    bounds, with the bounds enforced only at dereference time.
+
+    Both revisions share this representation — a v2 capability is one
+    whose offset is pinned to zero by the v2 operation set (see
+    {!Cap_ops}). The in-memory footprint is 256 bits (four 64-bit
+    words) plus one out-of-band tag bit kept by the tagged memory. *)
+
+type t = private {
+  tag : bool;  (** valid-capability bit; cleared caps trap on use *)
+  base : int64;  (** start of the addressable region *)
+  length : int64;  (** size of the region in bytes; top = base + length *)
+  offset : int64;  (** cursor relative to base; the pointer is base+offset *)
+  perms : Perms.t;
+  sealed : bool;  (** sealed capabilities are immutable, unusable tokens *)
+  otype : int64;  (** object type a sealed capability was sealed with *)
+}
+
+val null : t
+(** The canonical null capability: all fields zero, tag clear. Casting
+    the integer 0 to a pointer yields exactly this value (§4.2), and
+    integers stored "in a pointer" ([intcap_t]) are offsets from it. *)
+
+val make : base:int64 -> length:int64 -> perms:Perms.t -> t
+(** A fresh tagged capability with offset 0. Only the allocator,
+    linker, and machine reset logic may call this — it is the moral
+    equivalent of privileged capability fabrication. Raises
+    [Invalid_argument] if [base + length] overflows. *)
+
+val make_untagged : base:int64 -> length:int64 -> offset:int64 -> perms:Perms.t -> t
+(** An untagged capability pattern, e.g. the result of loading 32 bytes
+    of plain data into a capability register. *)
+
+val with_offset_unchecked : t -> int64 -> t
+(** Replace the offset without any representability check. Used by the
+    v3 operation set, where out-of-bounds cursors are legal. *)
+
+val with_bounds_unchecked : t -> base:int64 -> length:int64 -> offset:int64 -> t
+(** Replace bounds and offset, keeping tag and permissions. This is
+    the raw datapath write used by {!Cap_ops}; monotonicity is checked
+    there, not here. *)
+
+val clear_tag : t -> t
+
+val seal_unchecked : t -> otype:int64 -> t
+(** Mark sealed with the given object type. Authority checks live in
+    {!Cap_ops.c_seal}. *)
+
+val unseal_unchecked : t -> t
+val address : t -> int64
+(** The pointer value: [base + offset] (wrapping 64-bit addition). *)
+
+val top : t -> int64
+(** One past the last addressable byte: [base + length]. *)
+
+val is_null : t -> bool
+val in_bounds : t -> addr:int64 -> size:int -> bool
+(** Whether an access of [size] bytes at absolute address [addr] lies
+    within [base, top). *)
+
+val check_access : t -> addr:int64 -> size:int -> perm:Perms.perm -> (unit, Cap_fault.t) result
+(** The dereference-time check performed by every capability load and
+    store: tag set, not sealed, permission present, whole access in
+    bounds. *)
+
+val restrict_perms : t -> Perms.t -> t
+(** Intersect permissions; never grows rights. Keeps the tag. *)
+
+val subset_of : t -> t -> bool
+(** [subset_of c parent] — the monotonicity relation: [c]'s bounds lie
+    within [parent]'s and its permissions are a subset. The offset is
+    ignored (it grants no rights). Untagged [c] is a subset of
+    anything. *)
+
+val equal : t -> t -> bool
+
+val to_words : t -> int64 array
+(** 256-bit spill encoding as four words: base, length, offset+perms
+    packed per {!of_words}. The tag travels out of band. *)
+
+val of_words : tag:bool -> int64 array -> t
+(** Inverse of {!to_words}; raises [Invalid_argument] on a wrong-sized
+    array. *)
+
+val byte_width : int
+(** Bytes occupied in memory: 32. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+type perm =
+  | Load
+  | Store
+  | Execute
+  | Load_cap
+  | Store_cap
+  | Store_local
+  | Global
+  | Seal
+
+let all_perms = [ Load; Store; Execute; Load_cap; Store_cap; Store_local; Global; Seal ]
+
+let bit_of_perm = function
+  | Load -> 0
+  | Store -> 1
+  | Execute -> 2
+  | Load_cap -> 3
+  | Store_cap -> 4
+  | Store_local -> 5
+  | Global -> 6
+  | Seal -> 7
+
+type t = int
+
+let empty = 0
+let all = List.fold_left (fun acc p -> acc lor (1 lsl bit_of_perm p)) 0 all_perms
+let add p t = t lor (1 lsl bit_of_perm p)
+let remove p t = t land lnot (1 lsl bit_of_perm p)
+let mem p t = t land (1 lsl bit_of_perm p) <> 0
+let of_list p ps = List.fold_left (fun acc q -> add q acc) (add p empty) ps
+let inter a b = a land b
+let subset a b = a land b = a
+let equal (a : t) b = a = b
+let read_only = remove Store (remove Store_cap all)
+let write_only = remove Load (remove Load_cap all)
+let data_rw = of_list Load [ Store; Global ]
+let to_bits t = Int64.of_int t
+let of_bits b = Int64.to_int (Int64.logand b 0xffL)
+
+let name = function
+  | Load -> "load"
+  | Store -> "store"
+  | Execute -> "execute"
+  | Load_cap -> "load_cap"
+  | Store_cap -> "store_cap"
+  | Store_local -> "store_local"
+  | Global -> "global"
+  | Seal -> "seal"
+
+let pp ppf t =
+  let names = List.filter_map (fun p -> if mem p t then Some (name p) else None) all_perms in
+  Format.fprintf ppf "{%s}" (String.concat "," names)

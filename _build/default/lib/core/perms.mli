@@ -1,0 +1,54 @@
+(** Capability permission bits.
+
+    A capability grants a subset of these rights to the region it
+    references (paper §4: "the permissions field permits additional
+    hardware-checked constraints"). Permissions only ever decrease as
+    capabilities are derived; see {!Capability} for the monotonicity
+    invariant. *)
+
+type perm =
+  | Load  (** read data through the capability *)
+  | Store  (** write data through the capability *)
+  | Execute  (** fetch instructions through the capability *)
+  | Load_cap  (** load tagged capabilities through the capability *)
+  | Store_cap  (** store tagged capabilities through the capability *)
+  | Store_local
+      (** store non-global capabilities; used by compartment boundaries *)
+  | Global  (** capability may be freely propagated between compartments *)
+  | Seal  (** may seal and unseal capabilities (CSeal/CUnseal authority) *)
+
+type t
+(** An immutable set of permissions. *)
+
+val empty : t
+val all : t
+(** Every permission; the rights of the initial default data capability. *)
+
+val of_list : perm -> perm list -> t
+(** [of_list p ps] builds the set containing [p] and all of [ps]. *)
+
+val add : perm -> t -> t
+val remove : perm -> t -> t
+val mem : perm -> t -> bool
+val inter : t -> t -> t
+val subset : t -> t -> bool
+(** [subset a b] is true when every permission in [a] is also in [b]. *)
+
+val equal : t -> t -> bool
+
+val read_only : t
+(** [all] minus {!Store} and {!Store_cap}: the rights conferred by the
+    paper's hardware-enforced [__input] qualifier. *)
+
+val write_only : t
+(** [all] minus {!Load} and {!Load_cap}: the [__output] qualifier. *)
+
+val data_rw : t
+(** Load and store of plain data only — no capability traffic, no
+    execute. What a sandboxed data buffer receives. *)
+
+val to_bits : t -> int64
+(** Dense bit encoding used when a capability is spilled to memory. *)
+
+val of_bits : int64 -> t
+val pp : Format.formatter -> t -> unit

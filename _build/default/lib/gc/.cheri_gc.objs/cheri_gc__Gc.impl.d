@@ -1,0 +1,1 @@
+lib/gc/gc.ml: Bits Cheri_core Cheri_tagmem Cheri_util Hashtbl Int64 Queue

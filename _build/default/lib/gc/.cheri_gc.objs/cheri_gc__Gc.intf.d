@@ -1,0 +1,1 @@
+lib/gc/gc.mli: Cheri_core Cheri_tagmem

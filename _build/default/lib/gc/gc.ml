@@ -1,0 +1,265 @@
+open Cheri_util
+module Cap = Cheri_core.Capability
+module Mem = Cheri_tagmem.Tagmem
+
+type config = { heap_base : int64; nursery_bytes : int; tenured_bytes : int }
+
+type stats = {
+  minor_collections : int;
+  major_collections : int;
+  objects_copied : int;
+  bytes_copied : int;
+  objects_promoted : int;
+}
+
+type t = {
+  mem : Mem.t;
+  cfg : config;
+  nursery_base : int64;
+  tenured_a : int64;
+  tenured_b : int64;
+  mutable nursery_next : int64;
+  mutable tenured_cur : int64;  (* base of the active tenured semispace *)
+  mutable tenured_next : int64;
+  objects : (int64, int) Hashtbl.t;  (* live object base -> size *)
+  roots : (int, Cap.t ref) Hashtbl.t;
+  mutable next_root : int;
+  remembered : (int64, unit) Hashtbl.t;  (* tenured granules that may hold young refs *)
+  mutable st : stats;
+}
+
+exception Out_of_memory
+
+let granule = 32
+
+let create mem cfg =
+  if cfg.nursery_bytes <= 0 || cfg.tenured_bytes <= 0 then invalid_arg "Gc.create: empty regions";
+  if not (Bits.is_aligned cfg.heap_base granule) then invalid_arg "Gc.create: unaligned heap base";
+  let nursery_base = cfg.heap_base in
+  let tenured_a = Int64.add nursery_base (Int64.of_int cfg.nursery_bytes) in
+  let tenured_b = Int64.add tenured_a (Int64.of_int cfg.tenured_bytes) in
+  {
+    mem;
+    cfg;
+    nursery_base;
+    tenured_a;
+    tenured_b;
+    nursery_next = nursery_base;
+    tenured_cur = tenured_a;
+    tenured_next = tenured_a;
+    objects = Hashtbl.create 64;
+    roots = Hashtbl.create 16;
+    next_root = 0;
+    remembered = Hashtbl.create 16;
+    st =
+      {
+        minor_collections = 0;
+        major_collections = 0;
+        objects_copied = 0;
+        bytes_copied = 0;
+        objects_promoted = 0;
+      };
+  }
+
+let in_nursery t addr =
+  Bits.uge addr t.nursery_base && Bits.ult addr (Int64.add t.nursery_base (Int64.of_int t.cfg.nursery_bytes))
+
+let in_region base size addr = Bits.uge addr base && Bits.ult addr (Int64.add base (Int64.of_int size))
+
+let tenured_end t = Int64.add t.tenured_cur (Int64.of_int t.cfg.tenured_bytes)
+
+(* keep a capability's rights/offset/length but move its base *)
+let rebase cap new_base =
+  Cap.with_bounds_unchecked cap ~base:new_base ~length:cap.Cap.length ~offset:cap.Cap.offset
+
+(* copy [size] bytes object, preserving capability tags granule-wise *)
+let copy_object t ~src ~dst ~size =
+  let b = Mem.load_bytes t.mem ~addr:src ~len:size in
+  Mem.store_bytes t.mem ~addr:dst b;
+  let rec go off =
+    if off < size then begin
+      let s = Int64.add src (Int64.of_int off) in
+      if Mem.tag_at t.mem s then Mem.store_cap t.mem ~addr:(Int64.add dst (Int64.of_int off)) (Mem.load_cap t.mem ~addr:s);
+      go (off + granule)
+    end
+  in
+  go 0
+
+(* bump-allocate in the active tenured semispace *)
+let tenured_alloc t size =
+  let padded = Int64.to_int (Bits.align_up (Int64.of_int (max 1 size)) granule) in
+  let next = Int64.add t.tenured_next (Int64.of_int padded) in
+  if Bits.ugt next (tenured_end t) then None
+  else begin
+    let base = t.tenured_next in
+    t.tenured_next <- next;
+    Some base
+  end
+
+(* evacuate the object a capability refers to, if its base names a live
+   object in from-space; interior-based capabilities are left alone *)
+let evacuate t forwarding worklist ~should_move (cap : Cap.t) : Cap.t =
+  if not cap.Cap.tag then cap
+  else
+    let base = cap.Cap.base in
+    match Hashtbl.find_opt forwarding base with
+    | Some nb -> rebase cap nb
+    | None -> (
+        if not (should_move base) then cap
+        else
+          match Hashtbl.find_opt t.objects base with
+          | None -> cap
+          | Some size -> (
+              match tenured_alloc t size with
+              | None -> raise Out_of_memory
+              | Some nb ->
+                  copy_object t ~src:base ~dst:nb ~size;
+                  Hashtbl.replace forwarding base nb;
+                  Hashtbl.remove t.objects base;
+                  Hashtbl.replace t.objects nb size;
+                  Queue.add (nb, size) worklist;
+                  t.st <-
+                    {
+                      t.st with
+                      objects_copied = t.st.objects_copied + 1;
+                      bytes_copied = t.st.bytes_copied + size;
+                    };
+                  rebase cap nb))
+
+let scan_object t forwarding worklist ~should_move base size =
+  let rec go off =
+    if off < size then begin
+      let a = Int64.add base (Int64.of_int off) in
+      if Mem.tag_at t.mem a then begin
+        let c = Mem.load_cap t.mem ~addr:a in
+        let c' = evacuate t forwarding worklist ~should_move c in
+        if not (Cap.equal c c') then Mem.store_cap t.mem ~addr:a c'
+      end;
+      go (off + granule)
+    end
+  in
+  go 0
+
+let drain t forwarding worklist ~should_move =
+  while not (Queue.is_empty worklist) do
+    let base, size = Queue.pop worklist in
+    scan_object t forwarding worklist ~should_move base size
+  done
+
+let clear_region_tags t base size =
+  let rec go off =
+    if off < size then begin
+      Mem.clear_tag_at t.mem (Int64.add base (Int64.of_int off));
+      go (off + granule)
+    end
+  in
+  go 0
+
+let collect_minor t =
+  let forwarding = Hashtbl.create 64 in
+  let worklist = Queue.create () in
+  let should_move = in_nursery t in
+  (* roots *)
+  Hashtbl.iter
+    (fun _ cell -> cell := evacuate t forwarding worklist ~should_move !cell)
+    t.roots;
+  (* old-to-young pointers recorded by the write barrier *)
+  Hashtbl.iter
+    (fun addr () ->
+      if Mem.tag_at t.mem addr then begin
+        let c = Mem.load_cap t.mem ~addr in
+        let c' = evacuate t forwarding worklist ~should_move c in
+        if not (Cap.equal c c') then Mem.store_cap t.mem ~addr c'
+      end)
+    t.remembered;
+  Hashtbl.reset t.remembered;
+  drain t forwarding worklist ~should_move;
+  (* everything left in the nursery is garbage: detag and reset *)
+  let promoted = Hashtbl.length forwarding in
+  Hashtbl.iter (fun base _ -> if in_nursery t base then Hashtbl.remove t.objects base) (Hashtbl.copy t.objects);
+  clear_region_tags t t.nursery_base t.cfg.nursery_bytes;
+  t.nursery_next <- t.nursery_base;
+  t.st <-
+    {
+      t.st with
+      minor_collections = t.st.minor_collections + 1;
+      objects_promoted = t.st.objects_promoted + promoted;
+    }
+
+let collect_major t =
+  (* full collection into the other semispace; empties the nursery too *)
+  let from_base = t.tenured_cur in
+  let to_base = if t.tenured_cur = t.tenured_a then t.tenured_b else t.tenured_a in
+  t.tenured_cur <- to_base;
+  t.tenured_next <- to_base;
+  let forwarding = Hashtbl.create 64 in
+  let worklist = Queue.create () in
+  let should_move base = in_nursery t base || in_region from_base t.cfg.tenured_bytes base in
+  Hashtbl.iter
+    (fun _ cell -> cell := evacuate t forwarding worklist ~should_move !cell)
+    t.roots;
+  drain t forwarding worklist ~should_move;
+  (* drop unreached objects in both from-spaces *)
+  Hashtbl.iter
+    (fun base _ ->
+      if in_nursery t base || in_region from_base t.cfg.tenured_bytes base then
+        Hashtbl.remove t.objects base)
+    (Hashtbl.copy t.objects);
+  clear_region_tags t from_base t.cfg.tenured_bytes;
+  clear_region_tags t t.nursery_base t.cfg.nursery_bytes;
+  t.nursery_next <- t.nursery_base;
+  Hashtbl.reset t.remembered;
+  t.st <- { t.st with major_collections = t.st.major_collections + 1 }
+
+let alloc t ~size =
+  let padded = Int64.to_int (Bits.align_up (Int64.of_int (max 1 size)) granule) in
+  let nursery_end = Int64.add t.nursery_base (Int64.of_int t.cfg.nursery_bytes) in
+  let try_nursery () =
+    let next = Int64.add t.nursery_next (Int64.of_int padded) in
+    if Bits.ule next nursery_end then begin
+      let base = t.nursery_next in
+      t.nursery_next <- next;
+      Some base
+    end
+    else None
+  in
+  let base =
+    match try_nursery () with
+    | Some b -> b
+    | None -> (
+        collect_minor t;
+        match try_nursery () with
+        | Some b -> b
+        | None -> (
+            (* object larger than the nursery: tenured allocation *)
+            match tenured_alloc t size with
+            | Some b -> b
+            | None -> (
+                collect_major t;
+                match tenured_alloc t size with Some b -> b | None -> raise Out_of_memory)))
+  in
+  Hashtbl.replace t.objects base padded;
+  Cap.make ~base ~length:(Int64.of_int size) ~perms:Cheri_core.Perms.all
+
+type root = { id : int; cell : Cap.t ref; owner : t }
+
+let new_root t cap =
+  let id = t.next_root in
+  t.next_root <- id + 1;
+  let cell = ref cap in
+  Hashtbl.replace t.roots id cell;
+  { id; cell; owner = t }
+
+let root_get r = !(r.cell)
+let root_set r c = r.cell := c
+let drop_root t r = Hashtbl.remove t.roots r.id
+let write_barrier t addr = Hashtbl.replace t.remembered (Bits.align_down addr granule) ()
+let stats t = t.st
+let live_objects t = Hashtbl.length t.objects
+let nursery_used t = Int64.to_int (Int64.sub t.nursery_next t.nursery_base)
+let tenured_used t = Int64.to_int (Int64.sub t.tenured_next t.tenured_cur)
+
+let is_live_address t addr =
+  Hashtbl.fold
+    (fun base size acc -> acc || (Bits.uge addr base && Bits.ult addr (Int64.add base (Int64.of_int size))))
+    t.objects false

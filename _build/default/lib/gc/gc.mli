@@ -1,0 +1,82 @@
+(** A relocating, generational, copying garbage collector over tagged
+    memory — the collector sketched in §4.2 of the paper: "We have
+    implemented a relocating generational garbage collector for
+    CHERIv3 that uses the tagged memory to differentiate between
+    capabilities and other data."
+
+    Tagged memory makes the collector *accurate without cooperation*:
+    a granule's tag says definitively whether it holds a pointer, so
+    the collector never mistakes an integer for a reference (the §3.6
+    "garbage hoarding" problem of conservative collectors) and never
+    misses a reference either — integers cannot hide capabilities.
+
+    The heap is split into a nursery and two tenured semispaces.
+    Allocation bumps the nursery; a minor collection copies live
+    nursery objects into tenured space (promotion on first survival);
+    a major collection copies live tenured objects into the other
+    semispace. Roots live in explicit {!root} cells, standing in for
+    the capability register file. Stores of capabilities into tenured
+    objects must call {!write_barrier}, exactly like a hardware or
+    compiler-inserted barrier.
+
+    Relocation caveats (faithful to the paper's discussion):
+    - only capabilities whose base is an object base are relocated;
+      capabilities re-derived with a moved base (CHERIv2-style interior
+      pointers) go stale after a collection — "determining how much
+      software will be broken by this is ongoing work";
+    - address-based comparisons and hashes break across collections
+      (§3.6), which {!address_changed_since} lets tests demonstrate. *)
+
+type t
+
+type config = {
+  heap_base : int64;
+  nursery_bytes : int;
+  tenured_bytes : int;  (** per semispace *)
+}
+
+val create : Cheri_tagmem.Tagmem.t -> config -> t
+
+exception Out_of_memory
+
+val alloc : t -> size:int -> Cheri_core.Capability.t
+(** A fresh, exactly-bounded, tagged capability. Triggers a minor
+    collection (then a major one) when the nursery (then tenured
+    space) is full. Raises {!Out_of_memory} if the live set does not
+    fit. *)
+
+(** {1 Roots} *)
+
+type root
+
+val new_root : t -> Cheri_core.Capability.t -> root
+val root_get : root -> Cheri_core.Capability.t
+val root_set : root -> Cheri_core.Capability.t -> unit
+val drop_root : t -> root -> unit
+
+val write_barrier : t -> int64 -> unit
+(** [write_barrier t addr] — record that the granule at [addr] (in
+    tenured space) may now hold a capability into the nursery. Call
+    after any capability store into a tenured object. *)
+
+(** {1 Collection} *)
+
+type stats = {
+  minor_collections : int;
+  major_collections : int;
+  objects_copied : int;
+  bytes_copied : int;
+  objects_promoted : int;
+}
+
+val collect_minor : t -> unit
+val collect_major : t -> unit
+val stats : t -> stats
+
+val live_objects : t -> int
+val nursery_used : t -> int
+val tenured_used : t -> int
+
+val is_live_address : t -> int64 -> bool
+(** Whether an address currently lies inside a live object (for
+    tests). *)

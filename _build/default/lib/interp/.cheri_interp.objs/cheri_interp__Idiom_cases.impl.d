@@ -1,0 +1,1 @@
+lib/interp/idiom_cases.ml:

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Bits Buffer Char Cheri_models Cheri_util Format Hashtbl Int64 List Minic Option String

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Cheri_models Format Minic

@@ -1,0 +1,1 @@
+lib/interp/table3.ml: Cheri_models Format Idiom_cases Interp List

@@ -1,0 +1,234 @@
+(* The test cases extracted from the idiom survey (§2), one mini-C
+   program per column of Table 3. Each returns 0 when the idiom
+   worked. Idioms that can be expressed through [intcap_t] also have a
+   variant using it — the "(yes)" entries of Table 3 are exactly the
+   cases that work only through that type. *)
+
+type idiom = Deconst | Container | Sub | Ii | Int_ | Ia | Mask | Wide
+
+let all = [ Deconst; Container; Sub; Ii; Int_; Ia; Mask; Wide ]
+
+let name = function
+  | Deconst -> "DECONST"
+  | Container -> "CONTAINER"
+  | Sub -> "SUB"
+  | Ii -> "II"
+  | Int_ -> "INT"
+  | Ia -> "IA"
+  | Mask -> "MASK"
+  | Wide -> "WIDE"
+
+let describe = function
+  | Deconst -> "remove const from a pointer and write through it"
+  | Container -> "recover an enclosing struct from a member pointer"
+  | Sub -> "arbitrary pointer subtraction"
+  | Ii -> "out-of-bounds intermediate results"
+  | Int_ -> "store a pointer in an integer and recover it"
+  | Ia -> "integer arithmetic on a pointer value"
+  | Mask -> "mask flag bits in and out of a pointer"
+  | Wide -> "store a pointer in a 32-bit integer"
+
+let deconst_src =
+  {|
+int main(void) {
+  int x = 5;
+  const int *cp = &x;
+  int *p = (int *)cp;   /* cast away const (like memchr does) */
+  *p = 6;
+  return x == 6 ? 0 : 1;
+}
+|}
+
+let container_src =
+  {|
+struct pair { long a; long b; };
+
+long from_member(long *pb) {
+  /* the container_of macro: step back from a member to the struct */
+  struct pair *r = (struct pair *)((char *)pb - sizeof(long));
+  return r->a;
+}
+
+int main(void) {
+  struct pair s;
+  s.a = 41;
+  s.b = 7;
+  return from_member(&s.b) == 41 ? 0 : 1;
+}
+|}
+
+let sub_src =
+  {|
+int main(void) {
+  char *buf = (char *)malloc(16);
+  buf[0] = 'x';
+  char *end = buf + 16;
+  char *p = end - 16;    /* subtract an integer from a pointer */
+  long n = end - buf;    /* subtract two pointers */
+  return (*p == 'x' && n == 16) ? 0 : 1;
+}
+|}
+
+let ii_src =
+  {|
+int main(void) {
+  long *a = (long *)malloc(8 * sizeof(long));
+  a[2] = 42;
+  long *p = a + 100;   /* invalid intermediate: far out of bounds */
+  p = p - 98;          /* back inside before the dereference */
+  return *p == 42 ? 0 : 1;
+}
+|}
+
+let int_src =
+  {|
+int main(void) {
+  long *x = (long *)malloc(sizeof(long));
+  *x = 7;
+  long addr = (long)x;   /* pointer at rest in a plain integer */
+  long *y = (long *)addr;
+  return *y == 7 ? 0 : 1;
+}
+|}
+
+let int_intcap_src =
+  {|
+int main(void) {
+  long *x = (long *)malloc(sizeof(long));
+  *x = 7;
+  intcap_t addr = (intcap_t)x;   /* pointer at rest in intcap_t */
+  long *y = (long *)addr;
+  return *y == 7 ? 0 : 1;
+}
+|}
+
+let ia_src =
+  {|
+int main(void) {
+  char *buf = (char *)malloc(16);
+  buf[5] = 'z';
+  long a = (long)buf;
+  a = a + 5;              /* arithmetic in integer representation */
+  char *p = (char *)a;
+  return *p == 'z' ? 0 : 1;
+}
+|}
+
+let ia_intcap_src =
+  {|
+int main(void) {
+  char *buf = (char *)malloc(16);
+  buf[5] = 'z';
+  intcap_t a = (intcap_t)buf;
+  a = a + 5;
+  char *p = (char *)a;
+  return *p == 'z' ? 0 : 1;
+}
+|}
+
+let mask_src =
+  {|
+int main(void) {
+  long *x = (long *)malloc(64);
+  x[0] = 9;
+  long a = (long)x;
+  long tagged = a | 1;          /* stash a flag in an alignment bit */
+  long *back = (long *)(tagged & ~1);
+  return *back == 9 ? 0 : 1;
+}
+|}
+
+let mask_intcap_src =
+  {|
+int main(void) {
+  long *x = (long *)malloc(64);
+  x[0] = 9;
+  intcap_t a = (intcap_t)x;
+  intcap_t tagged = a | 1;
+  long *back = (long *)(tagged & ~1);
+  return *back == 9 ? 0 : 1;
+}
+|}
+
+let wide_src =
+  {|
+int main(void) {
+  long *x = (long *)malloc(8);
+  *x = 3;
+  unsigned int small = (unsigned int)(long)x;   /* 32-bit truncation */
+  long *y = (long *)(long)small;
+  return *y == 3 ? 0 : 1;
+}
+|}
+
+let source = function
+  | Deconst -> deconst_src
+  | Container -> container_src
+  | Sub -> sub_src
+  | Ii -> ii_src
+  | Int_ -> int_src
+  | Ia -> ia_src
+  | Mask -> mask_src
+  | Wide -> wide_src
+
+(* the variant through intcap_t, where one exists *)
+let intcap_source = function
+  | Int_ -> Some int_intcap_src
+  | Ia -> Some ia_intcap_src
+  | Mask -> Some mask_intcap_src
+  | Deconst | Container | Sub | Ii | Wide -> None
+
+(* -- supplementary idioms discussed in the paper but not in Table 3 ------- *)
+
+(* §2 "Last Word": word-at-a-time strlen reads past the object's end
+   inside the final aligned word; works under page-granularity
+   protection, not under byte-granularity bounds *)
+let last_word_src =
+  {|
+long fast_strlen(const char *s) {
+  const unsigned long *w = (const unsigned long *)s;
+  long n = 0;
+  while (1) {
+    unsigned long v = *w;
+    for (int i = 0; i < 8; i++)
+      if (((v >> (i * 8)) & 255) == 0) return n + i;
+    n = n + 8;
+    w = w + 1;
+  }
+  return n;
+}
+int main(void) {
+  char *buf = (char *)malloc(11);
+  for (int i = 0; i < 8; i++) buf[i] = 'a' + i;
+  buf[8] = 0;
+  return fast_strlen(buf) == 8 ? 0 : 1;
+}
+|}
+
+(* §3.5 xor linked list: the link field carries prev^next, so at most
+   one pointer's provenance survives *)
+let xor_list_src =
+  {|
+struct xnode { intcap_t link; long v; };
+int main(void) {
+  struct xnode *a = (struct xnode *)malloc(sizeof(struct xnode));
+  struct xnode *b = (struct xnode *)malloc(sizeof(struct xnode));
+  struct xnode *c = (struct xnode *)malloc(sizeof(struct xnode));
+  a->v = 1; b->v = 2; c->v = 3;
+  a->link = (intcap_t)0 ^ (intcap_t)b;
+  b->link = (intcap_t)a ^ (intcap_t)c;
+  c->link = (intcap_t)b ^ (intcap_t)0;
+  long sum = 0;
+  struct xnode *prev = (struct xnode *)0;
+  struct xnode *cur = a;
+  while (cur) {
+    sum = sum + cur->v;
+    struct xnode *next = (struct xnode *)(cur->link ^ (intcap_t)prev);
+    prev = cur;
+    cur = next;
+  }
+  return sum == 6 ? 0 : 1;
+}
+|}
+
+let supplementary = [ ("Last Word", last_word_src); ("xor list", xor_list_src) ]

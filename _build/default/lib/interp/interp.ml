@@ -1,0 +1,509 @@
+(* The C abstract machine interpreter, parameterized by pointer model.
+
+   This is the paper's "translator for C code into a simple abstract
+   machine interpreter ... runs very slowly but allows us to quickly
+   modify the abstract machine and run the test cases extracted from
+   the idioms to see which fail" (§5). Instantiate {!Make} with any
+   {!Cheri_models.Model.S} to get an executable interpretation of the
+   abstract machine; run the same program under several models to see
+   where it keeps working. *)
+
+open Cheri_util
+module Fault = Cheri_models.Fault
+module T = Minic.Typed
+module L = Minic.Layout
+open Minic.Ast
+
+type outcome =
+  | Exit of int64 * string  (** main's return value (or exit code), program output *)
+  | Fault of Fault.t * string  (** the fault, plus output so far *)
+  | Stuck of string  (** interpreter-level error: UB with no model account *)
+
+let pp_outcome ppf = function
+  | Exit (code, _) -> Format.fprintf ppf "exit(%Ld)" code
+  | Fault (f, _) -> Format.fprintf ppf "fault: %a" Fault.pp f
+  | Stuck msg -> Format.fprintf ppf "stuck: %s" msg
+
+module Make (M : Cheri_models.Model.S) = struct
+  (* VDirty marks an integer that went through arithmetic since it was
+     derived from a pointer; models whose metadata propagation is
+     compiler-driven lose track of such values (see Model.of_int). *)
+  type value = VInt of int64 | VDirty of int64 | VPtr of M.ptr | VVoid
+
+  exception Fault_exn of Fault.t
+  exception Runtime of string
+  exception Return_exn of value
+  exception Break_exn
+  exception Continue_exn
+  exception Exit_exn of int64
+
+  type state = {
+    prog : T.program;
+    heap : M.heap;
+    globals : (string, M.ptr) Hashtbl.t;
+    strings : (string, M.ptr) Hashtbl.t;
+    out : Buffer.t;
+    mutable steps : int;
+    max_steps : int;
+  }
+
+  let unwrap = function Ok v -> v | Error f -> raise (Fault_exn f)
+  let sizeof st ty = L.size_of st.prog M.target ty
+  let elem_size st ty = L.elem_size st.prog M.target ty
+
+  let truncate_for ty v =
+    match ty with
+    | Tint { bits; signed } ->
+        if signed then Bits.sign_extend v ~width:bits else Bits.zero_extend v ~width:bits
+    | _ -> v
+
+  let as_int = function
+    | VInt v | VDirty v -> v
+    | VPtr _ -> raise (Runtime "expected an integer, found a pointer")
+    | VVoid -> raise (Runtime "expected an integer, found void")
+
+  let is_dirty = function VDirty _ -> true | VInt _ | VPtr _ | VVoid -> false
+
+  let as_ptr = function
+    | VPtr p -> p
+    | VInt _ | VDirty _ -> raise (Runtime "expected a pointer, found an integer")
+    | VVoid -> raise (Runtime "expected a pointer, found void")
+
+  (* Const objects (string literals, const globals) must still be
+     initialized once. We allocate them writable, fill them, and rely
+     on the const qualifier of their C type for checking: this matches
+     hardware, where the loader writes read-only segments before
+     protection is enabled. To keep models honest we instead allocate
+     non-const and give out const-qualified pointers. *)
+
+  let alloc_string st s =
+    match Hashtbl.find_opt st.strings s with
+    | Some p -> p
+    | None ->
+        let n = String.length s in
+        let p = unwrap (M.alloc st.heap ~size:(Int64.of_int (n + 1)) ~const:false) in
+        String.iteri
+          (fun i c ->
+            let bp = unwrap (M.add st.heap p (Int64.of_int i)) in
+            unwrap (M.store st.heap bp ~size:1 (Int64.of_int (Char.code c))))
+          s;
+        let last = unwrap (M.add st.heap p (Int64.of_int n)) in
+        unwrap (M.store st.heap last ~size:1 0L);
+        let p = if M.enforces_const then M.make_const p else p in
+        Hashtbl.replace st.strings s p;
+        p
+
+  (* -- lvalues ----------------------------------------------------------- *)
+
+  let rec lv_addr st env (lv : T.lvalue) : M.ptr =
+    match lv.T.l with
+    | T.Lvar name -> (
+        match Hashtbl.find_opt env name with
+        | Some p -> p
+        | None -> raise (Runtime ("unbound local " ^ name)))
+    | T.Lglobal name -> (
+        match Hashtbl.find_opt st.globals name with
+        | Some p -> p
+        | None -> raise (Runtime ("unbound global " ^ name)))
+    | T.Lderef e -> as_ptr (eval st env e)
+    | T.Lfield (base, fname) ->
+        let bp = lv_addr st env base in
+        let off = Int64.of_int (L.field_offset st.prog M.target base.T.lty fname) in
+        let fty = L.field_type st.prog base.T.lty fname in
+        let size = Int64.of_int (max 1 (sizeof st fty)) in
+        unwrap (M.field st.heap bp ~off ~size)
+
+  and load_value st (p : M.ptr) (ty : ty) : value =
+    match ty with
+    | Tptr _ | Tintcap -> VPtr (unwrap (M.load_ptr st.heap p))
+    | Tfunptr _ ->
+        (* function pointers are opaque code indices, not data caps *)
+        VInt (unwrap (M.load st.heap p ~size:8))
+    | Tint { bits; _ } -> VInt (truncate_for ty (unwrap (M.load st.heap p ~size:(bits / 8))))
+    | Tvoid -> VVoid
+    | Tstruct _ | Tunion _ | Tarray _ ->
+        raise (Runtime "aggregate loaded outside of aggregate assignment")
+
+  and store_value st (p : M.ptr) (ty : ty) (v : value) : unit =
+    match ty with
+    | Tptr _ | Tintcap -> unwrap (M.store_ptr st.heap p (as_ptr v))
+    | Tfunptr _ -> unwrap (M.store st.heap p ~size:8 (as_int v))
+    | Tint { bits; _ } -> unwrap (M.store st.heap p ~size:(bits / 8) (as_int v))
+    | Tvoid | Tstruct _ | Tunion _ | Tarray _ -> raise (Runtime "bad scalar store")
+
+  (* -- expressions ------------------------------------------------------- *)
+
+  and eval st env (e : T.expr) : value =
+    st.steps <- st.steps + 1;
+    if st.steps > st.max_steps then raise (Runtime "step limit exceeded");
+    match e.T.e with
+    | T.Num v -> VInt v
+    | T.Str s -> VPtr (alloc_string st s)
+    | T.Load lv -> load_value st (lv_addr st env lv) lv.T.lty
+    | T.Addr_of lv ->
+        let p = lv_addr st env lv in
+        let p = if lv.T.lconst && M.enforces_const then M.make_const p else p in
+        VPtr p
+    | T.Unop (op, a) -> (
+        let v = as_int (eval st env a) in
+        match op with
+        | Neg -> VDirty (truncate_for e.T.ty (Int64.neg v))
+        | Bnot -> VDirty (truncate_for e.T.ty (Int64.lognot v))
+        | Lnot -> VInt (if v = 0L then 1L else 0L))
+    | T.Binop (Land, a, b) ->
+        if as_int (eval st env a) <> 0L && as_int (eval st env b) <> 0L then VInt 1L else VInt 0L
+    | T.Binop (Lor, a, b) ->
+        if as_int (eval st env a) <> 0L || as_int (eval st env b) <> 0L then VInt 1L else VInt 0L
+    | T.Binop (op, a, b) ->
+        let x = as_int (eval st env a) in
+        let y = as_int (eval st env b) in
+        VDirty (int_binop e.T.ty a.T.ty op x y)
+    | T.Ptr_add { p; i; elem } ->
+        let pv = as_ptr (eval st env p) in
+        let iv = as_int (eval st env i) in
+        let delta = Int64.mul iv (Int64.of_int (elem_size st elem)) in
+        VPtr (unwrap (M.add st.heap pv delta))
+    | T.Ptr_diff { a; b; elem } ->
+        let pa = as_ptr (eval st env a) in
+        let pb = as_ptr (eval st env b) in
+        let bytes = unwrap (M.diff st.heap pa pb) in
+        VInt (Int64.div bytes (Int64.of_int (elem_size st elem)))
+    | T.Ptr_cmp (op, a, b) ->
+        let pa = as_ptr (eval st env a) in
+        let pb = as_ptr (eval st env b) in
+        let c = unwrap (M.cmp st.heap pa pb) in
+        let holds =
+          match op with
+          | Eq -> c = 0
+          | Ne -> c <> 0
+          | Lt -> c < 0
+          | Le -> c <= 0
+          | Gt -> c > 0
+          | Ge -> c >= 0
+          | _ -> raise (Runtime "bad pointer comparison operator")
+        in
+        VInt (if holds then 1L else 0L)
+    | T.Intcap_arith (op, a, b) ->
+        let pa =
+          match eval st env a with
+          | VPtr p -> p
+          | VInt v | VDirty v -> M.intcap_of_int st.heap v
+          | VVoid -> raise (Runtime "void in intcap arithmetic")
+        in
+        let y = as_int (eval st env b) in
+        let f x y = int_binop tlong tlong op x y in
+        VPtr (unwrap (M.intcap_arith st.heap ~f pa y))
+    | T.Assign (lv, rhs) -> (
+        match lv.T.lty with
+        | Tstruct _ | Tunion _ ->
+            let src =
+              match rhs.T.e with
+              | T.Load src_lv -> lv_addr st env src_lv
+              | _ -> raise (Runtime "aggregate assignment from non-lvalue")
+            in
+            let dst = lv_addr st env lv in
+            unwrap (M.copy st.heap ~dst ~src ~len:(Int64.of_int (sizeof st lv.T.lty)));
+            VVoid
+        | _ ->
+            let v = eval st env rhs in
+            store_value st (lv_addr st env lv) lv.T.lty v;
+            v)
+    | T.Call (name, args) -> call st name (List.map (eval st env) args)
+    | T.Fun_addr name -> VInt (fn_index st name)
+    | T.Call_ptr (fn, args) ->
+        let idx = as_int (eval st env fn) in
+        let name = fn_of_index st idx in
+        call st name (List.map (eval st env) args)
+    | T.Builtin (b, args) -> builtin st env b (List.map (eval st env) args)
+    | T.Cast inner -> cast st (eval st env inner) ~src:inner.T.ty ~dst:e.T.ty
+    | T.Cond (c, a, b) ->
+        if as_int (eval st env c) <> 0L then eval st env a else eval st env b
+    | T.Incdec (k, lv) -> (
+        let p = lv_addr st env lv in
+        let old = load_value st p lv.T.lty in
+        let dir = match k with Preinc | Postinc -> 1L | Predec | Postdec -> -1L in
+        let updated =
+          match lv.T.lty with
+          | Tptr { pointee; _ } ->
+              let delta = Int64.mul dir (Int64.of_int (elem_size st pointee)) in
+              VPtr (unwrap (M.add st.heap (as_ptr old) delta))
+          | Tintcap -> VPtr (unwrap (M.intcap_arith st.heap ~f:Int64.add (as_ptr old) dir))
+          | ty -> VDirty (truncate_for ty (Int64.add (as_int old) dir))
+        in
+        store_value st p lv.T.lty updated;
+        match k with Preinc | Predec -> updated | Postinc | Postdec -> old)
+    | T.Sizeof ty -> VInt (Int64.of_int (sizeof st ty))
+
+  and int_binop result_ty operand_ty op x y =
+    let signed = match operand_ty with Tint { signed; _ } -> signed | _ -> true in
+    let raw =
+      match op with
+      | Add -> Int64.add x y
+      | Sub -> Int64.sub x y
+      | Mul -> Int64.mul x y
+      | Div ->
+          if y = 0L then raise (Fault_exn (Fault.Invalid_pointer "division by zero"))
+          else if signed then Int64.div x y
+          else Int64.unsigned_div x y
+      | Mod ->
+          if y = 0L then raise (Fault_exn (Fault.Invalid_pointer "division by zero"))
+          else if signed then Int64.rem x y
+          else Int64.unsigned_rem x y
+      | Shl -> Int64.shift_left x (Int64.to_int y land 63)
+      | Shr ->
+          if signed then Int64.shift_right x (Int64.to_int y land 63)
+          else
+            (* logical shift of the value truncated to its width *)
+            Int64.shift_right_logical
+              (match operand_ty with
+              | Tint { bits; _ } -> Bits.zero_extend x ~width:bits
+              | _ -> x)
+              (Int64.to_int y land 63)
+      | Band -> Int64.logand x y
+      | Bor -> Int64.logor x y
+      | Bxor -> Int64.logxor x y
+      | Eq -> if x = y then 1L else 0L
+      | Ne -> if x <> y then 1L else 0L
+      | Lt -> if (if signed then Int64.compare x y else Bits.ucompare x y) < 0 then 1L else 0L
+      | Le -> if (if signed then Int64.compare x y else Bits.ucompare x y) <= 0 then 1L else 0L
+      | Gt -> if (if signed then Int64.compare x y else Bits.ucompare x y) > 0 then 1L else 0L
+      | Ge -> if (if signed then Int64.compare x y else Bits.ucompare x y) >= 0 then 1L else 0L
+      | Land | Lor -> raise (Runtime "logical operator in integer path")
+    in
+    match result_ty with Tint _ -> truncate_for result_ty raw | _ -> raw
+
+  and cast st v ~src ~dst : value =
+    match (src, dst) with
+    | _, Tvoid -> VVoid
+    | Tint _, Tint _ ->
+        let t = truncate_for dst (as_int v) in
+        if is_dirty v then VDirty t else VInt t
+    | Tptr a, Tptr b ->
+        let p = as_ptr v in
+        let p =
+          if b.pointee_const && (not a.pointee_const) && M.enforces_const then M.make_const p
+          else p
+        in
+        VPtr p
+    | Tptr _, Tint _ ->
+        (* the INT idiom: pointer observed as an integer *)
+        VInt (truncate_for dst (unwrap (M.to_int st.heap (as_ptr v))))
+    | Tint _, Tptr _ ->
+        (* the IA idiom: integer reinterpreted as a pointer *)
+        VPtr (unwrap (M.of_int st.heap ~modified:(is_dirty v) (as_int v)))
+    | Tptr _, Tintcap | Tintcap, Tptr _ | Tintcap, Tintcap -> v
+    | Tint _, Tfunptr _ | Tfunptr _, Tfunptr _ -> v
+    | Tfunptr _, Tint _ -> VInt (truncate_for dst (as_int v))
+    | Tint _, Tintcap -> VPtr (M.intcap_of_int st.heap (as_int v))
+    | Tintcap, Tint _ -> VInt (truncate_for dst (M.intcap_to_int st.heap (as_ptr v)))
+    | _ -> raise (Runtime "unsupported cast at runtime")
+
+  (* -- calls and builtins ------------------------------------------------- *)
+
+  (* function "addresses": 1-based indices into the program's function
+     list (0 is the null function pointer) *)
+  and fn_index st name =
+    let rec go i = function
+      | [] -> raise (Runtime ("unknown function " ^ name))
+      | (f : T.func) :: rest -> if f.T.fname = name then Int64.of_int i else go (i + 1) rest
+    in
+    go 1 st.prog.T.funcs
+
+  and fn_of_index st idx =
+    if idx = 0L then raise (Fault_exn (Fault.Invalid_pointer "call through a null function pointer"))
+    else
+      match List.nth_opt st.prog.T.funcs (Int64.to_int idx - 1) with
+      | Some f -> f.T.fname
+      | None -> raise (Fault_exn (Fault.Invalid_pointer "call through a corrupt function pointer"))
+
+  and call st fname args : value =
+    match T.find_func st.prog fname with
+    | None -> raise (Runtime ("undefined function " ^ fname))
+    | Some f ->
+        let env = Hashtbl.create 16 in
+        let frame = ref [] in
+        List.iter2
+          (fun (pname, pty) arg ->
+            let p = alloc_local st frame pty false in
+            (match pty with
+            | Tstruct _ | Tunion _ -> raise (Runtime "struct parameters unsupported")
+            | _ -> store_value st p pty arg);
+            Hashtbl.replace env pname p)
+          f.T.params args;
+        let result =
+          try
+            exec_block st env frame f.T.body;
+            VInt 0L
+          with Return_exn v -> v
+        in
+        (* stack frame dies: models with temporal checking will fault on
+           dangling pointers into it *)
+        List.iter (fun p -> ignore (M.free st.heap p)) !frame;
+        result
+
+  and alloc_local st frame ty const =
+    let size = Int64.of_int (max 1 (sizeof st ty)) in
+    let p = unwrap (M.alloc st.heap ~size ~const) in
+    frame := p :: !frame;
+    p
+
+  and builtin st _env b args : value =
+    match (b, args) with
+    | T.Bmalloc, [ size ] -> VPtr (unwrap (M.alloc st.heap ~size:(as_int size) ~const:false))
+    | T.Bfree, [ p ] ->
+        let p = as_ptr p in
+        if not (M.is_null st.heap p) then unwrap (M.free st.heap p);
+        VVoid
+    | T.Bprint_int, [ v ] ->
+        Buffer.add_string st.out (Int64.to_string (as_int v));
+        VVoid
+    | T.Bprint_char, [ v ] ->
+        Buffer.add_char st.out (Char.chr (Int64.to_int (Int64.logand (as_int v) 0xffL)));
+        VVoid
+    | T.Bprint_str, [ p ] ->
+        let p = ref (as_ptr p) in
+        let continue_ = ref true in
+        while !continue_ do
+          let c = unwrap (M.load st.heap !p ~size:1) in
+          if c = 0L then continue_ := false
+          else begin
+            Buffer.add_char st.out (Char.chr (Int64.to_int c));
+            p := unwrap (M.add st.heap !p 1L)
+          end
+        done;
+        VVoid
+    | T.Bclock, [] -> VInt (Int64.of_int st.steps)
+    | T.Bexit, [ code ] -> raise (Exit_exn (as_int code))
+    | _ -> raise (Runtime "builtin arity mismatch")
+
+  (* -- statements --------------------------------------------------------- *)
+
+  and exec_block st env frame stmts = List.iter (exec_stmt st env frame) stmts
+
+  and exec_stmt st env frame (s : T.stmt) =
+    match s with
+    | T.Expr e -> ignore (eval st env e)
+    | T.Decl { name; ty; const; init } ->
+        let p = alloc_local st frame ty const in
+        Hashtbl.replace env name p;
+        (match init with
+        | Some e ->
+            let v = eval st env e in
+            (* initialization of a const local writes through the
+               still-writable allocation; the const applies afterwards *)
+            store_value st p ty v
+        | None -> ());
+        if const && M.enforces_const then
+          Hashtbl.replace env name (M.make_const p)
+    | T.If (c, a, b) ->
+        if as_int (eval st env c) <> 0L then exec_block st env frame a else exec_block st env frame b
+    | T.While (c, body) -> (
+        try
+          while as_int (eval st env c) <> 0L do
+            try exec_block st env frame body with Continue_exn -> ()
+          done
+        with Break_exn -> ())
+    | T.Dowhile (body, c) -> (
+        try
+          let continue_ = ref true in
+          while !continue_ do
+            (try exec_block st env frame body with Continue_exn -> ());
+            if as_int (eval st env c) = 0L then continue_ := false
+          done
+        with Break_exn -> ())
+    | T.For (init, cond, step, body) -> (
+        Option.iter (exec_stmt st env frame) init;
+        let check () = match cond with None -> true | Some c -> as_int (eval st env c) <> 0L in
+        try
+          while check () do
+            (try exec_block st env frame body with Continue_exn -> ());
+            Option.iter (fun e -> ignore (eval st env e)) step
+          done
+        with Break_exn -> ())
+    | T.Return None -> raise (Return_exn VVoid)
+    | T.Return (Some e) -> raise (Return_exn (eval st env e))
+    | T.Break -> raise Break_exn
+    | T.Continue -> raise Continue_exn
+    | T.Block b -> exec_block st env frame b
+
+  (* -- program ------------------------------------------------------------ *)
+
+  let init_globals st =
+    List.iter
+      (fun (g : T.global) ->
+        let size = Int64.of_int (max 1 (sizeof st g.T.gty)) in
+        let p = unwrap (M.alloc st.heap ~size ~const:false) in
+        (match g.T.ginit with
+        | T.Izero -> ()
+        | T.Iint v -> (
+            match g.T.gty with
+            | Tptr _ | Tintcap ->
+                if v <> 0L then raise (Runtime "non-null constant pointer initializer");
+                unwrap (M.store_ptr st.heap p M.null)
+            | ty -> store_value st p ty (VInt v))
+        | T.Ilist vs ->
+            let elem_ty =
+              match g.T.gty with
+              | Tarray (t, _) -> t
+              | _ -> raise (Runtime "list initializer on non-array")
+            in
+            let esz = sizeof st elem_ty in
+            List.iteri
+              (fun i v ->
+                let ep = unwrap (M.add st.heap p (Int64.of_int (i * esz))) in
+                store_value st ep elem_ty (VInt v))
+              vs
+        | T.Istr s -> (
+            match g.T.gty with
+            | Tarray (Tint { bits = 8; _ }, _) ->
+                String.iteri
+                  (fun i c ->
+                    let bp = unwrap (M.add st.heap p (Int64.of_int i)) in
+                    unwrap (M.store st.heap bp ~size:1 (Int64.of_int (Char.code c))))
+                  s
+            | Tptr _ ->
+                let sp = alloc_string st s in
+                unwrap (M.store_ptr st.heap p sp)
+            | _ -> raise (Runtime "string initializer on bad type")));
+        let p = if g.T.gconst && M.enforces_const then M.make_const p else p in
+        Hashtbl.replace st.globals g.T.gname p)
+      st.prog.T.globals
+
+  let run_program ?(max_steps = 20_000_000) (prog : T.program) : outcome =
+    let st =
+      {
+        prog;
+        heap = M.create ();
+        globals = Hashtbl.create 16;
+        strings = Hashtbl.create 16;
+        out = Buffer.create 64;
+        steps = 0;
+        max_steps;
+      }
+    in
+    try
+      init_globals st;
+      let v = call st "main" [] in
+      let code = match v with VInt v | VDirty v -> v | _ -> 0L in
+      Exit (code, Buffer.contents st.out)
+    with
+    | Exit_exn code -> Exit (code, Buffer.contents st.out)
+    | Fault_exn f -> Fault (f, Buffer.contents st.out)
+    | Runtime msg -> Stuck msg
+    | Minic.Layout.Unknown_tag tag -> Stuck ("unknown aggregate tag " ^ tag)
+
+  let run_source ?max_steps src = run_program ?max_steps (Minic.Typecheck.compile src)
+end
+
+(* Run one source file under a packed model. *)
+let run_with (m : Cheri_models.Model.packed) ?max_steps src : outcome =
+  let module M = (val m) in
+  let module I = Make (M) in
+  I.run_source ?max_steps src
+
+let run_all ?max_steps src : (string * outcome) list =
+  List.map
+    (fun m ->
+      let module M = (val m : Cheri_models.Model.S) in
+      (M.name, run_with m ?max_steps src))
+    Cheri_models.Registry.all

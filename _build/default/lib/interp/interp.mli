@@ -1,0 +1,33 @@
+(** The C abstract machine interpreter, parameterized by pointer model.
+
+    This is the paper's "translator for C code into a simple abstract
+    machine interpreter" (§5): instantiate {!Make} with any
+    {!Cheri_models.Model.S} to obtain an executable interpretation of
+    the C abstract machine, then run the same program under several
+    interpretations to see which idioms keep working — the experiment
+    behind Table 3 (see {!Table3}). *)
+
+type outcome =
+  | Exit of int64 * string  (** main's return value (or exit code), program output *)
+  | Fault of Cheri_models.Fault.t * string  (** the fault, plus output so far *)
+  | Stuck of string  (** interpreter-level error: UB with no model account *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+module Make (M : Cheri_models.Model.S) : sig
+  val run_program : ?max_steps:int -> Minic.Typed.program -> outcome
+  (** Execute [main]. [max_steps] (default 20M expression evaluations)
+      bounds runaway programs. *)
+
+  val run_source : ?max_steps:int -> string -> outcome
+  (** Parse, type-check, and run source text. Front-end errors raise
+      ({!Minic.Typecheck.Type_error} etc.); runtime problems are
+      returned as outcomes. *)
+end
+
+val run_with : Cheri_models.Model.packed -> ?max_steps:int -> string -> outcome
+(** Run source text under a packed model from {!Cheri_models.Registry}. *)
+
+val run_all : ?max_steps:int -> string -> (string * outcome) list
+(** Run under every registered pointer model; returns
+    [(model name, outcome)] in Table 3 row order. *)

@@ -1,0 +1,1 @@
+lib/isa/cache.ml: Array Int64

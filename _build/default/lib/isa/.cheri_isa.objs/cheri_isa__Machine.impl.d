@@ -1,0 +1,1 @@
+lib/isa/machine.ml: Array Bits Buffer Cache Char Cheri_core Cheri_tagmem Cheri_util Format Hashtbl Insn Int64 List

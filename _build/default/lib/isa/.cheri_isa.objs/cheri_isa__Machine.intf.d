@@ -1,0 +1,1 @@
+lib/isa/machine.mli: Cache Cheri_core Cheri_tagmem Format Insn

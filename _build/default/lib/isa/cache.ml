@@ -1,0 +1,121 @@
+type t = {
+  cname : string;
+  sets : int64 array array;  (* sets.(set).(way) = line tag, -1L = invalid *)
+  lru : int array array;  (* higher = more recently used *)
+  line_bytes : int;
+  set_count : int;
+  ways : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable clock : int;
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ~name ~size_bytes ~ways ~line_bytes =
+  if size_bytes mod (ways * line_bytes) <> 0 then
+    invalid_arg "Cache.create: size must be a multiple of ways * line size";
+  let set_count = size_bytes / (ways * line_bytes) in
+  if set_count land (set_count - 1) <> 0 then invalid_arg "Cache.create: set count must be a power of two";
+  {
+    cname = name;
+    sets = Array.make_matrix set_count ways (-1L);
+    lru = Array.make_matrix set_count ways 0;
+    line_bytes;
+    set_count;
+    ways;
+    hits = 0;
+    misses = 0;
+    clock = 0;
+  }
+
+let name t = t.cname
+
+let access t addr =
+  t.clock <- t.clock + 1;
+  let line = Int64.shift_right_logical addr (log2 t.line_bytes) in
+  let set = Int64.to_int (Int64.rem (Int64.logand line Int64.max_int) (Int64.of_int t.set_count)) in
+  let ways = t.sets.(set) in
+  let rec find i = if i >= t.ways then None else if ways.(i) = line then Some i else find (i + 1) in
+  match find 0 with
+  | Some way ->
+      t.hits <- t.hits + 1;
+      t.lru.(set).(way) <- t.clock;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      (* evict the least recently used way *)
+      let victim = ref 0 in
+      for w = 1 to t.ways - 1 do
+        if t.lru.(set).(w) < t.lru.(set).(!victim) then victim := w
+      done;
+      ways.(!victim) <- line;
+      t.lru.(set).(!victim) <- t.clock;
+      false
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let flush t =
+  Array.iter (fun ways -> Array.fill ways 0 (Array.length ways) (-1L)) t.sets;
+  Array.iter (fun l -> Array.fill l 0 (Array.length l) 0) t.lru
+
+module Timing = struct
+  type config = {
+    l1_size : int;
+    l1_ways : int;
+    l2_size : int;
+    l2_ways : int;
+    line_bytes : int;
+    l1_hit_cycles : int;
+    l2_hit_cycles : int;
+    memory_cycles : int;
+  }
+
+  type hierarchy = { cfg : config; l1 : t; l2 : t }
+
+  let paper_config =
+    {
+      l1_size = 16 * 1024;
+      l1_ways = 2;
+      l2_size = 64 * 1024;
+      l2_ways = 4;
+      line_bytes = 32;
+      l1_hit_cycles = 1;
+      l2_hit_cycles = 6;
+      memory_cycles = 24;
+    }
+
+  let create cfg =
+    {
+      cfg;
+      l1 = create ~name:"L1" ~size_bytes:cfg.l1_size ~ways:cfg.l1_ways ~line_bytes:cfg.line_bytes;
+      l2 = create ~name:"L2" ~size_bytes:cfg.l2_size ~ways:cfg.l2_ways ~line_bytes:cfg.line_bytes;
+    }
+
+  let config h = h.cfg
+  let l1 h = h.l1
+  let l2 h = h.l2
+
+  let line_cycles h addr =
+    if access h.l1 addr then h.cfg.l1_hit_cycles
+    else if access h.l2 addr then h.cfg.l1_hit_cycles + h.cfg.l2_hit_cycles
+    else h.cfg.l1_hit_cycles + h.cfg.l2_hit_cycles + h.cfg.memory_cycles
+
+  let access_cycles h addr ~size =
+    let first = line_cycles h addr in
+    let last_byte = Int64.add addr (Int64.of_int (max 0 (size - 1))) in
+    let line_of a = Int64.div a (Int64.of_int h.cfg.line_bytes) in
+    if size > 0 && line_of last_byte <> line_of addr then first + line_cycles h last_byte
+    else first
+
+  let reset_stats h =
+    reset_stats h.l1;
+    reset_stats h.l2
+end

@@ -1,0 +1,53 @@
+(** Set-associative write-back cache model with LRU replacement.
+
+    Used purely for timing: the data itself lives in {!Cheri_tagmem};
+    the cache records which lines would be resident. The paper's FPGA
+    system has a 16 KB L1 and a 64 KB L2 with DRAM that is fast
+    relative to the 100 MHz core — "cache misses are more common but
+    less costly than on most modern processors" (§5.2) — so the
+    default latencies in {!Timing} are correspondingly mild. *)
+
+type t
+
+val create : name:string -> size_bytes:int -> ways:int -> line_bytes:int -> t
+val name : t -> string
+
+val access : t -> int64 -> bool
+(** [access t addr] touches the line containing [addr]; returns [true]
+    on hit and inserts the line on miss. *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit
+val flush : t -> unit
+
+(** Two-level hierarchy translating accesses into cycle counts. *)
+module Timing : sig
+  type hierarchy
+
+  type config = {
+    l1_size : int;
+    l1_ways : int;
+    l2_size : int;
+    l2_ways : int;
+    line_bytes : int;
+    l1_hit_cycles : int;  (** total cost of an L1 hit *)
+    l2_hit_cycles : int;  (** additional cost when L1 misses but L2 hits *)
+    memory_cycles : int;  (** additional cost when both miss *)
+  }
+
+  val paper_config : config
+  (** 16 KB 2-way L1, 64 KB 4-way L2, 32-byte lines, latencies tuned to
+      the paper's FPGA platform (fast DRAM relative to core clock). *)
+
+  val create : config -> hierarchy
+  val config : hierarchy -> config
+
+  val access_cycles : hierarchy -> int64 -> size:int -> int
+  (** Cost in cycles of an access of [size] bytes at [addr]; accesses
+      that straddle a line boundary touch both lines. *)
+
+  val l1 : hierarchy -> t
+  val l2 : hierarchy -> t
+  val reset_stats : hierarchy -> unit
+end

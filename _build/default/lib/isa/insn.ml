@@ -1,0 +1,191 @@
+type width = B | H | W | D
+
+let bytes_of_width = function B -> 1 | H -> 2 | W -> 4 | D -> 8
+
+type target = Abs of int | Sym of string
+type imm = Imm of int64 | Sym_addr of string * int64
+
+type alu_op =
+  | ADD
+  | ADDT
+  | SUB
+  | MUL
+  | DIV
+  | DIVU
+  | REM
+  | REMU
+  | AND
+  | OR
+  | XOR
+  | NOR
+  | SLL
+  | SRL
+  | SRA
+  | SLT
+  | SLTU
+  | SEQ
+  | SNE
+
+type cmp = CEQ | CNE | CLT | CLE | CLTU | CLEU
+type cond = EQ | NE
+type condz = LTZ | LEZ | GTZ | GEZ | EQZ | NEZ
+
+type t =
+  | Nop
+  | Li of int * imm
+  | Alu of alu_op * int * int * int
+  | Alui of alu_op * int * int * imm
+  | Load of { w : width; signed : bool; rd : int; rs : int; off : int }
+  | Store of { w : width; rv : int; rs : int; off : int }
+  | Cload of { w : width; signed : bool; rd : int; cb : int; roff : int; off : int }
+  | Cstore of { w : width; rv : int; cb : int; roff : int; off : int }
+  | Clc of { cd : int; cb : int; roff : int; off : int }
+  | Csc of { cs : int; cb : int; roff : int; off : int }
+  | Cgetbase of int * int
+  | Cgetlen of int * int
+  | Cgetoffset of int * int
+  | Cgettag of int * int
+  | Cgetperm of int * int
+  | Cincoffset of int * int * int
+  | Cincoffsetimm of int * int * int64
+  | Csetoffset of int * int * int
+  | Cincbase of int * int * int
+  | Csetlen of int * int * int
+  | Candperm of int * int * int64
+  | Ccleartag of int * int
+  | Cmove of int * int
+  | Cseal of int * int * int  
+  | Cunseal of int * int * int
+  | Cptrcmp of cmp * int * int * int
+  | Cfromptr of int * int * int
+  | Ctoptr of int * int * int
+  | Branch of cond * int * int * target
+  | Branchz of condz * int * target
+  | J of target
+  | Jal of target
+  | Jr of int
+  | Jalr of int
+  | Cjalr of int * int
+  | Cjr of int
+  | Syscall
+  | Halt
+
+let alu_name = function
+  | ADD -> "add"
+  | ADDT -> "addt"
+  | SUB -> "sub"
+  | MUL -> "mul"
+  | DIV -> "div"
+  | DIVU -> "divu"
+  | REM -> "rem"
+  | REMU -> "remu"
+  | AND -> "and"
+  | OR -> "or"
+  | XOR -> "xor"
+  | NOR -> "nor"
+  | SLL -> "sll"
+  | SRL -> "srl"
+  | SRA -> "sra"
+  | SLT -> "slt"
+  | SLTU -> "sltu"
+  | SEQ -> "seq"
+  | SNE -> "sne"
+
+let cmp_name = function
+  | CEQ -> "eq"
+  | CNE -> "ne"
+  | CLT -> "lt"
+  | CLE -> "le"
+  | CLTU -> "ltu"
+  | CLEU -> "leu"
+
+let width_name = function B -> "b" | H -> "h" | W -> "w" | D -> "d"
+
+let pp_target ppf = function
+  | Abs i -> Format.fprintf ppf "%d" i
+  | Sym s -> Format.fprintf ppf "<%s>" s
+
+let pp_imm ppf = function
+  | Imm v -> Format.fprintf ppf "%Ld" v
+  | Sym_addr (s, 0L) -> Format.fprintf ppf "&%s" s
+  | Sym_addr (s, a) -> Format.fprintf ppf "&%s+%Ld" s a
+
+let condz_name = function
+  | LTZ -> "ltz"
+  | LEZ -> "lez"
+  | GTZ -> "gtz"
+  | GEZ -> "gez"
+  | EQZ -> "eqz"
+  | NEZ -> "nez"
+
+let pp ppf = function
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Li (rd, i) -> Format.fprintf ppf "li r%d, %a" rd pp_imm i
+  | Alu (op, rd, rs, rt) -> Format.fprintf ppf "%s r%d, r%d, r%d" (alu_name op) rd rs rt
+  | Alui (op, rd, rs, i) -> Format.fprintf ppf "%si r%d, r%d, %a" (alu_name op) rd rs pp_imm i
+  | Load { w; signed; rd; rs; off } ->
+      Format.fprintf ppf "l%s%s r%d, %d(r%d)" (width_name w) (if signed then "" else "u") rd off rs
+  | Store { w; rv; rs; off } -> Format.fprintf ppf "s%s r%d, %d(r%d)" (width_name w) rv off rs
+  | Cload { w; signed; rd; cb; roff; off } ->
+      Format.fprintf ppf "cl%s%s r%d, r%d, %d(c%d)" (width_name w)
+        (if signed then "" else "u")
+        rd roff off cb
+  | Cstore { w; rv; cb; roff; off } ->
+      Format.fprintf ppf "cs%s r%d, r%d, %d(c%d)" (width_name w) rv roff off cb
+  | Clc { cd; cb; roff; off } -> Format.fprintf ppf "clc c%d, r%d, %d(c%d)" cd roff off cb
+  | Csc { cs; cb; roff; off } -> Format.fprintf ppf "csc c%d, r%d, %d(c%d)" cs roff off cb
+  | Cgetbase (rd, cb) -> Format.fprintf ppf "cgetbase r%d, c%d" rd cb
+  | Cgetlen (rd, cb) -> Format.fprintf ppf "cgetlen r%d, c%d" rd cb
+  | Cgetoffset (rd, cb) -> Format.fprintf ppf "cgetoffset r%d, c%d" rd cb
+  | Cgettag (rd, cb) -> Format.fprintf ppf "cgettag r%d, c%d" rd cb
+  | Cgetperm (rd, cb) -> Format.fprintf ppf "cgetperm r%d, c%d" rd cb
+  | Cincoffset (cd, cb, rt) -> Format.fprintf ppf "cincoffset c%d, c%d, r%d" cd cb rt
+  | Cincoffsetimm (cd, cb, i) -> Format.fprintf ppf "cincoffset c%d, c%d, %Ld" cd cb i
+  | Csetoffset (cd, cb, rt) -> Format.fprintf ppf "csetoffset c%d, c%d, r%d" cd cb rt
+  | Cincbase (cd, cb, rt) -> Format.fprintf ppf "cincbase c%d, c%d, r%d" cd cb rt
+  | Csetlen (cd, cb, rt) -> Format.fprintf ppf "csetlen c%d, c%d, r%d" cd cb rt
+  | Candperm (cd, cb, m) -> Format.fprintf ppf "candperm c%d, c%d, 0x%Lx" cd cb m
+  | Ccleartag (cd, cb) -> Format.fprintf ppf "ccleartag c%d, c%d" cd cb
+  | Cmove (cd, cb) -> Format.fprintf ppf "cmove c%d, c%d" cd cb
+  | Cseal (cd, cs, ct) -> Format.fprintf ppf "cseal c%d, c%d, c%d" cd cs ct
+  | Cunseal (cd, cs, ct) -> Format.fprintf ppf "cunseal c%d, c%d, c%d" cd cs ct
+  | Cptrcmp (k, rd, ca, cb) ->
+      Format.fprintf ppf "cptrcmp.%s r%d, c%d, c%d" (cmp_name k) rd ca cb
+  | Cfromptr (cd, cb, rs) -> Format.fprintf ppf "cfromptr c%d, c%d, r%d" cd cb rs
+  | Ctoptr (rd, cs, cb) -> Format.fprintf ppf "ctoptr r%d, c%d, c%d" rd cs cb
+  | Branch (EQ, rs, rt, t) -> Format.fprintf ppf "beq r%d, r%d, %a" rs rt pp_target t
+  | Branch (NE, rs, rt, t) -> Format.fprintf ppf "bne r%d, r%d, %a" rs rt pp_target t
+  | Branchz (k, rs, t) -> Format.fprintf ppf "b%s r%d, %a" (condz_name k) rs pp_target t
+  | J t -> Format.fprintf ppf "j %a" pp_target t
+  | Jal t -> Format.fprintf ppf "jal %a" pp_target t
+  | Jr rs -> Format.fprintf ppf "jr r%d" rs
+  | Jalr rs -> Format.fprintf ppf "jalr r%d" rs
+  | Cjalr (cd, cb) -> Format.fprintf ppf "cjalr c%d, c%d" cd cb
+  | Cjr cb -> Format.fprintf ppf "cjr c%d" cb
+  | Syscall -> Format.pp_print_string ppf "syscall"
+  | Halt -> Format.pp_print_string ppf "halt"
+
+let target_resolved = function Abs _ -> true | Sym _ -> false
+let imm_resolved = function Imm _ -> true | Sym_addr _ -> false
+
+let is_resolved = function
+  | Li (_, i) | Alui (_, _, _, i) -> imm_resolved i
+  | Branch (_, _, _, t) | Branchz (_, _, t) | J t | Jal t -> target_resolved t
+  | Nop | Alu _ | Load _ | Store _ | Cload _ | Cstore _ | Clc _ | Csc _ | Cgetbase _
+  | Cgetlen _ | Cgetoffset _ | Cgettag _ | Cgetperm _ | Cincoffset _ | Cincoffsetimm _
+  | Csetoffset _ | Cincbase _ | Csetlen _ | Candperm _ | Ccleartag _ | Cmove _ | Cseal _
+  | Cunseal _ | Cptrcmp _
+  | Cfromptr _ | Ctoptr _ | Jr _ | Jalr _ | Cjalr _ | Cjr _ | Syscall | Halt ->
+      true
+
+let map_target f = function
+  | Branch (c, rs, rt, t) -> Branch (c, rs, rt, f t)
+  | Branchz (c, rs, t) -> Branchz (c, rs, f t)
+  | J t -> J (f t)
+  | Jal t -> Jal (f t)
+  | i -> i
+
+let map_imm f = function
+  | Li (rd, i) -> Li (rd, f i)
+  | Alui (op, rd, rs, i) -> Alui (op, rd, rs, f i)
+  | i -> i

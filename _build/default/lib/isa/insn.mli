@@ -1,0 +1,109 @@
+(** The instruction set of the simulated CHERI softcore.
+
+    A 64-bit MIPS-like RISC supplemented with the CHERI capability
+    coprocessor. Programs are arrays of structured instructions rather
+    than binary encodings — the paper's results depend on instruction
+    *semantics* and *counts*, not on bit-level encoding, so the
+    simulator executes the structured form directly (one array slot =
+    one 4-byte instruction for timing purposes).
+
+    Register conventions (used by {!Cheri_compiler} and the runtime):
+    GPR 0 is hardwired zero, GPR 29 the stack pointer, GPR 31 the link
+    register, GPR 2 syscall number / result, GPRs 4–7 arguments.
+    Capability register 0 is the default data capability (DDC);
+    capability register 11 the stack capability in pure-capability
+    ABIs; capability registers 1–8 carry capability arguments and
+    results. *)
+
+type width = B | H | W | D
+(** Access widths: 1, 2, 4, 8 bytes. *)
+
+val bytes_of_width : width -> int
+
+type target = Abs of int | Sym of string
+(** Branch/jump target: resolved absolute instruction index, or a
+    symbolic label awaiting the assembler. *)
+
+type imm = Imm of int64 | Sym_addr of string * int64
+(** Immediate operand: a constant, or the address of a data symbol
+    plus an addend (resolved at assembly time). *)
+
+type alu_op =
+  | ADD  (** wrapping two's-complement add (the PDP-11 heritage) *)
+  | ADDT  (** add that traps on signed overflow (§3.1.1's AIR-style proposal) *)
+  | SUB
+  | MUL
+  | DIV  (** signed; traps on divide by zero *)
+  | DIVU
+  | REM
+  | REMU
+  | AND
+  | OR
+  | XOR
+  | NOR
+  | SLL
+  | SRL
+  | SRA
+  | SLT  (** set-if-less-than, signed *)
+  | SLTU
+  | SEQ
+  | SNE
+
+type cmp = CEQ | CNE | CLT | CLE | CLTU | CLEU
+(** [CPtrCmp] comparison kinds. *)
+
+type cond = EQ | NE
+type condz = LTZ | LEZ | GTZ | GEZ | EQZ | NEZ
+
+type t =
+  | Nop
+  | Li of int * imm  (** load 64-bit immediate / symbol address *)
+  | Alu of alu_op * int * int * int  (** rd, rs, rt *)
+  | Alui of alu_op * int * int * imm  (** rd, rs, immediate *)
+  | Load of { w : width; signed : bool; rd : int; rs : int; off : int }
+      (** legacy MIPS load: address = gpr rs + off, checked against DDC *)
+  | Store of { w : width; rv : int; rs : int; off : int }
+  | Cload of { w : width; signed : bool; rd : int; cb : int; roff : int; off : int }
+      (** capability load: address = address(cb) + gpr roff + off *)
+  | Cstore of { w : width; rv : int; cb : int; roff : int; off : int }
+  | Clc of { cd : int; cb : int; roff : int; off : int }  (** load capability *)
+  | Csc of { cs : int; cb : int; roff : int; off : int }  (** store capability *)
+  | Cgetbase of int * int  (** rd, cb *)
+  | Cgetlen of int * int
+  | Cgetoffset of int * int
+  | Cgettag of int * int
+  | Cgetperm of int * int
+  | Cincoffset of int * int * int  (** cd, cb, rt *)
+  | Cincoffsetimm of int * int * int64
+  | Csetoffset of int * int * int
+  | Cincbase of int * int * int
+  | Csetlen of int * int * int
+  | Candperm of int * int * int64  (** cd, cb, permission mask bits *)
+  | Ccleartag of int * int
+  | Cmove of int * int
+  | Cseal of int * int * int  (** cd, cs, ct: seal cs with ct's authority *)
+  | Cunseal of int * int * int
+  | Cptrcmp of cmp * int * int * int  (** rd, ca, cb *)
+  | Cfromptr of int * int * int  (** cd, cb, rs *)
+  | Ctoptr of int * int * int  (** rd, cs, cb *)
+  | Branch of cond * int * int * target
+  | Branchz of condz * int * target
+  | J of target
+  | Jal of target  (** call; links pc+1 into GPR 31 *)
+  | Jr of int
+  | Jalr of int  (** call through register; links into GPR 31 *)
+  | Cjalr of int * int  (** cd, cb: capability jump-and-link (§4.2) *)
+  | Cjr of int
+  | Syscall
+  | Halt
+
+val pp : Format.formatter -> t -> unit
+val is_resolved : t -> bool
+(** True when the instruction contains no symbolic targets or
+    immediates and can be executed directly. *)
+
+val map_target : (target -> target) -> t -> t
+(** Rewrite branch/jump targets (assembler fix-up pass). *)
+
+val map_imm : (imm -> imm) -> t -> t
+(** Rewrite immediates (assembler symbol resolution). *)

@@ -1,0 +1,561 @@
+open Cheri_util
+module Cap = Cheri_core.Capability
+module Ops = Cheri_core.Cap_ops
+module Fault = Cheri_core.Cap_fault
+module Perms = Cheri_core.Perms
+module Mem = Cheri_tagmem.Tagmem
+
+type config = {
+  revision : Ops.revision;
+  mem_size : int;
+  data_base : int64;
+  stack_bytes : int;
+  timing : Cache.Timing.config;
+  trap_on_signed_overflow : bool;
+}
+
+let default_config revision =
+  {
+    revision;
+    mem_size = 32 * 1024 * 1024;
+    data_base = 0x10000L;
+    stack_bytes = 1024 * 1024;
+    timing = Cache.Timing.paper_config;
+    trap_on_signed_overflow = false;
+  }
+
+type trap =
+  | Cap_trap of Fault.t
+  | Overflow_trap
+  | Div_by_zero
+  | Bus_trap of int64
+  | Unresolved_operand
+  | Invalid_syscall of int64
+  | Out_of_memory
+  | Invalid_free of int64
+  | Pc_out_of_range of int
+
+type outcome = Exit of int64 | Trap of { trap : trap; pc : int } | Fuel_exhausted
+
+let pp_trap ppf = function
+  | Cap_trap f -> Format.fprintf ppf "capability trap: %a" Fault.pp f
+  | Overflow_trap -> Format.pp_print_string ppf "signed overflow trap"
+  | Div_by_zero -> Format.pp_print_string ppf "division by zero"
+  | Bus_trap a -> Format.fprintf ppf "bus error at 0x%Lx" a
+  | Unresolved_operand -> Format.pp_print_string ppf "unresolved symbolic operand"
+  | Invalid_syscall n -> Format.fprintf ppf "invalid syscall %Ld" n
+  | Out_of_memory -> Format.pp_print_string ppf "allocator out of memory"
+  | Invalid_free a -> Format.fprintf ppf "invalid free of 0x%Lx" a
+  | Pc_out_of_range pc -> Format.fprintf ppf "pc out of range: %d" pc
+
+let pp_outcome ppf = function
+  | Exit c -> Format.fprintf ppf "exit(%Ld)" c
+  | Trap { trap; pc } -> Format.fprintf ppf "trap at pc=%d: %a" pc pp_trap trap
+  | Fuel_exhausted -> Format.pp_print_string ppf "fuel exhausted"
+
+type t = {
+  cfg : config;
+  code : Insn.t array;
+  memory : Mem.t;
+  gprs : int64 array;
+  caps : Cap.t array;
+  mutable pcc : Cap.t;
+  mutable pc : int;
+  mutable cycles : int;
+  mutable instret : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable cap_loads : int;
+  mutable cap_stores : int;
+  mutable heap_allocated : int64;
+  dcache : Cache.Timing.hierarchy;
+  icache : Cache.t;
+  out : Buffer.t;
+  allocated : (int64, int64) Hashtbl.t;  (* block base -> size *)
+  mutable free_list : (int64 * int64) list;  (* (base, size), sorted by base *)
+  heap_base : int64;
+  stack_top : int64;
+}
+
+exception Trapped of trap
+
+let syscall_exit = 1L
+let syscall_print_int = 2L
+let syscall_print_char = 3L
+let syscall_malloc = 4L
+let syscall_free = 5L
+let syscall_clock = 6L
+let syscall_print_bytes = 7L
+let syscall_print_cstr = 8L
+
+let create cfg ~code =
+  Array.iteri
+    (fun i insn ->
+      if not (Insn.is_resolved insn) then
+        invalid_arg (Format.asprintf "Machine.create: unresolved instruction %d: %a" i Insn.pp insn))
+    code;
+  let memory = Mem.create ~size_bytes:cfg.mem_size () in
+  let stack_top = Int64.of_int cfg.mem_size in
+  let stack_base = Int64.sub stack_top (Int64.of_int cfg.stack_bytes) in
+  let all_mem = Cap.make ~base:0L ~length:(Int64.of_int cfg.mem_size) ~perms:Perms.all in
+  let stack_cap =
+    (* cursor starts at the top of the stack region, mirroring GPR 29 *)
+    Cap.with_offset_unchecked
+      (Cap.make ~base:stack_base ~length:(Int64.of_int cfg.stack_bytes) ~perms:Perms.all)
+      (Int64.of_int cfg.stack_bytes)
+  in
+  let caps = Array.make 32 Cap.null in
+  caps.(0) <- all_mem;
+  caps.(11) <- stack_cap;
+  let gprs = Array.make 32 0L in
+  gprs.(29) <- stack_top;
+  (* The heap starts above the data segment; the loader bumps this via
+     [reserve_data]. *)
+  let heap_base = cfg.data_base in
+  {
+    cfg;
+    code;
+    memory;
+    gprs;
+    caps;
+    pcc =
+      Cap.make ~base:0L
+        ~length:(Int64.of_int (max 1 (Array.length code)))
+        ~perms:(Perms.of_list Perms.Execute [ Perms.Global ]);
+    pc = 0;
+    cycles = 0;
+    instret = 0;
+    loads = 0;
+    stores = 0;
+    cap_loads = 0;
+    cap_stores = 0;
+    heap_allocated = 0L;
+    dcache = Cache.Timing.create cfg.timing;
+    icache = Cache.create ~name:"L1I" ~size_bytes:(16 * 1024) ~ways:2 ~line_bytes:32;
+    out = Buffer.create 256;
+    allocated = Hashtbl.create 64;
+    free_list = [ (cfg.data_base, Int64.sub stack_base cfg.data_base) ];
+    heap_base;
+    stack_top;
+  }
+
+let config t = t.cfg
+let mem t = t.memory
+let gpr t i = if i = 0 then 0L else t.gprs.(i)
+let set_gpr t i v = if i <> 0 then t.gprs.(i) <- v
+let cap t i = t.caps.(i)
+let set_cap t i c = t.caps.(i) <- c
+let pc t = t.pc
+let cycles t = t.cycles
+let instret t = t.instret
+let output t = Buffer.contents t.out
+let heap_base t = t.heap_base
+let stack_top t = t.stack_top
+
+(* -- allocator ---------------------------------------------------------- *)
+
+let alloc_align = 32
+
+let heap_reserve t base size =
+  (* Carve [base, base+size) out of the free list; used by the loader to
+     protect the data segment. *)
+  let reserved_end = Int64.add base size in
+  t.free_list <-
+    List.concat_map
+      (fun (b, s) ->
+        let e = Int64.add b s in
+        if Bits.ule e base || Bits.uge b reserved_end then [ (b, s) ]
+        else
+          let before = if Bits.ult b base then [ (b, Int64.sub base b) ] else [] in
+          let after =
+            if Bits.ugt e reserved_end then [ (reserved_end, Int64.sub e reserved_end) ] else []
+          in
+          before @ after)
+      t.free_list
+
+let malloc t request =
+  let request = if Int64.compare request 1L < 0 then 1L else request in
+  let padded = Bits.align_up request alloc_align in
+  let rec take acc = function
+    | [] -> None
+    | (b, s) :: rest ->
+        (* capability stores require 32-byte-aligned blocks *)
+        let aligned = Bits.align_up b alloc_align in
+        let lead = Int64.sub aligned b in
+        if Bits.uge s (Int64.add lead padded) then begin
+          let remainder = Int64.sub s (Int64.add lead padded) in
+          let rest' =
+            if remainder = 0L then rest else (Int64.add aligned padded, remainder) :: rest
+          in
+          let rest' = if lead = 0L then rest' else (b, lead) :: rest' in
+          Some (aligned, List.rev_append acc rest')
+        end
+        else take ((b, s) :: acc) rest
+  in
+  match take [] t.free_list with
+  | None -> raise (Trapped Out_of_memory)
+  | Some (base, free_list) ->
+      t.free_list <- free_list;
+      Hashtbl.replace t.allocated base padded;
+      t.heap_allocated <- Int64.add t.heap_allocated padded;
+      (base, request)
+
+let free t addr =
+  match Hashtbl.find_opt t.allocated addr with
+  | None -> raise (Trapped (Invalid_free addr))
+  | Some size ->
+      Hashtbl.remove t.allocated addr;
+      (* reinsert sorted, then merge adjacent ranges in one pass *)
+      let entries = List.sort (fun (a, _) (b, _) -> Bits.ucompare a b) ((addr, size) :: t.free_list) in
+      let merged =
+        List.fold_left
+          (fun acc (b, s) ->
+            match acc with
+            | (pb, ps) :: rest when Int64.add pb ps = b -> (pb, Int64.add ps s) :: rest
+            | _ -> (b, s) :: acc)
+          [] entries
+      in
+      t.free_list <- List.rev merged
+
+(* -- execution helpers -------------------------------------------------- *)
+
+let unwrap = function Ok v -> v | Error f -> raise (Trapped (Cap_trap f))
+
+let exec_alu t op a b =
+  match op with
+  | Insn.ADD -> Int64.add a b
+  | ADDT ->
+      let r = Int64.add a b in
+      (* overflow iff operands share a sign that differs from the result *)
+      if
+        t.cfg.trap_on_signed_overflow
+        && Int64.logand (Int64.logxor r a) (Int64.logxor r b) < 0L
+      then raise (Trapped Overflow_trap)
+      else r
+  | SUB -> Int64.sub a b
+  | MUL -> Int64.mul a b
+  | DIV -> if b = 0L then raise (Trapped Div_by_zero) else Int64.div a b
+  | DIVU -> if b = 0L then raise (Trapped Div_by_zero) else Int64.unsigned_div a b
+  | REM -> if b = 0L then raise (Trapped Div_by_zero) else Int64.rem a b
+  | REMU -> if b = 0L then raise (Trapped Div_by_zero) else Int64.unsigned_rem a b
+  | AND -> Int64.logand a b
+  | OR -> Int64.logor a b
+  | XOR -> Int64.logxor a b
+  | NOR -> Int64.lognot (Int64.logor a b)
+  | SLL -> Int64.shift_left a (Int64.to_int b land 63)
+  | SRL -> Int64.shift_right_logical a (Int64.to_int b land 63)
+  | SRA -> Int64.shift_right a (Int64.to_int b land 63)
+  | SLT -> if Int64.compare a b < 0 then 1L else 0L
+  | SLTU -> if Bits.ult a b then 1L else 0L
+  | SEQ -> if a = b then 1L else 0L
+  | SNE -> if a <> b then 1L else 0L
+
+let alu_cost = function
+  | Insn.MUL -> 4
+  | DIV | DIVU | REM | REMU -> 16
+  | ADD | ADDT | SUB | AND | OR | XOR | NOR | SLL | SRL | SRA | SLT | SLTU | SEQ | SNE -> 1
+
+let imm_value = function
+  | Insn.Imm v -> v
+  | Sym_addr _ -> raise (Trapped Unresolved_operand)
+
+let target_value = function Insn.Abs i -> i | Sym _ -> raise (Trapped Unresolved_operand)
+
+let legacy_addr t rs off = Int64.add (gpr t rs) (Int64.of_int off)
+
+let cap_addr t cb roff off =
+  Int64.add (Cap.address t.caps.(cb)) (Int64.add (gpr t roff) (Int64.of_int off))
+
+let dmem_cost t addr size = Cache.Timing.access_cycles t.dcache addr ~size
+
+let do_load t ~cap:c ~addr ~w ~signed ~rd =
+  let size = Insn.bytes_of_width w in
+  unwrap (Ops.load_check c ~addr ~size);
+  let raw =
+    try Mem.load_int t.memory ~addr ~size with Mem.Bus_error a -> raise (Trapped (Bus_trap a))
+  in
+  let v = if signed then Bits.sign_extend raw ~width:(size * 8) else raw in
+  set_gpr t rd v;
+  t.loads <- t.loads + 1;
+  dmem_cost t addr size
+
+let do_store t ~cap:c ~addr ~w ~rv =
+  let size = Insn.bytes_of_width w in
+  unwrap (Ops.store_check c ~addr ~size);
+  (try Mem.store_int t.memory ~addr ~size (gpr t rv)
+   with Mem.Bus_error a -> raise (Trapped (Bus_trap a)));
+  t.stores <- t.stores + 1;
+  dmem_cost t addr size
+
+let check_cap_alignment addr =
+  if not (Bits.is_aligned addr Cap.byte_width) then
+    raise (Trapped (Cap_trap (Fault.Alignment_violation { addr; required = Cap.byte_width })))
+
+let do_syscall t =
+  let n = gpr t 2 in
+  let a0 = gpr t 4 and a1 = gpr t 5 in
+  if n = syscall_exit then (Some (Exit a0), 10)
+  else if n = syscall_print_int then (
+    Buffer.add_string t.out (Int64.to_string a0);
+    (None, 10))
+  else if n = syscall_print_char then (
+    Buffer.add_char t.out (Char.chr (Int64.to_int (Int64.logand a0 0xffL)));
+    (None, 10))
+  else if n = syscall_malloc then (
+    let base, size = malloc t a0 in
+    set_gpr t 2 base;
+    set_cap t 1 (Cap.make ~base ~length:size ~perms:Perms.all);
+    (None, 40))
+  else if n = syscall_free then (
+    free t a0;
+    (None, 30))
+  else if n = syscall_clock then (
+    set_gpr t 2 (Int64.of_int t.cycles);
+    (None, 10))
+  else if n = syscall_print_bytes then (
+    let len = Int64.to_int a1 in
+    unwrap (Ops.load_check t.caps.(0) ~addr:a0 ~size:len);
+    let b =
+      try Mem.load_bytes t.memory ~addr:a0 ~len
+      with Mem.Bus_error a -> raise (Trapped (Bus_trap a))
+    in
+    Buffer.add_bytes t.out b;
+    (None, 10 + (len / 8)))
+  else if n = syscall_print_cstr then (
+    (* NUL-terminated string at legacy address a0 *)
+    let rec go addr count =
+      if count > 65536 then raise (Trapped (Bus_trap addr))
+      else begin
+        unwrap (Ops.load_check t.caps.(0) ~addr ~size:1);
+        let c =
+          try Mem.load_int t.memory ~addr ~size:1
+          with Mem.Bus_error a -> raise (Trapped (Bus_trap a))
+        in
+        if c <> 0L then begin
+          Buffer.add_char t.out (Char.chr (Int64.to_int c));
+          go (Int64.add addr 1L) (count + 1)
+        end
+        else count
+      end
+    in
+    let n_chars = go a0 0 in
+    (None, 10 + n_chars))
+  else raise (Trapped (Invalid_syscall n))
+
+let condz_holds k v =
+  match k with
+  | Insn.LTZ -> Int64.compare v 0L < 0
+  | LEZ -> Int64.compare v 0L <= 0
+  | GTZ -> Int64.compare v 0L > 0
+  | GEZ -> Int64.compare v 0L >= 0
+  | EQZ -> v = 0L
+  | NEZ -> v <> 0L
+
+let cmp_holds k c =
+  match k with
+  | Insn.CEQ -> c = 0
+  | CNE -> c <> 0
+  | CLT | CLTU -> c < 0
+  | CLE | CLEU -> c <= 0
+
+(* Execute the instruction at [t.pc]. Returns [Some outcome] when the
+   program finishes. Updates pc, cycles, counters. *)
+let step t =
+  let rev = t.cfg.revision in
+  if t.pc < 0 || t.pc >= Array.length t.code then Some (Trap { trap = Pc_out_of_range t.pc; pc = t.pc })
+  else
+    let fetch_addr = Int64.of_int (t.pc * 4) in
+    let icost = if Cache.access t.icache fetch_addr then 0 else 6 in
+    let insn = t.code.(t.pc) in
+    let saved_pc = t.pc in
+    match
+      (* returns (outcome option, extra cycles, next pc) *)
+      let next = t.pc + 1 in
+      match insn with
+      | Insn.Nop -> (None, 1, next)
+      | Li (rd, i) ->
+          set_gpr t rd (imm_value i);
+          (None, 1, next)
+      | Alu (op, rd, rs, rt) ->
+          set_gpr t rd (exec_alu t op (gpr t rs) (gpr t rt));
+          (None, alu_cost op, next)
+      | Alui (op, rd, rs, i) ->
+          set_gpr t rd (exec_alu t op (gpr t rs) (imm_value i));
+          (None, alu_cost op, next)
+      | Load { w; signed; rd; rs; off } ->
+          let addr = legacy_addr t rs off in
+          let c = do_load t ~cap:t.caps.(0) ~addr ~w ~signed ~rd in
+          (None, 1 + c, next)
+      | Store { w; rv; rs; off } ->
+          let addr = legacy_addr t rs off in
+          let c = do_store t ~cap:t.caps.(0) ~addr ~w ~rv in
+          (None, 1 + c, next)
+      | Cload { w; signed; rd; cb; roff; off } ->
+          let addr = cap_addr t cb roff off in
+          let c = do_load t ~cap:t.caps.(cb) ~addr ~w ~signed ~rd in
+          (None, 1 + c, next)
+      | Cstore { w; rv; cb; roff; off } ->
+          let addr = cap_addr t cb roff off in
+          let c = do_store t ~cap:t.caps.(cb) ~addr ~w ~rv in
+          (None, 1 + c, next)
+      | Clc { cd; cb; roff; off } ->
+          let addr = cap_addr t cb roff off in
+          check_cap_alignment addr;
+          unwrap (Cap.check_access t.caps.(cb) ~addr ~size:Cap.byte_width ~perm:Perms.Load_cap);
+          let c =
+            try Mem.load_cap t.memory ~addr with Mem.Bus_error a -> raise (Trapped (Bus_trap a))
+          in
+          set_cap t cd c;
+          t.cap_loads <- t.cap_loads + 1;
+          (None, 1 + dmem_cost t addr Cap.byte_width, next)
+      | Csc { cs; cb; roff; off } ->
+          let addr = cap_addr t cb roff off in
+          check_cap_alignment addr;
+          unwrap (Cap.check_access t.caps.(cb) ~addr ~size:Cap.byte_width ~perm:Perms.Store_cap);
+          (try Mem.store_cap t.memory ~addr t.caps.(cs)
+           with Mem.Bus_error a -> raise (Trapped (Bus_trap a)));
+          t.cap_stores <- t.cap_stores + 1;
+          (None, 1 + dmem_cost t addr Cap.byte_width, next)
+      | Cgetbase (rd, cb) ->
+          set_gpr t rd (Ops.c_get_base t.caps.(cb));
+          (None, 1, next)
+      | Cgetlen (rd, cb) ->
+          set_gpr t rd (Ops.c_get_len t.caps.(cb));
+          (None, 1, next)
+      | Cgetoffset (rd, cb) ->
+          set_gpr t rd (Ops.c_get_offset t.caps.(cb));
+          (None, 1, next)
+      | Cgettag (rd, cb) ->
+          set_gpr t rd (if Ops.c_get_tag t.caps.(cb) then 1L else 0L);
+          (None, 1, next)
+      | Cgetperm (rd, cb) ->
+          set_gpr t rd (Perms.to_bits (Ops.c_get_perm t.caps.(cb)));
+          (None, 1, next)
+      | Cincoffset (cd, cb, rt) ->
+          set_cap t cd (unwrap (Ops.c_inc_offset rev t.caps.(cb) (gpr t rt)));
+          (None, 1, next)
+      | Cincoffsetimm (cd, cb, i) ->
+          set_cap t cd (unwrap (Ops.c_inc_offset rev t.caps.(cb) i));
+          (None, 1, next)
+      | Csetoffset (cd, cb, rt) ->
+          set_cap t cd (unwrap (Ops.c_set_offset rev t.caps.(cb) (gpr t rt)));
+          (None, 1, next)
+      | Cincbase (cd, cb, rt) ->
+          set_cap t cd (unwrap (Ops.c_inc_base rev t.caps.(cb) (gpr t rt)));
+          (None, 1, next)
+      | Csetlen (cd, cb, rt) ->
+          set_cap t cd (unwrap (Ops.c_set_len t.caps.(cb) (gpr t rt)));
+          (None, 1, next)
+      | Candperm (cd, cb, mask) ->
+          set_cap t cd (Ops.c_and_perm t.caps.(cb) (Perms.of_bits mask));
+          (None, 1, next)
+      | Ccleartag (cd, cb) ->
+          set_cap t cd (Ops.c_clear_tag t.caps.(cb));
+          (None, 1, next)
+      | Cmove (cd, cb) ->
+          set_cap t cd t.caps.(cb);
+          (None, 1, next)
+      | Cseal (cd, cs, ct) ->
+          set_cap t cd (unwrap (Ops.c_seal ~authority:t.caps.(ct) t.caps.(cs)));
+          (None, 1, next)
+      | Cunseal (cd, cs, ct) ->
+          set_cap t cd (unwrap (Ops.c_unseal ~authority:t.caps.(ct) t.caps.(cs)));
+          (None, 1, next)
+      | Cptrcmp (k, rd, ca, cb) ->
+          let c = Ops.c_ptr_cmp t.caps.(ca) t.caps.(cb) in
+          set_gpr t rd (if cmp_holds k c then 1L else 0L);
+          (None, 1, next)
+      | Cfromptr (cd, cb, rs) ->
+          set_cap t cd (unwrap (Ops.c_from_ptr ~ddc:t.caps.(cb) (gpr t rs)));
+          (None, 1, next)
+      | Ctoptr (rd, cs, cb) ->
+          set_gpr t rd (Ops.c_to_ptr t.caps.(cs) ~relative_to:t.caps.(cb));
+          (None, 1, next)
+      | Branch (c, rs, rt, tg) ->
+          let holds =
+            match c with EQ -> gpr t rs = gpr t rt | NE -> gpr t rs <> gpr t rt
+          in
+          if holds then (None, 2, target_value tg) else (None, 1, next)
+      | Branchz (k, rs, tg) ->
+          if condz_holds k (gpr t rs) then (None, 2, target_value tg) else (None, 1, next)
+      | J tg -> (None, 2, target_value tg)
+      | Jal tg ->
+          set_gpr t 31 (Int64.of_int (t.pc + 1));
+          (None, 2, target_value tg)
+      | Jr rs -> (None, 2, Int64.to_int (gpr t rs))
+      | Jalr rs ->
+          let dest = Int64.to_int (gpr t rs) in
+          set_gpr t 31 (Int64.of_int (t.pc + 1));
+          (None, 2, dest)
+      | Cjalr (cd, cb) ->
+          let dest_cap = t.caps.(cb) in
+          if not (Ops.c_get_tag dest_cap) then raise (Trapped (Cap_trap Fault.Tag_violation));
+          if dest_cap.Cap.sealed then
+            raise (Trapped (Cap_trap (Fault.Seal_violation "jump through a sealed capability")));
+          if not (Perms.mem Perms.Execute (Ops.c_get_perm dest_cap)) then
+            raise (Trapped (Cap_trap (Fault.Perm_violation Perms.Execute)));
+          let link = Cap.with_offset_unchecked t.pcc (Int64.of_int (t.pc + 1)) in
+          set_cap t cd link;
+          t.pcc <- dest_cap;
+          (None, 2, Int64.to_int (Cap.address dest_cap))
+      | Cjr cb ->
+          let dest_cap = t.caps.(cb) in
+          if not (Ops.c_get_tag dest_cap) then raise (Trapped (Cap_trap Fault.Tag_violation));
+          if not (Perms.mem Perms.Execute (Ops.c_get_perm dest_cap)) then
+            raise (Trapped (Cap_trap (Fault.Perm_violation Perms.Execute)));
+          t.pcc <- dest_cap;
+          (None, 2, Int64.to_int (Cap.address dest_cap))
+      | Syscall ->
+          let outcome, cost = do_syscall t in
+          (outcome, cost, next)
+      | Halt -> (Some (Exit 0L), 1, next)
+    with
+    | outcome, cost, next_pc ->
+        t.instret <- t.instret + 1;
+        t.cycles <- t.cycles + cost + icost;
+        t.pc <- next_pc;
+        outcome
+    | exception Trapped trap ->
+        t.cycles <- t.cycles + 1 + icost;
+        Some (Trap { trap; pc = saved_pc })
+
+let run ?(fuel = 200_000_000) t =
+  let rec go remaining =
+    if remaining <= 0 then Fuel_exhausted
+    else match step t with None -> go (remaining - 1) | Some outcome -> outcome
+  in
+  go fuel
+
+type stats = {
+  st_cycles : int;
+  st_instret : int;
+  st_loads : int;
+  st_stores : int;
+  st_cap_loads : int;
+  st_cap_stores : int;
+  st_l1_hits : int;
+  st_l1_misses : int;
+  st_l2_hits : int;
+  st_l2_misses : int;
+  st_heap_allocated : int64;
+}
+
+let stats t =
+  let l1 = Cache.Timing.l1 t.dcache and l2 = Cache.Timing.l2 t.dcache in
+  {
+    st_cycles = t.cycles;
+    st_instret = t.instret;
+    st_loads = t.loads;
+    st_stores = t.stores;
+    st_cap_loads = t.cap_loads;
+    st_cap_stores = t.cap_stores;
+    st_l1_hits = Cache.hits l1;
+    st_l1_misses = Cache.misses l1;
+    st_l2_hits = Cache.hits l2;
+    st_l2_misses = Cache.misses l2;
+    st_heap_allocated = t.heap_allocated;
+  }
+
+(* Exposed for the loader (Cheri_asm): remove the data segment from the
+   allocator's free list. *)
+let reserve_data = heap_reserve

@@ -1,0 +1,129 @@
+(** The simulated CHERI softcore: architectural state, execution loop,
+    allocator syscalls and the cycle-approximate timing model.
+
+    One machine instance holds a code array (Harvard-style: instructions
+    are not in the tagged data memory; the paper's results never depend
+    on self-modifying code), a {!Cheri_tagmem} data memory, 32 general
+    purpose registers, 32 capability registers, the program counter
+    capability (PCC) and the cycle/instruction counters.
+
+    The ISA revision ({!Cheri_core.Cap_ops.V2} or [V3]) selects the
+    capability semantics; plain MIPS programs simply never touch the
+    capability registers, so the same machine serves as the MIPS
+    baseline. *)
+
+type t
+
+type config = {
+  revision : Cheri_core.Cap_ops.revision;
+  mem_size : int;  (** bytes of data memory *)
+  data_base : int64;  (** where the assembler's data segment is loaded *)
+  stack_bytes : int;  (** stack region at the top of memory *)
+  timing : Cache.Timing.config;
+  trap_on_signed_overflow : bool;
+      (** enables the §3.1.1-style trap semantics of the ADDT opcode;
+          plain ADD always wraps *)
+}
+
+val default_config : Cheri_core.Cap_ops.revision -> config
+
+(** {1 Traps and outcomes} *)
+
+type trap =
+  | Cap_trap of Cheri_core.Cap_fault.t
+  | Overflow_trap
+  | Div_by_zero
+  | Bus_trap of int64
+  | Unresolved_operand
+  | Invalid_syscall of int64
+  | Out_of_memory
+  | Invalid_free of int64
+  | Pc_out_of_range of int
+
+type outcome =
+  | Exit of int64  (** the program called the exit syscall *)
+  | Trap of { trap : trap; pc : int }
+  | Fuel_exhausted
+
+val pp_trap : Format.formatter -> trap -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {1 Construction and state access} *)
+
+val create : config -> code:Insn.t array -> t
+(** A machine at reset: PC 0, PCC spanning the code, DDC (capability
+    register 0) spanning all of data memory with every permission,
+    stack capability (register 11) over the stack region, stack
+    pointer (GPR 29) at the top of memory. Raises [Invalid_argument]
+    if any instruction is unresolved — link with {!Cheri_asm} first. *)
+
+val config : t -> config
+val mem : t -> Cheri_tagmem.Tagmem.t
+val gpr : t -> int -> int64
+val set_gpr : t -> int -> int64 -> unit
+val cap : t -> int -> Cheri_core.Capability.t
+val set_cap : t -> int -> Cheri_core.Capability.t -> unit
+val pc : t -> int
+val cycles : t -> int
+val instret : t -> int
+val output : t -> string
+(** Everything the program printed via syscalls. *)
+
+val heap_base : t -> int64
+val stack_top : t -> int64
+
+val reserve_data : t -> int64 -> int64 -> unit
+(** [reserve_data t base size] removes the loaded data segment from the
+    allocator's free list. Called by the {!Cheri_asm} loader. *)
+
+(** {1 Execution} *)
+
+val step : t -> outcome option
+(** Execute one instruction; [None] while the program keeps running. *)
+
+val run : ?fuel:int -> t -> outcome
+(** Run until exit, trap, or [fuel] instructions (default 200 million). *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  st_cycles : int;
+  st_instret : int;
+  st_loads : int;
+  st_stores : int;
+  st_cap_loads : int;
+  st_cap_stores : int;
+  st_l1_hits : int;
+  st_l1_misses : int;
+  st_l2_hits : int;
+  st_l2_misses : int;
+  st_heap_allocated : int64;  (** total bytes ever handed out by malloc *)
+}
+
+val stats : t -> stats
+
+(** {1 Syscall ABI}
+
+    Syscall number in GPR 2; arguments in GPRs 4-7; integer results in
+    GPR 2; capability results in capability register 1.
+
+    - 1 exit(code=r4)
+    - 2 print_int(r4) — decimal, no newline
+    - 3 print_char(r4)
+    - 4 malloc(size=r4) → address in r2 and a tagged, exactly-bounded
+      read/write capability in c1 (the paper's "it is the
+      responsibility of the allocator ... to correctly set the length")
+    - 5 free(addr=r4)
+    - 6 clock → current cycle count in r2
+    - 7 print_bytes(addr=r4, len=r5) — legacy addressing via DDC *)
+
+val syscall_exit : int64
+val syscall_print_int : int64
+val syscall_print_char : int64
+val syscall_malloc : int64
+val syscall_free : int64
+val syscall_clock : int64
+val syscall_print_bytes : int64
+
+val syscall_print_cstr : int64
+(** syscall 8: print the NUL-terminated string at legacy address r4. *)

@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Buffer Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Ast Char Format Int64 Lexer List String

@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Ast Format Int64 List Option Parser Printf String Typed

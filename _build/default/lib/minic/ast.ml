@@ -1,0 +1,115 @@
+(* Untyped parse tree for the mini-C language.
+
+   The language covers the C subset the paper's evaluation needs:
+   integers of all four widths (signed and unsigned), pointers with
+   const-qualified pointees, arrays, structs, unions, the [intcap_t]
+   type from the CHERI C dialect (§4.2: an integer type with pointer
+   representation), and the usual statements and operators. *)
+
+type ty =
+  | Tvoid
+  | Tint of { bits : int; signed : bool }
+  | Tintcap  (** integer held in pointer representation (CHERI intcap_t) *)
+  | Tptr of { pointee : ty; pointee_const : bool }
+  | Tarray of ty * int
+  | Tstruct of string
+  | Tunion of string
+  | Tfunptr of { fret : ty; fparams : ty list }
+      (** pointer to function; represented as a code address (the paper
+          notes per-function code capabilities need a whole new ABI) *)
+
+let tchar = Tint { bits = 8; signed = true }
+let tuchar = Tint { bits = 8; signed = false }
+let tshort = Tint { bits = 16; signed = true }
+let tushort = Tint { bits = 16; signed = false }
+let tint = Tint { bits = 32; signed = true }
+let tuint = Tint { bits = 32; signed = false }
+let tlong = Tint { bits = 64; signed = true }
+let tulong = Tint { bits = 64; signed = false }
+let ptr ?(const = false) pointee = Tptr { pointee; pointee_const = const }
+
+type unop = Neg | Bnot | Lnot
+type incdec = Preinc | Predec | Postinc | Postdec
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shl
+  | Shr
+  | Band
+  | Bor
+  | Bxor
+  | Land
+  | Lor
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type expr =
+  | Enum of int64
+  | Estr of string
+  | Eident of string
+  | Eunop of unop * expr
+  | Eincdec of incdec * expr
+  | Ebinop of binop * expr * expr
+  | Eassign of expr * expr
+  | Eassign_op of binop * expr * expr
+  | Ecall of string * expr list
+  | Ecall_ptr of expr * expr list  (** call through a function-pointer expression *)
+  | Eindex of expr * expr
+  | Efield of expr * string
+  | Earrow of expr * string
+  | Ederef of expr
+  | Eaddr of expr
+  | Ecast of ty * expr
+  | Esizeof_ty of ty
+  | Esizeof_expr of expr
+  | Econd of expr * expr * expr
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of { const : bool; ty : ty; name : string; init : expr option }
+  | Sif of expr * block * block
+  | Swhile of expr * block
+  | Sdo of block * expr
+  | Sfor of stmt option * expr option * expr option * block
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of block
+
+and block = stmt list
+
+type param = { pty : ty; pname : string }
+
+type top =
+  | Tfunc of { ret : ty; name : string; params : param list; body : block }
+  | Tglobal of { const : bool; ty : ty; name : string; init : expr option }
+  | Tstructdef of string * (ty * string) list
+  | Tuniondef of string * (ty * string) list
+
+type program = top list
+
+let rec pp_ty ppf = function
+  | Tvoid -> Format.pp_print_string ppf "void"
+  | Tint { bits; signed } ->
+      Format.fprintf ppf "%s%s"
+        (if signed then "" else "unsigned ")
+        (match bits with 8 -> "char" | 16 -> "short" | 32 -> "int" | _ -> "long")
+  | Tintcap -> Format.pp_print_string ppf "intcap_t"
+  | Tptr { pointee; pointee_const } ->
+      Format.fprintf ppf "%s%a*" (if pointee_const then "const " else "") pp_ty pointee
+  | Tarray (t, n) -> Format.fprintf ppf "%a[%d]" pp_ty t n
+  | Tstruct s -> Format.fprintf ppf "struct %s" s
+  | Tunion s -> Format.fprintf ppf "union %s" s
+  | Tfunptr { fret; fparams } ->
+      Format.fprintf ppf "%a(*)(%s)" pp_ty fret
+        (String.concat ", " (List.map (fun t -> Format.asprintf "%a" pp_ty t) fparams))
+
+let ty_equal (a : ty) (b : ty) = a = b

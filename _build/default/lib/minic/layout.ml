@@ -1,0 +1,76 @@
+type target = { ptr_size : int; ptr_align : int }
+
+let mips_target = { ptr_size = 8; ptr_align = 8 }
+let cheri_target = { ptr_size = 32; ptr_align = 32 }
+
+exception Unknown_tag of string
+exception Unsized of Ast.ty
+
+let align_up n a = (n + a - 1) / a * a
+
+let fields p ty =
+  match Typed.fields_of p ty with
+  | Some fs -> fs
+  | None -> (
+      match ty with
+      | Ast.Tstruct tag | Ast.Tunion tag -> raise (Unknown_tag tag)
+      | _ -> invalid_arg "Layout.fields: not an aggregate")
+
+let rec size_of p target ty =
+  match ty with
+  | Ast.Tvoid -> 0
+  | Ast.Tint { bits; _ } -> bits / 8
+  | Ast.Tintcap | Ast.Tptr _ -> target.ptr_size
+  | Ast.Tfunptr _ -> 8
+  | Ast.Tarray (elem, n) -> size_of p target elem * n
+  | Ast.Tstruct _ ->
+      let size, align =
+        List.fold_left
+          (fun (off, align) (_, fty) ->
+            let fa = align_of p target fty in
+            (align_up off fa + size_of p target fty, max align fa))
+          (0, 1) (fields p ty)
+      in
+      align_up (max size 1) align
+  | Ast.Tunion _ ->
+      let size, align =
+        List.fold_left
+          (fun (size, align) (_, fty) ->
+            (max size (size_of p target fty), max align (align_of p target fty)))
+          (1, 1) (fields p ty)
+      in
+      align_up size align
+
+and align_of p target ty =
+  match ty with
+  | Ast.Tvoid -> 1
+  | Ast.Tint { bits; _ } -> bits / 8
+  | Ast.Tintcap | Ast.Tptr _ -> target.ptr_align
+  | Ast.Tfunptr _ -> 8
+  | Ast.Tarray (elem, _) -> align_of p target elem
+  | Ast.Tstruct _ | Ast.Tunion _ ->
+      List.fold_left (fun a (_, fty) -> max a (align_of p target fty)) 1 (fields p ty)
+
+let elem_size p target ty =
+  match ty with
+  | Ast.Tvoid -> 1
+  | _ -> ( match size_of p target ty with 0 -> 1 | n -> n)
+
+let field_offset p target ty field =
+  match ty with
+  | Ast.Tunion _ ->
+      if List.mem_assoc field (fields p ty) then 0 else raise Not_found
+  | Ast.Tstruct _ ->
+      let rec go off = function
+        | [] -> raise Not_found
+        | (name, fty) :: rest ->
+            let off = align_up off (align_of p target fty) in
+            if name = field then off else go (off + size_of p target fty) rest
+      in
+      go 0 (fields p ty)
+  | _ -> invalid_arg "Layout.field_offset: not an aggregate"
+
+let field_type p ty field =
+  match Typed.fields_of p ty with
+  | Some fs -> ( match List.assoc_opt field fs with Some t -> t | None -> raise Not_found)
+  | None -> invalid_arg "Layout.field_type: not an aggregate"

@@ -1,0 +1,37 @@
+(** Data layout, parameterized by the target's pointer representation.
+
+    The same typed program lays out differently per backend: a pointer
+    (and an [intcap_t]) is 8 bytes with 8-byte alignment under the
+    PDP-11-style models, but a 32-byte, 32-byte-aligned capability in
+    the pure-capability ABIs — the paper's §4.1 observation that "an
+    array of fat pointers … would use 64 bytes per pointer" is about
+    exactly this pressure. *)
+
+type target = { ptr_size : int; ptr_align : int }
+
+val mips_target : target
+(** 8-byte pointers: the PDP-11 / MIPS ABI and all non-CHERI models. *)
+
+val cheri_target : target
+(** 32-byte capabilities (256-bit, naturally aligned). *)
+
+exception Unknown_tag of string
+exception Unsized of Ast.ty
+
+val size_of : Typed.program -> target -> Ast.ty -> int
+(** sizeof. [void] has size 0 (GNU-style, only used by [void*]
+    arithmetic, which scales by 1 — see {!elem_size}). Raises
+    {!Unsized} for function-ish types. *)
+
+val align_of : Typed.program -> target -> Ast.ty -> int
+
+val elem_size : Typed.program -> target -> Ast.ty -> int
+(** Pointer-arithmetic scale factor for a pointee type: like
+    {!size_of} but [void] and incomplete types scale by 1. *)
+
+val field_offset : Typed.program -> target -> Ast.ty -> string -> int
+(** [field_offset p target aggregate_ty field] — byte offset of
+    [field] in a struct (always 0 in a union). Raises {!Unknown_tag}
+    or [Not_found]. *)
+
+val field_type : Typed.program -> Ast.ty -> string -> Ast.ty

@@ -1,0 +1,21 @@
+(** Hand-written lexer for the mini-C language. *)
+
+type token =
+  | INT_LIT of int64
+  | STR_LIT of string
+  | CHAR_LIT of char
+  | IDENT of string
+  | KW of string  (** keywords: int, char, struct, if, while, ... *)
+  | PUNCT of string  (** operators and punctuation, longest-match *)
+  | EOF
+
+type t = { tok : token; line : int }
+
+exception Lex_error of string * int  (** message, line *)
+
+val tokenize : string -> t list
+(** Tokenize a whole translation unit. Handles decimal, hex ([0x..])
+    and character literals, string literals with the usual escapes,
+    [//] and [/* */] comments. *)
+
+val pp_token : Format.formatter -> token -> unit

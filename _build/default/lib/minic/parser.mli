@@ -1,0 +1,15 @@
+(** Recursive-descent parser producing the untyped {!Ast}.
+
+    Grammar notes: no typedefs (so cast disambiguation is purely
+    syntactic), no floating point, prototypes are accepted and
+    ignored, declarations may carry comma-separated declarator lists,
+    and global arrays accept brace or string initializers. *)
+
+exception Parse_error of string * int  (** message, line *)
+
+val parse : string -> Ast.program
+(** Parse a whole translation unit from source text. Raises
+    {!Parse_error} or {!Lexer.Lex_error}. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (for tests). *)

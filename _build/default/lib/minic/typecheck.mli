@@ -1,0 +1,19 @@
+(** Type checker: untyped {!Ast} to {!Typed}.
+
+    Beyond ordinary C checking, this pass performs the desugarings the
+    backends rely on: array decay, pointer-arithmetic scaling (kept
+    symbolic), logical-condition normalization (pointer conditions
+    become comparisons against null), local-variable renaming so every
+    local in a function body has a unique name, and classification of
+    [intcap_t] arithmetic. Writing through a const lvalue is a
+    compile-time error; writing through a *deconst-cast* pointer
+    type-checks fine — whether it works at run time is exactly the
+    DECONST row of Table 3. *)
+
+exception Type_error of string
+
+val check_program : Ast.program -> Typed.program
+(** Raises {!Type_error} with a descriptive message. *)
+
+val compile : string -> Typed.program
+(** Parse and check source text in one step. *)

@@ -1,0 +1,173 @@
+(* Typed abstract syntax, produced by {!Typecheck}.
+
+   Every expression node carries its C type. Layout-dependent facts —
+   sizeof, struct field offsets, pointer scaling — stay *symbolic*
+   here, because the paper's whole point is that different
+   interpretations of the abstract machine disagree on pointer
+   representation: a pointer is 8 bytes under the PDP-11 model and 32
+   bytes as a capability, so one typed program must lay out
+   differently per backend (see {!Layout}). *)
+
+type ty = Ast.ty
+
+type builtin =
+  | Bmalloc
+  | Bfree
+  | Bprint_int
+  | Bprint_char
+  | Bprint_str
+  | Bclock
+  | Bexit
+
+let builtin_of_name = function
+  | "malloc" -> Some Bmalloc
+  | "free" -> Some Bfree
+  | "print_int" -> Some Bprint_int
+  | "print_char" -> Some Bprint_char
+  | "print_str" -> Some Bprint_str
+  | "clock" -> Some Bclock
+  | "exit" -> Some Bexit
+  | _ -> None
+
+type expr = { e : expr_kind; ty : ty }
+
+and expr_kind =
+  | Num of int64
+  | Str of string
+  | Load of lvalue
+  | Addr_of of lvalue
+  | Unop of Ast.unop * expr
+  | Binop of Ast.binop * expr * expr
+      (* integer-only; Land/Lor are short-circuit in every backend *)
+  | Ptr_add of { p : expr; i : expr; elem : ty }
+      (* p + i, scaled by the backend's sizeof(elem); i may be negative *)
+  | Ptr_diff of { a : expr; b : expr; elem : ty }
+  | Ptr_cmp of Ast.binop * expr * expr  (* Eq/Ne/Lt/Le/Gt/Ge on pointers *)
+  | Intcap_arith of Ast.binop * expr * expr
+      (* arithmetic on intcap_t: left operand carries provenance *)
+  | Assign of lvalue * expr  (* value is the assigned value *)
+  | Call of string * expr list
+  | Fun_addr of string  (* the address of a named function *)
+  | Call_ptr of expr * expr list  (* indirect call through Tfunptr *)
+  | Builtin of builtin * expr list
+  | Cast of expr  (* target type is [ty] of this node *)
+  | Cond of expr * expr * expr
+  | Incdec of Ast.incdec * lvalue
+  | Sizeof of ty  (* symbolic: backend-dependent *)
+
+and lvalue = { l : lvalue_kind; lty : ty; lconst : bool }
+
+and lvalue_kind =
+  | Lvar of string  (* local or parameter *)
+  | Lglobal of string
+  | Lderef of expr  (* the expr has pointer type, pointee [lty] *)
+  | Lfield of lvalue * string  (* aggregate lvalue, field name *)
+
+type stmt =
+  | Expr of expr
+  | Decl of { name : string; ty : ty; const : bool; init : expr option }
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Dowhile of stmt list * expr
+  | For of stmt option * expr option * expr option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Block of stmt list
+
+type func = { fname : string; ret : ty; params : (string * ty) list; body : stmt list }
+
+type ginit =
+  | Izero
+  | Iint of int64
+  | Ilist of int64 list  (* array of integer constants *)
+  | Istr of string  (* char array/pointer initializer *)
+
+type global = { gname : string; gty : ty; gconst : bool; ginit : ginit }
+
+type program = {
+  structs : (string * (string * ty) list) list;
+  unions : (string * (string * ty) list) list;
+  globals : global list;
+  funcs : func list;
+}
+
+let find_func p name = List.find_opt (fun f -> f.fname = name) p.funcs
+let find_global p name = List.find_opt (fun g -> g.gname = name) p.globals
+
+let fields_of p = function
+  | Ast.Tstruct tag -> List.assoc_opt tag p.structs
+  | Ast.Tunion tag -> List.assoc_opt tag p.unions
+  | _ -> None
+
+let rec is_pointer = function
+  | Ast.Tptr _ -> true
+  | Ast.Tarray (t, _) -> is_pointer t && false
+  | _ -> false
+
+let is_integer = function Ast.Tint _ -> true | _ -> false
+let is_intcap = function Ast.Tintcap -> true | _ -> false
+
+(* Iterators used by the static analyzer. *)
+
+let rec iter_expr f (e : expr) =
+  f e;
+  match e.e with
+  | Num _ | Str _ | Sizeof _ | Fun_addr _ -> ()
+  | Load lv | Addr_of lv -> iter_lvalue f lv
+  | Unop (_, a) | Cast a -> iter_expr f a
+  | Binop (_, a, b) | Ptr_cmp (_, a, b) | Intcap_arith (_, a, b) ->
+      iter_expr f a;
+      iter_expr f b
+  | Ptr_add { p; i; _ } ->
+      iter_expr f p;
+      iter_expr f i
+  | Ptr_diff { a; b; _ } ->
+      iter_expr f a;
+      iter_expr f b
+  | Assign (lv, v) ->
+      iter_lvalue f lv;
+      iter_expr f v
+  | Call (_, args) | Builtin (_, args) -> List.iter (iter_expr f) args
+  | Call_ptr (fn, args) ->
+      iter_expr f fn;
+      List.iter (iter_expr f) args
+  | Cond (c, a, b) ->
+      iter_expr f c;
+      iter_expr f a;
+      iter_expr f b
+  | Incdec (_, lv) -> iter_lvalue f lv
+
+and iter_lvalue f lv =
+  match lv.l with
+  | Lvar _ | Lglobal _ -> ()
+  | Lderef e -> iter_expr f e
+  | Lfield (base, _) -> iter_lvalue f base
+
+let rec iter_stmt f_expr f_stmt (s : stmt) =
+  f_stmt s;
+  let iter_block = List.iter (iter_stmt f_expr f_stmt) in
+  match s with
+  | Expr e -> iter_expr f_expr e
+  | Decl { init; _ } -> Option.iter (iter_expr f_expr) init
+  | If (c, a, b) ->
+      iter_expr f_expr c;
+      iter_block a;
+      iter_block b
+  | While (c, body) ->
+      iter_expr f_expr c;
+      iter_block body
+  | Dowhile (body, c) ->
+      iter_block body;
+      iter_expr f_expr c
+  | For (init, cond, step, body) ->
+      Option.iter (iter_stmt f_expr f_stmt) init;
+      Option.iter (iter_expr f_expr) cond;
+      Option.iter (iter_expr f_expr) step;
+      iter_block body
+  | Return e -> Option.iter (iter_expr f_expr) e
+  | Break | Continue -> ()
+  | Block b -> iter_block b
+
+let iter_program f_expr f_stmt p =
+  List.iter (fun fn -> List.iter (iter_stmt f_expr f_stmt) fn.body) p.funcs

@@ -1,0 +1,1 @@
+lib/models/bounds_table.ml: Cheri_util Fault Flat_heap Format Hashtbl Int64 Model_util

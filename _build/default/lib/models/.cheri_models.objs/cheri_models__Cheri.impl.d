@@ -1,0 +1,1 @@
+lib/models/cheri.ml: Array Cheri_core Cheri_util Fault Flat_heap Hashtbl Int64 List Minic Model_util

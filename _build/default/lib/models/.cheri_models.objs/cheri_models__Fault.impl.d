@@ -1,0 +1,1 @@
+lib/models/fault.ml: Cheri_core Format Int64

@@ -1,0 +1,1 @@
+lib/models/flat_heap.ml: Array Bits Bytes Char Cheri_util Fault Hashtbl Int64

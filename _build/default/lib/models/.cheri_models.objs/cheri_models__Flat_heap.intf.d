@@ -1,0 +1,1 @@
+lib/models/flat_heap.mli: Bytes Fault

@@ -1,0 +1,1 @@
+lib/models/hardbound.ml: Bounds_table Minic

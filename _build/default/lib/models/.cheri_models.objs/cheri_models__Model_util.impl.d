@@ -1,0 +1,1 @@
+lib/models/model_util.ml: Fault Flat_heap Int64 Printf

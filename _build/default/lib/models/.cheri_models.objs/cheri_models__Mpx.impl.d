@@ -1,0 +1,1 @@
+lib/models/mpx.ml: Bounds_table Cheri_util Int64 Minic

@@ -1,0 +1,1 @@
+lib/models/pdp11.ml: Cheri_util Fault Flat_heap Format Int64 Minic Model_util

@@ -1,0 +1,1 @@
+lib/models/registry.ml: Cheri Hardbound List Model Mpx Pdp11 Relaxed Strict String

@@ -1,0 +1,1 @@
+lib/models/relaxed.ml: Cheri_util Fault Flat_heap Format Int64 Minic

@@ -1,0 +1,1 @@
+lib/models/strict.ml: Fault Flat_heap Format Hashtbl Int64 Minic

@@ -1,0 +1,187 @@
+(* The two CHERI interpretations, as a functor over the ISA revision.
+
+   Pointers are capabilities executed through {!Cheri_core.Cap_ops},
+   the same semantics module the ISA simulator uses — so Table 3's
+   CHERI rows and the whole-program runs of §5.2 share one definition
+   of what the hardware permits. In-memory pointers live in a shadow
+   keyed by their (32-byte aligned) storage address, mirroring tagged
+   memory: any data store into the granule detags the capability. *)
+
+module Cap = Cheri_core.Capability
+module Ops = Cheri_core.Cap_ops
+module Perms = Cheri_core.Perms
+
+module type REVISION = sig
+  val revision : Ops.revision
+  val name : string
+  val description : string
+end
+
+module Make (R : REVISION) = struct
+  let name = R.name
+  let description = R.description
+  let target = Minic.Layout.cheri_target
+  let enforces_const = R.revision = Ops.V2
+
+  type ptr = Cap.t
+
+  type heap = { flat : Flat_heap.t; cap_shadow : (int64, Cap.t) Hashtbl.t }
+
+  let create () = { flat = Flat_heap.create (); cap_shadow = Hashtbl.create 64 }
+  let null = Cap.null
+  let is_null _ p = Ops.c_ptr_cmp p Cap.null = 0
+  let pp_ptr = Cap.pp
+  let cap_err f = Error (Fault.Cap f)
+  let lift = function Ok v -> Ok v | Error f -> cap_err f
+
+  let alloc heap ~size ~const =
+    let o = Flat_heap.alloc heap.flat ~size ~const in
+    let perms = if const then Perms.read_only else Perms.all in
+    Ok (Cap.make ~base:o.Flat_heap.vbase ~length:size ~perms)
+
+  let free heap p =
+    if not (Ops.c_get_tag p) then cap_err Cheri_core.Cap_fault.Tag_violation
+    else
+      match Model_util.find_base heap.flat (Cap.address p) with
+      | Some o -> Flat_heap.free_obj heap.flat o
+      | None -> Error (Fault.Invalid_pointer "free of non-allocation address")
+
+  let add _ p d = lift (Ops.ptr_add R.revision p d)
+  let diff _ a b = lift (Ops.ptr_sub R.revision a b)
+  let cmp _ a b = Ok (Ops.c_ptr_cmp a b)
+
+  (* capabilities keep the bounds of the original object on member
+     derivation — the property that makes CONTAINER safe to support *)
+  let field heap p ~off ~size:_ = add heap p off
+  let to_int _ p = Ok (Ops.cap_to_int p)
+
+  (* a plain integer holds no capability: the reconstructed pointer is
+     untagged and will trap on dereference *)
+  let of_int _ ~modified:_ v = if v = 0L then Ok Cap.null else Ok (Ops.int_to_cap R.revision v)
+  let intcap_of_int _ v = Ops.int_to_cap R.revision v
+  let intcap_to_int _ p = Ops.cap_to_int p
+
+  let intcap_arith _ ~f p rhs =
+    match R.revision with
+    | Ops.V2 -> Error (Fault.Unsupported "intcap_t arithmetic (CHERIv2 supports only store/load)")
+    | Ops.V3 ->
+        let v = f (Ops.cap_to_int p) rhs in
+        lift (Ops.c_set_offset Ops.V3 p (Int64.sub v (Ops.c_get_base p)))
+
+  let data_access heap p ~size ~perm k =
+    let addr = Cap.address p in
+    match Cap.check_access p ~addr ~size ~perm with
+    | Error f -> cap_err f
+    | Ok () -> (
+        (* no temporal safety in this paper's CHERI: freed objects are
+           still reachable through live capabilities *)
+        match Model_util.resolve heap.flat addr ~check_live:false with
+        | Error e -> Error e
+        | Ok (o, off) -> k o off addr)
+
+  let clear_shadow heap addr size =
+    let first = Cheri_util.Bits.align_down addr 32 in
+    let last = Cheri_util.Bits.align_down (Int64.add addr (Int64.of_int (size - 1))) 32 in
+    let rec go a =
+      Hashtbl.remove heap.cap_shadow a;
+      if Cheri_util.Bits.ult a last then go (Int64.add a 32L)
+    in
+    go first
+
+  let load heap p ~size =
+    data_access heap p ~size ~perm:Perms.Load (fun o off _ -> Flat_heap.load o ~off ~size)
+
+  let store heap p ~size v =
+    data_access heap p ~size ~perm:Perms.Store (fun o off addr ->
+        match Flat_heap.store o ~off ~size v with
+        | Error e -> Error e
+        | Ok () ->
+            clear_shadow heap addr size;
+            Ok ())
+
+  let cap_width = Cap.byte_width
+
+  let store_ptr heap loc v =
+    let addr = Cap.address loc in
+    if not (Cheri_util.Bits.is_aligned addr cap_width) then Error (Fault.Misaligned addr)
+    else
+      data_access heap loc ~size:cap_width ~perm:Perms.Store_cap (fun o off _ ->
+          let words = Cap.to_words v in
+          let rec write i =
+            if i = 4 then Ok ()
+            else
+              match Flat_heap.store o ~off:(Int64.add off (Int64.of_int (8 * i))) ~size:8 words.(i) with
+              | Error e -> Error e
+              | Ok () -> write (i + 1)
+          in
+          match write 0 with
+          | Error e -> Error e
+          | Ok () ->
+              clear_shadow heap addr cap_width;
+              if Ops.c_get_tag v then Hashtbl.replace heap.cap_shadow addr v;
+              Ok ())
+
+  let load_ptr heap loc =
+    let addr = Cap.address loc in
+    if not (Cheri_util.Bits.is_aligned addr cap_width) then Error (Fault.Misaligned addr)
+    else
+      data_access heap loc ~size:cap_width ~perm:Perms.Load_cap (fun o off _ ->
+          match Hashtbl.find_opt heap.cap_shadow addr with
+          | Some c -> Ok c
+          | None ->
+              (* the granule lost its tag: reconstruct the untagged bit
+                 pattern *)
+              let rec read i acc =
+                if i = 4 then Ok (List.rev acc)
+                else
+                  match Flat_heap.load o ~off:(Int64.add off (Int64.of_int (8 * i))) ~size:8 with
+                  | Error e -> Error e
+                  | Ok w -> read (i + 1) (w :: acc)
+              in
+              (match read 0 [] with
+              | Error e -> Error e
+              | Ok ws -> Ok (Cap.of_words ~tag:false (Array.of_list ws))))
+
+  let copy heap ~dst ~src ~len =
+    let len_i = Int64.to_int len in
+    data_access heap src ~size:len_i ~perm:Perms.Load (fun sobj soff src_addr ->
+        match Flat_heap.load_bytes sobj ~off:soff ~len:len_i with
+        | Error e -> Error e
+        | Ok b ->
+            data_access heap dst ~size:len_i ~perm:Perms.Store (fun dobj doff dst_addr ->
+                match Flat_heap.store_bytes dobj ~off:doff b with
+                | Error e -> Error e
+                | Ok () ->
+                    clear_shadow heap dst_addr len_i;
+                    (* tag-preserving copy: move whole, aligned granules *)
+                    let rec go d =
+                      if d + cap_width <= len_i then begin
+                        let s_a = Int64.add src_addr (Int64.of_int d) in
+                        let d_a = Int64.add dst_addr (Int64.of_int d) in
+                        (if
+                           Cheri_util.Bits.is_aligned s_a cap_width
+                           && Cheri_util.Bits.is_aligned d_a cap_width
+                         then
+                           match Hashtbl.find_opt heap.cap_shadow s_a with
+                           | Some c -> Hashtbl.replace heap.cap_shadow d_a c
+                           | None -> ());
+                        go (d + 1)
+                      end
+                    in
+                    go 0;
+                    Ok ()))
+
+  let make_const p = Cap.restrict_perms p Perms.read_only
+end
+
+module V2 = Make (struct
+  let revision = Ops.V2
+  let name = "CHERIv2"
+  let description = "capabilities without offsets; pointer add shrinks bounds"
+end)
+
+module V3 = Make (struct
+  let revision = Ops.V3
+  let name = "CHERIv3"
+  let description = "fat capabilities: (base, bound, offset, permissions)"
+end)

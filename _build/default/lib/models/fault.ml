@@ -1,0 +1,33 @@
+(* Runtime faults of the abstract-machine interpreter.
+
+   Each pointer model maps its protection violations onto these; a
+   fault is the "no" of Table 3 — the idiom did not survive under that
+   interpretation of the C abstract machine. *)
+
+type t =
+  | Out_of_bounds of { addr : int64; base : int64; size : int64 }
+  | Use_after_free
+  | Const_violation
+  | Invalid_pointer of string
+      (* dereference of a value with no live-object interpretation *)
+  | Unrepresentable of string
+      (* the pointer value exists but this model cannot encode it *)
+  | Unsupported of string  (* operation absent from this model *)
+  | Misaligned of int64
+  | Cap of Cheri_core.Cap_fault.t
+  | Out_of_memory
+
+let pp ppf = function
+  | Out_of_bounds { addr; base; size } ->
+      Format.fprintf ppf "out of bounds: 0x%Lx not in [0x%Lx, 0x%Lx)" addr base
+        (Int64.add base size)
+  | Use_after_free -> Format.pp_print_string ppf "use after free"
+  | Const_violation -> Format.pp_print_string ppf "write to const object"
+  | Invalid_pointer why -> Format.fprintf ppf "invalid pointer: %s" why
+  | Unrepresentable why -> Format.fprintf ppf "unrepresentable pointer: %s" why
+  | Unsupported what -> Format.fprintf ppf "unsupported: %s" what
+  | Misaligned a -> Format.fprintf ppf "misaligned access at 0x%Lx" a
+  | Cap f -> Cheri_core.Cap_fault.pp ppf f
+  | Out_of_memory -> Format.pp_print_string ppf "out of memory"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,151 @@
+open Cheri_util
+
+type obj = {
+  id : int;
+  vbase : int64;
+  size : int64;
+  data : Bytes.t;
+  mutable freed : bool;
+  const : bool;
+}
+
+type t = {
+  mutable objects : obj array;  (* sorted by vbase; grows *)
+  mutable count : int;
+  by_id : (int, obj) Hashtbl.t;
+  mutable next_base : int64;
+  mutable next_id : int;
+}
+
+let initial_base = 0x1_0000_0000L (* 4 GiB: see interface *)
+let guard_gap = 32L
+
+let create () =
+  {
+    objects = [||];
+    count = 0;
+    by_id = Hashtbl.create 64;
+    next_base = initial_base;
+    next_id = 1;
+  }
+
+let push t o =
+  if t.count = Array.length t.objects then begin
+    let bigger = Array.make (max 16 (2 * t.count)) o in
+    Array.blit t.objects 0 bigger 0 t.count;
+    t.objects <- bigger
+  end;
+  t.objects.(t.count) <- o;
+  t.count <- t.count + 1
+
+let slack = 32
+(* Objects carry [slack] bytes of extra storage past their nominal end,
+   so that unchecked models can replicate the way small heap overruns
+   silently "work" on conventional implementations. Checked models
+   never look at it. *)
+
+let alloc t ~size ~const =
+  let size = Bits.umax size 1L in
+  let o =
+    {
+      id = t.next_id;
+      vbase = t.next_base;
+      size;
+      data = Bytes.make (Int64.to_int size + slack) '\000';
+      freed = false;
+      const;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.next_base <- Bits.align_up (Int64.add t.next_base (Int64.add size guard_gap)) 32;
+  Hashtbl.replace t.by_id o.id o;
+  push t o;
+  o
+
+let free_obj _t o =
+  if o.freed then Error (Fault.Invalid_pointer "double free")
+  else begin
+    o.freed <- true;
+    Ok ()
+  end
+
+(* binary search: objects are allocated with ascending vbase *)
+let find t addr =
+  let rec go lo hi =
+    if lo > hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let o = t.objects.(mid) in
+      if Bits.ult addr o.vbase then go lo (mid - 1)
+      else if Bits.uge addr (Int64.add o.vbase o.size) then go (mid + 1) hi
+      else Some o
+  in
+  go 0 (t.count - 1)
+
+let find_loose t addr =
+  match find t addr with
+  | Some _ as r -> r
+  | None ->
+      (* greatest vbase <= addr, accepting hits in the slack region *)
+      let rec go lo hi best =
+        if lo > hi then best
+        else
+          let mid = (lo + hi) / 2 in
+          let o = t.objects.(mid) in
+          if Bits.ule o.vbase addr then go (mid + 1) hi (Some o) else go lo (mid - 1) best
+      in
+      (match go 0 (t.count - 1) None with
+      | Some o
+        when Bits.ult addr (Int64.add o.vbase (Int64.add o.size (Int64.of_int slack))) ->
+          Some o
+      | _ -> None)
+
+let by_id t id = Hashtbl.find_opt t.by_id id
+
+let check ?(loose = false) o ~off ~len =
+  let limit = if loose then Int64.add o.size (Int64.of_int slack) else o.size in
+  if Int64.compare off 0L < 0 || Bits.ugt (Int64.add off (Int64.of_int len)) limit then
+    Error (Fault.Out_of_bounds { addr = Int64.add o.vbase off; base = o.vbase; size = o.size })
+  else Ok ()
+
+let load ?loose o ~off ~size =
+  match check ?loose o ~off ~len:size with
+  | Error _ as e -> e
+  | Ok () ->
+      let i = Int64.to_int off in
+      Ok
+        (match size with
+        | 1 -> Int64.of_int (Char.code (Bytes.get o.data i))
+        | 2 -> Int64.of_int (Bytes.get_uint16_le o.data i)
+        | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le o.data i)) 0xffffffffL
+        | 8 -> Bytes.get_int64_le o.data i
+        | _ -> invalid_arg "Flat_heap.load: bad size")
+
+let store ?loose o ~off ~size v =
+  if o.const then Error Fault.Const_violation
+  else
+    match check ?loose o ~off ~len:size with
+    | Error _ as e -> e
+    | Ok () ->
+        let i = Int64.to_int off in
+        (match size with
+        | 1 -> Bytes.set o.data i (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
+        | 2 -> Bytes.set_uint16_le o.data i (Int64.to_int (Int64.logand v 0xffffL))
+        | 4 -> Bytes.set_int32_le o.data i (Int64.to_int32 v)
+        | 8 -> Bytes.set_int64_le o.data i v
+        | _ -> invalid_arg "Flat_heap.store: bad size");
+        Ok ()
+
+let load_bytes o ~off ~len =
+  match check o ~off ~len with
+  | Error e -> Error e
+  | Ok () -> Ok (Bytes.sub o.data (Int64.to_int off) len)
+
+let store_bytes o ~off b =
+  if o.const then Error Fault.Const_violation
+  else
+    match check o ~off ~len:(Bytes.length b) with
+    | Error e -> Error e
+    | Ok () ->
+        Bytes.blit b 0 o.data (Int64.to_int off) (Bytes.length b);
+        Ok ()

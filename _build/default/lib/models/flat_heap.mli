@@ -1,0 +1,52 @@
+(** Object store shared by every pointer model.
+
+    Objects carry a virtual base address in a single 64-bit address
+    space, but their storage is per-object — an access must land
+    wholly inside one live-or-freed object. Virtual addresses start at
+    4 GiB so that any model truncating a pointer to 32 bits (the WIDE
+    idiom) produces an address with no object behind it, exactly as on
+    a real 64-bit platform with high mappings. *)
+
+type obj = {
+  id : int;
+  vbase : int64;
+  size : int64;
+  data : Bytes.t;
+  mutable freed : bool;
+  const : bool;
+}
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> size:int64 -> const:bool -> obj
+(** A fresh object at the next virtual address (32-byte aligned, with
+    a guard gap so adjacent objects are never contiguous). *)
+
+val free_obj : t -> obj -> (unit, Fault.t) result
+(** Marks freed; double-free is a fault. The storage remains readable
+    for models without temporal safety. *)
+
+val find : t -> int64 -> obj option
+(** The object whose [vbase, vbase+size) contains the address, live or
+    freed. *)
+
+val find_loose : t -> int64 -> obj option
+(** Like {!find} but also accepts addresses in the slack region past an
+    object's nominal end. *)
+
+val by_id : t -> int -> obj option
+
+val load : ?loose:bool -> obj -> off:int64 -> size:int -> (int64, Fault.t) result
+(** Little-endian load within the object; bounds-checked against the
+    object's extent (this is the physical access — models add their
+    own checks before getting here). With [loose], the check extends
+    into the object's slack storage, so unchecked models replicate the
+    way small heap overruns silently succeed on real systems. *)
+
+val store : ?loose:bool -> obj -> off:int64 -> size:int -> int64 -> (unit, Fault.t) result
+(** Fails with [Const_violation] on const objects. *)
+
+val load_bytes : obj -> off:int64 -> len:int -> (bytes, Fault.t) result
+val store_bytes : obj -> off:int64 -> bytes -> (unit, Fault.t) result

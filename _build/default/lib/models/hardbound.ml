@@ -1,0 +1,38 @@
+(* HardBound (Devietti et al., ASPLOS 2008) as characterized by the
+   paper: bounds ride with every pointer, member derivation keeps the
+   whole object's bounds, and any pointer whose provenance the scheme
+   loses *fails closed* — a detectable trap rather than an unchecked
+   access. IA and MASK therefore break; INT works as long as the
+   integer is not modified. *)
+
+let name = "HardBound"
+let description = "per-pointer bounds, fail-closed on lost provenance"
+let target = Minic.Layout.mips_target
+let enforces_const = false
+
+type ptr = Bounds_table.ptr
+type heap = Bounds_table.heap
+
+let create = Bounds_table.create
+let null = Bounds_table.null
+let is_null = Bounds_table.is_null
+let pp_ptr = Bounds_table.pp_ptr
+let alloc = Bounds_table.alloc
+let free = Bounds_table.free
+let add = Bounds_table.add
+let diff = Bounds_table.diff
+let cmp = Bounds_table.cmp
+
+(* member derivation keeps the original object's bounds *)
+let field heap p ~off ~size:_ = add heap p off
+let to_int = Bounds_table.to_int
+let of_int = Bounds_table.of_int
+let intcap_of_int = Bounds_table.intcap_of_int
+let intcap_to_int = Bounds_table.intcap_to_int
+let intcap_arith = Bounds_table.intcap_arith
+let load heap p ~size = Bounds_table.load heap ~fail_open:false p ~size
+let store heap p ~size v = Bounds_table.store heap ~fail_open:false p ~size v
+let load_ptr heap p = Bounds_table.load_ptr heap ~fail_open:false p
+let store_ptr heap p v = Bounds_table.store_ptr heap ~fail_open:false p v
+let copy heap ~dst ~src ~len = Bounds_table.copy heap ~fail_open:false ~dst ~src ~len
+let make_const = Bounds_table.make_const

@@ -1,0 +1,85 @@
+(* The pointer-model interface: one implementation per row of Table 3.
+
+   A model decides what a C pointer *is* — its in-register
+   representation, its in-memory representation, what arithmetic and
+   int conversions preserve, and what the dereference check consults.
+   The abstract-machine interpreter ({!Cheri_interp}) is parameterized
+   over this signature, so the idiom test programs run unchanged under
+   every interpretation of the abstract machine. *)
+
+module type S = sig
+  val name : string
+  val description : string
+
+  val target : Minic.Layout.target
+  (** Pointer size/alignment this model needs in data layout. *)
+
+  val enforces_const : bool
+  (** When true, the interpreter strips write permission from pointers
+      the moment they become const-qualified (CHERIv2). *)
+
+  type ptr
+  type heap
+
+  val create : unit -> heap
+  val null : ptr
+  val is_null : heap -> ptr -> bool
+  val pp_ptr : Format.formatter -> ptr -> unit
+
+  (** {2 Objects} *)
+
+  val alloc : heap -> size:int64 -> const:bool -> (ptr, Fault.t) result
+  val free : heap -> ptr -> (unit, Fault.t) result
+
+  (** {2 Pointer arithmetic (byte-granularity)} *)
+
+  val add : heap -> ptr -> int64 -> (ptr, Fault.t) result
+  val diff : heap -> ptr -> ptr -> (int64, Fault.t) result
+  val cmp : heap -> ptr -> ptr -> (int, Fault.t) result
+
+  val field : heap -> ptr -> off:int64 -> size:int64 -> (ptr, Fault.t) result
+  (** Derive a pointer to a member at [off] of size [size]. Models that
+      associate bounds with the static type (Intel MPX) narrow here;
+      everyone else treats it as [add]. *)
+
+  (** {2 Integer conversions} *)
+
+  val to_int : heap -> ptr -> (int64, Fault.t) result
+
+  val of_int : heap -> modified:bool -> int64 -> (ptr, Fault.t) result
+  (** Reconstruct a pointer from an integer. [modified] says whether
+      the value went through arithmetic since it was derived from a
+      pointer (the interpreter tracks this dynamically); schemes whose
+      metadata propagation is compiler-driven (HardBound, MPX, Strict)
+      lose the association exactly then, even if the arithmetic happens
+      to restore the original value (the MASK idiom). [of_int] never
+      checks liveness — invalid values yield poisoned pointers that
+      fault at dereference, matching hardware. *)
+
+  (** {2 intcap_t support} *)
+
+  val intcap_of_int : heap -> int64 -> ptr
+  val intcap_to_int : heap -> ptr -> int64
+
+  val intcap_arith : heap -> f:(int64 -> int64 -> int64) -> ptr -> int64 -> (ptr, Fault.t) result
+  (** Arithmetic on an [intcap_t]: apply [f] to the integer value and
+      the right operand. CHERIv3 recomputes the offset and keeps the
+      capability valid; CHERIv2 has no such operation; integer-backed
+      models just compute. *)
+
+  (** {2 Memory access} *)
+
+  val load : heap -> ptr -> size:int -> (int64, Fault.t) result
+  val store : heap -> ptr -> size:int -> int64 -> (unit, Fault.t) result
+  val load_ptr : heap -> ptr -> (ptr, Fault.t) result
+  val store_ptr : heap -> ptr -> ptr -> (unit, Fault.t) result
+  val copy : heap -> dst:ptr -> src:ptr -> len:int64 -> (unit, Fault.t) result
+  (** memcpy-like: must move pointers opaquely (preserving whatever
+      shadow state makes them valid), like a capability-oblivious
+      memcpy over tagged memory. *)
+
+  val make_const : ptr -> ptr
+  (** Strip write permission where representable; identity elsewhere. *)
+end
+
+type packed = (module S)

@@ -1,0 +1,24 @@
+(* Helpers shared by the address-backed pointer models. *)
+
+let resolve ?(loose = false) heap addr ~check_live =
+  match (if loose then Flat_heap.find_loose heap addr else Flat_heap.find heap addr) with
+  | None ->
+      Error (Fault.Invalid_pointer (Printf.sprintf "no object at address 0x%Lx" addr))
+  | Some o ->
+      if check_live && o.Flat_heap.freed then Error Fault.Use_after_free
+      else Ok (o, Int64.sub addr o.Flat_heap.vbase)
+
+(* copy between two resolved ranges, preserving nothing but raw bytes *)
+let raw_copy heap ~dst ~src ~len ~check_live =
+  let len_i = Int64.to_int len in
+  match (resolve heap dst ~check_live, resolve heap src ~check_live) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (dobj, doff), Ok (sobj, soff) -> (
+      match Flat_heap.load_bytes sobj ~off:soff ~len:len_i with
+      | Error e -> Error e
+      | Ok b -> Flat_heap.store_bytes dobj ~off:doff b)
+
+let find_base heap addr =
+  match Flat_heap.find heap addr with
+  | Some o when o.Flat_heap.vbase = addr -> Some o
+  | _ -> None

@@ -1,0 +1,53 @@
+(* Intel MPX as characterized by the paper: compiler-visible bounds
+   with a look-aside table, biased toward compatibility — when the
+   pointer value no longer matches the tracked metadata, the check
+   *fails open* and the access proceeds unchecked. Member derivation
+   narrows the bounds to the member (the compiler "associated bounds
+   with the inner pointer"), which is why CONTAINER breaks. *)
+
+let name = "Intel MPX"
+let description = "look-aside bounds, fail-open, member-narrowed"
+let target = Minic.Layout.mips_target
+let enforces_const = false
+
+type ptr = Bounds_table.ptr
+type heap = Bounds_table.heap
+
+let create = Bounds_table.create
+let null = Bounds_table.null
+let is_null = Bounds_table.is_null
+let pp_ptr = Bounds_table.pp_ptr
+let alloc = Bounds_table.alloc
+let free = Bounds_table.free
+let add = Bounds_table.add
+let diff = Bounds_table.diff
+let cmp = Bounds_table.cmp
+
+(* Bounds narrow to the member — intersected with whatever bounds the
+   pointer already carries, since the compiler's bndcl/bndcu checks
+   accumulate. A pointer that walked below its member bounds (the
+   container_of pattern) ends up with an empty range and traps. *)
+let field _heap (p : ptr) ~off ~size =
+  let addr = Int64.add p.Bounds_table.addr off in
+  let bounds =
+    match p.Bounds_table.bounds with
+    | Bounds_table.Unknown -> Bounds_table.Unknown
+    | Bounds_table.Known { base; size = bsize } ->
+        let lo = Cheri_util.Bits.umax base addr in
+        let hi = Cheri_util.Bits.umin (Int64.add base bsize) (Int64.add addr size) in
+        let isize = if Cheri_util.Bits.ult lo hi then Int64.sub hi lo else 0L in
+        Bounds_table.Known { base = lo; size = isize }
+  in
+  Ok { Bounds_table.addr; bounds }
+
+let to_int = Bounds_table.to_int
+let of_int = Bounds_table.of_int
+let intcap_of_int = Bounds_table.intcap_of_int
+let intcap_to_int = Bounds_table.intcap_to_int
+let intcap_arith = Bounds_table.intcap_arith
+let load heap p ~size = Bounds_table.load heap ~fail_open:true p ~size
+let store heap p ~size v = Bounds_table.store heap ~fail_open:true p ~size v
+let load_ptr heap p = Bounds_table.load_ptr heap ~fail_open:true p
+let store_ptr heap p v = Bounds_table.store_ptr heap ~fail_open:true p v
+let copy heap ~dst ~src ~len = Bounds_table.copy heap ~fail_open:true ~dst ~src ~len
+let make_const = Bounds_table.make_const

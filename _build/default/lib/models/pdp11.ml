@@ -1,0 +1,51 @@
+(* The PDP-11 / x86 / MIPS interpretation: a pointer is an integer
+   virtual address; all arithmetic and conversions are integer
+   operations; dereference succeeds for any address inside any object,
+   live or freed — no spatial or temporal safety whatsoever. Every
+   row of Table 3 is "yes" except WIDE, which breaks because 64-bit
+   addresses do not fit in 32-bit integers. *)
+
+let name = "x86/MIPS/PDP-11"
+let description = "flat addresses, pointers are integers, no checking"
+let target = Minic.Layout.mips_target
+let enforces_const = false
+
+type ptr = int64
+type heap = Flat_heap.t
+
+let create () = Flat_heap.create ()
+let null = 0L
+let is_null _ p = p = 0L
+let pp_ptr ppf p = Format.fprintf ppf "0x%Lx" p
+
+let alloc heap ~size ~const = Ok (Flat_heap.alloc heap ~size ~const).Flat_heap.vbase
+
+let free heap p =
+  match Model_util.find_base heap p with
+  | Some o -> Flat_heap.free_obj heap o
+  | None -> Error (Fault.Invalid_pointer "free of non-allocation address")
+
+let add _ p d = Ok (Int64.add p d)
+let diff _ a b = Ok (Int64.sub a b)
+let cmp _ a b = Ok (Cheri_util.Bits.ucompare a b)
+let field heap p ~off ~size:_ = add heap p off
+let to_int _ p = Ok p
+let of_int _ ~modified:_ v = Ok v
+let intcap_of_int _ v = v
+let intcap_to_int _ p = p
+let intcap_arith _ ~f p rhs = Ok (f p rhs)
+
+let load heap p ~size =
+  match Model_util.resolve ~loose:true heap p ~check_live:false with
+  | Error e -> Error e
+  | Ok (o, off) -> Flat_heap.load ~loose:true o ~off ~size
+
+let store heap p ~size v =
+  match Model_util.resolve ~loose:true heap p ~check_live:false with
+  | Error e -> Error e
+  | Ok (o, off) -> Flat_heap.store ~loose:true o ~off ~size v
+
+let load_ptr heap p = load heap p ~size:8
+let store_ptr heap p v = store heap p ~size:8 v
+let copy heap ~dst ~src ~len = Model_util.raw_copy heap ~dst ~src ~len ~check_live:false
+let make_const p = p

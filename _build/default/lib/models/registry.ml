@@ -1,0 +1,30 @@
+(* All pointer models, in the row order of Table 3. *)
+
+type entry = { model : Model.packed; name : string }
+
+let pdp11 : Model.packed = (module Pdp11)
+let hardbound : Model.packed = (module Hardbound)
+let mpx : Model.packed = (module Mpx)
+let relaxed : Model.packed = (module Relaxed)
+let strict : Model.packed = (module Strict)
+let cheriv2 : Model.packed = (module Cheri.V2)
+let cheriv3 : Model.packed = (module Cheri.V3)
+
+let all = [ pdp11; hardbound; mpx; relaxed; strict; cheriv2; cheriv3 ]
+
+let name (m : Model.packed) =
+  let module M = (val m) in
+  M.name
+
+let find n = List.find_opt (fun m -> String.lowercase_ascii (name m) = String.lowercase_ascii n) all
+
+let by_key key =
+  match String.lowercase_ascii key with
+  | "pdp11" | "x86" | "mips" -> Some pdp11
+  | "hardbound" -> Some hardbound
+  | "mpx" -> Some mpx
+  | "relaxed" -> Some relaxed
+  | "strict" -> Some strict
+  | "cheriv2" | "v2" -> Some cheriv2
+  | "cheriv3" | "v3" -> Some cheriv3
+  | _ -> None

@@ -1,0 +1,75 @@
+(* The paper's "Relaxed interpreter": a pointer is a packed integer
+   whose top 32 bits name an object and whose low 32 bits are an
+   offset. Integers converted to pointers work as long as the object
+   is still live — "best effort" reconstruction that tolerates
+   arbitrary arithmetic on the low bits but gives only a weak memory
+   model (accidental construction of valid-but-wrong pointers is
+   possible). WIDE still breaks: truncation destroys the object id. *)
+
+let name = "Relaxed"
+let description = "object id in the top 32 bits, offset in the low 32"
+let target = Minic.Layout.mips_target
+let enforces_const = false
+
+type ptr = int64
+type heap = Flat_heap.t
+
+let create () = Flat_heap.create ()
+let null = 0L
+let is_null _ p = p = 0L
+let pp_ptr ppf p = Format.fprintf ppf "(obj %Ld, off %Ld)" (Int64.shift_right_logical p 32)
+    (Cheri_util.Bits.sign_extend p ~width:32)
+
+let pack ~id ~off =
+  Int64.logor (Int64.shift_left (Int64.of_int id) 32) (Int64.logand off 0xffffffffL)
+
+let obj_id p = Int64.to_int (Int64.shift_right_logical p 32)
+let off_of p = Cheri_util.Bits.sign_extend p ~width:32
+
+let alloc heap ~size ~const =
+  let o = Flat_heap.alloc heap ~size ~const in
+  Ok (pack ~id:o.Flat_heap.id ~off:0L)
+
+let resolve heap p =
+  match Flat_heap.by_id heap (obj_id p) with
+  | None -> Error (Fault.Invalid_pointer "no such object")
+  | Some o -> if o.Flat_heap.freed then Error Fault.Use_after_free else Ok (o, off_of p)
+
+let free heap p =
+  if off_of p <> 0L then Error (Fault.Invalid_pointer "free of interior pointer")
+  else
+    match resolve heap p with
+    | Error e -> Error e
+    | Ok (o, _) -> Flat_heap.free_obj heap o
+
+let add _ p d = Ok (pack ~id:(obj_id p) ~off:(Int64.add (off_of p) d))
+
+let diff _ a b =
+  if obj_id a = obj_id b then Ok (Int64.sub (off_of a) (off_of b)) else Ok (Int64.sub a b)
+
+let cmp _ a b = Ok (Cheri_util.Bits.ucompare a b)
+let field heap p ~off ~size:_ = add heap p off
+let to_int _ p = Ok p
+let of_int _ ~modified:_ v = Ok v
+let intcap_of_int _ v = v
+let intcap_to_int _ p = p
+let intcap_arith _ ~f p rhs = Ok (f p rhs)
+
+let load heap p ~size =
+  match resolve heap p with Error e -> Error e | Ok (o, off) -> Flat_heap.load o ~off ~size
+
+let store heap p ~size v =
+  match resolve heap p with Error e -> Error e | Ok (o, off) -> Flat_heap.store o ~off ~size v
+
+let load_ptr heap p = load heap p ~size:8
+let store_ptr heap p v = store heap p ~size:8 v
+
+let copy heap ~dst ~src ~len =
+  match (resolve heap dst, resolve heap src) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (dobj, doff), Ok (sobj, soff) -> (
+      match Flat_heap.load_bytes sobj ~off:soff ~len:(Int64.to_int len) with
+      | Error e -> Error e
+      | Ok b -> Flat_heap.store_bytes dobj ~off:doff b)
+
+let make_const p = p

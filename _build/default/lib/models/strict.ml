@@ -1,0 +1,146 @@
+(* The paper's "Strict interpreter": close to the ideal reading of the
+   C standard. Pointers are abstract (object, offset) pairs; they may
+   be stored in integers and recovered *only if the integer value was
+   not modified* — any arithmetic in integer representation poisons
+   the value. Pointer arithmetic on the abstract form is fine
+   (CONTAINER, SUB, II all work); IA and MASK do not. *)
+
+let name = "Strict"
+let description = "abstract (object, offset) pairs; int roundtrip only if unmodified"
+let target = Minic.Layout.mips_target
+let enforces_const = false
+
+type ptr =
+  | Null
+  | Obj of { id : int; off : int64 }
+  | Intval of int64  (* a plain integer living in intcap representation *)
+  | Poison of string
+
+type heap = { flat : Flat_heap.t; prov : (int64, int * int64) Hashtbl.t }
+
+let create () = { flat = Flat_heap.create (); prov = Hashtbl.create 64 }
+let null = Null
+let is_null _ = function Null -> true | Intval 0L -> true | _ -> false
+
+let pp_ptr ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
+  | Obj { id; off } -> Format.fprintf ppf "(obj %d, off %Ld)" id off
+  | Intval v -> Format.fprintf ppf "int %Ld" v
+  | Poison why -> Format.fprintf ppf "poison (%s)" why
+
+let alloc heap ~size ~const =
+  let o = Flat_heap.alloc heap.flat ~size ~const in
+  Ok (Obj { id = o.Flat_heap.id; off = 0L })
+
+let resolve heap = function
+  | Obj { id; off } -> (
+      match Flat_heap.by_id heap.flat id with
+      | None -> Error (Fault.Invalid_pointer "no such object")
+      | Some o -> if o.Flat_heap.freed then Error Fault.Use_after_free else Ok (o, off))
+  | Null -> Error (Fault.Invalid_pointer "null dereference")
+  | Intval _ -> Error (Fault.Invalid_pointer "dereference of integer value")
+  | Poison why -> Error (Fault.Invalid_pointer why)
+
+let free heap p =
+  match resolve heap p with
+  | Error e -> Error e
+  | Ok (o, off) ->
+      if off <> 0L then Error (Fault.Invalid_pointer "free of interior pointer")
+      else Flat_heap.free_obj heap.flat o
+
+let add _ p d =
+  match p with
+  | Obj { id; off } -> Ok (Obj { id; off = Int64.add off d })
+  | Null -> Ok (Poison "arithmetic on null pointer")
+  | Intval v -> Ok (Intval (Int64.add v d))
+  | Poison _ -> Ok p
+
+let diff _ a b =
+  match (a, b) with
+  | Obj x, Obj y when x.id = y.id -> Ok (Int64.sub x.off y.off)
+  | _ -> Error (Fault.Unsupported "subtraction of pointers to different objects")
+
+let rank = function Null -> (0, 0L) | Intval v -> (0, v) | Obj { id; off } -> (id, off) | Poison _ -> (-1, 0L)
+
+let cmp _ a b =
+  match (a, b) with
+  | Poison why, _ | _, Poison why -> Error (Fault.Invalid_pointer why)
+  | _ ->
+      let ra, oa = rank a and rb, ob = rank b in
+      Ok (if ra <> rb then compare ra rb else Int64.compare oa ob)
+
+let field heap p ~off ~size:_ = add heap p off
+
+let vaddr heap = function
+  | Obj { id; off } -> (
+      match Flat_heap.by_id heap.flat id with
+      | Some o -> Some (Int64.add o.Flat_heap.vbase off)
+      | None -> None)
+  | _ -> None
+
+let to_int heap p =
+  match p with
+  | Null -> Ok 0L
+  | Intval v -> Ok v
+  | Poison why -> Error (Fault.Invalid_pointer why)
+  | Obj { id; off } -> (
+      match vaddr heap p with
+      | Some a ->
+          Hashtbl.replace heap.prov a (id, off);
+          Ok a
+      | None -> Error (Fault.Invalid_pointer "no such object"))
+
+let of_int heap ~modified v =
+  if v = 0L then Ok Null
+  else if modified then Ok (Poison "pointer reconstructed from a modified integer")
+  else
+    match Hashtbl.find_opt heap.prov v with
+    | Some (id, off) -> Ok (Obj { id; off })
+    | None -> Ok (Poison "pointer reconstructed from an unknown integer")
+
+let intcap_of_int _ v = Intval v
+
+let intcap_to_int heap = function
+  | Null -> 0L
+  | Intval v -> v
+  | Poison _ -> 0L
+  | Obj _ as p -> ( match vaddr heap p with Some a -> a | None -> 0L)
+
+let intcap_arith _heap ~f p rhs =
+  match p with
+  | Intval v -> Ok (Intval (f v rhs))
+  | Null -> Ok (Intval (f 0L rhs))
+  | Poison _ -> Ok p
+  | Obj _ ->
+      (* Strict: once a pointer is treated as an integer and modified,
+         it can no longer be recovered *)
+      Ok (Poison "arithmetic on pointer in integer representation")
+
+let load heap p ~size =
+  match resolve heap p with Error e -> Error e | Ok (o, off) -> Flat_heap.load o ~off ~size
+
+let store heap p ~size v =
+  match resolve heap p with Error e -> Error e | Ok (o, off) -> Flat_heap.store o ~off ~size v
+
+(* pointers in memory are stored as their virtual address with a
+   value-keyed provenance entry, so an unmodified roundtrip through an
+   integer variable reconstructs the pointer *)
+let store_ptr heap loc v =
+  match v with
+  | Null | Intval _ | Poison _ ->
+      store heap loc ~size:8 (intcap_to_int heap v)
+  | Obj _ -> (
+      match to_int heap v with Error e -> Error e | Ok a -> store heap loc ~size:8 a)
+
+let load_ptr heap loc =
+  match load heap loc ~size:8 with Error e -> Error e | Ok v -> of_int heap ~modified:false v
+
+let copy heap ~dst ~src ~len =
+  match (resolve heap dst, resolve heap src) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (dobj, doff), Ok (sobj, soff) -> (
+      match Flat_heap.load_bytes sobj ~off:soff ~len:(Int64.to_int len) with
+      | Error e -> Error e
+      | Ok b -> Flat_heap.store_bytes dobj ~off:doff b)
+
+let make_const p = p

@@ -1,0 +1,1 @@
+lib/tagmem/tagmem.ml: Array Bits Bytes Char Cheri_core Cheri_util Int64

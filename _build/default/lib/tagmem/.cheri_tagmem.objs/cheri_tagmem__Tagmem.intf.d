@@ -1,0 +1,1 @@
+lib/tagmem/tagmem.mli: Cheri_core

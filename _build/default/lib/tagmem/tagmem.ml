@@ -1,0 +1,135 @@
+open Cheri_util
+
+type t = {
+  data : Bytes.t;
+  tags : Bytes.t;  (* one bit per granule, packed *)
+  granule : int;
+  granule_shift : int;
+}
+
+exception Bus_error of int64
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ?(granule = 32) ~size_bytes () =
+  if granule <= 0 || granule land (granule - 1) <> 0 then
+    invalid_arg "Tagmem.create: granule must be a power of two";
+  if size_bytes <= 0 || size_bytes mod granule <> 0 then
+    invalid_arg "Tagmem.create: size must be a positive multiple of the granule";
+  let granules = size_bytes / granule in
+  {
+    data = Bytes.make size_bytes '\000';
+    tags = Bytes.make ((granules + 7) / 8) '\000';
+    granule;
+    granule_shift = log2 granule;
+  }
+
+let size t = Bytes.length t.data
+let granule t = t.granule
+
+let check_range t addr len =
+  let a = Int64.to_int addr in
+  if Bits.uge addr (Int64.of_int (size t)) || a < 0 || a + len > size t || len < 0 then
+    raise (Bus_error addr);
+  a
+
+let granule_index t a = a lsr t.granule_shift
+
+let tag_bit t gi = Char.code (Bytes.get t.tags (gi lsr 3)) land (1 lsl (gi land 7)) <> 0
+
+let set_tag_bit t gi v =
+  let byte = Char.code (Bytes.get t.tags (gi lsr 3)) in
+  let mask = 1 lsl (gi land 7) in
+  let byte = if v then byte lor mask else byte land lnot mask in
+  Bytes.set t.tags (gi lsr 3) (Char.chr byte)
+
+let clear_tags_in_range t a len =
+  if len > 0 then
+    let first = granule_index t a and last = granule_index t (a + len - 1) in
+    for gi = first to last do
+      set_tag_bit t gi false
+    done
+
+let load_byte t addr =
+  let a = check_range t addr 1 in
+  Char.code (Bytes.get t.data a)
+
+let store_byte t addr v =
+  let a = check_range t addr 1 in
+  Bytes.set t.data a (Char.chr (v land 0xff));
+  clear_tags_in_range t a 1
+
+let load_int t ~addr ~size:sz =
+  let a = check_range t addr sz in
+  match sz with
+  | 1 -> Int64.of_int (Char.code (Bytes.get t.data a))
+  | 2 -> Int64.of_int (Bytes.get_uint16_le t.data a)
+  | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le t.data a)) 0xffffffffL
+  | 8 -> Bytes.get_int64_le t.data a
+  | _ -> invalid_arg "Tagmem.load_int: size must be 1, 2, 4 or 8"
+
+let store_int t ~addr ~size:sz v =
+  let a = check_range t addr sz in
+  (match sz with
+  | 1 -> Bytes.set t.data a (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
+  | 2 -> Bytes.set_uint16_le t.data a (Int64.to_int (Int64.logand v 0xffffL))
+  | 4 -> Bytes.set_int32_le t.data a (Int64.to_int32 v)
+  | 8 -> Bytes.set_int64_le t.data a v
+  | _ -> invalid_arg "Tagmem.store_int: size must be 1, 2, 4 or 8");
+  clear_tags_in_range t a sz
+
+let load_bytes t ~addr ~len =
+  let a = check_range t addr len in
+  Bytes.sub t.data a len
+
+let store_bytes t ~addr b =
+  let len = Bytes.length b in
+  let a = check_range t addr len in
+  Bytes.blit b 0 t.data a len;
+  clear_tags_in_range t a len
+
+let cap_width = Cheri_core.Capability.byte_width
+
+let load_cap t ~addr =
+  if not (Bits.is_aligned addr cap_width) then
+    invalid_arg "Tagmem.load_cap: address must be capability-aligned";
+  let a = check_range t addr cap_width in
+  let words = Array.init 4 (fun i -> Bytes.get_int64_le t.data (a + (8 * i))) in
+  let tag = tag_bit t (granule_index t a) in
+  Cheri_core.Capability.of_words ~tag words
+
+let store_cap t ~addr cap =
+  if not (Bits.is_aligned addr cap_width) then
+    invalid_arg "Tagmem.store_cap: address must be capability-aligned";
+  let a = check_range t addr cap_width in
+  let words = Cheri_core.Capability.to_words cap in
+  Array.iteri (fun i w -> Bytes.set_int64_le t.data (a + (8 * i)) w) words;
+  (* A capability store touches exactly one granule when the granule is
+     >= the capability width; clear everything it covers first, then
+     set the capability's own tag on its granule. *)
+  clear_tags_in_range t a cap_width;
+  set_tag_bit t (granule_index t a) cap.Cheri_core.Capability.tag
+
+let tag_at t addr =
+  let a = check_range t addr 1 in
+  tag_bit t (granule_index t a)
+
+let clear_tag_at t addr =
+  let a = check_range t addr 1 in
+  set_tag_bit t (granule_index t a) false
+
+let count_tags t =
+  let n = ref 0 in
+  let granules = size t / t.granule in
+  for gi = 0 to granules - 1 do
+    if tag_bit t gi then incr n
+  done;
+  !n
+
+let iter_tagged t f =
+  let granules = size t / t.granule in
+  for gi = 0 to granules - 1 do
+    if tag_bit t gi then f (Int64.of_int (gi * t.granule))
+  done

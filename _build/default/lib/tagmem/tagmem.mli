@@ -1,0 +1,64 @@
+(** Tagged physical memory.
+
+    A flat byte store with one out-of-band tag bit per naturally
+    aligned granule (256 bits by default, matching the paper's "a
+    single tag bit per 256 bits of memory"). The tag marks the granule
+    as holding a valid capability. The integrity rule is enforced
+    here: any plain data store that touches a granule clears its tag,
+    so a capability corrupted through the data path can never be
+    dereferenced again (§4.2: "Conventional stores to an in-memory
+    capability cause the tag bit to be cleared").
+
+    Addresses are virtual addresses starting at 0; the simulator does
+    not model translation (the paper's abstract machine always means
+    virtual memory, §3). Accesses outside the configured size raise
+    {!Bus_error} — that is a simulator configuration error, not a
+    modelled trap. *)
+
+type t
+
+exception Bus_error of int64
+
+val create : ?granule:int -> size_bytes:int -> unit -> t
+(** [create ~size_bytes ()] allocates zeroed memory with clear tags.
+    [granule] is the tag granularity in bytes (default 32; must be a
+    power of two and at least {!Cheri_core.Capability.byte_width} for
+    capability stores to be representable). *)
+
+val size : t -> int
+val granule : t -> int
+
+(** {1 Data path} — every write clears the tags of all touched granules. *)
+
+val load_byte : t -> int64 -> int
+val store_byte : t -> int64 -> int -> unit
+
+val load_int : t -> addr:int64 -> size:int -> int64
+(** Little-endian load of [size] bytes (1, 2, 4 or 8), zero-extended. *)
+
+val store_int : t -> addr:int64 -> size:int -> int64 -> unit
+val load_bytes : t -> addr:int64 -> len:int -> bytes
+val store_bytes : t -> addr:int64 -> bytes -> unit
+
+(** {1 Capability path} *)
+
+val load_cap : t -> addr:int64 -> Cheri_core.Capability.t
+(** Load 32 bytes plus the granule tag as a capability. The address
+    must be capability-aligned; misalignment raises [Invalid_argument]
+    (alignment is checked by the ISA before reaching memory). If the
+    granule's tag is clear the result is the untagged bit pattern. *)
+
+val store_cap : t -> addr:int64 -> Cheri_core.Capability.t -> unit
+(** Store 32 bytes and set/clear the granule tag from the capability's
+    own tag. *)
+
+val tag_at : t -> int64 -> bool
+(** The tag of the granule containing this address. *)
+
+val clear_tag_at : t -> int64 -> unit
+val count_tags : t -> int
+(** Number of set tag bits — used by the garbage collector's root scan
+    and by tests. *)
+
+val iter_tagged : t -> (int64 -> unit) -> unit
+(** Iterate the base address of every tagged granule, ascending. *)

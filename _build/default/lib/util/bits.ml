@@ -1,0 +1,46 @@
+let ucompare a b = Int64.unsigned_compare a b
+let ult a b = ucompare a b < 0
+let ule a b = ucompare a b <= 0
+let ugt a b = ucompare a b > 0
+let uge a b = ucompare a b >= 0
+let umin a b = if ult a b then a else b
+let umax a b = if ugt a b then a else b
+
+let mask width =
+  if width >= 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L
+
+let extract x ~lo ~width =
+  assert (lo >= 0 && width >= 1 && lo + width <= 64);
+  Int64.logand (Int64.shift_right_logical x lo) (mask width)
+
+let insert x ~lo ~width v =
+  assert (lo >= 0 && width >= 1 && lo + width <= 64);
+  let m = Int64.shift_left (mask width) lo in
+  let cleared = Int64.logand x (Int64.lognot m) in
+  Int64.logor cleared (Int64.logand (Int64.shift_left v lo) m)
+
+let is_aligned a n =
+  assert (n > 0 && n land (n - 1) = 0);
+  Int64.logand a (Int64.of_int (n - 1)) = 0L
+
+let align_down a n =
+  assert (n > 0 && n land (n - 1) = 0);
+  Int64.logand a (Int64.lognot (Int64.of_int (n - 1)))
+
+let align_up a n =
+  let down = align_down a n in
+  if down = a then a else Int64.add down (Int64.of_int n)
+
+let sign_extend x ~width =
+  assert (width >= 1 && width <= 64);
+  if width = 64 then x
+  else
+    let shift = 64 - width in
+    Int64.shift_right (Int64.shift_left x shift) shift
+
+let zero_extend x ~width =
+  assert (width >= 1 && width <= 64);
+  Int64.logand x (mask width)
+
+let truncate_to_width x bits = sign_extend x ~width:bits
+let pp_hex ppf x = Format.fprintf ppf "0x%Lx" x

@@ -1,0 +1,54 @@
+(** Bit-level helpers over [int64] words.
+
+    All addresses and machine words in this project are unsigned 64-bit
+    quantities carried in [int64]. These helpers centralise the unsigned
+    comparisons and field extraction that OCaml's signed [Int64] does not
+    provide directly. *)
+
+val ucompare : int64 -> int64 -> int
+(** [ucompare a b] compares [a] and [b] as unsigned 64-bit integers. *)
+
+val ult : int64 -> int64 -> bool
+(** Unsigned [<]. *)
+
+val ule : int64 -> int64 -> bool
+(** Unsigned [<=]. *)
+
+val ugt : int64 -> int64 -> bool
+(** Unsigned [>]. *)
+
+val uge : int64 -> int64 -> bool
+(** Unsigned [>=]. *)
+
+val umin : int64 -> int64 -> int64
+val umax : int64 -> int64 -> int64
+
+val extract : int64 -> lo:int -> width:int -> int64
+(** [extract x ~lo ~width] returns bits [lo .. lo+width-1] of [x],
+    right-aligned. [width] must be in [1, 64]. *)
+
+val insert : int64 -> lo:int -> width:int -> int64 -> int64
+(** [insert x ~lo ~width v] overwrites bits [lo .. lo+width-1] of [x]
+    with the low [width] bits of [v]. *)
+
+val is_aligned : int64 -> int -> bool
+(** [is_aligned a n] is true when address [a] is a multiple of [n]
+    ([n] must be a power of two). *)
+
+val align_down : int64 -> int -> int64
+val align_up : int64 -> int -> int64
+
+val sign_extend : int64 -> width:int -> int64
+(** [sign_extend x ~width] treats the low [width] bits of [x] as a signed
+    value and extends to 64 bits. *)
+
+val zero_extend : int64 -> width:int -> int64
+(** Keep only the low [width] bits. *)
+
+val truncate_to_width : int64 -> int -> int64
+(** [truncate_to_width x bits] wraps [x] to a [bits]-wide two's-complement
+    value, sign-extended back into an [int64] (so 8-bit arithmetic on
+    [0xFF] yields [-1L]). *)
+
+val pp_hex : Format.formatter -> int64 -> unit
+(** Prints as [0x%Lx]. *)

@@ -1,0 +1,1 @@
+lib/workloads/dhrystone.ml: Printf

@@ -1,0 +1,1 @@
+lib/workloads/figures.ml: Cheri_compiler Cheri_core Dhrystone Format List Olden Runner Tcpdump_sim Zlib_like

@@ -1,0 +1,1 @@
+lib/workloads/port_audit.ml: Dhrystone Format Hashtbl List Olden Option String Tcpdump_sim

@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Cheri_compiler Cheri_core Cheri_isa Format List Minic Printf

@@ -1,0 +1,1 @@
+lib/workloads/tcpdump_sim.ml: Printf

@@ -1,0 +1,1 @@
+lib/workloads/zlib_like.ml: Printf

@@ -1,0 +1,184 @@
+(* Dhrystone 2.1, adapted to the mini-C subset. The paper uses it as
+   the CPU-bound, pointer-light benchmark (Figure 2): records, string
+   compares, integer arithmetic, and procedure calls in the classic
+   proportions, with very little pointer-chasing — so the capability
+   ABIs should be within noise of MIPS.
+
+   The classic global Ptr_Glob record chain, the 30-character string
+   compare, and Proc_1..Proc_8/Func_1..Func_3 structure are preserved;
+   variant records become a discriminated struct, and output is the
+   checksum of the globals after the run. *)
+
+type params = { iterations : int }
+
+let default = { iterations = 12_000 }
+
+let source { iterations } =
+  Printf.sprintf
+    {|
+struct record {
+  struct record *ptr_comp;
+  long discr;
+  long enum_comp;
+  long int_comp;
+  char str_comp[31];
+};
+
+long int_glob = 0;
+long bool_glob = 0;
+char ch1_glob = 'A';
+char ch2_glob = 'B';
+long arr1_glob[50];
+long arr2_glob[100];
+struct record *ptr_glob;
+struct record *next_ptr_glob;
+
+long str_copy(char *dst, const char *src) {
+  long i = 0;
+  while (src[i]) { dst[i] = src[i]; i++; }
+  dst[i] = 0;
+  return i;
+}
+
+long str_cmp(const char *a, const char *b) {
+  long i = 0;
+  while (a[i] && a[i] == b[i]) i++;
+  return a[i] - b[i];
+}
+
+long func_1(long ch1, long ch2) {
+  long ch = ch1;
+  if (ch != ch2) return 0;
+  ch1_glob = ch;
+  return 1;
+}
+
+long func_2(char *str1, char *str2) {
+  long int_loc = 2;
+  while (int_loc <= 2)
+    if (func_1(str1[int_loc], str2[int_loc + 1]) == 0) int_loc = int_loc + 1;
+    else break;
+  if (str_cmp(str1, str2) > 0) {
+    int_loc = int_loc + 7;
+    int_glob = int_loc;
+    return 1;
+  }
+  return 0;
+}
+
+long func_3(long enum_par) { return enum_par == 2 ? 1 : 0; }
+
+void proc_7(long int1, long int2, long *int_out) { *int_out = int1 + int2 + 2; }
+
+void proc_8(long *arr1, long *arr2, long int1, long int2) {
+  long idx = int1 + 5;
+  arr1[idx] = int2;
+  arr1[idx + 1] = arr1[idx];
+  arr1[idx + 30] = idx;
+  for (long i = idx; i <= idx + 1; i++) arr2[idx + i - idx] = idx;
+  arr2[idx + 20] = arr1[idx];
+  int_glob = 5;
+}
+
+void proc_6(long enum_par, long *enum_out) {
+  *enum_out = enum_par;
+  if (!func_3(enum_par)) *enum_out = 3;
+  if (enum_par == 0) *enum_out = 0;
+  if (enum_par == 1) *enum_out = bool_glob ? 0 : 2;
+  if (enum_par == 2) *enum_out = 1;
+  if (enum_par == 4) *enum_out = 2;
+}
+
+void proc_5(void) {
+  ch1_glob = 'A';
+  bool_glob = 0;
+}
+
+void proc_4(void) {
+  long bool_loc = ch1_glob == 'A' ? 1 : 0;
+  bool_glob = bool_loc | bool_glob;
+  ch2_glob = 'B';
+}
+
+void proc_3(struct record **ptr_out) {
+  if (ptr_glob) *ptr_out = ptr_glob->ptr_comp;
+  proc_7(10, int_glob, &ptr_glob->int_comp);
+}
+
+void proc_2(long *int_out) {
+  long int_loc = *int_out + 10;
+  long enum_loc = 0;
+  long done = 0;
+  while (!done) {
+    if (ch1_glob == 'A') {
+      int_loc = int_loc - 1;
+      *int_out = int_loc - int_glob;
+      enum_loc = 1;
+    }
+    if (enum_loc == 1) done = 1;
+  }
+}
+
+void proc_1(struct record *ptr_val) {
+  struct record *next = ptr_val->ptr_comp;
+  *ptr_val->ptr_comp = *ptr_glob;
+  ptr_val->int_comp = 5;
+  next->int_comp = ptr_val->int_comp;
+  next->ptr_comp = ptr_val->ptr_comp;
+  proc_3(&next->ptr_comp);
+  if (next->discr == 0) {
+    next->int_comp = 6;
+    proc_6(ptr_val->enum_comp, &next->enum_comp);
+    next->ptr_comp = ptr_glob->ptr_comp;
+    proc_7(next->int_comp, 10, &next->int_comp);
+  } else {
+    *ptr_val = *ptr_val->ptr_comp;
+  }
+}
+
+int main(void) {
+  next_ptr_glob = (struct record *)malloc(sizeof(struct record));
+  ptr_glob = (struct record *)malloc(sizeof(struct record));
+  ptr_glob->ptr_comp = next_ptr_glob;
+  ptr_glob->discr = 0;
+  ptr_glob->enum_comp = 2;
+  ptr_glob->int_comp = 40;
+  str_copy(ptr_glob->str_comp, "DHRYSTONE PROGRAM, SOME STRING");
+  char str1_loc[31];
+  str_copy(str1_loc, "DHRYSTONE PROGRAM, 1'ST STRING");
+  arr2_glob[8 + 7] = 10;
+
+  long runs = %d;
+  for (long i = 0; i < runs; i++) {
+    proc_5();
+    proc_4();
+    long int1_loc = 2;
+    long int2_loc = 3;
+    char str2_loc[31];
+    str_copy(str2_loc, "DHRYSTONE PROGRAM, 2'ND STRING");
+    long enum_loc = 1;
+    bool_glob = !func_2(str1_loc, str2_loc);
+    long int3_loc = 0;
+    while (int1_loc < int2_loc) {
+      int3_loc = 5 * int1_loc - int2_loc;
+      proc_7(int1_loc, int2_loc, &int3_loc);
+      int1_loc = int1_loc + 1;
+    }
+    proc_8(arr1_glob, arr2_glob, int1_loc, int3_loc);
+    proc_1(ptr_glob);
+    for (long ch = 'A'; ch <= ch2_glob; ch++)
+      if (enum_loc == func_1(ch, 'C')) enum_loc = 0;
+    int3_loc = int2_loc * int1_loc;
+    int2_loc = int3_loc / 3;
+    int2_loc = 7 * (int3_loc - int2_loc) - int1_loc;
+    proc_2(&int1_loc);
+  }
+
+  long check = int_glob + bool_glob + ch1_glob + ch2_glob + arr1_glob[8]
+             + arr2_glob[15] + ptr_glob->int_comp + next_ptr_glob->int_comp;
+  print_int(check);
+  print_char('\n');
+  return 0;
+}
+|}
+    iterations

@@ -1,0 +1,111 @@
+(* Regeneration of Figures 1-4. Each figure function measures and
+   returns structured rows; [print_*] renders them in the shape the
+   paper reports (Figure 1/3: seconds at 100 MHz; Figure 2:
+   Dhrystones/second; Figure 4: percentage overhead vs. MIPS by file
+   size). *)
+
+module Abi = Cheri_compiler.Abi
+
+let abi_names = List.map Abi.name Abi.all
+
+(* -- Figure 1: Olden ----------------------------------------------------- *)
+
+type fig1_row = { kernel : string; runs : Runner.measurement list }
+
+let figure1 ?(params = Olden.default) () : fig1_row list =
+  List.map
+    (fun (k : Olden.kernel) ->
+      let src = k.Olden.source params in
+      { kernel = k.Olden.kname; runs = Runner.run_all_abis src })
+    Olden.kernels
+
+let print_figure1 ppf rows =
+  Format.fprintf ppf "Figure 1: Olden results (seconds, smaller is better)@.";
+  Format.fprintf ppf "%-12s" "KERNEL";
+  List.iter (fun n -> Format.fprintf ppf "%12s" n) abi_names;
+  Format.fprintf ppf "%14s@." "v3/MIPS";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-12s" r.kernel;
+      List.iter (fun m -> Format.fprintf ppf "%12.4f" (Runner.seconds m)) r.runs;
+      let base = Runner.seconds (List.nth r.runs 0) in
+      let v3 = Runner.seconds (List.nth r.runs 2) in
+      Format.fprintf ppf "%13.2fx@." (v3 /. base))
+    rows
+
+(* -- Figure 2: Dhrystone -------------------------------------------------- *)
+
+type fig2_row = { abi : Abi.t; dhrystones_per_second : float }
+
+let figure2 ?(params = Dhrystone.default) () : fig2_row list =
+  let src = Dhrystone.source params in
+  List.map
+    (fun (m : Runner.measurement) ->
+      {
+        abi = m.Runner.abi;
+        dhrystones_per_second = float_of_int params.Dhrystone.iterations /. Runner.seconds m;
+      })
+    (Runner.run_all_abis src)
+
+let print_figure2 ppf rows =
+  Format.fprintf ppf "Figure 2: Dhrystone results (Dhrystones/second, bigger is better)@.";
+  List.iter
+    (fun r -> Format.fprintf ppf "%-12s%14.0f@." (Abi.name r.abi) r.dhrystones_per_second)
+    rows
+
+(* -- Figure 3: tcpdump ----------------------------------------------------- *)
+
+type fig3_row = { abi3 : Abi.t; seconds : float }
+
+let figure3 ?(params = Tcpdump_sim.default) () : fig3_row list =
+  let src = Tcpdump_sim.source params in
+  let v2_src = Tcpdump_sim.source_v2 params in
+  List.map
+    (fun (m : Runner.measurement) -> { abi3 = m.Runner.abi; seconds = Runner.seconds m })
+    (Runner.run_all_abis ~v2_source:(Some v2_src) src)
+
+let print_figure3 ppf rows =
+  Format.fprintf ppf "Figure 3: tcpdump results (seconds, smaller is better)@.";
+  let base = (List.hd rows).seconds in
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-12s%10.4f  (%+.1f%%)@." (Abi.name r.abi3) r.seconds
+        ((r.seconds -. base) /. base *. 100.))
+    rows
+
+(* -- Figure 4: zlib overhead vs file size ---------------------------------- *)
+
+type fig4_row = {
+  size : int;
+  mips_s : float;
+  cheri_s : float;  (** pure-capability ABI, capabilities across the boundary *)
+  cheri_copy_s : float;  (** binary-compatible variant copying at the boundary *)
+}
+
+let figure4 ?(sizes = [ 4096; 8192; 16384; 32768; 65536; 131072 ]) () : fig4_row list =
+  List.map
+    (fun size ->
+      let plain = Zlib_like.source { Zlib_like.input_size = size; boundary_copy = false } in
+      let copying = Zlib_like.source { Zlib_like.input_size = size; boundary_copy = true } in
+      let mips = Runner.run Abi.Mips plain in
+      let cheri = Runner.run (Abi.Cheri Cheri_core.Cap_ops.V3) plain in
+      let cheri_copy = Runner.run (Abi.Cheri Cheri_core.Cap_ops.V3) copying in
+      if mips.Runner.output <> cheri.Runner.output then
+        raise (Runner.Run_failed "zlib outputs disagree between ABIs");
+      {
+        size;
+        mips_s = Runner.seconds mips;
+        cheri_s = Runner.seconds cheri;
+        cheri_copy_s = Runner.seconds cheri_copy;
+      })
+    sizes
+
+let print_figure4 ppf rows =
+  Format.fprintf ppf
+    "Figure 4: zlib-style compression, overhead vs MIPS by input size@.";
+  Format.fprintf ppf "%10s%12s%16s@." "SIZE" "CHERI" "CHERI(copying)";
+  List.iter
+    (fun r ->
+      let pct v = (v -. r.mips_s) /. r.mips_s *. 100. in
+      Format.fprintf ppf "%10d%11.1f%%%15.1f%%@." r.size (pct r.cheri_s) (pct r.cheri_copy_s))
+    rows

@@ -1,0 +1,244 @@
+(* The Olden kernels used in Figure 1 — Bisort, MST, TreeAdd,
+   Perimeter — rewritten in mini-C. Olden is "heavy in pointer use and
+   so demonstrates a worst case for CHERI" (§5.2): every kernel builds
+   and walks linked structures whose nodes quadruple in size when
+   pointers become 32-byte capabilities.
+
+   The kernels are deterministic (xorshift PRNG with fixed seed) and
+   print a checksum, so the three ABIs can be differentially checked
+   before being timed. Parameters are scaled to simulator-friendly
+   sizes; the paper ran the CHERI ISCA paper's parameters on a 100 MHz
+   FPGA, and only the relative cycle counts matter here. *)
+
+type params = { scale : int }
+
+let default = { scale = 2 }
+
+(* shared preamble: PRNG *)
+let prng =
+  {|
+unsigned long rng_state = 88172645463325252;
+
+long rng(void) {
+  unsigned long x = rng_state;
+  x = x ^ (x << 13);
+  x = x ^ (x >> 7);
+  x = x ^ (x << 17);
+  rng_state = x;
+  return (long)(x >> 1);
+}
+|}
+
+(* TreeAdd: build a balanced binary tree, sum it repeatedly. *)
+let treeadd { scale } =
+  Printf.sprintf
+    {|
+%s
+struct tree { struct tree *left; struct tree *right; long value; };
+
+struct tree *build(long depth) {
+  struct tree *t = (struct tree *)malloc(sizeof(struct tree));
+  t->value = rng() %% 100;
+  if (depth > 1) {
+    t->left = build(depth - 1);
+    t->right = build(depth - 1);
+  } else {
+    t->left = (struct tree *)0;
+    t->right = (struct tree *)0;
+  }
+  return t;
+}
+
+long tree_add(struct tree *t) {
+  if (!t) return 0;
+  return t->value + tree_add(t->left) + tree_add(t->right);
+}
+
+int main(void) {
+  struct tree *t = build(%d);
+  long total = 0;
+  for (int i = 0; i < %d; i++) total = total + tree_add(t);
+  print_int(total);
+  print_char('\n');
+  return 0;
+}
+|}
+    prng (10 + scale) (8 * scale)
+
+(* Bisort: Olden's bitonic sort over a perfect binary tree — recursive
+   merges that exchange subtree values. *)
+let bisort { scale } =
+  Printf.sprintf
+    {|
+%s
+struct node { struct node *l; struct node *r; long v; };
+
+struct node *build(long depth) {
+  struct node *n = (struct node *)malloc(sizeof(struct node));
+  n->v = rng() %% 65536;
+  if (depth > 1) {
+    n->l = build(depth - 1);
+    n->r = build(depth - 1);
+  } else {
+    n->l = (struct node *)0;
+    n->r = (struct node *)0;
+  }
+  return n;
+}
+
+void swap_values(struct node *a, struct node *b) {
+  long t = a->v;
+  a->v = b->v;
+  b->v = t;
+}
+
+/* exchange the values of two whole subtrees */
+void swap_trees(struct node *a, struct node *b) {
+  if (!a || !b) return;
+  swap_values(a, b);
+  swap_trees(a->l, b->l);
+  swap_trees(a->r, b->r);
+}
+
+/* bitonic merge: force direction dir (0 ascending) on the tree */
+void bimerge(struct node *t, long dir) {
+  if (!t || !t->l) return;
+  long lmax = t->l->v;
+  long rmax = t->r->v;
+  long exchange = 0;
+  if (dir == 0 && lmax > rmax) exchange = 1;
+  if (dir != 0 && lmax < rmax) exchange = 1;
+  if (exchange) swap_trees(t->l, t->r);
+  bimerge(t->l, dir);
+  bimerge(t->r, dir);
+}
+
+void bisort_rec(struct node *t, long dir) {
+  if (!t || !t->l) return;
+  bisort_rec(t->l, 0);
+  bisort_rec(t->r, 1);
+  bimerge(t, dir);
+}
+
+long checksum(struct node *t) {
+  if (!t) return 0;
+  return (t->v + 31 * checksum(t->l) + 17 * checksum(t->r)) %% 1000003;
+}
+
+int main(void) {
+  struct node *t = build(%d);
+  for (int i = 0; i < %d; i++) bisort_rec(t, i %% 2);
+  print_int(checksum(t));
+  print_char('\n');
+  return 0;
+}
+|}
+    prng (9 + scale) (2 * scale)
+
+(* MST: Prim's algorithm over a linked vertex list with a synthetic
+   weight function (Olden builds the graph with hash tables; the
+   O(V^2) pointer-walking relaxation loop is the measured kernel). *)
+let mst { scale } =
+  Printf.sprintf
+    {|
+%s
+struct vert { struct vert *next; long id; long dist; long done; };
+
+long weight(long a, long b) {
+  unsigned long x = (unsigned long)(a * 31 + b * 17 + 7);
+  x = x ^ (x << 13);
+  x = x ^ (x >> 7);
+  return (long)(x %% 2048) + 1;
+}
+
+int main(void) {
+  long nverts = %d;
+  struct vert *verts = (struct vert *)0;
+  for (long i = 0; i < nverts; i++) {
+    struct vert *v = (struct vert *)malloc(sizeof(struct vert));
+    v->id = i;
+    v->dist = 0x7fffffff;
+    v->done = 0;
+    v->next = verts;
+    verts = v;
+  }
+  verts->dist = 0;
+  long total = 0;
+  for (long k = 0; k < nverts; k++) {
+    /* find the closest unfinished vertex */
+    struct vert *best = (struct vert *)0;
+    for (struct vert *v = verts; v; v = v->next)
+      if (!v->done && (!best || v->dist < best->dist)) best = v;
+    best->done = 1;
+    total = total + best->dist;
+    /* relax every other vertex through it */
+    for (struct vert *v = verts; v; v = v->next)
+      if (!v->done) {
+        long w = weight(best->id, v->id);
+        if (w < v->dist) v->dist = w;
+      }
+  }
+  print_int(total);
+  print_char('\n');
+  return 0;
+}
+|}
+    prng (192 * scale)
+
+(* Perimeter: quadtree of a synthetic image; recursive walk summing the
+   boundary contribution of black leaves. *)
+let perimeter { scale } =
+  Printf.sprintf
+    {|
+%s
+struct quad {
+  struct quad *nw; struct quad *ne; struct quad *sw; struct quad *se;
+  long color;        /* 0 white, 1 black, 2 grey (internal) */
+};
+
+struct quad *build(long depth) {
+  struct quad *q = (struct quad *)malloc(sizeof(struct quad));
+  if (depth == 0 || rng() %% 16 == 0) {
+    q->color = rng() %% 2;
+    q->nw = (struct quad *)0;
+    q->ne = (struct quad *)0;
+    q->sw = (struct quad *)0;
+    q->se = (struct quad *)0;
+  } else {
+    q->color = 2;
+    q->nw = build(depth - 1);
+    q->ne = build(depth - 1);
+    q->sw = build(depth - 1);
+    q->se = build(depth - 1);
+  }
+  return q;
+}
+
+long perim(struct quad *q, long size) {
+  if (!q) return 0;
+  if (q->color == 1) return 4 * size;
+  if (q->color == 0) return 0;
+  return perim(q->nw, size / 2) + perim(q->ne, size / 2)
+       + perim(q->sw, size / 2) + perim(q->se, size / 2);
+}
+
+int main(void) {
+  struct quad *q = build(%d);
+  long total = 0;
+  for (int i = 0; i < %d; i++) total = total + perim(q, 4096);
+  print_int(total);
+  print_char('\n');
+  return 0;
+}
+|}
+    prng (5 + scale) (12 * scale)
+
+type kernel = { kname : string; source : params -> string }
+
+let kernels =
+  [
+    { kname = "Bisort"; source = bisort };
+    { kname = "MST"; source = mst };
+    { kname = "TreeAdd"; source = treeadd };
+    { kname = "Perimeter"; source = perimeter };
+  ]

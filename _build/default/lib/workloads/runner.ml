@@ -1,0 +1,79 @@
+(* Compile-and-measure harness shared by the figure generators. *)
+
+module C = Cheri_compiler.Codegen
+module Abi = Cheri_compiler.Abi
+module Machine = Cheri_isa.Machine
+
+type measurement = {
+  abi : Abi.t;
+  cycles : int;
+  instret : int;
+  output : string;
+  l1_misses : int;
+  l2_misses : int;
+  cap_mem_ops : int;
+}
+
+exception Run_failed of string
+
+(* The paper's FPGA runs at 100 MHz; cycle counts convert to seconds at
+   that clock for Figure 1/3-style reporting. *)
+let clock_hz = 100_000_000.
+let seconds m = float_of_int m.cycles /. clock_hz
+
+let run ?config ?(fuel = 600_000_000) abi src : measurement =
+  let linked =
+    try C.compile_source abi src with
+    | C.Error m -> raise (Run_failed (Printf.sprintf "%s: codegen: %s" (Abi.name abi) m))
+    | Abi.Unsupported m ->
+        raise (Run_failed (Printf.sprintf "%s: unsupported: %s" (Abi.name abi) m))
+    | Minic.Typecheck.Type_error m ->
+        raise (Run_failed (Printf.sprintf "%s: type error: %s" (Abi.name abi) m))
+    | Minic.Parser.Parse_error (m, line) ->
+        raise (Run_failed (Printf.sprintf "%s: parse error line %d: %s" (Abi.name abi) line m))
+  in
+  let m = C.machine_for ?config abi linked in
+  match Machine.run ~fuel m with
+  | Machine.Exit 0L ->
+      let st = Machine.stats m in
+      {
+        abi;
+        cycles = st.Machine.st_cycles;
+        instret = st.Machine.st_instret;
+        output = Machine.output m;
+        l1_misses = st.Machine.st_l1_misses;
+        l2_misses = st.Machine.st_l2_misses;
+        cap_mem_ops = st.Machine.st_cap_loads + st.Machine.st_cap_stores;
+      }
+  | outcome ->
+      raise
+        (Run_failed
+           (Format.asprintf "%s: %a (output so far: %s)" (Abi.name abi) Machine.pp_outcome outcome
+              (Machine.output m)))
+
+(* run the same source under all three ABIs and insist the observable
+   behaviour agrees — the differential check behind every figure *)
+let run_all_abis ?fuel ?(v2_source = None) src : measurement list =
+  let ms =
+    List.map
+      (fun abi ->
+        let src =
+          match (abi, v2_source) with
+          | Abi.Cheri Cheri_core.Cap_ops.V2, Some s -> s
+          | _ -> src
+        in
+        run ?fuel abi src)
+      Abi.all
+  in
+  (match ms with
+  | first :: rest ->
+      List.iter
+        (fun m ->
+          if m.output <> first.output then
+            raise
+              (Run_failed
+                 (Printf.sprintf "ABI outputs disagree: %s printed %S, %s printed %S"
+                    (Abi.name first.abi) first.output (Abi.name m.abi) m.output)))
+        rest
+  | [] -> ());
+  ms

@@ -1,0 +1,176 @@
+(* The zlib experiment (Figure 4): a deflate-style LZ77 compressor run
+   over inputs of varying size.
+
+   The paper compiled zlib itself in the pure-capability ABI in two
+   flavours: one passing capabilities straight across the library
+   boundary (no measurable overhead), and one that preserves binary
+   compatibility by copying buffers at the boundary (~21 % overhead,
+   independent of file size, because the copy cost scales with the
+   data exactly as compression does). [source] takes a [boundary_copy]
+   flag that inserts those copies around every compress() call.
+
+   The compressor is a real greedy LZ77 with a hash-head match table —
+   enough structure that compression work dominates and the ABI
+   overheads show up in the same proportions. Input data is generated
+   with a PRNG biased toward repeated phrases so matches actually
+   occur. *)
+
+type params = { input_size : int; boundary_copy : bool }
+
+let default = { input_size = 64 * 1024; boundary_copy = false }
+
+let source { input_size; boundary_copy } =
+  let copy_in, copy_call, result_var =
+    if boundary_copy then
+      ( {|
+    /* ABI-boundary copy in: the caller's buffer is copied into a
+       layout-compatible shadow before entering the library */
+    byte_copy(shadow_in, data, n);
+|},
+        "long out_len = compress_buf(shadow_in, n, shadow_out);\n    byte_copy(out, shadow_out, out_len);",
+        "out_len" )
+    else ("", "long out_len = compress_buf(data, n, out);", "out_len")
+  in
+  Printf.sprintf
+    {|
+unsigned long rng_state = 19950308;
+
+long rng(void) {
+  unsigned long x = rng_state;
+  x = x ^ (x << 13);
+  x = x ^ (x >> 7);
+  x = x ^ (x << 17);
+  rng_state = x;
+  return (long)(x >> 1);
+}
+
+void byte_copy(unsigned char *dst, const unsigned char *src, long n) {
+  for (long i = 0; i < n; i++) dst[i] = src[i];
+}
+
+/* fill the input with compressible text-like data: words from a small
+   dictionary plus occasional noise */
+void gen_input(unsigned char *buf, long n) {
+  long pos = 0;
+  while (pos < n) {
+    long w = rng() %% 16;
+    long wlen = 3 + (w %% 6);
+    for (long i = 0; i < wlen && pos < n; i++) {
+      buf[pos] = 'a' + ((w * 7 + i) %% 26);
+      pos++;
+    }
+    if (pos < n) { buf[pos] = ' '; pos++; }
+    if (rng() %% 10 == 0 && pos < n) { buf[pos] = rng() %% 256; pos++; }
+  }
+}
+
+long hash3(const unsigned char *p) {
+  return (((long)p[0] << 6) ^ ((long)p[1] << 3) ^ (long)p[2]) & 4095;
+}
+
+long head[4096];
+
+/* greedy LZ77: emits (match_len, dist) pairs and literal runs.
+   output format: 0x00 len <literals> | 0x01 len dist_hi dist_lo */
+long compress_buf(const unsigned char *in, long n, unsigned char *out) {
+  for (long i = 0; i < 4096; i++) head[i] = -1;
+  long ip = 0;
+  long op = 0;
+  long lit_start = 0;
+  while (ip + 3 <= n) {
+    long h = hash3(in + ip);
+    long cand = head[h];
+    head[h] = ip;
+    long match_len = 0;
+    if (cand >= 0 && ip - cand < 32768) {
+      long max = n - ip;
+      if (max > 255) max = 255;
+      while (match_len < max && in[cand + match_len] == in[ip + match_len])
+        match_len++;
+    }
+    if (match_len >= 4) {
+      /* flush pending literals */
+      long lits = ip - lit_start;
+      while (lits > 0) {
+        long chunk = lits > 255 ? 255 : lits;
+        out[op] = 0; op++;
+        out[op] = chunk; op++;
+        byte_copy(out + op, in + lit_start, chunk);
+        op = op + chunk;
+        lit_start = lit_start + chunk;
+        lits = lits - chunk;
+      }
+      long dist = ip - cand;
+      out[op] = 1; op++;
+      out[op] = match_len; op++;
+      out[op] = (dist >> 8) & 255; op++;
+      out[op] = dist & 255; op++;
+      /* enter skipped positions into the hash table */
+      for (long k = 1; k < match_len && ip + k + 3 <= n; k++)
+        head[hash3(in + ip + k)] = ip + k;
+      ip = ip + match_len;
+      lit_start = ip;
+    } else {
+      ip++;
+    }
+  }
+  /* trailing literals */
+  long lits = n - lit_start;
+  while (lits > 0) {
+    long chunk = lits > 255 ? 255 : lits;
+    out[op] = 0; op++;
+    out[op] = chunk; op++;
+    byte_copy(out + op, in + lit_start, chunk);
+    op = op + chunk;
+    lit_start = lit_start + chunk;
+    lits = lits - chunk;
+  }
+  return op;
+}
+
+/* decompressor, used to verify the roundtrip */
+long decompress_buf(const unsigned char *in, long n, unsigned char *out) {
+  long ip = 0;
+  long op = 0;
+  while (ip < n) {
+    long tag = in[ip]; ip++;
+    if (tag == 0) {
+      long len = in[ip]; ip++;
+      byte_copy(out + op, in + ip, len);
+      ip = ip + len;
+      op = op + len;
+    } else {
+      long len = in[ip]; ip++;
+      long dist = ((long)in[ip] << 8) | (long)in[ip + 1];
+      ip = ip + 2;
+      for (long k = 0; k < len; k++) { out[op] = out[op - dist]; op++; }
+    }
+  }
+  return op;
+}
+
+int main(void) {
+  long n = %d;
+  unsigned char *data = (unsigned char *)malloc(n);
+  unsigned char *out = (unsigned char *)malloc(n + n / 2 + 64);
+  unsigned char *back = (unsigned char *)malloc(n + 64);
+  unsigned char *shadow_in = (unsigned char *)malloc(n + 64);
+  unsigned char *shadow_out = (unsigned char *)malloc(n + n / 2 + 64);
+  gen_input(data, n);
+%s
+  %s
+  long back_len = decompress_buf(out, %s, back);
+  long ok = back_len == n ? 1 : 0;
+  for (long i = 0; i < n && ok; i++)
+    if (back[i] != data[i]) ok = 0;
+  print_str("in=");
+  print_int(n);
+  print_str(" out=");
+  print_int(%s);
+  print_str(" roundtrip=");
+  print_int(ok);
+  print_char('\n');
+  return ok ? 0 : 1;
+}
+|}
+    input_size copy_in copy_call result_var result_var

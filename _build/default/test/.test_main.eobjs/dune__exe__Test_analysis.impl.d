@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Cheri_analysis List Minic Option Printf

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Bytes Cheri_asm Cheri_core Cheri_isa Int64

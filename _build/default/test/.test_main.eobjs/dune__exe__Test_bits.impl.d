@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bits Cheri_util Int64 QCheck QCheck_alcotest Random

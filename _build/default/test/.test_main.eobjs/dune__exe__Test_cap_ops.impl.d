@@ -1,0 +1,1 @@
+test/test_cap_ops.ml: Alcotest Cheri_core Int64 QCheck QCheck_alcotest

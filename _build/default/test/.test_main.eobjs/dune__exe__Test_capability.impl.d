@@ -1,0 +1,1 @@
+test/test_capability.ml: Alcotest Cheri_core Int64 QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Cheri_compiler Cheri_core Cheri_interp Cheri_isa Cheri_models List Printf

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Cheri_compiler Cheri_interp Cheri_isa Cheri_models Fuzz_gen List

@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Cheri_core Cheri_gc Cheri_tagmem Int64 QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Cheri_interp Cheri_models List

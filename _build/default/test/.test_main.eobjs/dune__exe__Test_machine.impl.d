@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Char Cheri_asm Cheri_core Cheri_isa Int64 List

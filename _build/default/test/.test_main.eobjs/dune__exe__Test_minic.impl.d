@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Ast Layout Lexer List Minic Parser Typecheck Typed

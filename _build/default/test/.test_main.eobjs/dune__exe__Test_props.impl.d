@@ -1,0 +1,1 @@
+test/test_props.ml: Buffer Cheri_asm Cheri_compiler Cheri_core Cheri_isa Cheri_models Cheri_tagmem Gen Int64 List Printf QCheck QCheck_alcotest

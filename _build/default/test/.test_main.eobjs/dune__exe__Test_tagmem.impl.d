@@ -1,0 +1,1 @@
+test/test_tagmem.ml: Alcotest Array Cheri_core Cheri_tagmem Cheri_util Int64 List Printf QCheck QCheck_alcotest

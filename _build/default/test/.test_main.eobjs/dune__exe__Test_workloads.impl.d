@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cheri_compiler Cheri_core Cheri_workloads List Scanf String

@@ -1,0 +1,124 @@
+(* Random well-defined mini-C program generator for differential
+   testing. Generated programs use only defined behaviour that every
+   pointer model and every ABI must agree on:
+
+   - all variables initialized before use;
+   - array indices masked to power-of-two bounds;
+   - division guarded against zero;
+   - shifts by constant amounts in [0, 63];
+   - pointer arithmetic forward and in bounds (CHERIv2-compatible);
+   - bounded loops only.
+
+   The program prints a running checksum, so divergence in any
+   intermediate value is observable. *)
+
+type ctx = {
+  rng : Random.State.t;
+  buf : Buffer.t;
+  mutable n_locals : int;
+  arr_size : int;  (* power of two *)
+  heap_size : int;  (* power of two *)
+  mutable depth : int;
+  mutable in_loop : bool;  (* whether the loop variable i is in scope *)
+}
+
+let rand ctx n = Random.State.int ctx.rng n
+let pick ctx l = List.nth l (rand ctx (List.length l))
+let pr ctx fmt = Printf.ksprintf (Buffer.add_string ctx.buf) fmt
+
+(* an expression of type long, using initialized locals x0..x{n-1} *)
+let rec gen_expr ctx =
+  ctx.depth <- ctx.depth + 1;
+  let leaf () =
+    match rand ctx 4 with
+    | 0 -> string_of_int (rand ctx 1000 - 500)
+    | 1 when ctx.n_locals > 0 -> Printf.sprintf "x%d" (rand ctx ctx.n_locals)
+    | 2 -> Printf.sprintf "arr[%s & %d]" (gen_small ctx) (ctx.arr_size - 1)
+    | _ -> Printf.sprintf "heap[%s & %d]" (gen_small ctx) (ctx.heap_size - 1)
+  in
+  let e =
+    if ctx.depth > 4 then leaf ()
+    else
+      match rand ctx 8 with
+      | 0 | 1 -> leaf ()
+      | 2 -> Printf.sprintf "(%s %s %s)" (gen_expr ctx) (pick ctx [ "+"; "-"; "*" ]) (gen_expr ctx)
+      | 3 -> Printf.sprintf "(%s %s (%s | 1))" (gen_expr ctx) (pick ctx [ "/"; "%" ]) (gen_expr ctx)
+      | 4 ->
+          Printf.sprintf "(%s %s %s)" (gen_expr ctx)
+            (pick ctx [ "&"; "|"; "^" ])
+            (gen_expr ctx)
+      | 5 -> Printf.sprintf "(%s %s %d)" (gen_expr ctx) (pick ctx [ "<<"; ">>" ]) (rand ctx 8)
+      | 6 ->
+          Printf.sprintf "(%s %s %s ? %s : %s)" (gen_expr ctx)
+            (pick ctx [ "<"; "<="; "=="; "!="; ">"; ">=" ])
+            (gen_expr ctx) (gen_expr ctx) (gen_expr ctx)
+      | _ -> Printf.sprintf "(*(p + (%s & %d)))" (gen_small ctx) (ctx.arr_size - 1)
+  in
+  ctx.depth <- ctx.depth - 1;
+  e
+
+and gen_small ctx =
+  match rand ctx 3 with
+  | 0 -> string_of_int (rand ctx 64)
+  | 1 when ctx.n_locals > 0 -> Printf.sprintf "x%d" (rand ctx ctx.n_locals)
+  | _ when ctx.in_loop -> Printf.sprintf "(i + %d)" (rand ctx 8)
+  | _ -> string_of_int (rand ctx 32)
+
+let gen_stmt ctx =
+  match rand ctx 6 with
+  | 0 when ctx.n_locals > 0 ->
+      pr ctx "    x%d = %s;\n" (rand ctx ctx.n_locals) (gen_expr ctx)
+  | 1 -> pr ctx "    arr[%s & %d] = %s;\n" (gen_small ctx) (ctx.arr_size - 1) (gen_expr ctx)
+  | 2 -> pr ctx "    heap[%s & %d] = %s;\n" (gen_small ctx) (ctx.heap_size - 1) (gen_expr ctx)
+  | 3 ->
+      pr ctx "    if (%s %s %s) { %s; } else { %s; }\n" (gen_expr ctx)
+        (pick ctx [ "<"; ">"; "==" ])
+        (gen_expr ctx)
+        (Printf.sprintf "sum = sum + %s" (gen_expr ctx))
+        (Printf.sprintf "sum = sum ^ %s" (gen_expr ctx))
+  | 4 -> pr ctx "    *(p + (%s & %d)) = %s;\n" (gen_small ctx) (ctx.arr_size - 1) (gen_expr ctx)
+  | _ -> pr ctx "    sum = sum + %s;\n" (gen_expr ctx)
+
+let generate ~seed : string =
+  let ctx =
+    {
+      rng = Random.State.make [| seed |];
+      buf = Buffer.create 1024;
+      n_locals = 0;
+      arr_size = 8 lsl Random.State.int (Random.State.make [| seed + 1 |]) 2;
+      heap_size = 16;
+      depth = 0;
+      in_loop = false;
+    }
+  in
+  pr ctx "int main(void) {\n";
+  pr ctx "  long sum = 0;\n";
+  pr ctx "  long arr[%d];\n" ctx.arr_size;
+  pr ctx "  for (long i = 0; i < %d; i++) arr[i] = i * 7 + 3;\n" ctx.arr_size;
+  pr ctx "  long *heap = (long *)malloc(%d * sizeof(long));\n" ctx.heap_size;
+  pr ctx "  for (long i = 0; i < %d; i++) heap[i] = i * 13 + 1;\n" ctx.heap_size;
+  pr ctx "  long *p = &arr[0];\n";
+  let n_locals = 2 + rand ctx 4 in
+  for k = 0 to n_locals - 1 do
+    ctx.n_locals <- k;
+    pr ctx "  long x%d = %s;\n" k (gen_expr ctx)
+  done;
+  ctx.n_locals <- n_locals;
+  let iters = 2 + rand ctx 6 in
+  pr ctx "  for (long i = 0; i < %d; i++) {\n" iters;
+  ctx.in_loop <- true;
+  let stmts = 2 + rand ctx 5 in
+  for _ = 1 to stmts do
+    gen_stmt ctx
+  done;
+  ctx.in_loop <- false;
+  pr ctx "  }\n";
+  pr ctx "  for (long i = 0; i < %d; i++) sum = sum * 31 + arr[i];\n" ctx.arr_size;
+  pr ctx "  for (long i = 0; i < %d; i++) sum = sum * 31 + heap[i];\n" ctx.heap_size;
+  (List.init n_locals (fun k -> k))
+  |> List.iter (fun k -> pr ctx "  sum = sum * 31 + x%d;\n" k);
+  pr ctx "  print_int(sum);\n";
+  pr ctx "  print_char('\\n');\n";
+  pr ctx "  return (sum & 127);\n";
+  pr ctx "}\n";
+  Buffer.contents ctx.buf

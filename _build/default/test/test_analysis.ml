@@ -1,0 +1,217 @@
+(* Static-analysis tests: idiom detection, optimizer behaviour, and
+   the Table 1 corpus roundtrip. *)
+
+module A = Cheri_analysis
+module Idiom = A.Idiom
+module Counts = A.Idiom.Counts
+
+let analyze = A.Finder.analyze_source
+
+let check_counts name expected src =
+  let found = analyze src in
+  List.iter
+    (fun idiom ->
+      let want = Option.value ~default:0 (List.assoc_opt idiom expected) in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: %s" name (Idiom.name idiom))
+        want (Counts.get found idiom))
+    Idiom.all
+
+let test_deconst () =
+  check_counts "deconst"
+    [ (Idiom.Deconst, 1) ]
+    {|
+int main(void) {
+  int x = 1;
+  const int *cp = &x;
+  int *p = (int *)cp;
+  *p = 2;
+  return 0;
+}
+|}
+
+let test_adding_const_not_counted () =
+  check_counts "const-adding cast" []
+    {|
+int main(void) {
+  int x = 1;
+  const int *cp = (const int *)&x;
+  return *cp;
+}
+|}
+
+let test_container () =
+  check_counts "container"
+    [ (Idiom.Container, 1) ]
+    {|
+struct pair { long a; long b; };
+long back(long *pb) {
+  struct pair *p = (struct pair *)((char *)pb - sizeof(long));
+  return p->a;
+}
+int main(void) { return 0; }
+|}
+
+let test_sub () =
+  check_counts "sub"
+    [ (Idiom.Sub, 2) ]
+    {|
+long f(char *a, char *b) {
+  long d = a - b;          /* pointer difference */
+  char *p = a - 4;         /* negative pointer arithmetic */
+  return d + (long)*p;
+}
+int main(void) { return 0; }
+|}
+
+let test_ii () =
+  check_counts "invalid intermediate"
+    [ (Idiom.Ii, 1) ]
+    {|
+long f(long *a) { return *((a + 100) - 99); }
+int main(void) { return 0; }
+|}
+
+let test_int () =
+  check_counts "int"
+    [ (Idiom.Int_, 1) ]
+    {|
+void f(long *p) {
+  long v = (long)p;
+  print_int(v);
+}
+int main(void) { return 0; }
+|}
+
+let test_ia () =
+  check_counts "ia"
+    [ (Idiom.Ia, 1) ]
+    {|
+long f(long *p) {
+  long *q = (long *)((long)p + 8);
+  return *q;
+}
+int main(void) { return 0; }
+|}
+
+let test_mask () =
+  check_counts "mask"
+    [ (Idiom.Mask, 1) ]
+    {|
+long f(long *p) {
+  long *q = (long *)((long)p & ~7);
+  return *q;
+}
+int main(void) { return 0; }
+|}
+
+let test_wide () =
+  check_counts "wide"
+    [ (Idiom.Wide, 1) ]
+    {|
+unsigned int f(long *p) { return (unsigned int)(long)p; }
+int main(void) { return 0; }
+|}
+
+let test_taint_through_variables () =
+  (* arithmetic on a variable that held a pointer is still IA *)
+  check_counts "taint"
+    [ (Idiom.Int_, 1); (Idiom.Ia, 1) ]
+    {|
+long f(long *p) {
+  long v = (long)p;
+  print_int(v);
+  long w = v + 8;
+  return w;
+}
+int main(void) { return 0; }
+|}
+
+let test_dead_code_not_counted () =
+  check_counts "dead code" []
+    {|
+long f(long *p, long *q) {
+  long unused = p - q;
+  long also = (long)p;
+  return 7;
+}
+int main(void) { return 0; }
+|}
+
+let test_optimizer_constant_folding () =
+  let prog = Minic.Typecheck.compile "int main(void) { return 2 * 3 + 4; }" in
+  let opt = A.Optimizer.optimize prog in
+  let f = List.hd opt.Minic.Typed.funcs in
+  match f.Minic.Typed.body with
+  | [ Minic.Typed.Return (Some { Minic.Typed.e = Minic.Typed.Num 10L; _ }) ] -> ()
+  | _ -> Alcotest.fail "constant expression not folded"
+
+let test_optimizer_preserves_side_effects () =
+  (* a dead local initialized by a call keeps the call *)
+  let src =
+    {|
+long effect(void) { print_int(1); return 2; }
+int main(void) {
+  long dead = effect();
+  return 0;
+}
+|}
+  in
+  let prog = A.Optimizer.optimize (Minic.Typecheck.compile src) in
+  let main_f = Option.get (Minic.Typed.find_func prog "main") in
+  let has_call = ref false in
+  List.iter
+    (Minic.Typed.iter_stmt
+       (fun e -> match e.Minic.Typed.e with Minic.Typed.Call ("effect", _) -> has_call := true | _ -> ())
+       (fun _ -> ()))
+    main_f.Minic.Typed.body;
+  Alcotest.(check bool) "call survives" true !has_call
+
+let test_corpus_roundtrip () =
+  List.iter
+    (fun row ->
+      let g = A.Corpus.generate ~scale:50 row in
+      let found = analyze g.A.Corpus.source in
+      List.iter
+        (fun idiom ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s" row.A.Corpus.package (Idiom.name idiom))
+            (Counts.get g.A.Corpus.planted idiom)
+            (Counts.get found idiom))
+        Idiom.all)
+    A.Corpus.paper_table1
+
+let test_corpus_shape_matches_paper () =
+  (* scaled counts must be the ceiling of paper counts / scale *)
+  let scale = 50 in
+  let rows = A.Corpus.run ~scale () in
+  List.iter
+    (fun { A.Corpus.row; found; _ } ->
+      let expected = A.Corpus.expected_counts row in
+      List.iter
+        (fun (idiom, paper_count) ->
+          let want = (paper_count + scale - 1) / scale in
+          Alcotest.(check int)
+            (Printf.sprintf "%s %s" row.A.Corpus.package (Idiom.name idiom))
+            want (Counts.get found idiom))
+        expected)
+    rows
+
+let suite =
+  [
+    Alcotest.test_case "deconst detected" `Quick test_deconst;
+    Alcotest.test_case "adding const not counted" `Quick test_adding_const_not_counted;
+    Alcotest.test_case "container detected" `Quick test_container;
+    Alcotest.test_case "sub detected" `Quick test_sub;
+    Alcotest.test_case "invalid intermediate detected" `Quick test_ii;
+    Alcotest.test_case "int detected" `Quick test_int;
+    Alcotest.test_case "ia detected" `Quick test_ia;
+    Alcotest.test_case "mask detected" `Quick test_mask;
+    Alcotest.test_case "wide detected" `Quick test_wide;
+    Alcotest.test_case "taint through variables" `Quick test_taint_through_variables;
+    Alcotest.test_case "dead code not counted" `Quick test_dead_code_not_counted;
+    Alcotest.test_case "constant folding" `Quick test_optimizer_constant_folding;
+    Alcotest.test_case "side effects preserved" `Quick test_optimizer_preserves_side_effects;
+    Alcotest.test_case "Table 1 corpus roundtrip" `Slow test_corpus_roundtrip;
+    Alcotest.test_case "Table 1 shape matches paper" `Slow test_corpus_shape_matches_paper;
+  ]

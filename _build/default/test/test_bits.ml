@@ -1,0 +1,57 @@
+open Cheri_util
+
+let check_i64 = Alcotest.(check int64)
+let check_bool = Alcotest.(check bool)
+
+let test_unsigned_compare () =
+  check_bool "max_uint > 0" true (Bits.ugt (-1L) 0L);
+  check_bool "0 < max_uint" true (Bits.ult 0L (-1L));
+  check_bool "high bit set is large" true (Bits.ugt Int64.min_int Int64.max_int);
+  check_i64 "umin" 3L (Bits.umin 3L (-1L));
+  check_i64 "umax" (-1L) (Bits.umax 3L (-1L))
+
+let test_extract_insert () =
+  check_i64 "extract nibble" 0xcL (Bits.extract 0xabcdL ~lo:4 ~width:4);
+  check_i64 "extract top" 1L (Bits.extract Int64.min_int ~lo:63 ~width:1);
+  check_i64 "insert nibble" 0xa5cdL (Bits.insert 0xabcdL ~lo:8 ~width:4 5L);
+  check_i64 "roundtrip" 0x7fL
+    (Bits.extract (Bits.insert 0L ~lo:13 ~width:7 0xffL) ~lo:13 ~width:7)
+
+let test_alignment () =
+  check_bool "32-aligned" true (Bits.is_aligned 64L 32);
+  check_bool "not aligned" false (Bits.is_aligned 65L 32);
+  check_i64 "align down" 64L (Bits.align_down 95L 32);
+  check_i64 "align up" 96L (Bits.align_up 65L 32);
+  check_i64 "align up exact" 64L (Bits.align_up 64L 32)
+
+let test_extension () =
+  check_i64 "sign extend byte" (-1L) (Bits.sign_extend 0xffL ~width:8);
+  check_i64 "sign extend positive" 0x7fL (Bits.sign_extend 0x7fL ~width:8);
+  check_i64 "zero extend" 0xffL (Bits.zero_extend 0xffL ~width:8);
+  check_i64 "truncate wraps" (-128L) (Bits.truncate_to_width 128L 8);
+  check_i64 "truncate id" 100L (Bits.truncate_to_width 100L 8)
+
+let prop_extract_insert =
+  QCheck.Test.make ~name:"insert then extract returns inserted bits" ~count:500
+    QCheck.(triple int64 (int_range 0 56) (int_range 1 8))
+    (fun (x, lo, width) ->
+      let v = Int64.of_int (Random.int (1 lsl width)) in
+      Bits.extract (Bits.insert x ~lo ~width v) ~lo ~width = v)
+
+let prop_align =
+  QCheck.Test.make ~name:"align_down <= x <= align_up for non-negative x" ~count:500
+    QCheck.(pair (int_bound 1_000_000_000) (int_range 0 6))
+    (fun (x, p) ->
+      let n = 1 lsl p in
+      let x = Int64.of_int x in
+      Bits.ule (Bits.align_down x n) x && Bits.uge (Bits.align_up x n) x)
+
+let suite =
+  [
+    Alcotest.test_case "unsigned compare" `Quick test_unsigned_compare;
+    Alcotest.test_case "extract/insert" `Quick test_extract_insert;
+    Alcotest.test_case "alignment" `Quick test_alignment;
+    Alcotest.test_case "sign/zero extension" `Quick test_extension;
+    QCheck_alcotest.to_alcotest prop_extract_insert;
+    QCheck_alcotest.to_alcotest prop_align;
+  ]

@@ -1,0 +1,245 @@
+module Cap = Cheri_core.Capability
+module Ops = Cheri_core.Cap_ops
+module Perms = Cheri_core.Perms
+module Fault = Cheri_core.Cap_fault
+
+let check_bool = Alcotest.(check bool)
+let check_i64 = Alcotest.(check int64)
+let check_int = Alcotest.(check int)
+
+let ok = function
+  | Ok v -> v
+  | Error f -> Alcotest.failf "unexpected fault: %a" Fault.pp f
+
+let err = function
+  | Ok _ -> Alcotest.fail "expected a fault"
+  | Error f -> f
+
+let cap ?(base = 0x1000L) ?(length = 0x100L) () = Cap.make ~base ~length ~perms:Perms.all
+
+(* -- CHERIv3 Table 2 instructions ------------------------------------- *)
+
+let test_inc_offset_v3 () =
+  let c = cap () in
+  let c1 = ok (Ops.c_inc_offset V3 c 0x50L) in
+  check_i64 "address moved" 0x1050L (Cap.address c1);
+  check_i64 "base unchanged" 0x1000L (Ops.c_get_base c1);
+  (* out-of-bounds cursors are legal in v3; only dereference traps *)
+  let c2 = ok (Ops.c_inc_offset V3 c1 0x1000L) in
+  check_bool "still tagged when out of bounds" true (Ops.c_get_tag c2);
+  let below = ok (Ops.c_inc_offset V3 c (-0x800L)) in
+  check_i64 "cursor below base representable" 0x800L (Cap.address below);
+  match Ops.load_check c2 ~addr:(Cap.address c2) ~size:1 with
+  | Error (Fault.Bounds_violation _) -> ()
+  | _ -> Alcotest.fail "out-of-bounds dereference must fault"
+
+let test_inc_offset_v2_unsupported () =
+  match err (Ops.c_inc_offset V2 (cap ()) 8L) with
+  | Fault.Unsupported _ -> ()
+  | f -> Alcotest.failf "wrong fault %a" Fault.pp f
+
+let test_set_get_offset () =
+  let c = ok (Ops.c_set_offset V3 (cap ()) 0x42L) in
+  check_i64 "get after set" 0x42L (Ops.c_get_offset c);
+  check_i64 "address" 0x1042L (Cap.address c)
+
+let test_ptr_cmp () =
+  let a = ok (Ops.c_set_offset V3 (cap ()) 0x10L) in
+  let b = ok (Ops.c_set_offset V3 (cap ()) 0x20L) in
+  check_bool "a < b" true (Ops.c_ptr_cmp a b < 0);
+  check_bool "b > a" true (Ops.c_ptr_cmp b a > 0);
+  check_int "a = a" 0 (Ops.c_ptr_cmp a a);
+  (* tagged orders after untagged, so smuggled integers never equal pointers *)
+  let int_in_cap = Ops.int_to_cap V3 (Cap.address a) in
+  check_bool "integer with same address below tagged pointer" true
+    (Ops.c_ptr_cmp int_in_cap a < 0)
+
+let test_from_ptr () =
+  let ddc = cap ~base:0L ~length:0x100000L () in
+  let p = ok (Ops.c_from_ptr ~ddc 0x2000L) in
+  check_i64 "derived address" 0x2000L (Cap.address p);
+  check_bool "tagged" true (Ops.c_get_tag p);
+  let n = ok (Ops.c_from_ptr ~ddc 0L) in
+  check_bool "zero gives canonical null" true (Cap.is_null n);
+  match err (Ops.c_from_ptr ~ddc:Cap.null 0x10L) with
+  | Fault.Tag_violation -> ()
+  | f -> Alcotest.failf "wrong fault %a" Fault.pp f
+
+let test_to_ptr () =
+  let ddc = cap ~base:0x1000L ~length:0x10000L () in
+  let c = ok (Ops.c_set_offset V3 (cap ~base:0x2000L ~length:0x80L ()) 0x10L) in
+  check_i64 "address as ddc offset" 0x1010L (Ops.c_to_ptr c ~relative_to:ddc);
+  check_i64 "untagged gives 0" 0L (Ops.c_to_ptr (Cap.clear_tag c) ~relative_to:ddc);
+  let far = ok (Ops.c_set_offset V3 (cap ~base:0x100000L ~length:0x80L ()) 0L) in
+  check_i64 "out of range gives 0" 0L (Ops.c_to_ptr far ~relative_to:ddc)
+
+(* -- monotonic base/length ops ----------------------------------------- *)
+
+let test_inc_base_v2 () =
+  let c = cap () in
+  let c1 = ok (Ops.c_inc_base V2 c 0x40L) in
+  check_i64 "base grew" 0x1040L (Ops.c_get_base c1);
+  check_i64 "length shrank" 0xc0L (Ops.c_get_len c1);
+  check_i64 "v2 pointer moves with base" 0x1040L (Cap.address c1);
+  match err (Ops.c_inc_base V2 c 0x101L) with
+  | Fault.Length_violation -> ()
+  | f -> Alcotest.failf "wrong fault %a" Fault.pp f
+
+let test_inc_base_v3_keeps_cursor () =
+  (* paper §4.1: "we modified CIncBase to update the pointer such that
+     the offset remained constant" — i.e. the *pointer value* stays *)
+  let c = ok (Ops.c_set_offset V3 (cap ()) 0x80L) in
+  let c1 = ok (Ops.c_inc_base V3 c 0x40L) in
+  check_i64 "pointer value unchanged" (Cap.address c) (Cap.address c1);
+  check_i64 "base grew" 0x1040L (Ops.c_get_base c1)
+
+let test_set_len () =
+  let c = cap () in
+  let c1 = ok (Ops.c_set_len c 0x80L) in
+  check_i64 "shrunk" 0x80L (Ops.c_get_len c1);
+  match err (Ops.c_set_len c 0x101L) with
+  | Fault.Length_violation -> ()
+  | f -> Alcotest.failf "wrong fault %a" Fault.pp f
+
+(* -- pointer composites ------------------------------------------------ *)
+
+let test_ptr_add_sub () =
+  let c = cap () in
+  let p = ok (Ops.ptr_add V3 c 0x30L) in
+  let q = ok (Ops.ptr_add V3 p 0x10L) in
+  check_i64 "v3 sub" 0x10L (ok (Ops.ptr_sub V3 q p));
+  check_i64 "v3 sub negative" (-0x10L) (ok (Ops.ptr_sub V3 p q));
+  (match err (Ops.ptr_sub V2 q p) with
+  | Fault.Unsupported _ -> ()
+  | f -> Alcotest.failf "wrong fault %a" Fault.pp f);
+  (* v2 addition only forward *)
+  (match err (Ops.ptr_add V2 c (-8L)) with
+  | Fault.Representation_violation -> ()
+  | f -> Alcotest.failf "wrong fault %a" Fault.pp f);
+  let v2p = ok (Ops.ptr_add V2 c 0x30L) in
+  check_i64 "v2 add shrinks" 0xd0L (Ops.c_get_len v2p)
+
+let test_intcap () =
+  let i = Ops.int_to_cap V3 1234L in
+  check_bool "intcap untagged" false (Ops.c_get_tag i);
+  check_i64 "roundtrip" 1234L (Ops.cap_to_int i);
+  (* mmap-style -1 sentinel: arithmetic on null must work *)
+  let minus1 = ok (Ops.c_inc_offset V3 Cap.null (-1L)) in
+  check_i64 "null - 1" (-1L) (Ops.cap_to_int minus1);
+  check_bool "still untagged" false (Ops.c_get_tag minus1)
+
+(* -- properties --------------------------------------------------------- *)
+
+let arbitrary_cap =
+  QCheck.map
+    (fun (base, len, off) ->
+      Cap.with_offset_unchecked
+        (Cap.make ~base:(Int64.of_int base) ~length:(Int64.of_int len) ~perms:Perms.all)
+        (Int64.of_int off))
+    QCheck.(triple (int_bound 1_000_000) (int_bound 100_000) (int_range (-1000) 1000))
+
+let prop_v3_add_preserves_bounds =
+  QCheck.Test.make ~name:"v3 pointer add never changes bounds or perms" ~count:300
+    (QCheck.pair arbitrary_cap QCheck.(int_range (-100_000) 100_000))
+    (fun (c, d) ->
+      match Ops.ptr_add V3 c (Int64.of_int d) with
+      | Error _ -> false
+      | Ok c' ->
+          Ops.c_get_base c' = Ops.c_get_base c
+          && Ops.c_get_len c' = Ops.c_get_len c
+          && Cap.subset_of c' c && Cap.subset_of c c')
+
+let prop_v2_add_monotonic =
+  QCheck.Test.make ~name:"v2 pointer add yields a subset capability" ~count:300
+    (QCheck.pair arbitrary_cap QCheck.(int_bound 200_000))
+    (fun (c, d) ->
+      match Ops.ptr_add V2 c (Int64.of_int d) with
+      | Error _ -> true (* faulting is always safe *)
+      | Ok c' -> Cap.subset_of c' c)
+
+let prop_add_sub_inverse =
+  QCheck.Test.make ~name:"v3 (p + n) - p = n" ~count:300
+    (QCheck.pair arbitrary_cap QCheck.(int_range (-100_000) 100_000))
+    (fun (c, d) ->
+      let d64 = Int64.of_int d in
+      match Ops.ptr_add V3 c d64 with
+      | Error _ -> false
+      | Ok c' -> Ops.ptr_sub V3 c' c = Ok d64)
+
+let prop_ptr_cmp_total_order =
+  QCheck.Test.make ~name:"CPtrCmp is antisymmetric" ~count:300
+    (QCheck.pair arbitrary_cap arbitrary_cap)
+    (fun (a, b) -> compare (Ops.c_ptr_cmp a b) 0 = compare 0 (Ops.c_ptr_cmp b a))
+
+let suite =
+  [
+    Alcotest.test_case "CIncOffset v3" `Quick test_inc_offset_v3;
+    Alcotest.test_case "CIncOffset unsupported on v2" `Quick test_inc_offset_v2_unsupported;
+    Alcotest.test_case "CSetOffset/CGetOffset" `Quick test_set_get_offset;
+    Alcotest.test_case "CPtrCmp" `Quick test_ptr_cmp;
+    Alcotest.test_case "CFromPtr" `Quick test_from_ptr;
+    Alcotest.test_case "CToPtr" `Quick test_to_ptr;
+    Alcotest.test_case "CIncBase v2" `Quick test_inc_base_v2;
+    Alcotest.test_case "CIncBase v3 keeps cursor" `Quick test_inc_base_v3_keeps_cursor;
+    Alcotest.test_case "CSetLen" `Quick test_set_len;
+    Alcotest.test_case "pointer add/sub" `Quick test_ptr_add_sub;
+    Alcotest.test_case "intcap_t" `Quick test_intcap;
+    QCheck_alcotest.to_alcotest prop_v3_add_preserves_bounds;
+    QCheck_alcotest.to_alcotest prop_v2_add_monotonic;
+    QCheck_alcotest.to_alcotest prop_add_sub_inverse;
+    QCheck_alcotest.to_alcotest prop_ptr_cmp_total_order;
+  ]
+
+(* -- sealing ------------------------------------------------------------- *)
+
+let sealing_authority ~otype =
+  ok (Ops.c_set_offset V3 (Cap.make ~base:0L ~length:0x10000L ~perms:Perms.all) otype)
+
+let test_seal_basics () =
+  let c = cap () in
+  let auth = sealing_authority ~otype:42L in
+  let sealed = ok (Ops.c_seal ~authority:auth c) in
+  check_bool "sealed" true sealed.Cap.sealed;
+  check_i64 "otype recorded" 42L sealed.Cap.otype;
+  check_bool "still tagged" true sealed.Cap.tag;
+  (* sealed caps cannot be dereferenced *)
+  (match Ops.load_check sealed ~addr:0x1000L ~size:1 with
+  | Error (Fault.Seal_violation _) -> ()
+  | _ -> Alcotest.fail "sealed capability dereference succeeded");
+  (* ... or modified *)
+  (match err (Ops.c_inc_offset V3 sealed 1L) with
+  | Fault.Seal_violation _ -> ()
+  | f -> Alcotest.failf "wrong fault %a" Fault.pp f);
+  (match err (Ops.c_set_len sealed 1L) with
+  | Fault.Seal_violation _ -> ()
+  | f -> Alcotest.failf "wrong fault %a" Fault.pp f);
+  (* unsealing with the right authority restores it fully *)
+  let back = ok (Ops.c_unseal ~authority:auth sealed) in
+  check_bool "roundtrip" true (Cap.equal back c)
+
+let test_unseal_wrong_type () =
+  let sealed = ok (Ops.c_seal ~authority:(sealing_authority ~otype:42L) (cap ())) in
+  match err (Ops.c_unseal ~authority:(sealing_authority ~otype:43L) sealed) with
+  | Fault.Seal_violation _ -> ()
+  | f -> Alcotest.failf "wrong fault %a" Fault.pp f
+
+let test_seal_needs_permission () =
+  let weak_auth = Cap.restrict_perms (sealing_authority ~otype:42L) Perms.data_rw in
+  match err (Ops.c_seal ~authority:weak_auth (cap ())) with
+  | Fault.Perm_violation Perms.Seal -> ()
+  | f -> Alcotest.failf "wrong fault %a" Fault.pp f
+
+let test_sealed_spill_roundtrip () =
+  let sealed = ok (Ops.c_seal ~authority:(sealing_authority ~otype:7L) (cap ())) in
+  let back = Cap.of_words ~tag:true (Cap.to_words sealed) in
+  check_bool "sealed state survives memory" true (Cap.equal sealed back)
+
+let seal_suite =
+  [
+    Alcotest.test_case "seal/unseal roundtrip" `Quick test_seal_basics;
+    Alcotest.test_case "unseal with wrong otype" `Quick test_unseal_wrong_type;
+    Alcotest.test_case "seal needs Seal permission" `Quick test_seal_needs_permission;
+    Alcotest.test_case "sealed caps survive spills" `Quick test_sealed_spill_roundtrip;
+  ]
+
+let suite = suite @ seal_suite

@@ -1,0 +1,106 @@
+module Cap = Cheri_core.Capability
+module Perms = Cheri_core.Perms
+module Fault = Cheri_core.Cap_fault
+
+let check_bool = Alcotest.(check bool)
+let check_i64 = Alcotest.(check int64)
+
+let cap ?(base = 0x1000L) ?(length = 0x100L) ?(perms = Perms.all) () =
+  Cap.make ~base ~length ~perms
+
+let test_make () =
+  let c = cap () in
+  check_bool "tagged" true c.Cap.tag;
+  check_i64 "address is base" 0x1000L (Cap.address c);
+  check_i64 "top" 0x1100L (Cap.top c);
+  Alcotest.check_raises "overflowing bounds rejected"
+    (Invalid_argument "Capability.make: base + length overflows") (fun () ->
+      ignore (Cap.make ~base:(-16L) ~length:32L ~perms:Perms.all))
+
+let test_null () =
+  check_bool "null untagged" false Cap.null.Cap.tag;
+  check_bool "is_null" true (Cap.is_null Cap.null);
+  check_bool "offset null not null" false
+    (Cap.is_null (Cap.with_offset_unchecked Cap.null 1L))
+
+let test_bounds () =
+  let c = cap () in
+  check_bool "first byte" true (Cap.in_bounds c ~addr:0x1000L ~size:1);
+  check_bool "last byte" true (Cap.in_bounds c ~addr:0x10ffL ~size:1);
+  check_bool "whole object" true (Cap.in_bounds c ~addr:0x1000L ~size:0x100);
+  check_bool "one past end, zero size" true (Cap.in_bounds c ~addr:0x1100L ~size:0);
+  check_bool "one past end, one byte" false (Cap.in_bounds c ~addr:0x1100L ~size:1);
+  check_bool "below base" false (Cap.in_bounds c ~addr:0xfffL ~size:1);
+  check_bool "straddles top" false (Cap.in_bounds c ~addr:0x10f9L ~size:8)
+
+let test_check_access () =
+  let c = cap ~perms:Perms.read_only () in
+  (match Cap.check_access c ~addr:0x1000L ~size:8 ~perm:Perms.Load with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "expected ok, got %a" Fault.pp f);
+  (match Cap.check_access c ~addr:0x1000L ~size:8 ~perm:Perms.Store with
+  | Error (Fault.Perm_violation Perms.Store) -> ()
+  | Ok () -> Alcotest.fail "store through read-only capability succeeded"
+  | Error f -> Alcotest.failf "wrong fault %a" Fault.pp f);
+  let untagged = Cap.clear_tag c in
+  match Cap.check_access untagged ~addr:0x1000L ~size:8 ~perm:Perms.Load with
+  | Error Fault.Tag_violation -> ()
+  | _ -> Alcotest.fail "untagged capability dereference succeeded"
+
+let test_spill_roundtrip () =
+  let c =
+    Cap.with_offset_unchecked (cap ~base:0xdead0000L ~length:0x4242L ~perms:Perms.read_only ()) 77L
+  in
+  let words = Cap.to_words c in
+  let c' = Cap.of_words ~tag:true words in
+  check_bool "roundtrip equal" true (Cap.equal c c');
+  let c'' = Cap.of_words ~tag:false words in
+  check_bool "tag travels out of band" false c''.Cap.tag
+
+let test_subset () =
+  let parent = cap () in
+  let child = Cap.restrict_perms parent Perms.read_only in
+  check_bool "restricted perms subset" true (Cap.subset_of child parent);
+  check_bool "parent not subset of read-only child" false (Cap.subset_of parent child);
+  let disjoint = cap ~base:0x8000L () in
+  check_bool "disjoint not subset" false (Cap.subset_of disjoint parent);
+  check_bool "untagged subset of anything" true (Cap.subset_of (Cap.clear_tag disjoint) parent)
+
+let arbitrary_perms =
+  QCheck.map
+    (fun bits -> Perms.of_bits (Int64.of_int (bits land 0x7f)))
+    QCheck.(int_bound 127)
+
+let arbitrary_cap =
+  QCheck.map
+    (fun ((base, len), (off, perms)) ->
+      let base = Int64.of_int base and len = Int64.of_int len in
+      Cap.with_offset_unchecked (Cap.make ~base ~length:len ~perms) (Int64.of_int off))
+    QCheck.(pair (pair (int_bound 1_000_000) (int_bound 100_000)) (pair (int_range (-500) 500) arbitrary_perms))
+
+let prop_restrict_monotonic =
+  QCheck.Test.make ~name:"restrict_perms result is always a subset" ~count:300
+    (QCheck.pair arbitrary_cap arbitrary_perms)
+    (fun (c, p) -> Cap.subset_of (Cap.restrict_perms c p) c)
+
+let prop_spill_roundtrip =
+  QCheck.Test.make ~name:"to_words/of_words roundtrip preserves capabilities" ~count:300
+    arbitrary_cap
+    (fun c -> Cap.equal c (Cap.of_words ~tag:c.Cap.tag (Cap.to_words c)))
+
+let prop_address_decomposition =
+  QCheck.Test.make ~name:"address = base + offset" ~count:300 arbitrary_cap (fun c ->
+      Cap.address c = Int64.add c.Cap.base c.Cap.offset)
+
+let suite =
+  [
+    Alcotest.test_case "make" `Quick test_make;
+    Alcotest.test_case "null" `Quick test_null;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "check_access" `Quick test_check_access;
+    Alcotest.test_case "spill roundtrip" `Quick test_spill_roundtrip;
+    Alcotest.test_case "subset relation" `Quick test_subset;
+    QCheck_alcotest.to_alcotest prop_restrict_monotonic;
+    QCheck_alcotest.to_alcotest prop_spill_roundtrip;
+    QCheck_alcotest.to_alcotest prop_address_decomposition;
+  ]

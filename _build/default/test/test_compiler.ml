@@ -1,0 +1,523 @@
+(* Compiler tests: programs compiled to the simulated softcore under
+   each ABI, plus the three-way differential against the abstract
+   machine interpreter (compiled code and interpreter must agree). *)
+
+module C = Cheri_compiler.Codegen
+module Abi = Cheri_compiler.Abi
+module Machine = Cheri_isa.Machine
+module I = Cheri_interp.Interp
+module R = Cheri_models.Registry
+
+let abis = Abi.all
+
+let run_abi abi src =
+  match C.run abi src with
+  | Machine.Exit code, m -> (code, Machine.output m)
+  | outcome, _ -> Alcotest.failf "%s: %a" (Abi.name abi) Machine.pp_outcome outcome
+
+let check_all_abis ?(output = "") expected src =
+  List.iter
+    (fun abi ->
+      let code, out = run_abi abi src in
+      Alcotest.(check int64) (Abi.name abi ^ " exit") expected code;
+      Alcotest.(check string) (Abi.name abi ^ " output") output out)
+    abis
+
+let test_return_value () = check_all_abis 42L "int main(void) { return 6 * 7; }"
+
+let test_locals_and_arith () =
+  check_all_abis 21L
+    {|
+int main(void) {
+  long a = 3;
+  long b = 4;
+  long c = a * b + 9;
+  return c;
+}
+|}
+
+let test_loops () =
+  check_all_abis 55L
+    {|
+int main(void) {
+  long s = 0;
+  for (int i = 1; i <= 10; i++) s = s + i;
+  return s;
+}
+|}
+
+let test_functions_args () =
+  check_all_abis 10L
+    {|
+long add3(long a, long b, long c) { return a + b + c; }
+int main(void) { return add3(2, 3, 5); }
+|}
+
+let test_recursion () =
+  check_all_abis 120L
+    {|
+long fact(long n) { if (n <= 1) return 1; return n * fact(n - 1); }
+int main(void) { return fact(5); }
+|}
+
+let test_pointers_malloc () =
+  check_all_abis 9L
+    {|
+int main(void) {
+  long *p = (long*)malloc(8 * sizeof(long));
+  p[3] = 9;
+  long v = p[3];
+  free(p);
+  return v;
+}
+|}
+
+let test_structs_lists () =
+  check_all_abis 6L
+    {|
+struct node { struct node *next; long v; };
+int main(void) {
+  struct node *head = (struct node*)0;
+  for (long i = 1; i <= 3; i++) {
+    struct node *n = (struct node*)malloc(sizeof(struct node));
+    n->v = i;
+    n->next = head;
+    head = n;
+  }
+  long s = 0;
+  while (head) { s = s + head->v; head = head->next; }
+  return s;
+}
+|}
+
+let test_locals_address () =
+  check_all_abis 7L
+    {|
+void set(long *p, long v) { *p = v; }
+int main(void) { long x = 0; set(&x, 7); return x; }
+|}
+
+let test_globals () =
+  check_all_abis 15L
+    {|
+long counter = 5;
+long table[4] = {1, 2, 3, 4};
+int main(void) {
+  long s = counter;
+  for (int i = 0; i < 4; i++) s = s + table[i];
+  return s;
+}
+|}
+
+let test_string_output () =
+  check_all_abis ~output:"hi 7\n" 0L
+    {|
+const char *greeting = "hi";
+int main(void) {
+  print_str(greeting);
+  print_char(' ');
+  print_int(7);
+  print_char('\n');
+  return 0;
+}
+|}
+
+let test_struct_copy () =
+  check_all_abis 3L
+    {|
+struct point { long x; long y; };
+int main(void) {
+  struct point a;
+  struct point b;
+  a.x = 1; a.y = 2;
+  b = a;
+  return b.x + b.y;
+}
+|}
+
+let test_struct_copy_preserves_pointers () =
+  (* a struct containing a pointer must survive assignment under the
+     capability ABIs (field-wise copy uses the capability path) *)
+  check_all_abis 5L
+    {|
+struct holder { long tag; long *p; };
+int main(void) {
+  long v = 5;
+  struct holder a;
+  a.tag = 1;
+  a.p = &v;
+  struct holder b;
+  b = a;
+  return *b.p;
+}
+|}
+
+let test_sizeof_by_abi () =
+  let src = "int main(void) { return sizeof(char*); }" in
+  Alcotest.(check int64) "mips" 8L (fst (run_abi Abi.Mips src));
+  Alcotest.(check int64) "v2" 32L (fst (run_abi (Abi.Cheri V2) src));
+  Alcotest.(check int64) "v3" 32L (fst (run_abi (Abi.Cheri V3) src))
+
+let test_bounds_trap_on_cheri () =
+  let src =
+    {|
+int main(void) {
+  char *p = (char*)malloc(8);
+  p[9] = 'x';
+  return 0;
+}
+|}
+  in
+  (* MIPS sails through (the allocator rounds to 32 bytes) *)
+  (match C.run Abi.Mips src with
+  | Machine.Exit 0L, _ -> ()
+  | o, _ -> Alcotest.failf "MIPS should tolerate: %a" Machine.pp_outcome o);
+  List.iter
+    (fun abi ->
+      match C.run abi src with
+      | Machine.Trap { trap = Machine.Cap_trap _; _ }, _ -> ()
+      | o, _ -> Alcotest.failf "%s should trap: %a" (Abi.name abi) Machine.pp_outcome o)
+    [ Abi.Cheri V2; Abi.Cheri V3 ]
+
+let test_v2_rejects_pointer_subtraction () =
+  let src =
+    {|
+int main(void) {
+  char *a = (char*)malloc(8);
+  char *b = a + 4;
+  return b - a;
+}
+|}
+  in
+  (match C.run (Abi.Cheri V2) src with
+  | exception Abi.Unsupported _ -> ()
+  | o, _ -> Alcotest.failf "v2 compiled pointer subtraction: %a" Machine.pp_outcome (fst (o, ())));
+  Alcotest.(check int64) "v3 supports it" 4L (fst (run_abi (Abi.Cheri V3) src))
+
+let test_v2_traps_on_backwards_arithmetic () =
+  let src =
+    {|
+int main(void) {
+  char *a = (char*)malloc(8);
+  char *b = a + 4;
+  char *c = b - 2;
+  return *c;
+}
+|}
+  in
+  (match C.run (Abi.Cheri V2) src with
+  | Machine.Trap { trap = Machine.Cap_trap _; _ }, _ -> ()
+  | o, _ -> Alcotest.failf "v2 should trap on negative delta: %a" Machine.pp_outcome o);
+  Alcotest.(check int64) "v3 fine" 0L (fst (run_abi (Abi.Cheri V3) src))
+
+let test_intcap_on_v3 () =
+  let src =
+    {|
+int main(void) {
+  char *buf = (char*)malloc(16);
+  buf[5] = 'z';
+  intcap_t a = (intcap_t)buf;
+  a = a + 5;
+  char *p = (char*)a;
+  return *p == 'z' ? 0 : 1;
+}
+|}
+  in
+  Alcotest.(check int64) "v3 intcap arith" 0L (fst (run_abi (Abi.Cheri V3) src));
+  Alcotest.(check int64) "mips intcap arith" 0L (fst (run_abi Abi.Mips src));
+  match C.run (Abi.Cheri V2) src with
+  | exception Abi.Unsupported _ -> ()
+  | o, _ -> Alcotest.failf "v2 compiled intcap arithmetic: %a" Machine.pp_outcome o
+
+let test_conditional_expressions () =
+  check_all_abis 5L "int main(void) { int x = 3; return x > 2 ? 5 : 9; }";
+  check_all_abis 1L "int main(void) { return (1 && 2) + (0 || 0); }";
+  check_all_abis 2L "int main(void) { int n = 0; if (n == 0 || 10 / n > 1) n = 2; return n; }"
+
+let test_unsigned_ops () =
+  check_all_abis 1L
+    "int main(void) { unsigned long x = -1; return x / 2 > 0x7000000000000000 ? 1 : 0; }";
+  check_all_abis 255L "int main(void) { unsigned char c = -1; return c; }"
+
+let test_nested_calls_spill () =
+  (* temps live across calls must be spilled and restored *)
+  check_all_abis 30L
+    {|
+long f(long x) { return x * 2; }
+int main(void) {
+  long a = 3;
+  return f(a) + f(a + 1) + f(f(a)) + a + 1;
+}
+|}
+
+let test_cycle_counting_differs () =
+  let src =
+    {|
+struct node { struct node *next; long v; };
+int main(void) {
+  struct node *head = (struct node*)0;
+  for (long i = 0; i < 500; i++) {
+    struct node *n = (struct node*)malloc(sizeof(struct node));
+    n->v = i;
+    n->next = head;
+    head = n;
+  }
+  long s = 0;
+  for (int pass = 0; pass < 20; pass++)
+    for (struct node *p = head; p; p = p->next) s = s + p->v;
+  return s % 256;
+}
+|}
+  in
+  let _, m_mips = C.run Abi.Mips src in
+  let _, m_v3 = C.run (Abi.Cheri V3) src in
+  let s_mips = Machine.stats m_mips and s_v3 = Machine.stats m_v3 in
+  (* the pointer-heavy workload must show more cache misses under
+     32-byte capabilities — the mechanism behind Figure 1 *)
+  Alcotest.(check bool) "v3 has more L1 misses" true
+    (s_v3.Machine.st_l1_misses > s_mips.Machine.st_l1_misses)
+
+(* differential: compiled (each ABI) vs interpreter (matching model) *)
+let battery =
+  [
+    ("gcd", {|
+long gcd(long a, long b) { while (b) { long t = a % b; a = b; b = t; } return a; }
+int main(void) { return gcd(252, 105); }
+|});
+    ( "sort",
+      {|
+int main(void) {
+  long a[16];
+  for (int i = 0; i < 16; i++) a[i] = (i * 37 + 11) % 100;
+  for (int i = 0; i < 16; i++)
+    for (int j = 0; j + 1 < 16 - i; j++)
+      if (a[j] > a[j+1]) { long t = a[j]; a[j] = a[j+1]; a[j+1] = t; }
+  return a[0] + a[15] * 2;
+}
+|} );
+    ( "strings",
+      {|
+long my_strlen(const char *s) {
+  long n = 0;
+  while (s[n]) n++;
+  return n;
+}
+int main(void) { return my_strlen("hello world"); }
+|} );
+    ( "tree",
+      {|
+struct t { struct t *l; struct t *r; long v; };
+struct t *mk(long depth, long v) {
+  struct t *n = (struct t*)malloc(sizeof(struct t));
+  n->v = v;
+  if (depth > 0) { n->l = mk(depth - 1, v * 2); n->r = mk(depth - 1, v * 2 + 1); }
+  else { n->l = (struct t*)0; n->r = (struct t*)0; }
+  return n;
+}
+long sum(struct t *n) {
+  if (!n) return 0;
+  return n->v + sum(n->l) + sum(n->r);
+}
+int main(void) { return sum(mk(4, 1)) % 251; }
+|} );
+  ]
+
+let model_for_abi = function
+  | Abi.Mips -> R.pdp11
+  | Abi.Cheri Cheri_core.Cap_ops.V2 -> R.cheriv2
+  | Abi.Cheri Cheri_core.Cap_ops.V3 -> R.cheriv3
+
+let test_compiled_matches_interpreter () =
+  List.iter
+    (fun (name, src) ->
+      List.iter
+        (fun abi ->
+          let compiled_code, compiled_out = run_abi abi src in
+          match I.run_with (model_for_abi abi) src with
+          | I.Exit (icode, iout) ->
+              Alcotest.(check int64)
+                (Printf.sprintf "%s/%s exit" name (Abi.name abi))
+                icode compiled_code;
+              Alcotest.(check string) (Printf.sprintf "%s/%s out" name (Abi.name abi)) iout compiled_out
+          | o -> Alcotest.failf "%s interpreter failed: %a" name I.pp_outcome o)
+        abis)
+    battery
+
+let suite =
+  [
+    Alcotest.test_case "return value" `Quick test_return_value;
+    Alcotest.test_case "locals and arithmetic" `Quick test_locals_and_arith;
+    Alcotest.test_case "loops" `Quick test_loops;
+    Alcotest.test_case "function arguments" `Quick test_functions_args;
+    Alcotest.test_case "recursion" `Quick test_recursion;
+    Alcotest.test_case "pointers and malloc" `Quick test_pointers_malloc;
+    Alcotest.test_case "linked lists" `Quick test_structs_lists;
+    Alcotest.test_case "address of locals" `Quick test_locals_address;
+    Alcotest.test_case "globals" `Quick test_globals;
+    Alcotest.test_case "string output" `Quick test_string_output;
+    Alcotest.test_case "struct copy" `Quick test_struct_copy;
+    Alcotest.test_case "struct copy preserves pointers" `Quick test_struct_copy_preserves_pointers;
+    Alcotest.test_case "sizeof by ABI" `Quick test_sizeof_by_abi;
+    Alcotest.test_case "bounds trap on CHERI" `Quick test_bounds_trap_on_cheri;
+    Alcotest.test_case "v2 rejects pointer subtraction" `Quick test_v2_rejects_pointer_subtraction;
+    Alcotest.test_case "v2 traps on backwards arithmetic" `Quick test_v2_traps_on_backwards_arithmetic;
+    Alcotest.test_case "intcap arithmetic" `Quick test_intcap_on_v3;
+    Alcotest.test_case "conditionals and short-circuit" `Quick test_conditional_expressions;
+    Alcotest.test_case "unsigned operations" `Quick test_unsigned_ops;
+    Alcotest.test_case "spills around calls" `Quick test_nested_calls_spill;
+    Alcotest.test_case "capability width shows in caches" `Quick test_cycle_counting_differs;
+    Alcotest.test_case "compiled matches interpreter" `Quick test_compiled_matches_interpreter;
+  ]
+
+(* -- trap-on-overflow (-ftrapv style, paper §3.1.1) ------------------------ *)
+
+let overflow_src =
+  {|
+int main(void) {
+  long x = 9223372036854775807;
+  long y = x + 1;            /* signed overflow: UB in C */
+  return y < 0 ? 1 : 0;
+}
+|}
+
+let test_trapv () =
+  (* default: wraps, like every PDP-11-descendant implementation *)
+  Alcotest.(check int64) "wraps without trapv" 1L (fst (run_abi Abi.Mips overflow_src));
+  (* with -ftrapv, the hardware ADDT catches it *)
+  (match C.run ~trapv:true Abi.Mips overflow_src with
+  | Machine.Trap { trap = Machine.Overflow_trap; _ }, _ -> ()
+  | o, _ -> Alcotest.failf "expected overflow trap, got %a" Machine.pp_outcome o);
+  (* unsigned arithmetic must still wrap silently under trapv *)
+  let unsigned_src =
+    {|
+int main(void) {
+  unsigned long x = 18446744073709551615;
+  unsigned long y = x + 1;
+  return y == 0 ? 0 : 1;
+}
+|}
+  in
+  match C.run ~trapv:true Abi.Mips unsigned_src with
+  | Machine.Exit 0L, _ -> ()
+  | o, _ -> Alcotest.failf "unsigned wrap broke under trapv: %a" Machine.pp_outcome o
+
+let test_trapv_does_not_change_correct_code () =
+  List.iter
+    (fun (name, src) ->
+      let plain = run_abi Abi.Mips src in
+      match C.run ~trapv:true Abi.Mips src with
+      | Machine.Exit code, m ->
+          Alcotest.(check int64) (name ^ " exit") (fst plain) code;
+          Alcotest.(check string) (name ^ " out") (snd plain) (Machine.output m)
+      | o, _ -> Alcotest.failf "%s trapped unexpectedly: %a" name Machine.pp_outcome o)
+    battery
+
+let trapv_suite =
+  [
+    Alcotest.test_case "trapv catches signed overflow" `Quick test_trapv;
+    Alcotest.test_case "trapv transparent for correct code" `Quick test_trapv_does_not_change_correct_code;
+  ]
+
+let suite = suite @ trapv_suite
+
+(* -- function pointers ------------------------------------------------------ *)
+
+let funptr_battery =
+  [
+    ( "direct-assignment",
+      {|
+long twice(long x) { return 2 * x; }
+long thrice(long x) { return 3 * x; }
+int main(void) {
+  long (*f)(long) = twice;
+  long a = f(10);
+  f = thrice;
+  return a + f(10);
+}
+|},
+      50L );
+    ( "dispatch-table",
+      {|
+long add(long a, long b) { return a + b; }
+long sub(long a, long b) { return a - b; }
+long mul(long a, long b) { return a * b; }
+struct op { long code; long (*fn)(long, long); };
+int main(void) {
+  struct op ops[3];
+  ops[0].code = 1; ops[0].fn = add;
+  ops[1].code = 2; ops[1].fn = sub;
+  ops[2].code = 3; ops[2].fn = mul;
+  long acc = 0;
+  for (int i = 0; i < 3; i++) acc = acc + ops[i].fn(10, 3);
+  return acc;
+}
+|},
+      50L );
+    ( "callback-argument",
+      {|
+long apply(long (*f)(long), long x) { return f(x); }
+long inc(long x) { return x + 1; }
+long dec(long x) { return x - 1; }
+int main(void) { return apply(inc, 10) * apply(dec, 10); }
+|},
+      99L );
+    ( "null-check",
+      {|
+long inc(long x) { return x + 1; }
+int main(void) {
+  long (*f)(long) = 0;
+  if (f) return 1;
+  f = inc;
+  if (!(f != 0)) return 2;
+  return f(41);
+}
+|},
+      42L );
+  ]
+
+let test_function_pointers_all_backends () =
+  List.iter
+    (fun (name, src, expected) ->
+      (* compiled, all three ABIs *)
+      List.iter
+        (fun abi ->
+          Alcotest.(check int64)
+            (Printf.sprintf "%s/isa-%s" name (Abi.name abi))
+            expected (fst (run_abi abi src)))
+        abis;
+      (* interpreted, all seven models *)
+      List.iter
+        (fun m ->
+          let module M = (val m : Cheri_models.Model.S) in
+          match Cheri_interp.Interp.run_with m src with
+          | Cheri_interp.Interp.Exit (code, _) ->
+              Alcotest.(check int64) (Printf.sprintf "%s/interp-%s" name M.name) expected code
+          | o -> Alcotest.failf "%s under %s: %a" name M.name Cheri_interp.Interp.pp_outcome o)
+        R.all)
+    funptr_battery
+
+let test_null_funptr_call_faults () =
+  let src =
+    {|
+int main(void) {
+  long (*f)(long) = 0;
+  return f(1);
+}
+|}
+  in
+  (* the interpreter reports a fault; the machine jumps to pc 0 (the
+     startup stub) and eventually misbehaves — either way, not exit 1 *)
+  (match Cheri_interp.Interp.run_with R.cheriv3 src with
+  | Cheri_interp.Interp.Fault _ -> ()
+  | o -> Alcotest.failf "expected fault, got %a" Cheri_interp.Interp.pp_outcome o);
+  match Cheri_interp.Interp.run_with R.pdp11 src with
+  | Cheri_interp.Interp.Fault _ -> ()
+  | o -> Alcotest.failf "expected fault, got %a" Cheri_interp.Interp.pp_outcome o
+
+let funptr_suite =
+  [
+    Alcotest.test_case "function pointers, all backends" `Quick test_function_pointers_all_backends;
+    Alcotest.test_case "null function pointer faults" `Quick test_null_funptr_call_faults;
+  ]
+
+let suite = suite @ funptr_suite

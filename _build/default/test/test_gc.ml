@@ -1,0 +1,184 @@
+(* Collector tests: accuracy from tags, relocation, promotion,
+   write-barrier correctness, and the paper's §3.6 observations
+   (addresses change, integers cannot hoard garbage). *)
+
+module Gc = Cheri_gc.Gc
+module Mem = Cheri_tagmem.Tagmem
+module Cap = Cheri_core.Capability
+module Ops = Cheri_core.Cap_ops
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+
+let setup ?(nursery = 4096) ?(tenured = 16384) () =
+  let mem = Mem.create ~size_bytes:(1024 * 1024) () in
+  let gc = Gc.create mem { Gc.heap_base = 0x1000L; nursery_bytes = nursery; tenured_bytes = tenured } in
+  (mem, gc)
+
+(* build a linked list of [n] cells in GC space; each cell: cap at 0,
+   value at offset 32 *)
+let cell_size = 64
+
+let build_list mem gc n =
+  let rec go acc i =
+    if i = 0 then acc
+    else begin
+      let c = Gc.alloc gc ~size:cell_size in
+      Mem.store_cap mem ~addr:(Cap.address c) acc;
+      Mem.store_int mem ~addr:(Int64.add (Cap.address c) 32L) ~size:8 (Int64.of_int i);
+      go c (i - 1)
+    end
+  in
+  go Cap.null n
+
+let rec list_sum mem cap acc =
+  if not (Ops.c_get_tag cap) then acc
+  else
+    let v = Mem.load_int mem ~addr:(Int64.add (Cap.address cap) 32L) ~size:8 in
+    list_sum mem (Mem.load_cap mem ~addr:(Cap.address cap)) (Int64.add acc v)
+
+let test_alloc_bounds () =
+  let _, gc = setup () in
+  let c = Gc.alloc gc ~size:40 in
+  check_bool "tagged" true (Ops.c_get_tag c);
+  check_i64 "length is request" 40L (Ops.c_get_len c);
+  check_int "one live object" 1 (Gc.live_objects gc)
+
+let test_live_data_survives_minor () =
+  let mem, gc = setup () in
+  let head = Gc.new_root gc (build_list mem gc 10) in
+  let before = list_sum mem (Gc.root_get head) 0L in
+  Gc.collect_minor gc;
+  let after = list_sum mem (Gc.root_get head) 0L in
+  check_i64 "list contents preserved" before after;
+  check_int "ten live objects" 10 (Gc.live_objects gc)
+
+let test_garbage_reclaimed () =
+  let mem, gc = setup () in
+  (* unrooted garbage *)
+  ignore (build_list mem gc 20);
+  let live = Gc.new_root gc (build_list mem gc 3) in
+  Gc.collect_minor gc;
+  check_int "only rooted objects survive" 3 (Gc.live_objects gc);
+  check_i64 "live list intact" 6L (list_sum mem (Gc.root_get live) 0L)
+
+let test_objects_relocate () =
+  let mem, gc = setup () in
+  let r = Gc.new_root gc (build_list mem gc 1) in
+  let before = Cap.address (Gc.root_get r) in
+  Gc.collect_minor gc;
+  let after = Cap.address (Gc.root_get r) in
+  check_bool "object moved out of the nursery" true (before <> after);
+  (* §3.6: address comparisons are not stable across collections *)
+  check_i64 "data moved with it" 1L
+    (Mem.load_int mem ~addr:(Int64.add after 32L) ~size:8)
+
+let test_nursery_reset_and_detagged () =
+  let mem, gc = setup () in
+  let g = build_list mem gc 5 in
+  let old_addr = Cap.address g in
+  Gc.collect_minor gc;
+  check_int "nursery empty" 0 (Gc.nursery_used gc);
+  check_bool "stale granule detagged" false (Mem.tag_at mem old_addr)
+
+let test_allocation_triggers_collection () =
+  let mem, gc = setup ~nursery:2048 () in
+  let r = Gc.new_root gc (build_list mem gc 4) in
+  (* allocate much more than the nursery holds *)
+  for _ = 1 to 100 do
+    ignore (Gc.alloc gc ~size:cell_size)
+  done;
+  let st = Gc.stats gc in
+  check_bool "minor collections happened" true (st.Gc.minor_collections > 0);
+  check_i64 "rooted list survived the pressure" 10L (list_sum mem (Gc.root_get r) 0L)
+
+let test_write_barrier () =
+  let mem, gc = setup () in
+  (* tenured holder object *)
+  let holder = Gc.new_root gc (Gc.alloc gc ~size:32) in
+  Gc.collect_minor gc (* promote holder *);
+  (* young object stored into the old one: needs the barrier *)
+  let young = Gc.alloc gc ~size:cell_size in
+  Mem.store_int mem ~addr:(Int64.add (Cap.address young) 32L) ~size:8 99L;
+  let slot = Cap.address (Gc.root_get holder) in
+  Mem.store_cap mem ~addr:slot young;
+  Gc.write_barrier gc slot;
+  Gc.collect_minor gc;
+  let reloaded = Mem.load_cap mem ~addr:(Cap.address (Gc.root_get holder)) in
+  check_bool "pointer still valid" true (Ops.c_get_tag reloaded);
+  check_i64 "young data survived via remembered set" 99L
+    (Mem.load_int mem ~addr:(Int64.add (Cap.address reloaded) 32L) ~size:8)
+
+let test_integers_cannot_hoard () =
+  (* §3.6: with tags, an integer copy of an address does not keep the
+     object alive — the antithesis of conservative collection *)
+  let mem, gc = setup () in
+  let c = Gc.alloc gc ~size:cell_size in
+  let addr_as_int = Cap.address c in
+  (* store the address as a plain integer (clears no tags; it IS data) *)
+  let keeper = Gc.new_root gc (Gc.alloc gc ~size:32) in
+  Mem.store_int mem ~addr:(Cap.address (Gc.root_get keeper)) ~size:8 addr_as_int;
+  Gc.collect_minor gc;
+  check_int "only the keeper survives" 1 (Gc.live_objects gc);
+  check_bool "hoarded address is dead" false (Gc.is_live_address gc addr_as_int)
+
+let test_major_collection () =
+  let mem, gc = setup ~nursery:1024 ~tenured:8192 () in
+  let r = Gc.new_root gc (build_list mem gc 6) in
+  Gc.collect_minor gc;
+  let tenured_before = Gc.tenured_used gc in
+  check_bool "promoted into tenured" true (tenured_before > 0);
+  (* churn tenured garbage then collect major *)
+  for _ = 1 to 30 do
+    ignore (Gc.alloc gc ~size:cell_size);
+    Gc.collect_minor gc
+  done;
+  Gc.collect_major gc;
+  check_i64 "live data survives major" 21L (list_sum mem (Gc.root_get r) 0L);
+  check_int "exactly the list survives" 6 (Gc.live_objects gc)
+
+let test_drop_root () =
+  let mem, gc = setup () in
+  let r = Gc.new_root gc (build_list mem gc 4) in
+  Gc.drop_root gc r;
+  Gc.collect_minor gc;
+  check_int "nothing survives" 0 (Gc.live_objects gc)
+
+let test_oom () =
+  let _, gc = setup ~nursery:1024 ~tenured:1024 () in
+  let keep = ref [] in
+  match
+    for _ = 1 to 200 do
+      keep := Gc.new_root gc (Gc.alloc gc ~size:cell_size) :: !keep
+    done
+  with
+  | exception Gc.Out_of_memory -> ()
+  | () -> Alcotest.fail "expected Out_of_memory with every object rooted"
+
+let prop_random_graph_survives =
+  QCheck.Test.make ~name:"random list lengths survive collection with correct sums" ~count:50
+    QCheck.(int_bound 30)
+    (fun n ->
+      let mem, gc = setup () in
+      let r = Gc.new_root gc (build_list mem gc n) in
+      Gc.collect_minor gc;
+      Gc.collect_major gc;
+      let expected = Int64.of_int (n * (n + 1) / 2) in
+      list_sum mem (Gc.root_get r) 0L = expected && Gc.live_objects gc = n)
+
+let suite =
+  [
+    Alcotest.test_case "alloc returns bounded caps" `Quick test_alloc_bounds;
+    Alcotest.test_case "live data survives minor" `Quick test_live_data_survives_minor;
+    Alcotest.test_case "garbage reclaimed" `Quick test_garbage_reclaimed;
+    Alcotest.test_case "objects relocate" `Quick test_objects_relocate;
+    Alcotest.test_case "nursery reset and detagged" `Quick test_nursery_reset_and_detagged;
+    Alcotest.test_case "allocation triggers collection" `Quick test_allocation_triggers_collection;
+    Alcotest.test_case "write barrier" `Quick test_write_barrier;
+    Alcotest.test_case "integers cannot hoard garbage" `Quick test_integers_cannot_hoard;
+    Alcotest.test_case "major collection" `Quick test_major_collection;
+    Alcotest.test_case "dropped roots die" `Quick test_drop_root;
+    Alcotest.test_case "out of memory" `Quick test_oom;
+    QCheck_alcotest.to_alcotest prop_random_graph_survives;
+  ]

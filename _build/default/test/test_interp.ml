@@ -1,0 +1,443 @@
+(* Interpreter tests: run mini-C programs under the pointer models and
+   check outcomes and output. Model-independent behaviour is tested
+   under PDP-11 (simplest) and cross-checked under CHERIv3; the
+   differential property at the bottom runs a program battery under
+   every model and requires identical observable behaviour whenever no
+   idiom is involved. *)
+
+module I = Cheri_interp.Interp
+module R = Cheri_models.Registry
+
+let check_string = Alcotest.(check string)
+
+let run_on model src =
+  match I.run_with model src with
+  | I.Exit (code, out) -> (code, out)
+  | I.Fault (f, _) -> Alcotest.failf "unexpected fault: %a" Cheri_models.Fault.pp f
+  | I.Stuck m -> Alcotest.failf "stuck: %s" m
+
+let exit_code model src = fst (run_on model src)
+let check_exit ?(model = R.pdp11) expected src = Alcotest.(check int64) "exit code" expected (exit_code model src)
+
+let faults model src =
+  match I.run_with model src with I.Fault _ -> true | _ -> false
+
+let test_arith () =
+  check_exit 42L "int main(void) { return 6 * 7; }";
+  check_exit 1L "int main(void) { return 7 / 4; }";
+  check_exit 3L "int main(void) { return 7 % 4; }";
+  check_exit 255L "int main(void) { unsigned char c = 0xff; return c; }";
+  (* signed char wraps *)
+  check_exit (-1L) "int main(void) { char c = 0xff; long l = c; return l; }";
+  check_exit 1L "int main(void) { unsigned int u = 0xffffffff; return u > 0 ? 1 : 0; }";
+  (* 32-bit overflow wraps *)
+  check_exit 0L "int main(void) { int x = 0x7fffffff; x = x + 1; return x == -2147483648 ? 0 : 1; }"
+
+let test_unsigned_division () =
+  check_exit 1L "int main(void) { unsigned long x = -1; return x / 2 > 0x7000000000000000 ? 1 : 0; }";
+  check_exit 0L "int main(void) { long x = -1; return x / 2; }"
+
+let test_shifts () =
+  check_exit 8L "int main(void) { return 1 << 3; }";
+  check_exit (-1L) "int main(void) { long x = -16; return x >> 4; }";
+  check_exit 1L "int main(void) { unsigned int x = 0x80000000; return (x >> 31); }"
+
+let test_control_flow () =
+  check_exit 55L
+    {|
+int main(void) {
+  long s = 0;
+  for (int i = 1; i <= 10; i++) s += i;
+  return s;
+}
+|};
+  check_exit 4L
+    {|
+int main(void) {
+  int n = 0;
+  while (1) { n++; if (n == 4) break; }
+  return n;
+}
+|};
+  check_exit 25L
+    {|
+int main(void) {
+  long s = 0;
+  for (int i = 0; i < 10; i++) {
+    if (i % 2 == 0) continue;
+    s += i;
+  }
+  return s;
+}
+|}
+
+let test_functions () =
+  check_exit 120L
+    {|
+long fact(long n) { if (n <= 1) return 1; return n * fact(n - 1); }
+int main(void) { return fact(5); }
+|};
+  check_exit 13L
+    {|
+long fib(long n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main(void) { return fib(7); }
+|}
+
+let test_pointers_and_arrays () =
+  check_exit 10L
+    {|
+int main(void) {
+  long a[4];
+  for (int i = 0; i < 4; i++) a[i] = i + 1;
+  long s = 0;
+  long *p = &a[0];
+  for (int i = 0; i < 4; i++) s += p[i];
+  return s;
+}
+|};
+  check_exit 7L
+    {|
+void set(long *p, long v) { *p = v; }
+int main(void) { long x = 0; set(&x, 7); return x; }
+|}
+
+let test_structs () =
+  check_exit 3L
+    {|
+struct point { long x; long y; };
+int main(void) {
+  struct point p;
+  p.x = 1; p.y = 2;
+  struct point q;
+  q = p;              /* struct assignment */
+  return q.x + q.y;
+}
+|};
+  check_exit 6L
+    {|
+struct node { struct node *next; long v; };
+int main(void) {
+  struct node *head = (struct node*)0;
+  for (long i = 1; i <= 3; i++) {
+    struct node *n = (struct node*)malloc(sizeof(struct node));
+    n->v = i;
+    n->next = head;
+    head = n;
+  }
+  long s = 0;
+  while (head) { s += head->v; head = head->next; }
+  return s;
+}
+|}
+
+let test_unions () =
+  (* type punning through a union: little-endian low byte *)
+  check_exit 0x44L
+    {|
+union pun { long l; char bytes[8]; };
+int main(void) {
+  union pun u;
+  u.l = 0x1122334455667744;
+  return u.bytes[0];
+}
+|}
+
+let test_strings_and_output () =
+  let code, out =
+    run_on R.pdp11
+      {|
+int main(void) {
+  print_str("hello ");
+  print_int(42);
+  print_char('\n');
+  return 0;
+}
+|}
+  in
+  Alcotest.(check int64) "exit" 0L code;
+  check_string "output" "hello 42\n" out
+
+let test_sizeof_differs_by_model () =
+  let src = "int main(void) { return sizeof(char*); }" in
+  Alcotest.(check int64) "mips pointer" 8L (exit_code R.pdp11 src);
+  Alcotest.(check int64) "capability" 32L (exit_code R.cheriv3 src)
+
+let test_malloc_free () =
+  check_exit 9L
+    {|
+int main(void) {
+  long *p = (long*)malloc(8);
+  *p = 9;
+  long v = *p;
+  free(p);
+  return v;
+}
+|}
+
+let test_out_of_bounds_caught_by_cheri () =
+  let src =
+    {|
+int main(void) {
+  char *p = (char*)malloc(8);
+  p[8] = 'x';     /* one past the end */
+  return 0;
+}
+|}
+  in
+  Alcotest.(check bool) "cheriv3 faults" true (faults R.cheriv3 src);
+  Alcotest.(check bool) "hardbound faults" true (faults R.hardbound src);
+  Alcotest.(check bool) "pdp11 tolerates (within guard gap)" false (faults R.pdp11 src)
+
+let test_use_after_free_models () =
+  let src =
+    {|
+int main(void) {
+  long *p = (long*)malloc(8);
+  *p = 5;
+  free(p);
+  return *p == 5 ? 0 : 1;   /* use after free */
+}
+|}
+  in
+  Alcotest.(check bool) "relaxed catches UAF" true (faults R.relaxed src);
+  Alcotest.(check bool) "strict catches UAF" true (faults R.strict src);
+  (* this paper's CHERI is spatial-only: no revocation *)
+  Alcotest.(check bool) "cheriv3 does not" false (faults R.cheriv3 src);
+  Alcotest.(check bool) "pdp11 does not" false (faults R.pdp11 src)
+
+let test_null_deref_faults_everywhere () =
+  let src = "int main(void) { int *p = (int*)0; return *p; }" in
+  List.iter
+    (fun m ->
+      let module M = (val m : Cheri_models.Model.S) in
+      Alcotest.(check bool) (M.name ^ " faults on NULL deref") true (faults m src))
+    R.all
+
+let test_const_global_write_faults () =
+  let src =
+    {|
+const int table = 7;
+int main(void) {
+  int *p = (int*)&table;
+  *p = 8;
+  return 0;
+}
+|}
+  in
+  (* the object itself is read-only (like a RO segment): every model
+     refuses the write *)
+  List.iter
+    (fun m ->
+      let module M = (val m : Cheri_models.Model.S) in
+      Alcotest.(check bool) (M.name ^ " faults on RO write") true (faults m src))
+    [ R.cheriv2 ]
+
+let test_dhrystone_style_copy () =
+  check_exit 0L
+    {|
+struct rec { long a; long b; char name[16]; };
+int main(void) {
+  struct rec r1;
+  struct rec r2;
+  r1.a = 1; r1.b = 2;
+  r1.name[0] = 'D';
+  r2 = r1;
+  return (r2.a == 1 && r2.b == 2 && r2.name[0] == 'D') ? 0 : 1;
+}
+|}
+
+(* differential battery: model-independent programs must agree under
+   all seven models *)
+let battery =
+  [
+    "int main(void) { return 6 * 7; }";
+    {|
+long gcd(long a, long b) { while (b) { long t = a % b; a = b; b = t; } return a; }
+int main(void) { return gcd(252, 105); }
+|};
+    {|
+int main(void) {
+  long a[8];
+  for (int i = 0; i < 8; i++) a[i] = i * i;
+  long best = 0;
+  for (int i = 0; i < 8; i++) if (a[i] > best) best = a[i];
+  return best;
+}
+|};
+    {|
+struct s { long x; struct s *next; };
+int main(void) {
+  struct s *l = (struct s*)0;
+  for (int i = 0; i < 5; i++) {
+    struct s *n = (struct s*)malloc(sizeof(struct s));
+    n->x = i; n->next = l; l = n;
+  }
+  long sum = 0;
+  for (struct s *p = l; p; p = p->next) sum += p->x;
+  return sum;
+}
+|};
+    {|
+int streq(const char *a, const char *b) {
+  while (*a && *b && *a == *b) { a++; b++; }
+  return *a == *b;
+}
+int main(void) { return streq("hello", "hello") && !streq("a", "b") ? 3 : 4; }
+|};
+  ]
+
+let test_differential () =
+  List.iteri
+    (fun i src ->
+      let runs = I.run_all src in
+      let codes =
+        List.map
+          (fun (name, o) ->
+            match o with
+            | I.Exit (c, out) -> (name, c, out)
+            | I.Fault (f, _) -> Alcotest.failf "battery %d: %s faulted: %a" i name Cheri_models.Fault.pp f
+            | I.Stuck m -> Alcotest.failf "battery %d: %s stuck: %s" i name m)
+          runs
+      in
+      match codes with
+      | [] -> Alcotest.fail "no models"
+      | (_, c0, o0) :: rest ->
+          List.iter
+            (fun (name, c, o) ->
+              if c <> c0 || o <> o0 then
+                Alcotest.failf "battery %d: %s disagrees (%Ld vs %Ld)" i name c c0)
+            rest)
+    battery
+
+(* Table 3 as a regression test: the reproduction must match the paper *)
+let test_table3_matches_paper () =
+  let module T3 = Cheri_interp.Table3 in
+  let produced = T3.table () in
+  List.iter
+    (fun (r : T3.row) ->
+      let expected = List.assoc r.T3.model_name T3.paper_expectation_strict_reading in
+      List.iteri
+        (fun i (idiom, got) ->
+          let want = List.nth expected i in
+          if got <> want then
+            Alcotest.failf "%s / %s: produced %a, paper says %a" r.T3.model_name
+              (Cheri_interp.Idiom_cases.name idiom) T3.pp_support got T3.pp_support want)
+        r.T3.cells)
+    produced
+
+let suite =
+  [
+    Alcotest.test_case "integer arithmetic" `Quick test_arith;
+    Alcotest.test_case "unsigned division" `Quick test_unsigned_division;
+    Alcotest.test_case "shifts" `Quick test_shifts;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "functions and recursion" `Quick test_functions;
+    Alcotest.test_case "pointers and arrays" `Quick test_pointers_and_arrays;
+    Alcotest.test_case "structs and lists" `Quick test_structs;
+    Alcotest.test_case "union type punning" `Quick test_unions;
+    Alcotest.test_case "strings and output" `Quick test_strings_and_output;
+    Alcotest.test_case "sizeof differs by model" `Quick test_sizeof_differs_by_model;
+    Alcotest.test_case "malloc/free" `Quick test_malloc_free;
+    Alcotest.test_case "bounds checking by model" `Quick test_out_of_bounds_caught_by_cheri;
+    Alcotest.test_case "use-after-free by model" `Quick test_use_after_free_models;
+    Alcotest.test_case "null deref faults everywhere" `Quick test_null_deref_faults_everywhere;
+    Alcotest.test_case "const object write" `Quick test_const_global_write_faults;
+    Alcotest.test_case "struct copy" `Quick test_dhrystone_style_copy;
+    Alcotest.test_case "differential battery" `Quick test_differential;
+    Alcotest.test_case "Table 3 matches the paper" `Quick test_table3_matches_paper;
+  ]
+
+(* -- idioms beyond Table 3 ------------------------------------------------ *)
+
+(* The "Last Word" idiom (§2): FreeBSD libc's strlen reads the string
+   as aligned words, which may read past the object's end inside the
+   final word. "It works in systems with page-based memory protection
+   mechanisms, but not in CHERI where objects have byte granularity." *)
+let last_word_src =
+  {|
+long fast_strlen(const char *s) {
+  const unsigned long *w = (const unsigned long *)s;
+  long n = 0;
+  while (1) {
+    unsigned long v = *w;
+    for (int i = 0; i < 8; i++)
+      if (((v >> (i * 8)) & 255) == 0) return n + i;
+    n = n + 8;
+    w = w + 1;
+  }
+  return n;
+}
+int main(void) {
+  /* an 11-byte buffer whose NUL sits at offset 8: the second word
+     read spans [8,16), three bytes past the allocation */
+  char *buf = (char *)malloc(11);
+  for (int i = 0; i < 8; i++) buf[i] = 'a' + i;
+  buf[8] = 0;
+  return fast_strlen(buf) == 8 ? 0 : 1;
+}
+|}
+
+let test_last_word () =
+  (* page-protected flat memory tolerates the overread *)
+  Alcotest.(check bool) "PDP-11 tolerates last-word overread" false (faults R.pdp11 last_word_src);
+  Alcotest.(check int64) "and computes the right length" 0L (exit_code R.pdp11 last_word_src);
+  (* byte-granularity bounds do not *)
+  Alcotest.(check bool) "CHERIv3 traps" true (faults R.cheriv3 last_word_src);
+  Alcotest.(check bool) "HardBound traps" true (faults R.hardbound last_word_src)
+
+(* The xor linked list (§3.5): each node stores prev^next. "None of
+   these approaches handles some of the complex cases (for example,
+   xor linked lists)" (§6) — the xor'd value carries at most one
+   pointer's provenance, so even CHERIv3's intcap_t arithmetic cannot
+   traverse: the recovered address has the wrong capability's bounds. *)
+let xor_list_src =
+  {|
+struct xnode { intcap_t link; long v; };
+
+int main(void) {
+  struct xnode *a = (struct xnode *)malloc(sizeof(struct xnode));
+  struct xnode *b = (struct xnode *)malloc(sizeof(struct xnode));
+  struct xnode *c = (struct xnode *)malloc(sizeof(struct xnode));
+  a->v = 1; b->v = 2; c->v = 3;
+  a->link = (intcap_t)0 ^ (intcap_t)b;
+  b->link = (intcap_t)a ^ (intcap_t)c;
+  c->link = (intcap_t)b ^ (intcap_t)0;
+  /* traverse forward: prev=0, cur=a */
+  long sum = 0;
+  struct xnode *prev = (struct xnode *)0;
+  struct xnode *cur = a;
+  while (cur) {
+    sum = sum + cur->v;
+    struct xnode *next = (struct xnode *)(cur->link ^ (intcap_t)prev);
+    prev = cur;
+    cur = next;
+  }
+  return sum == 6 ? 0 : 1;
+}
+|}
+
+let breaks model src =
+  match I.run_with model src with
+  | I.Exit (0L, _) -> false
+  | I.Exit _ | I.Fault _ -> true
+  | I.Stuck m -> Alcotest.failf "stuck: %s" m
+
+let test_xor_list () =
+  (* integer-pointer models traverse happily *)
+  Alcotest.(check int64) "PDP-11 traverses" 0L (exit_code R.pdp11 xor_list_src);
+  Alcotest.(check int64) "Relaxed traverses" 0L (exit_code R.relaxed xor_list_src);
+  (* provenance-tracking models cannot: the xor'd value carries at most
+     one pointer's provenance. HardBound fails closed (trap); Strict's
+     poisoned value reads back as null, silently truncating the list *)
+  Alcotest.(check bool) "Strict breaks" true (breaks R.strict xor_list_src);
+  Alcotest.(check bool) "HardBound faults" true (faults R.hardbound xor_list_src);
+  (* even CHERIv3: the loaded integer is no capability at all *)
+  Alcotest.(check bool) "CHERIv3 faults" true (faults R.cheriv3 xor_list_src)
+
+let extra_suite =
+  [
+    Alcotest.test_case "Last Word idiom (§2)" `Quick test_last_word;
+    Alcotest.test_case "xor linked list (§3.5)" `Quick test_xor_list;
+  ]
+
+let suite = suite @ extra_suite

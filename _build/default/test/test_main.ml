@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "cheri_c"
+    [
+      ("bits", Test_bits.suite);
+      ("capability", Test_capability.suite);
+      ("cap_ops", Test_cap_ops.suite);
+      ("tagmem", Test_tagmem.suite);
+      ("machine", Test_machine.suite);
+      ("asm", Test_asm.suite);
+      ("minic", Test_minic.suite);
+      ("interp", Test_interp.suite);
+      ("compiler", Test_compiler.suite);
+      ("analysis", Test_analysis.suite);
+      ("workloads", Test_workloads.suite);
+      ("gc", Test_gc.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("properties", Test_props.suite);
+    ]

@@ -1,0 +1,146 @@
+(* Cross-cutting property tests: the machine allocator, the cache
+   model, the flat heap, and capability encoding invariants. *)
+
+module I = Cheri_isa.Insn
+module Machine = Cheri_isa.Machine
+module Cache = Cheri_isa.Cache
+module Asm = Cheri_asm.Asm
+module FH = Cheri_models.Flat_heap
+module Cap = Cheri_core.Capability
+module Perms = Cheri_core.Perms
+
+(* -- machine allocator ---------------------------------------------------- *)
+
+(* The allocator property runs a generated program: N mallocs of random
+   sizes, storing each base into an array, then checking alignment and
+   pairwise disjointness in-program. *)
+let allocator_program sizes =
+  let n = List.length sizes in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "int main(void) {\n  long base[%d];\n  long len[%d];\n" n n);
+  List.iteri
+    (fun i size ->
+      Buffer.add_string buf
+        (Printf.sprintf "  base[%d] = (long)malloc(%d); len[%d] = %d;\n" i size i size))
+    sizes;
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|
+  for (int i = 0; i < %d; i++) {
+    if (base[i] %% 32 != 0) return 1;             /* alignment */
+    for (int j = 0; j < %d; j++) {
+      if (i != j) {
+        if (base[i] < base[j] + len[j] && base[j] < base[i] + len[i]) return 2;  /* overlap */
+      }
+    }
+  }
+  return 0;
+}
+|}
+       n n);
+  Buffer.contents buf
+
+let prop_allocator_disjoint =
+  QCheck.Test.make ~name:"allocator blocks aligned and pairwise disjoint" ~count:30
+    QCheck.(list_of_size (Gen.int_range 2 12) (int_range 1 400))
+    (fun sizes ->
+      match Cheri_compiler.Codegen.run Cheri_compiler.Abi.Mips (allocator_program sizes) with
+      | Machine.Exit 0L, _ -> true
+      | _ -> false)
+
+(* -- cache model ----------------------------------------------------------- *)
+
+let prop_cache_hit_after_access =
+  QCheck.Test.make ~name:"cache: immediate re-access hits" ~count:200
+    QCheck.(int_bound 0xfffff)
+    (fun addr ->
+      let c = Cache.create ~name:"t" ~size_bytes:4096 ~ways:2 ~line_bytes:32 in
+      ignore (Cache.access c (Int64.of_int addr));
+      Cache.access c (Int64.of_int addr))
+
+let prop_cache_lru =
+  QCheck.Test.make ~name:"cache: LRU victim is evicted first" ~count:100
+    QCheck.(int_bound 255)
+    (fun set ->
+      (* direct-mapped-per-way exercise: 2-way cache, fill a set with two
+         lines, touch the first, insert a third: the second must be gone *)
+      let c = Cache.create ~name:"t" ~size_bytes:(256 * 2 * 32) ~ways:2 ~line_bytes:32 in
+      let addr k = Int64.of_int ((k * 256 * 32) + (set * 32)) in
+      ignore (Cache.access c (addr 0));
+      ignore (Cache.access c (addr 1));
+      ignore (Cache.access c (addr 0));
+      (* touch 0: 1 becomes LRU *)
+      ignore (Cache.access c (addr 2));
+      (* evicts 1 *)
+      Cache.access c (addr 0) && not (Cache.access c (addr 1)))
+
+let prop_cache_stats_consistent =
+  QCheck.Test.make ~name:"cache: hits + misses = accesses" ~count:60
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_bound 0xffff))
+    (fun addrs ->
+      let c = Cache.create ~name:"t" ~size_bytes:2048 ~ways:4 ~line_bytes:32 in
+      List.iter (fun a -> ignore (Cache.access c (Int64.of_int a))) addrs;
+      Cache.hits c + Cache.misses c = List.length addrs)
+
+(* -- flat heap -------------------------------------------------------------- *)
+
+let prop_flat_heap_find =
+  QCheck.Test.make ~name:"flat heap: find locates every allocated byte" ~count:60
+    QCheck.(list_of_size (Gen.int_range 1 30) (int_range 1 200))
+    (fun sizes ->
+      let h = FH.create () in
+      let objs = List.map (fun s -> FH.alloc h ~size:(Int64.of_int s) ~const:false) sizes in
+      List.for_all
+        (fun (o : FH.obj) ->
+          let mid = Int64.add o.FH.vbase (Int64.div o.FH.size 2L) in
+          match FH.find h mid with Some o' -> o'.FH.id = o.FH.id | None -> false)
+        objs)
+
+let prop_flat_heap_guard_gaps =
+  QCheck.Test.make ~name:"flat heap: objects never contiguous (guard gaps)" ~count:60
+    QCheck.(list_of_size (Gen.int_range 2 20) (int_range 1 100))
+    (fun sizes ->
+      let h = FH.create () in
+      let objs = List.map (fun s -> FH.alloc h ~size:(Int64.of_int s) ~const:false) sizes in
+      let sorted = List.sort (fun (a : FH.obj) b -> compare a.FH.vbase b.FH.vbase) objs in
+      let rec check = function
+        | (a : FH.obj) :: (b : FH.obj) :: rest ->
+            Int64.add a.FH.vbase a.FH.size < b.FH.vbase && check (b :: rest)
+        | _ -> true
+      in
+      check sorted)
+
+(* -- capability encoding ----------------------------------------------------- *)
+
+let arbitrary_perm_bits = QCheck.map (fun b -> Perms.of_bits (Int64.of_int (b land 0xff))) QCheck.(int_bound 255)
+
+let prop_sealed_roundtrip =
+  QCheck.Test.make ~name:"sealed capabilities roundtrip through the 256-bit encoding" ~count:200
+    QCheck.(triple (pair (int_bound 1_000_000) (int_bound 100_000)) (int_bound 0xffff) arbitrary_perm_bits)
+    (fun ((base, len), otype, perms) ->
+      let c = Cap.make ~base:(Int64.of_int base) ~length:(Int64.of_int len) ~perms in
+      let sealed = Cap.seal_unchecked c ~otype:(Int64.of_int otype) in
+      Cap.equal sealed (Cap.of_words ~tag:true (Cap.to_words sealed)))
+
+let prop_tagmem_cap_roundtrip_random =
+  QCheck.Test.make ~name:"tagmem: random capabilities roundtrip with tags" ~count:200
+    QCheck.(pair (int_bound 100) (pair (int_bound 1_000_000) (int_bound 100_000)))
+    (fun (slot, (base, len)) ->
+      let mem = Cheri_tagmem.Tagmem.create ~size_bytes:8192 () in
+      let addr = Int64.of_int (slot * 32) in
+      let c = Cap.make ~base:(Int64.of_int base) ~length:(Int64.of_int len) ~perms:Perms.all in
+      Cheri_tagmem.Tagmem.store_cap mem ~addr c;
+      Cap.equal c (Cheri_tagmem.Tagmem.load_cap mem ~addr))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_allocator_disjoint;
+    QCheck_alcotest.to_alcotest prop_cache_hit_after_access;
+    QCheck_alcotest.to_alcotest prop_cache_lru;
+    QCheck_alcotest.to_alcotest prop_cache_stats_consistent;
+    QCheck_alcotest.to_alcotest prop_flat_heap_find;
+    QCheck_alcotest.to_alcotest prop_flat_heap_guard_gaps;
+    QCheck_alcotest.to_alcotest prop_sealed_roundtrip;
+    QCheck_alcotest.to_alcotest prop_tagmem_cap_roundtrip_random;
+  ]
+

@@ -1,0 +1,137 @@
+module Mem = Cheri_tagmem.Tagmem
+module Cap = Cheri_core.Capability
+module Perms = Cheri_core.Perms
+
+let check_bool = Alcotest.(check bool)
+let check_i64 = Alcotest.(check int64)
+let check_int = Alcotest.(check int)
+
+let mem () = Mem.create ~size_bytes:4096 ()
+
+let test_int_roundtrip () =
+  let m = mem () in
+  List.iter
+    (fun (size, v) ->
+      Mem.store_int m ~addr:128L ~size v;
+      check_i64 (Printf.sprintf "size %d" size) v (Mem.load_int m ~addr:128L ~size))
+    [ (1, 0xabL); (2, 0xbeefL); (4, 0xdeadbeefL); (8, 0x1122334455667788L) ]
+
+let test_little_endian () =
+  let m = mem () in
+  Mem.store_int m ~addr:0L ~size:8 0x0102030405060708L;
+  check_int "low byte first" 8 (Mem.load_byte m 0L);
+  check_int "high byte last" 1 (Mem.load_byte m 7L)
+
+let test_cap_roundtrip () =
+  let m = mem () in
+  let c = Cap.make ~base:0x40L ~length:0x20L ~perms:Perms.read_only in
+  Mem.store_cap m ~addr:64L c;
+  check_bool "tag set" true (Mem.tag_at m 64L);
+  let c' = Mem.load_cap m ~addr:64L in
+  check_bool "roundtrip" true (Cap.equal c c')
+
+let test_data_store_clears_tag () =
+  let m = mem () in
+  let c = Cap.make ~base:0x40L ~length:0x20L ~perms:Perms.all in
+  Mem.store_cap m ~addr:64L c;
+  (* overwrite one byte in the middle of the capability *)
+  Mem.store_byte m 80L 0xff;
+  check_bool "tag cleared by data store" false (Mem.tag_at m 64L);
+  let c' = Mem.load_cap m ~addr:64L in
+  check_bool "loaded capability untagged" false c'.Cap.tag
+
+let test_untagged_store_of_cap () =
+  let m = mem () in
+  let c = Cap.clear_tag (Cap.make ~base:1L ~length:2L ~perms:Perms.all) in
+  Mem.store_cap m ~addr:96L c;
+  check_bool "storing untagged cap leaves tag clear" false (Mem.tag_at m 96L)
+
+let test_tag_granularity () =
+  let m = mem () in
+  let c = Cap.make ~base:0L ~length:8L ~perms:Perms.all in
+  Mem.store_cap m ~addr:0L c;
+  Mem.store_cap m ~addr:32L c;
+  check_int "two tags" 2 (Mem.count_tags m);
+  (* a write in the second granule must not disturb the first *)
+  Mem.store_byte m 40L 1;
+  check_bool "first granule keeps its tag" true (Mem.tag_at m 0L);
+  check_bool "second granule lost its tag" false (Mem.tag_at m 32L);
+  check_int "one tag left" 1 (Mem.count_tags m)
+
+let test_wide_store_clears_both_granules () =
+  let m = mem () in
+  let c = Cap.make ~base:0L ~length:8L ~perms:Perms.all in
+  Mem.store_cap m ~addr:0L c;
+  Mem.store_cap m ~addr:32L c;
+  (* an 8-byte store straddling the granule boundary clears both tags *)
+  Mem.store_int m ~addr:28L ~size:8 0L;
+  check_int "both tags cleared" 0 (Mem.count_tags m)
+
+let test_bus_error () =
+  let m = mem () in
+  Alcotest.check_raises "load beyond end" (Mem.Bus_error 4096L) (fun () ->
+      ignore (Mem.load_byte m 4096L));
+  Alcotest.check_raises "straddling store" (Mem.Bus_error 4092L) (fun () ->
+      Mem.store_int m ~addr:4092L ~size:8 0L)
+
+let test_misaligned_cap () =
+  let m = mem () in
+  Alcotest.check_raises "misaligned cap load"
+    (Invalid_argument "Tagmem.load_cap: address must be capability-aligned") (fun () ->
+      ignore (Mem.load_cap m ~addr:8L))
+
+let test_iter_tagged () =
+  let m = mem () in
+  let c = Cap.make ~base:0L ~length:8L ~perms:Perms.all in
+  Mem.store_cap m ~addr:64L c;
+  Mem.store_cap m ~addr:512L c;
+  let seen = ref [] in
+  Mem.iter_tagged m (fun a -> seen := a :: !seen);
+  Alcotest.(check (list int64)) "tagged granule addresses" [ 64L; 512L ] (List.rev !seen)
+
+let test_custom_granule () =
+  let m = Mem.create ~granule:64 ~size_bytes:4096 () in
+  let c = Cap.make ~base:0L ~length:8L ~perms:Perms.all in
+  Mem.store_cap m ~addr:0L c;
+  (* with 64-byte granules, a data write 40 bytes in still clears the tag *)
+  Mem.store_byte m 40L 1;
+  check_bool "coarse granule collateral clearing" false (Mem.tag_at m 0L)
+
+let prop_data_roundtrip =
+  QCheck.Test.make ~name:"store_int/load_int roundtrip (any size/addr)" ~count:500
+    QCheck.(triple (int_bound 4000) (int_range 0 3) int64)
+    (fun (addr, szi, v) ->
+      let size = [| 1; 2; 4; 8 |].(szi) in
+      let addr = Int64.of_int (min addr (4096 - size)) in
+      let m = mem () in
+      Mem.store_int m ~addr ~size v;
+      let expected = Cheri_util.Bits.zero_extend v ~width:(size * 8) in
+      Mem.load_int m ~addr ~size = expected)
+
+let prop_any_data_write_kills_overlapping_tag =
+  QCheck.Test.make ~name:"any data write into a tagged granule clears the tag" ~count:500
+    QCheck.(pair (int_bound 31) (int_range 0 3))
+    (fun (off, szi) ->
+      let size = [| 1; 2; 4; 8 |].(szi) in
+      let off = min off (32 - size) in
+      let m = mem () in
+      Mem.store_cap m ~addr:0L (Cap.make ~base:0L ~length:1L ~perms:Perms.all);
+      Mem.store_int m ~addr:(Int64.of_int off) ~size 0L;
+      not (Mem.tag_at m 0L))
+
+let suite =
+  [
+    Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+    Alcotest.test_case "little endian layout" `Quick test_little_endian;
+    Alcotest.test_case "capability roundtrip" `Quick test_cap_roundtrip;
+    Alcotest.test_case "data store clears tag" `Quick test_data_store_clears_tag;
+    Alcotest.test_case "untagged capability store" `Quick test_untagged_store_of_cap;
+    Alcotest.test_case "tag granularity" `Quick test_tag_granularity;
+    Alcotest.test_case "straddling store clears both" `Quick test_wide_store_clears_both_granules;
+    Alcotest.test_case "bus errors" `Quick test_bus_error;
+    Alcotest.test_case "misaligned capability access" `Quick test_misaligned_cap;
+    Alcotest.test_case "iter_tagged" `Quick test_iter_tagged;
+    Alcotest.test_case "custom granule" `Quick test_custom_granule;
+    QCheck_alcotest.to_alcotest prop_data_roundtrip;
+    QCheck_alcotest.to_alcotest prop_any_data_write_kills_overlapping_tag;
+  ]

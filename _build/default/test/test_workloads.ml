@@ -1,0 +1,156 @@
+(* Workload tests: every benchmark program runs identically across the
+   three ABIs at tiny scale, and the performance relationships that
+   drive Figures 1-4 hold in the cycle model. Marked `Slow where the
+   simulator runs take more than ~a second. *)
+
+module W = Cheri_workloads
+module Abi = Cheri_compiler.Abi
+
+let tiny_olden = { W.Olden.scale = 1 }
+
+let test_olden_outputs_agree () =
+  List.iter
+    (fun (k : W.Olden.kernel) ->
+      let ms = W.Runner.run_all_abis (k.W.Olden.source tiny_olden) in
+      Alcotest.(check int) (k.W.Olden.kname ^ " three runs") 3 (List.length ms);
+      List.iter
+        (fun (m : W.Runner.measurement) ->
+          Alcotest.(check bool)
+            (k.W.Olden.kname ^ " produced output")
+            true
+            (String.length m.W.Runner.output > 0))
+        ms)
+    W.Olden.kernels
+
+let test_olden_capability_overhead () =
+  (* pointer-heavy code must cost more cycles under capabilities: the
+     mechanism behind Figure 1 *)
+  let k = List.find (fun k -> k.W.Olden.kname = "TreeAdd") W.Olden.kernels in
+  let ms = W.Runner.run_all_abis (k.W.Olden.source { W.Olden.scale = 2 }) in
+  match ms with
+  | [ mips; _v2; v3 ] ->
+      Alcotest.(check bool) "v3 slower than MIPS on TreeAdd" true (v3.W.Runner.cycles > mips.W.Runner.cycles);
+      Alcotest.(check bool) "v3 misses more in L1" true
+        (v3.W.Runner.l1_misses > mips.W.Runner.l1_misses)
+  | _ -> Alcotest.fail "expected three measurements"
+
+let test_dhrystone_parity () =
+  (* compute-bound code must be within a few percent: Figure 2 *)
+  let src = W.Dhrystone.source { W.Dhrystone.iterations = 3_000 } in
+  let ms = W.Runner.run_all_abis src in
+  match ms with
+  | [ mips; v2; v3 ] ->
+      let ratio m = float_of_int m.W.Runner.cycles /. float_of_int mips.W.Runner.cycles in
+      Alcotest.(check bool) "v2 within 10% of MIPS" true (ratio v2 < 1.10);
+      Alcotest.(check bool) "v3 within 10% of MIPS" true (ratio v3 < 1.10)
+  | _ -> Alcotest.fail "expected three measurements"
+
+let test_tcpdump_variants_agree () =
+  let params = { W.Tcpdump_sim.packets = 400; passes = 1 } in
+  let natural = W.Runner.run Abi.Mips (W.Tcpdump_sim.source params) in
+  let ported = W.Runner.run Abi.Mips (W.Tcpdump_sim.source_v2 params) in
+  Alcotest.(check string) "v2 port preserves behaviour" natural.W.Runner.output
+    ported.W.Runner.output;
+  (* sanity: the dissector classified packets into several protocols *)
+  Alcotest.(check bool) "parsed tcp" true
+    (String.length natural.W.Runner.output > 10)
+
+let test_tcpdump_small_overhead () =
+  let params = { W.Tcpdump_sim.packets = 800; passes = 2 } in
+  let ms = W.Runner.run_all_abis ~v2_source:(Some (W.Tcpdump_sim.source_v2 params))
+      (W.Tcpdump_sim.source params)
+  in
+  match ms with
+  | [ mips; _; v3 ] ->
+      let ratio = float_of_int v3.W.Runner.cycles /. float_of_int mips.W.Runner.cycles in
+      (* the paper reports 4% +- 3%; insist on single digits *)
+      Alcotest.(check bool) "v3 tcpdump overhead < 10%" true (ratio < 1.10)
+  | _ -> Alcotest.fail "expected three measurements"
+
+let test_zlib_roundtrip_all_abis () =
+  let src = W.Zlib_like.source { W.Zlib_like.input_size = 8192; boundary_copy = false } in
+  let ms = W.Runner.run_all_abis src in
+  List.iter
+    (fun (m : W.Runner.measurement) ->
+      Alcotest.(check bool)
+        (Abi.name m.W.Runner.abi ^ " roundtrip ok")
+        true
+        (String.length m.W.Runner.output > 0
+        && String.length m.W.Runner.output >= 12
+        &&
+        let out = m.W.Runner.output in
+        (* output ends with "roundtrip=1\n" *)
+        String.length out >= 12 && String.sub out (String.length out - 12) 12 = "roundtrip=1\n"))
+    ms
+
+let test_zlib_compresses () =
+  let src = W.Zlib_like.source { W.Zlib_like.input_size = 16384; boundary_copy = false } in
+  let m = W.Runner.run Abi.Mips src in
+  (* "in=16384 out=NNN ..." — extract out and check compression happened *)
+  let out = m.W.Runner.output in
+  Alcotest.(check bool) "compressed smaller than input" true
+    (try
+       Scanf.sscanf out "in=%d out=%d" (fun n c -> c < n)
+     with _ -> false)
+
+let test_zlib_boundary_copy_costs () =
+  let size = 16384 in
+  let plain = W.Zlib_like.source { W.Zlib_like.input_size = size; boundary_copy = false } in
+  let copying = W.Zlib_like.source { W.Zlib_like.input_size = size; boundary_copy = true } in
+  let v3 = Abi.Cheri Cheri_core.Cap_ops.V3 in
+  let base = W.Runner.run v3 plain in
+  let copy = W.Runner.run v3 copying in
+  let overhead =
+    float_of_int (copy.W.Runner.cycles - base.W.Runner.cycles) /. float_of_int base.W.Runner.cycles
+  in
+  Alcotest.(check bool) "copying costs 5-40%" true (overhead > 0.05 && overhead < 0.40)
+
+let test_port_audit_shape () =
+  let rows = W.Port_audit.table4 () in
+  let tcp = List.find (fun r -> r.W.Port_audit.program = "tcpdump") rows in
+  let olden = List.find (fun r -> r.W.Port_audit.program = "Olden") rows in
+  (* the Table 4 story: tcpdump needs far more semantic change for v2
+     than for v3; Olden needs none for either *)
+  Alcotest.(check bool) "tcpdump v2 semantic >> v3" true
+    (tcp.W.Port_audit.semantic_v2 > 10 * tcp.W.Port_audit.semantic_v3);
+  Alcotest.(check int) "olden v2 semantic" 0 olden.W.Port_audit.semantic_v2;
+  Alcotest.(check int) "olden v3 semantic" 0 olden.W.Port_audit.semantic_v3;
+  Alcotest.(check bool) "annotations counted" true (olden.W.Port_audit.annotation > 0)
+
+let test_v2_compiles_all_workloads () =
+  (* the workload sources (v2 variant for tcpdump) must COMPILE for
+     CHERIv2 — the hybrid port exists *)
+  let v2 = Abi.Cheri Cheri_core.Cap_ops.V2 in
+  List.iter
+    (fun (k : W.Olden.kernel) ->
+      ignore (Cheri_compiler.Codegen.compile_source v2 (k.W.Olden.source tiny_olden)))
+    W.Olden.kernels;
+  ignore (Cheri_compiler.Codegen.compile_source v2 (W.Dhrystone.source { W.Dhrystone.iterations = 1 }));
+  ignore
+    (Cheri_compiler.Codegen.compile_source v2
+       (W.Tcpdump_sim.source_v2 { W.Tcpdump_sim.packets = 1; passes = 1 }))
+
+let test_v2_rejects_natural_tcpdump () =
+  (* ... while the natural pointer-subtraction dissector does not compile *)
+  match
+    Cheri_compiler.Codegen.compile_source
+      (Abi.Cheri Cheri_core.Cap_ops.V2)
+      (W.Tcpdump_sim.source { W.Tcpdump_sim.packets = 1; passes = 1 })
+  with
+  | exception Abi.Unsupported _ -> ()
+  | _ -> Alcotest.fail "CHERIv2 accepted pointer subtraction"
+
+let suite =
+  [
+    Alcotest.test_case "olden runs on all ABIs" `Slow test_olden_outputs_agree;
+    Alcotest.test_case "olden capability overhead" `Slow test_olden_capability_overhead;
+    Alcotest.test_case "dhrystone parity" `Slow test_dhrystone_parity;
+    Alcotest.test_case "tcpdump port behaves identically" `Quick test_tcpdump_variants_agree;
+    Alcotest.test_case "tcpdump overhead small" `Slow test_tcpdump_small_overhead;
+    Alcotest.test_case "zlib roundtrips on all ABIs" `Slow test_zlib_roundtrip_all_abis;
+    Alcotest.test_case "zlib compresses" `Quick test_zlib_compresses;
+    Alcotest.test_case "zlib boundary copies cost" `Slow test_zlib_boundary_copy_costs;
+    Alcotest.test_case "Table 4 shape" `Quick test_port_audit_shape;
+    Alcotest.test_case "v2 compiles all ports" `Quick test_v2_compiles_all_workloads;
+    Alcotest.test_case "v2 rejects natural tcpdump" `Quick test_v2_rejects_natural_tcpdump;
+  ]
