@@ -4,18 +4,42 @@
      cheri-run [-m pdp11|hardbound|mpx|relaxed|strict|cheriv2|cheriv3] file.c
      cheri-run -a file.c          # run under every model
      cheri-run -S [-abi mips|v2|v3] file.c   # dump softcore assembly
-     cheri-run -x [-abi mips|v2|v3] file.c   # compile and execute on the softcore *)
+     cheri-run -x [-abi mips|v2|v3] file.c   # compile and execute on the softcore
+
+   Observability (each implies -x, i.e. softcore execution):
+
+     cheri-run --profile file.c              # hot-PC profile + event counters
+     cheri-run --trace[=FILE] file.c         # JSONL event dump (stdout or FILE)
+     cheri-run --stats-json FILE file.c      # machine stats + telemetry as JSON ("-" = stdout)
+     cheri-run --chrome-trace FILE file.c    # Chrome trace_event JSON for Perfetto *)
+
+module Telemetry = Cheri_telemetry.Telemetry
+module Machine = Cheri_isa.Machine
 
 let usage () =
-  prerr_endline "usage: cheri-run [-m MODEL] [-a] [-S|-x [-abi ABI]] file.c";
+  prerr_endline
+    "usage: cheri-run [-m MODEL] [-a] [-S|-x [-abi ABI]] [--profile] [--trace[=FILE]]\n\
+    \                 [--stats-json FILE] [--chrome-trace FILE] file.c";
   exit 2
 
 let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  match open_in_bin path with
+  | exception Sys_error msg ->
+      prerr_endline msg;
+      exit 1
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+
+let write_file path contents =
+  if path = "-" then print_string contents
+  else begin
+    let oc = open_out_bin path in
+    output_string oc contents;
+    close_out oc
+  end
 
 let report name outcome =
   match outcome with
@@ -37,14 +61,60 @@ let dump_assembly abi src =
   List.iter (fun (s, i) -> Format.printf "; code symbol %-24s -> %d@." s i)
     (List.sort compare linked.Cheri_asm.Asm.code_symbols)
 
-let execute_on_softcore abi src =
-  let outcome, m = Cheri_compiler.Codegen.run abi src in
-  print_string (Cheri_isa.Machine.output m);
-  let st = Cheri_isa.Machine.stats m in
+(* Machine stats plus the telemetry snapshot, as one JSON object. *)
+let stats_json abi outcome (st : Machine.stats) (snap : Telemetry.snapshot) =
+  Printf.sprintf
+    "{\"abi\":\"%s\",\"outcome\":\"%s\",\"cycles\":%d,\"instret\":%d,\"loads\":%d,\"stores\":%d,\"cap_loads\":%d,\"cap_stores\":%d,\"l1_hits\":%d,\"l1_misses\":%d,\"l2_hits\":%d,\"l2_misses\":%d,\"heap_allocated\":%Ld,\"telemetry\":%s}"
+    (Telemetry.json_escape (Cheri_compiler.Abi.name abi))
+    (Telemetry.json_escape (Format.asprintf "%a" Machine.pp_outcome outcome))
+    st.Machine.st_cycles st.Machine.st_instret st.Machine.st_loads st.Machine.st_stores
+    st.Machine.st_cap_loads st.Machine.st_cap_stores st.Machine.st_l1_hits
+    st.Machine.st_l1_misses st.Machine.st_l2_hits st.Machine.st_l2_misses
+    st.Machine.st_heap_allocated
+    (Telemetry.snapshot_to_json snap)
+
+type telemetry_opts = {
+  profile : bool;
+  trace : string option option;  (* None = off, Some None = stdout, Some (Some f) = file *)
+  stats_json_to : string option;
+  chrome_trace_to : string option;
+}
+
+let telemetry_wanted o =
+  o.profile || o.trace <> None || o.stats_json_to <> None || o.chrome_trace_to <> None
+
+let execute_on_softcore opts abi src =
+  let linked = Cheri_compiler.Codegen.compile_source abi src in
+  let m = Cheri_compiler.Codegen.machine_for abi linked in
+  let sink =
+    if telemetry_wanted opts then begin
+      (* a deep ring only matters when events are dumped *)
+      let capacity =
+        if opts.trace <> None || opts.chrome_trace_to <> None then 1 lsl 16 else 4096
+      in
+      let s = Telemetry.Sink.create ~capacity () in
+      Machine.set_sink m s;
+      s
+    end
+    else Telemetry.Sink.null
+  in
+  let outcome = Machine.run m in
+  print_string (Machine.output m);
+  let st = Machine.stats m in
   Format.printf "[%s] %a  (%d cycles, %d instructions)@."
     (Cheri_compiler.Abi.name abi)
-    Cheri_isa.Machine.pp_outcome outcome st.Cheri_isa.Machine.st_cycles
-    st.Cheri_isa.Machine.st_instret
+    Machine.pp_outcome outcome st.Machine.st_cycles st.Machine.st_instret;
+  if opts.profile then Format.printf "%a" Telemetry.pp_summary sink;
+  (match opts.trace with
+  | None -> ()
+  | Some dest ->
+      let jsonl = Telemetry.jsonl_of_events sink in
+      (match dest with None -> print_string jsonl | Some f -> write_file f jsonl));
+  Option.iter
+    (fun f -> write_file f (stats_json abi outcome st (Telemetry.snapshot sink)))
+    opts.stats_json_to;
+  Option.iter (fun f -> write_file f (Telemetry.chrome_trace sink)) opts.chrome_trace_to;
+  match outcome with Machine.Exit 0L -> () | _ -> exit 1
 
 let () =
   let model = ref "cheriv3" in
@@ -53,6 +123,10 @@ let () =
   let exec = ref false in
   let abi = ref Cheri_compiler.Abi.(Cheri Cheri_core.Cap_ops.V3) in
   let file = ref None in
+  let profile = ref false in
+  let trace = ref None in
+  let stats_json_to = ref None in
+  let chrome_trace_to = ref None in
   let rec parse = function
     | "-m" :: m :: rest ->
         model := m;
@@ -66,6 +140,18 @@ let () =
     | "-x" :: rest ->
         exec := true;
         parse rest
+    | "--profile" :: rest ->
+        profile := true;
+        parse rest
+    | "--trace" :: rest ->
+        trace := Some None;
+        parse rest
+    | "--stats-json" :: f :: rest ->
+        stats_json_to := Some f;
+        parse rest
+    | "--chrome-trace" :: f :: rest ->
+        chrome_trace_to := Some f;
+        parse rest
     | "-abi" :: a :: rest ->
         (match Cheri_compiler.Abi.of_key a with
         | Some x -> abi := x
@@ -73,12 +159,29 @@ let () =
             Format.eprintf "unknown ABI %s@." a;
             exit 2);
         parse rest
+    | f :: rest when String.length f > 8 && String.sub f 0 8 = "--trace=" ->
+        trace := Some (Some (String.sub f 8 (String.length f - 8)));
+        parse rest
+    | [ f ] when f = "--stats-json" || f = "--chrome-trace" || f = "-abi" || f = "-m" ->
+        Format.eprintf "%s requires an argument@." f;
+        exit 2
+    | f :: _ when String.length f > 0 && f.[0] = '-' ->
+        Format.eprintf "unknown option %s@." f;
+        usage ()
     | f :: rest ->
         file := Some f;
         parse rest
     | [] -> ()
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let opts =
+    {
+      profile = !profile;
+      trace = !trace;
+      stats_json_to = !stats_json_to;
+      chrome_trace_to = !chrome_trace_to;
+    }
+  in
   match !file with
   | None -> usage ()
   | Some path -> (
@@ -96,7 +199,7 @@ let () =
           exit 1
       | Ok prog ->
           if !dump then dump_assembly !abi src
-          else if !exec then execute_on_softcore !abi src
+          else if !exec || telemetry_wanted opts then execute_on_softcore opts !abi src
           else if !all then
             List.iter
               (fun m ->

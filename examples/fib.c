@@ -1,0 +1,26 @@
+/* A small profiling target for the observability layer: heap-resident
+   Fibonacci with a deliberate hot loop, used in README examples as
+
+     cheri-run --profile examples/fib.c
+*/
+int main(void) {
+  long n = 30;
+  long *tab = (long *)malloc(8 * 32);
+  tab[0] = 0;
+  tab[1] = 1;
+  for (long i = 2; i <= n; i++) {
+    tab[i] = tab[i - 1] + tab[i - 2];
+  }
+  long acc = 0;
+  for (long r = 0; r < 200; r++) {
+    for (long i = 0; i <= n; i++) {
+      acc = acc + tab[i];
+    }
+  }
+  print_int(tab[n]);
+  print_char('\n');
+  print_int(acc % 100000);
+  print_char('\n');
+  free(tab);
+  return 0;
+}

@@ -10,6 +10,7 @@
 
 open Cheri_util
 module Fault = Cheri_models.Fault
+module Telemetry = Cheri_telemetry.Telemetry
 module T = Minic.Typed
 module L = Minic.Layout
 open Minic.Ast
@@ -469,7 +470,26 @@ module Make (M : Cheri_models.Model.S) = struct
         Hashtbl.replace st.globals g.T.gname p)
       st.prog.T.globals
 
-  let run_program ?(max_steps = 20_000_000) (prog : T.program) : outcome =
+  (* Publish the run's visible end state: one event per run, plus the
+     fault detail when the model trapped — the per-model pass/fail/fault
+     stream Table 3 and the observability layer consume. *)
+  let record_outcome sink steps (o : outcome) =
+    if not (Telemetry.Sink.is_null sink) then begin
+      let kind =
+        match o with Exit _ -> "exit" | Fault _ -> "fault" | Stuck _ -> "stuck"
+      in
+      (match o with
+      | Fault (f, _) ->
+          Telemetry.Sink.record sink ~ts:steps
+            (Telemetry.Fault { pc = 0; kind = Telemetry.F_model; detail = Fault.to_string f })
+      | Exit _ | Stuck _ -> ());
+      Telemetry.Sink.record sink ~ts:steps
+        (Telemetry.Custom
+           { name = "interp:" ^ M.name; detail = Format.asprintf "%s: %a" kind pp_outcome o })
+    end
+
+  let run_program ?(sink = Telemetry.Sink.null) ?(max_steps = 20_000_000) (prog : T.program) :
+      outcome =
     let st =
       {
         prog;
@@ -481,29 +501,34 @@ module Make (M : Cheri_models.Model.S) = struct
         max_steps;
       }
     in
-    try
-      init_globals st;
-      let v = call st "main" [] in
-      let code = match v with VInt v | VDirty v -> v | _ -> 0L in
-      Exit (code, Buffer.contents st.out)
-    with
-    | Exit_exn code -> Exit (code, Buffer.contents st.out)
-    | Fault_exn f -> Fault (f, Buffer.contents st.out)
-    | Runtime msg -> Stuck msg
-    | Minic.Layout.Unknown_tag tag -> Stuck ("unknown aggregate tag " ^ tag)
+    let outcome =
+      try
+        init_globals st;
+        let v = call st "main" [] in
+        let code = match v with VInt v | VDirty v -> v | _ -> 0L in
+        Exit (code, Buffer.contents st.out)
+      with
+      | Exit_exn code -> Exit (code, Buffer.contents st.out)
+      | Fault_exn f -> Fault (f, Buffer.contents st.out)
+      | Runtime msg -> Stuck msg
+      | Minic.Layout.Unknown_tag tag -> Stuck ("unknown aggregate tag " ^ tag)
+    in
+    record_outcome sink st.steps outcome;
+    outcome
 
-  let run_source ?max_steps src = run_program ?max_steps (Minic.Typecheck.compile src)
+  let run_source ?sink ?max_steps src =
+    run_program ?sink ?max_steps (Minic.Typecheck.compile src)
 end
 
 (* Run one source file under a packed model. *)
-let run_with (m : Cheri_models.Model.packed) ?max_steps src : outcome =
+let run_with (m : Cheri_models.Model.packed) ?sink ?max_steps src : outcome =
   let module M = (val m) in
   let module I = Make (M) in
-  I.run_source ?max_steps src
+  I.run_source ?sink ?max_steps src
 
-let run_all ?max_steps src : (string * outcome) list =
+let run_all ?sink ?max_steps src : (string * outcome) list =
   List.map
     (fun m ->
       let module M = (val m : Cheri_models.Model.S) in
-      (M.name, run_with m ?max_steps src))
+      (M.name, run_with m ?sink ?max_steps src))
     Cheri_models.Registry.all

@@ -15,19 +15,34 @@ type outcome =
 val pp_outcome : Format.formatter -> outcome -> unit
 
 module Make (M : Cheri_models.Model.S) : sig
-  val run_program : ?max_steps:int -> Minic.Typed.program -> outcome
+  val run_program :
+    ?sink:Cheri_telemetry.Telemetry.Sink.t -> ?max_steps:int -> Minic.Typed.program -> outcome
   (** Execute [main]. [max_steps] (default 20M expression evaluations)
-      bounds runaway programs. *)
+      bounds runaway programs. A live [sink] receives one
+      [Custom "interp:<model>"] event describing the run's outcome
+      (timestamped with the step count) and, when the model trapped, a
+      [Fault] event of kind [F_model] carrying the pretty-printed
+      fault. *)
 
-  val run_source : ?max_steps:int -> string -> outcome
+  val run_source :
+    ?sink:Cheri_telemetry.Telemetry.Sink.t -> ?max_steps:int -> string -> outcome
   (** Parse, type-check, and run source text. Front-end errors raise
       ({!Minic.Typecheck.Type_error} etc.); runtime problems are
       returned as outcomes. *)
 end
 
-val run_with : Cheri_models.Model.packed -> ?max_steps:int -> string -> outcome
+val run_with :
+  Cheri_models.Model.packed ->
+  ?sink:Cheri_telemetry.Telemetry.Sink.t ->
+  ?max_steps:int ->
+  string ->
+  outcome
 (** Run source text under a packed model from {!Cheri_models.Registry}. *)
 
-val run_all : ?max_steps:int -> string -> (string * outcome) list
+val run_all :
+  ?sink:Cheri_telemetry.Telemetry.Sink.t ->
+  ?max_steps:int ->
+  string ->
+  (string * outcome) list
 (** Run under every registered pointer model; returns
     [(model name, outcome)] in Table 3 row order. *)

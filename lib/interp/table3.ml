@@ -26,22 +26,34 @@ let statically_qualified model idiom =
 
 let passes outcome = match outcome with Interp.Exit (0L, _) -> true | _ -> false
 
-let classify (m : Cheri_models.Model.packed) idiom : support =
+let classify ?(sink = Cheri_telemetry.Telemetry.Sink.null) (m : Cheri_models.Model.packed) idiom
+    : support =
   let module M = (val m) in
-  let plain = passes (Interp.run_with m (Idiom_cases.source idiom)) in
-  if plain then if statically_qualified M.name idiom then Qualified else Yes
-  else
-    match Idiom_cases.intcap_source idiom with
-    | Some src -> if passes (Interp.run_with m src) then Qualified else No
-    | None -> No
+  let plain = passes (Interp.run_with m ~sink (Idiom_cases.source idiom)) in
+  let support =
+    if plain then if statically_qualified M.name idiom then Qualified else Yes
+    else
+      match Idiom_cases.intcap_source idiom with
+      | Some src -> if passes (Interp.run_with m ~sink src) then Qualified else No
+      | None -> No
+  in
+  if not (Cheri_telemetry.Telemetry.Sink.is_null sink) then
+    Cheri_telemetry.Telemetry.Sink.record sink
+      (Cheri_telemetry.Telemetry.Idiom_case
+         {
+           model = M.name;
+           idiom = Idiom_cases.name idiom;
+           result = Format.asprintf "%a" pp_support support;
+         });
+  support
 
 type row = { model_name : string; cells : (Idiom_cases.idiom * support) list }
 
-let row (m : Cheri_models.Model.packed) : row =
+let row ?sink (m : Cheri_models.Model.packed) : row =
   let module M = (val m) in
-  { model_name = M.name; cells = List.map (fun i -> (i, classify m i)) Idiom_cases.all }
+  { model_name = M.name; cells = List.map (fun i -> (i, classify ?sink m i)) Idiom_cases.all }
 
-let table () : row list = List.map row Cheri_models.Registry.all
+let table ?sink () : row list = List.map (row ?sink) Cheri_models.Registry.all
 
 (* The values printed in the paper, for comparison in tests and in
    EXPERIMENTS.md. *)

@@ -189,3 +189,25 @@ let map_imm f = function
   | Li (rd, i) -> Li (rd, f i)
   | Alui (op, rd, rs, i) -> Alui (op, rd, rs, f i)
   | i -> i
+
+let telemetry_class : t -> Cheri_telemetry.Telemetry.opcode_class =
+  let open Cheri_telemetry.Telemetry in
+  function
+  | Nop -> Op_nop
+  | Li _ | Alu _ | Alui _ -> Op_alu
+  | Load _ -> Op_load
+  | Store _ -> Op_store
+  | Cload _ -> Op_cap_load
+  | Cstore _ -> Op_cap_store
+  | Clc _ -> Op_clc
+  | Csc _ -> Op_csc
+  | Cgetbase _ | Cgetlen _ | Cgetoffset _ | Cgettag _ | Cgetperm _ | Cptrcmp _ | Ctoptr _ ->
+      Op_cap_query
+  | Cincoffset _ | Cincoffsetimm _ | Csetoffset _ | Cincbase _ | Csetlen _ | Candperm _
+  | Ccleartag _ | Cmove _ | Cseal _ | Cunseal _ | Cfromptr _ ->
+      Op_cap_modify
+  | Cjalr _ | Cjr _ -> Op_cap_jump
+  | Branch _ | Branchz _ -> Op_branch
+  | J _ | Jal _ | Jr _ | Jalr _ -> Op_jump
+  | Syscall -> Op_syscall
+  | Halt -> Op_halt

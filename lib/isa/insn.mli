@@ -107,3 +107,7 @@ val map_target : (target -> target) -> t -> t
 
 val map_imm : (imm -> imm) -> t -> t
 (** Rewrite immediates (assembler symbol resolution). *)
+
+val telemetry_class : t -> Cheri_telemetry.Telemetry.opcode_class
+(** The counter bucket an instruction retires into (see
+    {!Cheri_telemetry.Telemetry.opcode_class}). *)

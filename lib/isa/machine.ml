@@ -4,6 +4,7 @@ module Ops = Cheri_core.Cap_ops
 module Fault = Cheri_core.Cap_fault
 module Perms = Cheri_core.Perms
 module Mem = Cheri_tagmem.Tagmem
+module Telemetry = Cheri_telemetry.Telemetry
 
 type config = {
   revision : Ops.revision;
@@ -75,6 +76,10 @@ type t = {
   mutable free_list : (int64 * int64) list;  (* (base, size), sorted by base *)
   heap_base : int64;
   stack_top : int64;
+  mutable sink : Telemetry.Sink.t;
+  (* [Sink.is_null sink], cached so the step loop pays one mutable-bool
+     test per retired instruction when telemetry is off *)
+  mutable trace_on : bool;
 }
 
 exception Trapped of trap
@@ -137,6 +142,8 @@ let create cfg ~code =
     free_list = [ (cfg.data_base, Int64.sub stack_base cfg.data_base) ];
     heap_base;
     stack_top;
+    sink = Telemetry.Sink.null;
+    trace_on = false;
   }
 
 let config t = t.cfg
@@ -151,6 +158,29 @@ let instret t = t.instret
 let output t = Buffer.contents t.out
 let heap_base t = t.heap_base
 let stack_top t = t.stack_top
+
+let set_sink t sink =
+  t.sink <- sink;
+  t.trace_on <- not (Telemetry.Sink.is_null sink);
+  Mem.set_sink t.memory sink
+
+let sink t = t.sink
+
+let fault_kind_of_trap = function
+  | Cap_trap f -> Telemetry.fault_kind_of_cap f
+  | Overflow_trap -> Telemetry.F_overflow
+  | Div_by_zero -> Telemetry.F_div_zero
+  | Bus_trap _ -> Telemetry.F_bus
+  | Unresolved_operand -> Telemetry.F_unresolved
+  | Invalid_syscall _ -> Telemetry.F_bad_syscall
+  | Out_of_memory -> Telemetry.F_oom
+  | Invalid_free _ -> Telemetry.F_bad_free
+  | Pc_out_of_range _ -> Telemetry.F_pc_range
+
+let record_trap t ~pc trap =
+  Telemetry.Sink.record t.sink ~ts:t.cycles
+    (Telemetry.Fault
+       { pc; kind = fault_kind_of_trap trap; detail = Format.asprintf "%a" pp_trap trap })
 
 (* -- allocator ---------------------------------------------------------- *)
 
@@ -266,7 +296,18 @@ let legacy_addr t rs off = Int64.add (gpr t rs) (Int64.of_int off)
 let cap_addr t cb roff off =
   Int64.add (Cap.address t.caps.(cb)) (Int64.add (gpr t roff) (Int64.of_int off))
 
-let dmem_cost t addr size = Cache.Timing.access_cycles t.dcache addr ~size
+let dmem_cost t addr size =
+  if not t.trace_on then Cache.Timing.access_cycles t.dcache addr ~size
+  else begin
+    let l1 = Cache.Timing.l1 t.dcache and l2 = Cache.Timing.l2 t.dcache in
+    let m1 = Cache.misses l1 and m2 = Cache.misses l2 in
+    let c = Cache.Timing.access_cycles t.dcache addr ~size in
+    if Cache.misses l1 > m1 then
+      Telemetry.Sink.record t.sink ~ts:t.cycles (Telemetry.Cache_miss { level = 1; addr });
+    if Cache.misses l2 > m2 then
+      Telemetry.Sink.record t.sink ~ts:t.cycles (Telemetry.Cache_miss { level = 2; addr });
+    c
+  end
 
 let do_load t ~cap:c ~addr ~w ~signed ~rd =
   let size = Insn.bytes_of_width w in
@@ -294,6 +335,8 @@ let check_cap_alignment addr =
 let do_syscall t =
   let n = gpr t 2 in
   let a0 = gpr t 4 and a1 = gpr t 5 in
+  if t.trace_on then
+    Telemetry.Sink.record t.sink ~ts:t.cycles (Telemetry.Syscall { pc = t.pc; number = n });
   if n = syscall_exit then (Some (Exit a0), 10)
   else if n = syscall_print_int then (
     Buffer.add_string t.out (Int64.to_string a0);
@@ -303,11 +346,14 @@ let do_syscall t =
     (None, 10))
   else if n = syscall_malloc then (
     let base, size = malloc t a0 in
+    if t.trace_on then
+      Telemetry.Sink.record t.sink ~ts:t.cycles (Telemetry.Alloc { base; size });
     set_gpr t 2 base;
     set_cap t 1 (Cap.make ~base ~length:size ~perms:Perms.all);
     (None, 40))
   else if n = syscall_free then (
     free t a0;
+    if t.trace_on then Telemetry.Sink.record t.sink ~ts:t.cycles (Telemetry.Free { base = a0 });
     (None, 30))
   else if n = syscall_clock then (
     set_gpr t 2 (Int64.of_int t.cycles);
@@ -362,7 +408,10 @@ let cmp_holds k c =
    program finishes. Updates pc, cycles, counters. *)
 let step t =
   let rev = t.cfg.revision in
-  if t.pc < 0 || t.pc >= Array.length t.code then Some (Trap { trap = Pc_out_of_range t.pc; pc = t.pc })
+  if t.pc < 0 || t.pc >= Array.length t.code then begin
+    if t.trace_on then record_trap t ~pc:t.pc (Pc_out_of_range t.pc);
+    Some (Trap { trap = Pc_out_of_range t.pc; pc = t.pc })
+  end
   else
     let fetch_addr = Int64.of_int (t.pc * 4) in
     let icost = if Cache.access t.icache fetch_addr then 0 else 6 in
@@ -514,9 +563,13 @@ let step t =
         t.instret <- t.instret + 1;
         t.cycles <- t.cycles + cost + icost;
         t.pc <- next_pc;
+        if t.trace_on then
+          Telemetry.Sink.record t.sink ~ts:t.cycles
+            (Telemetry.Instret { pc = saved_pc; cls = Insn.telemetry_class insn });
         outcome
     | exception Trapped trap ->
         t.cycles <- t.cycles + 1 + icost;
+        if t.trace_on then record_trap t ~pc:saved_pc trap;
         Some (Trap { trap; pc = saved_pc })
 
 let run ?(fuel = 200_000_000) t =

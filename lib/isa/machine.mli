@@ -72,6 +72,21 @@ val output : t -> string
 val heap_base : t -> int64
 val stack_top : t -> int64
 
+(** {1 Telemetry} *)
+
+val set_sink : t -> Cheri_telemetry.Telemetry.Sink.t -> unit
+(** Attach a telemetry sink to the machine (and to its tagged memory).
+    A live sink receives one [Instret] event per retired instruction
+    (pc and opcode class, timestamped with the cycle counter), [Fault]
+    events on every trap, [Syscall]/[Alloc]/[Free] events from the
+    syscall layer, [Cache_miss] events from the data-cache hierarchy,
+    and the tag events of {!Cheri_tagmem.Tagmem.set_sink}. With the
+    default {!Cheri_telemetry.Telemetry.Sink.null} the step loop pays
+    a single predictable branch per instruction and records nothing;
+    telemetry never changes the simulated cycle counts either way. *)
+
+val sink : t -> Cheri_telemetry.Telemetry.Sink.t
+
 val reserve_data : t -> int64 -> int64 -> unit
 (** [reserve_data t base size] removes the loaded data segment from the
     allocator's free list. Called by the {!Cheri_asm} loader. *)

@@ -1,10 +1,12 @@
 open Cheri_util
+module Telemetry = Cheri_telemetry.Telemetry
 
 type t = {
   data : Bytes.t;
   tags : Bytes.t;  (* one bit per granule, packed *)
   granule : int;
   granule_shift : int;
+  mutable sink : Telemetry.Sink.t;
 }
 
 exception Bus_error of int64
@@ -24,10 +26,13 @@ let create ?(granule = 32) ~size_bytes () =
     tags = Bytes.make ((granules + 7) / 8) '\000';
     granule;
     granule_shift = log2 granule;
+    sink = Telemetry.Sink.null;
   }
 
 let size t = Bytes.length t.data
 let granule t = t.granule
+let set_sink t sink = t.sink <- sink
+let sink t = t.sink
 
 let check_range t addr len =
   let a = Int64.to_int addr in
@@ -45,12 +50,26 @@ let set_tag_bit t gi v =
   let byte = if v then byte lor mask else byte land lnot mask in
   Bytes.set t.tags (gi lsr 3) (Char.chr byte)
 
-let clear_tags_in_range t a len =
+(* Clear the tags of every granule [a, a+len) touches. [collateral] is
+   true on the data path — a plain store detagging a live capability is
+   the §4.2 integrity rule firing, and telemetry counts those — and
+   false when {!store_cap} intentionally overwrites a granule. *)
+let clear_tags_in_range ?(collateral = true) t a len =
   if len > 0 then
     let first = granule_index t a and last = granule_index t (a + len - 1) in
-    for gi = first to last do
-      set_tag_bit t gi false
-    done
+    if Telemetry.Sink.is_null t.sink then
+      for gi = first to last do
+        set_tag_bit t gi false
+      done
+    else
+      for gi = first to last do
+        if tag_bit t gi then begin
+          if collateral then
+            Telemetry.Sink.record t.sink
+              (Telemetry.Tag_clear { addr = Int64.of_int (gi lsl t.granule_shift) });
+          set_tag_bit t gi false
+        end
+      done
 
 let load_byte t addr =
   let a = check_range t addr 1 in
@@ -109,8 +128,11 @@ let store_cap t ~addr cap =
   (* A capability store touches exactly one granule when the granule is
      >= the capability width; clear everything it covers first, then
      set the capability's own tag on its granule. *)
-  clear_tags_in_range t a cap_width;
-  set_tag_bit t (granule_index t a) cap.Cheri_core.Capability.tag
+  clear_tags_in_range ~collateral:false t a cap_width;
+  set_tag_bit t (granule_index t a) cap.Cheri_core.Capability.tag;
+  if not (Telemetry.Sink.is_null t.sink) then
+    Telemetry.Sink.record t.sink
+      (Telemetry.Tag_write { addr; tag = cap.Cheri_core.Capability.tag })
 
 let tag_at t addr =
   let a = check_range t addr 1 in

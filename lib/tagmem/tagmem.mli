@@ -28,6 +28,16 @@ val create : ?granule:int -> size_bytes:int -> unit -> t
 val size : t -> int
 val granule : t -> int
 
+val set_sink : t -> Cheri_telemetry.Telemetry.Sink.t -> unit
+(** Attach a telemetry sink. A live sink receives a [Tag_write] event
+    for every capability store and a [Tag_clear] event whenever a
+    plain data store detags a granule that held a valid capability
+    (the collateral invalidation the tag-granularity ablation
+    measures). The default {!Cheri_telemetry.Telemetry.Sink.null}
+    keeps the data path on its uninstrumented fast loop. *)
+
+val sink : t -> Cheri_telemetry.Telemetry.Sink.t
+
 (** {1 Data path} — every write clears the tags of all touched granules. *)
 
 val load_byte : t -> int64 -> int

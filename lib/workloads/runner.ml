@@ -3,6 +3,7 @@
 module C = Cheri_compiler.Codegen
 module Abi = Cheri_compiler.Abi
 module Machine = Cheri_isa.Machine
+module Telemetry = Cheri_telemetry.Telemetry
 
 type measurement = {
   abi : Abi.t;
@@ -12,6 +13,8 @@ type measurement = {
   l1_misses : int;
   l2_misses : int;
   cap_mem_ops : int;
+  telemetry : Telemetry.snapshot option;
+      (* present when the run was given a live sink *)
 }
 
 exception Run_failed of string
@@ -21,7 +24,7 @@ exception Run_failed of string
 let clock_hz = 100_000_000.
 let seconds m = float_of_int m.cycles /. clock_hz
 
-let run ?config ?(fuel = 600_000_000) abi src : measurement =
+let run ?config ?(fuel = 600_000_000) ?sink abi src : measurement =
   let linked =
     try C.compile_source abi src with
     | C.Error m -> raise (Run_failed (Printf.sprintf "%s: codegen: %s" (Abi.name abi) m))
@@ -33,6 +36,7 @@ let run ?config ?(fuel = 600_000_000) abi src : measurement =
         raise (Run_failed (Printf.sprintf "%s: parse error line %d: %s" (Abi.name abi) line m))
   in
   let m = C.machine_for ?config abi linked in
+  Option.iter (Machine.set_sink m) sink;
   match Machine.run ~fuel m with
   | Machine.Exit 0L ->
       let st = Machine.stats m in
@@ -44,16 +48,23 @@ let run ?config ?(fuel = 600_000_000) abi src : measurement =
         l1_misses = st.Machine.st_l1_misses;
         l2_misses = st.Machine.st_l2_misses;
         cap_mem_ops = st.Machine.st_cap_loads + st.Machine.st_cap_stores;
+        telemetry = Option.map Telemetry.snapshot sink;
       }
   | outcome ->
+      (* Keep the full diagnosis: a Trap outcome pretty-prints its cause
+         (including any Cap_fault detail) and the faulting pc via
+         Machine.pp_outcome; add where execution stopped and what the
+         program managed to print. *)
+      let st = Machine.stats m in
       raise
         (Run_failed
-           (Format.asprintf "%s: %a (output so far: %s)" (Abi.name abi) Machine.pp_outcome outcome
-              (Machine.output m)))
+           (Format.asprintf "%s: %a after %d instructions (%d cycles), output so far: %S"
+              (Abi.name abi) Machine.pp_outcome outcome st.Machine.st_instret
+              st.Machine.st_cycles (Machine.output m)))
 
 (* run the same source under all three ABIs and insist the observable
    behaviour agrees — the differential check behind every figure *)
-let run_all_abis ?fuel ?(v2_source = None) src : measurement list =
+let run_all_abis ?fuel ?(v2_source = None) ?(with_telemetry = false) src : measurement list =
   let ms =
     List.map
       (fun abi ->
@@ -62,7 +73,8 @@ let run_all_abis ?fuel ?(v2_source = None) src : measurement list =
           | Abi.Cheri Cheri_core.Cap_ops.V2, Some s -> s
           | _ -> src
         in
-        run ?fuel abi src)
+        let sink = if with_telemetry then Some (Telemetry.Sink.create ()) else None in
+        run ?fuel ?sink abi src)
       Abi.all
   in
   (match ms with

@@ -12,6 +12,8 @@ let () =
       ("compiler", Test_compiler.suite);
       ("analysis", Test_analysis.suite);
       ("workloads", Test_workloads.suite);
+      ("telemetry", Test_telemetry.suite);
+      ("printers", Test_printers.suite);
       ("gc", Test_gc.suite);
       ("fuzz", Test_fuzz.suite);
       ("properties", Test_props.suite);

@@ -1,0 +1,120 @@
+(* Printer coverage: every constructor of Cap_fault.t, Machine.trap
+   and Machine.outcome renders to a non-empty, distinctive string, and
+   to_string agrees with pp. Diagnostics flow into trap messages,
+   telemetry fault details and Runner.Run_failed, so a constructor
+   falling through to a generic or empty rendering is a real loss. *)
+
+module Fault = Cheri_core.Cap_fault
+module Perms = Cheri_core.Perms
+module Machine = Cheri_isa.Machine
+
+let check_bool = Alcotest.(check bool)
+
+let render pp v = Format.asprintf "%a" pp v
+
+let all_cap_faults : (string * Fault.t) list =
+  [
+    ("tag", Fault.Tag_violation);
+    ("bounds", Fault.Bounds_violation { addr = 0x40L; base = 0x10L; top = 0x20L });
+    ("perm", Fault.Perm_violation Perms.Store_cap);
+    ("length", Fault.Length_violation);
+    ("align", Fault.Alignment_violation { addr = 0x21L; required = 32 });
+    ("repr", Fault.Representation_violation);
+    ("seal", Fault.Seal_violation "store via sealed capability");
+    ("unsupported", Fault.Unsupported "CBuildCap");
+  ]
+
+let all_traps : (string * Machine.trap) list =
+  [
+    ("cap", Machine.Cap_trap Fault.Tag_violation);
+    ("overflow", Machine.Overflow_trap);
+    ("div_zero", Machine.Div_by_zero);
+    ("bus", Machine.Bus_trap 0xdead00L);
+    ("unresolved", Machine.Unresolved_operand);
+    ("bad_syscall", Machine.Invalid_syscall 99L);
+    ("oom", Machine.Out_of_memory);
+    ("bad_free", Machine.Invalid_free 0x1000L);
+    ("pc_range", Machine.Pc_out_of_range (-1));
+  ]
+
+let all_outcomes : (string * Machine.outcome) list =
+  [
+    ("exit", Machine.Exit 42L);
+    ("trap", Machine.Trap { trap = Machine.Div_by_zero; pc = 7 });
+    ("fuel", Machine.Fuel_exhausted);
+  ]
+
+let assert_distinct what rendered =
+  let sorted = List.sort_uniq compare (List.map snd rendered) in
+  Alcotest.(check int)
+    (what ^ ": every constructor renders distinctly")
+    (List.length rendered) (List.length sorted)
+
+let assert_nonempty what rendered =
+  List.iter
+    (fun (name, s) ->
+      check_bool (Printf.sprintf "%s/%s renders non-empty" what name) true (String.trim s <> ""))
+    rendered
+
+let test_cap_fault_pp () =
+  let rendered = List.map (fun (n, f) -> (n, render Fault.pp f)) all_cap_faults in
+  assert_nonempty "cap_fault" rendered;
+  assert_distinct "cap_fault" rendered;
+  (* the payload-carrying constructors surface their payloads *)
+  let find n = List.assoc n rendered in
+  let contains hay sub =
+    let n = String.length sub and m = String.length hay in
+    let rec go i = i + n <= m && (String.sub hay i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "bounds carries addr" true (contains (find "bounds") "0x40");
+  check_bool "bounds carries range" true (contains (find "bounds") "0x10");
+  check_bool "align carries requirement" true (contains (find "align") "32");
+  check_bool "seal carries context" true (contains (find "seal") "sealed");
+  check_bool "unsupported names the op" true (contains (find "unsupported") "CBuildCap")
+
+let test_cap_fault_to_string_matches_pp () =
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check string)
+        (Printf.sprintf "to_string = pp for %s" name)
+        (render Fault.pp f) (Fault.to_string f))
+    all_cap_faults
+
+let test_pp_trap () =
+  let rendered = List.map (fun (n, t) -> (n, render Machine.pp_trap t)) all_traps in
+  assert_nonempty "trap" rendered;
+  assert_distinct "trap" rendered;
+  let contains hay sub =
+    let n = String.length sub and m = String.length hay in
+    let rec go i = i + n <= m && (String.sub hay i n = sub || go (i + 1)) in
+    go 0
+  in
+  (* Cap_trap delegates to the capability fault printer *)
+  check_bool "cap trap embeds the fault" true
+    (contains (List.assoc "cap" rendered) (render Fault.pp Fault.Tag_violation));
+  check_bool "bus trap carries the address" true (contains (List.assoc "bus" rendered) "0xdead00");
+  check_bool "bad syscall carries the number" true (contains (List.assoc "bad_syscall" rendered) "99")
+
+let test_pp_outcome () =
+  let rendered = List.map (fun (n, o) -> (n, render Machine.pp_outcome o)) all_outcomes in
+  assert_nonempty "outcome" rendered;
+  assert_distinct "outcome" rendered;
+  let contains hay sub =
+    let n = String.length sub and m = String.length hay in
+    let rec go i = i + n <= m && (String.sub hay i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "exit carries the code" true (contains (List.assoc "exit" rendered) "42");
+  check_bool "trap carries pc=" true (contains (List.assoc "trap" rendered) "pc=7");
+  check_bool "trap embeds the trap cause" true
+    (contains (List.assoc "trap" rendered) (render Machine.pp_trap Machine.Div_by_zero))
+
+let suite =
+  [
+    Alcotest.test_case "Cap_fault.pp covers every constructor" `Quick test_cap_fault_pp;
+    Alcotest.test_case "Cap_fault.to_string consistent with pp" `Quick
+      test_cap_fault_to_string_matches_pp;
+    Alcotest.test_case "Machine.pp_trap covers every constructor" `Quick test_pp_trap;
+    Alcotest.test_case "Machine.pp_outcome covers every constructor" `Quick test_pp_outcome;
+  ]

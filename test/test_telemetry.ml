@@ -1,0 +1,378 @@
+(* The observability layer: ring-buffer semantics, counter
+   monotonicity, the null sink's no-op guarantee, exporter golden
+   output and validity, and end-to-end agreement between the telemetry
+   counters and the machine's reported outcome. *)
+
+module T = Cheri_telemetry.Telemetry
+module Machine = Cheri_isa.Machine
+module Mem = Cheri_tagmem.Tagmem
+module Cap = Cheri_core.Capability
+module Perms = Cheri_core.Perms
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let contains_sub hay sub =
+  let n = String.length sub and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = sub || go (i + 1)) in
+  go 0
+
+(* -- a minimal JSON validity checker (no JSON library in the build) ----- *)
+
+exception Bad_json of string
+
+let validate_json (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal w =
+    String.iter (fun c -> expect c) w
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done
+          | _ -> fail "bad escape");
+          go ()
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    let digits () =
+      let saw = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+            saw := true;
+            advance ();
+            go ()
+        | _ -> ()
+      in
+      go ();
+      if not !saw then fail "expected digit"
+    in
+    digits ();
+    (match peek () with
+    | Some '.' ->
+        advance ();
+        digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else
+          let rec members () =
+            skip_ws ();
+            string_lit ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else
+          let rec elements () =
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some '"' -> string_lit ()
+    | _ -> fail "expected a JSON value");
+    skip_ws ()
+  in
+  value ();
+  if !pos <> n then fail "trailing garbage"
+
+let assert_valid_json what s =
+  match validate_json s with
+  | () -> ()
+  | exception Bad_json msg -> Alcotest.failf "%s: invalid JSON (%s): %s" what msg s
+
+(* -- sink basics --------------------------------------------------------- *)
+
+let test_ring_wraparound () =
+  let s = T.Sink.create ~capacity:4 () in
+  for pc = 1 to 10 do
+    T.Sink.record s ~ts:pc (T.Instret { pc; cls = T.Op_alu })
+  done;
+  check_int "total is monotonic, not capped" 10 (T.Sink.total_events s);
+  check_int "dropped = total - capacity" 6 (T.Sink.dropped_events s);
+  let evs = T.Sink.events s in
+  check_int "ring holds capacity events" 4 (List.length evs);
+  let pcs =
+    List.map (function _, T.Instret { pc; _ } -> pc | _ -> Alcotest.fail "wrong event") evs
+  in
+  Alcotest.(check (list int)) "oldest first, newest last" [ 7; 8; 9; 10 ] pcs;
+  (* counters survive the ring overwriting events *)
+  check_int "counter saw every event" 10 (T.Sink.opcode_count s T.Op_alu)
+
+let test_counter_monotonicity () =
+  let s = T.Sink.create ~capacity:2 () in
+  let snap () = (T.Sink.total_events s, T.Sink.opcode_count s T.Op_load, T.Sink.fault_count s T.F_bounds) in
+  let prev = ref (snap ()) in
+  let events =
+    [
+      T.Instret { pc = 1; cls = T.Op_load };
+      T.Fault { pc = 2; kind = T.F_bounds; detail = "x" };
+      T.Instret { pc = 3; cls = T.Op_load };
+      T.Alloc { base = 0L; size = 8L };
+      T.Free { base = 0L };
+      T.Tag_clear { addr = 32L };
+    ]
+  in
+  List.iter
+    (fun ev ->
+      T.Sink.record s ev;
+      let now = snap () in
+      let (t0, l0, f0) = !prev and (t1, l1, f1) = now in
+      check_bool "counters never decrease" true (t1 > t0 && l1 >= l0 && f1 >= f0);
+      prev := now)
+    events;
+  check_int "load count" 2 (T.Sink.opcode_count s T.Op_load);
+  check_int "bounds fault count" 1 (T.Sink.fault_count s T.F_bounds);
+  check_int "allocs" 1 (T.Sink.allocs s);
+  check_int "frees" 1 (T.Sink.frees s);
+  check_int "collateral clears" 1 (T.Sink.collateral_tag_clears s)
+
+let test_null_sink_is_noop () =
+  let s = T.Sink.null in
+  check_bool "is_null" true (T.Sink.is_null s);
+  T.Sink.record s (T.Instret { pc = 1; cls = T.Op_alu });
+  T.Sink.record s (T.Fault { pc = 1; kind = T.F_tag; detail = "" });
+  check_int "no events" 0 (T.Sink.total_events s);
+  check_int "no counters" 0 (T.Sink.opcode_count s T.Op_alu);
+  check_int "no fault counters" 0 (T.Sink.fault_count s T.F_tag);
+  Alcotest.(check (list (pair int int))) "no hot pcs" [] (T.Sink.hot_pcs s);
+  check_bool "created sinks are live" false (T.Sink.is_null (T.Sink.create ()))
+
+let test_hot_pcs () =
+  let s = T.Sink.create () in
+  let hit pc times =
+    for _ = 1 to times do
+      T.Sink.record s (T.Instret { pc; cls = T.Op_alu })
+    done
+  in
+  hit 5 3;
+  hit 9 10;
+  hit 2 7;
+  Alcotest.(check (list (pair int int)))
+    "sorted by count desc" [ (9, 10); (2, 7); (5, 3) ] (T.Sink.hot_pcs s);
+  Alcotest.(check (list (pair int int))) "top-n limit" [ (9, 10) ] (T.Sink.hot_pcs ~n:1 s)
+
+(* -- exporters ----------------------------------------------------------- *)
+
+let golden_sink () =
+  let s = T.Sink.create ~capacity:8 () in
+  T.Sink.record s ~ts:10 (T.Instret { pc = 3; cls = T.Op_cap_load });
+  T.Sink.record s ~ts:12 (T.Fault { pc = 4; kind = T.F_bounds; detail = "0x10 not in [0x0, 0x8)" });
+  T.Sink.record s ~ts:14 (T.Alloc { base = 65536L; size = 32L });
+  s
+
+let test_jsonl_golden () =
+  let out = T.jsonl_of_events (golden_sink ()) in
+  let expected =
+    "{\"ts\":10,\"ev\":\"instret\",\"args\":{\"pc\":3,\"class\":\"cap_load\"}}\n\
+     {\"ts\":12,\"ev\":\"fault\",\"args\":{\"pc\":4,\"kind\":\"bounds_violation\",\"detail\":\"0x10 \
+     not in [0x0, 0x8)\"}}\n\
+     {\"ts\":14,\"ev\":\"alloc\",\"args\":{\"base\":65536,\"size\":32}}\n"
+  in
+  check_string "jsonl golden" expected out;
+  List.iter
+    (fun line -> if line <> "" then assert_valid_json "jsonl line" line)
+    (String.split_on_char '\n' out)
+
+let test_chrome_trace_golden () =
+  let out = T.chrome_trace (golden_sink ()) in
+  assert_valid_json "chrome trace" out;
+  check_bool "is an array" true (out.[0] = '[');
+  let contains sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length out && (String.sub out i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "has metadata event" true (contains "\"ph\":\"M\"");
+  check_bool "has instant events" true (contains "\"ph\":\"i\"");
+  check_bool "carries the fault" true (contains "bounds_violation");
+  check_bool "timestamps preserved" true (contains "\"ts\":14")
+
+let test_snapshot_json_valid () =
+  let s = T.Sink.create () in
+  T.Sink.record s (T.Instret { pc = 1; cls = T.Op_alu });
+  T.Sink.record s (T.Fault { pc = 1; kind = T.F_tag; detail = "quote \" and \\ backslash" });
+  T.Sink.record s (T.Idiom_case { model = "CHERIv3"; idiom = "INT"; result = "(yes)" });
+  assert_valid_json "snapshot json" (T.snapshot_to_json (T.snapshot s));
+  (* escaping round-trips through the validator, line by line *)
+  List.iter
+    (fun line -> if line <> "" then assert_valid_json "escaped strings" line)
+    (String.split_on_char '\n' (T.jsonl_of_events s))
+
+(* -- producer integration ------------------------------------------------- *)
+
+let test_tagmem_collateral_clears () =
+  let mem = Mem.create ~size_bytes:4096 () in
+  let s = T.Sink.create () in
+  Mem.set_sink mem s;
+  let c = Cap.make ~base:64L ~length:32L ~perms:Perms.all in
+  Mem.store_cap mem ~addr:64L c;
+  check_int "cap store recorded" 1 (T.Sink.tag_writes s);
+  check_int "no collateral yet" 0 (T.Sink.collateral_tag_clears s);
+  (* a plain data write into the capability's granule detags it *)
+  Mem.store_byte mem 70L 0xff;
+  check_int "collateral clear recorded" 1 (T.Sink.collateral_tag_clears s);
+  (* overwriting a capability with a capability is not collateral *)
+  Mem.store_cap mem ~addr:64L c;
+  Mem.store_cap mem ~addr:64L c;
+  check_int "cap-over-cap is not collateral" 1 (T.Sink.collateral_tag_clears s);
+  (* clearing an already-clear granule records nothing *)
+  Mem.store_byte mem 200L 1;
+  check_int "clear of untagged granule not counted" 1 (T.Sink.collateral_tag_clears s)
+
+let buggy_src = "int main(void) { char *p = (char *)malloc(16); p[20] = 'x'; return 0; }"
+
+let test_machine_fault_counter_matches_outcome () =
+  let abi = Cheri_compiler.Abi.Cheri Cheri_core.Cap_ops.V3 in
+  let linked = Cheri_compiler.Codegen.compile_source abi buggy_src in
+  let m = Cheri_compiler.Codegen.machine_for abi linked in
+  let s = T.Sink.create () in
+  Machine.set_sink m s;
+  (match Machine.run m with
+  | Machine.Trap { trap = Machine.Cap_trap f; _ } ->
+      check_int "telemetry bucket matches the trap's fault" 1
+        (T.Sink.fault_count s (T.fault_kind_of_cap f))
+  | o -> Alcotest.failf "expected a capability trap, got %a" Machine.pp_outcome o);
+  check_int "exactly one fault recorded" 1
+    (List.fold_left (fun acc k -> acc + T.Sink.fault_count s k) 0 T.all_fault_kinds);
+  (* the fault event is in the ring with its pretty-printed detail *)
+  let fault_events =
+    List.filter_map
+      (function _, T.Fault { detail; _ } -> Some detail | _ -> None)
+      (T.Sink.events s)
+  in
+  check_int "one fault event" 1 (List.length fault_events);
+  check_bool "detail carries the bounds violation" true
+    (contains_sub (List.hd fault_events) "bounds violation")
+
+let test_machine_retire_counters () =
+  let abi = Cheri_compiler.Abi.Cheri Cheri_core.Cap_ops.V3 in
+  let linked =
+    Cheri_compiler.Codegen.compile_source abi
+      "int main(void) { long s = 0; for (int i = 0; i < 10; i++) s += i; return 0; }"
+  in
+  let m = Cheri_compiler.Codegen.machine_for abi linked in
+  let s = T.Sink.create ~capacity:0 () in
+  Machine.set_sink m s;
+  (match Machine.run m with
+  | Machine.Exit 0L -> ()
+  | o -> Alcotest.failf "expected exit 0, got %a" Machine.pp_outcome o);
+  let st = Machine.stats m in
+  let retired =
+    List.fold_left (fun acc c -> acc + T.Sink.opcode_count s c) 0 T.all_opcode_classes
+  in
+  check_int "one Instret event per retired instruction" st.Machine.st_instret retired;
+  (* capacity 0: counters only, no buffered events, nothing dropped twice *)
+  check_int "no buffered events" 0 (List.length (T.Sink.events s));
+  check_bool "hot pcs populated" true (T.Sink.hot_pcs s <> [])
+
+let test_interp_sink_events () =
+  let s = T.Sink.create () in
+  (match Cheri_interp.Interp.run_with Cheri_models.Registry.cheriv3 ~sink:s buggy_src with
+  | Cheri_interp.Interp.Fault _ -> ()
+  | o -> Alcotest.failf "expected a fault, got %a" Cheri_interp.Interp.pp_outcome o);
+  check_int "model fault counted" 1 (T.Sink.fault_count s T.F_model);
+  let customs =
+    List.filter_map
+      (function _, T.Custom { name; detail } -> Some (name, detail) | _ -> None)
+      (T.Sink.events s)
+  in
+  check_int "one run-outcome event" 1 (List.length customs);
+  check_string "tagged with the model" "interp:CHERIv3" (fst (List.hd customs))
+
+let test_runner_failure_message_detail () =
+  match Cheri_workloads.Runner.run (Cheri_compiler.Abi.Cheri Cheri_core.Cap_ops.V3) buggy_src with
+  | _ -> Alcotest.fail "expected Run_failed"
+  | exception Cheri_workloads.Runner.Run_failed msg ->
+      let contains sub = contains_sub msg sub in
+      check_bool "names the ABI" true (contains "CHERIv3");
+      check_bool "carries the fault cause" true (contains "bounds violation");
+      check_bool "carries the faulting pc" true (contains "pc=")
+
+let suite =
+  [
+    Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "counter monotonicity" `Quick test_counter_monotonicity;
+    Alcotest.test_case "null sink is a no-op" `Quick test_null_sink_is_noop;
+    Alcotest.test_case "hot-pc histogram" `Quick test_hot_pcs;
+    Alcotest.test_case "jsonl golden output" `Quick test_jsonl_golden;
+    Alcotest.test_case "chrome trace golden output" `Quick test_chrome_trace_golden;
+    Alcotest.test_case "snapshot json validity" `Quick test_snapshot_json_valid;
+    Alcotest.test_case "tagmem collateral tag clears" `Quick test_tagmem_collateral_clears;
+    Alcotest.test_case "fault counter matches machine trap" `Quick
+      test_machine_fault_counter_matches_outcome;
+    Alcotest.test_case "retire counters match instret" `Quick test_machine_retire_counters;
+    Alcotest.test_case "interp outcome events" `Quick test_interp_sink_events;
+    Alcotest.test_case "runner failure message detail" `Quick test_runner_failure_message_detail;
+  ]
