@@ -3,21 +3,35 @@
    and runs Bechamel microbenchmarks of the substrate.
 
    Usage:
+     bench/main.exe [--jobs N] ...       fan (workload x ABI) runs over N domains
      bench/main.exe              run everything (what bench_output.txt records)
      bench/main.exe t1|t3|t4     one table
      bench/main.exe f1|f2|f3|f4  one figure
      bench/main.exe ablations    the ablation studies
      bench/main.exe micro        Bechamel microbenchmarks only
      bench/main.exe json [FILE]  machine-readable per-workload results
-                                 (default FILE: BENCH_PR1.json)
+                                 (default FILE: [bench_output_file] below)
      bench/main.exe smoke        fast telemetry-overhead assertions (runs
-                                 under dune runtest) *)
+                                 under dune runtest)
+
+   Every figure/ablation/json cell is an independent (program x ABI)
+   run with per-run machine state, so they fan out over the
+   Cheri_exec.Exec domain pool; results are keyed by submission index,
+   so any --jobs value produces identical tables. *)
 
 module W = Cheri_workloads
 module A = Cheri_analysis
 module Abi = Cheri_compiler.Abi
 module Machine = Cheri_isa.Machine
 module Telemetry = Cheri_telemetry.Telemetry
+module Exec = Cheri_exec.Exec
+
+(* the default output of `bench/main.exe json`, bumped once per PR so
+   the performance trajectory diffs file-to-file *)
+let bench_output_file = "BENCH_PR2.json"
+
+(* set from --jobs; default: a few domains (see Pool.default_jobs) *)
+let jobs = ref (Exec.Pool.default_jobs ())
 
 let ppf = Format.std_formatter
 let section name = Format.fprintf ppf "@.=== %s ===@." name
@@ -53,19 +67,19 @@ let table4 () =
 
 let figure1 () =
   section "Figure 1 (Olden, 100 MHz cycle model)";
-  W.Figures.print_figure1 ppf (W.Figures.figure1 ())
+  W.Figures.print_figure1 ppf (W.Figures.figure1 ~jobs:!jobs ())
 
 let figure2 () =
   section "Figure 2 (Dhrystone)";
-  W.Figures.print_figure2 ppf (W.Figures.figure2 ())
+  W.Figures.print_figure2 ppf (W.Figures.figure2 ~jobs:!jobs ())
 
 let figure3 () =
   section "Figure 3 (tcpdump over the synthetic trace)";
-  W.Figures.print_figure3 ppf (W.Figures.figure3 ())
+  W.Figures.print_figure3 ppf (W.Figures.figure3 ~jobs:!jobs ())
 
 let figure4 () =
   section "Figure 4 (zlib-style compression overhead by input size)";
-  W.Figures.print_figure4 ppf (W.Figures.figure4 ())
+  W.Figures.print_figure4 ppf (W.Figures.figure4 ~jobs:!jobs ())
 
 (* -- ablations --------------------------------------------------------------- *)
 
@@ -100,18 +114,29 @@ let ablation_cache_geometry () =
   Format.fprintf ppf "%-10s%12s%12s%12s@." "L2" "MIPS(s)" "CHERIv3(s)" "overhead";
   let k = List.find (fun k -> k.W.Olden.kname = "TreeAdd") W.Olden.kernels in
   let src = k.W.Olden.source { W.Olden.scale = 2 } in
-  List.iter
-    (fun l2_kb ->
-      let timing = { Cheri_isa.Cache.Timing.paper_config with l2_size = l2_kb * 1024 } in
-      let config abi = { (Cheri_compiler.Codegen.machine_config abi) with Machine.timing } in
-      let mips = W.Runner.run ~config:(config Abi.Mips) Abi.Mips src in
-      let v3abi = Abi.Cheri Cheri_core.Cap_ops.V3 in
-      let v3 = W.Runner.run ~config:(config v3abi) v3abi src in
-      Format.fprintf ppf "%-10s%12.4f%12.4f%11.2fx@."
-        (string_of_int l2_kb ^ "K")
-        (W.Runner.seconds mips) (W.Runner.seconds v3)
-        (float_of_int v3.W.Runner.cycles /. float_of_int mips.W.Runner.cycles))
-    [ 32; 64; 128; 256; 512 ]
+  let v3abi = Abi.Cheri Cheri_core.Cap_ops.V3 in
+  let l2_sizes = [ 32; 64; 128; 256; 512 ] in
+  let tasks = List.concat_map (fun l2 -> [ (l2, Abi.Mips); (l2, v3abi) ]) l2_sizes in
+  let cells =
+    Exec.Pool.map ~jobs:!jobs
+      (fun (l2_kb, abi) ->
+        let timing = { Cheri_isa.Cache.Timing.paper_config with l2_size = l2_kb * 1024 } in
+        let config = { (Cheri_compiler.Codegen.machine_config abi) with Machine.timing } in
+        W.Runner.run ~config abi src)
+      tasks
+  in
+  let rec rows l2s cells =
+    match (l2s, cells) with
+    | l2_kb :: l2_rest, mips_cell :: v3_cell :: cell_rest ->
+        let mips = Exec.Pool.get mips_cell and v3 = Exec.Pool.get v3_cell in
+        Format.fprintf ppf "%-10s%12.4f%12.4f%11.2fx@."
+          (string_of_int l2_kb ^ "K")
+          (W.Runner.seconds mips) (W.Runner.seconds v3)
+          (float_of_int v3.W.Runner.cycles /. float_of_int mips.W.Runner.cycles);
+        rows l2_rest cell_rest
+    | _ -> ()
+  in
+  rows l2_sizes cells
 
 (* 3. offset vs base-mutation: forward pointer *arithmetic* costs the
    same on both revisions (one register-indexed capability
@@ -138,12 +163,13 @@ int main(void) {
 }
 |}
   in
-  List.iter
-    (fun abi ->
-      let m = W.Runner.run abi src in
+  List.iter2
+    (fun abi cell ->
+      let m = Exec.Pool.get cell in
       Format.fprintf ppf "%-10s instret=%9d cycles=%9d@." (Abi.name abi) m.W.Runner.instret
         m.W.Runner.cycles)
-    Abi.all;
+    Abi.all
+    (Exec.Pool.map ~jobs:!jobs (fun abi -> W.Runner.run abi src) Abi.all);
   Format.fprintf ppf
     "(CHERIv2 derives pointers by CIncBase from the DDC and needs an explicit@.";
   Format.fprintf ppf
@@ -239,23 +265,75 @@ let measurement_json workload (m : W.Runner.measurement) =
     m.W.Runner.cap_mem_ops t.Telemetry.allocs t.Telemetry.frees t.Telemetry.alloc_bytes
     t.Telemetry.collateral_tag_clears t.Telemetry.syscalls
 
+(* The whole sweep — every (workload x ABI) pair — fanned over the
+   pool in one flat task list. Architectural results are bit-identical
+   whatever the domain count (per-run machine state, results keyed by
+   submission index); only the reported sweep timing varies. *)
 let bench_json path =
-  let rows =
+  let tasks =
     List.concat_map
       (fun (name, src, v2_source) ->
-        Format.fprintf ppf "measuring %s...@." name;
-        List.map (measurement_json name)
-          (W.Runner.run_all_abis ~v2_source ~with_telemetry:true src))
+        List.map
+          (fun abi ->
+            let src =
+              match (abi, v2_source) with
+              | Abi.Cheri Cheri_core.Cap_ops.V2, Some s -> s
+              | _ -> src
+            in
+            (name, abi, src))
+          Abi.all)
       (json_workloads ())
   in
+  Format.fprintf ppf "measuring %d (workload x ABI) runs on %d domain(s)...@."
+    (List.length tasks) !jobs;
+  if !jobs > Domain.recommended_domain_count () then
+    Format.fprintf ppf
+      "(note: %d jobs on %d recommended domain(s) — oversubscription stalls the OCaml\n\
+      \ stop-the-world collector, so wall-clock will not improve on this machine)@."
+      !jobs
+      (Domain.recommended_domain_count ());
+  let cells, wall_s =
+    Exec.wall (fun () ->
+        Exec.Pool.map ~jobs:!jobs
+          (fun (_, abi, src) ->
+            W.Runner.run ~sink:(Telemetry.Sink.create ()) abi src)
+          tasks)
+  in
+  let rows =
+    List.map2 (fun (name, _, _) cell -> measurement_json name (Exec.Pool.get cell)) tasks cells
+  in
+  (* the differential check the sequential path did per workload:
+     outputs must agree across the three ABIs of each workload *)
+  List.iter
+    (fun row ->
+      match List.map Exec.Pool.get row with
+      | ms -> (
+          match W.Runner.check_agreement ms with
+          | Some e -> W.Runner.fail e
+          | None -> ()))
+    (let rec chunk3 = function
+       | a :: b :: c :: rest -> [ a; b; c ] :: chunk3 rest
+       | [] -> []
+       | _ -> assert false
+     in
+     chunk3 cells);
+  let serial_s = Exec.Pool.serial_seconds cells in
+  let speedup = if wall_s > 0. then serial_s /. wall_s else 1. in
   let body =
     Printf.sprintf
-      "{\n  \"schema\": \"cheri_c.bench/v1\",\n  \"clock_hz\": 100000000,\n  \"results\": [\n%s\n  ]\n}\n"
+      "{\n\
+      \  \"schema\": \"cheri_c.bench/v2\",\n\
+      \  \"clock_hz\": 100000000,\n\
+      \  \"sweep\": {\"jobs\":%d,\"tasks\":%d,\"wall_s\":%.6f,\"serial_s\":%.6f,\"speedup\":%.2f},\n\
+      \  \"results\": [\n%s\n  ]\n\
+       }\n"
+      !jobs (List.length tasks) wall_s serial_s speedup
       (String.concat ",\n" rows)
   in
   let oc = open_out path in
   output_string oc body;
   close_out oc;
+  Format.fprintf ppf "sweep wall %.2fs, serial %.2fs, speedup %.2fx@." wall_s serial_s speedup;
   Format.fprintf ppf "wrote %s (%d measurements)@." path (List.length rows)
 
 (* -- telemetry overhead smoke checks (smoke subcommand) ------------------------ *)
@@ -415,7 +493,24 @@ let all () =
   micro ()
 
 let () =
-  let job = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* split --jobs/-j N out of argv; what remains is JOB [FILE] *)
+  let rec split_jobs = function
+    | ("--jobs" | "-j") :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            jobs := n;
+            split_jobs rest
+        | _ ->
+            Format.eprintf "--jobs expects a positive integer, got %s@." v;
+            exit 2)
+    | [ "--jobs" ] | [ "-j" ] ->
+        Format.eprintf "--jobs requires an argument@." ;
+        exit 2
+    | x :: rest -> x :: split_jobs rest
+    | [] -> []
+  in
+  let positional = split_jobs (List.tl (Array.to_list Sys.argv)) in
+  let job = match positional with j :: _ -> j | [] -> "all" in
   (try
      match job with
      | "all" -> all ()
@@ -430,11 +525,15 @@ let () =
      | "micro" -> micro ()
      | "smoke" -> smoke ()
      | "json" ->
-         bench_json (if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_PR1.json")
+         bench_json (match positional with _ :: f :: _ -> f | _ -> bench_output_file)
      | other ->
          Format.eprintf "unknown job %s@." other;
          exit 2
-   with W.Runner.Run_failed msg ->
-     Format.eprintf "benchmark run failed: %s@." msg;
-     exit 1);
+   with
+  | W.Runner.Run_failed msg ->
+      Format.eprintf "benchmark run failed: %s@." msg;
+      exit 1
+  | Exec.Pool.Worker_failed e ->
+      Format.eprintf "benchmark worker failed: %a@." Exec.Pool.pp_error e;
+      exit 1);
   Format.pp_print_flush ppf ()

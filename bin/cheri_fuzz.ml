@@ -1,0 +1,136 @@
+(* Differential-fuzz campaign driver:
+
+     cheri-fuzz [--seeds N] [--start N] [--jobs N] [--shrink] [--json FILE]
+
+   Runs N seeds across the domain pool, each seed executing one
+   generated program under all ten implementations of the C abstract
+   machine (seven interpreter pointer models + three compiled ABIs).
+   Exit status 0 iff every implementation agreed on every seed.
+
+     cheri-fuzz --self-test [--seeds N] [--jobs N]
+
+   The deterministic CI smoke: runs a clean campaign (expects zero
+   divergences), then injects an intentionally-broken implementation
+   and checks that the campaign flags every seed and that the shrinker
+   produces a reproducer strictly smaller than the originating
+   program. *)
+
+module Campaign = Cheri_fuzz.Campaign
+module Gen = Cheri_fuzz.Gen
+
+let usage () =
+  prerr_endline
+    "usage: cheri-fuzz [--seeds N] [--start N] [--jobs N] [--shrink] [--json FILE] [--self-test]";
+  exit 2
+
+let ppf = Format.std_formatter
+
+(* A deliberately wrong implementation: behaves like the PDP-11
+   interpreter but flips the low bit of the exit code. Used by
+   --self-test to prove the campaign detects and shrinks divergences. *)
+let broken_impl () : Campaign.impl =
+  let base = Campaign.interp_impl (List.hd Cheri_models.Registry.entries) in
+  {
+    Campaign.impl_name = "interp/broken";
+    exec =
+      (fun src ->
+        let o = base.Campaign.exec src in
+        {
+          o with
+          Campaign.impl = "interp/broken";
+          status =
+            (match o.Campaign.status with
+            | Campaign.Exited c -> Campaign.Exited (Int64.logxor c 1L)
+            | s -> s);
+        });
+  }
+
+let self_test ~seeds ~jobs =
+  (* 1. clean campaign: ten real implementations must agree on every seed *)
+  let clean = Campaign.run ~shrink:true ~jobs ~seeds () in
+  Campaign.pp_report ppf clean;
+  if clean.Campaign.divergences <> [] || clean.Campaign.errors <> [] then begin
+    Format.eprintf "self-test FAILED: clean campaign found divergences or errors@.";
+    exit 1
+  end;
+  (* 2. injected divergence: every seed must be flagged and every
+     reproducer must shrink to something strictly smaller *)
+  let impls = Campaign.default_impls () @ [ broken_impl () ] in
+  let broken_seeds = min seeds 3 in
+  let broken = Campaign.run ~impls ~shrink:true ~jobs ~seeds:broken_seeds () in
+  if List.length broken.Campaign.divergences <> broken_seeds then begin
+    Format.eprintf "self-test FAILED: broken implementation not flagged on every seed@.";
+    exit 1
+  end;
+  List.iter
+    (fun (d : Campaign.divergence) ->
+      match d.Campaign.minimized with
+      | None ->
+          Format.eprintf "self-test FAILED: seed %d did not shrink@." d.Campaign.seed;
+          exit 1
+      | Some m ->
+          if String.length m >= String.length d.Campaign.source then begin
+            Format.eprintf "self-test FAILED: seed %d reproducer did not get smaller@."
+              d.Campaign.seed;
+            exit 1
+          end;
+          if not (Campaign.divergent (Campaign.run_impls impls m)) then begin
+            Format.eprintf "self-test FAILED: seed %d minimized program no longer diverges@."
+              d.Campaign.seed;
+            exit 1
+          end)
+    broken.Campaign.divergences;
+  Format.fprintf ppf
+    "self-test ok: %d clean seeds agreed; injected divergence flagged and shrunk on %d seeds@."
+    seeds broken_seeds
+
+let () =
+  let seeds = ref 100 in
+  let start = ref 0 in
+  let jobs = ref (Cheri_exec.Exec.Pool.default_jobs ()) in
+  let shrink = ref false in
+  let json = ref None in
+  let selftest = ref false in
+  let int_arg name v rest k =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> k n rest
+    | _ ->
+        Format.eprintf "%s expects a non-negative integer, got %s@." name v;
+        exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--seeds" :: v :: rest -> int_arg "--seeds" v rest (fun n r -> seeds := n; parse r)
+    | "--start" :: v :: rest -> int_arg "--start" v rest (fun n r -> start := n; parse r)
+    | "--jobs" :: v :: rest -> int_arg "--jobs" v rest (fun n r -> jobs := max 1 n; parse r)
+    | "--shrink" :: rest ->
+        shrink := true;
+        parse rest
+    | "--json" :: f :: rest ->
+        json := Some f;
+        parse rest
+    | "--self-test" :: rest ->
+        selftest := true;
+        parse rest
+    | [ ("--seeds" | "--start" | "--jobs" | "--json") as f ] ->
+        Format.eprintf "%s requires an argument@." f;
+        exit 2
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !selftest then self_test ~seeds:!seeds ~jobs:!jobs
+  else begin
+    let report =
+      Campaign.run ~shrink:!shrink ~jobs:!jobs ~first_seed:!start ~seeds:!seeds ()
+    in
+    Campaign.pp_report ppf report;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Campaign.report_json report);
+        close_out oc;
+        Format.fprintf ppf "wrote %s@." path)
+      !json;
+    Format.pp_print_flush ppf ();
+    if report.Campaign.divergences <> [] || report.Campaign.errors <> [] then exit 1
+  end

@@ -1,5 +1,6 @@
 (* Run a mini-C source file on the abstract machine under a chosen
-   pointer model (default CHERIv3):
+   pointer model (default CHERIv3). Model names resolve through
+   Registry.lookup: canonical key, alias, or table display name.
 
      cheri-run [-m pdp11|hardbound|mpx|relaxed|strict|cheriv2|cheriv3] file.c
      cheri-run -a file.c          # run under every model
@@ -208,11 +209,12 @@ let () =
                 report M.name (I.run_program prog))
               Cheri_models.Registry.all
           else
-            match Cheri_models.Registry.by_key !model with
+            match Cheri_models.Registry.lookup !model with
             | None ->
-                Format.eprintf "unknown model %s@." !model;
+                Format.eprintf "unknown model %s (known: %s)@." !model
+                  (String.concat "|" Cheri_models.Registry.keys);
                 exit 2
-            | Some m ->
-                let module M = (val m) in
+            | Some e ->
+                let module M = (val e.Cheri_models.Registry.model) in
                 let module I = Cheri_interp.Interp.Make (M) in
                 report M.name (I.run_program prog))

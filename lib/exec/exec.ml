@@ -1,0 +1,96 @@
+(* Parallel execution engine for bench sweeps and fuzz campaigns.
+
+   The evaluation is embarrassingly parallel: every (workload x ABI)
+   cell of the tables/figures and every fuzz seed is an independent run
+   whose state — machine, heap, telemetry sink — is created per run.
+   [Pool.map] fans such tasks over a fixed-size pool of OCaml 5
+   domains with:
+
+   - deterministic result ordering: results are keyed by submission
+     index, so a 1-domain and an N-domain run of the same task list
+     produce identical ordered results;
+   - fault capture: an exception escaping a worker becomes a structured
+     per-task error, never takes down the sweep or the other tasks;
+   - per-task wall-clock timing, so sweeps can report an honest
+     serial-time / wall-time speedup. *)
+
+module Pool = struct
+  type error = { task : int; exn : string; backtrace : string }
+  (** a worker exception, attributed to the task that raised it *)
+
+  type 'a cell = {
+    index : int;  (** submission index: position in the input list *)
+    result : ('a, error) result;
+    elapsed_s : float;  (** wall-clock spent on this task alone *)
+  }
+
+  exception Worker_failed of error
+
+  (* Modest default: sweeps are memory-bandwidth-heavy simulations, so
+     past a handful of domains the extra cores mostly contend. *)
+  let default_jobs () = max 1 (min 4 (Domain.recommended_domain_count ()))
+
+  let now = Unix.gettimeofday
+
+  let run_task f inputs results i =
+    let t0 = now () in
+    let result =
+      try Ok (f inputs.(i))
+      with e ->
+        let backtrace = Printexc.get_backtrace () in
+        Error { task = i; exn = Printexc.to_string e; backtrace }
+    in
+    results.(i) <- Some { index = i; result; elapsed_s = now () -. t0 }
+
+  (* [map ~jobs f tasks] runs [f] over every task on up to [jobs]
+     domains (default 1: sequential, in the calling domain — callers
+     opt in to parallelism) and returns the cells in submission order.
+     The work queue is a single atomic cursor: domains claim the next
+     unclaimed index until the list is drained. *)
+  let map ?(jobs = 1) f tasks : 'a cell list =
+    let inputs = Array.of_list tasks in
+    let n = Array.length inputs in
+    let results = Array.make n None in
+    if n > 0 then begin
+      let cursor = Atomic.make 0 in
+      let worker () =
+        let rec drain () =
+          let i = Atomic.fetch_and_add cursor 1 in
+          if i < n then begin
+            run_task f inputs results i;
+            drain ()
+          end
+        in
+        drain ()
+      in
+      if jobs <= 1 then worker ()
+      else begin
+        (* results slots are disjoint per task and Domain.join gives the
+           happens-before edge that publishes them to this domain *)
+        let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+        List.iter Domain.join domains
+      end
+    end;
+    Array.to_list results
+    |> List.map (function
+         | Some cell -> cell
+         | None -> assert false (* every index < n is claimed exactly once *))
+
+  let get cell = match cell.result with Ok v -> v | Error e -> raise (Worker_failed e)
+  let serial_seconds cells = List.fold_left (fun acc c -> acc +. c.elapsed_s) 0. cells
+
+  let pp_error ppf e =
+    Format.fprintf ppf "task %d raised %s" e.task e.exn;
+    if String.trim e.backtrace <> "" then Format.fprintf ppf "@.%s" e.backtrace
+end
+
+(* Wall-clock a thunk; the companion to [Pool.serial_seconds] when
+   reporting sweep speedups. *)
+let wall f =
+  let t0 = Pool.now () in
+  let v = f () in
+  (v, Pool.now () -. t0)
+
+let () =
+  (* worker backtraces are only useful if the runtime records them *)
+  Printexc.record_backtrace true

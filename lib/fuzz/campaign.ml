@@ -1,0 +1,217 @@
+(* Seeded differential-fuzz campaign runner.
+
+   Every seed is one independent task: generate a well-defined program,
+   run it under every implementation of the C abstract machine (the
+   seven interpreter pointer models plus the three compiled ABIs — ten
+   implementations), and flag a divergence whenever any two disagree on
+   the observable behaviour (exit status, fault, output). Seeds fan out
+   over the {!Cheri_exec.Exec.Pool}; a crash while processing one seed
+   becomes a structured per-seed error, never aborts the campaign.
+
+   A divergence is a bug by construction — the generator only emits
+   defined behaviour — so each one is minimized by grammar-level
+   shrinking (when [shrink] is set) and dumped as a reproducer: seed,
+   minimized source, and per-implementation outcomes. *)
+
+module Exec = Cheri_exec.Exec
+module Interp = Cheri_interp.Interp
+module Registry = Cheri_models.Registry
+module Abi = Cheri_compiler.Abi
+module Machine = Cheri_isa.Machine
+module Telemetry = Cheri_telemetry.Telemetry
+
+type status =
+  | Exited of int64  (** clean exit with this code *)
+  | Faulted of string  (** a model fault or machine trap, pretty-printed *)
+  | Stuck of string  (** implementation-level error: rejected program, crash... *)
+
+type impl_outcome = { impl : string; status : status; out : string }
+
+type impl = {
+  impl_name : string;
+  exec : string -> impl_outcome;  (** total: catches its implementation's own exceptions *)
+}
+
+(* -- the ten implementations ----------------------------------------------- *)
+
+let interp_impl (e : Registry.entry) : impl =
+  let impl = "interp/" ^ e.Registry.display_name in
+  {
+    impl_name = impl;
+    exec =
+      (fun src ->
+        match Interp.run_with e.Registry.model src with
+        | Interp.Exit (code, out) -> { impl; status = Exited code; out }
+        | Interp.Fault (f, out) ->
+            { impl; status = Faulted (Format.asprintf "%a" Cheri_models.Fault.pp f); out }
+        | Interp.Stuck msg -> { impl; status = Stuck msg; out = "" }
+        | exception exn -> { impl; status = Stuck (Printexc.to_string exn); out = "" });
+  }
+
+let compiled_impl (abi : Abi.t) : impl =
+  let impl = "isa/" ^ Abi.name abi in
+  {
+    impl_name = impl;
+    exec =
+      (fun src ->
+        match Cheri_compiler.Codegen.run abi src with
+        | Machine.Exit code, m -> { impl; status = Exited code; out = Machine.output m }
+        | o, m ->
+            {
+              impl;
+              status = Faulted (Format.asprintf "%a" Machine.pp_outcome o);
+              out = Machine.output m;
+            }
+        | exception exn -> { impl; status = Stuck (Printexc.to_string exn); out = "" });
+  }
+
+let default_impls () =
+  List.map interp_impl Registry.entries @ List.map compiled_impl Abi.all
+
+(* -- divergence detection --------------------------------------------------- *)
+
+let status_key = function
+  | Exited c -> Printf.sprintf "exit:%Ld" c
+  | Faulted f -> "fault:" ^ f
+  | Stuck m -> "stuck:" ^ m
+
+let outcome_key o = status_key o.status ^ ":" ^ o.out
+
+let run_impls impls src : impl_outcome list = List.map (fun i -> i.exec src) impls
+
+(* any two implementations disagreeing on (status, output) is a divergence *)
+let divergent (outcomes : impl_outcome list) : bool =
+  match outcomes with
+  | [] -> false
+  | first :: rest ->
+      let k = outcome_key first in
+      List.exists (fun o -> outcome_key o <> k) rest
+
+(* -- the campaign ----------------------------------------------------------- *)
+
+type divergence = {
+  seed : int;
+  source : string;  (** the originating program *)
+  minimized : string option;  (** present when shrinking ran and reduced it *)
+  outcomes : impl_outcome list;  (** on the minimized program when present *)
+}
+
+type report = {
+  first_seed : int;
+  seeds : int;
+  jobs : int;
+  shrunk : bool;
+  wall_s : float;  (** campaign wall-clock *)
+  serial_s : float;  (** sum of per-seed times: the 1-domain estimate *)
+  divergences : divergence list;
+  errors : (int * string) list;  (** per-seed harness failures (seed, exn) *)
+}
+
+let speedup r = if r.wall_s > 0. then r.serial_s /. r.wall_s else 1.
+
+let check_seed ?(impls = default_impls ()) ?(shrink = false) seed : divergence option =
+  let p = Gen.generate ~seed in
+  let src = Gen.render p in
+  let outcomes = run_impls impls src in
+  if not (divergent outcomes) then None
+  else
+    let minimized =
+      if not shrink then None
+      else
+        let reproduces q = divergent (run_impls impls (Gen.render q)) in
+        let q = Shrink.minimize ~reproduces p in
+        if Gen.size q < Gen.size p then Some (Gen.render q) else None
+    in
+    let outcomes =
+      match minimized with Some s -> run_impls impls s | None -> outcomes
+    in
+    Some { seed; source = src; minimized; outcomes }
+
+let run ?(impls = default_impls ()) ?(shrink = false) ?(jobs = 1) ?(first_seed = 0) ~seeds () :
+    report =
+  let seed_list = List.init seeds (fun i -> first_seed + i) in
+  let cells, wall_s =
+    Exec.wall (fun () -> Exec.Pool.map ~jobs (check_seed ~impls ~shrink) seed_list)
+  in
+  let divergences =
+    List.filter_map
+      (fun (c : _ Exec.Pool.cell) -> match c.Exec.Pool.result with Ok d -> d | Error _ -> None)
+      cells
+  in
+  let errors =
+    List.concat_map
+      (fun (c : _ Exec.Pool.cell) ->
+        match c.Exec.Pool.result with
+        | Ok _ -> []
+        | Error e -> [ (List.nth seed_list c.Exec.Pool.index, e.Exec.Pool.exn) ])
+      cells
+  in
+  {
+    first_seed;
+    seeds;
+    jobs;
+    shrunk = shrink;
+    wall_s;
+    serial_s = Exec.Pool.serial_seconds cells;
+    divergences;
+    errors;
+  }
+
+(* -- reporting -------------------------------------------------------------- *)
+
+let esc = Telemetry.json_escape
+
+let outcome_json o =
+  Printf.sprintf "{\"impl\":\"%s\",\"status\":\"%s\",\"out\":\"%s\"}" (esc o.impl)
+    (esc (status_key o.status))
+    (esc o.out)
+
+let divergence_json d =
+  Printf.sprintf "    {\"seed\":%d,\"source\":\"%s\",%s\"outcomes\":[%s]}" d.seed (esc d.source)
+    (match d.minimized with
+    | Some s -> Printf.sprintf "\"minimized\":\"%s\"," (esc s)
+    | None -> "")
+    (String.concat "," (List.map outcome_json d.outcomes))
+
+let report_json (r : report) : string =
+  Printf.sprintf
+    "{\n\
+    \  \"schema\": \"cheri_c.fuzz/v1\",\n\
+    \  \"first_seed\": %d,\n\
+    \  \"seeds\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"shrink\": %b,\n\
+    \  \"wall_s\": %.6f,\n\
+    \  \"serial_s\": %.6f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"divergent\": %d,\n\
+    \  \"errors\": [%s],\n\
+    \  \"divergences\": [\n%s\n  ]\n\
+     }\n"
+    r.first_seed r.seeds r.jobs r.shrunk r.wall_s r.serial_s (speedup r)
+    (List.length r.divergences)
+    (String.concat ","
+       (List.map
+          (fun (seed, exn) -> Printf.sprintf "{\"seed\":%d,\"exn\":\"%s\"}" seed (esc exn))
+          r.errors))
+    (String.concat ",\n" (List.map divergence_json r.divergences))
+
+let pp_divergence ppf d =
+  Format.fprintf ppf "seed %d diverges:@." d.seed;
+  List.iter
+    (fun o -> Format.fprintf ppf "  %-20s %s out=%S@." o.impl (status_key o.status) o.out)
+    d.outcomes;
+  (match d.minimized with
+  | Some s -> Format.fprintf ppf "minimized reproducer:@.%s" s
+  | None -> Format.fprintf ppf "reproducer:@.%s" d.source)
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf "fuzz campaign: seeds %d..%d, %d jobs: %d divergent, %d errors@."
+    r.first_seed
+    (r.first_seed + r.seeds - 1)
+    r.jobs
+    (List.length r.divergences)
+    (List.length r.errors);
+  Format.fprintf ppf "wall %.2fs, serial %.2fs, speedup %.2fx@." r.wall_s r.serial_s (speedup r);
+  List.iter (fun (seed, exn) -> Format.fprintf ppf "seed %d: harness error: %s@." seed exn) r.errors;
+  List.iter (pp_divergence ppf) r.divergences

@@ -1,0 +1,171 @@
+(* Random well-defined mini-C program generator for differential
+   testing. Generated programs use only defined behaviour that every
+   pointer model and every ABI must agree on:
+
+   - all variables initialized before use;
+   - array indices masked to power-of-two bounds;
+   - division guarded against zero;
+   - shifts by constant amounts in [0, 63];
+   - pointer arithmetic forward and in bounds (CHERIv2-compatible);
+   - bounded loops only.
+
+   The program prints a running checksum, so divergence in any
+   intermediate value is observable.
+
+   Unlike the original test-only generator (which emitted one flat
+   string), programs are generated as a grammar-level structure —
+   local-initializer expressions plus a list of loop-body statements —
+   so a reproducing divergence can be shrunk by dropping statements and
+   simplifying expressions (see {!Shrink}) while [render] keeps the
+   scaffolding (declarations, checksum loops) intact. *)
+
+(* Sub-expressions are kept as rendered strings: the shrinker only ever
+   replaces a whole payload with "0", which is always well-typed and
+   well-defined in these positions, so no expression tree is needed. *)
+type expr = string
+
+type stmt =
+  | Assign of int * expr  (** x<i> = e; *)
+  | Arr_store of expr * expr  (** arr[idx & mask] = e; *)
+  | Heap_store of expr * expr  (** heap[idx & mask] = e; *)
+  | Ptr_store of expr * expr  (** *(p + (idx & mask)) = e; *)
+  | If_else of expr * string * expr * expr * expr
+      (** if (l op r) sum = sum + t; else sum = sum ^ e; *)
+  | Sum_add of expr  (** sum = sum + e; *)
+
+type program = {
+  seed : int;
+  arr_size : int;  (* power of two *)
+  heap_size : int;  (* power of two *)
+  iters : int;  (* loop trip count *)
+  locals : expr list;  (* initializers for x0 .. x(n-1) *)
+  body : stmt list;  (* statements inside the loop *)
+}
+
+(* -- generation ------------------------------------------------------------ *)
+
+type ctx = {
+  rng : Random.State.t;
+  arr_size : int;
+  heap_size : int;
+  mutable n_locals : int;
+  mutable depth : int;
+  mutable in_loop : bool;  (* whether the loop variable i is in scope *)
+}
+
+let rand ctx n = Random.State.int ctx.rng n
+let pick ctx l = List.nth l (rand ctx (List.length l))
+
+(* an expression of type long, using initialized locals x0..x{n-1} *)
+let rec gen_expr ctx =
+  ctx.depth <- ctx.depth + 1;
+  let leaf () =
+    match rand ctx 4 with
+    | 0 -> string_of_int (rand ctx 1000 - 500)
+    | 1 when ctx.n_locals > 0 -> Printf.sprintf "x%d" (rand ctx ctx.n_locals)
+    | 2 -> Printf.sprintf "arr[%s & %d]" (gen_small ctx) (ctx.arr_size - 1)
+    | _ -> Printf.sprintf "heap[%s & %d]" (gen_small ctx) (ctx.heap_size - 1)
+  in
+  let e =
+    if ctx.depth > 4 then leaf ()
+    else
+      match rand ctx 8 with
+      | 0 | 1 -> leaf ()
+      | 2 -> Printf.sprintf "(%s %s %s)" (gen_expr ctx) (pick ctx [ "+"; "-"; "*" ]) (gen_expr ctx)
+      | 3 -> Printf.sprintf "(%s %s (%s | 1))" (gen_expr ctx) (pick ctx [ "/"; "%" ]) (gen_expr ctx)
+      | 4 ->
+          Printf.sprintf "(%s %s %s)" (gen_expr ctx)
+            (pick ctx [ "&"; "|"; "^" ])
+            (gen_expr ctx)
+      | 5 -> Printf.sprintf "(%s %s %d)" (gen_expr ctx) (pick ctx [ "<<"; ">>" ]) (rand ctx 8)
+      | 6 ->
+          Printf.sprintf "(%s %s %s ? %s : %s)" (gen_expr ctx)
+            (pick ctx [ "<"; "<="; "=="; "!="; ">"; ">=" ])
+            (gen_expr ctx) (gen_expr ctx) (gen_expr ctx)
+      | _ -> Printf.sprintf "(*(p + (%s & %d)))" (gen_small ctx) (ctx.arr_size - 1)
+  in
+  ctx.depth <- ctx.depth - 1;
+  e
+
+and gen_small ctx =
+  match rand ctx 3 with
+  | 0 -> string_of_int (rand ctx 64)
+  | 1 when ctx.n_locals > 0 -> Printf.sprintf "x%d" (rand ctx ctx.n_locals)
+  | _ when ctx.in_loop -> Printf.sprintf "(i + %d)" (rand ctx 8)
+  | _ -> string_of_int (rand ctx 32)
+
+let gen_stmt ctx =
+  match rand ctx 6 with
+  | 0 when ctx.n_locals > 0 -> Assign (rand ctx ctx.n_locals, gen_expr ctx)
+  | 1 -> Arr_store (gen_small ctx, gen_expr ctx)
+  | 2 -> Heap_store (gen_small ctx, gen_expr ctx)
+  | 3 ->
+      If_else
+        (gen_expr ctx, pick ctx [ "<"; ">"; "==" ], gen_expr ctx, gen_expr ctx, gen_expr ctx)
+  | 4 -> Ptr_store (gen_small ctx, gen_expr ctx)
+  | _ -> Sum_add (gen_expr ctx)
+
+let generate ~seed : program =
+  let ctx =
+    {
+      rng = Random.State.make [| seed |];
+      arr_size = 8 lsl Random.State.int (Random.State.make [| seed + 1 |]) 2;
+      heap_size = 16;
+      n_locals = 0;
+      depth = 0;
+      in_loop = false;
+    }
+  in
+  let n_locals = 2 + rand ctx 4 in
+  let locals =
+    List.init n_locals (fun k ->
+        ctx.n_locals <- k;
+        gen_expr ctx)
+  in
+  ctx.n_locals <- n_locals;
+  let iters = 2 + rand ctx 6 in
+  ctx.in_loop <- true;
+  let body = List.init (2 + rand ctx 5) (fun _ -> gen_stmt ctx) in
+  ctx.in_loop <- false;
+  { seed; arr_size = ctx.arr_size; heap_size = ctx.heap_size; iters; locals; body }
+
+(* -- rendering ------------------------------------------------------------- *)
+
+let render_stmt ~arr_size ~heap_size buf stmt =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  match stmt with
+  | Assign (k, e) -> pr "    x%d = %s;\n" k e
+  | Arr_store (i, e) -> pr "    arr[%s & %d] = %s;\n" i (arr_size - 1) e
+  | Heap_store (i, e) -> pr "    heap[%s & %d] = %s;\n" i (heap_size - 1) e
+  | Ptr_store (i, e) -> pr "    *(p + (%s & %d)) = %s;\n" i (arr_size - 1) e
+  | If_else (l, op, r, t, e) ->
+      pr "    if (%s %s %s) { sum = sum + %s; } else { sum = sum ^ %s; }\n" l op r t e
+  | Sum_add e -> pr "    sum = sum + %s;\n" e
+
+let render (p : program) : string =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "int main(void) {\n";
+  pr "  long sum = 0;\n";
+  pr "  long arr[%d];\n" p.arr_size;
+  pr "  for (long i = 0; i < %d; i++) arr[i] = i * 7 + 3;\n" p.arr_size;
+  pr "  long *heap = (long *)malloc(%d * sizeof(long));\n" p.heap_size;
+  pr "  for (long i = 0; i < %d; i++) heap[i] = i * 13 + 1;\n" p.heap_size;
+  pr "  long *p = &arr[0];\n";
+  List.iteri (fun k e -> pr "  long x%d = %s;\n" k e) p.locals;
+  pr "  for (long i = 0; i < %d; i++) {\n" p.iters;
+  List.iter (render_stmt ~arr_size:p.arr_size ~heap_size:p.heap_size buf) p.body;
+  pr "  }\n";
+  pr "  for (long i = 0; i < %d; i++) sum = sum * 31 + arr[i];\n" p.arr_size;
+  pr "  for (long i = 0; i < %d; i++) sum = sum * 31 + heap[i];\n" p.heap_size;
+  List.iteri (fun k _ -> pr "  sum = sum * 31 + x%d;\n" k) p.locals;
+  pr "  print_int(sum);\n";
+  pr "  print_char('\\n');\n";
+  pr "  return (sum & 127);\n";
+  pr "}\n";
+  Buffer.contents buf
+
+let source ~seed = render (generate ~seed)
+
+(* the shrinker's ordering metric: rendered size *)
+let size p = String.length (render p)

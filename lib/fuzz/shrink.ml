@@ -1,0 +1,82 @@
+(* Grammar-level minimization of diverging fuzz programs.
+
+   Given a program on which some pair of implementations disagrees,
+   greedily apply size-reducing rewrites while the disagreement still
+   reproduces:
+
+   - drop a loop-body statement;
+   - collapse the loop to a single iteration;
+   - zero a local initializer;
+   - zero one sub-expression payload of a statement.
+
+   Every candidate is strictly smaller (by rendered size) than its
+   parent — enforced by construction *and* re-checked in [minimize] —
+   so minimization never grows the program and always terminates. The
+   scaffolding (array/heap declarations, checksum loops) is never
+   touched: a minimized program is still a complete well-defined
+   program, just a shorter one. *)
+
+let zero = "0"
+
+let replace_nth l n v = List.mapi (fun i x -> if i = n then v else x) l
+let remove_nth l n = List.filteri (fun i _ -> i <> n) l
+
+(* variants of one statement with a single expression payload zeroed *)
+let simplified_stmts (s : Gen.stmt) : Gen.stmt list =
+  let z e mk = if e = zero then [] else [ mk zero ] in
+  match s with
+  | Gen.Assign (k, e) -> z e (fun v -> Gen.Assign (k, v))
+  | Gen.Arr_store (i, e) ->
+      z i (fun v -> Gen.Arr_store (v, e)) @ z e (fun v -> Gen.Arr_store (i, v))
+  | Gen.Heap_store (i, e) ->
+      z i (fun v -> Gen.Heap_store (v, e)) @ z e (fun v -> Gen.Heap_store (i, v))
+  | Gen.Ptr_store (i, e) ->
+      z i (fun v -> Gen.Ptr_store (v, e)) @ z e (fun v -> Gen.Ptr_store (i, v))
+  | Gen.If_else (l, op, r, t, e) ->
+      z l (fun v -> Gen.If_else (v, op, r, t, e))
+      @ z r (fun v -> Gen.If_else (l, op, v, t, e))
+      @ z t (fun v -> Gen.If_else (l, op, r, v, e))
+      @ z e (fun v -> Gen.If_else (l, op, r, t, v))
+  | Gen.Sum_add e -> z e (fun v -> Gen.Sum_add v)
+
+(* all one-step rewrites of [p], most aggressive first; filtered so
+   every candidate renders strictly smaller than [p] (zeroing an
+   already-minimal payload like "5" would otherwise tie) *)
+let candidates (p : Gen.program) : Gen.program list =
+  let drops = List.mapi (fun i _ -> { p with Gen.body = remove_nth p.Gen.body i }) p.Gen.body in
+  let unroll = if p.Gen.iters > 1 then [ { p with Gen.iters = 1 } ] else [] in
+  let local_zeros =
+    List.concat
+      (List.mapi
+         (fun j e ->
+           if e = zero then [] else [ { p with Gen.locals = replace_nth p.Gen.locals j zero } ])
+         p.Gen.locals)
+  in
+  let stmt_simpl =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           List.map (fun s' -> { p with Gen.body = replace_nth p.Gen.body i s' }) (simplified_stmts s))
+         p.Gen.body)
+  in
+  let sz = Gen.size p in
+  List.filter (fun c -> Gen.size c < sz) (drops @ unroll @ local_zeros @ stmt_simpl)
+
+(* Greedy fixpoint: take the first strictly-smaller candidate that
+   still reproduces, restart from it; stop when none does (or the
+   reproduction budget runs out — each check replays the program under
+   every implementation, so it is the expensive step). The result never
+   renders larger than the input. *)
+let minimize ?(max_checks = 2000) ~reproduces (p : Gen.program) : Gen.program =
+  let checks = ref 0 in
+  let check q =
+    incr checks;
+    !checks <= max_checks && reproduces q
+  in
+  let rec fix p =
+    let sz = Gen.size p in
+    match List.find_opt (fun c -> Gen.size c < sz && check c) (candidates p) with
+    | Some c -> fix c
+    | None -> p
+  in
+  fix p

@@ -49,11 +49,13 @@ let classify ?(sink = Cheri_telemetry.Telemetry.Sink.null) (m : Cheri_models.Mod
 
 type row = { model_name : string; cells : (Idiom_cases.idiom * support) list }
 
-let row ?sink (m : Cheri_models.Model.packed) : row =
-  let module M = (val m) in
-  { model_name = M.name; cells = List.map (fun i -> (i, classify ?sink m i)) Idiom_cases.all }
+let row ?sink (e : Cheri_models.Registry.entry) : row =
+  {
+    model_name = e.Cheri_models.Registry.display_name;
+    cells = List.map (fun i -> (i, classify ?sink e.Cheri_models.Registry.model i)) Idiom_cases.all;
+  }
 
-let table ?sink () : row list = List.map (row ?sink) Cheri_models.Registry.all
+let table ?sink () : row list = List.map (row ?sink) Cheri_models.Registry.entries
 
 (* The values printed in the paper, for comparison in tests and in
    EXPERIMENTS.md. *)
@@ -100,13 +102,12 @@ let print_supplementary ppf () =
   List.iter (fun (name, _) -> Format.fprintf ppf "%-11s" name) Idiom_cases.supplementary;
   Format.fprintf ppf "@.";
   List.iter
-    (fun m ->
-      let module M = (val m : Cheri_models.Model.S) in
-      Format.fprintf ppf "%-16s" M.name;
+    (fun (e : Cheri_models.Registry.entry) ->
+      Format.fprintf ppf "%-16s" e.display_name;
       List.iter
         (fun (_, src) ->
-          let works = passes (Interp.run_with m src) in
+          let works = passes (Interp.run_with e.model src) in
           Format.fprintf ppf "%-11s" (if works then "yes" else "no"))
         Idiom_cases.supplementary;
       Format.fprintf ppf "@.")
-    Cheri_models.Registry.all
+    Cheri_models.Registry.entries

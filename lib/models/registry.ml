@@ -1,6 +1,17 @@
-(* All pointer models, in the row order of Table 3. *)
+(* All pointer models, in the row order of Table 3.
 
-type entry = { model : Model.packed; name : string }
+   One entry per model, one [lookup] over it: the canonical CLI key,
+   any aliases, and the display name printed in the paper's tables all
+   resolve through the same list (previously three overlapping
+   mechanisms: an ad-hoc record, [find] by display name and [by_key]
+   alias matching). *)
+
+type entry = {
+  key : string;  (** canonical lookup key, lowercase *)
+  aliases : string list;  (** alternate keys, lowercase *)
+  display_name : string;  (** the name the paper's tables print *)
+  model : Model.packed;
+}
 
 let pdp11 : Model.packed = (module Pdp11)
 let hardbound : Model.packed = (module Hardbound)
@@ -10,21 +21,27 @@ let strict : Model.packed = (module Strict)
 let cheriv2 : Model.packed = (module Cheri.V2)
 let cheriv3 : Model.packed = (module Cheri.V3)
 
-let all = [ pdp11; hardbound; mpx; relaxed; strict; cheriv2; cheriv3 ]
+let make key aliases model =
+  let module M = (val model : Model.S) in
+  { key; aliases; display_name = M.name; model }
 
-let name (m : Model.packed) =
-  let module M = (val m) in
-  M.name
+let entries : entry list =
+  [
+    make "pdp11" [ "x86"; "mips" ] pdp11;
+    make "hardbound" [] hardbound;
+    make "mpx" [ "intel-mpx" ] mpx;
+    make "relaxed" [] relaxed;
+    make "strict" [] strict;
+    make "cheriv2" [ "v2" ] cheriv2;
+    make "cheriv3" [ "v3" ] cheriv3;
+  ]
 
-let find n = List.find_opt (fun m -> String.lowercase_ascii (name m) = String.lowercase_ascii n) all
+let all = List.map (fun e -> e.model) entries
+let keys = List.map (fun e -> e.key) entries
 
-let by_key key =
-  match String.lowercase_ascii key with
-  | "pdp11" | "x86" | "mips" -> Some pdp11
-  | "hardbound" -> Some hardbound
-  | "mpx" -> Some mpx
-  | "relaxed" -> Some relaxed
-  | "strict" -> Some strict
-  | "cheriv2" | "v2" -> Some cheriv2
-  | "cheriv3" | "v3" -> Some cheriv3
-  | _ -> None
+(* Case-insensitive; matches the key, any alias, or the display name. *)
+let lookup q : entry option =
+  let q = String.lowercase_ascii q in
+  List.find_opt
+    (fun e -> e.key = q || List.mem q e.aliases || String.lowercase_ascii e.display_name = q)
+    entries

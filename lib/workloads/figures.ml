@@ -2,22 +2,62 @@
    returns structured rows; [print_*] renders them in the shape the
    paper reports (Figure 1/3: seconds at 100 MHz; Figure 2:
    Dhrystones/second; Figure 4: percentage overhead vs. MIPS by file
-   size). *)
+   size).
+
+   Every figure is a set of independent (program x ABI) runs, so each
+   takes [?jobs] and fans the flattened run list over the
+   {!Cheri_exec.Exec.Pool}; results come back in submission order, so
+   the rows are identical whatever the domain count. *)
 
 module Abi = Cheri_compiler.Abi
+module Pool = Cheri_exec.Exec.Pool
 
 let abi_names = List.map Abi.name Abi.all
+
+(* fan a task list out to the pool with [Runner.run_result], fold
+   worker crashes into Runner errors, and raise on the first failure —
+   figures want measurements, not partial rows *)
+let sweep ?jobs (tasks : (Abi.t * string) list) : Runner.measurement list =
+  List.map2
+    (fun (abi, _) (cell : _ Pool.cell) ->
+      match cell.Pool.result with
+      | Ok (Ok m) -> m
+      | Ok (Error e) -> Runner.fail e
+      | Error e -> Runner.fail (Runner.worker_error abi e))
+    tasks
+    (Pool.map ?jobs (fun (abi, src) -> Runner.run_result abi src) tasks)
+
+(* split a flat sweep back into consecutive groups of [width] *)
+let rec rows_of ~width = function
+  | [] -> []
+  | ms ->
+      let rec take n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | x :: rest -> take (n - 1) (x :: acc) rest
+        | [] -> invalid_arg "rows_of"
+      in
+      let row, rest = take width [] ms in
+      row :: rows_of ~width rest
+
+let agreeing ms =
+  match Runner.check_agreement ms with Some e -> Runner.fail e | None -> ms
 
 (* -- Figure 1: Olden ----------------------------------------------------- *)
 
 type fig1_row = { kernel : string; runs : Runner.measurement list }
 
-let figure1 ?(params = Olden.default) () : fig1_row list =
-  List.map
-    (fun (k : Olden.kernel) ->
-      let src = k.Olden.source params in
-      { kernel = k.Olden.kname; runs = Runner.run_all_abis src })
+let figure1 ?jobs ?(params = Olden.default) () : fig1_row list =
+  let tasks =
+    List.concat_map
+      (fun (k : Olden.kernel) ->
+        let src = k.Olden.source params in
+        List.map (fun abi -> (abi, src)) Abi.all)
+      Olden.kernels
+  in
+  List.map2
+    (fun (k : Olden.kernel) runs -> { kernel = k.Olden.kname; runs = agreeing runs })
     Olden.kernels
+    (rows_of ~width:(List.length Abi.all) (sweep ?jobs tasks))
 
 let print_figure1 ppf rows =
   Format.fprintf ppf "Figure 1: Olden results (seconds, smaller is better)@.";
@@ -37,7 +77,7 @@ let print_figure1 ppf rows =
 
 type fig2_row = { abi : Abi.t; dhrystones_per_second : float }
 
-let figure2 ?(params = Dhrystone.default) () : fig2_row list =
+let figure2 ?jobs ?(params = Dhrystone.default) () : fig2_row list =
   let src = Dhrystone.source params in
   List.map
     (fun (m : Runner.measurement) ->
@@ -45,7 +85,7 @@ let figure2 ?(params = Dhrystone.default) () : fig2_row list =
         abi = m.Runner.abi;
         dhrystones_per_second = float_of_int params.Dhrystone.iterations /. Runner.seconds m;
       })
-    (Runner.run_all_abis src)
+    (Runner.run_all_abis ?jobs src)
 
 let print_figure2 ppf rows =
   Format.fprintf ppf "Figure 2: Dhrystone results (Dhrystones/second, bigger is better)@.";
@@ -57,12 +97,12 @@ let print_figure2 ppf rows =
 
 type fig3_row = { abi3 : Abi.t; seconds : float }
 
-let figure3 ?(params = Tcpdump_sim.default) () : fig3_row list =
+let figure3 ?jobs ?(params = Tcpdump_sim.default) () : fig3_row list =
   let src = Tcpdump_sim.source params in
   let v2_src = Tcpdump_sim.source_v2 params in
   List.map
     (fun (m : Runner.measurement) -> { abi3 = m.Runner.abi; seconds = Runner.seconds m })
-    (Runner.run_all_abis ~v2_source:(Some v2_src) src)
+    (Runner.run_all_abis ?jobs ~v2_source:(Some v2_src) src)
 
 let print_figure3 ppf rows =
   Format.fprintf ppf "Figure 3: tcpdump results (seconds, smaller is better)@.";
@@ -82,23 +122,37 @@ type fig4_row = {
   cheri_copy_s : float;  (** binary-compatible variant copying at the boundary *)
 }
 
-let figure4 ?(sizes = [ 4096; 8192; 16384; 32768; 65536; 131072 ]) () : fig4_row list =
-  List.map
-    (fun size ->
-      let plain = Zlib_like.source { Zlib_like.input_size = size; boundary_copy = false } in
-      let copying = Zlib_like.source { Zlib_like.input_size = size; boundary_copy = true } in
-      let mips = Runner.run Abi.Mips plain in
-      let cheri = Runner.run (Abi.Cheri Cheri_core.Cap_ops.V3) plain in
-      let cheri_copy = Runner.run (Abi.Cheri Cheri_core.Cap_ops.V3) copying in
-      if mips.Runner.output <> cheri.Runner.output then
-        raise (Runner.Run_failed "zlib outputs disagree between ABIs");
-      {
-        size;
-        mips_s = Runner.seconds mips;
-        cheri_s = Runner.seconds cheri;
-        cheri_copy_s = Runner.seconds cheri_copy;
-      })
+let figure4 ?jobs ?(sizes = [ 4096; 8192; 16384; 32768; 65536; 131072 ]) () : fig4_row list =
+  let v3 = Abi.Cheri Cheri_core.Cap_ops.V3 in
+  let tasks =
+    List.concat_map
+      (fun size ->
+        let plain = Zlib_like.source { Zlib_like.input_size = size; boundary_copy = false } in
+        let copying = Zlib_like.source { Zlib_like.input_size = size; boundary_copy = true } in
+        [ (Abi.Mips, plain); (v3, plain); (v3, copying) ])
+      sizes
+  in
+  List.map2
+    (fun size runs ->
+      match runs with
+      | [ mips; cheri; cheri_copy ] ->
+          if mips.Runner.output <> cheri.Runner.output then
+            Runner.fail
+              {
+                Runner.abi = v3;
+                phase = Runner.Diverged;
+                trap = None;
+                detail = "zlib outputs disagree between ABIs";
+              };
+          {
+            size;
+            mips_s = Runner.seconds mips;
+            cheri_s = Runner.seconds cheri;
+            cheri_copy_s = Runner.seconds cheri_copy;
+          }
+      | _ -> assert false)
     sizes
+    (rows_of ~width:3 (sweep ?jobs tasks))
 
 let print_figure4 ppf rows =
   Format.fprintf ppf

@@ -1,0 +1,157 @@
+(* The parallel execution engine: deterministic ordering, worker-fault
+   isolation, and the fuzz shrinker property it exists to serve. *)
+
+module Pool = Cheri_exec.Exec.Pool
+module Gen = Cheri_fuzz.Gen
+module Shrink = Cheri_fuzz.Shrink
+module Campaign = Cheri_fuzz.Campaign
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains hay sub =
+  let n = String.length sub and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = sub || go (i + 1)) in
+  go 0
+
+(* a deterministic, input-dependent computation with uneven cost *)
+let work n =
+  let acc = ref n in
+  for i = 1 to 1000 * (1 + (n mod 7)) do
+    acc := (!acc * 31) + i
+  done;
+  !acc
+
+let strip cells = List.map (fun (c : _ Pool.cell) -> (c.Pool.index, c.Pool.result)) cells
+
+(* -- pool determinism -------------------------------------------------------- *)
+
+let test_pool_determinism () =
+  let tasks = List.init 23 (fun i -> i) in
+  let seq = Pool.map ~jobs:1 work tasks in
+  let par = Pool.map ~jobs:4 work tasks in
+  check_int "same number of cells" (List.length seq) (List.length par);
+  check_bool "1-domain and 4-domain results identical and in submission order" true
+    (strip seq = strip par);
+  List.iteri (fun i (c : _ Pool.cell) -> check_int "index = position" i c.Pool.index) par;
+  check_bool "per-task timing is non-negative" true
+    (List.for_all (fun (c : _ Pool.cell) -> c.Pool.elapsed_s >= 0.) par)
+
+let test_pool_more_jobs_than_tasks () =
+  let cells = Pool.map ~jobs:8 work [ 1; 2; 3 ] in
+  check_int "all tasks ran" 3 (List.length cells);
+  check_bool "all succeeded" true
+    (List.for_all (fun (c : _ Pool.cell) -> Result.is_ok c.Pool.result) cells)
+
+let test_pool_empty () = check_int "empty task list" 0 (List.length (Pool.map ~jobs:4 work []))
+
+(* -- worker-fault isolation --------------------------------------------------- *)
+
+let test_pool_fault_isolation () =
+  let f n = if n mod 3 = 0 then failwith (Printf.sprintf "boom %d" n) else work n in
+  let cells = Pool.map ~jobs:4 f (List.init 12 (fun i -> i)) in
+  check_int "every task has a cell" 12 (List.length cells);
+  List.iteri
+    (fun i (c : _ Pool.cell) ->
+      match c.Pool.result with
+      | Ok v ->
+          check_bool "non-multiples of 3 succeed" true (i mod 3 <> 0);
+          check_int "value correct despite neighbouring faults" (work i) v
+      | Error e ->
+          check_bool "multiples of 3 fail" true (i mod 3 = 0);
+          check_int "error attributed to its task" i e.Pool.task;
+          check_bool "error carries the exception" true
+            (contains e.Pool.exn (Printf.sprintf "boom %d" i)))
+    cells
+
+(* -- shrinker property --------------------------------------------------------- *)
+
+(* An implementation pair with an injected divergence: the real PDP-11
+   interpreter versus a copy that flips the low bit of the exit code. *)
+let broken_pair () =
+  let base = Campaign.interp_impl (List.hd Cheri_models.Registry.entries) in
+  let broken =
+    {
+      Campaign.impl_name = "interp/broken";
+      exec =
+        (fun src ->
+          let o = base.Campaign.exec src in
+          {
+            o with
+            Campaign.impl = "interp/broken";
+            status =
+              (match o.Campaign.status with
+              | Campaign.Exited c -> Campaign.Exited (Int64.logxor c 1L)
+              | s -> s);
+          });
+    }
+  in
+  [ base; broken ]
+
+let test_shrinker_property () =
+  let impls = broken_pair () in
+  let reproduces q = Campaign.divergent (Campaign.run_impls impls (Gen.render q)) in
+  List.iter
+    (fun seed ->
+      let p = Gen.generate ~seed in
+      check_bool "injected divergence reproduces on the original" true (reproduces p);
+      let q = Shrink.minimize ~reproduces p in
+      check_bool "minimized program still reproduces the divergence" true (reproduces q);
+      check_bool "minimization never grows the program" true (Gen.size q <= Gen.size p);
+      check_bool "flip-everything divergence shrinks strictly" true (Gen.size q < Gen.size p))
+    [ 0; 1; 2 ]
+
+let test_shrink_candidates_strictly_smaller () =
+  List.iter
+    (fun seed ->
+      let p = Gen.generate ~seed in
+      List.iter
+        (fun c -> check_bool "every candidate renders strictly smaller" true (Gen.size c < Gen.size p))
+        (Shrink.candidates p))
+    [ 3; 7; 11; 19 ]
+
+(* -- generator/campaign glue ---------------------------------------------------- *)
+
+let test_gen_render_deterministic () =
+  List.iter
+    (fun seed ->
+      Alcotest.(check string)
+        "render(generate seed) is reproducible" (Gen.source ~seed) (Gen.source ~seed))
+    [ 0; 5; 42 ]
+
+let test_campaign_clean_parallel () =
+  let r = Campaign.run ~jobs:2 ~seeds:6 () in
+  check_int "no divergences across ten implementations" 0 (List.length r.Campaign.divergences);
+  check_int "no harness errors" 0 (List.length r.Campaign.errors);
+  check_bool "campaign reports wall time" true (r.Campaign.wall_s >= 0.)
+
+let test_campaign_flags_broken_impl () =
+  let impls = broken_pair () in
+  let r = Campaign.run ~impls ~shrink:true ~jobs:2 ~seeds:3 () in
+  check_int "every seed diverges under the broken implementation" 3
+    (List.length r.Campaign.divergences);
+  List.iter
+    (fun (d : Campaign.divergence) ->
+      match d.Campaign.minimized with
+      | None -> Alcotest.failf "seed %d: no minimized reproducer" d.Campaign.seed
+      | Some m ->
+          check_bool "reproducer is smaller than the originating program" true
+            (String.length m < String.length d.Campaign.source);
+          check_bool "dump carries per-implementation outcomes" true
+            (List.length d.Campaign.outcomes = 2))
+    r.Campaign.divergences
+
+let suite =
+  [
+    Alcotest.test_case "pool determinism (1 vs 4 domains)" `Quick test_pool_determinism;
+    Alcotest.test_case "pool with more jobs than tasks" `Quick test_pool_more_jobs_than_tasks;
+    Alcotest.test_case "pool with empty task list" `Quick test_pool_empty;
+    Alcotest.test_case "worker-exception isolation" `Quick test_pool_fault_isolation;
+    Alcotest.test_case "generator is deterministic" `Quick test_gen_render_deterministic;
+    Alcotest.test_case "shrink candidates strictly smaller" `Quick
+      test_shrink_candidates_strictly_smaller;
+    Alcotest.test_case "shrinker property (reproduces, never grows)" `Slow test_shrinker_property;
+    Alcotest.test_case "clean campaign on the pool" `Slow test_campaign_clean_parallel;
+    Alcotest.test_case "campaign flags and shrinks a broken model" `Slow
+      test_campaign_flags_broken_impl;
+  ]

@@ -2,57 +2,26 @@
    behave identically under every pointer model (abstract machine) and
    every ABI (compiled to the softcore). This is the strongest
    cross-check in the repository: ten implementations of the C
-   abstract machine executing the same program. *)
+   abstract machine executing the same program.
 
-module I = Cheri_interp.Interp
-module C = Cheri_compiler.Codegen
-module Abi = Cheri_compiler.Abi
-module Machine = Cheri_isa.Machine
+   The generator and campaign runner live in lib/fuzz (cheri_fuzz);
+   each batch here is one seeded campaign fanned over the domain pool,
+   failing with the full reproducer dump on any divergence. *)
 
-type result = { who : string; code : int64; out : string }
+module Campaign = Cheri_fuzz.Campaign
 
-let run_everywhere src : result list =
-  let interp_results =
-    List.map
-      (fun m ->
-        let module M = (val m : Cheri_models.Model.S) in
-        match I.run_with m src with
-        | I.Exit (code, out) -> { who = "interp/" ^ M.name; code; out }
-        | I.Fault (f, _) ->
-            Alcotest.failf "interp/%s faulted: %a\n---\n%s" M.name Cheri_models.Fault.pp f src
-        | I.Stuck msg -> Alcotest.failf "interp/%s stuck: %s\n---\n%s" M.name msg src)
-      Cheri_models.Registry.all
-  in
-  let compiled_results =
-    List.map
-      (fun abi ->
-        match C.run abi src with
-        | Machine.Exit code, m -> { who = "isa/" ^ Abi.name abi; code; out = Machine.output m }
-        | o, _ -> Alcotest.failf "isa/%s: %a\n---\n%s" (Abi.name abi) Machine.pp_outcome o src)
-      Abi.all
-  in
-  interp_results @ compiled_results
-
-let check_seed seed =
-  let src = Fuzz_gen.generate ~seed in
-  match run_everywhere src with
+let campaign_batch first_seed seeds () =
+  let r = Campaign.run ~jobs:2 ~shrink:true ~first_seed ~seeds () in
+  List.iter
+    (fun (seed, exn) -> Alcotest.failf "seed %d: harness error: %s" seed exn)
+    r.Campaign.errors;
+  match r.Campaign.divergences with
   | [] -> ()
-  | first :: rest ->
-      List.iter
-        (fun r ->
-          if r.code <> first.code || r.out <> first.out then
-            Alcotest.failf "seed %d: %s returned (%Ld, %S) but %s returned (%Ld, %S)\n---\n%s"
-              seed first.who first.code first.out r.who r.code r.out src)
-        rest
-
-let test_fuzz_batch lo hi () =
-  for seed = lo to hi do
-    check_seed seed
-  done
+  | d :: _ -> Alcotest.failf "%s" (Format.asprintf "%a" Campaign.pp_divergence d)
 
 let suite =
   [
-    Alcotest.test_case "differential fuzz (seeds 0-14)" `Slow (test_fuzz_batch 0 14);
-    Alcotest.test_case "differential fuzz (seeds 15-29)" `Slow (test_fuzz_batch 15 29);
-    Alcotest.test_case "differential fuzz (seeds 30-44)" `Slow (test_fuzz_batch 30 44);
+    Alcotest.test_case "differential fuzz campaign (seeds 0-14)" `Slow (campaign_batch 0 15);
+    Alcotest.test_case "differential fuzz campaign (seeds 15-29)" `Slow (campaign_batch 15 15);
+    Alcotest.test_case "differential fuzz campaign (seeds 30-44)" `Slow (campaign_batch 30 15);
   ]

@@ -15,6 +15,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("printers", Test_printers.suite);
       ("gc", Test_gc.suite);
+      ("exec", Test_exec.suite);
       ("fuzz", Test_fuzz.suite);
       ("properties", Test_props.suite);
     ]
