@@ -11,6 +11,10 @@
      bench/main.exe micro        Bechamel microbenchmarks only
      bench/main.exe json [FILE]  machine-readable per-workload results
                                  (default FILE: [bench_output_file] below)
+     bench/main.exe inject [FILE]  full fault-injection campaign: the
+                                 per-ABI detection matrix over every
+                                 builtin workload and fault kind
+                                 (default FILE: [inject_output_file])
      bench/main.exe smoke        fast telemetry-overhead assertions (runs
                                  under dune runtest)
 
@@ -25,10 +29,14 @@ module Abi = Cheri_compiler.Abi
 module Machine = Cheri_isa.Machine
 module Telemetry = Cheri_telemetry.Telemetry
 module Exec = Cheri_exec.Exec
+module Inject = Cheri_inject.Inject
 
 (* the default output of `bench/main.exe json`, bumped once per PR so
    the performance trajectory diffs file-to-file *)
 let bench_output_file = "BENCH_PR2.json"
+
+(* this PR's artifact: the fault-injection detection matrix *)
+let inject_output_file = "BENCH_PR3.json"
 
 (* set from --jobs; default: a few domains (see Pool.default_jobs) *)
 let jobs = ref (Exec.Pool.default_jobs ())
@@ -336,6 +344,27 @@ let bench_json path =
   Format.fprintf ppf "sweep wall %.2fs, serial %.2fs, speedup %.2fx@." wall_s serial_s speedup;
   Format.fprintf ppf "wrote %s (%d measurements)@." path (List.length rows)
 
+(* -- fault-injection detection matrix (inject subcommand) --------------------- *)
+
+(* The full campaign behind BENCH_PR3.json: every builtin workload x
+   every ABI x every fault kind x 8 seeds. Like the json sweep, the
+   report is bit-identical whatever --jobs is (fault parameters derive
+   only from the task key), so only wall-clock varies. *)
+let bench_inject path =
+  section "Fault-injection detection matrix (full campaign)";
+  let c = Inject.default_campaign ~seeds:8 () in
+  let n_tasks =
+    List.length c.Inject.c_workloads * 3 * List.length c.Inject.c_kinds * c.Inject.c_seeds
+  in
+  Format.fprintf ppf "running %d injection tasks on %d domain(s)...@." n_tasks !jobs;
+  let report = Inject.run ~jobs:!jobs c in
+  Inject.pp_report ppf report;
+  let oc = open_out path in
+  output_string oc (Inject.report_json report);
+  close_out oc;
+  Format.fprintf ppf "wrote %s (%d records)@." path (List.length report.Inject.r_records);
+  if report.Inject.r_errors <> [] then exit 1
+
 (* -- telemetry overhead smoke checks (smoke subcommand) ------------------------ *)
 
 (* A short program with real memory traffic for the overhead check. *)
@@ -526,6 +555,8 @@ let () =
      | "smoke" -> smoke ()
      | "json" ->
          bench_json (match positional with _ :: f :: _ -> f | _ -> bench_output_file)
+     | "inject" ->
+         bench_inject (match positional with _ :: f :: _ -> f | _ -> inject_output_file)
      | other ->
          Format.eprintf "unknown job %s@." other;
          exit 2

@@ -1,6 +1,7 @@
 (* Differential-fuzz campaign driver:
 
      cheri-fuzz [--seeds N] [--start N] [--jobs N] [--shrink] [--json FILE]
+                [--checkpoint FILE] [--resume FILE]
 
    Runs N seeds across the domain pool, each seed executing one
    generated program under all ten implementations of the C abstract
@@ -20,7 +21,8 @@ module Gen = Cheri_fuzz.Gen
 
 let usage () =
   prerr_endline
-    "usage: cheri-fuzz [--seeds N] [--start N] [--jobs N] [--shrink] [--json FILE] [--self-test]";
+    "usage: cheri-fuzz [--seeds N] [--start N] [--jobs N] [--shrink] [--json FILE]\n\
+    \                  [--checkpoint FILE] [--resume FILE] [--self-test]";
   exit 2
 
 let ppf = Format.std_formatter
@@ -90,6 +92,8 @@ let () =
   let jobs = ref (Cheri_exec.Exec.Pool.default_jobs ()) in
   let shrink = ref false in
   let json = ref None in
+  let checkpoint = ref None in
+  let resume = ref None in
   let selftest = ref false in
   let int_arg name v rest k =
     match int_of_string_opt v with
@@ -109,10 +113,16 @@ let () =
     | "--json" :: f :: rest ->
         json := Some f;
         parse rest
+    | "--checkpoint" :: f :: rest ->
+        checkpoint := Some f;
+        parse rest
+    | "--resume" :: f :: rest ->
+        resume := Some f;
+        parse rest
     | "--self-test" :: rest ->
         selftest := true;
         parse rest
-    | [ ("--seeds" | "--start" | "--jobs" | "--json") as f ] ->
+    | [ ("--seeds" | "--start" | "--jobs" | "--json" | "--checkpoint" | "--resume") as f ] ->
         Format.eprintf "%s requires an argument@." f;
         exit 2
     | _ -> usage ()
@@ -121,7 +131,14 @@ let () =
   if !selftest then self_test ~seeds:!seeds ~jobs:!jobs
   else begin
     let report =
-      Campaign.run ~shrink:!shrink ~jobs:!jobs ~first_seed:!start ~seeds:!seeds ()
+      match
+        Campaign.run ~shrink:!shrink ~jobs:!jobs ~first_seed:!start
+          ?checkpoint:!checkpoint ?resume:!resume ~seeds:!seeds ()
+      with
+      | r -> r
+      | exception Campaign.Resume_mismatch msg ->
+          Format.eprintf "--resume: %s@." msg;
+          exit 2
     in
     Campaign.pp_report ppf report;
     Option.iter

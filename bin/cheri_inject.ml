@@ -1,0 +1,280 @@
+(* Fault-injection campaign driver:
+
+     cheri-inject [--seeds N] [--start N] [--kinds K1,K2] [--workloads W1,W2]
+                  [--jobs N] [--fuel N] [--deadline S] [--json FILE]
+                  [--checkpoint FILE] [--resume FILE] [--limit N] [--list]
+
+   Runs the (workload x ABI x kind x seed) cross product over the
+   domain pool, prints the per-ABI detection matrix, and exits 0 iff
+   no task errored AND the CHERI ABIs showed zero silent corruptions
+   for the pointer-protecting fault kinds — the paper's §4.2 claim as
+   an executable check.
+
+   --checkpoint FILE appends one JSONL record per finished task;
+   --resume FILE restarts from such a file, skipping completed tasks,
+   and (because reports are timing-free and fault parameters derive
+   only from the task key) reproduces the uninterrupted run's --json
+   output byte for byte.
+
+     cheri-inject --self-test [--seeds N] [--jobs N]
+
+   The deterministic CI smoke: a trimmed campaign asserting the CHERI
+   detection guarantee, the MIPS silent-corruption contrast, watchdog
+   reaping of a runaway workload, and kill+resume byte-identity. *)
+
+module Inject = Cheri_inject.Inject
+module Abi = Cheri_compiler.Abi
+
+let usage () =
+  prerr_endline
+    "usage: cheri-inject [--seeds N] [--start N] [--kinds K1,K2,...] [--workloads W1,...]\n\
+    \                    [--jobs N] [--fuel N] [--deadline S] [--json FILE]\n\
+    \                    [--checkpoint FILE] [--resume FILE] [--limit N] [--list]\n\
+    \       cheri-inject --self-test [--seeds N] [--jobs N]\n\
+     kinds: bitflip tag-clear tag-set cap-field alloc-fail";
+  exit 2
+
+let ppf = Format.std_formatter
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let cheri_abis = [ "CHERIv2"; "CHERIv3" ]
+let pointer_kinds = List.filter Inject.pointer_protecting Inject.all_kinds
+
+(* exit status: the §4.2 claim must hold on the CHERI ABIs *)
+let guarantee_holds report =
+  List.for_all
+    (fun abi -> Inject.silent_count report ~abi pointer_kinds = 0)
+    cheri_abis
+
+(* -- self-test --------------------------------------------------------------- *)
+
+let spin_workload =
+  {
+    Inject.w_name = "spin";
+    w_source =
+      (fun _ -> "int main(void) { long i = 0; while (1) { i = i + 1; } return 0; }");
+  }
+
+let fail fmt =
+  Format.kasprintf
+    (fun msg ->
+      Format.eprintf "self-test FAILED: %s@." msg;
+      exit 1)
+    fmt
+
+let self_test ~seeds ~jobs =
+  (* domains beyond the physical core count only stall the OCaml
+     stop-the-world collector; the self-test clamps rather than pay
+     2-3x wall on single-core CI runners *)
+  let jobs = max 1 (min jobs (Domain.recommended_domain_count ())) in
+  (* 1. detection matrix on a trimmed campaign: the CHERI ABIs must
+     show zero silent corruptions for the pointer-protecting kinds,
+     and the PDP-11 baseline must show some for the stray-store kind *)
+  let workloads =
+    List.filter
+      (fun (w : Inject.workload) -> List.mem w.Inject.w_name [ "olden.treeadd"; "zlib" ])
+      Inject.builtin_workloads
+  in
+  let c = Inject.default_campaign ~workloads ~seeds () in
+  let report = Inject.run ~jobs c in
+  Inject.pp_report ppf report;
+  if report.Inject.r_errors <> [] then fail "campaign reported task errors";
+  if List.length report.Inject.r_records <> 2 * 3 * 5 * seeds then
+    fail "expected %d records, got %d" (2 * 3 * 5 * seeds)
+      (List.length report.Inject.r_records);
+  List.iter
+    (fun abi ->
+      let n = Inject.silent_count report ~abi pointer_kinds in
+      if n <> 0 then
+        fail "%s shows %d silent corruptions for pointer-protecting kinds" abi n)
+    cheri_abis;
+  if Inject.silent_count report ~abi:"MIPS" [ Inject.Tag_clear ] = 0 then
+    fail "PDP-11 baseline shows no silent corruption under stray pointer stores";
+  Format.fprintf ppf "matrix ok: CHERI 0 silent on tag/bounds kinds, PDP-11 nonzero@.";
+  (* 2. watchdog: a runaway workload in the campaign is reaped as Hung
+     on every task, and the rest of the campaign still completes *)
+  let hang_c =
+    Inject.default_campaign
+      ~workloads:(spin_workload :: workloads)
+      ~kinds:[ Inject.Bitflip ] ~seeds:2 ~fuel:300_000 ()
+  in
+  let hang_report = Inject.run ~jobs hang_c in
+  if hang_report.Inject.r_errors <> [] then fail "hang campaign reported task errors";
+  let spin_records =
+    List.filter (fun r -> r.Inject.workload = "spin") hang_report.Inject.r_records
+  in
+  if spin_records = [] then fail "no records for the runaway workload";
+  List.iter
+    (fun r ->
+      if r.Inject.verdict <> Inject.Hung then
+        fail "runaway task classified %s, not hang" (Inject.verdict_key r.Inject.verdict))
+    spin_records;
+  let healthy =
+    List.filter (fun r -> r.Inject.workload <> "spin") hang_report.Inject.r_records
+  in
+  if List.length healthy <> 2 * 3 * 2 then
+    fail "healthy workloads did not complete alongside the runaway";
+  Format.fprintf ppf "watchdog ok: runaway reaped as hang, campaign completed@.";
+  (* 3. kill + resume: a partial checkpoint (as a kill leaves behind)
+     resumed to completion must reproduce the uninterrupted report
+     byte for byte — even with a torn final line *)
+  let small_workloads =
+    List.filter (fun (w : Inject.workload) -> w.Inject.w_name = "zlib") Inject.builtin_workloads
+  in
+  let small =
+    Inject.default_campaign ~workloads:small_workloads
+      ~kinds:[ Inject.Tag_clear; Inject.Alloc_fail ] ~seeds:2 ()
+  in
+  let tmp suffix = Filename.temp_file "cheri_inject_selftest" suffix in
+  let ck_full = tmp ".full.jsonl" and ck_part = tmp ".part.jsonl" in
+  let full = Inject.run ~jobs ~checkpoint:ck_full small in
+  let full_json = Inject.report_json full in
+  let partial = Inject.run ~jobs ~checkpoint:ck_part ~limit:5 small in
+  if List.length partial.Inject.r_records <> 5 then
+    fail "limited run completed %d tasks, expected 5" (List.length partial.Inject.r_records);
+  (* simulate the kill tearing the final line mid-write *)
+  write_file ck_part
+    (let s = read_file ck_part in
+     String.sub s 0 (String.length s - 7) ^ "\n{\"workload\":\"zl");
+  let resumed = Inject.run ~jobs ~checkpoint:ck_part ~resume:ck_part small in
+  if resumed.Inject.r_resumed = 0 then fail "resume restored no records";
+  let resumed_json = Inject.report_json resumed in
+  if resumed_json <> full_json then
+    fail "resumed report differs from the uninterrupted run's";
+  (* a mismatched campaign must be refused, not silently mixed in *)
+  (match
+     Inject.run ~jobs ~resume:ck_full
+       { small with Inject.c_seeds = small.Inject.c_seeds + 1 }
+   with
+  | exception Inject.Resume_mismatch _ -> ()
+  | _ -> fail "resume accepted a checkpoint from a different campaign");
+  Sys.remove ck_full;
+  Sys.remove ck_part;
+  Format.fprintf ppf
+    "resume ok: killed+resumed campaign reproduced the full report (%d bytes)@."
+    (String.length full_json);
+  Format.fprintf ppf "self-test ok@."
+
+(* -- driver ------------------------------------------------------------------ *)
+
+let () =
+  let seeds = ref 8 in
+  let start = ref 0 in
+  let jobs = ref (Cheri_exec.Exec.Pool.default_jobs ()) in
+  let kinds = ref Inject.all_kinds in
+  let workloads = ref Inject.builtin_workloads in
+  let fuel = ref Inject.default_fuel in
+  let deadline = ref None in
+  let json = ref None in
+  let checkpoint = ref None in
+  let resume = ref None in
+  let limit = ref None in
+  let selftest = ref false in
+  let int_arg name v rest k =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> k n rest
+    | _ ->
+        Format.eprintf "%s expects a non-negative integer, got %s@." name v;
+        exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--seeds" :: v :: rest -> int_arg "--seeds" v rest (fun n r -> seeds := n; parse r)
+    | "--start" :: v :: rest -> int_arg "--start" v rest (fun n r -> start := n; parse r)
+    | "--jobs" :: v :: rest -> int_arg "--jobs" v rest (fun n r -> jobs := max 1 n; parse r)
+    | "--fuel" :: v :: rest -> int_arg "--fuel" v rest (fun n r -> fuel := max 1 n; parse r)
+    | "--limit" :: v :: rest -> int_arg "--limit" v rest (fun n r -> limit := Some n; parse r)
+    | "--deadline" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some s when s > 0. ->
+            deadline := Some s;
+            parse rest
+        | _ ->
+            Format.eprintf "--deadline expects a positive number of seconds@.";
+            exit 2)
+    | "--kinds" :: v :: rest ->
+        kinds :=
+          List.map
+            (fun k ->
+              match Inject.kind_of_key k with
+              | Some kind -> kind
+              | None ->
+                  Format.eprintf "unknown fault kind %s (known: %s)@." k
+                    (String.concat " " (List.map Inject.kind_key Inject.all_kinds));
+                  exit 2)
+            (String.split_on_char ',' v);
+        parse rest
+    | "--workloads" :: v :: rest ->
+        workloads :=
+          List.map
+            (fun name ->
+              match Inject.find_workload name with
+              | Some w -> w
+              | None ->
+                  Format.eprintf "unknown workload %s (known: %s)@." name
+                    (String.concat " " Inject.workload_names);
+                  exit 2)
+            (String.split_on_char ',' v);
+        parse rest
+    | "--json" :: f :: rest ->
+        json := Some f;
+        parse rest
+    | "--checkpoint" :: f :: rest ->
+        checkpoint := Some f;
+        parse rest
+    | "--resume" :: f :: rest ->
+        resume := Some f;
+        parse rest
+    | "--self-test" :: rest ->
+        selftest := true;
+        parse rest
+    | "--list" :: _ ->
+        List.iter print_endline Inject.workload_names;
+        exit 0
+    | [ ("--seeds" | "--start" | "--jobs" | "--fuel" | "--limit" | "--deadline" | "--kinds"
+        | "--workloads" | "--json" | "--checkpoint" | "--resume") as f ] ->
+        Format.eprintf "%s requires an argument@." f;
+        exit 2
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !selftest then self_test ~seeds:!seeds ~jobs:!jobs
+  else begin
+    let c =
+      Inject.default_campaign ~workloads:!workloads ~kinds:!kinds ~seeds:!seeds
+        ~first_seed:!start ~fuel:!fuel ?deadline_s:!deadline ()
+    in
+    let report =
+      match
+        Inject.run ~jobs:!jobs ?checkpoint:!checkpoint ?resume:!resume ?limit:!limit c
+      with
+      | r -> r
+      | exception Inject.Resume_mismatch msg ->
+          Format.eprintf "--resume: %s@." msg;
+          exit 2
+    in
+    Inject.pp_report ppf report;
+    Option.iter
+      (fun path ->
+        write_file path (Inject.report_json report);
+        Format.fprintf ppf "wrote %s@." path)
+      !json;
+    Format.pp_print_flush ppf ();
+    if report.Inject.r_errors <> [] then exit 1;
+    if !limit = None && not (guarantee_holds report) then begin
+      Format.eprintf
+        "silent corruptions on a CHERI ABI for pointer-protecting fault kinds@.";
+      exit 1
+    end
+  end

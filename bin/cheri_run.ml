@@ -6,6 +6,9 @@
      cheri-run -a file.c          # run under every model
      cheri-run -S [-abi mips|v2|v3] file.c   # dump softcore assembly
      cheri-run -x [-abi mips|v2|v3] file.c   # compile and execute on the softcore
+     cheri-run --fuel N ... file.c  # step budget: softcore instructions or
+                                    # interpreter expression evaluations;
+                                    # exhaustion reports as a structured hang
 
    Observability (each implies -x, i.e. softcore execution):
 
@@ -19,8 +22,8 @@ module Machine = Cheri_isa.Machine
 
 let usage () =
   prerr_endline
-    "usage: cheri-run [-m MODEL] [-a] [-S|-x [-abi ABI]] [--profile] [--trace[=FILE]]\n\
-    \                 [--stats-json FILE] [--chrome-trace FILE] file.c";
+    "usage: cheri-run [-m MODEL] [-a] [-S|-x [-abi ABI]] [--fuel N] [--profile]\n\
+    \                 [--trace[=FILE]] [--stats-json FILE] [--chrome-trace FILE] file.c";
   exit 2
 
 let read_file path =
@@ -51,6 +54,9 @@ let report name outcome =
       print_string out;
       Format.printf "[%s] FAULT: %a@." name Cheri_models.Fault.pp f
   | Stuck msg -> Format.printf "[%s] stuck: %s@." name msg
+  | Exhausted out ->
+      print_string out;
+      Format.printf "[%s] HANG: step limit exhausted@." name
 
 let dump_assembly abi src =
   let linked = Cheri_compiler.Codegen.compile_source abi src in
@@ -79,6 +85,7 @@ type telemetry_opts = {
   trace : string option option;  (* None = off, Some None = stdout, Some (Some f) = file *)
   stats_json_to : string option;
   chrome_trace_to : string option;
+  fuel : int option;  (* --fuel: softcore instruction / interpreter step budget *)
 }
 
 let telemetry_wanted o =
@@ -99,7 +106,7 @@ let execute_on_softcore opts abi src =
     end
     else Telemetry.Sink.null
   in
-  let outcome = Machine.run m in
+  let outcome = Machine.run ?fuel:opts.fuel m in
   print_string (Machine.output m);
   let st = Machine.stats m in
   Format.printf "[%s] %a  (%d cycles, %d instructions)@."
@@ -128,6 +135,7 @@ let () =
   let trace = ref None in
   let stats_json_to = ref None in
   let chrome_trace_to = ref None in
+  let fuel = ref None in
   let rec parse = function
     | "-m" :: m :: rest ->
         model := m;
@@ -153,6 +161,13 @@ let () =
     | "--chrome-trace" :: f :: rest ->
         chrome_trace_to := Some f;
         parse rest
+    | "--fuel" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n >= 1 -> fuel := Some n
+        | _ ->
+            Format.eprintf "--fuel expects a positive integer, got %s@." v;
+            exit 2);
+        parse rest
     | "-abi" :: a :: rest ->
         (match Cheri_compiler.Abi.of_key a with
         | Some x -> abi := x
@@ -163,7 +178,7 @@ let () =
     | f :: rest when String.length f > 8 && String.sub f 0 8 = "--trace=" ->
         trace := Some (Some (String.sub f 8 (String.length f - 8)));
         parse rest
-    | [ f ] when f = "--stats-json" || f = "--chrome-trace" || f = "-abi" || f = "-m" ->
+    | [ f ] when f = "--stats-json" || f = "--chrome-trace" || f = "--fuel" || f = "-abi" || f = "-m" ->
         Format.eprintf "%s requires an argument@." f;
         exit 2
     | f :: _ when String.length f > 0 && f.[0] = '-' ->
@@ -181,6 +196,7 @@ let () =
       trace = !trace;
       stats_json_to = !stats_json_to;
       chrome_trace_to = !chrome_trace_to;
+      fuel = !fuel;
     }
   in
   match !file with
@@ -206,7 +222,7 @@ let () =
               (fun m ->
                 let module M = (val m : Cheri_models.Model.S) in
                 let module I = Cheri_interp.Interp.Make (M) in
-                report M.name (I.run_program prog))
+                report M.name (I.run_program ?max_steps:!fuel prog))
               Cheri_models.Registry.all
           else
             match Cheri_models.Registry.lookup !model with
@@ -217,4 +233,4 @@ let () =
             | Some e ->
                 let module M = (val e.Cheri_models.Registry.model) in
                 let module I = Cheri_interp.Interp.Make (M) in
-                report M.name (I.run_program prog))
+                report M.name (I.run_program ?max_steps:!fuel prog))

@@ -10,9 +10,15 @@
      index, so a 1-domain and an N-domain run of the same task list
      produce identical ordered results;
    - fault capture: an exception escaping a worker becomes a structured
-     per-task error, never takes down the sweep or the other tasks;
+     per-task error, never takes down the sweep or the other tasks
+     (skip-and-record degradation);
+   - bounded retry with exponential backoff, for faults that are
+     transient at the host level (fd exhaustion, OOM-killed child
+     state) rather than deterministic task bugs;
    - per-task wall-clock timing, so sweeps can report an honest
-     serial-time / wall-time speedup. *)
+     serial-time / wall-time speedup;
+   - an [on_result] progress hook, serialized across domains, that
+     campaigns use to append checkpoint records as tasks finish. *)
 
 module Pool = struct
   type error = { task : int; exn : string; backtrace : string }
@@ -21,7 +27,8 @@ module Pool = struct
   type 'a cell = {
     index : int;  (** submission index: position in the input list *)
     result : ('a, error) result;
-    elapsed_s : float;  (** wall-clock spent on this task alone *)
+    elapsed_s : float;  (** wall-clock spent on this task alone, all attempts *)
+    attempts : int;  (** 1 unless retries were needed *)
   }
 
   exception Worker_failed of error
@@ -32,32 +39,57 @@ module Pool = struct
 
   let now = Unix.gettimeofday
 
-  let run_task f inputs results i =
+  let run_task ~retries ~backoff_s f inputs results on_result i =
     let t0 = now () in
-    let result =
+    let attempt k =
       try Ok (f inputs.(i))
       with e ->
         let backtrace = Printexc.get_backtrace () in
-        Error { task = i; exn = Printexc.to_string e; backtrace }
+        Error { task = i; exn = Printexc.to_string e ^ Printf.sprintf " (attempt %d)" k; backtrace }
     in
-    results.(i) <- Some { index = i; result; elapsed_s = now () -. t0 }
+    let rec go k =
+      match attempt k with
+      | Ok _ as ok -> (ok, k)
+      | Error _ as err when k > retries -> (err, k)
+      | Error _ ->
+          (* transient-fault hypothesis: give the host a moment before
+             retrying, doubling the pause each time *)
+          if backoff_s > 0. then
+            Unix.sleepf (backoff_s *. float_of_int (1 lsl (k - 1)));
+          go (k + 1)
+    in
+    let result, attempts = go 1 in
+    let cell = { index = i; result; elapsed_s = now () -. t0; attempts } in
+    results.(i) <- Some cell;
+    on_result cell
 
   (* [map ~jobs f tasks] runs [f] over every task on up to [jobs]
      domains (default 1: sequential, in the calling domain — callers
      opt in to parallelism) and returns the cells in submission order.
      The work queue is a single atomic cursor: domains claim the next
-     unclaimed index until the list is drained. *)
-  let map ?(jobs = 1) f tasks : 'a cell list =
+     unclaimed index until the list is drained. A failing task is
+     retried up to [retries] times (default 0) with exponential backoff
+     starting at [backoff_s]; the surviving error never aborts the map.
+     [on_result] fires once per finished task, serialized under one
+     mutex, in completion (not submission) order. *)
+  let map ?(jobs = 1) ?(retries = 0) ?(backoff_s = 0.05) ?on_result f tasks : 'a cell list =
     let inputs = Array.of_list tasks in
     let n = Array.length inputs in
     let results = Array.make n None in
     if n > 0 then begin
       let cursor = Atomic.make 0 in
+      let on_result =
+        match on_result with
+        | None -> fun _ -> ()
+        | Some hook ->
+            let m = Mutex.create () in
+            fun cell -> Mutex.protect m (fun () -> hook cell)
+      in
       let worker () =
         let rec drain () =
           let i = Atomic.fetch_and_add cursor 1 in
           if i < n then begin
-            run_task f inputs results i;
+            run_task ~retries ~backoff_s f inputs results on_result i;
             drain ()
           end
         in

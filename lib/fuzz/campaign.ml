@@ -24,6 +24,11 @@ type status =
   | Exited of int64  (** clean exit with this code *)
   | Faulted of string  (** a model fault or machine trap, pretty-printed *)
   | Stuck of string  (** implementation-level error: rejected program, crash... *)
+  | Hung
+      (** the step-limit / fuel / wall-clock watchdog fired. One shared
+          constructor for interpreter [Exhausted] and machine
+          [Fuel_exhausted]/[Deadline_exceeded], so two implementations
+          that both time out never read as a (spurious) divergence. *)
 
 type impl_outcome = { impl : string; status : status; out : string }
 
@@ -45,6 +50,7 @@ let interp_impl (e : Registry.entry) : impl =
         | Interp.Fault (f, out) ->
             { impl; status = Faulted (Format.asprintf "%a" Cheri_models.Fault.pp f); out }
         | Interp.Stuck msg -> { impl; status = Stuck msg; out = "" }
+        | Interp.Exhausted out -> { impl; status = Hung; out }
         | exception exn -> { impl; status = Stuck (Printexc.to_string exn); out = "" });
   }
 
@@ -56,6 +62,8 @@ let compiled_impl (abi : Abi.t) : impl =
       (fun src ->
         match Cheri_compiler.Codegen.run abi src with
         | Machine.Exit code, m -> { impl; status = Exited code; out = Machine.output m }
+        | (Machine.Fuel_exhausted | Machine.Deadline_exceeded), m ->
+            { impl; status = Hung; out = Machine.output m }
         | o, m ->
             {
               impl;
@@ -74,6 +82,7 @@ let status_key = function
   | Exited c -> Printf.sprintf "exit:%Ld" c
   | Faulted f -> "fault:" ^ f
   | Stuck m -> "stuck:" ^ m
+  | Hung -> "hang"
 
 let outcome_key o = status_key o.status ^ ":" ^ o.out
 
@@ -103,6 +112,7 @@ type report = {
   shrunk : bool;
   wall_s : float;  (** campaign wall-clock *)
   serial_s : float;  (** sum of per-seed times: the 1-domain estimate *)
+  resumed : int;  (** seeds restored from a checkpoint, not re-run *)
   divergences : divergence list;
   errors : (int * string) list;  (** per-seed harness failures (seed, exn) *)
 }
@@ -127,24 +137,166 @@ let check_seed ?(impls = default_impls ()) ?(shrink = false) seed : divergence o
     in
     Some { seed; source = src; minimized; outcomes }
 
-let run ?(impls = default_impls ()) ?(shrink = false) ?(jobs = 1) ?(first_seed = 0) ~seeds () :
-    report =
+let esc = Telemetry.json_escape
+
+let outcome_json o =
+  Printf.sprintf "{\"impl\":\"%s\",\"status\":\"%s\",\"out\":\"%s\"}" (esc o.impl)
+    (esc (status_key o.status))
+    (esc o.out)
+
+(* -- checkpointing ----------------------------------------------------------- *)
+
+(* One JSONL line per finished seed, appended and flushed as seeds
+   complete, behind a header describing the campaign. A killed run
+   leaves at worst one torn final line; [--resume] re-reads the file,
+   skips every recorded seed, and — the campaign being deterministic
+   per seed — continues exactly where the killed run stopped. *)
+
+module Json = Cheri_util.Json
+
+let checkpoint_schema = "cheri_c.fuzz-ckpt/v1"
+
+exception Resume_mismatch of string
+
+let header_json ~first_seed ~seeds ~shrink =
+  Printf.sprintf "{\"schema\":\"%s\",\"first_seed\":%d,\"seeds\":%d,\"shrink\":%b}"
+    checkpoint_schema first_seed seeds shrink
+
+let status_of_key k =
+  let after prefix =
+    let n = String.length prefix in
+    if String.length k >= n && String.sub k 0 n = prefix then
+      Some (String.sub k n (String.length k - n))
+    else None
+  in
+  if k = "hang" then Some Hung
+  else
+    match after "exit:" with
+    | Some c -> Option.map (fun c -> Exited c) (Int64.of_string_opt c)
+    | None -> (
+        match after "fault:" with
+        | Some f -> Some (Faulted f)
+        | None -> Option.map (fun m -> Stuck m) (after "stuck:"))
+
+let seed_json seed (d : divergence option) =
+  match d with
+  | None -> Printf.sprintf "{\"seed\":%d,\"divergent\":false}" seed
+  | Some d ->
+      Printf.sprintf "{\"seed\":%d,\"divergent\":true,\"source\":\"%s\",%s\"outcomes\":[%s]}"
+        seed (esc d.source)
+        (match d.minimized with
+        | Some s -> Printf.sprintf "\"minimized\":\"%s\"," (esc s)
+        | None -> "")
+        (String.concat "," (List.map outcome_json d.outcomes))
+
+let seed_of_json j : (int * divergence option) option =
+  let str k o = Option.bind (Json.member k o) Json.to_string in
+  match
+    (Option.bind (Json.member "seed" j) Json.to_int, Option.bind (Json.member "divergent" j) Json.to_bool)
+  with
+  | Some seed, Some false -> Some (seed, None)
+  | Some seed, Some true ->
+      let outcomes =
+        List.filter_map
+          (fun o ->
+            match (str "impl" o, Option.bind (str "status" o) status_of_key, str "out" o) with
+            | Some impl, Some status, Some out -> Some { impl; status; out }
+            | _ -> None)
+          (Option.value ~default:[] (Option.bind (Json.member "outcomes" j) Json.to_list))
+      in
+      Option.map
+        (fun source -> (seed, Some { seed; source; minimized = str "minimized" j; outcomes }))
+        (str "source" j)
+  | _ -> None
+
+let load_checkpoint path ~first_seed ~seeds ~shrink : (int, divergence option) Hashtbl.t =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let tbl = Hashtbl.create 64 in
+  (match String.split_on_char '\n' contents with
+  | [] -> ()
+  | header :: rest ->
+      (match Json.parse header with
+      | Error e -> raise (Resume_mismatch ("unreadable checkpoint header: " ^ e))
+      | Ok j ->
+          if Json.parse (header_json ~first_seed ~seeds ~shrink) <> Ok j then
+            raise
+              (Resume_mismatch
+                 "checkpoint was written by a campaign with different parameters"));
+      List.iter
+        (fun line ->
+          if String.trim line <> "" then
+            match Json.parse line with
+            | Error _ -> () (* torn tail of a killed run *)
+            | Ok j -> (
+                match seed_of_json j with
+                | Some (seed, d) -> Hashtbl.replace tbl seed d
+                | None -> ()))
+        rest);
+  tbl
+
+let run ?(impls = default_impls ()) ?(shrink = false) ?(jobs = 1) ?(first_seed = 0) ?checkpoint
+    ?resume ~seeds () : report =
   let seed_list = List.init seeds (fun i -> first_seed + i) in
+  let done_tbl =
+    match resume with
+    | None -> Hashtbl.create 16
+    | Some path -> load_checkpoint path ~first_seed ~seeds ~shrink
+  in
+  let pending = List.filter (fun s -> not (Hashtbl.mem done_tbl s)) seed_list in
+  (* the checkpoint is rewritten whole on (re)start: header, restored
+     seeds in order, then one flushed line per freshly finished seed *)
+  let oc =
+    Option.map
+      (fun path ->
+        let oc = open_out_bin path in
+        output_string oc (header_json ~first_seed ~seeds ~shrink);
+        output_char oc '\n';
+        List.iter
+          (fun s ->
+            match Hashtbl.find_opt done_tbl s with
+            | Some d ->
+                output_string oc (seed_json s d);
+                output_char oc '\n'
+            | None -> ())
+          seed_list;
+        flush oc;
+        oc)
+      checkpoint
+  in
+  let pending_arr = Array.of_list pending in
+  let on_result (cell : _ Exec.Pool.cell) =
+    match (oc, cell.Exec.Pool.result) with
+    | Some oc, Ok d ->
+        output_string oc (seed_json pending_arr.(cell.Exec.Pool.index) d);
+        output_char oc '\n';
+        flush oc
+    | _ -> ()
+  in
   let cells, wall_s =
-    Exec.wall (fun () -> Exec.Pool.map ~jobs (check_seed ~impls ~shrink) seed_list)
+    Exec.wall (fun () -> Exec.Pool.map ~jobs ~on_result (check_seed ~impls ~shrink) pending)
   in
-  let divergences =
-    List.filter_map
-      (fun (c : _ Exec.Pool.cell) -> match c.Exec.Pool.result with Ok d -> d | Error _ -> None)
-      cells
-  in
+  Option.iter close_out oc;
+  let new_tbl = Hashtbl.create 16 in
   let errors =
     List.concat_map
       (fun (c : _ Exec.Pool.cell) ->
+        let seed = pending_arr.(c.Exec.Pool.index) in
         match c.Exec.Pool.result with
-        | Ok _ -> []
-        | Error e -> [ (List.nth seed_list c.Exec.Pool.index, e.Exec.Pool.exn) ])
+        | Ok d ->
+            Hashtbl.replace new_tbl seed d;
+            []
+        | Error e -> [ (seed, e.Exec.Pool.exn) ])
       cells
+  in
+  let divergences =
+    List.filter_map
+      (fun s ->
+        match Hashtbl.find_opt done_tbl s with
+        | Some d -> d
+        | None -> Option.join (Hashtbl.find_opt new_tbl s))
+      seed_list
   in
   {
     first_seed;
@@ -153,18 +305,12 @@ let run ?(impls = default_impls ()) ?(shrink = false) ?(jobs = 1) ?(first_seed =
     shrunk = shrink;
     wall_s;
     serial_s = Exec.Pool.serial_seconds cells;
+    resumed = Hashtbl.length done_tbl;
     divergences;
     errors;
   }
 
 (* -- reporting -------------------------------------------------------------- *)
-
-let esc = Telemetry.json_escape
-
-let outcome_json o =
-  Printf.sprintf "{\"impl\":\"%s\",\"status\":\"%s\",\"out\":\"%s\"}" (esc o.impl)
-    (esc (status_key o.status))
-    (esc o.out)
 
 let divergence_json d =
   Printf.sprintf "    {\"seed\":%d,\"source\":\"%s\",%s\"outcomes\":[%s]}" d.seed (esc d.source)
@@ -173,22 +319,22 @@ let divergence_json d =
     | None -> "")
     (String.concat "," (List.map outcome_json d.outcomes))
 
+(* Deliberately timing-free (no wall/serial/resumed fields): a
+   killed-and-resumed campaign must reproduce the uninterrupted run's
+   JSON byte for byte, so only deterministic campaign data may appear
+   here. Timing lives in [pp_report]. *)
 let report_json (r : report) : string =
   Printf.sprintf
     "{\n\
     \  \"schema\": \"cheri_c.fuzz/v1\",\n\
     \  \"first_seed\": %d,\n\
     \  \"seeds\": %d,\n\
-    \  \"jobs\": %d,\n\
     \  \"shrink\": %b,\n\
-    \  \"wall_s\": %.6f,\n\
-    \  \"serial_s\": %.6f,\n\
-    \  \"speedup\": %.2f,\n\
     \  \"divergent\": %d,\n\
     \  \"errors\": [%s],\n\
     \  \"divergences\": [\n%s\n  ]\n\
      }\n"
-    r.first_seed r.seeds r.jobs r.shrunk r.wall_s r.serial_s (speedup r)
+    r.first_seed r.seeds r.shrunk
     (List.length r.divergences)
     (String.concat ","
        (List.map
@@ -212,6 +358,8 @@ let pp_report ppf (r : report) =
     r.jobs
     (List.length r.divergences)
     (List.length r.errors);
+  if r.resumed > 0 then
+    Format.fprintf ppf "resumed: %d seeds restored from the checkpoint@." r.resumed;
   Format.fprintf ppf "wall %.2fs, serial %.2fs, speedup %.2fx@." r.wall_s r.serial_s (speedup r);
   List.iter (fun (seed, exn) -> Format.fprintf ppf "seed %d: harness error: %s@." seed exn) r.errors;
   List.iter (pp_divergence ppf) r.divergences

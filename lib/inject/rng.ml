@@ -1,0 +1,45 @@
+(* Deterministic fault-parameter derivation.
+
+   Every injection task owns an independent random stream derived from
+   (seed, workload, ABI, fault kind) by FNV-1a, stepped by SplitMix64.
+   The host PRNG ([Random]) and [Hashtbl.hash] are deliberately
+   avoided: both are allowed to change across OCaml releases, and a
+   resumed campaign must derive bit-identical faults to the run it is
+   resuming. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+(* SplitMix64 (Steele et al., "Fast splittable pseudorandom number
+   generators"): full 64-bit period, two multiplies per draw. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* uniform-enough draw in [0, n): the modulo bias over a 63-bit range
+   is immaterial for fault-site selection *)
+let below t n =
+  if n <= 0 then invalid_arg "Rng.below";
+  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int n))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+(* FNV-1a over the key parts, with a separator absorption between
+   parts so ["ab";"c"] and ["a";"bc"] derive different streams *)
+let fnv1a parts =
+  let h = ref 0xCBF29CE484222325L in
+  let absorb c =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int c)) 0x100000001B3L
+  in
+  List.iter
+    (fun s ->
+      String.iter (fun ch -> absorb (Char.code ch)) s;
+      absorb 0x1F)
+    parts;
+  !h
+
+let of_key parts = create (fnv1a parts)

@@ -19,11 +19,16 @@ type outcome =
   | Exit of int64 * string  (** main's return value (or exit code), program output *)
   | Fault of Fault.t * string  (** the fault, plus output so far *)
   | Stuck of string  (** interpreter-level error: UB with no model account *)
+  | Exhausted of string
+      (** [max_steps] ran out: the interpreter's analogue of the
+          softcore's [Fuel_exhausted] — a harness hang verdict, not a
+          crash. Carries the output so far. *)
 
 let pp_outcome ppf = function
   | Exit (code, _) -> Format.fprintf ppf "exit(%Ld)" code
   | Fault (f, _) -> Format.fprintf ppf "fault: %a" Fault.pp f
   | Stuck msg -> Format.fprintf ppf "stuck: %s" msg
+  | Exhausted _ -> Format.pp_print_string ppf "step limit exhausted"
 
 module Make (M : Cheri_models.Model.S) = struct
   (* VDirty marks an integer that went through arithmetic since it was
@@ -33,6 +38,7 @@ module Make (M : Cheri_models.Model.S) = struct
 
   exception Fault_exn of Fault.t
   exception Runtime of string
+  exception Step_limit
   exception Return_exn of value
   exception Break_exn
   exception Continue_exn
@@ -136,7 +142,7 @@ module Make (M : Cheri_models.Model.S) = struct
 
   and eval st env (e : T.expr) : value =
     st.steps <- st.steps + 1;
-    if st.steps > st.max_steps then raise (Runtime "step limit exceeded");
+    if st.steps > st.max_steps then raise Step_limit;
     match e.T.e with
     | T.Num v -> VInt v
     | T.Str s -> VPtr (alloc_string st s)
@@ -476,13 +482,17 @@ module Make (M : Cheri_models.Model.S) = struct
   let record_outcome sink steps (o : outcome) =
     if not (Telemetry.Sink.is_null sink) then begin
       let kind =
-        match o with Exit _ -> "exit" | Fault _ -> "fault" | Stuck _ -> "stuck"
+        match o with
+        | Exit _ -> "exit"
+        | Fault _ -> "fault"
+        | Stuck _ -> "stuck"
+        | Exhausted _ -> "exhausted"
       in
       (match o with
       | Fault (f, _) ->
           Telemetry.Sink.record sink ~ts:steps
             (Telemetry.Fault { pc = 0; kind = Telemetry.F_model; detail = Fault.to_string f })
-      | Exit _ | Stuck _ -> ());
+      | Exit _ | Stuck _ | Exhausted _ -> ());
       Telemetry.Sink.record sink ~ts:steps
         (Telemetry.Custom
            { name = "interp:" ^ M.name; detail = Format.asprintf "%s: %a" kind pp_outcome o })
@@ -510,6 +520,7 @@ module Make (M : Cheri_models.Model.S) = struct
       with
       | Exit_exn code -> Exit (code, Buffer.contents st.out)
       | Fault_exn f -> Fault (f, Buffer.contents st.out)
+      | Step_limit -> Exhausted (Buffer.contents st.out)
       | Runtime msg -> Stuck msg
       | Minic.Layout.Unknown_tag tag -> Stuck ("unknown aggregate tag " ^ tag)
     in

@@ -11,6 +11,10 @@ type outcome =
   | Exit of int64 * string  (** main's return value (or exit code), program output *)
   | Fault of Cheri_models.Fault.t * string  (** the fault, plus output so far *)
   | Stuck of string  (** interpreter-level error: UB with no model account *)
+  | Exhausted of string
+      (** [max_steps] ran out — the structured hang verdict, mirroring
+          {!Cheri_isa.Machine.outcome}'s [Fuel_exhausted]. Carries the
+          output so far. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 

@@ -36,7 +36,11 @@ type trap =
   | Invalid_free of int64
   | Pc_out_of_range of int
 
-type outcome = Exit of int64 | Trap of { trap : trap; pc : int } | Fuel_exhausted
+type outcome =
+  | Exit of int64
+  | Trap of { trap : trap; pc : int }
+  | Fuel_exhausted
+  | Deadline_exceeded
 
 let pp_trap ppf = function
   | Cap_trap f -> Format.fprintf ppf "capability trap: %a" Fault.pp f
@@ -53,6 +57,7 @@ let pp_outcome ppf = function
   | Exit c -> Format.fprintf ppf "exit(%Ld)" c
   | Trap { trap; pc } -> Format.fprintf ppf "trap at pc=%d: %a" pc pp_trap trap
   | Fuel_exhausted -> Format.pp_print_string ppf "fuel exhausted"
+  | Deadline_exceeded -> Format.pp_print_string ppf "wall-clock deadline exceeded"
 
 type t = {
   cfg : config;
@@ -80,6 +85,12 @@ type t = {
   (* [Sink.is_null sink], cached so the step loop pays one mutable-bool
      test per retired instruction when telemetry is off *)
   mutable trace_on : bool;
+  mutable allocs : int;
+  mutable frees : int;
+  (* fault-injection arming (Cheri_inject): when [Some n], the n-th
+     next malloc/free traps as if the allocator failed *)
+  mutable alloc_fail_after : int option;
+  mutable free_fail_after : int option;
 }
 
 exception Trapped of trap
@@ -144,6 +155,10 @@ let create cfg ~code =
     stack_top;
     sink = Telemetry.Sink.null;
     trace_on = false;
+    allocs = 0;
+    frees = 0;
+    alloc_fail_after = None;
+    free_fail_after = None;
   }
 
 let config t = t.cfg
@@ -204,6 +219,13 @@ let heap_reserve t base size =
       t.free_list
 
 let malloc t request =
+  t.allocs <- t.allocs + 1;
+  (match t.alloc_fail_after with
+  | Some 0 ->
+      t.alloc_fail_after <- None;
+      raise (Trapped Out_of_memory)
+  | Some n -> t.alloc_fail_after <- Some (n - 1)
+  | None -> ());
   let request = if Int64.compare request 1L < 0 then 1L else request in
   let padded = Bits.align_up request alloc_align in
   let rec take acc = function
@@ -231,6 +253,13 @@ let malloc t request =
       (base, request)
 
 let free t addr =
+  t.frees <- t.frees + 1;
+  (match t.free_fail_after with
+  | Some 0 ->
+      t.free_fail_after <- None;
+      raise (Trapped (Invalid_free addr))
+  | Some n -> t.free_fail_after <- Some (n - 1)
+  | None -> ());
   match Hashtbl.find_opt t.allocated addr with
   | None -> raise (Trapped (Invalid_free addr))
   | Some size ->
@@ -572,12 +601,28 @@ let step t =
         if t.trace_on then record_trap t ~pc:saved_pc trap;
         Some (Trap { trap; pc = saved_pc })
 
-let run ?(fuel = 200_000_000) t =
-  let rec go remaining =
-    if remaining <= 0 then Fuel_exhausted
-    else match step t with None -> go (remaining - 1) | Some outcome -> outcome
-  in
-  go fuel
+(* How many instructions to retire between wall-clock reads when a
+   deadline is set: the check must be invisible next to the step cost. *)
+let deadline_stride = 32_768
+
+let run ?(fuel = 200_000_000) ?deadline_s t =
+  match deadline_s with
+  | None ->
+      let rec go remaining =
+        if remaining <= 0 then Fuel_exhausted
+        else match step t with None -> go (remaining - 1) | Some outcome -> outcome
+      in
+      go fuel
+  | Some budget ->
+      let expires = Unix.gettimeofday () +. budget in
+      let rec go remaining =
+        if remaining <= 0 then Fuel_exhausted
+        else if
+          remaining mod deadline_stride = 0 && Unix.gettimeofday () > expires
+        then Deadline_exceeded
+        else match step t with None -> go (remaining - 1) | Some outcome -> outcome
+      in
+      go fuel
 
 type stats = {
   st_cycles : int;
@@ -591,6 +636,8 @@ type stats = {
   st_l2_hits : int;
   st_l2_misses : int;
   st_heap_allocated : int64;
+  st_allocs : int;
+  st_frees : int;
 }
 
 let stats t =
@@ -607,8 +654,19 @@ let stats t =
     st_l2_hits = Cache.hits l2;
     st_l2_misses = Cache.misses l2;
     st_heap_allocated = t.heap_allocated;
+    st_allocs = t.allocs;
+    st_frees = t.frees;
   }
 
 (* Exposed for the loader (Cheri_asm): remove the data segment from the
    allocator's free list. *)
 let reserve_data = heap_reserve
+
+(* -- fault-injection perturbation points (Cheri_inject) ------------------ *)
+
+let allocated_blocks t =
+  Hashtbl.fold (fun base size acc -> (base, size) :: acc) t.allocated []
+  |> List.sort (fun (a, _) (b, _) -> Bits.ucompare a b)
+
+let inject_alloc_failure t ~after = t.alloc_fail_after <- Some (max 0 after)
+let inject_free_failure t ~after = t.free_fail_after <- Some (max 0 after)

@@ -43,7 +43,11 @@ type trap =
 type outcome =
   | Exit of int64  (** the program called the exit syscall *)
   | Trap of { trap : trap; pc : int }
-  | Fuel_exhausted
+  | Fuel_exhausted  (** the per-run instruction budget ran out *)
+  | Deadline_exceeded
+      (** the wall-clock watchdog of {!run}'s [deadline_s] fired; like
+          [Fuel_exhausted] this is a harness outcome (classified as a
+          hang by the campaigns), not a modelled trap *)
 
 val pp_trap : Format.formatter -> trap -> unit
 val pp_outcome : Format.formatter -> outcome -> unit
@@ -96,8 +100,14 @@ val reserve_data : t -> int64 -> int64 -> unit
 val step : t -> outcome option
 (** Execute one instruction; [None] while the program keeps running. *)
 
-val run : ?fuel:int -> t -> outcome
-(** Run until exit, trap, or [fuel] instructions (default 200 million). *)
+val run : ?fuel:int -> ?deadline_s:float -> t -> outcome
+(** Run until exit, trap, or [fuel] instructions (default 200 million).
+    [deadline_s] arms a wall-clock watchdog: the loop samples the clock
+    every 32k retired instructions and stops with {!Deadline_exceeded}
+    once the budget is spent, so one runaway task can be reaped without
+    killing its worker domain. Fuel is the deterministic watchdog;
+    the deadline is the defence against host-level pathology (a stuck
+    syscall path, severe oversubscription). *)
 
 (** {1 Statistics} *)
 
@@ -113,9 +123,28 @@ type stats = {
   st_l2_hits : int;
   st_l2_misses : int;
   st_heap_allocated : int64;  (** total bytes ever handed out by malloc *)
+  st_allocs : int;  (** malloc syscalls (including injected failures) *)
+  st_frees : int;  (** free syscalls (including injected failures) *)
 }
 
 val stats : t -> stats
+
+(** {1 Fault-injection perturbation points}
+
+    Used by {!Cheri_inject} to perturb a run at a chosen instruction
+    index; no instruction-execution path touches these. *)
+
+val allocated_blocks : t -> (int64 * int64) list
+(** Live heap blocks as [(base, size)], sorted by base — the
+    injection engine's map of where program data actually lives. *)
+
+val inject_alloc_failure : t -> after:int -> unit
+(** Arm allocator-failure injection: the [after]-th next malloc (0 =
+    the very next one) traps with [Out_of_memory]. *)
+
+val inject_free_failure : t -> after:int -> unit
+(** Arm free-failure injection: the [after]-th next free traps with
+    [Invalid_free]. *)
 
 (** {1 Syscall ABI}
 

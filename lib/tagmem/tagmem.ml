@@ -142,6 +142,19 @@ let clear_tag_at t addr =
   let a = check_range t addr 1 in
   set_tag_bit t (granule_index t a) false
 
+(* -- fault-injection hooks ---------------------------------------------- *)
+(* These two deliberately bypass the integrity rule: they model faults
+   below the architecture (tag-line SEUs, tag loss during paging), not
+   stores. Nothing on the execution path calls them. *)
+
+let set_tag_at t addr =
+  let a = check_range t addr 1 in
+  set_tag_bit t (granule_index t a) true
+
+let poke_raw t addr v =
+  let a = check_range t addr 1 in
+  Bytes.set t.data a (Char.chr (v land 0xff))
+
 let count_tags t =
   let n = ref 0 in
   let granules = size t / t.granule in

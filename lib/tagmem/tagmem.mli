@@ -66,6 +66,26 @@ val tag_at : t -> int64 -> bool
 (** The tag of the granule containing this address. *)
 
 val clear_tag_at : t -> int64 -> unit
+
+(** {1 Fault-injection hooks}
+
+    Used only by {!Cheri_inject} to model faults that happen *below*
+    the architecture — a tag line flipping in SRAM, tag bits lost while
+    a page is swapped (the failure mode of "Pitfalls in VM
+    Implementation on CHERI"), a DMA write that bypasses the tag
+    controller. They deliberately skip the §4.2 integrity rule and the
+    telemetry events; no instruction-execution path calls them. *)
+
+val set_tag_at : t -> int64 -> unit
+(** Force the tag of the granule containing this address — forging
+    validity onto whatever bytes are there. *)
+
+val poke_raw : t -> int64 -> int -> unit
+(** Overwrite one data byte {e without} clearing the granule tag: the
+    hardware-fault analogue of {!store_byte}. A capability corrupted
+    this way keeps its tag — exactly the corruption CHERI's tag bit
+    does {e not} defend against (tags are not a checksum). *)
+
 val count_tags : t -> int
 (** Number of set tag bits — used by the garbage collector's root scan
     and by tests. *)

@@ -1,0 +1,39 @@
+(** A minimal JSON reader/escape helper for the resilience layer.
+
+    Campaign checkpoints are append-only JSONL files (one JSON object
+    per line); a killed run leaves at worst one torn final line, and
+    resuming means re-reading every completed line. This module is the
+    reader for that path — a small recursive-descent parser over the
+    subset of JSON the campaigns emit (objects, arrays, strings with
+    escapes, integers, floats, booleans, null). It is deliberately not
+    a general-purpose JSON library: no streaming, no number-precision
+    promises beyond [int]/[float], inputs are trusted checkpoint files
+    we wrote ourselves. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of string  (** the raw lexeme; see {!to_int} / {!to_float} *)
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value (surrounding whitespace allowed).
+    Returns [Error msg] with a character position on malformed input —
+    a torn checkpoint line must never raise. *)
+
+(** {1 Accessors} — all total, returning [option] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an object; [None] otherwise. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+val to_string : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val escape : string -> string
+(** Escape a string for embedding between double quotes in JSON output:
+    backslash, quote, and control characters (\n, \t, ..., \u00XX). *)

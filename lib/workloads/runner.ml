@@ -31,6 +31,9 @@ type phase =
   | Compile  (** the front end or code generator rejected the program *)
   | Execute  (** the softcore stopped with anything but Exit 0 *)
   | Diverged  (** ABIs disagreed on observable output *)
+  | Hung
+      (** the fuel or wall-clock watchdog fired ([Fuel_exhausted] /
+          [Deadline_exceeded]) — a reaped runaway, not a crash *)
 
 type error = {
   abi : Abi.t;  (** the ABI that failed (for Diverged: the disagreeing one) *)
@@ -41,12 +44,16 @@ type error = {
 
 exception Run_failed of string
 
-let phase_name = function Compile -> "compile" | Execute -> "execute" | Diverged -> "diverged"
+let phase_name = function
+  | Compile -> "compile"
+  | Execute -> "execute"
+  | Diverged -> "diverged"
+  | Hung -> "hung"
 
 let error_message e =
   match e.phase with
   | Diverged -> e.detail
-  | Compile | Execute -> Printf.sprintf "%s: %s" (Abi.name e.abi) e.detail
+  | Compile | Execute | Hung -> Printf.sprintf "%s: %s" (Abi.name e.abi) e.detail
 
 let pp_error ppf e =
   Format.fprintf ppf "[%s] %s" (phase_name e.phase) (error_message e)
@@ -58,7 +65,8 @@ let fail e = raise (Run_failed (error_message e))
 let clock_hz = 100_000_000.
 let seconds m = float_of_int m.cycles /. clock_hz
 
-let run_result ?config ?(fuel = 600_000_000) ?sink abi src : (measurement, error) result =
+let run_result ?config ?(fuel = 600_000_000) ?deadline_s ?sink abi src :
+    (measurement, error) result =
   let err ?trap phase detail = Error { abi; phase; trap; detail } in
   match
     try Ok (C.compile_source abi src) with
@@ -74,7 +82,7 @@ let run_result ?config ?(fuel = 600_000_000) ?sink abi src : (measurement, error
   | Ok linked -> (
       let m = C.machine_for ?config abi linked in
       Option.iter (Machine.set_sink m) sink;
-      match Machine.run ~fuel m with
+      match Machine.run ~fuel ?deadline_s m with
       | Machine.Exit 0L ->
           let st = Machine.stats m in
           Ok
@@ -92,15 +100,23 @@ let run_result ?config ?(fuel = 600_000_000) ?sink abi src : (measurement, error
           (* Keep the full diagnosis: a Trap outcome pretty-prints its
              cause (including any Cap_fault detail) and the faulting pc
              via Machine.pp_outcome; add where execution stopped and
-             what the program managed to print. *)
+             what the program managed to print. A reaped runaway (fuel
+             or wall-clock watchdog) is a Hung verdict, not a crash. *)
           let st = Machine.stats m in
-          err ~trap:outcome Execute
+          let phase =
+            match outcome with
+            | Machine.Fuel_exhausted | Machine.Deadline_exceeded -> Hung
+            | _ -> Execute
+          in
+          err ~trap:outcome phase
             (Format.asprintf "%a after %d instructions (%d cycles), output so far: %S"
                Machine.pp_outcome outcome st.Machine.st_instret st.Machine.st_cycles
                (Machine.output m)))
 
-let run ?config ?fuel ?sink abi src : measurement =
-  match run_result ?config ?fuel ?sink abi src with Ok m -> m | Error e -> fail e
+let run ?config ?fuel ?deadline_s ?sink abi src : measurement =
+  match run_result ?config ?fuel ?deadline_s ?sink abi src with
+  | Ok m -> m
+  | Error e -> fail e
 
 (* the differential check behind every figure: do the observable
    outputs agree across ABIs? *)
@@ -134,8 +150,8 @@ let worker_error abi (e : Exec.Pool.error) =
 (* run the same source under all three ABIs — in parallel when [jobs] >
    1; per-run machine/heap/sink state makes the fan-out safe, and the
    pool keys results by submission index so orderings are identical *)
-let run_results_all_abis ?jobs ?fuel ?(v2_source = None) ?(with_telemetry = false) src :
-    (measurement, error) result list =
+let run_results_all_abis ?jobs ?fuel ?deadline_s ?(v2_source = None) ?(with_telemetry = false)
+    src : (measurement, error) result list =
   let task abi =
     let src =
       match (abi, v2_source) with
@@ -143,7 +159,7 @@ let run_results_all_abis ?jobs ?fuel ?(v2_source = None) ?(with_telemetry = fals
       | _ -> src
     in
     let sink = if with_telemetry then Some (Telemetry.Sink.create ()) else None in
-    run_result ?fuel ?sink abi src
+    run_result ?fuel ?deadline_s ?sink abi src
   in
   List.map2
     (fun abi (cell : _ Exec.Pool.cell) ->
@@ -153,11 +169,11 @@ let run_results_all_abis ?jobs ?fuel ?(v2_source = None) ?(with_telemetry = fals
 
 (* run the same source under all three ABIs and insist the observable
    behaviour agrees — raising form *)
-let run_all_abis ?jobs ?fuel ?v2_source ?with_telemetry src : measurement list =
+let run_all_abis ?jobs ?fuel ?deadline_s ?v2_source ?with_telemetry src : measurement list =
   let ms =
     List.map
       (function Ok m -> m | Error e -> fail e)
-      (run_results_all_abis ?jobs ?fuel ?v2_source ?with_telemetry src)
+      (run_results_all_abis ?jobs ?fuel ?deadline_s ?v2_source ?with_telemetry src)
   in
   (match check_agreement ms with Some e -> fail e | None -> ());
   ms

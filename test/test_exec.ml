@@ -64,6 +64,49 @@ let test_pool_fault_isolation () =
             (contains e.Pool.exn (Printf.sprintf "boom %d" i)))
     cells
 
+(* -- retry, backoff, and the progress hook ------------------------------------- *)
+
+let test_pool_retry_transient () =
+  (* task 2 fails twice then succeeds: retries absorb the transient *)
+  let tries = Array.make 5 0 in
+  let f n =
+    tries.(n) <- tries.(n) + 1;
+    if n = 2 && tries.(n) < 3 then failwith "flaky" else n * 10
+  in
+  let cells = Pool.map ~jobs:1 ~retries:2 ~backoff_s:0. f [ 0; 1; 2; 3; 4 ] in
+  List.iteri
+    (fun i (c : _ Pool.cell) ->
+      check_int "retried result correct" (i * 10) (Pool.get c);
+      check_int "attempt count recorded" (if i = 2 then 3 else 1) c.Pool.attempts)
+    cells
+
+let test_pool_retry_exhausted () =
+  let cells = Pool.map ~jobs:1 ~retries:2 ~backoff_s:0. (fun _ -> failwith "hard") [ 0 ] in
+  match cells with
+  | [ c ] -> (
+      check_int "all attempts spent" 3 c.Pool.attempts;
+      match c.Pool.result with
+      | Error e ->
+          check_bool "error names the final attempt" true (contains e.Pool.exn "attempt 3")
+      | Ok _ -> Alcotest.fail "deterministic failure should not succeed")
+  | _ -> Alcotest.fail "expected one cell"
+
+let test_pool_on_result_hook () =
+  (* the hook fires exactly once per task, serialized, whatever the
+     completion order across domains *)
+  let seen = ref [] in
+  let cells =
+    Pool.map ~jobs:4
+      ~on_result:(fun (c : _ Pool.cell) -> seen := c.Pool.index :: !seen)
+      work
+      (List.init 17 (fun i -> i))
+  in
+  check_int "a cell per task" 17 (List.length cells);
+  Alcotest.(check (list int))
+    "hook saw every task exactly once"
+    (List.init 17 (fun i -> i))
+    (List.sort compare !seen)
+
 (* -- shrinker property --------------------------------------------------------- *)
 
 (* An implementation pair with an injected divergence: the real PDP-11
@@ -147,6 +190,9 @@ let suite =
     Alcotest.test_case "pool with more jobs than tasks" `Quick test_pool_more_jobs_than_tasks;
     Alcotest.test_case "pool with empty task list" `Quick test_pool_empty;
     Alcotest.test_case "worker-exception isolation" `Quick test_pool_fault_isolation;
+    Alcotest.test_case "bounded retry absorbs transients" `Quick test_pool_retry_transient;
+    Alcotest.test_case "retry exhaustion keeps the error" `Quick test_pool_retry_exhausted;
+    Alcotest.test_case "on_result hook fires once per task" `Quick test_pool_on_result_hook;
     Alcotest.test_case "generator is deterministic" `Quick test_gen_render_deterministic;
     Alcotest.test_case "shrink candidates strictly smaller" `Quick
       test_shrink_candidates_strictly_smaller;

@@ -1,0 +1,150 @@
+(* The fault-injection engine: deterministic derivation, key round
+   trips, job-count-independent reports, and checkpoint restore. *)
+
+module Rng = Cheri_inject.Rng
+module Inject = Cheri_inject.Inject
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* -- deterministic derivation ------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let seq rng = List.init 16 (fun _ -> Rng.next rng) in
+  let key = [ "w"; "abi"; "kind"; "7" ] in
+  check_bool "same key, same stream" true (seq (Rng.of_key key) = seq (Rng.of_key key));
+  check_bool "different key, different stream" false
+    (seq (Rng.of_key key) = seq (Rng.of_key [ "w"; "abi"; "kind"; "8" ]));
+  (* the separator matters: ["ab";"c"] and ["a";"bc"] are distinct keys *)
+  check_bool "part boundaries are absorbed" false
+    (seq (Rng.of_key [ "ab"; "c" ]) = seq (Rng.of_key [ "a"; "bc" ]))
+
+let test_rng_below_in_range () =
+  let rng = Rng.of_key [ "range" ] in
+  for _ = 1 to 1000 do
+    let n = 1 + (Rng.below rng 50) in
+    let v = Rng.below rng n in
+    if v < 0 || v >= n then Alcotest.failf "below %d produced %d" n v
+  done
+
+(* -- key round trips ----------------------------------------------------------- *)
+
+let test_kind_keys_roundtrip () =
+  List.iter
+    (fun k ->
+      match Inject.kind_of_key (Inject.kind_key k) with
+      | Some k' -> check_string "round trip" (Inject.kind_key k) (Inject.kind_key k')
+      | None -> Alcotest.failf "kind key %s did not parse back" (Inject.kind_key k))
+    Inject.all_kinds;
+  check_bool "unknown key rejected" true (Inject.kind_of_key "rowhammer" = None)
+
+let test_pointer_protecting_partition () =
+  (* the §4.2 guarantee covers stray stores and capability-field
+     corruption; forged tags and plain-data flips are out of scope *)
+  let expected = function
+    | Inject.Tag_clear | Inject.Cap_field -> true
+    | Inject.Bitflip | Inject.Tag_set | Inject.Alloc_fail -> false
+  in
+  List.iter
+    (fun k ->
+      check_bool (Inject.kind_key k) (expected k) (Inject.pointer_protecting k))
+    Inject.all_kinds
+
+let test_verdict_keys () =
+  Alcotest.(check (list string))
+    "verdict keys"
+    [ "detected"; "masked"; "silent"; "hang" ]
+    (List.map Inject.verdict_key
+       [ Inject.Detected "trap"; Inject.Masked; Inject.Silent "why"; Inject.Hung ])
+
+(* -- campaign determinism and restore ------------------------------------------ *)
+
+(* A fast allocating workload so campaign tests stay cheap: faults have
+   pointers and heap data to land on, but each run is a few thousand
+   instructions. *)
+let tiny : Inject.workload =
+  {
+    Inject.w_name = "tiny";
+    w_source =
+      (fun _ ->
+        {|
+int main(void) {
+  long *a = (long *)malloc(8 * 32);
+  long acc = 0;
+  for (long i = 0; i < 32; i++) a[i] = i * 3;
+  for (long r = 0; r < 40; r++)
+    for (long i = 0; i < 32; i++) acc = acc + a[i];
+  print_int(acc & 8191);
+  print_char('\n');
+  free(a);
+  return 0;
+}
+|});
+  }
+
+let small_campaign () =
+  Inject.default_campaign ~workloads:[ tiny ]
+    ~kinds:[ Inject.Tag_clear; Inject.Bitflip ] ~seeds:2 ()
+
+let test_campaign_jobs_invariant () =
+  let c = small_campaign () in
+  let r1 = Inject.run ~jobs:1 c in
+  let r2 = Inject.run ~jobs:2 c in
+  check_int "no errors" 0 (List.length r1.Inject.r_errors);
+  check_int "full cross product" (3 * 2 * 2) (List.length r1.Inject.r_records);
+  check_string "1-domain and 2-domain reports byte-identical"
+    (Inject.report_json r1) (Inject.report_json r2);
+  (* the matrix is consistent with the raw records *)
+  let total =
+    List.fold_left
+      (fun acc ((_, _), (c : Inject.counts)) ->
+        acc + c.Inject.n_detected + c.Inject.n_masked + c.Inject.n_silent + c.Inject.n_hung)
+      0 (Inject.matrix r1)
+  in
+  check_int "matrix cells sum to the record count" (List.length r1.Inject.r_records) total
+
+let test_campaign_full_restore () =
+  let c = small_campaign () in
+  let ck = Filename.temp_file "cheri_inject_test" ".jsonl" in
+  let full = Inject.run ~jobs:1 ~checkpoint:ck c in
+  (* resuming from a complete checkpoint re-runs nothing and reproduces
+     the report byte for byte *)
+  let restored = Inject.run ~jobs:1 ~resume:ck c in
+  check_int "every record restored" (List.length full.Inject.r_records)
+    restored.Inject.r_resumed;
+  check_string "restored report byte-identical"
+    (Inject.report_json full) (Inject.report_json restored);
+  (* a checkpoint from different campaign parameters is refused *)
+  (match Inject.run ~jobs:1 ~resume:ck { c with Inject.c_seeds = 3 } with
+  | exception Inject.Resume_mismatch _ -> ()
+  | _ -> Alcotest.fail "resume accepted a mismatched campaign");
+  Sys.remove ck
+
+let test_silent_count_matches_matrix () =
+  let c = small_campaign () in
+  let r = Inject.run ~jobs:1 c in
+  List.iter
+    (fun abi ->
+      let via_matrix =
+        List.fold_left
+          (fun acc ((a, _), (cnt : Inject.counts)) ->
+            if a = abi then acc + cnt.Inject.n_silent else acc)
+          0 (Inject.matrix r)
+      in
+      check_int (abi ^ " silent totals agree") via_matrix
+        (Inject.silent_count r ~abi Inject.all_kinds))
+    [ "MIPS"; "CHERIv2"; "CHERIv3" ]
+
+let suite =
+  [
+    Alcotest.test_case "rng is key-deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng below stays in range" `Quick test_rng_below_in_range;
+    Alcotest.test_case "kind keys round trip" `Quick test_kind_keys_roundtrip;
+    Alcotest.test_case "pointer-protecting partition" `Quick test_pointer_protecting_partition;
+    Alcotest.test_case "verdict keys" `Quick test_verdict_keys;
+    Alcotest.test_case "report independent of job count" `Slow test_campaign_jobs_invariant;
+    Alcotest.test_case "full checkpoint restore" `Slow test_campaign_full_restore;
+    Alcotest.test_case "silent_count agrees with the matrix" `Slow
+      test_silent_count_matches_matrix;
+  ]

@@ -15,6 +15,7 @@ let run_on model src =
   | I.Exit (code, out) -> (code, out)
   | I.Fault (f, _) -> Alcotest.failf "unexpected fault: %a" Cheri_models.Fault.pp f
   | I.Stuck m -> Alcotest.failf "stuck: %s" m
+  | I.Exhausted _ -> Alcotest.fail "unexpected step-limit hang"
 
 let exit_code model src = fst (run_on model src)
 let check_exit ?(model = R.pdp11) expected src = Alcotest.(check int64) "exit code" expected (exit_code model src)
@@ -296,7 +297,8 @@ let test_differential () =
             match o with
             | I.Exit (c, out) -> (name, c, out)
             | I.Fault (f, _) -> Alcotest.failf "battery %d: %s faulted: %a" i name Cheri_models.Fault.pp f
-            | I.Stuck m -> Alcotest.failf "battery %d: %s stuck: %s" i name m)
+            | I.Stuck m -> Alcotest.failf "battery %d: %s stuck: %s" i name m
+            | I.Exhausted _ -> Alcotest.failf "battery %d: %s hit the step limit" i name)
           runs
       in
       match codes with
@@ -421,6 +423,7 @@ let breaks model src =
   | I.Exit (0L, _) -> false
   | I.Exit _ | I.Fault _ -> true
   | I.Stuck m -> Alcotest.failf "stuck: %s" m
+  | I.Exhausted _ -> Alcotest.fail "unexpected step-limit hang"
 
 let test_xor_list () =
   (* integer-pointer models traverse happily *)

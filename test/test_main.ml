@@ -17,5 +17,6 @@ let () =
       ("gc", Test_gc.suite);
       ("exec", Test_exec.suite);
       ("fuzz", Test_fuzz.suite);
+      ("inject", Test_inject.suite);
       ("properties", Test_props.suite);
     ]

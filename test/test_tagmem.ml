@@ -97,6 +97,82 @@ let test_custom_granule () =
   Mem.store_byte m 40L 1;
   check_bool "coarse granule collateral clearing" false (Mem.tag_at m 0L)
 
+(* -- collateral tag-clear edge cases -------------------------------------- *)
+
+let test_zero_length_write_preserves_tag () =
+  let m = mem () in
+  Mem.store_cap m ~addr:64L (Cap.make ~base:0L ~length:8L ~perms:Perms.all);
+  (* a zero-length store touches no granule, so the §4.2 rule must not fire *)
+  Mem.store_bytes m ~addr:64L Bytes.empty;
+  Mem.store_bytes m ~addr:80L Bytes.empty;
+  Mem.store_bytes m ~addr:95L Bytes.empty;
+  check_bool "zero-length writes leave the tag" true (Mem.tag_at m 64L);
+  check_int "still exactly one tag" 1 (Mem.count_tags m)
+
+let test_bytes_write_straddling_lines () =
+  let m = mem () in
+  let c = Cap.make ~base:0L ~length:8L ~perms:Perms.all in
+  List.iter (fun a -> Mem.store_cap m ~addr:a c) [ 0L; 32L; 64L; 96L ];
+  (* a 40-byte write at 40..79 straddles the 64-byte line boundary:
+     lines 32 and 64 are touched, their neighbours are not *)
+  Mem.store_bytes m ~addr:40L (Bytes.make 40 'x');
+  check_bool "line before the write keeps its tag" true (Mem.tag_at m 0L);
+  check_bool "first straddled line cleared" false (Mem.tag_at m 32L);
+  check_bool "second straddled line cleared" false (Mem.tag_at m 64L);
+  check_bool "line after the write keeps its tag" true (Mem.tag_at m 96L);
+  check_int "two survivors" 2 (Mem.count_tags m)
+
+let test_one_byte_each_side_of_line_boundary () =
+  let m = mem () in
+  let c = Cap.make ~base:0L ~length:8L ~perms:Perms.all in
+  Mem.store_cap m ~addr:0L c;
+  Mem.store_cap m ~addr:32L c;
+  (* the last byte of line 0 clears only line 0 *)
+  Mem.store_byte m 31L 1;
+  check_bool "last byte of the line clears it" false (Mem.tag_at m 0L);
+  check_bool "next line untouched" true (Mem.tag_at m 32L);
+  Mem.store_cap m ~addr:0L c;
+  (* the first byte of line 1 clears only line 1 *)
+  Mem.store_byte m 32L 1;
+  check_bool "first byte of the line clears it" false (Mem.tag_at m 32L);
+  check_bool "previous line untouched" true (Mem.tag_at m 0L)
+
+let test_last_line_of_address_space () =
+  let m = mem () in
+  let last = Int64.of_int (4096 - 32) in
+  Mem.store_cap m ~addr:last (Cap.make ~base:0L ~length:8L ~perms:Perms.all);
+  check_bool "tag on the last line" true (Mem.tag_at m 4095L);
+  (* the very last byte of memory still triggers the integrity rule *)
+  Mem.store_byte m 4095L 0xff;
+  check_bool "write to the final byte clears it" false (Mem.tag_at m last);
+  Mem.store_cap m ~addr:last (Cap.make ~base:0L ~length:8L ~perms:Perms.all);
+  (* a store that would run off the end faults before mutating anything *)
+  Alcotest.check_raises "store past the end is rejected" (Mem.Bus_error 4092L) (fun () ->
+      Mem.store_int m ~addr:4092L ~size:8 0L);
+  check_bool "rejected store cleared no tag" true (Mem.tag_at m last);
+  check_i64 "rejected store wrote no bytes" 0L (Mem.load_int m ~addr:4092L ~size:4)
+
+(* -- fault-injection hooks (below-architecture mutations) ------------------- *)
+
+let test_poke_raw_preserves_tag () =
+  let m = mem () in
+  let c = Cap.make ~base:0x40L ~length:0x20L ~perms:Perms.all in
+  Mem.store_cap m ~addr:64L c;
+  Mem.poke_raw m 72L 0xff;
+  check_bool "poke_raw bypasses the integrity rule" true (Mem.tag_at m 64L);
+  let c' = Mem.load_cap m ~addr:64L in
+  check_bool "corrupted capability still tagged" true c'.Cap.tag;
+  check_bool "but its bits changed" false (Cap.equal c c')
+
+let test_set_tag_at_forges () =
+  let m = mem () in
+  Mem.store_int m ~addr:64L ~size:8 0xdeadbeefL;
+  check_bool "plain data is untagged" false (Mem.tag_at m 64L);
+  Mem.set_tag_at m 70L;
+  check_bool "forged tag on the containing line" true (Mem.tag_at m 64L);
+  let c = Mem.load_cap m ~addr:64L in
+  check_bool "forged bytes now load as a tagged capability" true c.Cap.tag
+
 let prop_data_roundtrip =
   QCheck.Test.make ~name:"store_int/load_int roundtrip (any size/addr)" ~count:500
     QCheck.(triple (int_bound 4000) (int_range 0 3) int64)
@@ -132,6 +208,14 @@ let suite =
     Alcotest.test_case "misaligned capability access" `Quick test_misaligned_cap;
     Alcotest.test_case "iter_tagged" `Quick test_iter_tagged;
     Alcotest.test_case "custom granule" `Quick test_custom_granule;
+    Alcotest.test_case "zero-length write preserves tag" `Quick
+      test_zero_length_write_preserves_tag;
+    Alcotest.test_case "bytes write straddling lines" `Quick test_bytes_write_straddling_lines;
+    Alcotest.test_case "byte each side of line boundary" `Quick
+      test_one_byte_each_side_of_line_boundary;
+    Alcotest.test_case "last line of address space" `Quick test_last_line_of_address_space;
+    Alcotest.test_case "poke_raw preserves tag" `Quick test_poke_raw_preserves_tag;
+    Alcotest.test_case "set_tag_at forges a tag" `Quick test_set_tag_at_forges;
     QCheck_alcotest.to_alcotest prop_data_roundtrip;
     QCheck_alcotest.to_alcotest prop_any_data_write_kills_overlapping_tag;
   ]
