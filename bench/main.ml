@@ -11,6 +11,16 @@
      bench/main.exe micro        Bechamel microbenchmarks only
      bench/main.exe json [FILE]  machine-readable per-workload results
                                  (default FILE: [bench_output_file] below)
+     bench/main.exe perf [--quick] [FILE]
+                                 softcore throughput sweep: retired
+                                 insn/sec, wall time, and GC minor
+                                 words per instruction for every
+                                 (workload x ABI); --quick runs one
+                                 repeat at test scales (rides along
+                                 with dune runtest). Default FILE:
+                                 [perf_output_file]. Measure with
+                                 --profile release (the dev profile
+                                 disables cross-module inlining).
      bench/main.exe inject [FILE]  full fault-injection campaign: the
                                  per-ABI detection matrix over every
                                  builtin workload and fault kind
@@ -344,6 +354,179 @@ let bench_json path =
   Format.fprintf ppf "sweep wall %.2fs, serial %.2fs, speedup %.2fx@." wall_s serial_s speedup;
   Format.fprintf ppf "wrote %s (%d measurements)@." path (List.length rows)
 
+(* -- hot-path throughput benchmark (perf subcommand) --------------------------- *)
+
+(* This PR's artifact: softcore throughput and allocation rate after the
+   zero-allocation step-loop work. *)
+let perf_output_file = "BENCH_PR4.json"
+
+(* Pre-PR baseline, measured at this PR's seed commit on the same
+   machine (dev profile): Dhrystone CHERIv3 at default scale on the
+   softcore. The report carries both numbers so the speedup is
+   self-describing. *)
+let baseline_insn_per_s = 11_984_625.
+let baseline_minor_words_per_insn = 41.59
+
+type perf_cell = {
+  p_workload : string;
+  p_abi : Abi.t;
+  p_cycles : int;
+  p_instret : int;
+  p_insn_per_s : float;
+  p_words_per_insn : float;
+  p_digest : string;  (* MD5 of program output, for the agreement gate *)
+}
+
+(* One (workload x ABI) cell: compile once, run [runs] times on fresh
+   machines, keep the best wall-clock. Cycle counts and output are
+   asserted identical across repeats — the simulator is deterministic,
+   so any variation is a harness bug. *)
+let perf_cell ~runs name abi src =
+  let linked = Cheri_compiler.Codegen.compile_source abi src in
+  let fresh () = Cheri_compiler.Codegen.machine_for abi linked in
+  ignore (Machine.run (fresh ()));
+  (* warm-up *)
+  let best_dt = ref infinity and words = ref 0. in
+  let cycles = ref 0 and instret = ref 0 and digest = ref "" in
+  for i = 1 to runs do
+    let m = fresh () in
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    (match Machine.run m with
+    | Machine.Exit 0L -> ()
+    | o ->
+        raise
+          (W.Runner.Run_failed
+             (Format.asprintf "perf %s/%s: %a" name (Abi.name abi) Machine.pp_outcome o)));
+    let dt = Unix.gettimeofday () -. t0 in
+    let dw = Gc.minor_words () -. w0 in
+    let st = Machine.stats m in
+    let d = Digest.to_hex (Digest.string (Machine.output m)) in
+    if i > 1 && (st.Machine.st_cycles <> !cycles || d <> !digest) then
+      raise (W.Runner.Run_failed (Printf.sprintf "perf %s/%s: nondeterministic run" name (Abi.name abi)));
+    cycles := st.Machine.st_cycles;
+    instret := st.Machine.st_instret;
+    digest := d;
+    if dt < !best_dt then begin
+      best_dt := dt;
+      words := dw /. float_of_int st.Machine.st_instret
+    end
+  done;
+  {
+    p_workload = name;
+    p_abi = abi;
+    p_cycles = !cycles;
+    p_instret = !instret;
+    p_insn_per_s = float_of_int !instret /. !best_dt;
+    p_words_per_insn = !words;
+    p_digest = !digest;
+  }
+
+let perf_workloads ~quick =
+  if not quick then json_workloads ()
+  else
+    (* test scales: the runtest smoke must finish in seconds *)
+    List.map
+      (fun (k : W.Olden.kernel) ->
+        ("Olden/" ^ k.W.Olden.kname, k.W.Olden.source { W.Olden.scale = 1 }, None))
+      W.Olden.kernels
+    @ [
+        ("Dhrystone", W.Dhrystone.source { W.Dhrystone.iterations = 500 }, None);
+        ( "tcpdump",
+          W.Tcpdump_sim.source { W.Tcpdump_sim.packets = 200; passes = 1 },
+          Some (W.Tcpdump_sim.source_v2 { W.Tcpdump_sim.packets = 200; passes = 1 }) );
+        ("zlib", W.Zlib_like.source { W.Zlib_like.input_size = 4096; boundary_copy = false }, None);
+      ]
+
+let perf_cell_json c =
+  Printf.sprintf
+    "    {\"workload\":\"%s\",\"abi\":\"%s\",\"cycles\":%d,\"instret\":%d,\"insn_per_s\":%.0f,\"minor_words_per_insn\":%.3f,\"output_md5\":\"%s\"}"
+    (Telemetry.json_escape c.p_workload)
+    (Telemetry.json_escape (Abi.name c.p_abi))
+    c.p_cycles c.p_instret c.p_insn_per_s c.p_words_per_insn c.p_digest
+
+let bench_perf ~quick path =
+  section
+    (if quick then "Softcore throughput (perf --quick, test scales)"
+     else "Softcore throughput (perf, default scales)");
+  if Build_profile.profile <> "release" then
+    Format.fprintf ppf
+      "WARNING: built with the %s profile, which passes -opaque and disables@.\
+      \ cross-module inlining — throughput and allocation figures are pessimistic.@.\
+      \ Re-run with `dune exec --profile release bench/main.exe -- perf` for the@.\
+      \ numbers a release build gets.@."
+      Build_profile.profile;
+  let runs = if quick then 1 else 3 in
+  let cells =
+    List.concat_map
+      (fun (name, src, v2_source) ->
+        List.map
+          (fun abi ->
+            let src =
+              match (abi, v2_source) with
+              | Abi.Cheri Cheri_core.Cap_ops.V2, Some s -> s
+              | _ -> src
+            in
+            perf_cell ~runs name abi src)
+          Abi.all)
+      (perf_workloads ~quick)
+  in
+  (* agreement gate: the ABIs of one workload must produce identical
+     output — a throughput optimisation that changes observable
+     behaviour is a miscompilation, not a speedup *)
+  let rec gate = function
+    | a :: b :: c :: rest ->
+        if not (a.p_digest = b.p_digest && b.p_digest = c.p_digest) then
+          raise
+            (W.Runner.Run_failed
+               (Printf.sprintf "perf %s: ABI outputs diverge" a.p_workload));
+        gate rest
+    | [] -> ()
+    | _ -> assert false
+  in
+  gate cells;
+  Format.fprintf ppf "%-18s%-10s%12s%12s%14s%12s@." "WORKLOAD" "ABI" "cycles" "instret"
+    "insn/s" "words/insn";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-18s%-10s%12d%12d%14.0f%12.2f@." c.p_workload (Abi.name c.p_abi)
+        c.p_cycles c.p_instret c.p_insn_per_s c.p_words_per_insn)
+    cells;
+  let dhry_v3 =
+    List.find
+      (fun c -> c.p_workload = "Dhrystone" && c.p_abi = Abi.Cheri Cheri_core.Cap_ops.V3)
+      cells
+  in
+  let speedup = dhry_v3.p_insn_per_s /. baseline_insn_per_s in
+  Format.fprintf ppf
+    "Dhrystone CHERIv3: %.0f insn/s, %.2f minor words/insn (pre-PR baseline %.0f insn/s, %.2f words/insn; %.2fx)@."
+    dhry_v3.p_insn_per_s dhry_v3.p_words_per_insn baseline_insn_per_s
+    baseline_minor_words_per_insn speedup;
+  if quick then
+    Format.fprintf ppf "(quick mode: 1 run per cell at test scales — smoke only,@.\
+                       \ speedup vs the default-scale baseline is indicative)@.";
+  let body =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"cheri_c.bench-perf/v1\",\n\
+      \  \"clock_hz\": 100000000,\n\
+      \  \"profile\": \"%s\",\n\
+      \  \"quick\": %b,\n\
+      \  \"runs_per_cell\": %d,\n\
+      \  \"baseline\": {\"workload\":\"Dhrystone\",\"abi\":\"CHERIv3\",\"insn_per_s\":%.0f,\"minor_words_per_insn\":%.2f},\n\
+      \  \"dhrystone_v3\": {\"insn_per_s\":%.0f,\"minor_words_per_insn\":%.3f,\"speedup_vs_baseline\":%.2f},\n\
+      \  \"results\": [\n%s\n  ]\n\
+       }\n"
+      (Telemetry.json_escape Build_profile.profile)
+      quick runs baseline_insn_per_s baseline_minor_words_per_insn dhry_v3.p_insn_per_s
+      dhry_v3.p_words_per_insn speedup
+      (String.concat ",\n" (List.map perf_cell_json cells))
+  in
+  let oc = open_out path in
+  output_string oc body;
+  close_out oc;
+  Format.fprintf ppf "wrote %s (%d measurements)@." path (List.length cells)
+
 (* -- fault-injection detection matrix (inject subcommand) --------------------- *)
 
 (* The full campaign behind BENCH_PR3.json: every builtin workload x
@@ -555,6 +738,15 @@ let () =
      | "smoke" -> smoke ()
      | "json" ->
          bench_json (match positional with _ :: f :: _ -> f | _ -> bench_output_file)
+     | "perf" ->
+         let rest = List.tl positional in
+         let quick = List.mem "--quick" rest in
+         let path =
+           match List.filter (fun s -> s <> "--quick") rest with
+           | f :: _ -> f
+           | [] -> perf_output_file
+         in
+         bench_perf ~quick path
      | "inject" ->
          bench_inject (match positional with _ :: f :: _ -> f | _ -> inject_output_file)
      | other ->

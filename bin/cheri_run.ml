@@ -106,13 +106,25 @@ let execute_on_softcore opts abi src =
     end
     else Telemetry.Sink.null
   in
+  let words_before = Gc.minor_words () in
+  let wall_before = Unix.gettimeofday () in
   let outcome = Machine.run ?fuel:opts.fuel m in
+  let wall_s = Unix.gettimeofday () -. wall_before in
+  let minor_words = Gc.minor_words () -. words_before in
   print_string (Machine.output m);
   let st = Machine.stats m in
   Format.printf "[%s] %a  (%d cycles, %d instructions)@."
     (Cheri_compiler.Abi.name abi)
     Machine.pp_outcome outcome st.Machine.st_cycles st.Machine.st_instret;
-  if opts.profile then Format.printf "%a" Telemetry.pp_summary sink;
+  if opts.profile then begin
+    (* host-side cost of this run: simulator throughput and GC pressure
+       per retired instruction (includes telemetry overhead, since
+       --profile runs with a live sink) *)
+    let insns = float_of_int (max 1 st.Machine.st_instret) in
+    Format.printf "host: %.3f s wall, %.0f insn/s, %.2f minor words/insn@." wall_s
+      (insns /. wall_s) (minor_words /. insns);
+    Format.printf "%a" Telemetry.pp_summary sink
+  end;
   (match opts.trace with
   | None -> ()
   | Some dest ->

@@ -51,6 +51,28 @@ let c_set_offset rev (c : Capability.t) offset =
       | Error _ as e -> e
       | Ok () -> Ok (Capability.with_offset_unchecked c offset))
 
+(* Exception-flavoured variants of the hottest v3 modify operations.
+   The [Ok cap] wrapper on the Result forms costs two words per retired
+   instruction on the softcore's dominant opcode class (cap_modify is
+   ~13% of the Dhrystone mix); raising on the rare fault path instead
+   keeps the common path allocation-free. Only the V3 semantics are
+   provided — the V2 paths fault far more often and stay on Result. *)
+exception Cap_error of Cap_fault.t
+
+let c_inc_offset_exn (c : Capability.t) delta =
+  if c.sealed && c.tag then
+    raise (Cap_error (Cap_fault.Seal_violation "CIncOffset on a sealed capability"));
+  Capability.with_offset_unchecked c (Int64.add c.offset delta)
+
+let c_set_offset_exn (c : Capability.t) offset =
+  if c.sealed && c.tag then
+    raise (Cap_error (Cap_fault.Seal_violation "CSetOffset on a sealed capability"));
+  Capability.with_offset_unchecked c offset
+
+let c_from_ptr_exn ~ddc value =
+  if not ddc.Capability.tag then raise (Cap_error Cap_fault.Tag_violation);
+  if value = 0L then Capability.null else Capability.with_offset_unchecked ddc value
+
 let c_ptr_cmp (a : Capability.t) (b : Capability.t) =
   match (a.tag, b.tag) with
   | false, true -> -1

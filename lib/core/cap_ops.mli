@@ -48,6 +48,21 @@ val c_inc_offset : revision -> Capability.t -> int64 -> (Capability.t, Cap_fault
 
 val c_set_offset : revision -> Capability.t -> int64 -> (Capability.t, Cap_fault.t) result
 
+exception Cap_error of Cap_fault.t
+(** Raised by the [_exn] operation variants below in place of [Error]. *)
+
+val c_inc_offset_exn : Capability.t -> int64 -> Capability.t
+(** {!c_inc_offset} with V3 semantics, raising {!Cap_error} on the
+    (rare) sealed-capability fault instead of allocating an [Ok]
+    wrapper per call. The softcore's hot path uses these; semantics
+    are identical to the Result forms. *)
+
+val c_set_offset_exn : Capability.t -> int64 -> Capability.t
+(** {!c_set_offset} with V3 semantics; see {!c_inc_offset_exn}. *)
+
+val c_from_ptr_exn : ddc:Capability.t -> int64 -> Capability.t
+(** {!c_from_ptr}, raising {!Cap_error}; see {!c_inc_offset_exn}. *)
+
 val c_ptr_cmp : Capability.t -> Capability.t -> int
 (** [CPtrCmp]: compare two capabilities as pointers, i.e. by
     [base + offset], unsigned. All tagged capabilities order after all

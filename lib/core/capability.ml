@@ -1,5 +1,3 @@
-open Cheri_util
-
 type t = {
   tag : bool;
   base : int64;
@@ -9,6 +7,15 @@ type t = {
   sealed : bool;
   otype : int64;
 }
+
+(* Local copies of the Bits unsigned comparisons: the dev profile
+   compiles with -opaque, which defeats cross-module inlining, and
+   these run on the per-instruction bounds-check path where a boxed
+   Int64 argument per call is measurable. Same-module [@inline]
+   definitions unbox fully under both profiles. *)
+let[@inline] ult a b = Int64.add a Int64.min_int < Int64.add b Int64.min_int
+let[@inline] ule a b = not (ult b a)
+let[@inline] uge a b = not (ult a b)
 
 let null =
   {
@@ -23,7 +30,7 @@ let null =
 
 let make ~base ~length ~perms =
   let top = Int64.add base length in
-  if Bits.ult top base then invalid_arg "Capability.make: base + length overflows";
+  if ult top base then invalid_arg "Capability.make: base + length overflows";
   { tag = true; base; length; offset = 0L; perms; sealed = false; otype = 0L }
 
 let make_untagged ~base ~length ~offset ~perms =
@@ -33,13 +40,13 @@ let with_bounds_unchecked t ~base ~length ~offset = { t with base; length; offse
 let clear_tag t = { t with tag = false }
 let seal_unchecked t ~otype = { t with sealed = true; otype }
 let unseal_unchecked t = { t with sealed = false; otype = 0L }
-let address t = Int64.add t.base t.offset
-let top t = Int64.add t.base t.length
+let[@inline] address t = Int64.add t.base t.offset
+let[@inline] top t = Int64.add t.base t.length
 let is_null t = (not t.tag) && t.base = 0L && t.length = 0L && t.offset = 0L
 
-let in_bounds t ~addr ~size =
+let[@inline] in_bounds t ~addr ~size =
   let last = Int64.add addr (Int64.of_int size) in
-  Bits.uge addr t.base && Bits.ule last (top t) && Bits.uge last addr
+  uge addr t.base && ule last (top t) && uge last addr
 
 let check_access t ~addr ~size ~perm =
   if not t.tag then Error Cap_fault.Tag_violation
@@ -54,8 +61,8 @@ let restrict_perms t perms = { t with perms = Perms.inter t.perms perms }
 let subset_of c parent =
   (not c.tag)
   || (parent.tag
-     && Bits.uge c.base parent.base
-     && Bits.ule (top c) (top parent)
+     && uge c.base parent.base
+     && ule (top c) (top parent)
      && Perms.subset c.perms parent.perms)
 
 let equal a b =
@@ -68,24 +75,34 @@ let equal a b =
    word 1: length
    word 2: offset
    word 3: perms in bits 0-7, sealed in bit 8, otype in bits 16-47 *)
-let to_words t =
+let meta_word t =
   let meta = Perms.to_bits t.perms in
   let meta = if t.sealed then Int64.logor meta 0x100L else meta in
-  let meta = Int64.logor meta (Int64.shift_left (Int64.logand t.otype 0xffffffffL) 16) in
-  [| t.base; t.length; t.offset; meta |]
+  Int64.logor meta (Int64.shift_left (Int64.logand t.otype 0xffffffffL) 16)
+
+(* [meta] travels as a native int: every decoded bit (perms 0-7, sealed
+   8, otype 16-47) sits below bit 62, so the narrowing loses nothing,
+   and an int argument keeps the per-CLC decode allocation-free. *)
+let of_raw_words ~tag ~base ~length ~offset ~meta =
+  let otype = (meta lsr 16) land 0xffffffff in
+  {
+    tag;
+    base;
+    length;
+    offset;
+    perms = Perms.of_bits_int meta;
+    sealed = meta land 0x100 <> 0;
+    (* share the static zero: almost every capability in memory is
+       unsealed, and this field would otherwise box a fresh 0L per CLC *)
+    otype = (if otype = 0 then 0L else Int64.of_int otype);
+  }
+
+let to_words t = [| t.base; t.length; t.offset; meta_word t |]
 
 let of_words ~tag words =
   if Array.length words <> 4 then invalid_arg "Capability.of_words: expected 4 words";
-  let meta = words.(3) in
-  {
-    tag;
-    base = words.(0);
-    length = words.(1);
-    offset = words.(2);
-    perms = Perms.of_bits meta;
-    sealed = Int64.logand meta 0x100L <> 0L;
-    otype = Int64.logand (Int64.shift_right_logical meta 16) 0xffffffffL;
-  }
+  of_raw_words ~tag ~base:words.(0) ~length:words.(1) ~offset:words.(2)
+    ~meta:(Int64.to_int words.(3))
 
 let byte_width = 32
 

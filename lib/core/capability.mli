@@ -80,6 +80,18 @@ val subset_of : t -> t -> bool
 
 val equal : t -> t -> bool
 
+val meta_word : t -> int64
+(** Word 3 of the spill encoding: perms in bits 0-7, the sealed flag in
+    bit 8, the object type in bits 16-47. *)
+
+val of_raw_words :
+  tag:bool -> base:int64 -> length:int64 -> offset:int64 -> meta:int -> t
+(** Rebuild a capability from the four spill words passed individually —
+    the allocation-lean path {!Cheri_tagmem} uses so a capability load
+    moves four words without an intermediate array. [meta] is a native
+    int because every encoded bit (perms, sealed, otype) sits in bits
+    0-47; an unboxed argument keeps the fill path allocation-free. *)
+
 val to_words : t -> int64 array
 (** 256-bit spill encoding as four words: base, length, offset+perms
     packed per {!of_words}. The tag travels out of band. *)

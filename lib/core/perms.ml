@@ -36,6 +36,7 @@ let write_only = remove Load (remove Load_cap all)
 let data_rw = of_list Load [ Store; Global ]
 let to_bits t = Int64.of_int t
 let of_bits b = Int64.to_int (Int64.logand b 0xffL)
+let[@inline] of_bits_int b = b land 0xff
 
 let name = function
   | Load -> "load"

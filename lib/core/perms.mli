@@ -51,4 +51,9 @@ val to_bits : t -> int64
 (** Dense bit encoding used when a capability is spilled to memory. *)
 
 val of_bits : int64 -> t
+
+val of_bits_int : int -> t
+(** {!of_bits} for a meta word already held as a native int — the
+    allocation-free decode used by the capability fill path. *)
+
 val pp : Format.formatter -> t -> unit

@@ -58,6 +58,14 @@ module Make (M : Cheri_models.Model.S) = struct
   let sizeof st ty = L.size_of st.prog M.target ty
   let elem_size st ty = L.elem_size st.prog M.target ty
 
+  (* Interned boolean results: comparisons and logical operators are a
+     large share of evaluated expressions, and [VInt (if ... then 1L
+     else 0L)] would otherwise allocate a fresh wrapper (plus Int64 box)
+     per evaluation. *)
+  let vint_zero = VInt 0L
+  let vint_one = VInt 1L
+  let[@inline] vbool b = if b then vint_one else vint_zero
+
   let truncate_for ty v =
     match ty with
     | Tint { bits; signed } ->
@@ -156,11 +164,11 @@ module Make (M : Cheri_models.Model.S) = struct
         match op with
         | Neg -> VDirty (truncate_for e.T.ty (Int64.neg v))
         | Bnot -> VDirty (truncate_for e.T.ty (Int64.lognot v))
-        | Lnot -> VInt (if v = 0L then 1L else 0L))
+        | Lnot -> vbool (v = 0L))
     | T.Binop (Land, a, b) ->
-        if as_int (eval st env a) <> 0L && as_int (eval st env b) <> 0L then VInt 1L else VInt 0L
+        vbool (as_int (eval st env a) <> 0L && as_int (eval st env b) <> 0L)
     | T.Binop (Lor, a, b) ->
-        if as_int (eval st env a) <> 0L || as_int (eval st env b) <> 0L then VInt 1L else VInt 0L
+        vbool (as_int (eval st env a) <> 0L || as_int (eval st env b) <> 0L)
     | T.Binop (op, a, b) ->
         let x = as_int (eval st env a) in
         let y = as_int (eval st env b) in
@@ -189,7 +197,7 @@ module Make (M : Cheri_models.Model.S) = struct
           | Ge -> c >= 0
           | _ -> raise (Runtime "bad pointer comparison operator")
         in
-        VInt (if holds then 1L else 0L)
+        vbool holds
     | T.Intcap_arith (op, a, b) ->
         let pa =
           match eval st env a with

@@ -1,13 +1,29 @@
+(* Lines are keyed by their integer line number (addr lsr line_shift).
+   Addresses up to 2^62 are representable this way in a native int; the
+   int64 entry points mask the sign bit first, which matches the old
+   behaviour of folding the address into a non-negative line number
+   before set selection. Keeping the keys unboxed matters: the softcore
+   probes the I-cache once per retired instruction and the D-hierarchy
+   on every memory operation, so a boxed key or a closure-allocating
+   probe loop shows up directly in minor-heap churn. *)
+
 type t = {
   cname : string;
-  sets : int64 array array;  (* sets.(set).(way) = line tag, -1L = invalid *)
+  sets : int array array;  (* sets.(set).(way) = line number, -1 = invalid *)
   lru : int array array;  (* higher = more recently used *)
   line_bytes : int;
+  line_shift : int;
+  set_mask : int;  (* set_count - 1; set count is a power of two *)
   set_count : int;
   ways : int;
   mutable hits : int;
   mutable misses : int;
   mutable clock : int;
+  (* Sequential-fetch memo: the line returned by the last {!access_fetch}.
+     Fetch streams run straight-line within a 32-byte line most of the
+     time; while the fetch stays in this line the LRU machinery is
+     skipped entirely. Only {!access_fetch} reads or writes it. *)
+  mutable fetch_line : int;
 }
 
 let log2 n =
@@ -21,39 +37,71 @@ let create ~name ~size_bytes ~ways ~line_bytes =
   if set_count land (set_count - 1) <> 0 then invalid_arg "Cache.create: set count must be a power of two";
   {
     cname = name;
-    sets = Array.make_matrix set_count ways (-1L);
+    sets = Array.make_matrix set_count ways (-1);
     lru = Array.make_matrix set_count ways 0;
     line_bytes;
+    line_shift = log2 line_bytes;
+    set_mask = set_count - 1;
     set_count;
     ways;
     hits = 0;
     misses = 0;
     clock = 0;
+    fetch_line = -1;
   }
 
 let name t = t.cname
 
-let access t addr =
+(* Closure-free probe: the way holding [line], or -1. *)
+let rec probe (ways_row : int array) line nways i =
+  if i >= nways then -1 else if Array.unsafe_get ways_row i = line then i else probe ways_row line nways (i + 1)
+
+let access_line t line =
   t.clock <- t.clock + 1;
-  let line = Int64.shift_right_logical addr (log2 t.line_bytes) in
-  let set = Int64.to_int (Int64.rem (Int64.logand line Int64.max_int) (Int64.of_int t.set_count)) in
-  let ways = t.sets.(set) in
-  let rec find i = if i >= t.ways then None else if ways.(i) = line then Some i else find (i + 1) in
-  match find 0 with
-  | Some way ->
-      t.hits <- t.hits + 1;
-      t.lru.(set).(way) <- t.clock;
-      true
-  | None ->
-      t.misses <- t.misses + 1;
-      (* evict the least recently used way *)
-      let victim = ref 0 in
-      for w = 1 to t.ways - 1 do
-        if t.lru.(set).(w) < t.lru.(set).(!victim) then victim := w
-      done;
-      ways.(!victim) <- line;
-      t.lru.(set).(!victim) <- t.clock;
-      false
+  let set = line land t.set_mask in
+  let ways_row = t.sets.(set) in
+  let way = probe ways_row line t.ways 0 in
+  if way >= 0 then begin
+    t.hits <- t.hits + 1;
+    t.lru.(set).(way) <- t.clock;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* evict the least recently used way *)
+    let lru_row = t.lru.(set) in
+    let victim = ref 0 in
+    for w = 1 to t.ways - 1 do
+      if lru_row.(w) < lru_row.(!victim) then victim := w
+    done;
+    ways_row.(!victim) <- line;
+    lru_row.(!victim) <- t.clock;
+    false
+  end
+
+let[@inline] access_int t addr = access_line t (addr lsr t.line_shift)
+
+let access t addr =
+  (* mask the sign bit so the int64->int truncation keeps the old
+     non-negative line numbering *)
+  access_int t (Int64.to_int (Int64.logand addr Int64.max_int))
+
+(* The I-stream fast path. Timing-equivalent to {!access_int}: a memo
+   hit means the line was the immediately preceding fetch, hence
+   resident and most-recently-used in its set, so a full probe would
+   also hit. Skipping the redundant LRU bump preserves every eviction
+   decision — lines in a set stay ordered by the time the fetch stream
+   last *entered* them, and entry order equals last-touch order because
+   fetch runs within a line are contiguous. Repeat touches are not
+   re-counted in [hits] (the hit/miss counters of the I-cache are not
+   part of the architectural statistics). *)
+let[@inline] access_fetch t addr =
+  let line = addr lsr t.line_shift in
+  if line = t.fetch_line then true
+  else begin
+    t.fetch_line <- line;
+    access_line t line
+  end
 
 let hits t = t.hits
 let misses t = t.misses
@@ -63,8 +111,9 @@ let reset_stats t =
   t.misses <- 0
 
 let flush t =
-  Array.iter (fun ways -> Array.fill ways 0 (Array.length ways) (-1L)) t.sets;
-  Array.iter (fun l -> Array.fill l 0 (Array.length l) 0) t.lru
+  Array.iter (fun ways -> Array.fill ways 0 (Array.length ways) (-1)) t.sets;
+  Array.iter (fun l -> Array.fill l 0 (Array.length l) 0) t.lru;
+  t.fetch_line <- -1
 
 module Timing = struct
   type config = {
@@ -103,17 +152,20 @@ module Timing = struct
   let l1 h = h.l1
   let l2 h = h.l2
 
-  let line_cycles h addr =
-    if access h.l1 addr then h.cfg.l1_hit_cycles
-    else if access h.l2 addr then h.cfg.l1_hit_cycles + h.cfg.l2_hit_cycles
+  let line_cycles_int h addr =
+    if access_int h.l1 addr then h.cfg.l1_hit_cycles
+    else if access_int h.l2 addr then h.cfg.l1_hit_cycles + h.cfg.l2_hit_cycles
     else h.cfg.l1_hit_cycles + h.cfg.l2_hit_cycles + h.cfg.memory_cycles
 
-  let access_cycles h addr ~size =
-    let first = line_cycles h addr in
-    let last_byte = Int64.add addr (Int64.of_int (max 0 (size - 1))) in
-    let line_of a = Int64.div a (Int64.of_int h.cfg.line_bytes) in
-    if size > 0 && line_of last_byte <> line_of addr then first + line_cycles h last_byte
+  let access_cycles_int h addr ~size =
+    let first = line_cycles_int h addr in
+    let last_byte = addr + max 0 (size - 1) in
+    if size > 0 && last_byte lsr h.l1.line_shift <> addr lsr h.l1.line_shift then
+      first + line_cycles_int h last_byte
     else first
+
+  let access_cycles h addr ~size =
+    access_cycles_int h (Int64.to_int (Int64.logand addr Int64.max_int)) ~size
 
   let reset_stats h =
     reset_stats h.l1;

@@ -16,6 +16,20 @@ val access : t -> int64 -> bool
 (** [access t addr] touches the line containing [addr]; returns [true]
     on hit and inserts the line on miss. *)
 
+val access_int : t -> int -> bool
+(** [access] with a native-int address — the allocation-free entry the
+    softcore uses (addresses are bounds-checked below 2^62 before they
+    reach the cache). *)
+
+val access_fetch : t -> int -> bool
+(** Sequential-fetch fast path: like {!access_int}, but memoizes the
+    line of the previous fetch so straight-line code skips the probe
+    and LRU update entirely. Timing-equivalent to {!access_int} for a
+    fetch stream (a memo hit is always a real hit, and eviction order
+    is unchanged); repeat touches within a line are not re-counted in
+    {!hits}. Use only for an instruction stream — interleaving it with
+    {!access} calls on the same cache is safe but forfeits the memo. *)
+
 val hits : t -> int
 val misses : t -> int
 val reset_stats : t -> unit
@@ -46,6 +60,10 @@ module Timing : sig
   val access_cycles : hierarchy -> int64 -> size:int -> int
   (** Cost in cycles of an access of [size] bytes at [addr]; accesses
       that straddle a line boundary touch both lines. *)
+
+  val access_cycles_int : hierarchy -> int -> size:int -> int
+  (** {!access_cycles} with a native-int address — the allocation-free
+      entry used by the softcore's data path. *)
 
   val l1 : hierarchy -> t
   val l2 : hierarchy -> t

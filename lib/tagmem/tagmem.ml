@@ -1,4 +1,3 @@
-open Cheri_util
 module Telemetry = Cheri_telemetry.Telemetry
 
 type t = {
@@ -6,8 +5,13 @@ type t = {
   tags : Bytes.t;  (* one bit per granule, packed *)
   granule : int;
   granule_shift : int;
+  size64 : int64;  (* Bytes.length data, precomputed for check_range *)
   mutable sink : Telemetry.Sink.t;
 }
+
+(* Same-module copy of Bits.uge: -opaque in the dev profile defeats
+   cross-module inlining, and check_range runs once per memory access. *)
+let[@inline] uge a b = not (Int64.add a Int64.min_int < Int64.add b Int64.min_int)
 
 exception Bus_error of int64
 
@@ -26,6 +30,7 @@ let create ?(granule = 32) ~size_bytes () =
     tags = Bytes.make ((granules + 7) / 8) '\000';
     granule;
     granule_shift = log2 granule;
+    size64 = Int64.of_int size_bytes;
     sink = Telemetry.Sink.null;
   }
 
@@ -34,15 +39,14 @@ let granule t = t.granule
 let set_sink t sink = t.sink <- sink
 let sink t = t.sink
 
-let check_range t addr len =
+let[@inline] check_range t addr len =
   let a = Int64.to_int addr in
-  if Bits.uge addr (Int64.of_int (size t)) || a < 0 || a + len > size t || len < 0 then
-    raise (Bus_error addr);
+  if uge addr t.size64 || a < 0 || a + len > size t || len < 0 then raise (Bus_error addr);
   a
 
-let granule_index t a = a lsr t.granule_shift
+let[@inline] granule_index t a = a lsr t.granule_shift
 
-let tag_bit t gi = Char.code (Bytes.get t.tags (gi lsr 3)) land (1 lsl (gi land 7)) <> 0
+let[@inline] tag_bit t gi = Char.code (Bytes.get t.tags (gi lsr 3)) land (1 lsl (gi land 7)) <> 0
 
 let set_tag_bit t gi v =
   let byte = Char.code (Bytes.get t.tags (gi lsr 3)) in
@@ -53,23 +57,48 @@ let set_tag_bit t gi v =
 (* Clear the tags of every granule [a, a+len) touches. [collateral] is
    true on the data path — a plain store detagging a live capability is
    the §4.2 integrity rule firing, and telemetry counts those — and
-   false when {!store_cap} intentionally overwrites a granule. *)
+   false when {!store_cap} intentionally overwrites a granule.
+
+   Fast path: plain data stores to untagged memory are the single most
+   common memory operation, so first check whether the covering tag
+   byte(s) hold any set bit at all. When they are already zero there is
+   nothing to clear (and nothing for telemetry to report), and the
+   per-granule loop is skipped entirely. A store of <= 8*granule bytes
+   covers granules within one or two tag bytes, so the check is one or
+   two byte loads. *)
 let clear_tags_in_range ?(collateral = true) t a len =
-  if len > 0 then
+  if len > 0 then begin
     let first = granule_index t a and last = granule_index t (a + len - 1) in
-    if Telemetry.Sink.is_null t.sink then
-      for gi = first to last do
-        set_tag_bit t gi false
-      done
-    else
-      for gi = first to last do
-        if tag_bit t gi then begin
-          if collateral then
-            Telemetry.Sink.record t.sink
-              (Telemetry.Tag_clear { addr = Int64.of_int (gi lsl t.granule_shift) });
+    let fb = first lsr 3 and lb = last lsr 3 in
+    let untouched =
+      if fb = lb then
+        (* all covered granules fall in one tag byte: mask out exactly
+           the bits [first..last] (at most 8, so the shift is safe) *)
+        let m = ((1 lsl (last - first + 1)) - 1) lsl (first land 7) in
+        Char.code (Bytes.unsafe_get t.tags fb) land m = 0
+      else
+        (* conservative multi-byte check: any set bit in a covering
+           byte — even outside the range — takes the slow path *)
+        let rec all_zero i =
+          i > lb || (Char.code (Bytes.unsafe_get t.tags i) = 0 && all_zero (i + 1))
+        in
+        all_zero fb
+    in
+    if not untouched then
+      if Telemetry.Sink.is_null t.sink then
+        for gi = first to last do
           set_tag_bit t gi false
-        end
-      done
+        done
+      else
+        for gi = first to last do
+          if tag_bit t gi then begin
+            if collateral then
+              Telemetry.Sink.record t.sink
+                (Telemetry.Tag_clear { addr = Int64.of_int (gi lsl t.granule_shift) });
+            set_tag_bit t gi false
+          end
+        done
+  end
 
 let load_byte t addr =
   let a = check_range t addr 1 in
@@ -80,8 +109,19 @@ let store_byte t addr v =
   Bytes.set t.data a (Char.chr (v land 0xff));
   clear_tags_in_range t a 1
 
-let load_int t ~addr ~size:sz =
-  let a = check_range t addr sz in
+(* Int-addressed hot-path variants. The softcore computes addresses as
+   unboxed int64s; taking the address as a native int keeps it out of a
+   heap box across this module boundary (the dev profile compiles with
+   -opaque, which defeats cross-module inlining, so an int64 argument
+   costs one allocation per call). Callers must pass the exact byte
+   address — the int64 entry points below re-check the unsigned range
+   before narrowing. *)
+
+let[@inline] check_range_at t a len =
+  if a < 0 || len < 0 || a + len > size t then raise (Bus_error (Int64.of_int a))
+
+let load_int_at t a ~size:sz =
+  check_range_at t a sz;
   match sz with
   | 1 -> Int64.of_int (Char.code (Bytes.get t.data a))
   | 2 -> Int64.of_int (Bytes.get_uint16_le t.data a)
@@ -89,8 +129,8 @@ let load_int t ~addr ~size:sz =
   | 8 -> Bytes.get_int64_le t.data a
   | _ -> invalid_arg "Tagmem.load_int: size must be 1, 2, 4 or 8"
 
-let store_int t ~addr ~size:sz v =
-  let a = check_range t addr sz in
+let store_int_at t a ~size:sz v =
+  check_range_at t a sz;
   (match sz with
   | 1 -> Bytes.set t.data a (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
   | 2 -> Bytes.set_uint16_le t.data a (Int64.to_int (Int64.logand v 0xffffL))
@@ -98,6 +138,14 @@ let store_int t ~addr ~size:sz v =
   | 8 -> Bytes.set_int64_le t.data a v
   | _ -> invalid_arg "Tagmem.store_int: size must be 1, 2, 4 or 8");
   clear_tags_in_range t a sz
+
+let load_int t ~addr ~size:sz =
+  if uge addr t.size64 then raise (Bus_error addr);
+  load_int_at t (Int64.to_int addr) ~size:sz
+
+let store_int t ~addr ~size:sz v =
+  if uge addr t.size64 then raise (Bus_error addr);
+  store_int_at t (Int64.to_int addr) ~size:sz v
 
 let load_bytes t ~addr ~len =
   let a = check_range t addr len in
@@ -111,20 +159,41 @@ let store_bytes t ~addr b =
 
 let cap_width = Cheri_core.Capability.byte_width
 
-let load_cap t ~addr =
-  if not (Bits.is_aligned addr cap_width) then
-    invalid_arg "Tagmem.load_cap: address must be capability-aligned";
-  let a = check_range t addr cap_width in
-  let words = Array.init 4 (fun i -> Bytes.get_int64_le t.data (a + (8 * i))) in
-  let tag = tag_bit t (granule_index t a) in
-  Cheri_core.Capability.of_words ~tag words
+(* The capability spill/fill paths move the four 64-bit words directly
+   between the byte store and the capability record — no intermediate
+   array, no closure: these run once per CLC/CSC retired. *)
 
-let store_cap t ~addr cap =
-  if not (Bits.is_aligned addr cap_width) then
+(* The meta word only carries bits 0-47 (perms, sealed, otype), so read
+   the six live bytes into a native int instead of boxing an Int64.
+   [a] has already been bounds-checked for the full 32-byte capability,
+   so the byte reads at a+24 .. a+29 are in range. *)
+let[@inline] meta_int t a =
+  let g i = Char.code (Bytes.unsafe_get t.data (a + 24 + i)) in
+  g 0 lor (g 1 lsl 8) lor (g 2 lsl 16) lor (g 3 lsl 24) lor (g 4 lsl 32) lor (g 5 lsl 40)
+
+let load_cap_at t a =
+  if a land (cap_width - 1) <> 0 then
+    invalid_arg "Tagmem.load_cap: address must be capability-aligned";
+  check_range_at t a cap_width;
+  Cheri_core.Capability.of_raw_words
+    ~tag:(tag_bit t (granule_index t a))
+    ~base:(Bytes.get_int64_le t.data a)
+    ~length:(Bytes.get_int64_le t.data (a + 8))
+    ~offset:(Bytes.get_int64_le t.data (a + 16))
+    ~meta:(meta_int t a)
+
+let load_cap t ~addr =
+  if uge addr t.size64 then raise (Bus_error addr);
+  load_cap_at t (Int64.to_int addr)
+
+let store_cap_at t a cap =
+  if a land (cap_width - 1) <> 0 then
     invalid_arg "Tagmem.store_cap: address must be capability-aligned";
-  let a = check_range t addr cap_width in
-  let words = Cheri_core.Capability.to_words cap in
-  Array.iteri (fun i w -> Bytes.set_int64_le t.data (a + (8 * i)) w) words;
+  check_range_at t a cap_width;
+  Bytes.set_int64_le t.data a cap.Cheri_core.Capability.base;
+  Bytes.set_int64_le t.data (a + 8) cap.Cheri_core.Capability.length;
+  Bytes.set_int64_le t.data (a + 16) cap.Cheri_core.Capability.offset;
+  Bytes.set_int64_le t.data (a + 24) (Cheri_core.Capability.meta_word cap);
   (* A capability store touches exactly one granule when the granule is
      >= the capability width; clear everything it covers first, then
      set the capability's own tag on its granule. *)
@@ -132,7 +201,12 @@ let store_cap t ~addr cap =
   set_tag_bit t (granule_index t a) cap.Cheri_core.Capability.tag;
   if not (Telemetry.Sink.is_null t.sink) then
     Telemetry.Sink.record t.sink
-      (Telemetry.Tag_write { addr; tag = cap.Cheri_core.Capability.tag })
+      (Telemetry.Tag_write
+         { addr = Int64.of_int a; tag = cap.Cheri_core.Capability.tag })
+
+let store_cap t ~addr cap =
+  if uge addr t.size64 then raise (Bus_error addr);
+  store_cap_at t (Int64.to_int addr) cap
 
 let tag_at t addr =
   let a = check_range t addr 1 in

@@ -50,6 +50,15 @@ val store_int : t -> addr:int64 -> size:int -> int64 -> unit
 val load_bytes : t -> addr:int64 -> len:int -> bytes
 val store_bytes : t -> addr:int64 -> bytes -> unit
 
+val load_int_at : t -> int -> size:int -> int64
+(** {!load_int} with the address as a native int: the softcore's
+    per-instruction path uses these so the (unboxed) address is never
+    forced into a heap-allocated [Int64] at the module boundary. The
+    caller must pass the exact byte address — the [int64] entry points
+    re-check the unsigned range themselves before narrowing. *)
+
+val store_int_at : t -> int -> size:int -> int64 -> unit
+
 (** {1 Capability path} *)
 
 val load_cap : t -> addr:int64 -> Cheri_core.Capability.t
@@ -61,6 +70,12 @@ val load_cap : t -> addr:int64 -> Cheri_core.Capability.t
 val store_cap : t -> addr:int64 -> Cheri_core.Capability.t -> unit
 (** Store 32 bytes and set/clear the granule tag from the capability's
     own tag. *)
+
+val load_cap_at : t -> int -> Cheri_core.Capability.t
+(** {!load_cap} / {!store_cap} with a native-int address; see
+    {!load_int_at} for why the hot path wants this. *)
+
+val store_cap_at : t -> int -> Cheri_core.Capability.t -> unit
 
 val tag_at : t -> int64 -> bool
 (** The tag of the granule containing this address. *)

@@ -1,10 +1,18 @@
-let ucompare a b = Int64.unsigned_compare a b
-let ult a b = ucompare a b < 0
-let ule a b = ucompare a b <= 0
-let ugt a b = ucompare a b > 0
-let uge a b = ucompare a b >= 0
-let umin a b = if ult a b then a else b
-let umax a b = if ugt a b then a else b
+(* Unsigned comparisons use the sign-flip trick (compare a+min_int
+   against b+min_int with the native signed comparison) instead of
+   Int64.unsigned_compare: the stdlib version bottoms out in the
+   polymorphic compare runtime call, which forces both operands into
+   boxes. The typed [<] below compiles to a register comparison, and
+   with [@inline] the flipped intermediates never leave registers —
+   these sit on every bounds check the softcore executes. *)
+
+let[@inline] ult a b = Int64.add a Int64.min_int < Int64.add b Int64.min_int
+let[@inline] ugt a b = Int64.add a Int64.min_int > Int64.add b Int64.min_int
+let[@inline] ule a b = not (ugt a b)
+let[@inline] uge a b = not (ult a b)
+let[@inline] ucompare a b = if ult a b then -1 else if a = b then 0 else 1
+let[@inline] umin a b = if ult a b then a else b
+let[@inline] umax a b = if ugt a b then a else b
 
 let mask width =
   if width >= 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L
@@ -19,7 +27,7 @@ let insert x ~lo ~width v =
   let cleared = Int64.logand x (Int64.lognot m) in
   Int64.logor cleared (Int64.logand (Int64.shift_left v lo) m)
 
-let is_aligned a n =
+let[@inline] is_aligned a n =
   assert (n > 0 && n land (n - 1) = 0);
   Int64.logand a (Int64.of_int (n - 1)) = 0L
 
@@ -31,14 +39,14 @@ let align_up a n =
   let down = align_down a n in
   if down = a then a else Int64.add down (Int64.of_int n)
 
-let sign_extend x ~width =
+let[@inline] sign_extend x ~width =
   assert (width >= 1 && width <= 64);
   if width = 64 then x
   else
     let shift = 64 - width in
     Int64.shift_right (Int64.shift_left x shift) shift
 
-let zero_extend x ~width =
+let[@inline] zero_extend x ~width =
   assert (width >= 1 && width <= 64);
   Int64.logand x (mask width)
 

@@ -19,4 +19,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("inject", Test_inject.suite);
       ("properties", Test_props.suite);
+      ("perf_equiv", Test_perf_equiv.suite);
     ]
