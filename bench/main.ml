@@ -25,6 +25,12 @@
                                  per-ABI detection matrix over every
                                  builtin workload and fault kind
                                  (default FILE: [inject_output_file])
+     bench/main.exe snap [--quick] [FILE]
+                                 snapshot image size and save/restore
+                                 latency per workload, plus the
+                                 preemptive-slicing throughput tax
+                                 (default FILE: [snap_output_file];
+                                 measure with --profile release)
      bench/main.exe smoke        fast telemetry-overhead assertions (runs
                                  under dune runtest)
 
@@ -548,6 +554,188 @@ let bench_inject path =
   Format.fprintf ppf "wrote %s (%d records)@." path (List.length report.Inject.r_records);
   if report.Inject.r_errors <> [] then exit 1
 
+(* -- snapshot save/restore benchmark (snap subcommand) ------------------------- *)
+
+(* This PR's artifact: snapshot image size and save/restore latency for
+   every workload, plus the slicing throughput tax. Each cell preempts
+   a run at half its retired-instruction count, persists it, restores
+   the image into a fresh machine, and finishes both the original and
+   the copy — asserting all three runs (uninterrupted, continued,
+   restored) agree on cycles, instret and output before any number is
+   reported. *)
+let snap_output_file = "BENCH_PR5.json"
+
+module Snapshot = Cheri_snapshot.Snapshot
+
+type snap_cell = {
+  n_workload : string;
+  n_bytes : int;
+  n_instret_at : int;  (* retired instructions at the snapshot point *)
+  n_instret : int;     (* retired instructions of the whole program *)
+  n_save_ms : float;
+  n_restore_ms : float;
+}
+
+let best_of n f = List.fold_left min infinity (List.init n (fun _ -> f ()))
+
+let snap_cell ~runs name abi src =
+  let fail fmt = Format.kasprintf (fun s -> raise (W.Runner.Run_failed s)) fmt in
+  let linked = Cheri_compiler.Codegen.compile_source abi src in
+  let fresh () = Cheri_compiler.Codegen.machine_for abi linked in
+  let finish what m =
+    match Machine.run m with
+    | Machine.Exit 0L -> ()
+    | o -> fail "snap %s (%s): %a" name what Machine.pp_outcome o
+  in
+  (* reference observables from an uninterrupted run *)
+  let r = fresh () in
+  finish "reference" r;
+  let ref_cycles = Machine.cycles r and ref_instret = Machine.instret r in
+  let ref_output = Machine.output r in
+  (* preempt a second machine at the midpoint *)
+  let at = ref_instret / 2 in
+  let m = fresh () in
+  (match Machine.run ~fuel:at ~yield:true m with
+  | Machine.Yielded -> ()
+  | o -> fail "snap %s: finished (%a) before the midpoint" name Machine.pp_outcome o);
+  let path = Filename.temp_file "cheri-snap-bench" ".snap" in
+  let abi_name = Abi.name abi in
+  let bytes = ref 0 in
+  let save_ms =
+    best_of runs (fun () ->
+        let t0 = Unix.gettimeofday () in
+        (match Snapshot.save ~abi:abi_name ~path m with
+        | Ok n -> bytes := n
+        | Error e -> fail "snap %s: save: %s" name (Snapshot.error_to_string e));
+        (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let restored = ref None in
+  let restore_ms =
+    best_of runs (fun () ->
+        let m2 = fresh () in
+        let t0 = Unix.gettimeofday () in
+        (match Snapshot.load path with
+        | Error e -> fail "snap %s: load: %s" name (Snapshot.error_to_string e)
+        | Ok img -> (
+            match Snapshot.restore m2 ~abi:abi_name img with
+            | Error e -> fail "snap %s: restore: %s" name (Snapshot.error_to_string e)
+            | Ok () -> ()));
+        let dt = (Unix.gettimeofday () -. t0) *. 1e3 in
+        restored := Some m2;
+        dt)
+  in
+  Sys.remove path;
+  (* equivalence gate: both the preempted original and the restored
+     copy must finish with the reference's observables *)
+  finish "continued" m;
+  let m2 = Option.get !restored in
+  finish "restored" m2;
+  List.iter
+    (fun (what, mm) ->
+      if
+        Machine.cycles mm <> ref_cycles
+        || Machine.instret mm <> ref_instret
+        || Machine.output mm <> ref_output
+      then fail "snap %s: %s run diverged from the uninterrupted run" name what)
+    [ ("continued", m); ("restored", m2) ];
+  {
+    n_workload = name;
+    n_bytes = !bytes;
+    n_instret_at = at;
+    n_instret = ref_instret;
+    n_save_ms = save_ms;
+    n_restore_ms = restore_ms;
+  }
+
+(* the slicing tax: the same program run flat-out vs in preemptive
+   fuel slices; both must retire the same instruction count *)
+let snap_throughput ~runs ~slice abi src =
+  let fail fmt = Format.kasprintf (fun s -> raise (W.Runner.Run_failed s)) fmt in
+  let linked = Cheri_compiler.Codegen.compile_source abi src in
+  let fresh () = Cheri_compiler.Codegen.machine_for abi linked in
+  ignore (Machine.run (fresh ()));
+  (* warm-up *)
+  let time_run sliced =
+    let m = fresh () in
+    let t0 = Unix.gettimeofday () in
+    (if not sliced then
+       match Machine.run m with
+       | Machine.Exit 0L -> ()
+       | o -> fail "snap throughput: %a" Machine.pp_outcome o
+     else
+       let rec go () =
+         match Machine.run ~fuel:slice ~yield:true m with
+         | Machine.Yielded -> go ()
+         | Machine.Exit 0L -> ()
+         | o -> fail "snap throughput (sliced): %a" Machine.pp_outcome o
+       in
+       go ());
+    float_of_int (Machine.instret m) /. (Unix.gettimeofday () -. t0)
+  in
+  let best f = List.fold_left max 0. (List.init runs (fun _ -> f ())) in
+  (best (fun () -> time_run false), best (fun () -> time_run true))
+
+let snap_cell_json c =
+  Printf.sprintf
+    "    {\"workload\":\"%s\",\"bytes\":%d,\"instret_at_snapshot\":%d,\"instret\":%d,\"save_ms\":%.3f,\"restore_ms\":%.3f}"
+    (Telemetry.json_escape c.n_workload)
+    c.n_bytes c.n_instret_at c.n_instret c.n_save_ms c.n_restore_ms
+
+let bench_snap ~quick path =
+  section
+    (if quick then "Snapshot save/restore (snap --quick, test scales)"
+     else "Snapshot save/restore (snap, default scales)");
+  if Build_profile.profile <> "release" then
+    Format.fprintf ppf
+      "WARNING: built with the %s profile — save/restore latency and the@.\
+      \ slicing tax are pessimistic. Re-run with `dune exec --profile release@.\
+      \ bench/main.exe -- snap` for the numbers a release build gets.@."
+      Build_profile.profile;
+  let abi = Abi.Cheri Cheri_core.Cap_ops.V3 in
+  let runs = if quick then 1 else 3 in
+  let cells =
+    List.map (fun (name, src, _) -> snap_cell ~runs name abi src) (perf_workloads ~quick)
+  in
+  Format.fprintf ppf "%-18s%12s%16s%12s%12s@." "WORKLOAD" "bytes" "instret@snap"
+    "save ms" "restore ms";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-18s%12d%16d%12.3f%12.3f@." c.n_workload c.n_bytes c.n_instret_at
+        c.n_save_ms c.n_restore_ms)
+    cells;
+  (* slicing tax on the longest-running workload *)
+  let slice = 1_000_000 in
+  let dhry =
+    if quick then W.Dhrystone.source { W.Dhrystone.iterations = 500 }
+    else W.Dhrystone.source W.Dhrystone.default
+  in
+  let plain, sliced = snap_throughput ~runs ~slice abi dhry in
+  let ratio = sliced /. plain in
+  Format.fprintf ppf
+    "Dhrystone CHERIv3: %.0f insn/s flat, %.0f insn/s in %d-instruction slices (%.3fx)@."
+    plain sliced slice ratio;
+  let body =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"cheri_c.snap-bench/v1\",\n\
+      \  \"profile\": \"%s\",\n\
+      \  \"quick\": %b,\n\
+      \  \"runs_per_cell\": %d,\n\
+      \  \"abi\": \"%s\",\n\
+      \  \"slicing\": {\"workload\":\"Dhrystone\",\"slice\":%d,\"insn_per_s_flat\":%.0f,\"insn_per_s_sliced\":%.0f,\"ratio\":%.4f},\n\
+      \  \"results\": [\n%s\n  ]\n\
+       }\n"
+      (Telemetry.json_escape Build_profile.profile)
+      quick runs
+      (Telemetry.json_escape (Abi.name abi))
+      slice plain sliced ratio
+      (String.concat ",\n" (List.map snap_cell_json cells))
+  in
+  let oc = open_out path in
+  output_string oc body;
+  close_out oc;
+  Format.fprintf ppf "wrote %s (%d measurements)@." path (List.length cells)
+
 (* -- telemetry overhead smoke checks (smoke subcommand) ------------------------ *)
 
 (* A short program with real memory traffic for the overhead check. *)
@@ -749,6 +937,15 @@ let () =
          bench_perf ~quick path
      | "inject" ->
          bench_inject (match positional with _ :: f :: _ -> f | _ -> inject_output_file)
+     | "snap" ->
+         let rest = List.tl positional in
+         let quick = List.mem "--quick" rest in
+         let path =
+           match List.filter (fun s -> s <> "--quick") rest with
+           | f :: _ -> f
+           | [] -> snap_output_file
+         in
+         bench_snap ~quick path
      | other ->
          Format.eprintf "unknown job %s@." other;
          exit 2

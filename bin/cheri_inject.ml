@@ -29,7 +29,8 @@ let usage () =
   prerr_endline
     "usage: cheri-inject [--seeds N] [--start N] [--kinds K1,K2,...] [--workloads W1,...]\n\
     \                    [--jobs N] [--fuel N] [--deadline S] [--json FILE]\n\
-    \                    [--checkpoint FILE] [--resume FILE] [--limit N] [--list]\n\
+    \                    [--checkpoint FILE] [--resume FILE] [--limit N] [--slice N]\n\
+    \                    [--list]\n\
     \       cheri-inject --self-test [--seeds N] [--jobs N]\n\
      kinds: bitflip tag-clear tag-set cap-field alloc-fail";
   exit 2
@@ -72,6 +73,18 @@ let fail fmt =
       Format.eprintf "self-test FAILED: %s@." msg;
       exit 1)
     fmt
+
+(* the small deterministic campaign of the kill/resume checks; also run
+   by the hidden [selftest-kill-child] subcommand, so parent and child
+   must agree on these parameters *)
+let small_campaign () =
+  let small_workloads =
+    List.filter (fun (w : Inject.workload) -> w.Inject.w_name = "zlib") Inject.builtin_workloads
+  in
+  Inject.default_campaign ~workloads:small_workloads
+    ~kinds:[ Inject.Tag_clear; Inject.Alloc_fail ] ~seeds:2 ()
+
+let selftest_slice = 20_000
 
 let self_test ~seeds ~jobs =
   (* domains beyond the physical core count only stall the OCaml
@@ -129,13 +142,7 @@ let self_test ~seeds ~jobs =
   (* 3. kill + resume: a partial checkpoint (as a kill leaves behind)
      resumed to completion must reproduce the uninterrupted report
      byte for byte — even with a torn final line *)
-  let small_workloads =
-    List.filter (fun (w : Inject.workload) -> w.Inject.w_name = "zlib") Inject.builtin_workloads
-  in
-  let small =
-    Inject.default_campaign ~workloads:small_workloads
-      ~kinds:[ Inject.Tag_clear; Inject.Alloc_fail ] ~seeds:2 ()
-  in
+  let small = small_campaign () in
   let tmp suffix = Filename.temp_file "cheri_inject_selftest" suffix in
   let ck_full = tmp ".full.jsonl" and ck_part = tmp ".part.jsonl" in
   let full = Inject.run ~jobs ~checkpoint:ck_full small in
@@ -160,10 +167,85 @@ let self_test ~seeds ~jobs =
   | exception Inject.Resume_mismatch _ -> ()
   | _ -> fail "resume accepted a checkpoint from a different campaign");
   Sys.remove ck_full;
-  Sys.remove ck_part;
   Format.fprintf ppf
     "resume ok: killed+resumed campaign reproduced the full report (%d bytes)@."
     (String.length full_json);
+  (* 4. preemptive slicing: the sliced engine must reproduce the
+     unsliced report byte for byte, for more than one granularity *)
+  List.iter
+    (fun slice ->
+      let sliced = Inject.run ~jobs ~slice small in
+      if Inject.report_json sliced <> full_json then
+        fail "sliced campaign (slice %d) diverged from the unsliced report" slice)
+    [ selftest_slice; 7_777 ];
+  (* corrupt or stale in-flight sidecars must degrade to a task restart,
+     never to a wrong or missing record: plant garbage sidecars for
+     every task of the campaign, then resume the torn checkpoint *)
+  List.iter
+    (fun abi ->
+      List.iter
+        (fun kind ->
+          List.iter
+            (fun seed ->
+              let key =
+                Printf.sprintf "zlib-%s-%s-%d" (Abi.name abi) (Inject.kind_key kind) seed
+              in
+              write_file (ck_part ^ ".inflight." ^ key ^ ".snap") "not a snapshot")
+            [ 0; 1 ])
+        [ Inject.Tag_clear; Inject.Alloc_fail ])
+    Abi.all;
+  let resumed_sliced =
+    Inject.run ~jobs ~checkpoint:ck_part ~resume:ck_part ~slice:selftest_slice small
+  in
+  if Inject.report_json resumed_sliced <> full_json then
+    fail "sliced resume over corrupt sidecars diverged from the full report";
+  Sys.remove ck_part;
+  Format.fprintf ppf "sliced ok: preemptive engine bit-identical, bad sidecars ignored@.";
+  (* 5. a real kill: fork a sliced campaign into a child process,
+     SIGKILL it as soon as an in-flight sidecar shows up on disk (so at
+     least one task is provably mid-run), and resume from the wreckage;
+     the final report must still be byte-identical *)
+  let ck_kill = tmp ".kill.jsonl" in
+  Sys.remove ck_kill;
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; "selftest-kill-child"; ck_kill |]
+      Unix.stdin devnull devnull
+  in
+  Unix.close devnull;
+  let dir = Filename.dirname ck_kill in
+  let prefix = Filename.basename ck_kill ^ ".inflight." in
+  let has_prefix s = String.length s >= String.length prefix
+                     && String.sub s 0 (String.length prefix) = prefix in
+  let deadline = Unix.gettimeofday () +. 60. in
+  let rec wait_for_sidecar () =
+    if Unix.gettimeofday () > deadline then begin
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      fail "no in-flight sidecar appeared within 60s"
+    end
+    else if Array.exists has_prefix (Sys.readdir dir) then ()
+    else begin
+      (* the child is still mid-campaign; look again shortly *)
+      Unix.sleepf 0.005;
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ -> wait_for_sidecar ()
+      | _ -> fail "kill-child finished before any sidecar was observed"
+    end
+  in
+  wait_for_sidecar ();
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  let killed_resumed =
+    Inject.run ~jobs ~checkpoint:ck_kill ~resume:ck_kill ~slice:selftest_slice small
+  in
+  if Inject.report_json killed_resumed <> full_json then
+    fail "campaign killed mid-task then resumed diverged from the full report";
+  if Array.exists has_prefix (Sys.readdir dir) then
+    fail "completed campaign left in-flight sidecars behind";
+  Sys.remove ck_kill;
+  Format.fprintf ppf "kill ok: SIGKILL mid-task, sidecar resume reproduced the report@.";
   Format.fprintf ppf "self-test ok@."
 
 (* -- driver ------------------------------------------------------------------ *)
@@ -180,6 +262,7 @@ let () =
   let checkpoint = ref None in
   let resume = ref None in
   let limit = ref None in
+  let slice = ref None in
   let selftest = ref false in
   let int_arg name v rest k =
     match int_of_string_opt v with
@@ -195,6 +278,10 @@ let () =
     | "--jobs" :: v :: rest -> int_arg "--jobs" v rest (fun n r -> jobs := max 1 n; parse r)
     | "--fuel" :: v :: rest -> int_arg "--fuel" v rest (fun n r -> fuel := max 1 n; parse r)
     | "--limit" :: v :: rest -> int_arg "--limit" v rest (fun n r -> limit := Some n; parse r)
+    | "--slice" :: v :: rest ->
+        int_arg "--slice" v rest (fun n r ->
+            slice := Some (max 1 n);
+            parse r)
     | "--deadline" :: v :: rest -> (
         match float_of_string_opt v with
         | Some s when s > 0. ->
@@ -242,12 +329,19 @@ let () =
     | "--list" :: _ ->
         List.iter print_endline Inject.workload_names;
         exit 0
-    | [ ("--seeds" | "--start" | "--jobs" | "--fuel" | "--limit" | "--deadline" | "--kinds"
-        | "--workloads" | "--json" | "--checkpoint" | "--resume") as f ] ->
+    | [ ("--seeds" | "--start" | "--jobs" | "--fuel" | "--limit" | "--slice" | "--deadline"
+        | "--kinds" | "--workloads" | "--json" | "--checkpoint" | "--resume") as f ] ->
         Format.eprintf "%s requires an argument@." f;
         exit 2
     | _ -> usage ()
   in
+  (* hidden: the child process of the self-test's SIGKILL check — runs
+     the small campaign sliced, with sidecars, until killed *)
+  (match Array.to_list Sys.argv with
+  | _ :: "selftest-kill-child" :: ck :: _ ->
+      ignore (Inject.run ~jobs:1 ~checkpoint:ck ~slice:selftest_slice (small_campaign ()));
+      exit 0
+  | _ -> ());
   parse (List.tl (Array.to_list Sys.argv));
   if !selftest then self_test ~seeds:!seeds ~jobs:!jobs
   else begin
@@ -257,7 +351,8 @@ let () =
     in
     let report =
       match
-        Inject.run ~jobs:!jobs ?checkpoint:!checkpoint ?resume:!resume ?limit:!limit c
+        Inject.run ~jobs:!jobs ?checkpoint:!checkpoint ?resume:!resume ?limit:!limit
+          ?slice:!slice c
       with
       | r -> r
       | exception Inject.Resume_mismatch msg ->

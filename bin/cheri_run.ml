@@ -15,15 +15,25 @@
      cheri-run --profile file.c              # hot-PC profile + event counters
      cheri-run --trace[=FILE] file.c         # JSONL event dump (stdout or FILE)
      cheri-run --stats-json FILE file.c      # machine stats + telemetry as JSON ("-" = stdout)
-     cheri-run --chrome-trace FILE file.c    # Chrome trace_event JSON for Perfetto *)
+     cheri-run --chrome-trace FILE file.c    # Chrome trace_event JSON for Perfetto
+
+   Resumable execution (each implies -x):
+
+     cheri-run --slice N file.c              # run in fuel slices of N instructions
+     cheri-run --snapshot FILE file.c        # persist a machine snapshot at every
+                                             # slice boundary; removed on completion
+     cheri-run --resume FILE file.c          # restore FILE (same source + ABI) and
+                                             # continue; bad images exit 2 *)
 
 module Telemetry = Cheri_telemetry.Telemetry
 module Machine = Cheri_isa.Machine
+module Snapshot = Cheri_snapshot.Snapshot
 
 let usage () =
   prerr_endline
     "usage: cheri-run [-m MODEL] [-a] [-S|-x [-abi ABI]] [--fuel N] [--profile]\n\
-    \                 [--trace[=FILE]] [--stats-json FILE] [--chrome-trace FILE] file.c";
+    \                 [--trace[=FILE]] [--stats-json FILE] [--chrome-trace FILE]\n\
+    \                 [--slice N] [--snapshot FILE] [--resume FILE] file.c";
   exit 2
 
 let read_file path =
@@ -86,10 +96,20 @@ type telemetry_opts = {
   stats_json_to : string option;
   chrome_trace_to : string option;
   fuel : int option;  (* --fuel: softcore instruction / interpreter step budget *)
+  slice : int option;  (* --slice: preempt the softcore every N instructions *)
+  snapshot_to : string option;  (* --snapshot: persist state at slice boundaries *)
+  resume_from : string option;  (* --resume: restore a snapshot before running *)
 }
 
 let telemetry_wanted o =
   o.profile || o.trace <> None || o.stats_json_to <> None || o.chrome_trace_to <> None
+
+let resumable_wanted o = o.slice <> None || o.snapshot_to <> None || o.resume_from <> None
+
+(* --snapshot without an explicit granularity still has to stop
+   somewhere; a few million instructions keeps the save overhead in the
+   noise while bounding the lost work on a crash *)
+let default_slice = 4_000_000
 
 let execute_on_softcore opts abi src =
   let linked = Cheri_compiler.Codegen.compile_source abi src in
@@ -106,9 +126,64 @@ let execute_on_softcore opts abi src =
     end
     else Telemetry.Sink.null
   in
+  let abi_name = Cheri_compiler.Abi.name abi in
+  let snap_fail e =
+    Format.eprintf "cheri-run: %a@." Snapshot.pp_error e;
+    exit 2
+  in
+  (match opts.resume_from with
+  | None -> ()
+  | Some path -> (
+      match Snapshot.load path with
+      | Error e -> snap_fail e
+      | Ok img -> (
+          match Snapshot.restore m ~abi:abi_name img with
+          | Error e -> snap_fail e
+          | Ok () ->
+              Format.eprintf "[resumed %s at %d retired instructions]@." path
+                (Snapshot.image_instret img))));
   let words_before = Gc.minor_words () in
   let wall_before = Unix.gettimeofday () in
-  let outcome = Machine.run ?fuel:opts.fuel m in
+  let outcome =
+    if not (opts.slice <> None || opts.snapshot_to <> None) then
+      Machine.run ?fuel:opts.fuel m
+    else begin
+      let slice = Option.value opts.slice ~default:default_slice in
+      let budget = Option.value opts.fuel ~default:200_000_000 in
+      let save () =
+        Option.iter
+          (fun path ->
+            match Snapshot.save ~abi:abi_name ~path m with
+            | Ok bytes ->
+                Format.eprintf "[snapshot %s: %d bytes at %d retired instructions]@."
+                  path bytes (Machine.instret m)
+            | Error e -> snap_fail e)
+          opts.snapshot_to
+      in
+      (* the machine stops only between instructions, so this loop is
+         observably identical to one uninterrupted Machine.run ~fuel:budget *)
+      let rec go left =
+        match Machine.run ~fuel:(min slice left) ~yield:true m with
+        | Machine.Yielded when left > slice ->
+            save ();
+            go (left - slice)
+        | Machine.Yielded ->
+            (* whole budget spent: leave the last snapshot behind so a
+               --resume with a fresh --fuel can continue the run *)
+            save ();
+            Machine.Fuel_exhausted
+        | finished ->
+            (* the run is over; a crash-recovery snapshot would now only
+               invite resuming a finished program *)
+            Option.iter
+              (fun path ->
+                if Sys.file_exists path then try Sys.remove path with Sys_error _ -> ())
+              opts.snapshot_to;
+            finished
+      in
+      go budget
+    end
+  in
   let wall_s = Unix.gettimeofday () -. wall_before in
   let minor_words = Gc.minor_words () -. words_before in
   print_string (Machine.output m);
@@ -148,6 +223,9 @@ let () =
   let stats_json_to = ref None in
   let chrome_trace_to = ref None in
   let fuel = ref None in
+  let slice = ref None in
+  let snapshot_to = ref None in
+  let resume_from = ref None in
   let rec parse = function
     | "-m" :: m :: rest ->
         model := m;
@@ -180,6 +258,19 @@ let () =
             Format.eprintf "--fuel expects a positive integer, got %s@." v;
             exit 2);
         parse rest
+    | "--slice" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n >= 1 -> slice := Some n
+        | _ ->
+            Format.eprintf "--slice expects a positive integer, got %s@." v;
+            exit 2);
+        parse rest
+    | "--snapshot" :: f :: rest ->
+        snapshot_to := Some f;
+        parse rest
+    | "--resume" :: f :: rest ->
+        resume_from := Some f;
+        parse rest
     | "-abi" :: a :: rest ->
         (match Cheri_compiler.Abi.of_key a with
         | Some x -> abi := x
@@ -190,7 +281,9 @@ let () =
     | f :: rest when String.length f > 8 && String.sub f 0 8 = "--trace=" ->
         trace := Some (Some (String.sub f 8 (String.length f - 8)));
         parse rest
-    | [ f ] when f = "--stats-json" || f = "--chrome-trace" || f = "--fuel" || f = "-abi" || f = "-m" ->
+    | [ f ]
+      when f = "--stats-json" || f = "--chrome-trace" || f = "--fuel" || f = "-abi"
+           || f = "-m" || f = "--slice" || f = "--snapshot" || f = "--resume" ->
         Format.eprintf "%s requires an argument@." f;
         exit 2
     | f :: _ when String.length f > 0 && f.[0] = '-' ->
@@ -209,6 +302,9 @@ let () =
       stats_json_to = !stats_json_to;
       chrome_trace_to = !chrome_trace_to;
       fuel = !fuel;
+      slice = !slice;
+      snapshot_to = !snapshot_to;
+      resume_from = !resume_from;
     }
   in
   match !file with
@@ -228,7 +324,8 @@ let () =
           exit 1
       | Ok prog ->
           if !dump then dump_assembly !abi src
-          else if !exec || telemetry_wanted opts then execute_on_softcore opts !abi src
+          else if !exec || telemetry_wanted opts || resumable_wanted opts then
+            execute_on_softcore opts !abi src
           else if !all then
             List.iter
               (fun m ->

@@ -35,6 +35,14 @@ let make ~base ~length ~perms =
 
 let make_untagged ~base ~length ~offset ~perms =
   { tag = false; base; length; offset; perms; sealed = false; otype = 0L }
+
+(* No invariant is enforced here on purpose: snapshot restore must be
+   able to reproduce *any* bit pattern a running machine can hold,
+   including fault-injected capabilities whose base+length overflows
+   (which [make] rejects) or whose otype exceeds the 32 bits the spill
+   meta word carries. *)
+let of_fields_unchecked ~tag ~base ~length ~offset ~perms ~sealed ~otype =
+  { tag; base; length; offset; perms; sealed; otype }
 let with_offset_unchecked t offset = { t with offset }
 let with_bounds_unchecked t ~base ~length ~offset = { t with base; length; offset }
 let clear_tag t = { t with tag = false }

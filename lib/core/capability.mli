@@ -37,6 +37,23 @@ val make_untagged : base:int64 -> length:int64 -> offset:int64 -> perms:Perms.t 
 (** An untagged capability pattern, e.g. the result of loading 32 bytes
     of plain data into a capability register. *)
 
+val of_fields_unchecked :
+  tag:bool ->
+  base:int64 ->
+  length:int64 ->
+  offset:int64 ->
+  perms:Perms.t ->
+  sealed:bool ->
+  otype:int64 ->
+  t
+(** Rebuild a capability from every field verbatim, with no invariant
+    checks. This is the snapshot-restore constructor: a machine image
+    must round-trip {e any} register content a run can produce —
+    including fault-injected capabilities whose [base + length]
+    overflows (rejected by {!make}) or whose [otype] does not fit the
+    32-bit field of the spill {!meta_word}. Nothing on an execution
+    path may call this. *)
+
 val with_offset_unchecked : t -> int64 -> t
 (** Replace the offset without any representability check. Used by the
     v3 operation set, where out-of-bounds cursors are legal. *)

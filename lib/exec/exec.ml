@@ -12,13 +12,18 @@
    - fault capture: an exception escaping a worker becomes a structured
      per-task error, never takes down the sweep or the other tasks
      (skip-and-record degradation);
-   - bounded retry with exponential backoff, for faults that are
-     transient at the host level (fd exhaustion, OOM-killed child
-     state) rather than deterministic task bugs;
+   - bounded retry with seeded decorrelated-jitter backoff, for faults
+     that are transient at the host level (fd exhaustion, OOM-killed
+     child state) rather than deterministic task bugs;
    - per-task wall-clock timing, so sweeps can report an honest
      serial-time / wall-time speedup;
    - an [on_result] progress hook, serialized across domains, that
-     campaigns use to append checkpoint records as tasks finish. *)
+     campaigns use to append checkpoint records as tasks finish.
+
+   [Pool.map_sliced] is the preemptive variant: tasks advance in
+   bounded slices through a shared FIFO, so one enormous task cannot
+   monopolize a worker while short tasks starve behind it, and a
+   campaign can persist a checkpoint at every yield point. *)
 
 module Pool = struct
   type error = { task : int; exn : string; backtrace : string }
@@ -29,6 +34,8 @@ module Pool = struct
     result : ('a, error) result;
     elapsed_s : float;  (** wall-clock spent on this task alone, all attempts *)
     attempts : int;  (** 1 unless retries were needed *)
+    slices : int;
+        (** slice executions under {!map_sliced}; always 1 under {!map} *)
   }
 
   exception Worker_failed of error
@@ -39,7 +46,48 @@ module Pool = struct
 
   let now = Unix.gettimeofday
 
-  let run_task ~retries ~backoff_s f inputs results on_result i =
+  (* --- retry backoff ------------------------------------------------ *)
+
+  (* SplitMix64, inlined (the seeded RNG of the fault campaigns lives in
+     a library that depends on this one). Good enough to decorrelate
+     sleep intervals; not used for anything statistical. *)
+  let sm64 x =
+    let open Int64 in
+    let z = add x 0x9E3779B97F4A7C15L in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let unit_float ~seed ~task ~attempt =
+    let h = sm64 (Int64.of_int seed) in
+    let h = sm64 (Int64.logxor h (Int64.of_int task)) in
+    let h = sm64 (Int64.logxor h (Int64.of_int attempt)) in
+    Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53
+
+  (* Decorrelated jitter (the "AWS architecture blog" variant): each
+     pause is uniform in [base, 3 * previous pause], capped at 64x the
+     base. Compared with pure exponential doubling this spreads
+     simultaneous retries apart — when a host-level fault (fd
+     exhaustion, memory pressure) hits several workers at once, they
+     come back staggered instead of in lockstep. The function is pure
+     in (seed, task, attempt), so a retry schedule is reproducible and
+     testable without sleeping. *)
+  let backoff_duration ~base_s ~seed ~task ~attempt =
+    if base_s <= 0. || attempt < 1 then 0.
+    else begin
+      let cap = 64. *. base_s in
+      let prev = ref base_s in
+      for a = 1 to attempt do
+        let u = unit_float ~seed ~task ~attempt:a in
+        let hi = Float.max base_s (3. *. !prev) in
+        prev := Float.min cap (base_s +. (u *. (hi -. base_s)))
+      done;
+      !prev
+    end
+
+  (* --- the run-to-completion engine (map) --------------------------- *)
+
+  let run_task ~retries ~backoff_s ~backoff_seed f inputs results on_result i =
     let t0 = now () in
     let attempt k =
       try Ok (f inputs.(i))
@@ -52,61 +100,188 @@ module Pool = struct
       | Ok _ as ok -> (ok, k)
       | Error _ as err when k > retries -> (err, k)
       | Error _ ->
-          (* transient-fault hypothesis: give the host a moment before
-             retrying, doubling the pause each time *)
-          if backoff_s > 0. then
-            Unix.sleepf (backoff_s *. float_of_int (1 lsl (k - 1)));
+          (* transient-fault hypothesis: give the host a staggered
+             moment before retrying *)
+          let pause = backoff_duration ~base_s:backoff_s ~seed:backoff_seed ~task:i ~attempt:k in
+          if pause > 0. then Unix.sleepf pause;
           go (k + 1)
     in
     let result, attempts = go 1 in
-    let cell = { index = i; result; elapsed_s = now () -. t0; attempts } in
+    let cell = { index = i; result; elapsed_s = now () -. t0; attempts; slices = 1 } in
     results.(i) <- Some cell;
     on_result cell
+
+  let serialize_hook on_result =
+    match on_result with
+    | None -> fun _ -> ()
+    | Some hook ->
+        let m = Mutex.create () in
+        fun cell -> Mutex.protect m (fun () -> hook cell)
+
+  let spawn_workers ~jobs ~n worker =
+    if jobs <= 1 || n <= 1 then worker ()
+    else begin
+      (* results slots are disjoint per task and Domain.join gives the
+         happens-before edge that publishes them to this domain *)
+      let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+      List.iter Domain.join domains
+    end
+
+  let collect results =
+    Array.to_list results
+    |> List.map (function
+         | Some cell -> cell
+         | None -> assert false (* every index is claimed exactly once *))
 
   (* [map ~jobs f tasks] runs [f] over every task on up to [jobs]
      domains (default 1: sequential, in the calling domain — callers
      opt in to parallelism) and returns the cells in submission order.
      The work queue is a single atomic cursor: domains claim the next
      unclaimed index until the list is drained. A failing task is
-     retried up to [retries] times (default 0) with exponential backoff
-     starting at [backoff_s]; the surviving error never aborts the map.
-     [on_result] fires once per finished task, serialized under one
-     mutex, in completion (not submission) order. *)
-  let map ?(jobs = 1) ?(retries = 0) ?(backoff_s = 0.05) ?on_result f tasks : 'a cell list =
+     retried up to [retries] times (default 0) with decorrelated-jitter
+     backoff starting at [backoff_s]; the surviving error never aborts
+     the map. [on_result] fires once per finished task, serialized
+     under one mutex, in completion (not submission) order. *)
+  let map ?(jobs = 1) ?(retries = 0) ?(backoff_s = 0.05) ?(backoff_seed = 0) ?on_result f tasks
+      : 'a cell list =
     let inputs = Array.of_list tasks in
     let n = Array.length inputs in
     let results = Array.make n None in
     if n > 0 then begin
       let cursor = Atomic.make 0 in
-      let on_result =
-        match on_result with
-        | None -> fun _ -> ()
-        | Some hook ->
-            let m = Mutex.create () in
-            fun cell -> Mutex.protect m (fun () -> hook cell)
-      in
+      let on_result = serialize_hook on_result in
       let worker () =
         let rec drain () =
           let i = Atomic.fetch_and_add cursor 1 in
           if i < n then begin
-            run_task ~retries ~backoff_s f inputs results on_result i;
+            run_task ~retries ~backoff_s ~backoff_seed f inputs results on_result i;
             drain ()
           end
         in
         drain ()
       in
-      if jobs <= 1 then worker ()
-      else begin
-        (* results slots are disjoint per task and Domain.join gives the
-           happens-before edge that publishes them to this domain *)
-        let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
-        List.iter Domain.join domains
-      end
+      spawn_workers ~jobs ~n worker
     end;
-    Array.to_list results
-    |> List.map (function
-         | Some cell -> cell
-         | None -> assert false (* every index < n is claimed exactly once *))
+    collect results
+
+  (* --- the preemptive engine (map_sliced) --------------------------- *)
+
+  type ('s, 'r) progress = Yield of 's | Done of 'r
+
+  type ('t, 's) job = {
+    j_index : int;
+    j_task : 't;
+    mutable j_state : 's option;  (** [None] until [init] has run *)
+    mutable j_attempts : int;
+    mutable j_slices : int;
+    mutable j_elapsed : float;
+  }
+
+  (* [map_sliced ~init ~slice tasks] drives every task through
+     repeated bounded [slice] calls instead of one run-to-completion
+     call. A worker pops a task from the shared FIFO, advances it by
+     exactly one slice, and on [Yield] pushes it to the back of the
+     queue — so with T live tasks every task gets roughly every T-th
+     slice (round-robin fair share), regardless of how long each task
+     ultimately runs. [init] builds the per-task state (e.g. compile +
+     create a machine); an exception from [init] or [slice] consumes
+     one attempt, and a retry starts over from [init] — a half-advanced
+     state is never resumed after a fault, because the fault may have
+     corrupted it.
+
+     Workers exit when they find the queue empty. That is safe: a task
+     is either in the queue or held by exactly one worker, and the
+     holder pushes it back (or records its cell) before popping again —
+     so the last worker holding work drains it to completion. The tail
+     of a sweep may therefore run on fewer domains than [jobs]; that
+     costs only parallelism, never results.
+
+     Determinism: cells come back in submission order, and each task's
+     result depends only on its own init/slice sequence — so for
+     deterministic tasks the results are bit-identical for every
+     (jobs, slice-granularity) choice. *)
+  let map_sliced ?(jobs = 1) ?(retries = 0) ?(backoff_s = 0.05) ?(backoff_seed = 0) ?on_result
+      ~init ~slice tasks : 'r cell list =
+    let inputs = Array.of_list tasks in
+    let n = Array.length inputs in
+    let results = Array.make n None in
+    if n > 0 then begin
+      let on_result = serialize_hook on_result in
+      let q = Queue.create () in
+      let qm = Mutex.create () in
+      Array.iteri
+        (fun i task ->
+          Queue.push
+            { j_index = i; j_task = task; j_state = None; j_attempts = 1; j_slices = 0; j_elapsed = 0. }
+            q)
+        inputs;
+      let pop () =
+        Mutex.protect qm (fun () -> if Queue.is_empty q then None else Some (Queue.pop q))
+      in
+      let push job = Mutex.protect qm (fun () -> Queue.push job q) in
+      let record job result =
+        let cell =
+          {
+            index = job.j_index;
+            result;
+            elapsed_s = job.j_elapsed;
+            attempts = job.j_attempts;
+            slices = job.j_slices;
+          }
+        in
+        results.(job.j_index) <- Some cell;
+        on_result cell
+      in
+      let worker () =
+        let rec drain () =
+          match pop () with
+          | None -> ()
+          | Some job ->
+              let t0 = now () in
+              let step =
+                try
+                  let s =
+                    match job.j_state with
+                    | Some s -> s
+                    | None ->
+                        let s = init job.j_task in
+                        job.j_state <- Some s;
+                        s
+                  in
+                  job.j_slices <- job.j_slices + 1;
+                  Ok (slice s)
+                with e ->
+                  let backtrace = Printexc.get_backtrace () in
+                  Error
+                    {
+                      task = job.j_index;
+                      exn = Printexc.to_string e ^ Printf.sprintf " (attempt %d)" job.j_attempts;
+                      backtrace;
+                    }
+              in
+              job.j_elapsed <- job.j_elapsed +. (now () -. t0);
+              (match step with
+              | Ok (Yield s') ->
+                  job.j_state <- Some s';
+                  push job
+              | Ok (Done r) -> record job (Ok r)
+              | Error e when job.j_attempts > retries -> record job (Error e)
+              | Error _ ->
+                  let pause =
+                    backoff_duration ~base_s:backoff_s ~seed:backoff_seed ~task:job.j_index
+                      ~attempt:job.j_attempts
+                  in
+                  if pause > 0. then Unix.sleepf pause;
+                  job.j_attempts <- job.j_attempts + 1;
+                  job.j_state <- None;
+                  push job);
+              drain ()
+        in
+        drain ()
+      in
+      spawn_workers ~jobs ~n worker
+    end;
+    collect results
 
   let get cell = match cell.result with Ok v -> v | Error e -> raise (Worker_failed e)
   let serial_seconds cells = List.fold_left (fun acc c -> acc +. c.elapsed_s) 0. cells

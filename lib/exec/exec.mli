@@ -1,0 +1,95 @@
+(** Parallel execution engine for bench sweeps and fuzz campaigns.
+
+    Tasks are independent (workload x ABI) runs; {!Pool.map} fans them
+    over OCaml 5 domains with deterministic result ordering, structured
+    fault capture, bounded seeded-jitter retry and per-task timing.
+    {!Pool.map_sliced} adds preemptive time-slicing: tasks advance in
+    bounded slices through a shared round-robin queue, so long tasks
+    cannot starve short ones and campaigns can checkpoint at every
+    yield point. *)
+
+module Pool : sig
+  type error = { task : int; exn : string; backtrace : string }
+  (** a worker exception, attributed to the task that raised it *)
+
+  type 'a cell = {
+    index : int;  (** submission index: position in the input list *)
+    result : ('a, error) result;
+    elapsed_s : float;
+        (** wall-clock spent on this task alone, all attempts/slices *)
+    attempts : int;  (** 1 unless retries were needed *)
+    slices : int;
+        (** slice executions under {!map_sliced}; always 1 under {!map} *)
+  }
+
+  exception Worker_failed of error
+
+  val default_jobs : unit -> int
+  (** [min 4 (Domain.recommended_domain_count ())], at least 1. *)
+
+  val now : unit -> float
+  (** [Unix.gettimeofday]; exposed for callers that time around a map. *)
+
+  val backoff_duration :
+    base_s:float -> seed:int -> task:int -> attempt:int -> float
+  (** The pause taken before retry [attempt] (1-based) of [task]:
+      decorrelated jitter, each pause uniform in [\[base_s, 3 x previous\]]
+      and capped at [64 x base_s]. Pure in its arguments, so a retry
+      schedule is reproducible across runs and testable without
+      sleeping. Returns 0 when [base_s <= 0]. *)
+
+  val map :
+    ?jobs:int ->
+    ?retries:int ->
+    ?backoff_s:float ->
+    ?backoff_seed:int ->
+    ?on_result:('a cell -> unit) ->
+    ('t -> 'a) ->
+    't list ->
+    'a cell list
+  (** Run the function over every task on up to [jobs] domains
+      (default 1: sequential in the calling domain) and return cells in
+      submission order. A failing task is retried up to [retries] times
+      (default 0), pausing {!backoff_duration} seconds between attempts
+      ([backoff_s] base, default 0.05 s; [backoff_seed] decorrelates
+      schedules across runs, default 0); the surviving error is
+      recorded, never raised. [on_result] fires once per finished task,
+      serialized under a mutex, in completion order. *)
+
+  (** What one slice of work produced: either an updated state to
+      continue from, or the task's final result. *)
+  type ('s, 'r) progress = Yield of 's | Done of 'r
+
+  val map_sliced :
+    ?jobs:int ->
+    ?retries:int ->
+    ?backoff_s:float ->
+    ?backoff_seed:int ->
+    ?on_result:('r cell -> unit) ->
+    init:('t -> 's) ->
+    slice:('s -> ('s, 'r) progress) ->
+    't list ->
+    'r cell list
+  (** Preemptive {!map}: [init] builds a task's state, and the engine
+      then advances tasks one bounded [slice] call at a time through a
+      shared FIFO — a task that yields goes to the back of the queue,
+      so live tasks share the workers round-robin regardless of their
+      total length. Retry semantics match {!map}, with one rule: a
+      retry restarts from [init] (a state that faulted mid-slice is
+      never resumed). For deterministic tasks the returned cells are
+      bit-identical for every (jobs, slice-granularity) choice; only
+      [elapsed_s] varies. *)
+
+  val get : 'a cell -> 'a
+  (** The task's value, or raises {!Worker_failed} with its error. *)
+
+  val serial_seconds : 'a cell list -> float
+  (** Sum of per-task elapsed times: the serial cost of the sweep, to
+      compare against the wall-clock of the parallel run. *)
+
+  val pp_error : Format.formatter -> error -> unit
+end
+
+val wall : (unit -> 'a) -> 'a * float
+(** Wall-clock a thunk; the companion to {!Pool.serial_seconds} when
+    reporting sweep speedups. *)

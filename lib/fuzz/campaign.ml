@@ -54,15 +54,37 @@ let interp_impl (e : Registry.entry) : impl =
         | exception exn -> { impl; status = Stuck (Printexc.to_string exn); out = "" });
   }
 
-let compiled_impl (abi : Abi.t) : impl =
+(* Machine.run's default budget, restated here because the sliced loop
+   below has to hand it out in pieces. *)
+let softcore_fuel = 200_000_000
+
+let compiled_impl ?slice (abi : Abi.t) : impl =
   let impl = "isa/" ^ Abi.name abi in
+  let execute src =
+    match slice with
+    | None -> Cheri_compiler.Codegen.run abi src
+    | Some n ->
+        (* run in bounded fuel slices via [Yielded]: the machine stops
+           only between instructions, so outcome and output are
+           identical to the unsliced run for every slice size *)
+        let n = max 1 n in
+        let linked = Cheri_compiler.Codegen.compile_source abi src in
+        let m = Cheri_compiler.Codegen.machine_for abi linked in
+        let rec go left =
+          match Machine.run ~fuel:(min n left) ~yield:true m with
+          | Machine.Yielded when left > n -> go (left - n)
+          | Machine.Yielded -> Machine.Fuel_exhausted
+          | o -> o
+        in
+        (go softcore_fuel, m)
+  in
   {
     impl_name = impl;
     exec =
       (fun src ->
-        match Cheri_compiler.Codegen.run abi src with
+        match execute src with
         | Machine.Exit code, m -> { impl; status = Exited code; out = Machine.output m }
-        | (Machine.Fuel_exhausted | Machine.Deadline_exceeded), m ->
+        | (Machine.Fuel_exhausted | Machine.Deadline_exceeded | Machine.Yielded), m ->
             { impl; status = Hung; out = Machine.output m }
         | o, m ->
             {
@@ -73,8 +95,8 @@ let compiled_impl (abi : Abi.t) : impl =
         | exception exn -> { impl; status = Stuck (Printexc.to_string exn); out = "" });
   }
 
-let default_impls () =
-  List.map interp_impl Registry.entries @ List.map compiled_impl Abi.all
+let default_impls ?slice () =
+  List.map interp_impl Registry.entries @ List.map (compiled_impl ?slice) Abi.all
 
 (* -- divergence detection --------------------------------------------------- *)
 
@@ -236,8 +258,11 @@ let load_checkpoint path ~first_seed ~seeds ~shrink : (int, divergence option) H
         rest);
   tbl
 
-let run ?(impls = default_impls ()) ?(shrink = false) ?(jobs = 1) ?(first_seed = 0) ?checkpoint
+let run ?impls ?slice ?(shrink = false) ?(jobs = 1) ?(first_seed = 0) ?checkpoint
     ?resume ~seeds () : report =
+  (* [slice] only shapes how the softcore implementations spend fuel;
+     with deterministic impls the report is identical either way *)
+  let impls = match impls with Some i -> i | None -> default_impls ?slice () in
   let seed_list = List.init seeds (fun i -> first_seed + i) in
   let done_tbl =
     match resume with

@@ -42,6 +42,7 @@ module Codegen = Cheri_compiler.Codegen
 module Capability = Cheri_core.Capability
 module Exec = Cheri_exec.Exec
 module Json = Cheri_util.Json
+module Snapshot = Cheri_snapshot.Snapshot
 
 (* -- fault kinds ------------------------------------------------------------ *)
 
@@ -380,22 +381,37 @@ let classify r outcome m =
           (Printf.sprintf "exit %Ld with %s output" code
              (if Machine.output m = r.ref_output then "reference" else "divergent"))
   | Machine.Trap _ as o -> Detected (Format.asprintf "%a" Machine.pp_outcome o)
-  | Machine.Fuel_exhausted | Machine.Deadline_exceeded -> Hung
+  | Machine.Fuel_exhausted | Machine.Deadline_exceeded | Machine.Yielded -> Hung
+
+let task_rng (r : reference) kind seed =
+  Rng.of_key [ string_of_int seed; r.ref_workload; Abi.name r.ref_abi; kind_key kind ]
+
+(* allocator faults are armed early, while the allocator is still
+   active — most workloads build their heap up front, and a
+   malloc-failure armed after the last malloc can never fire *)
+let draw_trigger rng (r : reference) kind =
+  let trigger_range =
+    match kind with
+    | Alloc_fail -> max 1 (r.ref_instret / 10)
+    | _ -> max 1 (r.ref_instret - 1)
+  in
+  1 + Rng.below rng trigger_range
+
+let mk_record (r : reference) kind seed trigger detail verdict =
+  {
+    workload = r.ref_workload;
+    abi = Abi.name r.ref_abi;
+    kind;
+    seed;
+    trigger;
+    detail;
+    verdict;
+  }
 
 let run_one ?(fuel = default_fuel) ?deadline_s (r : reference) kind seed : record =
-  let mk trigger detail verdict =
-    {
-      workload = r.ref_workload;
-      abi = Abi.name r.ref_abi;
-      kind;
-      seed;
-      trigger;
-      detail;
-      verdict;
-    }
-  in
+  let mk = mk_record r kind seed in
   match r.ref_outcome with
-  | Machine.Fuel_exhausted | Machine.Deadline_exceeded ->
+  | Machine.Fuel_exhausted | Machine.Deadline_exceeded | Machine.Yielded ->
       (* the workload itself is a runaway: the watchdog reaped the
          reference run, and every injection into it inherits the
          verdict instead of aborting the campaign *)
@@ -405,18 +421,8 @@ let run_one ?(fuel = default_fuel) ?deadline_s (r : reference) kind seed : recor
         (Format.asprintf "reference run trapped: %a" Machine.pp_outcome r.ref_outcome)
         (Detected (Format.asprintf "%a" Machine.pp_outcome r.ref_outcome))
   | Machine.Exit _ ->
-      let rng =
-        Rng.of_key [ string_of_int seed; r.ref_workload; Abi.name r.ref_abi; kind_key kind ]
-      in
-      (* allocator faults are armed early, while the allocator is still
-         active — most workloads build their heap up front, and a
-         malloc-failure armed after the last malloc can never fire *)
-      let trigger_range =
-        match kind with
-        | Alloc_fail -> max 1 (r.ref_instret / 10)
-        | _ -> max 1 (r.ref_instret - 1)
-      in
-      let trigger = 1 + Rng.below rng trigger_range in
+      let rng = task_rng r kind seed in
+      let trigger = draw_trigger rng r kind in
       let m = Codegen.machine_for r.ref_abi r.ref_linked in
       let rec advance () =
         if Machine.instret m >= trigger then None
@@ -601,7 +607,200 @@ let load_checkpoint path c : record list =
             | Ok j -> record_of_json j)
         rest
 
-let run ?(jobs = 1) ?(retries = 1) ?checkpoint ?resume ?limit c : report =
+(* -- preemptive (sliced) injection runs ------------------------------------- *)
+
+(* With [~slice:n], a task advances at most [n] instructions per
+   {!Exec.Pool.map_sliced} slice instead of running to completion. The
+   replay to the trigger point and the post-fault run are both sliced;
+   the machine stops only between instructions, so the verdicts are
+   bit-identical to the unsliced engine for every slice size. The
+   payoff is crash safety: while a checkpoint is being written, every
+   in-flight task also persists a machine snapshot to a sidecar file at
+   each yield, so a killed campaign resumes long tasks mid-run instead
+   of from their trigger replay. *)
+
+type replay_state = {
+  y_ref : reference;
+  y_m : Machine.t;
+  y_rng : Rng.t;
+  y_trigger : int;
+  y_kind : kind;
+  y_seed : int;
+  y_key : string;
+  y_abi : Abi.t;
+}
+
+type post_state = {
+  p_ref : reference;
+  p_m : Machine.t;
+  p_trigger : int;
+  p_detail : string;
+  p_kind : kind;
+  p_seed : int;
+  p_key : string;
+  p_abi : Abi.t;
+  p_fuel_left : int;
+}
+
+type sliced_state =
+  | S_done of record  (** decided without running (reference trapped/hung) *)
+  | S_replay of replay_state  (** advancing a fresh machine to the trigger *)
+  | S_post of post_state  (** fault applied; running it out in fuel slices *)
+
+let inflight_schema = "cheri_c.inject-inflight/v1"
+
+let sanitize_key =
+  String.map (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-') as c -> c | _ -> '-')
+
+let sidecar_path ckpt key = ckpt ^ ".inflight." ^ sanitize_key key ^ ".snap"
+
+let inflight_note ~key ~trigger ~detail ~fuel_left =
+  Printf.sprintf
+    "{\"schema\":\"%s\",\"task\":\"%s\",\"trigger\":%d,\"detail\":\"%s\",\"fuel_left\":%d}"
+    inflight_schema (esc key) trigger (esc detail) fuel_left
+
+let parse_inflight note =
+  match Json.parse note with
+  | Error _ -> None
+  | Ok j -> (
+      let str k = Option.bind (Json.member k j) Json.to_string in
+      let int k = Option.bind (Json.member k j) Json.to_int in
+      match (str "schema", str "task", int "trigger", str "detail", int "fuel_left") with
+      | Some schema, Some key, Some trigger, Some detail, Some fuel_left
+        when schema = inflight_schema ->
+          Some (key, trigger, detail, fuel_left)
+      | _ -> None)
+
+let remove_sidecar ckpt key =
+  let path = sidecar_path ckpt key in
+  if Sys.file_exists path then try Sys.remove path with Sys_error _ -> ()
+
+(* A sidecar is strictly an optimization: any failure to load, parse or
+   restore it (stale file, torn write, changed campaign) silently falls
+   back to restarting the task from its trigger replay. *)
+let resume_from_sidecar ~resume (r : reference) t key =
+  match resume with
+  | None -> None
+  | Some ckpt -> (
+      let path = sidecar_path ckpt key in
+      if not (Sys.file_exists path) then None
+      else
+        match Snapshot.load path with
+        | Error _ -> None
+        | Ok img -> (
+            match parse_inflight (Snapshot.image_note img) with
+            | Some (k, trigger, detail, fuel_left) when k = key && fuel_left > 0 -> (
+                let m = Codegen.machine_for r.ref_abi r.ref_linked in
+                match Snapshot.restore m ~abi:(Abi.name r.ref_abi) img with
+                | Ok () ->
+                    Some
+                      (S_post
+                         {
+                           p_ref = r;
+                           p_m = m;
+                           p_trigger = trigger;
+                           p_detail = detail;
+                           p_kind = t.t_kind;
+                           p_seed = t.t_seed;
+                           p_key = key;
+                           p_abi = r.ref_abi;
+                           p_fuel_left = fuel_left;
+                         })
+                | Error _ -> None)
+            | _ -> None))
+
+let init_sliced ~resume ref_tbl key_of t =
+  match Hashtbl.find ref_tbl (t.t_workload.w_name, Abi.name t.t_abi) with
+  | Error e -> failwith ("reference run failed: " ^ e)
+  | Ok r -> (
+      let key = key_of t in
+      let mk = mk_record r t.t_kind t.t_seed in
+      match r.ref_outcome with
+      | Machine.Fuel_exhausted | Machine.Deadline_exceeded | Machine.Yielded ->
+          S_done (mk 0 "reference run reaped by the watchdog" Hung)
+      | Machine.Trap _ ->
+          S_done
+            (mk 0
+               (Format.asprintf "reference run trapped: %a" Machine.pp_outcome r.ref_outcome)
+               (Detected (Format.asprintf "%a" Machine.pp_outcome r.ref_outcome)))
+      | Machine.Exit _ -> (
+          match resume_from_sidecar ~resume r t key with
+          | Some st -> st
+          | None ->
+              let rng = task_rng r t.t_kind t.t_seed in
+              let trigger = draw_trigger rng r t.t_kind in
+              S_replay
+                {
+                  y_ref = r;
+                  y_m = Codegen.machine_for r.ref_abi r.ref_linked;
+                  y_rng = rng;
+                  y_trigger = trigger;
+                  y_kind = t.t_kind;
+                  y_seed = t.t_seed;
+                  y_key = key;
+                  y_abi = r.ref_abi;
+                }))
+
+let slice_sliced ~slice:slice_n ~fuel ?deadline_s ~checkpoint st :
+    (sliced_state, record) Exec.Pool.progress =
+  match st with
+  | S_done rec_ -> Exec.Pool.Done rec_
+  | S_replay y -> (
+      let r = y.y_ref and m = y.y_m in
+      let mk = mk_record r y.y_kind y.y_seed in
+      let rec advance budget =
+        if Machine.instret m >= y.y_trigger then `At_trigger
+        else if budget <= 0 then `More
+        else match Machine.step m with None -> advance (budget - 1) | Some o -> `Ended o
+      in
+      match advance slice_n with
+      | `More -> Exec.Pool.Yield (S_replay y)
+      | `Ended o ->
+          Exec.Pool.Done
+            (mk y.y_trigger "program ended before the trigger point" (classify r o m))
+      | `At_trigger ->
+          let detail = apply_fault y.y_rng r m y.y_kind in
+          Exec.Pool.Yield
+            (S_post
+               {
+                 p_ref = r;
+                 p_m = m;
+                 p_trigger = y.y_trigger;
+                 p_detail = detail;
+                 p_kind = y.y_kind;
+                 p_seed = y.y_seed;
+                 p_key = y.y_key;
+                 p_abi = y.y_abi;
+                 p_fuel_left = fuel;
+               }))
+  | S_post p -> (
+      let f = min slice_n p.p_fuel_left in
+      match Machine.run ~fuel:f ?deadline_s p.p_m with
+      | Machine.Fuel_exhausted when p.p_fuel_left > f ->
+          let p = { p with p_fuel_left = p.p_fuel_left - f } in
+          Option.iter
+            (fun ckpt ->
+              (* a failed sidecar write only costs resume granularity,
+                 never campaign results *)
+              match
+                Snapshot.save
+                  ~note:
+                    (inflight_note ~key:p.p_key ~trigger:p.p_trigger ~detail:p.p_detail
+                       ~fuel_left:p.p_fuel_left)
+                  ~abi:(Abi.name p.p_abi)
+                  ~path:(sidecar_path ckpt p.p_key)
+                  p.p_m
+              with
+              | Ok _ | Error _ -> ())
+            checkpoint;
+          Exec.Pool.Yield (S_post p)
+      | outcome ->
+          Option.iter (fun ckpt -> remove_sidecar ckpt p.p_key) checkpoint;
+          Exec.Pool.Done
+            (mk_record p.p_ref p.p_kind p.p_seed p.p_trigger p.p_detail
+               (classify p.p_ref outcome p.p_m)))
+
+let run ?(jobs = 1) ?(retries = 1) ?checkpoint ?resume ?limit ?slice c : report =
   let all = tasks c in
   let done_tbl = Hashtbl.create 256 in
   let resumed = match resume with None -> [] | Some path -> load_checkpoint path c in
@@ -671,14 +870,34 @@ let run ?(jobs = 1) ?(retries = 1) ?checkpoint ?resume ?limit c : report =
     | _ -> ()
   in
   let cells =
-    Exec.Pool.map ~jobs ~retries ~on_result
-      (fun t ->
-        match Hashtbl.find ref_tbl (t.t_workload.w_name, Abi.name t.t_abi) with
-        | Ok r -> run_one ~fuel:c.c_fuel ?deadline_s:c.c_deadline_s r t.t_kind t.t_seed
-        | Error e -> failwith ("reference run failed: " ^ e))
-      pending
+    match slice with
+    | None ->
+        Exec.Pool.map ~jobs ~retries ~on_result
+          (fun t ->
+            match Hashtbl.find ref_tbl (t.t_workload.w_name, Abi.name t.t_abi) with
+            | Ok r -> run_one ~fuel:c.c_fuel ?deadline_s:c.c_deadline_s r t.t_kind t.t_seed
+            | Error e -> failwith ("reference run failed: " ^ e))
+          pending
+    | Some n ->
+        let n = max 1 n in
+        Exec.Pool.map_sliced ~jobs ~retries ~on_result
+          ~init:(init_sliced ~resume ref_tbl key_of)
+          ~slice:
+            (slice_sliced ~slice:n ~fuel:c.c_fuel ?deadline_s:c.c_deadline_s ~checkpoint)
+          pending
   in
   Option.iter close_out oc;
+  (* in-flight sidecars are only meaningful for tasks that did not
+     finish; drop the ones whose task just completed (or was restored
+     whole from the checkpoint) *)
+  Option.iter
+    (fun ckpt ->
+      List.iter
+        (fun t ->
+          let key = key_of t in
+          if Hashtbl.mem done_tbl key then remove_sidecar ckpt key)
+        all)
+    checkpoint;
   let new_tbl = Hashtbl.create 256 in
   let errors = ref [] in
   List.iter2

@@ -142,6 +142,7 @@ val run :
   ?checkpoint:string ->
   ?resume:string ->
   ?limit:int ->
+  ?slice:int ->
   campaign ->
   report
 (** Run every task of the campaign over the domain pool.
@@ -154,7 +155,19 @@ val run :
     mismatch; tolerates a torn tail). [checkpoint] and [resume] may
     name the same file. [limit] caps how many pending tasks execute —
     a deterministic way to produce a partial checkpoint, as a kill
-    would. *)
+    would.
+
+    [slice] switches to the preemptive engine
+    ({!Cheri_exec.Exec.Pool.map_sliced}): each task advances at most
+    [slice] instructions per turn through a fair round-robin queue.
+    Because the simulation stops only between instructions, the report
+    is bit-identical to the unsliced run for every slice size and job
+    count. With [checkpoint] also set, every in-flight task persists a
+    {!Cheri_snapshot.Snapshot} of its machine to a
+    [<checkpoint>.inflight.<task>.snap] sidecar at each yield, and
+    [resume] restores such tasks mid-run — a corrupt, stale or missing
+    sidecar silently falls back to restarting that task, never to a
+    wrong record. *)
 
 (** {1 Reporting} *)
 

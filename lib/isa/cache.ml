@@ -115,6 +115,46 @@ let flush t =
   Array.iter (fun l -> Array.fill l 0 (Array.length l) 0) t.lru;
   t.fetch_line <- -1
 
+(* -- snapshot state ------------------------------------------------------ *)
+(* The mutable model state as one flat int array: counters first, then
+   every set's line numbers, then every set's LRU stamps. Geometry
+   (set count, ways, line size) is configuration, not state — restore
+   into a cache of the same geometry only. *)
+
+let snapshot_words t = 4 + (2 * t.set_count * t.ways)
+
+let snapshot_state t =
+  let a = Array.make (snapshot_words t) 0 in
+  a.(0) <- t.clock;
+  a.(1) <- t.hits;
+  a.(2) <- t.misses;
+  a.(3) <- t.fetch_line;
+  let k = ref 4 in
+  for s = 0 to t.set_count - 1 do
+    for w = 0 to t.ways - 1 do
+      a.(!k) <- t.sets.(s).(w);
+      a.(!k + (t.set_count * t.ways)) <- t.lru.(s).(w);
+      incr k
+    done
+  done;
+  a
+
+let restore_state t a =
+  if Array.length a <> snapshot_words t then
+    invalid_arg "Cache.restore_state: state does not match this cache's geometry";
+  t.clock <- a.(0);
+  t.hits <- a.(1);
+  t.misses <- a.(2);
+  t.fetch_line <- a.(3);
+  let k = ref 4 in
+  for s = 0 to t.set_count - 1 do
+    for w = 0 to t.ways - 1 do
+      t.sets.(s).(w) <- a.(!k);
+      t.lru.(s).(w) <- a.(!k + (t.set_count * t.ways));
+      incr k
+    done
+  done
+
 module Timing = struct
   type config = {
     l1_size : int;

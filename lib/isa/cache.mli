@@ -35,6 +35,18 @@ val misses : t -> int
 val reset_stats : t -> unit
 val flush : t -> unit
 
+val snapshot_state : t -> int array
+(** The complete mutable model state — clock, hit/miss counters, the
+    sequential-fetch memo, and every set's resident lines and LRU
+    stamps — as one flat array for the snapshot subsystem. Geometry is
+    configuration and does not travel. *)
+
+val restore_state : t -> int array -> unit
+(** Inverse of {!snapshot_state} into a cache of the same geometry;
+    raises [Invalid_argument] on a length mismatch. After restore the
+    cache replays accesses exactly as the snapshotted one would —
+    identical hits, misses, and evictions. *)
+
 (** Two-level hierarchy translating accesses into cycle counts. *)
 module Timing : sig
   type hierarchy

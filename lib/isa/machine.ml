@@ -41,6 +41,7 @@ type outcome =
   | Trap of { trap : trap; pc : int }
   | Fuel_exhausted
   | Deadline_exceeded
+  | Yielded
 
 let pp_trap ppf = function
   | Cap_trap f -> Format.fprintf ppf "capability trap: %a" Fault.pp f
@@ -58,6 +59,7 @@ let pp_outcome ppf = function
   | Trap { trap; pc } -> Format.fprintf ppf "trap at pc=%d: %a" pc pp_trap trap
   | Fuel_exhausted -> Format.pp_print_string ppf "fuel exhausted"
   | Deadline_exceeded -> Format.pp_print_string ppf "wall-clock deadline exceeded"
+  | Yielded -> Format.pp_print_string ppf "yielded (slice spent, machine still valid)"
 
 type t = {
   cfg : config;
@@ -93,6 +95,11 @@ type t = {
   mutable trace_on : bool;
   mutable allocs : int;
   mutable frees : int;
+  (* total syscalls retired — lets {!run}'s deadline loop sample the
+     wall clock on every syscall boundary, not only every 32k
+     instructions (syscall paths can be orders of magnitude slower
+     than plain instructions on the host) *)
+  mutable syscalls : int;
   (* fault-injection arming (Cheri_inject): when [Some n], the n-th
      next malloc/free traps as if the allocator failed *)
   mutable alloc_fail_after : int option;
@@ -170,6 +177,7 @@ let create cfg ~code =
     trace_on = false;
     allocs = 0;
     frees = 0;
+    syscalls = 0;
     alloc_fail_after = None;
     free_fail_after = None;
     pending = None;
@@ -450,6 +458,7 @@ let[@inline] check_cap_alignment addr =
    terminating syscall (exit) stages its outcome in [t.pending] rather
    than returning it, so the per-instruction path carries plain ints. *)
 let do_syscall t =
+  t.syscalls <- t.syscalls + 1;
   let n = gpr t 2 in
   let a0 = gpr t 4 and a1 = gpr t 5 in
   if t.trace_on then
@@ -796,24 +805,42 @@ let step t =
    deadline is set: the check must be invisible next to the step cost. *)
 let deadline_stride = 32_768
 
-let run ?(fuel = 200_000_000) ?deadline_s t =
+let run ?(fuel = 200_000_000) ?deadline_s ?(yield = false) t =
+  (* In yield mode an exhausted budget is an interruption, not a
+     verdict: the machine is untouched past the last retired
+     instruction, so [run] again (here or after restoring a snapshot)
+     continues byte-identically — the loop stops *before* stepping,
+     never mid-instruction. *)
+  let out_of_fuel = if yield then Yielded else Fuel_exhausted in
+  let past_deadline = if yield then Yielded else Deadline_exceeded in
   match deadline_s with
   | None ->
       let rec go remaining =
-        if remaining <= 0 then Fuel_exhausted
+        if remaining <= 0 then out_of_fuel
         else match step t with None -> go (remaining - 1) | Some outcome -> outcome
       in
       go fuel
   | Some budget ->
       let expires = Unix.gettimeofday () +. budget in
-      let rec go remaining =
-        if remaining <= 0 then Fuel_exhausted
-        else if
-          remaining mod deadline_stride = 0 && Unix.gettimeofday () > expires
-        then Deadline_exceeded
-        else match step t with None -> go (remaining - 1) | Some outcome -> outcome
+      (* The clock is sampled every [deadline_stride] retired
+         instructions and additionally on every syscall boundary
+         ([seen_sys] lags the counter by one iteration): a workload
+         looping through slow syscall paths retires few instructions
+         per host second and would otherwise overshoot the deadline by
+         the stride's worth of syscalls. Simulated cycle counts are
+         unaffected either way. *)
+      let rec go remaining seen_sys =
+        if remaining <= 0 then out_of_fuel
+        else begin
+          let sys_now = t.syscalls in
+          if
+            (remaining mod deadline_stride = 0 || sys_now <> seen_sys)
+            && Unix.gettimeofday () > expires
+          then past_deadline
+          else match step t with None -> go (remaining - 1) sys_now | Some outcome -> outcome
+        end
       in
-      go fuel
+      go fuel t.syscalls
 
 type stats = {
   st_cycles : int;
@@ -852,6 +879,106 @@ let stats t =
 (* Exposed for the loader (Cheri_asm): remove the data segment from the
    allocator's free list. *)
 let reserve_data = heap_reserve
+
+let code t = t.code
+
+(* -- snapshot / restore -------------------------------------------------- *)
+
+module Snap = struct
+  type t = {
+    s_gprs : string;  (* the full register file, 33 x 8 bytes LE *)
+    s_caps : Cap.t array;  (* the 32 capability registers *)
+    s_pcc : Cap.t;
+    s_pc : int;
+    s_cycles : int;
+    s_instret : int;
+    s_loads : int;
+    s_stores : int;
+    s_cap_loads : int;
+    s_cap_stores : int;
+    s_heap_allocated : int64;
+    s_allocs : int;
+    s_frees : int;
+    s_syscalls : int;
+    s_alloc_fail_after : int option;
+    s_free_fail_after : int option;
+    s_output : string;
+    s_allocated : (int64 * int64) list;  (* sorted by base *)
+    s_free_list : (int64 * int64) list;
+    s_icache : int array;
+    s_l1 : int array;
+    s_l2 : int array;
+    s_data_pages : (int * string) list;
+    s_tag_pages : (int * string) list;
+  }
+
+  let page_bytes = 4096
+end
+
+let snapshot t : Snap.t =
+  {
+    Snap.s_gprs = Bytes.to_string t.gprs;
+    s_caps = Array.copy t.caps;
+    s_pcc = t.pcc;
+    s_pc = t.pc;
+    s_cycles = t.cycles;
+    s_instret = t.instret;
+    s_loads = t.loads;
+    s_stores = t.stores;
+    s_cap_loads = t.cap_loads;
+    s_cap_stores = t.cap_stores;
+    s_heap_allocated = t.heap_allocated;
+    s_allocs = t.allocs;
+    s_frees = t.frees;
+    s_syscalls = t.syscalls;
+    s_alloc_fail_after = t.alloc_fail_after;
+    s_free_fail_after = t.free_fail_after;
+    s_output = Buffer.contents t.out;
+    s_allocated =
+      Hashtbl.fold (fun base size acc -> (base, size) :: acc) t.allocated []
+      |> List.sort (fun (a, _) (b, _) -> Bits.ucompare a b);
+    s_free_list = t.free_list;
+    s_icache = Cache.snapshot_state t.icache;
+    s_l1 = Cache.snapshot_state (Cache.Timing.l1 t.dcache);
+    s_l2 = Cache.snapshot_state (Cache.Timing.l2 t.dcache);
+    s_data_pages = fst (Mem.snapshot_pages t.memory ~page_bytes:Snap.page_bytes);
+    s_tag_pages = snd (Mem.snapshot_pages t.memory ~page_bytes:Snap.page_bytes);
+  }
+
+let restore t (s : Snap.t) =
+  if String.length s.Snap.s_gprs <> Bytes.length t.gprs then
+    invalid_arg "Machine.restore: register file size mismatch";
+  if Array.length s.Snap.s_caps <> Array.length t.caps then
+    invalid_arg "Machine.restore: capability register file size mismatch";
+  Bytes.blit_string s.Snap.s_gprs 0 t.gprs 0 (Bytes.length t.gprs);
+  Array.blit s.Snap.s_caps 0 t.caps 0 (Array.length t.caps);
+  t.pcc <- s.Snap.s_pcc;
+  t.pc <- s.Snap.s_pc;
+  t.cycles <- s.Snap.s_cycles;
+  t.instret <- s.Snap.s_instret;
+  t.loads <- s.Snap.s_loads;
+  t.stores <- s.Snap.s_stores;
+  t.cap_loads <- s.Snap.s_cap_loads;
+  t.cap_stores <- s.Snap.s_cap_stores;
+  t.heap_allocated <- s.Snap.s_heap_allocated;
+  t.allocs <- s.Snap.s_allocs;
+  t.frees <- s.Snap.s_frees;
+  t.syscalls <- s.Snap.s_syscalls;
+  t.alloc_fail_after <- s.Snap.s_alloc_fail_after;
+  t.free_fail_after <- s.Snap.s_free_fail_after;
+  Buffer.clear t.out;
+  Buffer.add_string t.out s.Snap.s_output;
+  Hashtbl.reset t.allocated;
+  List.iter (fun (base, size) -> Hashtbl.replace t.allocated base size) s.Snap.s_allocated;
+  t.free_list <- s.Snap.s_free_list;
+  Cache.restore_state t.icache s.Snap.s_icache;
+  Cache.restore_state (Cache.Timing.l1 t.dcache) s.Snap.s_l1;
+  Cache.restore_state (Cache.Timing.l2 t.dcache) s.Snap.s_l2;
+  Mem.restore_pages t.memory ~page_bytes:Snap.page_bytes ~data:s.Snap.s_data_pages
+    ~tags:s.Snap.s_tag_pages;
+  (* [pending] is observable only within a step; between steps it is
+     always [None], which is where a snapshot is ever taken. *)
+  t.pending <- None
 
 (* -- fault-injection perturbation points (Cheri_inject) ------------------ *)
 

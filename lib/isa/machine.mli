@@ -48,6 +48,11 @@ type outcome =
       (** the wall-clock watchdog of {!run}'s [deadline_s] fired; like
           [Fuel_exhausted] this is a harness outcome (classified as a
           hang by the campaigns), not a modelled trap *)
+  | Yielded
+      (** only with {!run}'s [~yield:true]: the fuel slice was spent or
+          the deadline fired, and the machine is still valid — call
+          {!run} again (or {!snapshot} it) to continue exactly where it
+          stopped *)
 
 val pp_trap : Format.formatter -> trap -> unit
 val pp_outcome : Format.formatter -> outcome -> unit
@@ -100,14 +105,84 @@ val reserve_data : t -> int64 -> int64 -> unit
 val step : t -> outcome option
 (** Execute one instruction; [None] while the program keeps running. *)
 
-val run : ?fuel:int -> ?deadline_s:float -> t -> outcome
+val run : ?fuel:int -> ?deadline_s:float -> ?yield:bool -> t -> outcome
 (** Run until exit, trap, or [fuel] instructions (default 200 million).
     [deadline_s] arms a wall-clock watchdog: the loop samples the clock
-    every 32k retired instructions and stops with {!Deadline_exceeded}
-    once the budget is spent, so one runaway task can be reaped without
-    killing its worker domain. Fuel is the deterministic watchdog;
-    the deadline is the defence against host-level pathology (a stuck
-    syscall path, severe oversubscription). *)
+    every 32k retired instructions {e and on every syscall boundary}
+    (syscall paths are far slower per retired instruction, so a
+    syscall-looping workload would otherwise overshoot the budget by a
+    large factor) and stops with {!Deadline_exceeded} once the budget
+    is spent, so one runaway task can be reaped without killing its
+    worker domain. Fuel is the deterministic watchdog; the deadline is
+    the defence against host-level pathology (a stuck syscall path,
+    severe oversubscription).
+
+    [~yield:true] turns both exhaustions into {!Yielded} and makes the
+    interruption recoverable: the loop only ever stops {e between}
+    instructions, so the machine remains architecturally valid and a
+    subsequent [run] — in this process, or after {!restore} of a
+    {!snapshot} in another — continues the execution byte-identically
+    (same output, same cycles/instret) to a run that never stopped. *)
+
+(** {1 Snapshot / restore}
+
+    Complete, deterministic capture of the mutable machine state.
+    Guarantee: for any machine [m] and fuel split [f = f1 + f2],
+    running [m] for [f1] instructions with [~yield:true], taking
+    [snapshot m], restoring it into a fresh machine [m'] built from the
+    same config and code, and running [m'] for [f2] yields the same
+    outcome, output, cycles, instret — and every other observable — as
+    running [m] for [f] uninterrupted. The telemetry sink is host-side
+    instrumentation, not machine state, and does not travel. *)
+
+module Snap : sig
+  type t = {
+    s_gprs : string;  (** the full register file, 33 x 8 bytes LE *)
+    s_caps : Cheri_core.Capability.t array;  (** the 32 capability registers *)
+    s_pcc : Cheri_core.Capability.t;
+    s_pc : int;
+    s_cycles : int;
+    s_instret : int;
+    s_loads : int;
+    s_stores : int;
+    s_cap_loads : int;
+    s_cap_stores : int;
+    s_heap_allocated : int64;
+    s_allocs : int;
+    s_frees : int;
+    s_syscalls : int;
+    s_alloc_fail_after : int option;
+    s_free_fail_after : int option;
+    s_output : string;
+    s_allocated : (int64 * int64) list;  (** live heap blocks, sorted by base *)
+    s_free_list : (int64 * int64) list;
+    s_icache : int array;  (** {!Cache.snapshot_state} of the I-cache *)
+    s_l1 : int array;
+    s_l2 : int array;
+    s_data_pages : (int * string) list;  (** nonzero 4 KiB pages of data memory *)
+    s_tag_pages : (int * string) list;  (** nonzero 4 KiB pages of the tag store *)
+  }
+  (** The fields are public so {!Cheri_snapshot} can serialize them;
+      nothing else should construct one by hand. *)
+
+  val page_bytes : int
+  (** Sparse-encoding page size (4096). *)
+end
+
+val snapshot : t -> Snap.t
+(** Capture every mutable architectural and model field. Never taken
+    mid-instruction, so staged terminal outcomes are always empty. *)
+
+val restore : t -> Snap.t -> unit
+(** Overwrite [t]'s state with the snapshot's. [t] must have been
+    created from the same config and code as the snapshotted machine
+    (the on-disk format of {!Cheri_snapshot} enforces this; this
+    in-memory entry only checks register-file shapes, raising
+    [Invalid_argument]). The attached telemetry sink is kept. *)
+
+val code : t -> Insn.t array
+(** The loaded (resolved) code image — used to fingerprint a machine
+    for snapshot compatibility checks. Do not mutate. *)
 
 (** {1 Statistics} *)
 

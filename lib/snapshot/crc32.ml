@@ -1,0 +1,34 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), table-driven.
+   The checksum guards snapshot images against truncation and bit rot;
+   it is not a cryptographic integrity check (snapshots are local files
+   we wrote ourselves, like the campaign checkpoints). Implemented here
+   rather than pulled in as a dependency: the container toolchain is
+   frozen, and thirty lines beat a vendored zlib binding. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(* zlib-style composition: [update crc s] continues a running digest,
+   so [update (update 0 a) b = update 0 (a ^ b)]. The pre/post
+   inversion lives inside, and the running value stays in the low 32
+   bits of a native int. *)
+let update_sub crc s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update_sub: range outside the string";
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xffffffff) in
+  for i = pos to pos + len - 1 do
+    c := Array.unsafe_get t ((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+let update crc s = update_sub crc s ~pos:0 ~len:(String.length s)
+let digest s = update 0 s
+let digest_sub s ~pos ~len = update_sub 0 s ~pos ~len

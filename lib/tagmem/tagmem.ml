@@ -229,6 +229,58 @@ let poke_raw t addr v =
   let a = check_range t addr 1 in
   Bytes.set t.data a (Char.chr (v land 0xff))
 
+(* -- snapshot hooks ------------------------------------------------------ *)
+(* Raw page-granular dump/load of the two underlying stores, bypassing
+   the integrity rule (a restore must reproduce tags exactly, not clear
+   them). Only the snapshot subsystem calls these. *)
+
+(* Is [buf.[off .. off+len)] all zero? Scan 8 bytes at a time; [len] is
+   a whole page except possibly the last page of an odd-sized store. *)
+let page_is_zero buf off len =
+  let words = len / 8 in
+  let rec go i =
+    if i < words then Bytes.get_int64_le buf (off + (i * 8)) = 0L && go (i + 1)
+    else
+      let rec tail j = j >= len || (Bytes.get buf (off + j) = '\000' && tail (j + 1)) in
+      tail (words * 8)
+  in
+  go 0
+
+let dump_pages buf ~page_bytes =
+  let n = Bytes.length buf in
+  let acc = ref [] in
+  let idx = ref ((n + page_bytes - 1) / page_bytes - 1) in
+  while !idx >= 0 do
+    let off = !idx * page_bytes in
+    let len = min page_bytes (n - off) in
+    if not (page_is_zero buf off len) then
+      acc := (!idx, Bytes.sub_string buf off len) :: !acc;
+    decr idx
+  done;
+  !acc
+
+let snapshot_pages t ~page_bytes =
+  if page_bytes <= 0 || page_bytes mod 8 <> 0 then
+    invalid_arg "Tagmem.snapshot_pages: page size must be a positive multiple of 8";
+  (dump_pages t.data ~page_bytes, dump_pages t.tags ~page_bytes)
+
+let load_pages buf ~page_bytes pages =
+  let n = Bytes.length buf in
+  Bytes.fill buf 0 n '\000';
+  List.iter
+    (fun (idx, (page : string)) ->
+      let off = idx * page_bytes in
+      if idx < 0 || off + String.length page > n then
+        invalid_arg "Tagmem.restore_pages: page outside the store";
+      Bytes.blit_string page 0 buf off (String.length page))
+    pages
+
+let restore_pages t ~page_bytes ~data ~tags =
+  if page_bytes <= 0 || page_bytes mod 8 <> 0 then
+    invalid_arg "Tagmem.restore_pages: page size must be a positive multiple of 8";
+  load_pages t.data ~page_bytes data;
+  load_pages t.tags ~page_bytes tags
+
 let count_tags t =
   let n = ref 0 in
   let granules = size t / t.granule in

@@ -101,6 +101,31 @@ val poke_raw : t -> int64 -> int -> unit
     this way keeps its tag — exactly the corruption CHERI's tag bit
     does {e not} defend against (tags are not a checksum). *)
 
+(** {1 Snapshot hooks}
+
+    Page-granular raw dump/load of the data and tag stores for the
+    snapshot subsystem ({!Cheri_snapshot}). Like the fault-injection
+    hooks these sit {e below} the architecture: [restore_pages]
+    reinstates tag bits verbatim instead of letting the §4.2 integrity
+    rule clear them, and neither path emits telemetry. A freshly
+    created memory is all-zero with clear tags, so only nonzero pages
+    need to travel — a 32 MiB address space with 2 MiB touched dumps
+    as ~2 MiB. *)
+
+val snapshot_pages : t -> page_bytes:int -> (int * string) list * (int * string) list
+(** [(data_pages, tag_pages)]: every page (index, contents) of the
+    respective store holding at least one nonzero byte, ascending by
+    index. The final page of an odd-sized store may be short.
+    [page_bytes] must be a positive multiple of 8 (the zero scan reads
+    whole words); raises [Invalid_argument] otherwise. *)
+
+val restore_pages :
+  t -> page_bytes:int -> data:(int * string) list -> tags:(int * string) list -> unit
+(** Zero both stores, then blit the given pages back — the exact
+    inverse of {!snapshot_pages} under the same [page_bytes]. Raises
+    [Invalid_argument] if a page falls outside the store (a snapshot
+    for a differently sized memory; callers validate sizes first). *)
+
 val count_tags : t -> int
 (** Number of set tag bits — used by the garbage collector's root scan
     and by tests. *)

@@ -107,6 +107,120 @@ let test_pool_on_result_hook () =
     (List.init 17 (fun i -> i))
     (List.sort compare !seen)
 
+(* -- decorrelated-jitter backoff ------------------------------------------------ *)
+
+let test_backoff_bounds () =
+  let base = 0.01 in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun task ->
+          let prev = ref base in
+          for attempt = 1 to 12 do
+            let d = Pool.backoff_duration ~base_s:base ~seed ~task ~attempt in
+            check_bool "pause at least base" true (d >= base);
+            check_bool "pause within the decorrelated-jitter window" true
+              (d <= Float.min (3. *. !prev) (64. *. base) +. 1e-12);
+            check_bool "pause never exceeds the cap" true (d <= 64. *. base +. 1e-12);
+            prev := d
+          done)
+        [ 0; 1; 7 ])
+    [ 0; 42 ]
+
+let test_backoff_reproducible () =
+  let d () = Pool.backoff_duration ~base_s:0.25 ~seed:9 ~task:3 ~attempt:4 in
+  check_bool "pure in (seed, task, attempt)" true (d () = d ());
+  check_bool "different seeds decorrelate" true
+    (Pool.backoff_duration ~base_s:0.25 ~seed:1 ~task:3 ~attempt:4
+    <> Pool.backoff_duration ~base_s:0.25 ~seed:2 ~task:3 ~attempt:4);
+  check_bool "zero base disables the pause" true
+    (Pool.backoff_duration ~base_s:0. ~seed:1 ~task:1 ~attempt:1 = 0.);
+  check_bool "attempt 0 takes no pause" true
+    (Pool.backoff_duration ~base_s:1. ~seed:1 ~task:1 ~attempt:0 = 0.)
+
+(* -- preemptive slicing (map_sliced) -------------------------------------------- *)
+
+(* a task that needs [1 + n mod 3] slice calls before completing *)
+let sliced_init n = (n, 0)
+
+let sliced_slice (n, k) =
+  if k + 1 >= 1 + (n mod 3) then Pool.Done (work n) else Pool.Yield (n, k + 1)
+
+let test_map_sliced_determinism () =
+  let tasks = List.init 23 (fun i -> i) in
+  let flat = Pool.map ~jobs:1 work tasks in
+  let variants =
+    [
+      Pool.map_sliced ~jobs:1 ~init:sliced_init ~slice:sliced_slice tasks;
+      Pool.map_sliced ~jobs:4 ~init:sliced_init ~slice:sliced_slice tasks;
+    ]
+  in
+  List.iter
+    (fun cells ->
+      check_bool "sliced results identical to map, in submission order" true
+        (strip cells = strip flat);
+      List.iteri
+        (fun i (c : _ Pool.cell) ->
+          check_int "index = position" i c.Pool.index;
+          check_int "slice invocations counted" (1 + (i mod 3)) c.Pool.slices)
+        cells)
+    variants;
+  check_bool "map reports a single slice per task" true
+    (List.for_all (fun (c : _ Pool.cell) -> c.Pool.slices = 1) flat)
+
+let test_map_sliced_retry_restarts_from_init () =
+  (* task 1 dies on its second slice for the first two attempts; the
+     retry must restart from init, so the successful attempt still
+     walks every slice *)
+  let deaths = ref 0 in
+  let slice (n, k) =
+    if n = 1 && k = 1 && !deaths < 2 then begin
+      incr deaths;
+      failwith "flaky slice"
+    end;
+    sliced_slice (n, k)
+  in
+  let cells =
+    Pool.map_sliced ~jobs:1 ~retries:2 ~backoff_s:0. ~init:sliced_init ~slice [ 0; 1; 2 ]
+  in
+  List.iteri
+    (fun i (c : _ Pool.cell) ->
+      check_int "sliced retry result correct" (work i) (Pool.get c);
+      check_int "attempts recorded" (if i = 1 then 3 else 1) c.Pool.attempts)
+    cells;
+  check_int "the transient fired twice" 2 !deaths;
+  (* task 1 needs 2 slices; two attempts died on slice 2, the third
+     ran both — 6 slice invocations in total *)
+  check_int "slices accumulate across attempts" 6 (List.nth cells 1).Pool.slices
+
+let test_map_sliced_retry_exhausted () =
+  let cells =
+    Pool.map_sliced ~jobs:1 ~retries:1 ~backoff_s:0.
+      ~init:(fun n -> n)
+      ~slice:(fun _ -> failwith "hard")
+      [ 0 ]
+  in
+  match cells with
+  | [ c ] -> (
+      check_int "all attempts spent" 2 c.Pool.attempts;
+      match c.Pool.result with
+      | Error e -> check_bool "error names the final attempt" true (contains e.Pool.exn "attempt 2")
+      | Ok _ -> Alcotest.fail "deterministic failure should not succeed")
+  | _ -> Alcotest.fail "expected one cell"
+
+let test_map_sliced_init_failure_isolated () =
+  let init n = if n = 2 then failwith "bad init" else sliced_init n in
+  let cells = Pool.map_sliced ~jobs:2 ~init ~slice:sliced_slice [ 0; 1; 2; 3 ] in
+  List.iteri
+    (fun i (c : _ Pool.cell) ->
+      match c.Pool.result with
+      | Ok v ->
+          check_bool "other tasks unaffected" true (i <> 2);
+          check_int "value correct" (work i) v
+      | Error e ->
+          check_int "init failure attributed to its task" 2 e.Pool.task)
+    cells
+
 (* -- shrinker property --------------------------------------------------------- *)
 
 (* An implementation pair with an injected divergence: the real PDP-11
@@ -193,6 +307,16 @@ let suite =
     Alcotest.test_case "bounded retry absorbs transients" `Quick test_pool_retry_transient;
     Alcotest.test_case "retry exhaustion keeps the error" `Quick test_pool_retry_exhausted;
     Alcotest.test_case "on_result hook fires once per task" `Quick test_pool_on_result_hook;
+    Alcotest.test_case "backoff stays in the jitter window" `Quick test_backoff_bounds;
+    Alcotest.test_case "backoff is reproducible" `Quick test_backoff_reproducible;
+    Alcotest.test_case "map_sliced determinism (1 vs 4 domains)" `Quick
+      test_map_sliced_determinism;
+    Alcotest.test_case "map_sliced retry restarts from init" `Quick
+      test_map_sliced_retry_restarts_from_init;
+    Alcotest.test_case "map_sliced retry exhaustion keeps the error" `Quick
+      test_map_sliced_retry_exhausted;
+    Alcotest.test_case "map_sliced init failure is isolated" `Quick
+      test_map_sliced_init_failure_isolated;
     Alcotest.test_case "generator is deterministic" `Quick test_gen_render_deterministic;
     Alcotest.test_case "shrink candidates strictly smaller" `Quick
       test_shrink_candidates_strictly_smaller;

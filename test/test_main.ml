@@ -16,6 +16,7 @@ let () =
       ("printers", Test_printers.suite);
       ("gc", Test_gc.suite);
       ("exec", Test_exec.suite);
+      ("snapshot", Test_snapshot.suite);
       ("fuzz", Test_fuzz.suite);
       ("inject", Test_inject.suite);
       ("properties", Test_props.suite);

@@ -132,6 +132,118 @@ let prop_tagmem_cap_roundtrip_random =
       Cheri_tagmem.Tagmem.store_cap mem ~addr c;
       Cap.equal c (Cheri_tagmem.Tagmem.load_cap mem ~addr))
 
+(* -- snapshot serialization --------------------------------------------------- *)
+
+module Snapshot = Cheri_snapshot.Snapshot
+
+(* a run preempted here has live heap, caches, output and tag bits *)
+let snap_src =
+  {|
+int main(void) {
+  long *p = (long *)malloc(8 * 64);
+  long **q = (long **)malloc(8 * 8);
+  long acc = 0;
+  for (long r = 0; r < 200; r++) {
+    for (long i = 0; i < 64; i++) { p[i] = acc + i * 17; acc += p[i]; }
+    q[r % 8] = p + (r % 64);
+    if (r % 50 == 0) print_int(acc & 255);
+  }
+  print_int(acc & 65535);
+  return 0;
+}
+|}
+
+let snap_linked =
+  lazy
+    (let abi = Cheri_compiler.Abi.(Cheri Cheri_core.Cap_ops.V3) in
+     (abi, Cheri_compiler.Codegen.compile_source abi snap_src))
+
+(* splitmix64: all the perturbation entropy flows from the qcheck seed *)
+let sm64 st =
+  let open Int64 in
+  st := add !st 0x9e3779b97f4a7c15L;
+  let z = !st in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+(* The file format must be the identity on *any* machine state — not
+   just states a legal run can reach. Preempt a real run (live heap
+   pages, caches, tag bits), then overwrite every register, capability
+   and counter with arbitrary values: capabilities with overflowing
+   bounds, sealed-but-untagged combinations, 64-bit otypes. A
+   save/load/restore trip into a fresh machine must reproduce the
+   Snap record field for field. *)
+let prop_snapshot_roundtrip =
+  QCheck.Test.make ~name:"snapshot: save/load/restore is the identity on machine state"
+    ~count:20
+    QCheck.(int_bound 0x3fffffff)
+    (fun seed ->
+      let abi, linked = Lazy.force snap_linked in
+      let m = Cheri_compiler.Codegen.machine_for abi linked in
+      (match Machine.run ~fuel:3_000 ~yield:true m with
+      | Machine.Yielded -> ()
+      | _ -> failwith "snapshot property: program shorter than the preemption point");
+      let s = Machine.snapshot m in
+      let st = ref (Int64.of_int seed) in
+      let next () = sm64 st in
+      let bit () = Int64.logand (next ()) 1L = 1L in
+      let nat () = Int64.to_int (Int64.logand (next ()) 0x3fffffffL) in
+      let cap () =
+        Cap.of_fields_unchecked ~tag:(bit ()) ~base:(next ()) ~length:(next ())
+          ~offset:(next ())
+          ~perms:(Perms.of_bits_int (Int64.to_int (Int64.logand (next ()) 0xffL)))
+          ~sealed:(bit ()) ~otype:(next ())
+      in
+      let gprs = Bytes.create (33 * 8) in
+      for i = 0 to 32 do
+        Bytes.set_int64_le gprs (i * 8) (next ())
+      done;
+      let output =
+        String.init (nat () mod 200) (fun _ -> Char.chr (Int64.to_int (Int64.logand (next ()) 0xffL)))
+      in
+      let opt () = if bit () then Some (nat ()) else None in
+      let s' =
+        {
+          s with
+          Machine.Snap.s_gprs = Bytes.to_string gprs;
+          s_caps = Array.init 32 (fun _ -> cap ());
+          s_pcc = cap ();
+          s_pc = nat ();
+          s_cycles = nat ();
+          s_instret = nat ();
+          s_loads = nat ();
+          s_stores = nat ();
+          s_cap_loads = nat ();
+          s_cap_stores = nat ();
+          s_heap_allocated = Int64.logand (next ()) 0xffffffffL;
+          s_allocs = nat ();
+          s_frees = nat ();
+          s_syscalls = nat ();
+          s_alloc_fail_after = opt ();
+          s_free_fail_after = opt ();
+          s_output = output;
+        }
+      in
+      Machine.restore m s';
+      let path = Filename.temp_file "cheri-prop-snap" ".snap" in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+        (fun () ->
+          (match Snapshot.save ~abi:(Cheri_compiler.Abi.name abi) ~path m with
+          | Ok _ -> ()
+          | Error e -> failwith (Snapshot.error_to_string e));
+          let img =
+            match Snapshot.load path with
+            | Ok img -> img
+            | Error e -> failwith (Snapshot.error_to_string e)
+          in
+          let m2 = Cheri_compiler.Codegen.machine_for abi linked in
+          (match Snapshot.restore m2 ~abi:(Cheri_compiler.Abi.name abi) img with
+          | Ok () -> ()
+          | Error e -> failwith (Snapshot.error_to_string e));
+          Machine.snapshot m2 = s'))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_allocator_disjoint;
@@ -142,5 +254,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_flat_heap_guard_gaps;
     QCheck_alcotest.to_alcotest prop_sealed_roundtrip;
     QCheck_alcotest.to_alcotest prop_tagmem_cap_roundtrip_random;
+    QCheck_alcotest.to_alcotest prop_snapshot_roundtrip;
   ]
 

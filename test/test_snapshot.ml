@@ -1,0 +1,241 @@
+(* The snapshot/restore subsystem at the library level: preemptive
+   slicing and a save/load/restore round trip must be invisible to
+   every observable on every ABI, damaged images must be refused with
+   the right structured error (and leave the target machine untouched),
+   and the deadline watchdog must sample the clock at syscall
+   boundaries, not only every 32k instructions. *)
+
+module Machine = Cheri_isa.Machine
+module Abi = Cheri_compiler.Abi
+module Codegen = Cheri_compiler.Codegen
+module Snapshot = Cheri_snapshot.Snapshot
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* small but eventful: heap churn, stores through capabilities, output
+   and syscalls, so a midpoint snapshot carries every state class *)
+let src =
+  {|
+int main(void) {
+  long *acc = (long *)malloc(8 * 32);
+  long sum = 0;
+  for (long r = 0; r < 40; r++) {
+    long *tmp = (long *)malloc(8 * 16);
+    for (long i = 0; i < 16; i++) tmp[i] = r * 31 + i;
+    for (long i = 0; i < 16; i++) sum += tmp[i];
+    acc[r % 32] = sum;
+    free(tmp);
+    if (r % 8 == 0) print_int(sum & 4095);
+  }
+  print_int(sum & 65535);
+  return 0;
+}
+|}
+
+let fresh abi = Codegen.machine_for abi (Codegen.compile_source abi src)
+
+type obs = { o_cycles : int; o_instret : int; o_output : string }
+
+let observe m = { o_cycles = Machine.cycles m; o_instret = Machine.instret m; o_output = Machine.output m }
+
+let finish m =
+  match Machine.run m with
+  | Machine.Exit 0L -> observe m
+  | o -> Alcotest.failf "unexpected outcome: %s" (Format.asprintf "%a" Machine.pp_outcome o)
+
+let run_sliced ~slice m =
+  let rec go () =
+    match Machine.run ~fuel:slice ~yield:true m with
+    | Machine.Yielded -> go ()
+    | Machine.Exit 0L -> observe m
+    | o -> Alcotest.failf "unexpected sliced outcome: %s" (Format.asprintf "%a" Machine.pp_outcome o)
+  in
+  go ()
+
+let preempt_at abi ~at =
+  let m = fresh abi in
+  (match Machine.run ~fuel:at ~yield:true m with
+  | Machine.Yielded -> ()
+  | o ->
+      Alcotest.failf "%s: finished (%s) before the midpoint" (Abi.name abi)
+        (Format.asprintf "%a" Machine.pp_outcome o));
+  m
+
+let with_temp f =
+  let path = Filename.temp_file "cheri-test-snapshot" ".snap" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let save_exn ~abi ~path m =
+  match Snapshot.save ~abi ~path m with
+  | Ok n -> n
+  | Error e -> Alcotest.failf "save failed: %s" (Snapshot.error_to_string e)
+
+let load_exn path =
+  match Snapshot.load path with
+  | Ok img -> img
+  | Error e -> Alcotest.failf "load failed: %s" (Snapshot.error_to_string e)
+
+(* -- slicing and save/restore equivalence -------------------------------------- *)
+
+let test_sliced_equivalence () =
+  List.iter
+    (fun abi ->
+      let reference = finish (fresh abi) in
+      (* odd slice sizes land the yields at unaligned points *)
+      List.iter
+        (fun slice ->
+          check_bool
+            (Printf.sprintf "%s: slice=%d run matches flat run" (Abi.name abi) slice)
+            true
+            (run_sliced ~slice (fresh abi) = reference))
+        [ 777; 4_096 ])
+    Abi.all
+
+let test_save_restore_roundtrip () =
+  List.iter
+    (fun abi ->
+      let name = Abi.name abi in
+      let reference = finish (fresh abi) in
+      let at = reference.o_instret / 2 in
+      with_temp (fun path ->
+          let m1 = preempt_at abi ~at in
+          let bytes = save_exn ~abi:name ~path m1 in
+          check_bool (name ^ ": snapshot has a plausible size") true (bytes > 1024);
+          (* the original continues unharmed by the save *)
+          check_bool (name ^ ": continued-after-save matches reference") true
+            (finish m1 = reference);
+          let img = load_exn path in
+          Alcotest.(check string) (name ^ ": image records the ABI") name (Snapshot.image_abi img);
+          check_int (name ^ ": image records the preemption point") at
+            (Snapshot.image_instret img);
+          check_bool (name ^ ": describe is non-empty") true
+            (String.length (Snapshot.describe img) > 0);
+          let m2 = fresh abi in
+          (match Snapshot.restore m2 ~abi:name img with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s: restore failed: %s" name (Snapshot.error_to_string e));
+          check_bool (name ^ ": restored machine matches reference") true
+            (finish m2 = reference)))
+    Abi.all
+
+(* -- damaged and mismatched images ---------------------------------------------- *)
+
+let expect_error what result check =
+  match result with
+  | Ok _ -> Alcotest.failf "%s: expected a structured error, got success" what
+  | Error e ->
+      check_bool (what ^ ": error class") true (check e);
+      check_bool (what ^ ": message is non-empty") true
+        (String.length (Snapshot.error_to_string e) > 0)
+
+let test_refused_images () =
+  let abi = Abi.(Cheri Cheri_core.Cap_ops.V3) in
+  with_temp (fun path ->
+      let m = preempt_at abi ~at:5_000 in
+      ignore (save_exn ~abi:(Abi.name abi) ~path m);
+      let ic = open_in_bin path in
+      let good = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let write_variant contents =
+        let oc = open_out_bin path in
+        output_string oc contents;
+        close_out oc
+      in
+      (* truncated inside the body *)
+      write_variant (String.sub good 0 (String.length good - 100));
+      expect_error "truncated" (Snapshot.load path) (function
+        | Snapshot.Truncated _ -> true
+        | _ -> false);
+      (* trailing garbage is also a length mismatch *)
+      write_variant (good ^ "xx");
+      expect_error "oversized" (Snapshot.load path) (function
+        | Snapshot.Truncated _ -> true
+        | _ -> false);
+      (* same length, one flipped body byte *)
+      let b = Bytes.of_string good in
+      let pos = Bytes.length b - 40 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+      write_variant (Bytes.to_string b);
+      expect_error "corrupt" (Snapshot.load path) (function
+        | Snapshot.Crc_mismatch _ -> true
+        | _ -> false);
+      (* not our format at all *)
+      write_variant "some other file format\nwith bytes in it";
+      expect_error "alien" (Snapshot.load path) (function
+        | Snapshot.Version_mismatch _ -> true
+        | _ -> false);
+      (* missing file: an Io error, not an exception *)
+      expect_error "missing"
+        (Snapshot.load (path ^ ".does-not-exist"))
+        (function Snapshot.Io _ -> true | _ -> false))
+
+let test_mismatch_leaves_machine_untouched () =
+  let v3 = Abi.(Cheri Cheri_core.Cap_ops.V3) in
+  with_temp (fun path ->
+      let m = preempt_at v3 ~at:5_000 in
+      ignore (save_exn ~abi:(Abi.name v3) ~path m);
+      let img = load_exn path in
+      (* a CHERIv3 image must refuse a MIPS machine... *)
+      let mips = fresh Abi.Mips in
+      expect_error "cross-ABI restore"
+        (Snapshot.restore mips ~abi:(Abi.name Abi.Mips) img)
+        (function Snapshot.Machine_mismatch _ -> true | _ -> false);
+      (* ...and leave it pristine: it still runs exactly like a fresh one *)
+      check_bool "refused machine runs on untouched" true
+        (finish mips = finish (fresh Abi.Mips));
+      (* same ABI, different program: the code digest refuses it *)
+      let other_src = "int main(void) { print_int(7); return 0; }" in
+      let other = Codegen.machine_for v3 (Codegen.compile_source v3 other_src) in
+      expect_error "cross-program restore"
+        (Snapshot.restore other ~abi:(Abi.name v3) img)
+        (function Snapshot.Machine_mismatch _ -> true | _ -> false))
+
+(* -- the deadline watchdog at syscall boundaries -------------------------------- *)
+
+(* With fuel below the 32k sampling stride, the periodic check can
+   never fire: an expired deadline is only noticed if the loop also
+   samples the clock at syscall boundaries. The program does one early
+   syscall and then spins, so the watchdog must trip just after the
+   syscall — well before the fuel runs out. *)
+let test_deadline_sampled_at_syscalls () =
+  let spin_src =
+    {|
+int main(void) {
+  print_int(1);
+  long acc = 0;
+  for (long i = 0; i < 100000; i++) acc += i;
+  print_int(acc & 1023);
+  return 0;
+}
+|}
+  in
+  let abi = Abi.Mips in
+  let fresh_spin () = Codegen.machine_for abi (Codegen.compile_source abi spin_src) in
+  (* sanity: without a deadline the budget itself is the verdict *)
+  let m0 = fresh_spin () in
+  check_bool "fuel alone exhausts" true (Machine.run ~fuel:10_000 m0 = Machine.Fuel_exhausted);
+  check_bool "program is longer than the test fuel" true (Machine.instret m0 = 10_000);
+  (* an already-expired deadline with sub-stride fuel: only the
+     syscall-boundary sample can notice it *)
+  let m1 = fresh_spin () in
+  check_bool "expired deadline noticed at the syscall" true
+    (Machine.run ~fuel:10_000 ~deadline_s:(-1.0) m1 = Machine.Deadline_exceeded);
+  check_bool "watchdog fired before the fuel ran out" true (Machine.instret m1 < 10_000);
+  (* in yield mode the same interruption is recoverable *)
+  let m2 = fresh_spin () in
+  check_bool "yield mode turns the deadline into Yielded" true
+    (Machine.run ~fuel:10_000 ~deadline_s:(-1.0) ~yield:true m2 = Machine.Yielded)
+
+let suite =
+  [
+    Alcotest.test_case "sliced run equals flat run (all ABIs)" `Quick test_sliced_equivalence;
+    Alcotest.test_case "save/load/restore round trip (all ABIs)" `Quick
+      test_save_restore_roundtrip;
+    Alcotest.test_case "damaged images refused with structured errors" `Quick
+      test_refused_images;
+    Alcotest.test_case "mismatched restore refused, machine untouched" `Quick
+      test_mismatch_leaves_machine_untouched;
+    Alcotest.test_case "deadline sampled at syscall boundaries" `Quick
+      test_deadline_sampled_at_syscalls;
+  ]
