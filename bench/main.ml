@@ -33,6 +33,16 @@
                                  measure with --profile release)
      bench/main.exe smoke        fast telemetry-overhead assertions (runs
                                  under dune runtest)
+     bench/main.exe compare [--threshold P] [--quick] OLD.json NEW.json
+                                 the regression gate: diff two committed
+                                 BENCH_PR*.json files of the same schema
+                                 family and exit 1 on any metric worse
+                                 than P% (default 10); --quick compares
+                                 only the cell intersection
+     bench/main.exe compare --self-test FILE
+                                 prove the gate bites: FILE vs itself
+                                 must pass, FILE vs a synthetically
+                                 20%-worsened copy must fail
 
    Every figure/ablation/json cell is an independent (program x ABI)
    run with per-run machine state, so they fan out over the
@@ -46,10 +56,12 @@ module Machine = Cheri_isa.Machine
 module Telemetry = Cheri_telemetry.Telemetry
 module Exec = Cheri_exec.Exec
 module Inject = Cheri_inject.Inject
+module Json = Cheri_util.Json
+module Bench_compare = Cheri_obs.Bench_compare
 
 (* the default output of `bench/main.exe json`, bumped once per PR so
    the performance trajectory diffs file-to-file *)
-let bench_output_file = "BENCH_PR2.json"
+let bench_output_file = "BENCH_PR6.json"
 
 (* this PR's artifact: the fault-injection detection matrix *)
 let inject_output_file = "BENCH_PR3.json"
@@ -283,8 +295,8 @@ let measurement_json workload (m : W.Runner.measurement) =
   let t = Option.get m.W.Runner.telemetry in
   Printf.sprintf
     "    {\"workload\":\"%s\",\"abi\":\"%s\",\"cycles\":%d,\"instret\":%d,\"l1_misses\":%d,\"l2_misses\":%d,\"cap_mem_ops\":%d,\"allocs\":%d,\"frees\":%d,\"alloc_bytes\":%Ld,\"collateral_tag_clears\":%d,\"syscalls\":%d}"
-    (Telemetry.json_escape workload)
-    (Telemetry.json_escape (Abi.name m.W.Runner.abi))
+    (Json.escape workload)
+    (Json.escape (Abi.name m.W.Runner.abi))
     m.W.Runner.cycles m.W.Runner.instret m.W.Runner.l1_misses m.W.Runner.l2_misses
     m.W.Runner.cap_mem_ops t.Telemetry.allocs t.Telemetry.frees t.Telemetry.alloc_bytes
     t.Telemetry.collateral_tag_clears t.Telemetry.syscalls
@@ -447,8 +459,8 @@ let perf_workloads ~quick =
 let perf_cell_json c =
   Printf.sprintf
     "    {\"workload\":\"%s\",\"abi\":\"%s\",\"cycles\":%d,\"instret\":%d,\"insn_per_s\":%.0f,\"minor_words_per_insn\":%.3f,\"output_md5\":\"%s\"}"
-    (Telemetry.json_escape c.p_workload)
-    (Telemetry.json_escape (Abi.name c.p_abi))
+    (Json.escape c.p_workload)
+    (Json.escape (Abi.name c.p_abi))
     c.p_cycles c.p_instret c.p_insn_per_s c.p_words_per_insn c.p_digest
 
 let bench_perf ~quick path =
@@ -523,7 +535,7 @@ let bench_perf ~quick path =
       \  \"dhrystone_v3\": {\"insn_per_s\":%.0f,\"minor_words_per_insn\":%.3f,\"speedup_vs_baseline\":%.2f},\n\
       \  \"results\": [\n%s\n  ]\n\
        }\n"
-      (Telemetry.json_escape Build_profile.profile)
+      (Json.escape Build_profile.profile)
       quick runs baseline_insn_per_s baseline_minor_words_per_insn dhry_v3.p_insn_per_s
       dhry_v3.p_words_per_insn speedup
       (String.concat ",\n" (List.map perf_cell_json cells))
@@ -678,7 +690,7 @@ let snap_throughput ~runs ~slice abi src =
 let snap_cell_json c =
   Printf.sprintf
     "    {\"workload\":\"%s\",\"bytes\":%d,\"instret_at_snapshot\":%d,\"instret\":%d,\"save_ms\":%.3f,\"restore_ms\":%.3f}"
-    (Telemetry.json_escape c.n_workload)
+    (Json.escape c.n_workload)
     c.n_bytes c.n_instret_at c.n_instret c.n_save_ms c.n_restore_ms
 
 let bench_snap ~quick path =
@@ -725,9 +737,9 @@ let bench_snap ~quick path =
       \  \"slicing\": {\"workload\":\"Dhrystone\",\"slice\":%d,\"insn_per_s_flat\":%.0f,\"insn_per_s_sliced\":%.0f,\"ratio\":%.4f},\n\
       \  \"results\": [\n%s\n  ]\n\
        }\n"
-      (Telemetry.json_escape Build_profile.profile)
+      (Json.escape Build_profile.profile)
       quick runs
-      (Telemetry.json_escape (Abi.name abi))
+      (Json.escape (Abi.name abi))
       slice plain sliced ratio
       (String.concat ",\n" (List.map snap_cell_json cells))
   in
@@ -879,6 +891,104 @@ let micro () =
         (Test.elements test))
     tests
 
+(* -- bench regression gate (compare subcommand) -------------------------------- *)
+
+let read_bench_file path =
+  match open_in_bin path with
+  | exception Sys_error msg ->
+      Format.eprintf "compare: %s@." msg;
+      exit 2
+  | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+
+(* diff OLD NEW; exit 0 when within threshold, 1 on a regression, 2 on
+   a malformed or mismatched input *)
+let compare_files ~threshold_pct ~quick old_path new_path =
+  let old_json = read_bench_file old_path and new_json = read_bench_file new_path in
+  match Bench_compare.diff ~threshold_pct ~quick ~old_json ~new_json () with
+  | Error msg ->
+      Format.eprintf "compare: %s@." msg;
+      exit 2
+  | Ok outcome ->
+      Format.fprintf ppf "compare %s -> %s@.%a@." old_path new_path Bench_compare.pp_outcome
+        outcome;
+      if outcome.Bench_compare.o_regressed then exit 1
+
+(* the gate must bite: FILE vs itself passes, FILE vs a synthetically
+   worsened copy fails on every gated metric *)
+let compare_self_test path =
+  let json = read_bench_file path in
+  (match Bench_compare.diff ~old_json:json ~new_json:json () with
+  | Error msg ->
+      Format.eprintf "compare --self-test: %s: %s@." path msg;
+      exit 2
+  | Ok o when o.Bench_compare.o_regressed ->
+      Format.eprintf "compare --self-test: %s regressed against itself@." path;
+      exit 1
+  | Ok o ->
+      Format.fprintf ppf "self vs self: %d metrics, none regressed: ok@."
+        (List.length o.Bench_compare.o_metrics));
+  match Bench_compare.doctor_worsen json with
+  | Error msg ->
+      Format.eprintf "compare --self-test: doctoring %s failed: %s@." path msg;
+      exit 2
+  | Ok doctored -> (
+      match Bench_compare.diff ~old_json:json ~new_json:doctored () with
+      | Error msg ->
+          Format.eprintf "compare --self-test: %s@." msg;
+          exit 2
+      | Ok o ->
+          let n = List.length o.Bench_compare.o_metrics in
+          let bad = List.filter (fun m -> m.Bench_compare.m_regressed) o.Bench_compare.o_metrics in
+          if not o.Bench_compare.o_regressed || List.length bad <> n then begin
+            Format.eprintf
+              "compare --self-test: 20%% synthetic regression only flagged %d/%d metrics@."
+              (List.length bad) n;
+            exit 1
+          end;
+          Format.fprintf ppf "self vs 20%%-worsened self: all %d metrics flagged: ok@." n)
+
+let compare_cmd rest =
+  let threshold = ref 10.0 in
+  let quick = ref false in
+  let selftest = ref None in
+  let files = ref [] in
+  let rec p = function
+    | "--quick" :: r ->
+        quick := true;
+        p r
+    | "--threshold" :: v :: r -> (
+        match float_of_string_opt v with
+        | Some t when t > 0. ->
+            threshold := t;
+            p r
+        | _ ->
+            Format.eprintf "compare: --threshold expects a positive percentage@.";
+            exit 2)
+    | "--self-test" :: f :: r ->
+        selftest := Some f;
+        p r
+    | [ ("--threshold" | "--self-test") as f ] ->
+        Format.eprintf "compare: %s requires an argument@." f;
+        exit 2
+    | f :: r ->
+        files := f :: !files;
+        p r
+    | [] -> ()
+  in
+  p rest;
+  match (!selftest, List.rev !files) with
+  | Some f, [] -> compare_self_test f
+  | None, [ old_path; new_path ] ->
+      compare_files ~threshold_pct:!threshold ~quick:!quick old_path new_path
+  | _ ->
+      Format.eprintf
+        "usage: bench/main.exe compare [--threshold P] [--quick] OLD.json NEW.json@.\n\
+        \       bench/main.exe compare --self-test FILE@.";
+      exit 2
+
 (* -- driver ---------------------------------------------------------------------- *)
 
 let all () =
@@ -924,6 +1034,7 @@ let () =
      | "ablations" -> ablations ()
      | "micro" -> micro ()
      | "smoke" -> smoke ()
+     | "compare" -> compare_cmd (List.tl positional)
      | "json" ->
          bench_json (match positional with _ :: f :: _ -> f | _ -> bench_output_file)
      | "perf" ->

@@ -18,11 +18,15 @@
 
 module Campaign = Cheri_fuzz.Campaign
 module Gen = Cheri_fuzz.Gen
+module Obs = Cheri_obs.Obs
+module Json = Cheri_util.Json
 
 let usage () =
   prerr_endline
     "usage: cheri-fuzz [--seeds N] [--start N] [--jobs N] [--shrink] [--json FILE]\n\
-    \                  [--checkpoint FILE] [--resume FILE] [--self-test]";
+    \                  [--checkpoint FILE] [--resume FILE]\n\
+    \                  [--metrics[=FILE]] [--heartbeat SECS] [--status FILE]\n\
+    \                  [--self-test]";
   exit 2
 
 let ppf = Format.std_formatter
@@ -82,6 +86,57 @@ let self_test ~seeds ~jobs =
             exit 1
           end)
     broken.Campaign.divergences;
+  (* 3. observability: per-seed counters must not depend on the job
+     count, and the heartbeat status file must be valid JSON *)
+  let counters_at jobs =
+    let obs = Obs.create () in
+    ignore (Campaign.run ~jobs ~seeds:(min seeds 4) ~obs ());
+    Obs.to_prometheus ~timing:false obs
+  in
+  let m1 = counters_at 1 in
+  let m2 = counters_at (max 1 (min 2 (Domain.recommended_domain_count ()))) in
+  if m1 = "" then begin
+    Format.eprintf "self-test FAILED: metrics dump is empty@.";
+    exit 1
+  end;
+  if m1 <> m2 then begin
+    Format.eprintf "self-test FAILED: counters differ between --jobs 1 and --jobs 2@.";
+    exit 1
+  end;
+  let hb_path = Filename.temp_file "cheri_fuzz_selftest" ".status.json" in
+  let hb = Obs.Heartbeat.create ~interval_s:0.0 ~path:hb_path () in
+  let hb_report =
+    Campaign.run ~jobs ~seeds:(min seeds 4) ~obs:(Obs.create ()) ~heartbeat:hb ()
+  in
+  let status =
+    let ic = open_in_bin hb_path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  (match Json.parse status with
+  | Error e ->
+      Format.eprintf "self-test FAILED: heartbeat status is not valid JSON (%s): %s@." e
+        status;
+      exit 1
+  | Ok j -> (
+      match Option.bind (Json.member "tasks_done" j) Json.to_int with
+      | Some n when n = hb_report.Campaign.seeds -> ()
+      | _ ->
+          Format.eprintf "self-test FAILED: heartbeat tasks_done disagrees: %s@." status;
+          exit 1));
+  Sys.remove hb_path;
+  (match Json.parse (Campaign.report_json ~timing:true hb_report) with
+  | Ok j when Option.bind (Json.member "timing" j) (Json.member "task_wall_p99_s") <> None
+    -> ()
+  | Ok _ ->
+      Format.eprintf "self-test FAILED: timed report lacks timing.task_wall_p99_s@.";
+      exit 1
+  | Error e ->
+      Format.eprintf "self-test FAILED: timed report is not valid JSON: %s@." e;
+      exit 1);
+  Format.fprintf ppf
+    "metrics ok: counters jobs-independent, heartbeat valid JSON, timing key parses@.";
   Format.fprintf ppf
     "self-test ok: %d clean seeds agreed; injected divergence flagged and shrunk on %d seeds@."
     seeds broken_seeds
@@ -94,6 +149,10 @@ let () =
   let json = ref None in
   let checkpoint = ref None in
   let resume = ref None in
+  let metrics = ref None in
+  (* [Some None] = dump to stdout, [Some (Some f)] = write to [f] *)
+  let heartbeat_s = ref None in
+  let status_path = ref "status.json" in
   let selftest = ref false in
   let int_arg name v rest k =
     match int_of_string_opt v with
@@ -119,21 +178,45 @@ let () =
     | "--resume" :: f :: rest ->
         resume := Some f;
         parse rest
+    | "--metrics" :: rest ->
+        metrics := Some None;
+        parse rest
+    | "--heartbeat" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some s when s >= 0. ->
+            heartbeat_s := Some s;
+            parse rest
+        | _ ->
+            Format.eprintf "--heartbeat expects a non-negative number of seconds@.";
+            exit 2)
+    | "--status" :: f :: rest ->
+        status_path := f;
+        parse rest
     | "--self-test" :: rest ->
         selftest := true;
         parse rest
-    | [ ("--seeds" | "--start" | "--jobs" | "--json" | "--checkpoint" | "--resume") as f ] ->
+    | [ ("--seeds" | "--start" | "--jobs" | "--json" | "--checkpoint" | "--resume"
+        | "--heartbeat" | "--status") as f ] ->
         Format.eprintf "%s requires an argument@." f;
         exit 2
+    | arg :: rest
+      when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
+        metrics := Some (Some (String.sub arg 10 (String.length arg - 10)));
+        parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !selftest then self_test ~seeds:!seeds ~jobs:!jobs
   else begin
+    let heartbeat =
+      Option.map
+        (fun s -> Obs.Heartbeat.create ~interval_s:s ~path:!status_path ())
+        !heartbeat_s
+    in
     let report =
       match
         Campaign.run ~shrink:!shrink ~jobs:!jobs ~first_seed:!start
-          ?checkpoint:!checkpoint ?resume:!resume ~seeds:!seeds ()
+          ?checkpoint:!checkpoint ?resume:!resume ?heartbeat ~seeds:!seeds ()
       with
       | r -> r
       | exception Campaign.Resume_mismatch msg ->
@@ -148,6 +231,23 @@ let () =
         close_out oc;
         Format.fprintf ppf "wrote %s@." path)
       !json;
+    (* final metrics dump: JSONL when the target looks like JSON,
+       Prometheus text otherwise (and on stdout) *)
+    Option.iter
+      (fun dest ->
+        match dest with
+        | None -> print_string (Obs.to_prometheus Obs.default)
+        | Some path ->
+            let data =
+              if Filename.check_suffix path ".json" || Filename.check_suffix path ".jsonl"
+              then Obs.to_jsonl Obs.default
+              else Obs.to_prometheus Obs.default
+            in
+            let oc = open_out_bin path in
+            output_string oc data;
+            close_out oc;
+            Format.fprintf ppf "wrote %s@." path)
+      !metrics;
     Format.pp_print_flush ppf ();
     if report.Campaign.divergences <> [] || report.Campaign.errors <> [] then exit 1
   end

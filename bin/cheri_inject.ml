@@ -24,12 +24,15 @@
 
 module Inject = Cheri_inject.Inject
 module Abi = Cheri_compiler.Abi
+module Obs = Cheri_obs.Obs
+module Json = Cheri_util.Json
 
 let usage () =
   prerr_endline
     "usage: cheri-inject [--seeds N] [--start N] [--kinds K1,K2,...] [--workloads W1,...]\n\
     \                    [--jobs N] [--fuel N] [--deadline S] [--json FILE]\n\
     \                    [--checkpoint FILE] [--resume FILE] [--limit N] [--slice N]\n\
+    \                    [--metrics[=FILE]] [--heartbeat SECS] [--status FILE]\n\
     \                    [--list]\n\
     \       cheri-inject --self-test [--seeds N] [--jobs N]\n\
      kinds: bitflip tag-clear tag-set cap-field alloc-fail";
@@ -146,7 +149,9 @@ let self_test ~seeds ~jobs =
   let tmp suffix = Filename.temp_file "cheri_inject_selftest" suffix in
   let ck_full = tmp ".full.jsonl" and ck_part = tmp ".part.jsonl" in
   let full = Inject.run ~jobs ~checkpoint:ck_full small in
-  let full_json = Inject.report_json full in
+  (* byte-identity checks compare the timing-free report: resumed and
+     sliced runs re-time different subsets of the tasks by design *)
+  let full_json = Inject.report_json ~timing:false full in
   let partial = Inject.run ~jobs ~checkpoint:ck_part ~limit:5 small in
   if List.length partial.Inject.r_records <> 5 then
     fail "limited run completed %d tasks, expected 5" (List.length partial.Inject.r_records);
@@ -156,7 +161,7 @@ let self_test ~seeds ~jobs =
      String.sub s 0 (String.length s - 7) ^ "\n{\"workload\":\"zl");
   let resumed = Inject.run ~jobs ~checkpoint:ck_part ~resume:ck_part small in
   if resumed.Inject.r_resumed = 0 then fail "resume restored no records";
-  let resumed_json = Inject.report_json resumed in
+  let resumed_json = Inject.report_json ~timing:false resumed in
   if resumed_json <> full_json then
     fail "resumed report differs from the uninterrupted run's";
   (* a mismatched campaign must be refused, not silently mixed in *)
@@ -175,7 +180,7 @@ let self_test ~seeds ~jobs =
   List.iter
     (fun slice ->
       let sliced = Inject.run ~jobs ~slice small in
-      if Inject.report_json sliced <> full_json then
+      if Inject.report_json ~timing:false sliced <> full_json then
         fail "sliced campaign (slice %d) diverged from the unsliced report" slice)
     [ selftest_slice; 7_777 ];
   (* corrupt or stale in-flight sidecars must degrade to a task restart,
@@ -197,7 +202,7 @@ let self_test ~seeds ~jobs =
   let resumed_sliced =
     Inject.run ~jobs ~checkpoint:ck_part ~resume:ck_part ~slice:selftest_slice small
   in
-  if Inject.report_json resumed_sliced <> full_json then
+  if Inject.report_json ~timing:false resumed_sliced <> full_json then
     fail "sliced resume over corrupt sidecars diverged from the full report";
   Sys.remove ck_part;
   Format.fprintf ppf "sliced ok: preemptive engine bit-identical, bad sidecars ignored@.";
@@ -240,12 +245,44 @@ let self_test ~seeds ~jobs =
   let killed_resumed =
     Inject.run ~jobs ~checkpoint:ck_kill ~resume:ck_kill ~slice:selftest_slice small
   in
-  if Inject.report_json killed_resumed <> full_json then
+  if Inject.report_json ~timing:false killed_resumed <> full_json then
     fail "campaign killed mid-task then resumed diverged from the full report";
   if Array.exists has_prefix (Sys.readdir dir) then
     fail "completed campaign left in-flight sidecars behind";
   Sys.remove ck_kill;
   Format.fprintf ppf "kill ok: SIGKILL mid-task, sidecar resume reproduced the report@.";
+  (* 6. observability: the campaign counters must not depend on the job
+     count, the heartbeat status file must be valid JSON whenever it is
+     observed, and the report's timing key must parse *)
+  let counters_at jobs =
+    let obs = Obs.create () in
+    ignore (Inject.run ~jobs ~obs small);
+    Obs.to_prometheus ~timing:false obs
+  in
+  let m1 = counters_at 1 in
+  let m2 = counters_at (max 1 (min 2 (Domain.recommended_domain_count ()))) in
+  if m1 = "" then fail "metrics dump is empty";
+  if m1 <> m2 then fail "counters differ between --jobs 1 and --jobs 2:\n%s\nvs\n%s" m1 m2;
+  let hb_path = tmp ".status.json" in
+  let hb = Obs.Heartbeat.create ~interval_s:0.0 ~path:hb_path () in
+  let hb_report = Inject.run ~jobs ~obs:(Obs.create ()) ~heartbeat:hb small in
+  let status = read_file hb_path in
+  (match Json.parse status with
+  | Error e -> fail "final heartbeat status is not valid JSON (%s): %s" e status
+  | Ok j -> (
+      match Option.bind (Json.member "tasks_done" j) Json.to_int with
+      | Some n when n = List.length hb_report.Inject.r_records -> ()
+      | Some n -> fail "heartbeat reports %d tasks done, campaign ran %d" n
+                    (List.length hb_report.Inject.r_records)
+      | None -> fail "heartbeat status lacks tasks_done: %s" status));
+  Sys.remove hb_path;
+  (match Json.parse (Inject.report_json ~timing:true hb_report) with
+  | Error e -> fail "timed report is not valid JSON: %s" e
+  | Ok j ->
+      if Option.bind (Json.member "timing" j) (Json.member "task_wall_p99_s") = None then
+        fail "timed report lacks timing.task_wall_p99_s");
+  Format.fprintf ppf
+    "metrics ok: counters jobs-independent, heartbeat valid JSON, timing key parses@.";
   Format.fprintf ppf "self-test ok@."
 
 (* -- driver ------------------------------------------------------------------ *)
@@ -263,6 +300,10 @@ let () =
   let resume = ref None in
   let limit = ref None in
   let slice = ref None in
+  let metrics = ref None in
+  (* [Some None] = dump to stdout, [Some (Some f)] = write to [f] *)
+  let heartbeat_s = ref None in
+  let status_path = ref "status.json" in
   let selftest = ref false in
   let int_arg name v rest k =
     match int_of_string_opt v with
@@ -323,6 +364,20 @@ let () =
     | "--resume" :: f :: rest ->
         resume := Some f;
         parse rest
+    | "--metrics" :: rest ->
+        metrics := Some None;
+        parse rest
+    | "--heartbeat" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some s when s >= 0. ->
+            heartbeat_s := Some s;
+            parse rest
+        | _ ->
+            Format.eprintf "--heartbeat expects a non-negative number of seconds@.";
+            exit 2)
+    | "--status" :: f :: rest ->
+        status_path := f;
+        parse rest
     | "--self-test" :: rest ->
         selftest := true;
         parse rest
@@ -330,9 +385,14 @@ let () =
         List.iter print_endline Inject.workload_names;
         exit 0
     | [ ("--seeds" | "--start" | "--jobs" | "--fuel" | "--limit" | "--slice" | "--deadline"
-        | "--kinds" | "--workloads" | "--json" | "--checkpoint" | "--resume") as f ] ->
+        | "--kinds" | "--workloads" | "--json" | "--checkpoint" | "--resume" | "--heartbeat"
+        | "--status") as f ] ->
         Format.eprintf "%s requires an argument@." f;
         exit 2
+    | arg :: rest
+      when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
+        metrics := Some (Some (String.sub arg 10 (String.length arg - 10)));
+        parse rest
     | _ -> usage ()
   in
   (* hidden: the child process of the self-test's SIGKILL check — runs
@@ -349,10 +409,15 @@ let () =
       Inject.default_campaign ~workloads:!workloads ~kinds:!kinds ~seeds:!seeds
         ~first_seed:!start ~fuel:!fuel ?deadline_s:!deadline ()
     in
+    let heartbeat =
+      Option.map
+        (fun s -> Obs.Heartbeat.create ~interval_s:s ~path:!status_path ())
+        !heartbeat_s
+    in
     let report =
       match
         Inject.run ~jobs:!jobs ?checkpoint:!checkpoint ?resume:!resume ?limit:!limit
-          ?slice:!slice c
+          ?slice:!slice ?heartbeat c
       with
       | r -> r
       | exception Inject.Resume_mismatch msg ->
@@ -365,6 +430,21 @@ let () =
         write_file path (Inject.report_json report);
         Format.fprintf ppf "wrote %s@." path)
       !json;
+    (* final metrics dump: JSONL when the target looks like JSON,
+       Prometheus text otherwise (and on stdout) *)
+    Option.iter
+      (fun dest ->
+        match dest with
+        | None -> print_string (Obs.to_prometheus Obs.default)
+        | Some path ->
+            let data =
+              if Filename.check_suffix path ".json" || Filename.check_suffix path ".jsonl"
+              then Obs.to_jsonl Obs.default
+              else Obs.to_prometheus Obs.default
+            in
+            write_file path data;
+            Format.fprintf ppf "wrote %s@." path)
+      !metrics;
     Format.pp_print_flush ppf ();
     if report.Inject.r_errors <> [] then exit 1;
     if !limit = None && not (guarantee_holds report) then begin

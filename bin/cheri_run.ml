@@ -28,11 +28,13 @@
 module Telemetry = Cheri_telemetry.Telemetry
 module Machine = Cheri_isa.Machine
 module Snapshot = Cheri_snapshot.Snapshot
+module Obs = Cheri_obs.Obs
 
 let usage () =
   prerr_endline
     "usage: cheri-run [-m MODEL] [-a] [-S|-x [-abi ABI]] [--fuel N] [--profile]\n\
     \                 [--trace[=FILE]] [--stats-json FILE] [--chrome-trace FILE]\n\
+    \                 [--metrics[=FILE]] [--heartbeat SECS] [--status FILE]\n\
     \                 [--slice N] [--snapshot FILE] [--resume FILE] file.c";
   exit 2
 
@@ -99,10 +101,17 @@ type telemetry_opts = {
   slice : int option;  (* --slice: preempt the softcore every N instructions *)
   snapshot_to : string option;  (* --snapshot: persist state at slice boundaries *)
   resume_from : string option;  (* --resume: restore a snapshot before running *)
+  metrics : string option option;  (* --metrics: dump the registry (stdout or FILE) *)
+  heartbeat_s : float option;  (* --heartbeat: status file cadence; implies slicing *)
+  status_path : string;  (* --status: where the heartbeat writes (default status.json) *)
 }
 
 let telemetry_wanted o =
   o.profile || o.trace <> None || o.stats_json_to <> None || o.chrome_trace_to <> None
+  (* --metrics needs a live sink too: the per-class instruction and
+     fault counters are bridged from the telemetry snapshot post-run *)
+  || o.metrics <> None
+  || o.heartbeat_s <> None
 
 let resumable_wanted o = o.slice <> None || o.snapshot_to <> None || o.resume_from <> None
 
@@ -144,12 +153,25 @@ let execute_on_softcore opts abi src =
                 (Snapshot.image_instret img))));
   let words_before = Gc.minor_words () in
   let wall_before = Unix.gettimeofday () in
+  (* --heartbeat implies slicing: the status file can only be refreshed
+     when the machine yields between instructions *)
+  let heartbeat =
+    Option.map
+      (fun s -> Obs.Heartbeat.create ~interval_s:s ~path:opts.status_path ())
+      opts.heartbeat_s
+  in
+  let budget = Option.value opts.fuel ~default:200_000_000 in
+  let status () =
+    Obs.status_json ~tasks_done:(Machine.instret m) ~tasks_total:budget
+      ~elapsed_s:(Unix.gettimeofday () -. wall_before)
+      ()
+  in
   let outcome =
-    if not (opts.slice <> None || opts.snapshot_to <> None) then
+    Obs.Span.with_ Obs.default ("run:" ^ abi_name) @@ fun () ->
+    if not (opts.slice <> None || opts.snapshot_to <> None || heartbeat <> None) then
       Machine.run ?fuel:opts.fuel m
     else begin
       let slice = Option.value opts.slice ~default:default_slice in
-      let budget = Option.value opts.fuel ~default:200_000_000 in
       let save () =
         Option.iter
           (fun path ->
@@ -160,12 +182,14 @@ let execute_on_softcore opts abi src =
             | Error e -> snap_fail e)
           opts.snapshot_to
       in
+      Option.iter (fun hb -> Obs.Heartbeat.force hb status) heartbeat;
       (* the machine stops only between instructions, so this loop is
          observably identical to one uninterrupted Machine.run ~fuel:budget *)
       let rec go left =
         match Machine.run ~fuel:(min slice left) ~yield:true m with
         | Machine.Yielded when left > slice ->
             save ();
+            Option.iter (fun hb -> Obs.Heartbeat.beat hb status) heartbeat;
             go (left - slice)
         | Machine.Yielded ->
             (* whole budget spent: leave the last snapshot behind so a
@@ -184,6 +208,7 @@ let execute_on_softcore opts abi src =
       go budget
     end
   in
+  Option.iter (fun hb -> Obs.Heartbeat.force hb status) heartbeat;
   let wall_s = Unix.gettimeofday () -. wall_before in
   let minor_words = Gc.minor_words () -. words_before in
   print_string (Machine.output m);
@@ -209,6 +234,22 @@ let execute_on_softcore opts abi src =
     (fun f -> write_file f (stats_json abi outcome st (Telemetry.snapshot sink)))
     opts.stats_json_to;
   Option.iter (fun f -> write_file f (Telemetry.chrome_trace sink)) opts.chrome_trace_to;
+  Option.iter
+    (fun dest ->
+      (* bridge the run's telemetry counters into the registry, then
+         dump it: JSONL when the target looks like JSON, Prometheus
+         text otherwise (and on stdout) *)
+      Telemetry.obs_to_counters (Telemetry.snapshot sink);
+      match dest with
+      | None -> print_string (Obs.to_prometheus Obs.default)
+      | Some path ->
+          let data =
+            if Filename.check_suffix path ".json" || Filename.check_suffix path ".jsonl"
+            then Obs.to_jsonl Obs.default
+            else Obs.to_prometheus Obs.default
+          in
+          write_file path data)
+    opts.metrics;
   match outcome with Machine.Exit 0L -> () | _ -> exit 1
 
 let () =
@@ -226,6 +267,9 @@ let () =
   let slice = ref None in
   let snapshot_to = ref None in
   let resume_from = ref None in
+  let metrics = ref None in
+  let heartbeat_s = ref None in
+  let status_path = ref "status.json" in
   let rec parse = function
     | "-m" :: m :: rest ->
         model := m;
@@ -271,6 +315,19 @@ let () =
     | "--resume" :: f :: rest ->
         resume_from := Some f;
         parse rest
+    | "--metrics" :: rest ->
+        metrics := Some None;
+        parse rest
+    | "--heartbeat" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some s when s >= 0. -> heartbeat_s := Some s
+        | _ ->
+            Format.eprintf "--heartbeat expects a non-negative number of seconds@.";
+            exit 2);
+        parse rest
+    | "--status" :: f :: rest ->
+        status_path := f;
+        parse rest
     | "-abi" :: a :: rest ->
         (match Cheri_compiler.Abi.of_key a with
         | Some x -> abi := x
@@ -281,9 +338,13 @@ let () =
     | f :: rest when String.length f > 8 && String.sub f 0 8 = "--trace=" ->
         trace := Some (Some (String.sub f 8 (String.length f - 8)));
         parse rest
+    | f :: rest when String.length f > 10 && String.sub f 0 10 = "--metrics=" ->
+        metrics := Some (Some (String.sub f 10 (String.length f - 10)));
+        parse rest
     | [ f ]
       when f = "--stats-json" || f = "--chrome-trace" || f = "--fuel" || f = "-abi"
-           || f = "-m" || f = "--slice" || f = "--snapshot" || f = "--resume" ->
+           || f = "-m" || f = "--slice" || f = "--snapshot" || f = "--resume"
+           || f = "--heartbeat" || f = "--status" ->
         Format.eprintf "%s requires an argument@." f;
         exit 2
     | f :: _ when String.length f > 0 && f.[0] = '-' ->
@@ -305,6 +366,9 @@ let () =
       slice = !slice;
       snapshot_to = !snapshot_to;
       resume_from = !resume_from;
+      metrics = !metrics;
+      heartbeat_s = !heartbeat_s;
+      status_path = !status_path;
     }
   in
   match !file with

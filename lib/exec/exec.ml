@@ -25,6 +25,8 @@
    monopolize a worker while short tasks starve behind it, and a
    campaign can persist a checkpoint at every yield point. *)
 
+module Obs = Cheri_obs.Obs
+
 module Pool = struct
   type error = { task : int; exn : string; backtrace : string }
   (** a worker exception, attributed to the task that raised it *)
@@ -87,8 +89,37 @@ module Pool = struct
 
   (* --- the run-to-completion engine (map) --------------------------- *)
 
-  let run_task ~retries ~backoff_s ~backoff_seed f inputs results on_result i =
+  (* metric handles resolved once per map call, not per task; counter
+     values (tasks, retries, slices) are jobs-independent by
+     construction — only the histograms carry wall time *)
+  type pool_metrics = {
+    pm_tasks : Obs.Counter.t;
+    pm_retries : Obs.Counter.t;
+    pm_slices : Obs.Counter.t;
+    pm_wait : Obs.Histogram.t;
+    pm_wall : Obs.Histogram.t;
+  }
+
+  let pool_metrics obs =
+    {
+      pm_tasks = Obs.counter obs "pool_tasks_total";
+      pm_retries = Obs.counter obs "pool_task_retries_total";
+      pm_slices = Obs.counter obs "pool_task_slices_total";
+      pm_wait = Obs.histogram obs "pool_queue_wait_seconds";
+      pm_wall = Obs.histogram obs "pool_task_seconds";
+    }
+
+  let observe_cell pm cell =
+    Obs.Counter.incr pm.pm_tasks;
+    if cell.attempts > 1 then Obs.Counter.incr ~by:(cell.attempts - 1) pm.pm_retries;
+    Obs.Counter.incr ~by:cell.slices pm.pm_slices;
+    Obs.Histogram.observe pm.pm_wall cell.elapsed_s
+
+  let run_task ~retries ~backoff_s ~backoff_seed ~pm ~t_map f inputs results on_result i =
     let t0 = now () in
+    (* run-to-completion tasks wait in the cursor queue from map start
+       until a domain claims them *)
+    Obs.Histogram.observe pm.pm_wait (t0 -. t_map);
     let attempt k =
       try Ok (f inputs.(i))
       with e ->
@@ -108,6 +139,7 @@ module Pool = struct
     in
     let result, attempts = go 1 in
     let cell = { index = i; result; elapsed_s = now () -. t0; attempts; slices = 1 } in
+    observe_cell pm cell;
     results.(i) <- Some cell;
     on_result cell
 
@@ -142,19 +174,21 @@ module Pool = struct
      backoff starting at [backoff_s]; the surviving error never aborts
      the map. [on_result] fires once per finished task, serialized
      under one mutex, in completion (not submission) order. *)
-  let map ?(jobs = 1) ?(retries = 0) ?(backoff_s = 0.05) ?(backoff_seed = 0) ?on_result f tasks
-      : 'a cell list =
+  let map ?(jobs = 1) ?(retries = 0) ?(backoff_s = 0.05) ?(backoff_seed = 0) ?(obs = Obs.default)
+      ?on_result f tasks : 'a cell list =
     let inputs = Array.of_list tasks in
     let n = Array.length inputs in
     let results = Array.make n None in
     if n > 0 then begin
       let cursor = Atomic.make 0 in
       let on_result = serialize_hook on_result in
+      let pm = pool_metrics obs in
+      let t_map = now () in
       let worker () =
         let rec drain () =
           let i = Atomic.fetch_and_add cursor 1 in
           if i < n then begin
-            run_task ~retries ~backoff_s ~backoff_seed f inputs results on_result i;
+            run_task ~retries ~backoff_s ~backoff_seed ~pm ~t_map f inputs results on_result i;
             drain ()
           end
         in
@@ -175,6 +209,7 @@ module Pool = struct
     mutable j_attempts : int;
     mutable j_slices : int;
     mutable j_elapsed : float;
+    mutable j_ready : float;  (** when the job last entered the queue *)
   }
 
   (* [map_sliced ~init ~slice tasks] drives every task through
@@ -200,25 +235,38 @@ module Pool = struct
      result depends only on its own init/slice sequence — so for
      deterministic tasks the results are bit-identical for every
      (jobs, slice-granularity) choice. *)
-  let map_sliced ?(jobs = 1) ?(retries = 0) ?(backoff_s = 0.05) ?(backoff_seed = 0) ?on_result
-      ~init ~slice tasks : 'r cell list =
+  let map_sliced ?(jobs = 1) ?(retries = 0) ?(backoff_s = 0.05) ?(backoff_seed = 0)
+      ?(obs = Obs.default) ?on_result ~init ~slice tasks : 'r cell list =
     let inputs = Array.of_list tasks in
     let n = Array.length inputs in
     let results = Array.make n None in
     if n > 0 then begin
       let on_result = serialize_hook on_result in
+      let pm = pool_metrics obs in
       let q = Queue.create () in
       let qm = Mutex.create () in
+      let t_fill = now () in
       Array.iteri
         (fun i task ->
           Queue.push
-            { j_index = i; j_task = task; j_state = None; j_attempts = 1; j_slices = 0; j_elapsed = 0. }
+            {
+              j_index = i;
+              j_task = task;
+              j_state = None;
+              j_attempts = 1;
+              j_slices = 0;
+              j_elapsed = 0.;
+              j_ready = t_fill;
+            }
             q)
         inputs;
       let pop () =
         Mutex.protect qm (fun () -> if Queue.is_empty q then None else Some (Queue.pop q))
       in
-      let push job = Mutex.protect qm (fun () -> Queue.push job q) in
+      let push job =
+        job.j_ready <- now ();
+        Mutex.protect qm (fun () -> Queue.push job q)
+      in
       let record job result =
         let cell =
           {
@@ -229,6 +277,7 @@ module Pool = struct
             slices = job.j_slices;
           }
         in
+        observe_cell pm cell;
         results.(job.j_index) <- Some cell;
         on_result cell
       in
@@ -238,6 +287,7 @@ module Pool = struct
           | None -> ()
           | Some job ->
               let t0 = now () in
+              Obs.Histogram.observe pm.pm_wait (t0 -. job.j_ready);
               let step =
                 try
                   let s =

@@ -43,6 +43,7 @@ module Pool : sig
     ?retries:int ->
     ?backoff_s:float ->
     ?backoff_seed:int ->
+    ?obs:Cheri_obs.Obs.t ->
     ?on_result:('a cell -> unit) ->
     ('t -> 'a) ->
     't list ->
@@ -54,7 +55,13 @@ module Pool : sig
       ([backoff_s] base, default 0.05 s; [backoff_seed] decorrelates
       schedules across runs, default 0); the surviving error is
       recorded, never raised. [on_result] fires once per finished task,
-      serialized under a mutex, in completion order. *)
+      serialized under a mutex, in completion order.
+
+      [obs] (default {!Cheri_obs.Obs.default}) receives the pool
+      metrics: [pool_tasks_total], [pool_task_retries_total] and
+      [pool_task_slices_total] counters (values independent of [jobs])
+      plus [pool_queue_wait_seconds] and [pool_task_seconds]
+      histograms. *)
 
   (** What one slice of work produced: either an updated state to
       continue from, or the task's final result. *)
@@ -65,6 +72,7 @@ module Pool : sig
     ?retries:int ->
     ?backoff_s:float ->
     ?backoff_seed:int ->
+    ?obs:Cheri_obs.Obs.t ->
     ?on_result:('r cell -> unit) ->
     init:('t -> 's) ->
     slice:('s -> ('s, 'r) progress) ->

@@ -18,7 +18,7 @@ module Interp = Cheri_interp.Interp
 module Registry = Cheri_models.Registry
 module Abi = Cheri_compiler.Abi
 module Machine = Cheri_isa.Machine
-module Telemetry = Cheri_telemetry.Telemetry
+module Obs = Cheri_obs.Obs
 
 type status =
   | Exited of int64  (** clean exit with this code *)
@@ -137,6 +137,9 @@ type report = {
   resumed : int;  (** seeds restored from a checkpoint, not re-run *)
   divergences : divergence list;
   errors : (int * string) list;  (** per-seed harness failures (seed, exn) *)
+  task_seconds : float list;
+      (** wall time of each freshly executed seed, completion order —
+          feeds the report's excludable "timing" key *)
 }
 
 let speedup r = if r.wall_s > 0. then r.serial_s /. r.wall_s else 1.
@@ -159,7 +162,7 @@ let check_seed ?(impls = default_impls ()) ?(shrink = false) seed : divergence o
     in
     Some { seed; source = src; minimized; outcomes }
 
-let esc = Telemetry.json_escape
+let esc = Cheri_util.Json.escape
 
 let outcome_json o =
   Printf.sprintf "{\"impl\":\"%s\",\"status\":\"%s\",\"out\":\"%s\"}" (esc o.impl)
@@ -259,7 +262,7 @@ let load_checkpoint path ~first_seed ~seeds ~shrink : (int, divergence option) H
   tbl
 
 let run ?impls ?slice ?(shrink = false) ?(jobs = 1) ?(first_seed = 0) ?checkpoint
-    ?resume ~seeds () : report =
+    ?resume ?(obs = Obs.default) ?heartbeat ~seeds () : report =
   (* [slice] only shapes how the softcore implementations spend fuel;
      with deterministic impls the report is identical either way *)
   let impls = match impls with Some i -> i | None -> default_impls ?slice () in
@@ -270,6 +273,41 @@ let run ?impls ?slice ?(shrink = false) ?(jobs = 1) ?(first_seed = 0) ?checkpoin
     | Some path -> load_checkpoint path ~first_seed ~seeds ~shrink
   in
   let pending = List.filter (fun s -> not (Hashtbl.mem done_tbl s)) seed_list in
+  (* campaign observability: per-verdict counters (jobs-independent),
+     seed latency histogram, campaign/seed spans, heartbeat status *)
+  let start = Exec.Pool.now () in
+  let m_seeds = Obs.counter obs "fuzz_seeds_total" in
+  let m_errors = Obs.counter obs "fuzz_errors_total" in
+  let m_verdict divergent =
+    Obs.counter obs
+      (Printf.sprintf "fuzz_verdicts_total{verdict=%S}"
+         (if divergent then "divergent" else "agree"))
+  in
+  let m_seed_s = Obs.histogram obs "fuzz_seed_seconds" in
+  Obs.Counter.incr ~by:(Hashtbl.length done_tbl) (Obs.counter obs "fuzz_resumed_total");
+  let root = Obs.Span.enter obs "fuzz.campaign" in
+  let hb_mu = Mutex.create () in
+  let hb_done = ref (Hashtbl.length done_tbl) in
+  let hb_verdicts = Hashtbl.create 4 in
+  let hb_walls = ref [] in
+  let bump k =
+    Hashtbl.replace hb_verdicts k (1 + Option.value (Hashtbl.find_opt hb_verdicts k) ~default:0)
+  in
+  Hashtbl.iter (fun _ d -> bump (if d = None then "agree" else "divergent")) done_tbl;
+  let status () =
+    Mutex.protect hb_mu (fun () ->
+        let verdicts =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) hb_verdicts []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        let p99 = Obs.quantile_of !hb_walls 0.99 in
+        Obs.status_json ~verdicts
+          ?p99_task_s:(if p99 = p99 then Some p99 else None)
+          ~tasks_done:!hb_done ~tasks_total:seeds
+          ~elapsed_s:(Exec.Pool.now () -. start)
+          ())
+  in
+  Option.iter (fun hb -> Obs.Heartbeat.force hb status) heartbeat;
   (* the checkpoint is rewritten whole on (re)start: header, restored
      seeds in order, then one flushed line per freshly finished seed *)
   let oc =
@@ -292,16 +330,31 @@ let run ?impls ?slice ?(shrink = false) ?(jobs = 1) ?(first_seed = 0) ?checkpoin
   in
   let pending_arr = Array.of_list pending in
   let on_result (cell : _ Exec.Pool.cell) =
-    match (oc, cell.Exec.Pool.result) with
+    (match (oc, cell.Exec.Pool.result) with
     | Some oc, Ok d ->
         output_string oc (seed_json pending_arr.(cell.Exec.Pool.index) d);
         output_char oc '\n';
         flush oc
-    | _ -> ()
+    | _ -> ());
+    (match cell.Exec.Pool.result with
+    | Ok d ->
+        Obs.Counter.incr m_seeds;
+        Obs.Counter.incr (m_verdict (d <> None))
+    | Error _ -> Obs.Counter.incr m_errors);
+    Obs.Histogram.observe m_seed_s cell.Exec.Pool.elapsed_s;
+    Mutex.protect hb_mu (fun () ->
+        incr hb_done;
+        hb_walls := cell.Exec.Pool.elapsed_s :: !hb_walls;
+        match cell.Exec.Pool.result with
+        | Ok d -> bump (if d = None then "agree" else "divergent")
+        | Error _ -> bump "error");
+    Option.iter (fun hb -> Obs.Heartbeat.beat hb status) heartbeat
   in
-  let cells, wall_s =
-    Exec.wall (fun () -> Exec.Pool.map ~jobs ~on_result (check_seed ~impls ~shrink) pending)
+  let task seed =
+    Obs.Span.with_ obs ~parent:root ("fuzz.seed:" ^ string_of_int seed) (fun () ->
+        check_seed ~impls ~shrink seed)
   in
+  let cells, wall_s = Exec.wall (fun () -> Exec.Pool.map ~jobs ~obs ~on_result task pending) in
   Option.iter close_out oc;
   let new_tbl = Hashtbl.create 16 in
   let errors =
@@ -323,17 +376,23 @@ let run ?impls ?slice ?(shrink = false) ?(jobs = 1) ?(first_seed = 0) ?checkpoin
         | None -> Option.join (Hashtbl.find_opt new_tbl s))
       seed_list
   in
-  {
-    first_seed;
-    seeds;
-    jobs;
-    shrunk = shrink;
-    wall_s;
-    serial_s = Exec.Pool.serial_seconds cells;
-    resumed = Hashtbl.length done_tbl;
-    divergences;
-    errors;
-  }
+  Obs.Span.exit obs root;
+  let report =
+    {
+      first_seed;
+      seeds;
+      jobs;
+      shrunk = shrink;
+      wall_s;
+      serial_s = Exec.Pool.serial_seconds cells;
+      resumed = Hashtbl.length done_tbl;
+      divergences;
+      errors;
+      task_seconds = List.rev !hb_walls;
+    }
+  in
+  Option.iter (fun hb -> Obs.Heartbeat.force hb status) heartbeat;
+  report
 
 (* -- reporting -------------------------------------------------------------- *)
 
@@ -344,23 +403,42 @@ let divergence_json d =
     | None -> "")
     (String.concat "," (List.map outcome_json d.outcomes))
 
-(* Deliberately timing-free (no wall/serial/resumed fields): a
+(* All scheduling-dependent data in one excludable object (mirrors
+   Inject.timing_json). *)
+let timing_json (r : report) : string =
+  let module J = Cheri_util.Json in
+  let q p = Obs.quantile_of r.task_seconds p in
+  let num f = if f <> f then J.Null else J.Num (J.number f) in
+  J.encode
+    (J.Obj
+       [
+         ("jobs", J.Num (string_of_int r.jobs));
+         ("wall_s", num r.wall_s);
+         ("serial_s", num r.serial_s);
+         ("tasks_timed", J.Num (string_of_int (List.length r.task_seconds)));
+         ("task_wall_p50_s", num (q 0.5));
+         ("task_wall_p90_s", num (q 0.9));
+         ("task_wall_p99_s", num (q 0.99));
+       ])
+
+(* Deliberately timing-free (no wall/serial/resumed fields) apart from
+   the one "timing" key, dropped with [~timing:false]: a
    killed-and-resumed campaign must reproduce the uninterrupted run's
-   JSON byte for byte, so only deterministic campaign data may appear
-   here. Timing lives in [pp_report]. *)
-let report_json (r : report) : string =
+   JSON byte for byte once timing is excluded. *)
+let report_json ?(timing = true) (r : report) : string =
   Printf.sprintf
     "{\n\
     \  \"schema\": \"cheri_c.fuzz/v1\",\n\
     \  \"first_seed\": %d,\n\
     \  \"seeds\": %d,\n\
     \  \"shrink\": %b,\n\
-    \  \"divergent\": %d,\n\
+    \  \"divergent\": %d,\n%s\
     \  \"errors\": [%s],\n\
     \  \"divergences\": [\n%s\n  ]\n\
      }\n"
     r.first_seed r.seeds r.shrunk
     (List.length r.divergences)
+    (if timing then Printf.sprintf "  \"timing\": %s,\n" (timing_json r) else "")
     (String.concat ","
        (List.map
           (fun (seed, exn) -> Printf.sprintf "{\"seed\":%d,\"exn\":\"%s\"}" seed (esc exn))

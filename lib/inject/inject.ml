@@ -43,6 +43,7 @@ module Capability = Cheri_core.Capability
 module Exec = Cheri_exec.Exec
 module Json = Cheri_util.Json
 module Snapshot = Cheri_snapshot.Snapshot
+module Obs = Cheri_obs.Obs
 
 (* -- fault kinds ------------------------------------------------------------ *)
 
@@ -488,6 +489,9 @@ type report = {
   r_resumed : int;  (** records restored from the checkpoint *)
   r_jobs : int;
   r_wall_s : float;
+  r_task_seconds : float list;
+      (** per-task wall times of freshly executed tasks, completion
+          order — timing data, excluded from byte-identity *)
 }
 
 (* -- matrix ----------------------------------------------------------------- *)
@@ -628,6 +632,7 @@ type replay_state = {
   y_seed : int;
   y_key : string;
   y_abi : Abi.t;
+  y_span : Obs.Span.span;  (** the task's span, opened at init *)
 }
 
 type post_state = {
@@ -640,6 +645,7 @@ type post_state = {
   p_key : string;
   p_abi : Abi.t;
   p_fuel_left : int;
+  p_span : Obs.Span.span;
 }
 
 type sliced_state =
@@ -678,7 +684,7 @@ let remove_sidecar ckpt key =
 (* A sidecar is strictly an optimization: any failure to load, parse or
    restore it (stale file, torn write, changed campaign) silently falls
    back to restarting the task from its trigger replay. *)
-let resume_from_sidecar ~resume (r : reference) t key =
+let resume_from_sidecar ~resume ~span (r : reference) t key =
   match resume with
   | None -> None
   | Some ckpt -> (
@@ -705,11 +711,12 @@ let resume_from_sidecar ~resume (r : reference) t key =
                            p_key = key;
                            p_abi = r.ref_abi;
                            p_fuel_left = fuel_left;
+                           p_span = span;
                          })
                 | Error _ -> None)
             | _ -> None))
 
-let init_sliced ~resume ref_tbl key_of t =
+let init_sliced ~resume ~obs ~root ref_tbl key_of t =
   match Hashtbl.find ref_tbl (t.t_workload.w_name, Abi.name t.t_abi) with
   | Error e -> failwith ("reference run failed: " ^ e)
   | Ok r -> (
@@ -724,7 +731,8 @@ let init_sliced ~resume ref_tbl key_of t =
                (Format.asprintf "reference run trapped: %a" Machine.pp_outcome r.ref_outcome)
                (Detected (Format.asprintf "%a" Machine.pp_outcome r.ref_outcome)))
       | Machine.Exit _ -> (
-          match resume_from_sidecar ~resume r t key with
+          let span = Obs.Span.enter obs ~parent:root ("inject.task:" ^ key) in
+          match resume_from_sidecar ~resume ~span r t key with
           | Some st -> st
           | None ->
               let rng = task_rng r t.t_kind t.t_seed in
@@ -739,6 +747,7 @@ let init_sliced ~resume ref_tbl key_of t =
                   y_seed = t.t_seed;
                   y_key = key;
                   y_abi = r.ref_abi;
+                  y_span = span;
                 }))
 
 let slice_sliced ~slice:slice_n ~fuel ?deadline_s ~checkpoint st :
@@ -771,6 +780,7 @@ let slice_sliced ~slice:slice_n ~fuel ?deadline_s ~checkpoint st :
                  p_seed = y.y_seed;
                  p_key = y.y_key;
                  p_abi = y.y_abi;
+                 p_span = y.y_span;
                  p_fuel_left = fuel;
                }))
   | S_post p -> (
@@ -800,7 +810,8 @@ let slice_sliced ~slice:slice_n ~fuel ?deadline_s ~checkpoint st :
             (mk_record p.p_ref p.p_kind p.p_seed p.p_trigger p.p_detail
                (classify p.p_ref outcome p.p_m)))
 
-let run ?(jobs = 1) ?(retries = 1) ?checkpoint ?resume ?limit ?slice c : report =
+let run ?(jobs = 1) ?(retries = 1) ?checkpoint ?resume ?limit ?slice ?(obs = Obs.default)
+    ?heartbeat c : report =
   let all = tasks c in
   let done_tbl = Hashtbl.create 256 in
   let resumed = match resume with None -> [] | Some path -> load_checkpoint path c in
@@ -814,6 +825,44 @@ let run ?(jobs = 1) ?(retries = 1) ?checkpoint ?resume ?limit ?slice c : report 
     match limit with None -> pending | Some n -> List.filteri (fun i _ -> i < n) pending
   in
   let start = Unix.gettimeofday () in
+  let total = List.length all in
+  (* campaign-level observability: verdict counters keyed by verdict
+     name (values independent of jobs/slice/resume history), the task
+     latency histogram, a span per campaign/task/slice, and the
+     heartbeat status file. Verdict tallies for the heartbeat are kept
+     separately from the registry so a shared registry (the default)
+     does not leak earlier campaigns into this one's status line. *)
+  let m_tasks = Obs.counter obs "inject_tasks_total" in
+  let m_errors = Obs.counter obs "inject_errors_total" in
+  let m_verdict v =
+    Obs.counter obs (Printf.sprintf "inject_verdicts_total{verdict=%S}" (verdict_key v))
+  in
+  let m_task_s = Obs.histogram obs "inject_task_seconds" in
+  Obs.Counter.incr ~by:(List.length resumed) (Obs.counter obs "inject_resumed_total");
+  let root = Obs.Span.enter obs "inject.campaign" in
+  let hb_mu = Mutex.create () in
+  let hb_done = ref (List.length resumed) in
+  let hb_verdicts = Hashtbl.create 8 in
+  let hb_walls = ref [] in
+  let bump_verdict rec_ =
+    let k = verdict_key rec_.verdict in
+    Hashtbl.replace hb_verdicts k (1 + Option.value (Hashtbl.find_opt hb_verdicts k) ~default:0)
+  in
+  List.iter bump_verdict resumed;
+  let status () =
+    Mutex.protect hb_mu (fun () ->
+        let verdicts =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) hb_verdicts []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        let p99 = Obs.quantile_of !hb_walls 0.99 in
+        Obs.status_json ~verdicts
+          ?p99_task_s:(if p99 = p99 then Some p99 else None)
+          ~tasks_done:!hb_done ~tasks_total:total
+          ~elapsed_s:(Unix.gettimeofday () -. start)
+          ())
+  in
+  Option.iter (fun hb -> Obs.Heartbeat.force hb status) heartbeat;
   (* references are shared across every (kind, seed) task of a
      (workload, ABI) pair: compute each pair once, in parallel, before
      the fan-out. A failing reference (a codegen limit, say) fails each
@@ -831,9 +880,10 @@ let run ?(jobs = 1) ?(retries = 1) ?checkpoint ?resume ?limit ?slice c : report 
       pending
   in
   let ref_cells =
-    Exec.Pool.map ~jobs ~retries
-      (fun (w, abi) -> reference ~fuel:c.c_fuel ?deadline_s:c.c_deadline_s w abi)
-      pairs
+    Obs.Span.with_ obs ~parent:root "inject.references" (fun () ->
+        Exec.Pool.map ~jobs ~retries ~obs
+          (fun (w, abi) -> reference ~fuel:c.c_fuel ?deadline_s:c.c_deadline_s w abi)
+          pairs)
   in
   let ref_tbl = Hashtbl.create 32 in
   List.iter2
@@ -862,28 +912,56 @@ let run ?(jobs = 1) ?(retries = 1) ?checkpoint ?resume ?limit ?slice c : report 
       checkpoint
   in
   let on_result (cell : _ Exec.Pool.cell) =
-    match (oc, cell.Exec.Pool.result) with
+    (match (oc, cell.Exec.Pool.result) with
     | Some oc, Ok rec_ ->
         output_string oc (record_json rec_);
         output_char oc '\n';
         flush oc
-    | _ -> ()
+    | _ -> ());
+    (match cell.Exec.Pool.result with
+    | Ok rec_ ->
+        Obs.Counter.incr m_tasks;
+        Obs.Counter.incr (m_verdict rec_.verdict)
+    | Error _ -> Obs.Counter.incr m_errors);
+    Obs.Histogram.observe m_task_s cell.Exec.Pool.elapsed_s;
+    Mutex.protect hb_mu (fun () ->
+        incr hb_done;
+        hb_walls := cell.Exec.Pool.elapsed_s :: !hb_walls;
+        match cell.Exec.Pool.result with Ok rec_ -> bump_verdict rec_ | Error _ -> ());
+    Option.iter (fun hb -> Obs.Heartbeat.beat hb status) heartbeat
   in
   let cells =
     match slice with
     | None ->
-        Exec.Pool.map ~jobs ~retries ~on_result
+        Exec.Pool.map ~jobs ~retries ~obs ~on_result
           (fun t ->
             match Hashtbl.find ref_tbl (t.t_workload.w_name, Abi.name t.t_abi) with
-            | Ok r -> run_one ~fuel:c.c_fuel ?deadline_s:c.c_deadline_s r t.t_kind t.t_seed
+            | Ok r ->
+                Obs.Span.with_ obs ~parent:root ("inject.task:" ^ key_of t) (fun () ->
+                    run_one ~fuel:c.c_fuel ?deadline_s:c.c_deadline_s r t.t_kind t.t_seed)
             | Error e -> failwith ("reference run failed: " ^ e))
           pending
     | Some n ->
         let n = max 1 n in
-        Exec.Pool.map_sliced ~jobs ~retries ~on_result
-          ~init:(init_sliced ~resume ref_tbl key_of)
-          ~slice:
-            (slice_sliced ~slice:n ~fuel:c.c_fuel ?deadline_s:c.c_deadline_s ~checkpoint)
+        let task_span = function
+          | S_done _ -> Obs.Span.none
+          | S_replay y -> y.y_span
+          | S_post p -> p.p_span
+        in
+        Exec.Pool.map_sliced ~jobs ~retries ~obs ~on_result
+          ~init:(init_sliced ~resume ~obs ~root ref_tbl key_of)
+          ~slice:(fun st ->
+            let span = task_span st in
+            let parent = if Obs.Span.id span = 0 then root else span in
+            let progress =
+              Obs.Span.with_ obs ~parent "inject.slice" (fun () ->
+                  slice_sliced ~slice:n ~fuel:c.c_fuel ?deadline_s:c.c_deadline_s ~checkpoint
+                    st)
+            in
+            (match progress with
+            | Exec.Pool.Done _ -> Obs.Span.exit obs span
+            | Exec.Pool.Yield _ -> ());
+            progress)
           pending
   in
   Option.iter close_out oc;
@@ -923,14 +1001,20 @@ let run ?(jobs = 1) ?(retries = 1) ?checkpoint ?resume ?limit ?slice c : report 
         | None -> Hashtbl.find_opt new_tbl (key_of t))
       all
   in
-  {
-    r_campaign = c;
-    r_records = records;
-    r_errors = List.rev !errors;
-    r_resumed = List.length resumed;
-    r_jobs = jobs;
-    r_wall_s = Unix.gettimeofday () -. start;
-  }
+  Obs.Span.exit obs root;
+  let report =
+    {
+      r_campaign = c;
+      r_records = records;
+      r_errors = List.rev !errors;
+      r_resumed = List.length resumed;
+      r_jobs = jobs;
+      r_wall_s = Unix.gettimeofday () -. start;
+      r_task_seconds = List.rev !hb_walls;
+    }
+  in
+  Option.iter (fun hb -> Obs.Heartbeat.force hb status) heartbeat;
+  report
 
 (* -- reporting -------------------------------------------------------------- *)
 
@@ -943,9 +1027,27 @@ let cell_json ((abi, kind), c) =
     "{\"abi\":\"%s\",\"kind\":\"%s\",\"detected\":%d,\"masked\":%d,\"silent\":%d,\"hang\":%d}"
     (esc abi) (kind_key kind) c.n_detected c.n_masked c.n_silent c.n_hung
 
-(* The report JSON is deliberately timing-free (no wall clock, no job
-   count): a resumed campaign must produce a byte-identical file. *)
-let report_json (r : report) : string =
+(* The timing key: everything scheduling-dependent in one excludable
+   object, so the rest of the report stays byte-identical across jobs,
+   slice granularity and resume history. *)
+let timing_json (r : report) : string =
+  let q p = Obs.quantile_of r.r_task_seconds p in
+  let num f = if f <> f then Json.Null else Json.Num (Json.number f) in
+  Json.encode
+    (Json.Obj
+       [
+         ("jobs", Json.Num (string_of_int r.r_jobs));
+         ("wall_s", num r.r_wall_s);
+         ("tasks_timed", Json.Num (string_of_int (List.length r.r_task_seconds)));
+         ("task_wall_p50_s", num (q 0.5));
+         ("task_wall_p90_s", num (q 0.9));
+         ("task_wall_p99_s", num (q 0.99));
+       ])
+
+(* The report JSON is deliberately timing-free apart from the one
+   "timing" key, dropped with [~timing:false]: a resumed campaign must
+   produce a byte-identical file once timing is excluded. *)
+let report_json ?(timing = true) (r : report) : string =
   let c = r.r_campaign in
   Printf.sprintf
     "{\n\
@@ -957,7 +1059,7 @@ let report_json (r : report) : string =
     \  \"first_seed\": %d,\n\
     \  \"fuel\": %d,\n\
     \  \"tasks\": %d,\n\
-    \  \"completed\": %d,\n\
+    \  \"completed\": %d,\n%s\
     \  \"errors\": [%s],\n\
     \  \"matrix\": [\n    %s\n  ],\n\
     \  \"records\": [\n    %s\n  ]\n\
@@ -968,6 +1070,7 @@ let report_json (r : report) : string =
     c.c_seeds c.c_first_seed c.c_fuel
     (List.length (tasks c))
     (List.length r.r_records)
+    (if timing then Printf.sprintf "  \"timing\": %s,\n" (timing_json r) else "")
     (String.concat "," (List.map error_json r.r_errors))
     (String.concat ",\n    " (List.map cell_json (matrix r)))
     (String.concat ",\n    " (List.map record_json r.r_records))

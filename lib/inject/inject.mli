@@ -131,6 +131,10 @@ type report = {
   r_resumed : int;  (** records restored from the checkpoint *)
   r_jobs : int;
   r_wall_s : float;
+  r_task_seconds : float list;
+      (** wall time of each freshly executed task, completion order —
+          feeds the report's excludable "timing" key, never the
+          byte-identical sections *)
 }
 
 exception Resume_mismatch of string
@@ -143,9 +147,21 @@ val run :
   ?resume:string ->
   ?limit:int ->
   ?slice:int ->
+  ?obs:Cheri_obs.Obs.t ->
+  ?heartbeat:Cheri_obs.Obs.Heartbeat.t ->
   campaign ->
   report
 (** Run every task of the campaign over the domain pool.
+
+    [obs] (default {!Cheri_obs.Obs.default}) receives
+    [inject_tasks_total], [inject_errors_total], [inject_resumed_total]
+    and per-verdict [inject_verdicts_total{verdict=...}] counters —
+    all independent of [jobs]/[slice]/resume history — plus the
+    [inject_task_seconds] latency histogram and campaign/task/slice
+    spans. [heartbeat] makes the campaign write a
+    {!Cheri_obs.Obs.status_json} file from its serialized result hook:
+    once at start, at most once per interval as tasks finish, and once
+    at the end.
 
     [checkpoint] writes an append-only JSONL file — a header line
     describing the campaign, then one record per finished task,
@@ -182,11 +198,13 @@ val silent_count : report -> abi:string -> kind list -> int
     acceptance check ({!pointer_protecting} kinds must count 0 on the
     CHERI ABIs). *)
 
-val report_json : report -> string
+val report_json : ?timing:bool -> report -> string
 (** Deterministic report JSON (schema [cheri_c.inject/v1]): campaign
     parameters, error list, detection matrix, then every record in
-    canonical order. Carries no timing or job count, so resumed and
-    uninterrupted runs emit identical bytes. *)
+    canonical order. All timing lives in one ["timing"] key (wall
+    clock, job count, task-wall p50/p90/p99), emitted by default and
+    dropped with [~timing:false] — resumed and uninterrupted runs emit
+    identical bytes once timing is excluded. *)
 
 val record_json : record -> string
 val pp_report : Format.formatter -> report -> unit

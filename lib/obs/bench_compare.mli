@@ -1,0 +1,59 @@
+(** The bench regression gate: diff two committed BENCH_PR*.json files
+    and fail on a >threshold throughput (or latency, or size)
+    regression — turning the repo's bench trajectory into an enforced
+    check instead of a hand-inspected artifact.
+
+    Three schema families are understood, keyed by the [schema] field
+    up to the [/vN] suffix:
+    - [cheri_c.bench] (v1/v2): per workload×ABI [cycles] and [instret],
+      both lower-better and fully deterministic;
+    - [cheri_c.bench-perf]: per-cell [insn_per_s] (higher-better) and
+      [minor_words_per_insn] (lower-better);
+    - [cheri_c.snap-bench]: per-workload [save_ms]/[restore_ms]/[bytes]
+      (lower-better) plus the [slicing] throughput block
+      (higher-better).
+
+    Comparing files from different families is an error; [v1] vs [v2]
+    of the same family is fine (the cell shape is compatible). *)
+
+type direction = Higher_better | Lower_better
+
+type metric = {
+  m_cell : string;  (** e.g. ["dhrystone/cheri-v2"] or ["slicing"] *)
+  m_name : string;  (** e.g. ["cycles"] *)
+  m_dir : direction;
+  m_old : float;
+  m_new : float;
+  m_delta_pct : float;  (** signed; positive = regressed direction *)
+  m_regressed : bool;
+}
+
+type outcome = {
+  o_family : string;
+  o_threshold_pct : float;
+  o_metrics : metric list;
+  o_missing : string list;  (** cells present in OLD, absent from NEW *)
+  o_regressed : bool;
+      (** any metric beyond threshold — or, unless [quick], any missing
+          cell *)
+}
+
+val diff :
+  ?threshold_pct:float ->
+  ?quick:bool ->
+  old_json:string ->
+  new_json:string ->
+  unit ->
+  (outcome, string) result
+(** [threshold_pct] defaults to 10. [quick] (default false) compares
+    only the cell intersection — for gating against an older committed
+    file whose sweep was smaller. Cells only in NEW are always
+    ignored (growth is not a regression). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val doctor_worsen : ?factor:float -> string -> (string, string) result
+(** Re-serialize the report with every gated metric worsened by
+    [factor] (default 0.2, i.e. 20% — comfortably past the 10%
+    threshold): the self-test's synthetic regression. Unrelated fields
+    pass through byte-preserved ([Num] lexemes are kept verbatim). *)

@@ -28,6 +28,28 @@ module Cap = Cheri_core.Capability
 module Perms = Cheri_core.Perms
 module Ops = Cheri_core.Cap_ops
 module Json = Cheri_util.Json
+module Obs = Cheri_obs.Obs
+
+(* Save/restore latency and volume land in the process-wide registry:
+   per-operation cost only (one observation per file, never per
+   instruction), so the null-registry perf budgets are untouched. The
+   spans parent to whatever [Span.with_] region encloses the call —
+   a sidecar save inside a campaign slice nests under that slice. *)
+let m_saves = Obs.counter Obs.default "snapshot_saves_total"
+let m_save_bytes = Obs.counter Obs.default "snapshot_save_bytes_total"
+let m_save_s = Obs.histogram Obs.default "snapshot_save_seconds"
+let m_loads = Obs.counter Obs.default "snapshot_loads_total"
+let m_load_s = Obs.histogram Obs.default "snapshot_load_seconds"
+let m_restores = Obs.counter Obs.default "snapshot_restores_total"
+let m_restore_s = Obs.histogram Obs.default "snapshot_restore_seconds"
+
+let timed counter hist label f =
+  Obs.Span.with_ Obs.default label (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      Obs.Counter.incr counter;
+      Obs.Histogram.observe hist (Unix.gettimeofday () -. t0);
+      r)
 
 let format_version = "cheri_c.snap/v1"
 let magic = format_version ^ "\n"
@@ -366,6 +388,7 @@ let le32 v =
   Bytes.to_string b
 
 let save ?(note = "") ~abi ~path m =
+  timed m_saves m_save_s "snapshot.save" @@ fun () ->
   let body = encode_body (Machine.snapshot m) in
   let header =
     header_to_json (header_of_machine ~abi ~note ~body_bytes:(String.length body) m)
@@ -384,6 +407,7 @@ let save ?(note = "") ~abi ~path m =
     output_string oc (le32 crc);
     close_out oc;
     Sys.rename tmp path;
+    Obs.Counter.incr ~by:(String.length image + 4) m_save_bytes;
     Ok (String.length image + 4)
   with Sys_error msg -> Error (Io msg)
 
@@ -415,6 +439,7 @@ let crc_of_file contents =
   (stored, computed)
 
 let load path =
+  timed m_loads m_load_s "snapshot.load" @@ fun () ->
   match read_file path with
   | Error _ as e -> e
   | Ok contents -> (
@@ -481,6 +506,7 @@ let pages_fit ~store_bytes ~page_bytes pages =
     pages
 
 let restore m ~abi image =
+  timed m_restores m_restore_s "snapshot.restore" @@ fun () ->
   let h = image.i_header in
   let cfg = Machine.config m in
   let snap = image.i_snap in

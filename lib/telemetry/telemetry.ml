@@ -340,20 +340,28 @@ let pp_summary ppf (s : Sink.t) =
     snap.alloc_bytes;
   Format.fprintf ppf "cache miss events: L1 %d  L2 %d@." snap.l1_miss_events snap.l2_miss_events
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* one escaper for the whole repo — kept under its historical name for
+   the exporters below and their callers *)
+let json_escape = Cheri_util.Json.escape
+
+(* Bridge a run's retired-instruction and fault counters into the
+   metrics registry. Called once per run with a sink snapshot — the
+   machine's per-instruction hot path stays uninstrumented, so the
+   null-registry perf budgets hold. Counter values depend only on what
+   the machine executed, never on scheduling. *)
+let obs_to_counters ?(obs = Cheri_obs.Obs.default) (s : snapshot) =
+  let count name n = if n > 0 then Cheri_obs.Obs.Counter.incr ~by:n (Cheri_obs.Obs.counter obs name) in
+  List.iter
+    (fun (cls, n) ->
+      count (Printf.sprintf "machine_insns_total{class=%S}" (opcode_class_name cls)) n)
+    s.opcode_counts;
+  List.iter
+    (fun (kind, n) ->
+      count (Printf.sprintf "machine_faults_total{kind=%S}" (fault_kind_name kind)) n)
+    s.fault_counts;
+  count "machine_events_total" s.total_events;
+  count "machine_tag_writes_total" s.tag_writes;
+  count "machine_collateral_tag_clears_total" s.collateral_tag_clears
 
 let snapshot_to_json (s : snapshot) =
   let b = Buffer.create 512 in

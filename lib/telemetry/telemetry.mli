@@ -177,5 +177,12 @@ val chrome_trace : Sink.t -> string
     Perfetto. *)
 
 val json_escape : string -> string
-(** Escape a string for inclusion inside a JSON string literal
-    (exposed for the other JSON emitters in this code base). *)
+(** Escape a string for inclusion inside a JSON string literal — an
+    alias of {!Cheri_util.Json.escape}, the repo's one escaper. *)
+
+val obs_to_counters : ?obs:Cheri_obs.Obs.t -> snapshot -> unit
+(** Bridge a run's counters (retired instructions by class, faults by
+    kind, tag activity) into a metrics registry (default
+    {!Cheri_obs.Obs.default}) as labelled [machine_*_total] counters.
+    One call per run; the per-instruction hot path is never
+    instrumented directly. *)

@@ -36,4 +36,18 @@ val to_list : t -> t list option
 
 val escape : string -> string
 (** Escape a string for embedding between double quotes in JSON output:
-    backslash, quote, and control characters (\n, \t, ..., \u00XX). *)
+    backslash, quote, and control characters (\n, \t, ..., \u00XX).
+    Every JSON emitter in the repo (telemetry exporters, bench tables,
+    campaign reports, metrics) routes string escaping through here. *)
+
+val number : float -> string
+(** The one float-to-JSON formatter: integral values print without a
+    fraction, everything else as the shortest decimal that round-trips
+    through [float_of_string]. Non-finite values print as [null] (JSON
+    has no inf/nan). *)
+
+val encode : t -> string
+(** Serialize a value compactly (no added whitespace). [Num] lexemes
+    pass through verbatim, so [parse |> encode] preserves number
+    spellings — the bench regression gate relies on this to doctor a
+    report without disturbing unrelated fields. *)

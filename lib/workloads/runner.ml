@@ -14,6 +14,14 @@ module Abi = Cheri_compiler.Abi
 module Machine = Cheri_isa.Machine
 module Telemetry = Cheri_telemetry.Telemetry
 module Exec = Cheri_exec.Exec
+module Obs = Cheri_obs.Obs
+
+(* per-run counters in the process-wide registry; values depend only on
+   what each machine executed, so they are jobs-independent *)
+let m_runs = Obs.counter Obs.default "runner_runs_total"
+let m_insns = Obs.counter Obs.default "runner_insns_total"
+let m_traps = Obs.counter Obs.default "runner_traps_total"
+let m_hangs = Obs.counter Obs.default "runner_hangs_total"
 
 type measurement = {
   abi : Abi.t;
@@ -85,6 +93,9 @@ let run_result ?config ?(fuel = 600_000_000) ?deadline_s ?sink abi src :
       match Machine.run ~fuel ?deadline_s m with
       | Machine.Exit 0L ->
           let st = Machine.stats m in
+          Obs.Counter.incr m_runs;
+          Obs.Counter.incr ~by:st.Machine.st_instret m_insns;
+          Option.iter (fun s -> Telemetry.obs_to_counters (Telemetry.snapshot s)) sink;
           Ok
             {
               abi;
@@ -108,6 +119,10 @@ let run_result ?config ?(fuel = 600_000_000) ?deadline_s ?sink abi src :
             | Machine.Fuel_exhausted | Machine.Deadline_exceeded -> Hung
             | _ -> Execute
           in
+          Obs.Counter.incr m_runs;
+          Obs.Counter.incr ~by:st.Machine.st_instret m_insns;
+          Obs.Counter.incr (if phase = Hung then m_hangs else m_traps);
+          Option.iter (fun s -> Telemetry.obs_to_counters (Telemetry.snapshot s)) sink;
           err ~trap:outcome phase
             (Format.asprintf "%a after %d instructions (%d cycles), output so far: %S"
                Machine.pp_outcome outcome st.Machine.st_instret st.Machine.st_cycles

@@ -94,7 +94,7 @@ let test_campaign_jobs_invariant () =
   check_int "no errors" 0 (List.length r1.Inject.r_errors);
   check_int "full cross product" (3 * 2 * 2) (List.length r1.Inject.r_records);
   check_string "1-domain and 2-domain reports byte-identical"
-    (Inject.report_json r1) (Inject.report_json r2);
+    (Inject.report_json ~timing:false r1) (Inject.report_json ~timing:false r2);
   (* the matrix is consistent with the raw records *)
   let total =
     List.fold_left
@@ -114,7 +114,7 @@ let test_campaign_full_restore () =
   check_int "every record restored" (List.length full.Inject.r_records)
     restored.Inject.r_resumed;
   check_string "restored report byte-identical"
-    (Inject.report_json full) (Inject.report_json restored);
+    (Inject.report_json ~timing:false full) (Inject.report_json ~timing:false restored);
   (* a checkpoint from different campaign parameters is refused *)
   (match Inject.run ~jobs:1 ~resume:ck { c with Inject.c_seeds = 3 } with
   | exception Inject.Resume_mismatch _ -> ()

@@ -21,4 +21,5 @@ let () =
       ("inject", Test_inject.suite);
       ("properties", Test_props.suite);
       ("perf_equiv", Test_perf_equiv.suite);
+      ("obs", Test_obs.suite);
     ]

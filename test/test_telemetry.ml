@@ -270,6 +270,41 @@ let test_snapshot_json_valid () =
     (fun line -> if line <> "" then assert_valid_json "escaped strings" line)
     (String.split_on_char '\n' (T.jsonl_of_events s))
 
+(* every exporter's output must survive the repo's own strict parser,
+   not just the hand-rolled validator above — the two accept slightly
+   different grammars, so round-tripping through both pins the format *)
+let test_exporters_strict_parse () =
+  let module J = Cheri_util.Json in
+  let parse_ok what s =
+    match J.parse s with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "%s: strict parser rejected (%s): %s" what e s
+  in
+  let s = golden_sink () in
+  T.Sink.record s ~ts:16
+    (T.Fault { pc = 5; kind = T.F_tag; detail = "quote \" slash \\ ctrl \x01\ttab" });
+  List.iter
+    (fun line ->
+      if line <> "" then begin
+        let j = parse_ok "jsonl line" line in
+        match J.member "ev" j with
+        | Some (J.Str _) -> ()
+        | _ -> Alcotest.failf "jsonl line lacks ev: %s" line
+      end)
+    (String.split_on_char '\n' (T.jsonl_of_events s));
+  (match parse_ok "chrome trace" (T.chrome_trace s) with
+  | J.Arr (_ :: _) -> ()
+  | _ -> Alcotest.fail "chrome trace is not a non-empty array");
+  let snap = parse_ok "snapshot json" (T.snapshot_to_json (T.snapshot s)) in
+  (match Option.bind (J.member "total_events" snap) J.to_int with
+  | Some 4 -> ()
+  | v -> Alcotest.failf "snapshot total_events wrong: %s" (match v with Some n -> string_of_int n | None -> "missing"));
+  (* the telemetry escaper is (and must stay) the one in Cheri_util.Json *)
+  List.iter
+    (fun sample ->
+      check_string "json_escape aliases Json.escape" (J.escape sample) (T.json_escape sample))
+    [ "plain"; "q\"uote"; "back\\slash"; "ctl\x00\x1f\n\r\t"; "utf8 \xc3\xa9\xe2\x82\xac"; "" ]
+
 (* -- producer integration ------------------------------------------------- *)
 
 let test_tagmem_collateral_clears () =
@@ -369,6 +404,7 @@ let suite =
     Alcotest.test_case "jsonl golden output" `Quick test_jsonl_golden;
     Alcotest.test_case "chrome trace golden output" `Quick test_chrome_trace_golden;
     Alcotest.test_case "snapshot json validity" `Quick test_snapshot_json_valid;
+    Alcotest.test_case "exporters pass the strict parser" `Quick test_exporters_strict_parse;
     Alcotest.test_case "tagmem collateral tag clears" `Quick test_tagmem_collateral_clears;
     Alcotest.test_case "fault counter matches machine trap" `Quick
       test_machine_fault_counter_matches_outcome;
