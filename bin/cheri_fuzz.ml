@@ -20,14 +20,7 @@ module Campaign = Cheri_fuzz.Campaign
 module Gen = Cheri_fuzz.Gen
 module Obs = Cheri_obs.Obs
 module Json = Cheri_util.Json
-
-let usage () =
-  prerr_endline
-    "usage: cheri-fuzz [--seeds N] [--start N] [--jobs N] [--shrink] [--json FILE]\n\
-    \                  [--checkpoint FILE] [--resume FILE]\n\
-    \                  [--metrics[=FILE]] [--heartbeat SECS] [--status FILE]\n\
-    \                  [--self-test]";
-  exit 2
+module Cli = Cheri_util.Cli
 
 let ppf = Format.std_formatter
 
@@ -154,58 +147,29 @@ let () =
   let heartbeat_s = ref None in
   let status_path = ref "status.json" in
   let selftest = ref false in
-  let int_arg name v rest k =
-    match int_of_string_opt v with
-    | Some n when n >= 0 -> k n rest
-    | _ ->
-        Format.eprintf "%s expects a non-negative integer, got %s@." name v;
-        exit 2
-  in
-  let rec parse = function
-    | [] -> ()
-    | "--seeds" :: v :: rest -> int_arg "--seeds" v rest (fun n r -> seeds := n; parse r)
-    | "--start" :: v :: rest -> int_arg "--start" v rest (fun n r -> start := n; parse r)
-    | "--jobs" :: v :: rest -> int_arg "--jobs" v rest (fun n r -> jobs := max 1 n; parse r)
-    | "--shrink" :: rest ->
-        shrink := true;
-        parse rest
-    | "--json" :: f :: rest ->
-        json := Some f;
-        parse rest
-    | "--checkpoint" :: f :: rest ->
-        checkpoint := Some f;
-        parse rest
-    | "--resume" :: f :: rest ->
-        resume := Some f;
-        parse rest
-    | "--metrics" :: rest ->
-        metrics := Some None;
-        parse rest
-    | "--heartbeat" :: v :: rest -> (
-        match float_of_string_opt v with
-        | Some s when s >= 0. ->
-            heartbeat_s := Some s;
-            parse rest
-        | _ ->
-            Format.eprintf "--heartbeat expects a non-negative number of seconds@.";
-            exit 2)
-    | "--status" :: f :: rest ->
-        status_path := f;
-        parse rest
-    | "--self-test" :: rest ->
-        selftest := true;
-        parse rest
-    | [ ("--seeds" | "--start" | "--jobs" | "--json" | "--checkpoint" | "--resume"
-        | "--heartbeat" | "--status") as f ] ->
-        Format.eprintf "%s requires an argument@." f;
-        exit 2
-    | arg :: rest
-      when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
-        metrics := Some (Some (String.sub arg 10 (String.length arg - 10)));
-        parse rest
-    | _ -> usage ()
-  in
-  parse (List.tl (Array.to_list Sys.argv));
+  Cli.parse ~prog:"cheri-fuzz" ~usage:"[OPTIONS]"
+    [
+      Cli.int "--seeds" ~metavar:"N" ~doc:"number of seeds to run (default 100)"
+        (fun n -> seeds := n);
+      Cli.int "--start" ~metavar:"N" ~doc:"first seed (default 0)" (fun n -> start := n);
+      Cli.int "--jobs" ~metavar:"N" ~doc:"worker domains (default: host parallelism)"
+        (fun n -> jobs := max 1 n);
+      Cli.unit "--shrink" ~doc:"minimize each divergent program" (fun () -> shrink := true);
+      Cli.string "--json" ~metavar:"FILE" ~doc:"write the campaign report as JSON"
+        (fun f -> json := Some f);
+      Cli.string "--checkpoint" ~metavar:"FILE" ~doc:"append one JSONL record per finished seed"
+        (fun f -> checkpoint := Some f);
+      Cli.string "--resume" ~metavar:"FILE" ~doc:"restart from a checkpoint file"
+        (fun f -> resume := Some f);
+      Cli.opt_string "--metrics" ~metavar:"FILE" ~doc:"dump the metrics registry to stdout or FILE"
+        (fun v -> metrics := Some v);
+      Cli.float "--heartbeat" ~metavar:"SECS" ~doc:"status-file cadence"
+        (fun x -> heartbeat_s := Some x);
+      Cli.string "--status" ~metavar:"FILE" ~doc:"heartbeat target (default status.json)"
+        (fun f -> status_path := f);
+      Cli.unit "--self-test" ~doc:"deterministic CI smoke, then exit" (fun () -> selftest := true);
+    ]
+    (List.tl (Array.to_list Sys.argv));
   if !selftest then self_test ~seeds:!seeds ~jobs:!jobs
   else begin
     let heartbeat =

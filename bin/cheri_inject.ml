@@ -26,17 +26,7 @@ module Inject = Cheri_inject.Inject
 module Abi = Cheri_compiler.Abi
 module Obs = Cheri_obs.Obs
 module Json = Cheri_util.Json
-
-let usage () =
-  prerr_endline
-    "usage: cheri-inject [--seeds N] [--start N] [--kinds K1,K2,...] [--workloads W1,...]\n\
-    \                    [--jobs N] [--fuel N] [--deadline S] [--json FILE]\n\
-    \                    [--checkpoint FILE] [--resume FILE] [--limit N] [--slice N]\n\
-    \                    [--metrics[=FILE]] [--heartbeat SECS] [--status FILE]\n\
-    \                    [--list]\n\
-    \       cheri-inject --self-test [--seeds N] [--jobs N]\n\
-     kinds: bitflip tag-clear tag-set cap-field alloc-fail";
-  exit 2
+module Cli = Cheri_util.Cli
 
 let ppf = Format.std_formatter
 
@@ -305,96 +295,6 @@ let () =
   let heartbeat_s = ref None in
   let status_path = ref "status.json" in
   let selftest = ref false in
-  let int_arg name v rest k =
-    match int_of_string_opt v with
-    | Some n when n >= 0 -> k n rest
-    | _ ->
-        Format.eprintf "%s expects a non-negative integer, got %s@." name v;
-        exit 2
-  in
-  let rec parse = function
-    | [] -> ()
-    | "--seeds" :: v :: rest -> int_arg "--seeds" v rest (fun n r -> seeds := n; parse r)
-    | "--start" :: v :: rest -> int_arg "--start" v rest (fun n r -> start := n; parse r)
-    | "--jobs" :: v :: rest -> int_arg "--jobs" v rest (fun n r -> jobs := max 1 n; parse r)
-    | "--fuel" :: v :: rest -> int_arg "--fuel" v rest (fun n r -> fuel := max 1 n; parse r)
-    | "--limit" :: v :: rest -> int_arg "--limit" v rest (fun n r -> limit := Some n; parse r)
-    | "--slice" :: v :: rest ->
-        int_arg "--slice" v rest (fun n r ->
-            slice := Some (max 1 n);
-            parse r)
-    | "--deadline" :: v :: rest -> (
-        match float_of_string_opt v with
-        | Some s when s > 0. ->
-            deadline := Some s;
-            parse rest
-        | _ ->
-            Format.eprintf "--deadline expects a positive number of seconds@.";
-            exit 2)
-    | "--kinds" :: v :: rest ->
-        kinds :=
-          List.map
-            (fun k ->
-              match Inject.kind_of_key k with
-              | Some kind -> kind
-              | None ->
-                  Format.eprintf "unknown fault kind %s (known: %s)@." k
-                    (String.concat " " (List.map Inject.kind_key Inject.all_kinds));
-                  exit 2)
-            (String.split_on_char ',' v);
-        parse rest
-    | "--workloads" :: v :: rest ->
-        workloads :=
-          List.map
-            (fun name ->
-              match Inject.find_workload name with
-              | Some w -> w
-              | None ->
-                  Format.eprintf "unknown workload %s (known: %s)@." name
-                    (String.concat " " Inject.workload_names);
-                  exit 2)
-            (String.split_on_char ',' v);
-        parse rest
-    | "--json" :: f :: rest ->
-        json := Some f;
-        parse rest
-    | "--checkpoint" :: f :: rest ->
-        checkpoint := Some f;
-        parse rest
-    | "--resume" :: f :: rest ->
-        resume := Some f;
-        parse rest
-    | "--metrics" :: rest ->
-        metrics := Some None;
-        parse rest
-    | "--heartbeat" :: v :: rest -> (
-        match float_of_string_opt v with
-        | Some s when s >= 0. ->
-            heartbeat_s := Some s;
-            parse rest
-        | _ ->
-            Format.eprintf "--heartbeat expects a non-negative number of seconds@.";
-            exit 2)
-    | "--status" :: f :: rest ->
-        status_path := f;
-        parse rest
-    | "--self-test" :: rest ->
-        selftest := true;
-        parse rest
-    | "--list" :: _ ->
-        List.iter print_endline Inject.workload_names;
-        exit 0
-    | [ ("--seeds" | "--start" | "--jobs" | "--fuel" | "--limit" | "--slice" | "--deadline"
-        | "--kinds" | "--workloads" | "--json" | "--checkpoint" | "--resume" | "--heartbeat"
-        | "--status") as f ] ->
-        Format.eprintf "%s requires an argument@." f;
-        exit 2
-    | arg :: rest
-      when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
-        metrics := Some (Some (String.sub arg 10 (String.length arg - 10)));
-        parse rest
-    | _ -> usage ()
-  in
   (* hidden: the child process of the self-test's SIGKILL check — runs
      the small campaign sliced, with sidecars, until killed *)
   (match Array.to_list Sys.argv with
@@ -402,7 +302,61 @@ let () =
       ignore (Inject.run ~jobs:1 ~checkpoint:ck ~slice:selftest_slice (small_campaign ()));
       exit 0
   | _ -> ());
-  parse (List.tl (Array.to_list Sys.argv));
+  Cli.parse ~prog:"cheri-inject" ~usage:"[OPTIONS]   (kinds: bitflip tag-clear tag-set cap-field alloc-fail)"
+    [
+      Cli.int "--seeds" ~metavar:"N" ~doc:"seeds per (workload x ABI x kind) cell (default 8)"
+        (fun n -> seeds := n);
+      Cli.int "--start" ~metavar:"N" ~doc:"first seed (default 0)" (fun n -> start := n);
+      Cli.int "--jobs" ~metavar:"N" ~doc:"worker domains (default: host parallelism)"
+        (fun n -> jobs := max 1 n);
+      Cli.int "--fuel" ~metavar:"N" ~doc:"per-task instruction budget" (fun n -> fuel := max 1 n);
+      Cli.int "--limit" ~metavar:"N" ~doc:"run only the first N tasks" (fun n -> limit := Some n);
+      Cli.int "--slice" ~metavar:"N" ~doc:"preempt each task every N instructions"
+        (fun n -> slice := Some (max 1 n));
+      Cli.float ~strictly_positive:true "--deadline" ~metavar:"SECS"
+        ~doc:"per-task wall-clock watchdog"
+        (fun x -> deadline := Some x);
+      Cli.string "--kinds" ~metavar:"K1,K2" ~doc:"fault kinds to inject (default: all)"
+        (fun v ->
+          kinds :=
+            List.map
+              (fun k ->
+                match Inject.kind_of_key k with
+                | Some kind -> kind
+                | None ->
+                    Cli.die "unknown fault kind %s (known: %s)" k
+                      (String.concat " " (List.map Inject.kind_key Inject.all_kinds)))
+              (String.split_on_char ',' v));
+      Cli.string "--workloads" ~metavar:"W1,W2" ~doc:"workloads to fault (default: all builtins)"
+        (fun v ->
+          workloads :=
+            List.map
+              (fun name ->
+                match Inject.find_workload name with
+                | Some w -> w
+                | None ->
+                    Cli.die "unknown workload %s (known: %s)" name
+                      (String.concat " " Inject.workload_names))
+              (String.split_on_char ',' v));
+      Cli.string "--json" ~metavar:"FILE" ~doc:"write the detection matrix as JSON"
+        (fun f -> json := Some f);
+      Cli.string "--checkpoint" ~metavar:"FILE" ~doc:"append one JSONL record per finished task"
+        (fun f -> checkpoint := Some f);
+      Cli.string "--resume" ~metavar:"FILE" ~doc:"restart from a checkpoint file"
+        (fun f -> resume := Some f);
+      Cli.opt_string "--metrics" ~metavar:"FILE" ~doc:"dump the metrics registry to stdout or FILE"
+        (fun v -> metrics := Some v);
+      Cli.float "--heartbeat" ~metavar:"SECS" ~doc:"status-file cadence"
+        (fun x -> heartbeat_s := Some x);
+      Cli.string "--status" ~metavar:"FILE" ~doc:"heartbeat target (default status.json)"
+        (fun f -> status_path := f);
+      Cli.unit "--self-test" ~doc:"deterministic CI smoke, then exit" (fun () -> selftest := true);
+      Cli.unit "--list" ~doc:"print the workload names and exit"
+        (fun () ->
+          List.iter print_endline Inject.workload_names;
+          exit 0);
+    ]
+    (List.tl (Array.to_list Sys.argv));
   if !selftest then self_test ~seeds:!seeds ~jobs:!jobs
   else begin
     let c =

@@ -29,14 +29,7 @@ module Telemetry = Cheri_telemetry.Telemetry
 module Machine = Cheri_isa.Machine
 module Snapshot = Cheri_snapshot.Snapshot
 module Obs = Cheri_obs.Obs
-
-let usage () =
-  prerr_endline
-    "usage: cheri-run [-m MODEL] [-a] [-S|-x [-abi ABI]] [--fuel N] [--profile]\n\
-    \                 [--trace[=FILE]] [--stats-json FILE] [--chrome-trace FILE]\n\
-    \                 [--metrics[=FILE]] [--heartbeat SECS] [--status FILE]\n\
-    \                 [--slice N] [--snapshot FILE] [--resume FILE] file.c";
-  exit 2
+module Cli = Cheri_util.Cli
 
 let read_file path =
   match open_in_bin path with
@@ -252,6 +245,9 @@ let execute_on_softcore opts abi src =
     opts.metrics;
   match outcome with Machine.Exit 0L -> () | _ -> exit 1
 
+let prog = "cheri-run"
+let usage_tail = "[OPTIONS] file.c"
+
 let () =
   let model = ref "cheriv3" in
   let all = ref false in
@@ -270,92 +266,46 @@ let () =
   let metrics = ref None in
   let heartbeat_s = ref None in
   let status_path = ref "status.json" in
-  let rec parse = function
-    | "-m" :: m :: rest ->
-        model := m;
-        parse rest
-    | "-a" :: rest ->
-        all := true;
-        parse rest
-    | "-S" :: rest ->
-        dump := true;
-        parse rest
-    | "-x" :: rest ->
-        exec := true;
-        parse rest
-    | "--profile" :: rest ->
-        profile := true;
-        parse rest
-    | "--trace" :: rest ->
-        trace := Some None;
-        parse rest
-    | "--stats-json" :: f :: rest ->
-        stats_json_to := Some f;
-        parse rest
-    | "--chrome-trace" :: f :: rest ->
-        chrome_trace_to := Some f;
-        parse rest
-    | "--fuel" :: v :: rest ->
-        (match int_of_string_opt v with
-        | Some n when n >= 1 -> fuel := Some n
-        | _ ->
-            Format.eprintf "--fuel expects a positive integer, got %s@." v;
-            exit 2);
-        parse rest
-    | "--slice" :: v :: rest ->
-        (match int_of_string_opt v with
-        | Some n when n >= 1 -> slice := Some n
-        | _ ->
-            Format.eprintf "--slice expects a positive integer, got %s@." v;
-            exit 2);
-        parse rest
-    | "--snapshot" :: f :: rest ->
-        snapshot_to := Some f;
-        parse rest
-    | "--resume" :: f :: rest ->
-        resume_from := Some f;
-        parse rest
-    | "--metrics" :: rest ->
-        metrics := Some None;
-        parse rest
-    | "--heartbeat" :: v :: rest ->
-        (match float_of_string_opt v with
-        | Some s when s >= 0. -> heartbeat_s := Some s
-        | _ ->
-            Format.eprintf "--heartbeat expects a non-negative number of seconds@.";
-            exit 2);
-        parse rest
-    | "--status" :: f :: rest ->
-        status_path := f;
-        parse rest
-    | "-abi" :: a :: rest ->
-        (match Cheri_compiler.Abi.of_key a with
-        | Some x -> abi := x
-        | None ->
-            Format.eprintf "unknown ABI %s@." a;
-            exit 2);
-        parse rest
-    | f :: rest when String.length f > 8 && String.sub f 0 8 = "--trace=" ->
-        trace := Some (Some (String.sub f 8 (String.length f - 8)));
-        parse rest
-    | f :: rest when String.length f > 10 && String.sub f 0 10 = "--metrics=" ->
-        metrics := Some (Some (String.sub f 10 (String.length f - 10)));
-        parse rest
-    | [ f ]
-      when f = "--stats-json" || f = "--chrome-trace" || f = "--fuel" || f = "-abi"
-           || f = "-m" || f = "--slice" || f = "--snapshot" || f = "--resume"
-           || f = "--heartbeat" || f = "--status" ->
-        Format.eprintf "%s requires an argument@." f;
-        exit 2
-    | f :: _ when String.length f > 0 && f.[0] = '-' ->
-        Format.eprintf "unknown option %s@." f;
-        usage ()
-    | f :: rest ->
-        file := Some f;
-        parse rest
-    | [] -> ()
+  let flags =
+    [
+      Cli.string "-m" ~metavar:"MODEL" ~doc:"pointer model to interpret under (default cheriv3)"
+        (fun m -> model := m);
+      Cli.unit "-a" ~doc:"interpret under every model" (fun () -> all := true);
+      Cli.unit "-S" ~doc:"dump softcore assembly instead of running" (fun () -> dump := true);
+      Cli.unit "-x" ~doc:"compile and execute on the softcore" (fun () -> exec := true);
+      Cli.string "-abi" ~metavar:"ABI" ~doc:"softcore ABI: mips|v2|v3 (with -S/-x)"
+        (fun a ->
+          match Cheri_compiler.Abi.of_key a with
+          | Some x -> abi := x
+          | None -> Cli.die "unknown ABI %s" a);
+      Cli.int ~min:1 "--fuel" ~metavar:"N" ~doc:"step budget; exhaustion reports as a hang"
+        (fun n -> fuel := Some n);
+      Cli.unit "--profile" ~doc:"hot-PC profile + event counters (implies -x)"
+        (fun () -> profile := true);
+      Cli.opt_string "--trace" ~metavar:"FILE" ~doc:"JSONL event dump to stdout or FILE (implies -x)"
+        (fun v -> trace := Some v);
+      Cli.string "--stats-json" ~metavar:"FILE" ~doc:"machine stats + telemetry as JSON, \"-\" = stdout"
+        (fun f -> stats_json_to := Some f);
+      Cli.string "--chrome-trace" ~metavar:"FILE" ~doc:"Chrome trace_event JSON for Perfetto"
+        (fun f -> chrome_trace_to := Some f);
+      Cli.opt_string "--metrics" ~metavar:"FILE" ~doc:"dump the metrics registry to stdout or FILE"
+        (fun v -> metrics := Some v);
+      Cli.float "--heartbeat" ~metavar:"SECS" ~doc:"status-file cadence; implies slicing"
+        (fun x -> heartbeat_s := Some x);
+      Cli.string "--status" ~metavar:"FILE" ~doc:"heartbeat target (default status.json)"
+        (fun f -> status_path := f);
+      Cli.int ~min:1 "--slice" ~metavar:"N" ~doc:"run in fuel slices of N instructions"
+        (fun n -> slice := Some n);
+      Cli.string "--snapshot" ~metavar:"FILE" ~doc:"persist a snapshot at every slice boundary"
+        (fun f -> snapshot_to := Some f);
+      Cli.string "--resume" ~metavar:"FILE" ~doc:"restore FILE and continue (same source + ABI)"
+        (fun f -> resume_from := Some f);
+    ]
   in
-  parse (List.tl (Array.to_list Sys.argv));
+  Cli.parse ~prog ~usage:usage_tail
+    ~positional:(fun f -> file := Some f)
+    flags
+    (List.tl (Array.to_list Sys.argv));
   let opts =
     {
       profile = !profile;
@@ -370,6 +320,10 @@ let () =
       heartbeat_s = !heartbeat_s;
       status_path = !status_path;
     }
+  in
+  let usage () =
+    prerr_string (Cli.help_text ~prog ~usage:usage_tail flags);
+    exit 2
   in
   match !file with
   | None -> usage ()

@@ -24,15 +24,15 @@ let () =
   (* cons cells: next capability at +0, value at +32 *)
   let cons v next =
     let c = Gc.alloc gc ~size:64 in
-    Mem.store_cap mem ~addr:(Cap.address c) next;
-    Mem.store_int mem ~addr:(Int64.add (Cap.address c) 32L) ~size:8 v;
+    Mem.store_cap_i64 mem ~addr:(Cap.address c) next;
+    Mem.store_int_i64 mem ~addr:(Int64.add (Cap.address c) 32L) ~size:8 v;
     c
   in
   let rec sum cap acc =
     if not (Ops.c_get_tag cap) then acc
     else
-      let v = Mem.load_int mem ~addr:(Int64.add (Cap.address cap) 32L) ~size:8 in
-      sum (Mem.load_cap mem ~addr:(Cap.address cap)) (Int64.add acc v)
+      let v = Mem.load_int_i64 mem ~addr:(Int64.add (Cap.address cap) 32L) ~size:8 in
+      sum (Mem.load_cap_i64 mem ~addr:(Cap.address cap)) (Int64.add acc v)
   in
 
   (* a rooted list 1..8 and an unrooted garbage list *)
@@ -66,13 +66,13 @@ let () =
   (* old-to-young: store a young cell into the now-tenured head *)
   let young = cons 4242L Cap.null in
   let head_addr = Cap.address (Gc.root_get root) in
-  Mem.store_cap mem ~addr:head_addr young;
+  Mem.store_cap_i64 mem ~addr:head_addr young;
   Gc.write_barrier gc head_addr;
   Gc.collect_minor gc;
-  let through = Mem.load_cap mem ~addr:(Cap.address (Gc.root_get root)) in
+  let through = Mem.load_cap_i64 mem ~addr:(Cap.address (Gc.root_get root)) in
   Format.printf "@.old-to-young pointer after another minor collection: %s (value %Ld)@."
     (if Ops.c_get_tag through then "valid" else "LOST")
-    (Mem.load_int mem ~addr:(Int64.add (Cap.address through) 32L) ~size:8);
+    (Mem.load_int_i64 mem ~addr:(Int64.add (Cap.address through) 32L) ~size:8);
 
   Gc.collect_major gc;
   let st = Gc.stats gc in

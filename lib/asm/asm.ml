@@ -114,9 +114,9 @@ let make_machine ?config l =
     | Some c -> { c with Machine.data_base = l.data_base }
     | None -> { (Machine.default_config Cheri_core.Cap_ops.V3) with data_base = l.data_base }
   in
-  let m = Machine.create config ~code:l.code in
+  let m = Machine.create config ~program:(Cheri_isa.Decoded.compile l.code) in
   if Bytes.length l.data > 0 then begin
-    Mem.store_bytes (Machine.mem m) ~addr:l.data_base l.data;
+    Mem.store_bytes_i64 (Machine.mem m) ~addr:l.data_base l.data;
     Machine.reserve_data m l.data_base (Int64.of_int (Bytes.length l.data))
   end;
   m

@@ -37,6 +37,8 @@ let data_rw = of_list Load [ Store; Global ]
 let to_bits t = Int64.of_int t
 let of_bits b = Int64.to_int (Int64.logand b 0xffL)
 let[@inline] of_bits_int b = b land 0xff
+let[@inline] to_bits_int t = t
+let bit_of = bit_of_perm
 
 let name = function
   | Load -> "load"

@@ -56,4 +56,14 @@ val of_bits_int : int -> t
 (** {!of_bits} for a meta word already held as a native int — the
     allocation-free decode used by the capability fill path. *)
 
+val to_bits_int : t -> int
+(** {!to_bits} as a native int — the allocation-free encode used by the
+    softcore's struct-of-arrays capability register file when it packs
+    perms/sealed/tag into one meta int per register. *)
+
+val bit_of : perm -> int
+(** The bit index of one permission in the dense encoding — lets hot
+    paths test a pre-computed [1 lsl bit_of p] mask against
+    {!to_bits_int} without consing a set. *)
+
 val pp : Format.formatter -> t -> unit

@@ -74,12 +74,12 @@ let rebase cap new_base =
 
 (* copy [size] bytes object, preserving capability tags granule-wise *)
 let copy_object t ~src ~dst ~size =
-  let b = Mem.load_bytes t.mem ~addr:src ~len:size in
-  Mem.store_bytes t.mem ~addr:dst b;
+  let b = Mem.load_bytes_i64 t.mem ~addr:src ~len:size in
+  Mem.store_bytes_i64 t.mem ~addr:dst b;
   let rec go off =
     if off < size then begin
       let s = Int64.add src (Int64.of_int off) in
-      if Mem.tag_at t.mem s then Mem.store_cap t.mem ~addr:(Int64.add dst (Int64.of_int off)) (Mem.load_cap t.mem ~addr:s);
+      if Mem.tag_at_i64 t.mem s then Mem.store_cap_i64 t.mem ~addr:(Int64.add dst (Int64.of_int off)) (Mem.load_cap_i64 t.mem ~addr:s);
       go (off + granule)
     end
   in
@@ -130,10 +130,10 @@ let scan_object t forwarding worklist ~should_move base size =
   let rec go off =
     if off < size then begin
       let a = Int64.add base (Int64.of_int off) in
-      if Mem.tag_at t.mem a then begin
-        let c = Mem.load_cap t.mem ~addr:a in
+      if Mem.tag_at_i64 t.mem a then begin
+        let c = Mem.load_cap_i64 t.mem ~addr:a in
         let c' = evacuate t forwarding worklist ~should_move c in
-        if not (Cap.equal c c') then Mem.store_cap t.mem ~addr:a c'
+        if not (Cap.equal c c') then Mem.store_cap_i64 t.mem ~addr:a c'
       end;
       go (off + granule)
     end
@@ -149,7 +149,7 @@ let drain t forwarding worklist ~should_move =
 let clear_region_tags t base size =
   let rec go off =
     if off < size then begin
-      Mem.clear_tag_at t.mem (Int64.add base (Int64.of_int off));
+      Mem.clear_tag_at_i64 t.mem (Int64.add base (Int64.of_int off));
       go (off + granule)
     end
   in
@@ -166,10 +166,10 @@ let collect_minor t =
   (* old-to-young pointers recorded by the write barrier *)
   Hashtbl.iter
     (fun addr () ->
-      if Mem.tag_at t.mem addr then begin
-        let c = Mem.load_cap t.mem ~addr in
+      if Mem.tag_at_i64 t.mem addr then begin
+        let c = Mem.load_cap_i64 t.mem ~addr in
         let c' = evacuate t forwarding worklist ~should_move c in
-        if not (Cap.equal c c') then Mem.store_cap t.mem ~addr c'
+        if not (Cap.equal c c') then Mem.store_cap_i64 t.mem ~addr c'
       end)
     t.remembered;
   Hashtbl.reset t.remembered;

@@ -19,7 +19,7 @@
    the granule tag on CHERI (the integrity rule does the detecting) and
    silently redirects the pointer on MIPS — exactly the asymmetry the
    detection matrix is meant to exhibit. Guard-field corruption
-   (length, perms) is applied tag-preservingly via {!Tagmem.poke_raw},
+   (length, perms) is applied tag-preservingly via {!Tagmem.poke_raw_i64},
    because those fields never change which address is accessed, only
    whether the access traps — so CHERI detects or masks them
    structurally. Address-field corruption (base, offset) without
@@ -232,7 +232,7 @@ let pointer_homes r m =
       let last = Int64.add base size in
       let a = ref first in
       while Int64.add !a 8L <= last do
-        if plausible (Tagmem.load_int mem ~addr:!a ~size:8) then acc := !a :: !acc;
+        if plausible (Tagmem.load_int_i64 mem ~addr:!a ~size:8) then acc := !a :: !acc;
         a := Int64.add !a 8L
       done)
     regions;
@@ -254,11 +254,11 @@ let cap_sites m =
 (* a stray architectural store: flips one bit of one byte through the
    data path, so the §4.2 integrity rule clears the granule tag *)
 let flip_byte mem addr bit =
-  Tagmem.store_byte mem addr (Tagmem.load_byte mem addr lxor (1 lsl bit))
+  Tagmem.store_byte_i64 mem addr (Tagmem.load_byte_i64 mem addr lxor (1 lsl bit))
 
 (* same flip below the architecture: the granule tag survives *)
 let flip_byte_raw mem addr bit =
-  Tagmem.poke_raw mem addr (Tagmem.load_byte mem addr lxor (1 lsl bit))
+  Tagmem.poke_raw_i64 mem addr (Tagmem.load_byte_i64 mem addr lxor (1 lsl bit))
 
 type field = F_base | F_length | F_offset | F_perms
 
@@ -317,9 +317,9 @@ let apply_fault rng r m kind : string =
       match pick_byte rng (data_regions r m) with
       | None -> "no-op: no live data"
       | Some addr ->
-          if Tagmem.tag_at mem addr then "no-op: granule already tagged"
+          if Tagmem.tag_at_i64 mem addr then "no-op: granule already tagged"
           else begin
-            Tagmem.set_tag_at mem addr;
+            Tagmem.set_tag_at_i64 mem addr;
             Printf.sprintf "forged tag onto granule of 0x%Lx" addr
           end)
   | Cap_field -> (

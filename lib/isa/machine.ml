@@ -61,18 +61,57 @@ let pp_outcome ppf = function
   | Deadline_exceeded -> Format.pp_print_string ppf "wall-clock deadline exceeded"
   | Yielded -> Format.pp_print_string ppf "yielded (slice spent, machine still valid)"
 
+(* Capability register file, struct-of-arrays: the payload words live in
+   byte buffers ([Bytes.get/set_int64_le] move unboxed int64s, exactly
+   like the GPR file) and the book-keeping bits live in one native int
+   per register — perms in bits 0-7 (the spill encoding), sealed in bit
+   8, tag in bit 9. The otype keeps its own 64-bit lane so snapshot
+   restore reproduces arbitrary fault-injected values. Capability moves,
+   offset arithmetic and dereference checks — the bulk of the CHERI
+   instruction mix — then never materialize a [Capability.t] record;
+   only the rare paths (CSC spill, CSeal, snapshots, the public [cap]
+   accessor) do. *)
+let meta_sealed = 0x100
+let meta_tag = 0x200
+
+(* Unchecked 64-bit register-file accesses (the stdlib keeps these
+   primitives private behind bounds-checked wrappers). Soundness:
+   {!Decoded.compile} validates every register operand to 0..31 at
+   decode time, so the byte offsets the execute stage feeds here are
+   within the fixed-size files by construction; the public accessors
+   below bounds-check explicitly before reaching these. *)
+external b64_get_ne : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external b64_set_ne : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+external bswap64 : int64 -> int64 = "%bswap_int64"
+
+let[@inline] b64_get b o = if Sys.big_endian then bswap64 (b64_get_ne b o) else b64_get_ne b o
+let[@inline] b64_set b o v = b64_set_ne b o (if Sys.big_endian then bswap64 v else v)
+
 type t = {
   cfg : config;
-  code : Insn.t array;
+  prog : Decoded.program;
+  (* the decoded program's rows, unpacked once so the step loop loads
+     each through one indirection *)
+  ops : Decoded.op array;
+  xs : int array;
+  ys : int array;
+  zs : int array;
+  imms : Bytes.t;
+  classes : Telemetry.opcode_class array;
+  code_len : int;
   memory : Mem.t;
   (* 32 x 64-bit GPRs packed little-endian in a byte buffer rather than
      an [int64 array]: storing a freshly computed Int64 into an array
      first boxes it (3 words per retired ALU op), while
      [Bytes.set_int64_le] takes the unboxed value straight from the
-     register allocator. A 33rd scratch slot stages ALU immediates so
-     register and immediate forms share one dispatch. *)
+     register allocator. Slot 32 is the write sink the decoded table
+     redirects r0 destinations to. *)
   gprs : Bytes.t;
-  caps : Cap.t array;
+  cap_base : Bytes.t;
+  cap_len : Bytes.t;
+  cap_off : Bytes.t;
+  cap_otype : Bytes.t;
+  cap_meta : int array;
   mutable pcc : Cap.t;
   mutable pc : int;
   mutable cycles : int;
@@ -93,6 +132,9 @@ type t = {
   (* [Sink.is_null sink], cached so the step loop pays one mutable-bool
      test per retired instruction when telemetry is off *)
   mutable trace_on : bool;
+  (* config bits read on the per-instruction path, cached out of cfg *)
+  is_v3 : bool;
+  trapv : bool;
   mutable allocs : int;
   mutable frees : int;
   (* total syscalls retired — lets {!run}'s deadline loop sample the
@@ -107,10 +149,14 @@ type t = {
   (* Terminal outcome staged by the syscall layer / HALT for {!step} to
      return after retiring the instruction. Writing [Some _] here is the
      once-per-run event; every other retired instruction leaves it
-     [None], which is what keeps the step loop allocation-free — the
-     old design built a [(outcome option * int * int)] tuple per
-     instruction. *)
+     [None], which is what keeps the step loop allocation-free. *)
   mutable pending : outcome option;
+  (* Fetch cost of the instruction currently in flight. {!run}'s fused
+     loop keeps its exception handler *outside* the loop (one trap
+     frame per run instead of one per retired instruction); when a trap
+     unwinds to it, the handler reads back here the icost the epilogue
+     would have charged. *)
+  mutable last_icost : int;
 }
 
 exception Trapped of trap
@@ -124,12 +170,63 @@ let syscall_clock = 6L
 let syscall_print_bytes = 7L
 let syscall_print_cstr = 8L
 
-let create cfg ~code =
-  Array.iteri
-    (fun i insn ->
-      if not (Insn.is_resolved insn) then
-        invalid_arg (Format.asprintf "Machine.create: unresolved instruction %d: %a" i Insn.pp insn))
-    code;
+(* -- capability register file accessors ---------------------------------- *)
+
+let[@inline] cap_get_idx t i =
+  (* [cap_meta.(i)] first: its bounds check raises the same
+     [Invalid_argument] a bad register index raised against the old
+     record array *)
+  let m = t.cap_meta.(i) in
+  Cap.of_fields_unchecked
+    ~tag:(m land meta_tag <> 0)
+    ~base:(b64_get t.cap_base (i lsl 3))
+    ~length:(b64_get t.cap_len (i lsl 3))
+    ~offset:(b64_get t.cap_off (i lsl 3))
+    ~perms:(Perms.of_bits_int m)
+    ~sealed:(m land meta_sealed <> 0)
+    ~otype:(b64_get t.cap_otype (i lsl 3))
+
+let set_cap_idx t i (c : Cap.t) =
+  t.cap_meta.(i) <-
+    Perms.to_bits_int c.Cap.perms
+    lor (if c.Cap.sealed then meta_sealed else 0)
+    lor (if c.Cap.tag then meta_tag else 0);
+  let o = i lsl 3 in
+  b64_set t.cap_base o c.Cap.base;
+  b64_set t.cap_len o c.Cap.length;
+  b64_set t.cap_off o c.Cap.offset;
+  b64_set t.cap_otype o c.Cap.otype
+
+(* Register-to-register capability copy: three payload blits plus the
+   meta/otype lanes, no record in between. *)
+let[@inline] cap_copy t ~dst ~src =
+  let s = src lsl 3 and d = dst lsl 3 in
+  b64_set t.cap_base d (b64_get t.cap_base s);
+  b64_set t.cap_len d (b64_get t.cap_len s);
+  b64_set t.cap_off d (b64_get t.cap_off s);
+  b64_set t.cap_otype d (b64_get t.cap_otype s);
+  t.cap_meta.(dst) <- t.cap_meta.(src)
+
+let[@inline] cap_cursor t i =
+  Int64.add (b64_get t.cap_base (i lsl 3)) (b64_get t.cap_off (i lsl 3))
+
+let set_cap_null t i =
+  t.cap_meta.(i) <- 0;
+  let o = i lsl 3 in
+  b64_set t.cap_base o 0L;
+  b64_set t.cap_len o 0L;
+  b64_set t.cap_off o 0L;
+  b64_set t.cap_otype o 0L
+
+(* Precomputed permission masks against the meta word's low byte. *)
+let p_load = 1 lsl Perms.bit_of Perms.Load
+let p_store = 1 lsl Perms.bit_of Perms.Store
+let p_exec = 1 lsl Perms.bit_of Perms.Execute
+let p_load_cap = 1 lsl Perms.bit_of Perms.Load_cap
+let p_store_cap = 1 lsl Perms.bit_of Perms.Store_cap
+
+let create cfg ~program =
+  let code_len = Decoded.length program in
   let memory = Mem.create ~size_bytes:cfg.mem_size () in
   let stack_top = Int64.of_int cfg.mem_size in
   let stack_base = Int64.sub stack_top (Int64.of_int cfg.stack_bytes) in
@@ -140,53 +237,68 @@ let create cfg ~code =
       (Cap.make ~base:stack_base ~length:(Int64.of_int cfg.stack_bytes) ~perms:Perms.all)
       (Int64.of_int cfg.stack_bytes)
   in
-  let caps = Array.make 32 Cap.null in
-  caps.(0) <- all_mem;
-  caps.(11) <- stack_cap;
   let gprs = Bytes.make ((32 + 1) * 8) '\000' in
   Bytes.set_int64_le gprs (29 * 8) stack_top;
   (* The heap starts above the data segment; the loader bumps this via
      [reserve_data]. *)
   let heap_base = cfg.data_base in
-  {
-    cfg;
-    code;
-    memory;
-    gprs;
-    caps;
-    pcc =
-      Cap.make ~base:0L
-        ~length:(Int64.of_int (max 1 (Array.length code)))
-        ~perms:(Perms.of_list Perms.Execute [ Perms.Global ]);
-    pc = 0;
-    cycles = 0;
-    instret = 0;
-    loads = 0;
-    stores = 0;
-    cap_loads = 0;
-    cap_stores = 0;
-    heap_allocated = 0L;
-    dcache = Cache.Timing.create cfg.timing;
-    icache = Cache.create ~name:"L1I" ~size_bytes:(16 * 1024) ~ways:2 ~line_bytes:32;
-    out = Buffer.create 256;
-    allocated = Hashtbl.create 64;
-    free_list = [ (cfg.data_base, Int64.sub stack_base cfg.data_base) ];
-    heap_base;
-    stack_top;
-    sink = Telemetry.Sink.null;
-    trace_on = false;
-    allocs = 0;
-    frees = 0;
-    syscalls = 0;
-    alloc_fail_after = None;
-    free_fail_after = None;
-    pending = None;
-  }
+  let t =
+    {
+      cfg;
+      prog = program;
+      ops = program.Decoded.ops;
+      xs = program.Decoded.xs;
+      ys = program.Decoded.ys;
+      zs = program.Decoded.zs;
+      imms = program.Decoded.imms;
+      classes = program.Decoded.classes;
+      code_len;
+      memory;
+      gprs;
+      cap_base = Bytes.make (32 * 8) '\000';
+      cap_len = Bytes.make (32 * 8) '\000';
+      cap_off = Bytes.make (32 * 8) '\000';
+      cap_otype = Bytes.make (32 * 8) '\000';
+      cap_meta = Array.make 32 0;
+      pcc =
+        Cap.make ~base:0L
+          ~length:(Int64.of_int (max 1 code_len))
+          ~perms:(Perms.of_list Perms.Execute [ Perms.Global ]);
+      pc = 0;
+      cycles = 0;
+      instret = 0;
+      loads = 0;
+      stores = 0;
+      cap_loads = 0;
+      cap_stores = 0;
+      heap_allocated = 0L;
+      dcache = Cache.Timing.create cfg.timing;
+      icache = Cache.create ~name:"L1I" ~size_bytes:(16 * 1024) ~ways:2 ~line_bytes:32;
+      out = Buffer.create 256;
+      allocated = Hashtbl.create 64;
+      free_list = [ (cfg.data_base, Int64.sub stack_base cfg.data_base) ];
+      heap_base;
+      stack_top;
+      sink = Telemetry.Sink.null;
+      trace_on = false;
+      is_v3 = (cfg.revision = Ops.V3);
+      trapv = cfg.trap_on_signed_overflow;
+      allocs = 0;
+      frees = 0;
+      syscalls = 0;
+      alloc_fail_after = None;
+      free_fail_after = None;
+      pending = None;
+      last_icost = 0;
+    }
+  in
+  set_cap_idx t 0 all_mem;
+  set_cap_idx t 11 stack_cap;
+  t
 
+let create_code cfg ~code = create cfg ~program:(Decoded.compile code)
 let config t = t.cfg
 let mem t = t.memory
-(* Byte offset of the scratch slot that stages ALU immediates. *)
-let scratch_gpr_off = 32 * 8
 
 (* Reads are a bare load with no r0 conditional: [set_gpr] never writes
    index 0, so its backing bytes stay zero and the read needs no
@@ -194,8 +306,8 @@ let scratch_gpr_off = 32 * 8
    into a box. *)
 let[@inline] gpr t i = Bytes.get_int64_le t.gprs (i lsl 3)
 let[@inline] set_gpr t i v = if i <> 0 then Bytes.set_int64_le t.gprs (i lsl 3) v
-let cap t i = t.caps.(i)
-let set_cap t i c = t.caps.(i) <- c
+let cap t i = cap_get_idx t i
+let set_cap t i c = set_cap_idx t i c
 let pc t = t.pc
 let cycles t = t.cycles
 let instret t = t.instret
@@ -309,102 +421,27 @@ let free t addr =
 
 let unwrap = function Ok v -> v | Error f -> raise (Trapped (Cap_trap f))
 
-(* ALU dispatch writes the destination register inside each arm rather
-   than returning the result: an Int64 flowing out through the match
-   join (or through a call boundary) gets boxed, and this runs once per
-   retired ALU instruction — a quarter of the Dhrystone mix. All
-   arguments are immediate ints, so nothing here allocates on the
-   non-trap path. [a] and [b] are register-file byte offsets (already
-   shifted); [store] writes the unboxed result straight back. *)
-let[@inline] rf_get t o = Bytes.get_int64_le t.gprs o
-let[@inline] rf_set t rd v = if rd <> 0 then Bytes.set_int64_le t.gprs (rd lsl 3) v
-
-let[@inline] exec_alu t op rd a b =
-  match op with
-  | Insn.ADD -> rf_set t rd (Int64.add (rf_get t a) (rf_get t b))
-  | ADDT ->
-      let a = rf_get t a and b = rf_get t b in
-      let r = Int64.add a b in
-      (* overflow iff operands share a sign that differs from the result *)
-      if
-        t.cfg.trap_on_signed_overflow
-        && Int64.logand (Int64.logxor r a) (Int64.logxor r b) < 0L
-      then raise (Trapped Overflow_trap)
-      else rf_set t rd r
-  | SUB -> rf_set t rd (Int64.sub (rf_get t a) (rf_get t b))
-  | MUL -> rf_set t rd (Int64.mul (rf_get t a) (rf_get t b))
-  | DIV ->
-      let b = rf_get t b in
-      if b = 0L then raise (Trapped Div_by_zero)
-      else rf_set t rd (Int64.div (rf_get t a) b)
-  | DIVU ->
-      let b = rf_get t b in
-      if b = 0L then raise (Trapped Div_by_zero)
-      else rf_set t rd (Int64.unsigned_div (rf_get t a) b)
-  | REM ->
-      let b = rf_get t b in
-      if b = 0L then raise (Trapped Div_by_zero)
-      else rf_set t rd (Int64.rem (rf_get t a) b)
-  | REMU ->
-      let b = rf_get t b in
-      if b = 0L then raise (Trapped Div_by_zero)
-      else rf_set t rd (Int64.unsigned_rem (rf_get t a) b)
-  | AND -> rf_set t rd (Int64.logand (rf_get t a) (rf_get t b))
-  | OR -> rf_set t rd (Int64.logor (rf_get t a) (rf_get t b))
-  | XOR -> rf_set t rd (Int64.logxor (rf_get t a) (rf_get t b))
-  | NOR -> rf_set t rd (Int64.lognot (Int64.logor (rf_get t a) (rf_get t b)))
-  | SLL -> rf_set t rd (Int64.shift_left (rf_get t a) (Int64.to_int (rf_get t b) land 63))
-  | SRL ->
-      rf_set t rd (Int64.shift_right_logical (rf_get t a) (Int64.to_int (rf_get t b) land 63))
-  | SRA -> rf_set t rd (Int64.shift_right (rf_get t a) (Int64.to_int (rf_get t b) land 63))
-  | SLT -> rf_set t rd (if rf_get t a < rf_get t b then 1L else 0L)
-  | SLTU ->
-      rf_set t rd
-        (if Int64.add (rf_get t a) Int64.min_int < Int64.add (rf_get t b) Int64.min_int
-         then 1L
-         else 0L)
-  | SEQ -> rf_set t rd (if rf_get t a = rf_get t b then 1L else 0L)
-  | SNE -> rf_set t rd (if rf_get t a <> rf_get t b then 1L else 0L)
-
-let alu_cost = function
-  | Insn.MUL -> 4
-  | DIV | DIVU | REM | REMU -> 16
-  | ADD | ADDT | SUB | AND | OR | XOR | NOR | SLL | SRL | SRA | SLT | SLTU | SEQ | SNE -> 1
-
-let[@inline] imm_value = function
-  | Insn.Imm v -> v
-  | Sym_addr _ -> raise (Trapped Unresolved_operand)
-
-let[@inline] target_value = function Insn.Abs i -> i | Sym _ -> raise (Trapped Unresolved_operand)
-
-let[@inline] legacy_addr t rs off = Int64.add (gpr t rs) (Int64.of_int off)
-
-(* Reads the capability's fields directly rather than calling
-   [Cap.address]: the cross-module call would box the cursor once per
-   capability-relative access, and [Capability.t] is a private record
-   precisely so hot readers can do this. *)
-let[@inline] cap_addr t cb roff off =
-  let c = t.caps.(cb) in
-  Int64.add (Int64.add c.Cap.base c.Cap.offset) (Int64.add (gpr t roff) (Int64.of_int off))
-
-(* Same-module copy of [Capability.check_access], raising [Trapped]
-   directly. The cross-module call would box [addr] once per retired
-   memory instruction; this reads the private record's fields and keeps
-   the address in a machine register. The check order (tag, seal,
-   permission, bounds) matches [Capability.check_access] exactly so the
-   reported fault is identical. *)
+(* Same-module copy of the unsigned compare (the dev profile's -opaque
+   defeats cross-module inlining and this runs several times per
+   retired memory instruction). *)
 let[@inline] m_ult a b = Int64.add a Int64.min_int < Int64.add b Int64.min_int
 
-let[@inline] cap_access_check (c : Cap.t) addr size perm =
-  if not c.Cap.tag then raise (Trapped (Cap_trap Fault.Tag_violation));
-  if c.Cap.sealed then
+(* The dereference-time capability check against the SoA register file,
+   raising [Trapped] directly. The check order (tag, seal, permission,
+   bounds) matches [Capability.check_access] exactly so the reported
+   fault is identical; [pmask] is the precomputed bit of [perm], which
+   travels only for fault reporting. *)
+let[@inline] soa_check t cb addr size pmask perm =
+  let m = t.cap_meta.(cb) in
+  if m land meta_tag = 0 then raise (Trapped (Cap_trap Fault.Tag_violation));
+  if m land meta_sealed <> 0 then
     raise (Trapped (Cap_trap (Fault.Seal_violation "dereference of a sealed capability")));
-  if not (Perms.mem perm c.Cap.perms) then
-    raise (Trapped (Cap_trap (Fault.Perm_violation perm)));
+  if m land pmask = 0 then raise (Trapped (Cap_trap (Fault.Perm_violation perm)));
+  let base = b64_get t.cap_base (cb lsl 3) in
+  let top = Int64.add base (b64_get t.cap_len (cb lsl 3)) in
   let last = Int64.add addr (Int64.of_int size) in
-  let top = Int64.add c.Cap.base c.Cap.length in
-  if m_ult addr c.Cap.base || m_ult top last || m_ult last addr then
-    raise (Trapped (Cap_trap (Fault.Bounds_violation { addr; base = c.Cap.base; top })))
+  if m_ult addr base || m_ult top last || m_ult last addr then
+    raise (Trapped (Cap_trap (Fault.Bounds_violation { addr; base; top })))
 
 (* [a] has passed the capability bounds check against a capability
    whose region lies inside data memory, so the int64->int conversion
@@ -422,33 +459,6 @@ let dmem_cost t a size =
       Telemetry.Sink.record t.sink ~ts:t.cycles (Telemetry.Cache_miss { level = 2; addr });
     c
   end
-
-let do_load t ~cap:c ~addr ~w ~signed ~rd =
-  let size = Insn.bytes_of_width w in
-  cap_access_check c addr size Perms.Load;
-  let a = Int64.to_int addr in
-  let raw =
-    try Mem.load_int_at t.memory a ~size
-    with Mem.Bus_error a -> raise (Trapped (Bus_trap a))
-  in
-  (* branch on [signed] with the store inside each arm: a value joining
-     the two branches would be re-boxed before reaching the register
-     file *)
-  if signed then
-    let sh = 64 - (size * 8) in
-    set_gpr t rd (Int64.shift_right (Int64.shift_left raw sh) sh)
-  else set_gpr t rd raw;
-  t.loads <- t.loads + 1;
-  dmem_cost t a size
-
-let do_store t ~cap:c ~addr ~w ~rv =
-  let size = Insn.bytes_of_width w in
-  cap_access_check c addr size Perms.Store;
-  let a = Int64.to_int addr in
-  (try Mem.store_int_at t.memory a ~size (gpr t rv)
-   with Mem.Bus_error a -> raise (Trapped (Bus_trap a)));
-  t.stores <- t.stores + 1;
-  dmem_cost t a size
 
 let[@inline] check_cap_alignment addr =
   if Int64.to_int addr land (Cap.byte_width - 1) <> 0 then
@@ -477,7 +487,7 @@ let do_syscall t =
     if t.trace_on then
       Telemetry.Sink.record t.sink ~ts:t.cycles (Telemetry.Alloc { base; size });
     set_gpr t 2 base;
-    set_cap t 1 (Cap.make ~base ~length:size ~perms:Perms.all);
+    set_cap_idx t 1 (Cap.make ~base ~length:size ~perms:Perms.all);
     40)
   else if n = syscall_free then (
     free t a0;
@@ -488,9 +498,9 @@ let do_syscall t =
     10)
   else if n = syscall_print_bytes then (
     let len = Int64.to_int a1 in
-    unwrap (Ops.load_check t.caps.(0) ~addr:a0 ~size:len);
+    unwrap (Ops.load_check (cap_get_idx t 0) ~addr:a0 ~size:len);
     let b =
-      try Mem.load_bytes t.memory ~addr:a0 ~len
+      try Mem.load_bytes_i64 t.memory ~addr:a0 ~len
       with Mem.Bus_error a -> raise (Trapped (Bus_trap a))
     in
     Buffer.add_bytes t.out b;
@@ -503,7 +513,7 @@ let do_syscall t =
        instead of re-running Ops.load_check per character. Walking past
        the extent reproduces exactly the bounds fault the per-byte
        check would have raised at that address. *)
-    let ddc = t.caps.(0) in
+    let ddc = cap_get_idx t 0 in
     unwrap (Ops.load_check ddc ~addr:a0 ~size:1);
     let cap_top = Cap.top ddc in
     let rec go addr count =
@@ -514,7 +524,7 @@ let do_syscall t =
              (Cap_trap (Fault.Bounds_violation { addr; base = Ops.c_get_base ddc; top = cap_top })))
       else begin
         let c =
-          try Mem.load_int t.memory ~addr ~size:1
+          try Mem.load_int_i64 t.memory ~addr ~size:1
           with Mem.Bus_error a -> raise (Trapped (Bus_trap a))
         in
         if c <> 0L then begin
@@ -528,263 +538,669 @@ let do_syscall t =
     10 + n_chars)
   else raise (Trapped (Invalid_syscall n))
 
-let[@inline] condz_holds k v =
-  match k with
-  | Insn.LTZ -> v < 0L
-  | LEZ -> v <= 0L
-  | GTZ -> v > 0L
-  | GEZ -> v >= 0L
-  | EQZ -> v = 0L
-  | NEZ -> v <> 0L
+(* -- the execute stage --------------------------------------------------- *)
 
-let cmp_holds k c =
-  match k with
-  | Insn.CEQ -> c = 0
-  | CNE -> c <> 0
-  | CLT | CLTU -> c < 0
-  | CLE | CLEU -> c <= 0
+(* Shorthands over the register-file byte buffer. The decoded table
+   already carries byte offsets (pre-shifted, r0 destinations redirected
+   to the sink slot), so the arms below index [t.gprs] directly. *)
+let[@inline] rg t o = b64_get t.gprs o
+let[@inline] wg t o v = b64_set t.gprs o v
+let[@inline] imm64 t pc = b64_get t.imms (pc lsl 3)
+
+(* Capability pointer comparison against the SoA file; same result sign
+   classes as [Cap_ops.c_ptr_cmp]. *)
+let[@inline] soa_ptr_cmp t a b =
+  let ta = t.cap_meta.(a) land meta_tag and tb = t.cap_meta.(b) land meta_tag in
+  if ta <> tb then (if ta = 0 then -1 else 1)
+  else
+    let aa = cap_cursor t a and ab = cap_cursor t b in
+    if m_ult aa ab then -1 else if aa = ab then 0 else 1
+
+(* Execute the decoded instruction at [pc] and return its cycle cost
+   (the fetch cost is the caller's). Each arm writes [t.pc] itself —
+   strictly after every operation that can raise [Trapped], so a
+   trapping instruction leaves the pc at the faulting instruction.
+   Terminal outcomes (exit syscall, HALT) are staged in [t.pending]
+   and drained by the caller after retiring.
+
+   [op] is a constant constructor, so this match is one jump table —
+   the whole fetch+decode+cost computation the old loop redid per
+   retire is a handful of flat-array loads here. *)
+let exec t pc (op : Decoded.op) =
+  match op with
+  | Decoded.O_nop ->
+      t.pc <- pc + 1;
+      1
+  | O_li ->
+      wg t (Array.unsafe_get t.xs pc) (imm64 t pc);
+      t.pc <- pc + 1;
+      1
+  (* ALU, register form *)
+  | O_add ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.add (rg t (Array.unsafe_get t.ys pc)) (rg t (Array.unsafe_get t.zs pc)));
+      t.pc <- pc + 1;
+      1
+  | O_addt ->
+      let a = rg t (Array.unsafe_get t.ys pc) and b = rg t (Array.unsafe_get t.zs pc) in
+      let r = Int64.add a b in
+      (* overflow iff operands share a sign that differs from the result *)
+      if t.trapv && Int64.logand (Int64.logxor r a) (Int64.logxor r b) < 0L then
+        raise (Trapped Overflow_trap);
+      wg t (Array.unsafe_get t.xs pc) r;
+      t.pc <- pc + 1;
+      1
+  | O_sub ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.sub (rg t (Array.unsafe_get t.ys pc)) (rg t (Array.unsafe_get t.zs pc)));
+      t.pc <- pc + 1;
+      1
+  | O_mul ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.mul (rg t (Array.unsafe_get t.ys pc)) (rg t (Array.unsafe_get t.zs pc)));
+      t.pc <- pc + 1;
+      4
+  | O_div ->
+      let b = rg t (Array.unsafe_get t.zs pc) in
+      if b = 0L then raise (Trapped Div_by_zero);
+      wg t (Array.unsafe_get t.xs pc) (Int64.div (rg t (Array.unsafe_get t.ys pc)) b);
+      t.pc <- pc + 1;
+      16
+  | O_divu ->
+      let b = rg t (Array.unsafe_get t.zs pc) in
+      if b = 0L then raise (Trapped Div_by_zero);
+      wg t (Array.unsafe_get t.xs pc) (Int64.unsigned_div (rg t (Array.unsafe_get t.ys pc)) b);
+      t.pc <- pc + 1;
+      16
+  | O_rem ->
+      let b = rg t (Array.unsafe_get t.zs pc) in
+      if b = 0L then raise (Trapped Div_by_zero);
+      wg t (Array.unsafe_get t.xs pc) (Int64.rem (rg t (Array.unsafe_get t.ys pc)) b);
+      t.pc <- pc + 1;
+      16
+  | O_remu ->
+      let b = rg t (Array.unsafe_get t.zs pc) in
+      if b = 0L then raise (Trapped Div_by_zero);
+      wg t (Array.unsafe_get t.xs pc) (Int64.unsigned_rem (rg t (Array.unsafe_get t.ys pc)) b);
+      t.pc <- pc + 1;
+      16
+  | O_and ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.logand (rg t (Array.unsafe_get t.ys pc)) (rg t (Array.unsafe_get t.zs pc)));
+      t.pc <- pc + 1;
+      1
+  | O_or ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.logor (rg t (Array.unsafe_get t.ys pc)) (rg t (Array.unsafe_get t.zs pc)));
+      t.pc <- pc + 1;
+      1
+  | O_xor ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.logxor (rg t (Array.unsafe_get t.ys pc)) (rg t (Array.unsafe_get t.zs pc)));
+      t.pc <- pc + 1;
+      1
+  | O_nor ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.lognot (Int64.logor (rg t (Array.unsafe_get t.ys pc)) (rg t (Array.unsafe_get t.zs pc))));
+      t.pc <- pc + 1;
+      1
+  | O_sll ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.shift_left (rg t (Array.unsafe_get t.ys pc)) (Int64.to_int (rg t (Array.unsafe_get t.zs pc)) land 63));
+      t.pc <- pc + 1;
+      1
+  | O_srl ->
+      wg t (Array.unsafe_get t.xs pc)
+        (Int64.shift_right_logical (rg t (Array.unsafe_get t.ys pc)) (Int64.to_int (rg t (Array.unsafe_get t.zs pc)) land 63));
+      t.pc <- pc + 1;
+      1
+  | O_sra ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.shift_right (rg t (Array.unsafe_get t.ys pc)) (Int64.to_int (rg t (Array.unsafe_get t.zs pc)) land 63));
+      t.pc <- pc + 1;
+      1
+  | O_slt ->
+      wg t (Array.unsafe_get t.xs pc) (if rg t (Array.unsafe_get t.ys pc) < rg t (Array.unsafe_get t.zs pc) then 1L else 0L);
+      t.pc <- pc + 1;
+      1
+  | O_sltu ->
+      wg t (Array.unsafe_get t.xs pc) (if m_ult (rg t (Array.unsafe_get t.ys pc)) (rg t (Array.unsafe_get t.zs pc)) then 1L else 0L);
+      t.pc <- pc + 1;
+      1
+  | O_seq ->
+      wg t (Array.unsafe_get t.xs pc) (if rg t (Array.unsafe_get t.ys pc) = rg t (Array.unsafe_get t.zs pc) then 1L else 0L);
+      t.pc <- pc + 1;
+      1
+  | O_sne ->
+      wg t (Array.unsafe_get t.xs pc) (if rg t (Array.unsafe_get t.ys pc) <> rg t (Array.unsafe_get t.zs pc) then 1L else 0L);
+      t.pc <- pc + 1;
+      1
+  (* ALU, immediate form: the operand comes straight out of the decoded
+     table — nothing is staged through a scratch register *)
+  | O_addi ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.add (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc));
+      t.pc <- pc + 1;
+      1
+  | O_addti ->
+      let a = rg t (Array.unsafe_get t.ys pc) and b = imm64 t pc in
+      let r = Int64.add a b in
+      if t.trapv && Int64.logand (Int64.logxor r a) (Int64.logxor r b) < 0L then
+        raise (Trapped Overflow_trap);
+      wg t (Array.unsafe_get t.xs pc) r;
+      t.pc <- pc + 1;
+      1
+  | O_subi ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.sub (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc));
+      t.pc <- pc + 1;
+      1
+  | O_muli ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.mul (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc));
+      t.pc <- pc + 1;
+      4
+  | O_divi ->
+      let b = imm64 t pc in
+      if b = 0L then raise (Trapped Div_by_zero);
+      wg t (Array.unsafe_get t.xs pc) (Int64.div (rg t (Array.unsafe_get t.ys pc)) b);
+      t.pc <- pc + 1;
+      16
+  | O_divui ->
+      let b = imm64 t pc in
+      if b = 0L then raise (Trapped Div_by_zero);
+      wg t (Array.unsafe_get t.xs pc) (Int64.unsigned_div (rg t (Array.unsafe_get t.ys pc)) b);
+      t.pc <- pc + 1;
+      16
+  | O_remi ->
+      let b = imm64 t pc in
+      if b = 0L then raise (Trapped Div_by_zero);
+      wg t (Array.unsafe_get t.xs pc) (Int64.rem (rg t (Array.unsafe_get t.ys pc)) b);
+      t.pc <- pc + 1;
+      16
+  | O_remui ->
+      let b = imm64 t pc in
+      if b = 0L then raise (Trapped Div_by_zero);
+      wg t (Array.unsafe_get t.xs pc) (Int64.unsigned_rem (rg t (Array.unsafe_get t.ys pc)) b);
+      t.pc <- pc + 1;
+      16
+  | O_andi ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.logand (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc));
+      t.pc <- pc + 1;
+      1
+  | O_ori ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.logor (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc));
+      t.pc <- pc + 1;
+      1
+  | O_xori ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.logxor (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc));
+      t.pc <- pc + 1;
+      1
+  | O_nori ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.lognot (Int64.logor (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc)));
+      t.pc <- pc + 1;
+      1
+  | O_slli ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.shift_left (rg t (Array.unsafe_get t.ys pc)) (Int64.to_int (imm64 t pc) land 63));
+      t.pc <- pc + 1;
+      1
+  | O_srli ->
+      wg t (Array.unsafe_get t.xs pc)
+        (Int64.shift_right_logical (rg t (Array.unsafe_get t.ys pc)) (Int64.to_int (imm64 t pc) land 63));
+      t.pc <- pc + 1;
+      1
+  | O_srai ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.shift_right (rg t (Array.unsafe_get t.ys pc)) (Int64.to_int (imm64 t pc) land 63));
+      t.pc <- pc + 1;
+      1
+  | O_slti ->
+      wg t (Array.unsafe_get t.xs pc) (if rg t (Array.unsafe_get t.ys pc) < imm64 t pc then 1L else 0L);
+      t.pc <- pc + 1;
+      1
+  | O_sltui ->
+      wg t (Array.unsafe_get t.xs pc) (if m_ult (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc) then 1L else 0L);
+      t.pc <- pc + 1;
+      1
+  | O_seqi ->
+      wg t (Array.unsafe_get t.xs pc) (if rg t (Array.unsafe_get t.ys pc) = imm64 t pc then 1L else 0L);
+      t.pc <- pc + 1;
+      1
+  | O_snei ->
+      wg t (Array.unsafe_get t.xs pc) (if rg t (Array.unsafe_get t.ys pc) <> imm64 t pc then 1L else 0L);
+      t.pc <- pc + 1;
+      1
+  (* memory: legacy addressing through the DDC (capability register 0) *)
+  | O_load_s ->
+      let addr = Int64.add (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc) in
+      let size = (Array.unsafe_get t.zs pc) in
+      soa_check t 0 addr size p_load Perms.Load;
+      let a = Int64.to_int addr in
+      let raw = Mem.load_int t.memory a ~size in
+      let sh = 64 - (size lsl 3) in
+      wg t (Array.unsafe_get t.xs pc) (Int64.shift_right (Int64.shift_left raw sh) sh);
+      t.loads <- t.loads + 1;
+      t.pc <- pc + 1;
+      1 + dmem_cost t a size
+  | O_load_u ->
+      let addr = Int64.add (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc) in
+      let size = (Array.unsafe_get t.zs pc) in
+      soa_check t 0 addr size p_load Perms.Load;
+      let a = Int64.to_int addr in
+      let raw = Mem.load_int t.memory a ~size in
+      wg t (Array.unsafe_get t.xs pc) raw;
+      t.loads <- t.loads + 1;
+      t.pc <- pc + 1;
+      1 + dmem_cost t a size
+  | O_load8 ->
+      let addr = Int64.add (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc) in
+      soa_check t 0 addr 8 p_load Perms.Load;
+      let a = Int64.to_int addr in
+      wg t (Array.unsafe_get t.xs pc) (Mem.load_word t.memory a);
+      t.loads <- t.loads + 1;
+      t.pc <- pc + 1;
+      1 + dmem_cost t a 8
+  | O_store ->
+      let addr = Int64.add (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc) in
+      let size = (Array.unsafe_get t.zs pc) in
+      soa_check t 0 addr size p_store Perms.Store;
+      let a = Int64.to_int addr in
+      Mem.store_int t.memory a ~size (rg t (Array.unsafe_get t.xs pc));
+      t.stores <- t.stores + 1;
+      t.pc <- pc + 1;
+      1 + dmem_cost t a size
+  | O_store8 ->
+      let addr = Int64.add (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc) in
+      soa_check t 0 addr 8 p_store Perms.Store;
+      let a = Int64.to_int addr in
+      Mem.store_word t.memory a (rg t (Array.unsafe_get t.xs pc));
+      t.stores <- t.stores + 1;
+      t.pc <- pc + 1;
+      1 + dmem_cost t a 8
+  (* memory: capability-relative *)
+  | O_cload_s ->
+      let zv = (Array.unsafe_get t.zs pc) in
+      let cb = zv land 0xff and size = zv lsr 8 in
+      let addr = Int64.add (cap_cursor t cb) (Int64.add (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc)) in
+      soa_check t cb addr size p_load Perms.Load;
+      let a = Int64.to_int addr in
+      let raw = Mem.load_int t.memory a ~size in
+      let sh = 64 - (size lsl 3) in
+      wg t (Array.unsafe_get t.xs pc) (Int64.shift_right (Int64.shift_left raw sh) sh);
+      t.loads <- t.loads + 1;
+      t.pc <- pc + 1;
+      1 + dmem_cost t a size
+  | O_cload_u ->
+      let zv = (Array.unsafe_get t.zs pc) in
+      let cb = zv land 0xff and size = zv lsr 8 in
+      let addr = Int64.add (cap_cursor t cb) (Int64.add (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc)) in
+      soa_check t cb addr size p_load Perms.Load;
+      let a = Int64.to_int addr in
+      let raw = Mem.load_int t.memory a ~size in
+      wg t (Array.unsafe_get t.xs pc) raw;
+      t.loads <- t.loads + 1;
+      t.pc <- pc + 1;
+      1 + dmem_cost t a size
+  | O_cload8 ->
+      let cb = (Array.unsafe_get t.zs pc) land 0xff in
+      let addr = Int64.add (cap_cursor t cb) (Int64.add (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc)) in
+      soa_check t cb addr 8 p_load Perms.Load;
+      let a = Int64.to_int addr in
+      wg t (Array.unsafe_get t.xs pc) (Mem.load_word t.memory a);
+      t.loads <- t.loads + 1;
+      t.pc <- pc + 1;
+      1 + dmem_cost t a 8
+  | O_cstore ->
+      let zv = (Array.unsafe_get t.zs pc) in
+      let cb = zv land 0xff and size = zv lsr 8 in
+      let addr = Int64.add (cap_cursor t cb) (Int64.add (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc)) in
+      soa_check t cb addr size p_store Perms.Store;
+      let a = Int64.to_int addr in
+      Mem.store_int t.memory a ~size (rg t (Array.unsafe_get t.xs pc));
+      t.stores <- t.stores + 1;
+      t.pc <- pc + 1;
+      1 + dmem_cost t a size
+  | O_cstore8 ->
+      let cb = (Array.unsafe_get t.zs pc) land 0xff in
+      let addr = Int64.add (cap_cursor t cb) (Int64.add (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc)) in
+      soa_check t cb addr 8 p_store Perms.Store;
+      let a = Int64.to_int addr in
+      Mem.store_word t.memory a (rg t (Array.unsafe_get t.xs pc));
+      t.stores <- t.stores + 1;
+      t.pc <- pc + 1;
+      1 + dmem_cost t a 8
+  | O_clc ->
+      let cb = (Array.unsafe_get t.zs pc) in
+      let addr = Int64.add (cap_cursor t cb) (Int64.add (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc)) in
+      check_cap_alignment addr;
+      soa_check t cb addr Cap.byte_width p_load_cap Perms.Load_cap;
+      let a = Int64.to_int addr in
+      let cd = Array.unsafe_get t.xs pc in
+      t.cap_meta.(cd) <-
+        Mem.load_cap_fields t.memory a ~base:t.cap_base ~len:t.cap_len
+          ~off:t.cap_off ~otype:t.cap_otype ~pos:(cd lsl 3);
+      t.cap_loads <- t.cap_loads + 1;
+      let cost = 1 + dmem_cost t a Cap.byte_width in
+      t.pc <- pc + 1;
+      cost
+  | O_csc ->
+      let cb = (Array.unsafe_get t.zs pc) in
+      let addr = Int64.add (cap_cursor t cb) (Int64.add (rg t (Array.unsafe_get t.ys pc)) (imm64 t pc)) in
+      check_cap_alignment addr;
+      soa_check t cb addr Cap.byte_width p_store_cap Perms.Store_cap;
+      let a = Int64.to_int addr in
+      let cs = Array.unsafe_get t.xs pc in
+      Mem.store_cap_fields t.memory a ~base:t.cap_base ~len:t.cap_len
+        ~off:t.cap_off ~pos:(cs lsl 3) ~meta:t.cap_meta.(cs)
+        ~otype:(Int64.to_int (b64_get t.cap_otype (cs lsl 3)));
+      t.cap_stores <- t.cap_stores + 1;
+      let cost = 1 + dmem_cost t a Cap.byte_width in
+      t.pc <- pc + 1;
+      cost
+  (* capability queries: straight SoA lane reads *)
+  | O_cgetbase ->
+      wg t (Array.unsafe_get t.xs pc) (b64_get t.cap_base ((Array.unsafe_get t.ys pc) lsl 3));
+      t.pc <- pc + 1;
+      1
+  | O_cgetlen ->
+      wg t (Array.unsafe_get t.xs pc) (b64_get t.cap_len ((Array.unsafe_get t.ys pc) lsl 3));
+      t.pc <- pc + 1;
+      1
+  | O_cgetoffset ->
+      wg t (Array.unsafe_get t.xs pc) (b64_get t.cap_off ((Array.unsafe_get t.ys pc) lsl 3));
+      t.pc <- pc + 1;
+      1
+  | O_cgettag ->
+      wg t (Array.unsafe_get t.xs pc) (if t.cap_meta.((Array.unsafe_get t.ys pc)) land meta_tag <> 0 then 1L else 0L);
+      t.pc <- pc + 1;
+      1
+  | O_cgetperm ->
+      wg t (Array.unsafe_get t.xs pc) (Int64.of_int (t.cap_meta.((Array.unsafe_get t.ys pc)) land 0xff));
+      t.pc <- pc + 1;
+      1
+  (* capability modifies: copy the SoA lanes, then patch the changed
+     one — no record materializes. The offset-moving ops dominate the
+     CHERIv3 instruction mix (~13% of Dhrystone). *)
+  | O_cincoffset ->
+      let cb = (Array.unsafe_get t.ys pc) in
+      if t.is_v3 then begin
+        let m = t.cap_meta.(cb) in
+        if m land (meta_sealed lor meta_tag) = meta_sealed lor meta_tag then
+          raise (Trapped (Cap_trap (Fault.Seal_violation "CIncOffset on a sealed capability")));
+        let newoff = Int64.add (b64_get t.cap_off (cb lsl 3)) (rg t (Array.unsafe_get t.zs pc)) in
+        let cd = (Array.unsafe_get t.xs pc) in
+        cap_copy t ~dst:cd ~src:cb;
+        b64_set t.cap_off (cd lsl 3) newoff
+      end
+      else raise (Trapped (Cap_trap (Fault.Unsupported "CIncOffset (CHERIv3 only)")));
+      t.pc <- pc + 1;
+      1
+  | O_cincoffsetimm ->
+      let cb = (Array.unsafe_get t.ys pc) in
+      if t.is_v3 then begin
+        let m = t.cap_meta.(cb) in
+        if m land (meta_sealed lor meta_tag) = meta_sealed lor meta_tag then
+          raise (Trapped (Cap_trap (Fault.Seal_violation "CIncOffset on a sealed capability")));
+        let newoff = Int64.add (b64_get t.cap_off (cb lsl 3)) (imm64 t pc) in
+        let cd = (Array.unsafe_get t.xs pc) in
+        cap_copy t ~dst:cd ~src:cb;
+        b64_set t.cap_off (cd lsl 3) newoff
+      end
+      else raise (Trapped (Cap_trap (Fault.Unsupported "CIncOffset (CHERIv3 only)")));
+      t.pc <- pc + 1;
+      1
+  | O_csetoffset ->
+      let cb = (Array.unsafe_get t.ys pc) in
+      if t.is_v3 then begin
+        let m = t.cap_meta.(cb) in
+        if m land (meta_sealed lor meta_tag) = meta_sealed lor meta_tag then
+          raise (Trapped (Cap_trap (Fault.Seal_violation "CSetOffset on a sealed capability")));
+        let newoff = rg t (Array.unsafe_get t.zs pc) in
+        let cd = (Array.unsafe_get t.xs pc) in
+        cap_copy t ~dst:cd ~src:cb;
+        b64_set t.cap_off (cd lsl 3) newoff
+      end
+      else raise (Trapped (Cap_trap (Fault.Unsupported "CSetOffset (CHERIv3 only)")));
+      t.pc <- pc + 1;
+      1
+  | O_cincbase ->
+      let cb = (Array.unsafe_get t.ys pc) in
+      let m = t.cap_meta.(cb) in
+      if m land meta_tag = 0 then raise (Trapped (Cap_trap Fault.Tag_violation));
+      if m land meta_sealed <> 0 then
+        raise (Trapped (Cap_trap (Fault.Seal_violation "CIncBase on a sealed capability")));
+      let delta = rg t (Array.unsafe_get t.zs pc) in
+      let len = b64_get t.cap_len (cb lsl 3) in
+      if m_ult len delta then raise (Trapped (Cap_trap Fault.Length_violation));
+      let base = b64_get t.cap_base (cb lsl 3) in
+      let off = b64_get t.cap_off (cb lsl 3) in
+      let cd = (Array.unsafe_get t.xs pc) in
+      cap_copy t ~dst:cd ~src:cb;
+      let d = cd lsl 3 in
+      b64_set t.cap_base d (Int64.add base delta);
+      b64_set t.cap_len d (Int64.sub len delta);
+      b64_set t.cap_off d (if t.is_v3 then Int64.sub off delta else 0L);
+      t.pc <- pc + 1;
+      1
+  | O_csetlen ->
+      let cb = (Array.unsafe_get t.ys pc) in
+      let m = t.cap_meta.(cb) in
+      if m land meta_tag = 0 then raise (Trapped (Cap_trap Fault.Tag_violation));
+      if m land meta_sealed <> 0 then
+        raise (Trapped (Cap_trap (Fault.Seal_violation "CSetLen on a sealed capability")));
+      let len = rg t (Array.unsafe_get t.zs pc) in
+      if m_ult (b64_get t.cap_len (cb lsl 3)) len then
+        raise (Trapped (Cap_trap Fault.Length_violation));
+      let cd = (Array.unsafe_get t.xs pc) in
+      cap_copy t ~dst:cd ~src:cb;
+      b64_set t.cap_len (cd lsl 3) len;
+      t.pc <- pc + 1;
+      1
+  | O_candperm ->
+      (* [Cap_ops.c_and_perm] is a bare permission intersection with no
+         tag/seal checks; the mask was pre-narrowed at decode time *)
+      let cb = (Array.unsafe_get t.ys pc) and cd = (Array.unsafe_get t.xs pc) in
+      let m = t.cap_meta.(cb) in
+      cap_copy t ~dst:cd ~src:cb;
+      t.cap_meta.(cd) <- (m land (meta_sealed lor meta_tag)) lor (m land 0xff land (Array.unsafe_get t.zs pc));
+      t.pc <- pc + 1;
+      1
+  | O_ccleartag ->
+      let cb = (Array.unsafe_get t.ys pc) and cd = (Array.unsafe_get t.xs pc) in
+      cap_copy t ~dst:cd ~src:cb;
+      t.cap_meta.(cd) <- t.cap_meta.(cd) land lnot meta_tag;
+      t.pc <- pc + 1;
+      1
+  | O_cmove ->
+      cap_copy t ~dst:(Array.unsafe_get t.xs pc) ~src:(Array.unsafe_get t.ys pc);
+      t.pc <- pc + 1;
+      1
+  | O_cseal ->
+      set_cap_idx t (Array.unsafe_get t.xs pc)
+        (unwrap (Ops.c_seal ~authority:(cap_get_idx t (Array.unsafe_get t.zs pc)) (cap_get_idx t (Array.unsafe_get t.ys pc))));
+      t.pc <- pc + 1;
+      1
+  | O_cunseal ->
+      set_cap_idx t (Array.unsafe_get t.xs pc)
+        (unwrap (Ops.c_unseal ~authority:(cap_get_idx t (Array.unsafe_get t.zs pc)) (cap_get_idx t (Array.unsafe_get t.ys pc))));
+      t.pc <- pc + 1;
+      1
+  | O_cptrcmp_eq ->
+      wg t (Array.unsafe_get t.xs pc) (if soa_ptr_cmp t (Array.unsafe_get t.ys pc) (Array.unsafe_get t.zs pc) = 0 then 1L else 0L);
+      t.pc <- pc + 1;
+      1
+  | O_cptrcmp_ne ->
+      wg t (Array.unsafe_get t.xs pc) (if soa_ptr_cmp t (Array.unsafe_get t.ys pc) (Array.unsafe_get t.zs pc) <> 0 then 1L else 0L);
+      t.pc <- pc + 1;
+      1
+  | O_cptrcmp_lt ->
+      wg t (Array.unsafe_get t.xs pc) (if soa_ptr_cmp t (Array.unsafe_get t.ys pc) (Array.unsafe_get t.zs pc) < 0 then 1L else 0L);
+      t.pc <- pc + 1;
+      1
+  | O_cptrcmp_le ->
+      wg t (Array.unsafe_get t.xs pc) (if soa_ptr_cmp t (Array.unsafe_get t.ys pc) (Array.unsafe_get t.zs pc) <= 0 then 1L else 0L);
+      t.pc <- pc + 1;
+      1
+  | O_cfromptr ->
+      let cb = (Array.unsafe_get t.ys pc) in
+      if t.cap_meta.(cb) land meta_tag = 0 then raise (Trapped (Cap_trap Fault.Tag_violation));
+      let v = rg t (Array.unsafe_get t.zs pc) in
+      let cd = (Array.unsafe_get t.xs pc) in
+      if v = 0L then set_cap_null t cd
+      else begin
+        cap_copy t ~dst:cd ~src:cb;
+        b64_set t.cap_off (cd lsl 3) v
+      end;
+      t.pc <- pc + 1;
+      1
+  | O_ctoptr ->
+      let cs = (Array.unsafe_get t.ys pc) and cb = (Array.unsafe_get t.zs pc) in
+      (if t.cap_meta.(cs) land meta_tag = 0 then wg t (Array.unsafe_get t.xs pc) 0L
+       else begin
+         let addr = cap_cursor t cs in
+         let rb = b64_get t.cap_base (cb lsl 3) in
+         let rtop = Int64.add rb (b64_get t.cap_len (cb lsl 3)) in
+         wg t (Array.unsafe_get t.xs pc)
+           (if (not (m_ult addr rb)) && not (m_ult rtop addr) then Int64.sub addr rb else 0L)
+       end);
+      t.pc <- pc + 1;
+      1
+  (* control flow: targets are pre-resolved absolute PCs *)
+  | O_beq ->
+      if rg t (Array.unsafe_get t.xs pc) = rg t (Array.unsafe_get t.ys pc) then begin
+        t.pc <- (Array.unsafe_get t.zs pc);
+        2
+      end
+      else begin
+        t.pc <- pc + 1;
+        1
+      end
+  | O_bne ->
+      if rg t (Array.unsafe_get t.xs pc) <> rg t (Array.unsafe_get t.ys pc) then begin
+        t.pc <- (Array.unsafe_get t.zs pc);
+        2
+      end
+      else begin
+        t.pc <- pc + 1;
+        1
+      end
+  | O_bltz ->
+      if rg t (Array.unsafe_get t.xs pc) < 0L then begin
+        t.pc <- (Array.unsafe_get t.zs pc);
+        2
+      end
+      else begin
+        t.pc <- pc + 1;
+        1
+      end
+  | O_blez ->
+      if rg t (Array.unsafe_get t.xs pc) <= 0L then begin
+        t.pc <- (Array.unsafe_get t.zs pc);
+        2
+      end
+      else begin
+        t.pc <- pc + 1;
+        1
+      end
+  | O_bgtz ->
+      if rg t (Array.unsafe_get t.xs pc) > 0L then begin
+        t.pc <- (Array.unsafe_get t.zs pc);
+        2
+      end
+      else begin
+        t.pc <- pc + 1;
+        1
+      end
+  | O_bgez ->
+      if rg t (Array.unsafe_get t.xs pc) >= 0L then begin
+        t.pc <- (Array.unsafe_get t.zs pc);
+        2
+      end
+      else begin
+        t.pc <- pc + 1;
+        1
+      end
+  | O_beqz ->
+      if rg t (Array.unsafe_get t.xs pc) = 0L then begin
+        t.pc <- (Array.unsafe_get t.zs pc);
+        2
+      end
+      else begin
+        t.pc <- pc + 1;
+        1
+      end
+  | O_bnez ->
+      if rg t (Array.unsafe_get t.xs pc) <> 0L then begin
+        t.pc <- (Array.unsafe_get t.zs pc);
+        2
+      end
+      else begin
+        t.pc <- pc + 1;
+        1
+      end
+  | O_j ->
+      t.pc <- (Array.unsafe_get t.zs pc);
+      2
+  | O_jal ->
+      (* the link value (pc+1 as int64) was pre-staged at decode time *)
+      b64_set t.gprs (31 * 8) (imm64 t pc);
+      t.pc <- (Array.unsafe_get t.zs pc);
+      2
+  | O_jr ->
+      t.pc <- Int64.to_int (rg t (Array.unsafe_get t.xs pc));
+      2
+  | O_jalr ->
+      (* read the destination before writing the link: rs may be r31 *)
+      let dest = Int64.to_int (rg t (Array.unsafe_get t.xs pc)) in
+      b64_set t.gprs (31 * 8) (imm64 t pc);
+      t.pc <- dest;
+      2
+  | O_cjalr ->
+      let cb = (Array.unsafe_get t.ys pc) in
+      let m = t.cap_meta.(cb) in
+      if m land meta_tag = 0 then raise (Trapped (Cap_trap Fault.Tag_violation));
+      if m land meta_sealed <> 0 then
+        raise (Trapped (Cap_trap (Fault.Seal_violation "jump through a sealed capability")));
+      if m land p_exec = 0 then raise (Trapped (Cap_trap (Fault.Perm_violation Perms.Execute)));
+      (* materialize the destination before writing the link: cd may
+         name the same register as cb *)
+      let dest = cap_get_idx t cb in
+      let link = Cap.with_offset_unchecked t.pcc (imm64 t pc) in
+      set_cap_idx t (Array.unsafe_get t.xs pc) link;
+      t.pcc <- dest;
+      t.pc <- Int64.to_int (Int64.add dest.Cap.base dest.Cap.offset);
+      2
+  | O_cjr ->
+      let cb = (Array.unsafe_get t.xs pc) in
+      let m = t.cap_meta.(cb) in
+      if m land meta_tag = 0 then raise (Trapped (Cap_trap Fault.Tag_violation));
+      if m land p_exec = 0 then raise (Trapped (Cap_trap (Fault.Perm_violation Perms.Execute)));
+      let dest = cap_get_idx t cb in
+      t.pcc <- dest;
+      t.pc <- Int64.to_int (Int64.add dest.Cap.base dest.Cap.offset);
+      2
+  (* system *)
+  | O_syscall ->
+      let cost = do_syscall t in
+      t.pc <- pc + 1;
+      cost
+  | O_halt ->
+      t.pending <- Some (Exit 0L);
+      t.pc <- pc + 1;
+      1
+  | O_oor ->
+      (* defense in depth: {!step} never dispatches the sentinel (its
+         range test excludes index n), so reaching this arm means a
+         caller indexed the table directly *)
+      raise (Trapped (Pc_out_of_range pc))
 
 (* Execute the instruction at [t.pc]. Returns [Some outcome] when the
    program finishes. Updates pc, cycles, counters.
 
-   The inner match returns the instruction's cycle cost as a bare int
-   and each arm writes [t.pc] itself — strictly after every operation
-   that can raise [Trapped], so a trapping instruction leaves the pc
-   at the faulting instruction exactly as before. Terminal outcomes
-   (exit syscall, HALT) are staged in [t.pending] and drained after
-   retiring, so the once-per-instruction path allocates nothing. *)
+   In-range test: one unsigned compare ([pc + min_int < len + min_int]
+   ⟺ [0 <= pc < len]) instead of the old signed pair — the decoded
+   table's sentinel row guarantees an index equal to [len] would still
+   dispatch to a defined entry, so the single compare is also the only
+   thing keeping the cold out-of-range path (which must not touch the
+   icache or the cycle counter) out of the table. *)
 let step t =
-  let rev = t.cfg.revision in
-  if t.pc < 0 || t.pc >= Array.length t.code then begin
-    if t.trace_on then record_trap t ~pc:t.pc (Pc_out_of_range t.pc);
-    Some (Trap { trap = Pc_out_of_range t.pc; pc = t.pc })
-  end
-  else begin
-    let saved_pc = t.pc in
-    let icost = if Cache.access_fetch t.icache (saved_pc * 4) then 0 else 6 in
-    let insn = t.code.(saved_pc) in
-    match
-      let next = saved_pc + 1 in
-      match insn with
-      | Insn.Nop ->
-          t.pc <- next;
-          1
-      | Li (rd, i) ->
-          set_gpr t rd (imm_value i);
-          t.pc <- next;
-          1
-      | Alu (op, rd, rs, rt) ->
-          exec_alu t op rd (rs lsl 3) (rt lsl 3);
-          t.pc <- next;
-          alu_cost op
-      | Alui (op, rd, rs, i) ->
-          (* stage the immediate in the scratch slot so both ALU forms
-             share one dispatch; the immediate is a constant already
-             boxed inside the instruction, so the copy allocates
-             nothing *)
-          Bytes.set_int64_le t.gprs scratch_gpr_off (imm_value i);
-          exec_alu t op rd (rs lsl 3) scratch_gpr_off;
-          t.pc <- next;
-          alu_cost op
-      | Load { w; signed; rd; rs; off } ->
-          let addr = legacy_addr t rs off in
-          let c = do_load t ~cap:t.caps.(0) ~addr ~w ~signed ~rd in
-          t.pc <- next;
-          1 + c
-      | Store { w; rv; rs; off } ->
-          let addr = legacy_addr t rs off in
-          let c = do_store t ~cap:t.caps.(0) ~addr ~w ~rv in
-          t.pc <- next;
-          1 + c
-      | Cload { w; signed; rd; cb; roff; off } ->
-          let addr = cap_addr t cb roff off in
-          let c = do_load t ~cap:t.caps.(cb) ~addr ~w ~signed ~rd in
-          t.pc <- next;
-          1 + c
-      | Cstore { w; rv; cb; roff; off } ->
-          let addr = cap_addr t cb roff off in
-          let c = do_store t ~cap:t.caps.(cb) ~addr ~w ~rv in
-          t.pc <- next;
-          1 + c
-      | Clc { cd; cb; roff; off } ->
-          let addr = cap_addr t cb roff off in
-          check_cap_alignment addr;
-          cap_access_check t.caps.(cb) addr Cap.byte_width Perms.Load_cap;
-          let a = Int64.to_int addr in
-          let c =
-            try Mem.load_cap_at t.memory a
-            with Mem.Bus_error a -> raise (Trapped (Bus_trap a))
-          in
-          set_cap t cd c;
-          t.cap_loads <- t.cap_loads + 1;
-          let cost = 1 + dmem_cost t a Cap.byte_width in
-          t.pc <- next;
-          cost
-      | Csc { cs; cb; roff; off } ->
-          let addr = cap_addr t cb roff off in
-          check_cap_alignment addr;
-          cap_access_check t.caps.(cb) addr Cap.byte_width Perms.Store_cap;
-          let a = Int64.to_int addr in
-          (try Mem.store_cap_at t.memory a t.caps.(cs)
-           with Mem.Bus_error a -> raise (Trapped (Bus_trap a)));
-          t.cap_stores <- t.cap_stores + 1;
-          let cost = 1 + dmem_cost t a Cap.byte_width in
-          t.pc <- next;
-          cost
-      | Cgetbase (rd, cb) ->
-          set_gpr t rd (Ops.c_get_base t.caps.(cb));
-          t.pc <- next;
-          1
-      | Cgetlen (rd, cb) ->
-          set_gpr t rd (Ops.c_get_len t.caps.(cb));
-          t.pc <- next;
-          1
-      | Cgetoffset (rd, cb) ->
-          set_gpr t rd (Ops.c_get_offset t.caps.(cb));
-          t.pc <- next;
-          1
-      | Cgettag (rd, cb) ->
-          set_gpr t rd (if Ops.c_get_tag t.caps.(cb) then 1L else 0L);
-          t.pc <- next;
-          1
-      | Cgetperm (rd, cb) ->
-          set_gpr t rd (Perms.to_bits (Ops.c_get_perm t.caps.(cb)));
-          t.pc <- next;
-          1
-      (* The offset-moving ops dominate the CHERIv3 instruction mix
-         (~13% of Dhrystone), so the V3 arms call the exception-based
-         variants and skip the per-retire [Ok] wrapper. V2 keeps the
-         Result path: there the op itself is the [Unsupported] fault. *)
-      | Cincoffset (cd, cb, rt) ->
-          (match rev with
-          | Ops.V3 -> set_cap t cd (Ops.c_inc_offset_exn t.caps.(cb) (gpr t rt))
-          | Ops.V2 -> set_cap t cd (unwrap (Ops.c_inc_offset rev t.caps.(cb) (gpr t rt))));
-          t.pc <- next;
-          1
-      | Cincoffsetimm (cd, cb, i) ->
-          (match rev with
-          | Ops.V3 -> set_cap t cd (Ops.c_inc_offset_exn t.caps.(cb) i)
-          | Ops.V2 -> set_cap t cd (unwrap (Ops.c_inc_offset rev t.caps.(cb) i)));
-          t.pc <- next;
-          1
-      | Csetoffset (cd, cb, rt) ->
-          (match rev with
-          | Ops.V3 -> set_cap t cd (Ops.c_set_offset_exn t.caps.(cb) (gpr t rt))
-          | Ops.V2 -> set_cap t cd (unwrap (Ops.c_set_offset rev t.caps.(cb) (gpr t rt))));
-          t.pc <- next;
-          1
-      | Cincbase (cd, cb, rt) ->
-          set_cap t cd (unwrap (Ops.c_inc_base rev t.caps.(cb) (gpr t rt)));
-          t.pc <- next;
-          1
-      | Csetlen (cd, cb, rt) ->
-          set_cap t cd (unwrap (Ops.c_set_len t.caps.(cb) (gpr t rt)));
-          t.pc <- next;
-          1
-      | Candperm (cd, cb, mask) ->
-          set_cap t cd (Ops.c_and_perm t.caps.(cb) (Perms.of_bits mask));
-          t.pc <- next;
-          1
-      | Ccleartag (cd, cb) ->
-          set_cap t cd (Ops.c_clear_tag t.caps.(cb));
-          t.pc <- next;
-          1
-      | Cmove (cd, cb) ->
-          set_cap t cd t.caps.(cb);
-          t.pc <- next;
-          1
-      | Cseal (cd, cs, ct) ->
-          set_cap t cd (unwrap (Ops.c_seal ~authority:t.caps.(ct) t.caps.(cs)));
-          t.pc <- next;
-          1
-      | Cunseal (cd, cs, ct) ->
-          set_cap t cd (unwrap (Ops.c_unseal ~authority:t.caps.(ct) t.caps.(cs)));
-          t.pc <- next;
-          1
-      | Cptrcmp (k, rd, ca, cb) ->
-          let c = Ops.c_ptr_cmp t.caps.(ca) t.caps.(cb) in
-          set_gpr t rd (if cmp_holds k c then 1L else 0L);
-          t.pc <- next;
-          1
-      | Cfromptr (cd, cb, rs) ->
-          set_cap t cd (Ops.c_from_ptr_exn ~ddc:t.caps.(cb) (gpr t rs));
-          t.pc <- next;
-          1
-      | Ctoptr (rd, cs, cb) ->
-          set_gpr t rd (Ops.c_to_ptr t.caps.(cs) ~relative_to:t.caps.(cb));
-          t.pc <- next;
-          1
-      | Branch (c, rs, rt, tg) ->
-          let holds =
-            match c with EQ -> gpr t rs = gpr t rt | NE -> gpr t rs <> gpr t rt
-          in
-          if holds then begin
-            t.pc <- target_value tg;
-            2
-          end
-          else begin
-            t.pc <- next;
-            1
-          end
-      | Branchz (k, rs, tg) ->
-          if condz_holds k (gpr t rs) then begin
-            t.pc <- target_value tg;
-            2
-          end
-          else begin
-            t.pc <- next;
-            1
-          end
-      | J tg ->
-          t.pc <- target_value tg;
-          2
-      | Jal tg ->
-          set_gpr t 31 (Int64.of_int next);
-          t.pc <- target_value tg;
-          2
-      | Jr rs ->
-          t.pc <- Int64.to_int (gpr t rs);
-          2
-      | Jalr rs ->
-          let dest = Int64.to_int (gpr t rs) in
-          set_gpr t 31 (Int64.of_int next);
-          t.pc <- dest;
-          2
-      | Cjalr (cd, cb) ->
-          let dest_cap = t.caps.(cb) in
-          if not (Ops.c_get_tag dest_cap) then raise (Trapped (Cap_trap Fault.Tag_violation));
-          if dest_cap.Cap.sealed then
-            raise (Trapped (Cap_trap (Fault.Seal_violation "jump through a sealed capability")));
-          if not (Perms.mem Perms.Execute (Ops.c_get_perm dest_cap)) then
-            raise (Trapped (Cap_trap (Fault.Perm_violation Perms.Execute)));
-          let link = Cap.with_offset_unchecked t.pcc (Int64.of_int next) in
-          set_cap t cd link;
-          t.pcc <- dest_cap;
-          t.pc <- Int64.to_int (Cap.address dest_cap);
-          2
-      | Cjr cb ->
-          let dest_cap = t.caps.(cb) in
-          if not (Ops.c_get_tag dest_cap) then raise (Trapped (Cap_trap Fault.Tag_violation));
-          if not (Perms.mem Perms.Execute (Ops.c_get_perm dest_cap)) then
-            raise (Trapped (Cap_trap (Fault.Perm_violation Perms.Execute)));
-          t.pcc <- dest_cap;
-          t.pc <- Int64.to_int (Cap.address dest_cap);
-          2
-      | Syscall ->
-          let cost = do_syscall t in
-          t.pc <- next;
-          cost
-      | Halt ->
-          t.pending <- Some (Exit 0L);
-          t.pc <- next;
-          1
-    with
+  let pc = t.pc in
+  if pc + min_int < t.code_len + min_int then begin
+    let icost = if Cache.access_fetch t.icache (pc lsl 2) then 0 else 6 in
+    match exec t pc (Array.unsafe_get t.ops pc) with
     | cost ->
         t.instret <- t.instret + 1;
         t.cycles <- t.cycles + cost + icost;
         if t.trace_on then
           Telemetry.Sink.record t.sink ~ts:t.cycles
-            (Telemetry.Instret { pc = saved_pc; cls = Insn.telemetry_class insn });
+            (Telemetry.Instret { pc; cls = Array.unsafe_get t.classes pc });
         (match t.pending with
         | None -> None
         | Some _ as outcome ->
@@ -792,13 +1208,23 @@ let step t =
             outcome)
     | exception Trapped trap ->
         t.cycles <- t.cycles + 1 + icost;
-        if t.trace_on then record_trap t ~pc:saved_pc trap;
-        Some (Trap { trap; pc = saved_pc })
+        if t.trace_on then record_trap t ~pc trap;
+        Some (Trap { trap; pc })
     | exception Ops.Cap_error f ->
         let trap = Cap_trap f in
         t.cycles <- t.cycles + 1 + icost;
-        if t.trace_on then record_trap t ~pc:saved_pc trap;
-        Some (Trap { trap; pc = saved_pc })
+        if t.trace_on then record_trap t ~pc trap;
+        Some (Trap { trap; pc })
+    | exception Mem.Bus_error a ->
+        let trap = Bus_trap a in
+        t.cycles <- t.cycles + 1 + icost;
+        if t.trace_on then record_trap t ~pc trap;
+        Some (Trap { trap; pc })
+  end
+  else begin
+    (* cold: no fetch, no cycles — identical to the pre-decode loop *)
+    if t.trace_on then record_trap t ~pc (Pc_out_of_range pc);
+    Some (Trap { trap = Pc_out_of_range pc; pc })
   end
 
 (* How many instructions to retire between wall-clock reads when a
@@ -815,11 +1241,47 @@ let run ?(fuel = 200_000_000) ?deadline_s ?(yield = false) t =
   let past_deadline = if yield then Yielded else Deadline_exceeded in
   match deadline_s with
   | None ->
+      (* Fused fuel loop: {!step}'s body inlined so the exception
+         handler (one trap-frame push/pop per retired instruction
+         otherwise) is entered once per run. The recursion is outside
+         the [try], so [go] stays tail-recursive; a trap unwinds to the
+         handler with [t.pc] still at the faulting instruction (every
+         arm writes pc strictly after its last raising operation) and
+         the in-flight fetch cost in [t.last_icost]. *)
       let rec go remaining =
         if remaining <= 0 then out_of_fuel
-        else match step t with None -> go (remaining - 1) | Some outcome -> outcome
+        else begin
+          let pc = t.pc in
+          if pc + min_int < t.code_len + min_int then begin
+            let icost = if Cache.access_fetch t.icache (pc lsl 2) then 0 else 6 in
+            t.last_icost <- icost;
+            let cost = exec t pc (Array.unsafe_get t.ops pc) in
+            t.instret <- t.instret + 1;
+            t.cycles <- t.cycles + cost + icost;
+            if t.trace_on then
+              Telemetry.Sink.record t.sink ~ts:t.cycles
+                (Telemetry.Instret { pc; cls = Array.unsafe_get t.classes pc });
+            match t.pending with
+            | None -> go (remaining - 1)
+            | Some o ->
+                t.pending <- None;
+                o
+          end
+          else begin
+            if t.trace_on then record_trap t ~pc (Pc_out_of_range pc);
+            Trap { trap = Pc_out_of_range pc; pc }
+          end
+        end
       in
-      go fuel
+      let finish trap =
+        t.cycles <- t.cycles + 1 + t.last_icost;
+        if t.trace_on then record_trap t ~pc:t.pc trap;
+        Trap { trap; pc = t.pc }
+      in
+      (try go fuel with
+      | Trapped trap -> finish trap
+      | Ops.Cap_error f -> finish (Cap_trap f)
+      | Mem.Bus_error a -> finish (Bus_trap a))
   | Some budget ->
       let expires = Unix.gettimeofday () +. budget in
       (* The clock is sampled every [deadline_stride] retired
@@ -880,7 +1342,8 @@ let stats t =
    allocator's free list. *)
 let reserve_data = heap_reserve
 
-let code t = t.code
+let program t = t.prog
+let code t = Decoded.source t.prog
 
 (* -- snapshot / restore -------------------------------------------------- *)
 
@@ -918,7 +1381,7 @@ end
 let snapshot t : Snap.t =
   {
     Snap.s_gprs = Bytes.to_string t.gprs;
-    s_caps = Array.copy t.caps;
+    s_caps = Array.init 32 (fun i -> cap_get_idx t i);
     s_pcc = t.pcc;
     s_pc = t.pc;
     s_cycles = t.cycles;
@@ -948,10 +1411,10 @@ let snapshot t : Snap.t =
 let restore t (s : Snap.t) =
   if String.length s.Snap.s_gprs <> Bytes.length t.gprs then
     invalid_arg "Machine.restore: register file size mismatch";
-  if Array.length s.Snap.s_caps <> Array.length t.caps then
+  if Array.length s.Snap.s_caps <> 32 then
     invalid_arg "Machine.restore: capability register file size mismatch";
   Bytes.blit_string s.Snap.s_gprs 0 t.gprs 0 (Bytes.length t.gprs);
-  Array.blit s.Snap.s_caps 0 t.caps 0 (Array.length t.caps);
+  Array.iteri (fun i c -> set_cap_idx t i c) s.Snap.s_caps;
   t.pcc <- s.Snap.s_pcc;
   t.pc <- s.Snap.s_pc;
   t.cycles <- s.Snap.s_cycles;

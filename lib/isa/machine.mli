@@ -59,12 +59,21 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 (** {1 Construction and state access} *)
 
-val create : config -> code:Insn.t array -> t
+val create : config -> program:Decoded.program -> t
 (** A machine at reset: PC 0, PCC spanning the code, DDC (capability
     register 0) spanning all of data memory with every permission,
     stack capability (register 11) over the stack region, stack
-    pointer (GPR 29) at the top of memory. Raises [Invalid_argument]
-    if any instruction is unresolved — link with {!Cheri_asm} first. *)
+    pointer (GPR 29) at the top of memory.
+
+    The machine executes a {e pre-decoded} program ({!Decoded.compile});
+    callers that load the same program into several machines (the fuzz
+    campaigns, the injection engine's thousands-of-runs sweeps) compile
+    once and share the table. *)
+
+val create_code : config -> code:Insn.t array -> t
+(** [create cfg ~program:(Decoded.compile code)] — the pre-decode-stage
+    construction API. Raises [Invalid_argument] if any instruction is
+    unresolved — link with {!Cheri_asm} first. *)
 
 val config : t -> config
 val mem : t -> Cheri_tagmem.Tagmem.t
@@ -180,9 +189,13 @@ val restore : t -> Snap.t -> unit
     in-memory entry only checks register-file shapes, raising
     [Invalid_argument]). The attached telemetry sink is kept. *)
 
+val program : t -> Decoded.program
+(** The pre-decoded program this machine executes. *)
+
 val code : t -> Insn.t array
-(** The loaded (resolved) code image — used to fingerprint a machine
-    for snapshot compatibility checks. Do not mutate. *)
+(** [Decoded.source (program t)]: the loaded (resolved) code image —
+    used to fingerprint a machine for snapshot compatibility checks.
+    Do not mutate. *)
 
 (** {1 Statistics} *)
 

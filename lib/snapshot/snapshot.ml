@@ -93,17 +93,13 @@ let error_to_string e = Format.asprintf "%a" pp_error e
 (* The snapshot does not embed the code array (it is immutable and the
    caller recompiles it from source); instead the header pins a digest
    of the printed instruction stream so a resume against a different
-   program is refused instead of silently executing garbage. Printing
-   via Insn.pp rather than Marshal keeps the digest stable across OCaml
-   versions and heap-sharing accidents. *)
-let code_digest ~abi code =
-  let b = Buffer.create (Array.length code * 24) in
-  Buffer.add_string b abi;
-  Buffer.add_char b '\n';
-  let ppf = Format.formatter_of_buffer b in
-  Array.iter (fun insn -> Format.fprintf ppf "%a@\n" Insn.pp insn) code;
-  Format.pp_print_flush ppf ();
-  Digest.to_hex (Digest.string (Buffer.contents b))
+   program is refused instead of silently executing garbage. The hash
+   itself lives with the decoded-program representation
+   ({!Cheri_isa.Decoded.digest}) and is computed over the *source*
+   stream, so images hashed before the decode stage existed still
+   match. *)
+let code_digest ~abi code = Cheri_isa.Decoded.source_digest ~abi code
+let machine_digest ~abi m = Cheri_isa.Decoded.digest ~abi (Machine.program m)
 
 (* ------------------------------------------------------------------ *)
 (* Header                                                              *)
@@ -141,7 +137,7 @@ let header_of_machine ~abi ~note ~body_bytes m =
     h_stack_bytes = cfg.stack_bytes;
     h_trapv = cfg.trap_on_signed_overflow;
     h_timing = timing_fields cfg.timing;
-    h_code_digest = code_digest ~abi (Machine.code m);
+    h_code_digest = machine_digest ~abi m;
     h_body_bytes = body_bytes;
     h_note = note;
   }
@@ -526,12 +522,12 @@ let restore m ~abi image =
       cfg.trap_on_signed_overflow
   else if h.h_timing <> timing_fields cfg.timing then
     mismatchf "cache geometry/latency configuration differs"
-  else if h.h_code_digest <> code_digest ~abi (Machine.code m) then
+  else if h.h_code_digest <> machine_digest ~abi m then
     mismatchf
       "code digest %s vs this program's %s — it snapshots a different program \
        (or a different compilation of it)"
       h.h_code_digest
-      (code_digest ~abi (Machine.code m))
+      (machine_digest ~abi m)
   else if
     not
       (pages_fit ~store_bytes:cfg.mem_size ~page_bytes:Machine.Snap.page_bytes

@@ -82,4 +82,5 @@ val describe : image -> string
 
 val code_digest : abi:string -> Cheri_isa.Insn.t array -> string
 (** Digest of the printed instruction stream that pins a snapshot to
-    one compiled program; stable across processes. *)
+    one compiled program; stable across processes. Equal to
+    {!Cheri_isa.Decoded.source_digest}, where the computation lives. *)

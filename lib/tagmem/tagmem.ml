@@ -5,12 +5,13 @@ type t = {
   tags : Bytes.t;  (* one bit per granule, packed *)
   granule : int;
   granule_shift : int;
-  size64 : int64;  (* Bytes.length data, precomputed for check_range *)
+  size64 : int64;  (* Bytes.length data, precomputed for the i64 range check *)
   mutable sink : Telemetry.Sink.t;
 }
 
 (* Same-module copy of Bits.uge: -opaque in the dev profile defeats
-   cross-module inlining, and check_range runs once per memory access. *)
+   cross-module inlining, and the range check runs once per memory
+   access. *)
 let[@inline] uge a b = not (Int64.add a Int64.min_int < Int64.add b Int64.min_int)
 
 exception Bus_error of int64
@@ -39,10 +40,13 @@ let granule t = t.granule
 let set_sink t sink = t.sink <- sink
 let sink t = t.sink
 
-let[@inline] check_range t addr len =
-  let a = Int64.to_int addr in
-  if uge addr t.size64 || a < 0 || a + len > size t || len < 0 then raise (Bus_error addr);
-  a
+(* The core API is int-addressed: the softcore computes addresses as
+   unboxed int64s and narrows once, so taking a native int here keeps
+   the address out of a heap box at the module boundary (the dev
+   profile compiles with -opaque, which defeats cross-module inlining,
+   so an int64 argument would cost one allocation per call). *)
+let[@inline] check_range t a len =
+  if a < 0 || len < 0 || a + len > size t then raise (Bus_error (Int64.of_int a))
 
 let[@inline] granule_index t a = a lsr t.granule_shift
 
@@ -100,28 +104,19 @@ let clear_tags_in_range ?(collateral = true) t a len =
         done
   end
 
-let load_byte t addr =
-  let a = check_range t addr 1 in
+(* -- data path ----------------------------------------------------------- *)
+
+let load_byte t a =
+  check_range t a 1;
   Char.code (Bytes.get t.data a)
 
-let store_byte t addr v =
-  let a = check_range t addr 1 in
+let store_byte t a v =
+  check_range t a 1;
   Bytes.set t.data a (Char.chr (v land 0xff));
   clear_tags_in_range t a 1
 
-(* Int-addressed hot-path variants. The softcore computes addresses as
-   unboxed int64s; taking the address as a native int keeps it out of a
-   heap box across this module boundary (the dev profile compiles with
-   -opaque, which defeats cross-module inlining, so an int64 argument
-   costs one allocation per call). Callers must pass the exact byte
-   address — the int64 entry points below re-check the unsigned range
-   before narrowing. *)
-
-let[@inline] check_range_at t a len =
-  if a < 0 || len < 0 || a + len > size t then raise (Bus_error (Int64.of_int a))
-
-let load_int_at t a ~size:sz =
-  check_range_at t a sz;
+let[@inline] load_int t a ~size:sz =
+  check_range t a sz;
   match sz with
   | 1 -> Int64.of_int (Char.code (Bytes.get t.data a))
   | 2 -> Int64.of_int (Bytes.get_uint16_le t.data a)
@@ -129,8 +124,8 @@ let load_int_at t a ~size:sz =
   | 8 -> Bytes.get_int64_le t.data a
   | _ -> invalid_arg "Tagmem.load_int: size must be 1, 2, 4 or 8"
 
-let store_int_at t a ~size:sz v =
-  check_range_at t a sz;
+let[@inline] store_int t a ~size:sz v =
+  check_range t a sz;
   (match sz with
   | 1 -> Bytes.set t.data a (Char.chr (Int64.to_int (Int64.logand v 0xffL)))
   | 2 -> Bytes.set_uint16_le t.data a (Int64.to_int (Int64.logand v 0xffffL))
@@ -139,21 +134,26 @@ let store_int_at t a ~size:sz v =
   | _ -> invalid_arg "Tagmem.store_int: size must be 1, 2, 4 or 8");
   clear_tags_in_range t a sz
 
-let load_int t ~addr ~size:sz =
-  if uge addr t.size64 then raise (Bus_error addr);
-  load_int_at t (Int64.to_int addr) ~size:sz
+(* Width-specialized word path: the 8-byte case is the overwhelming
+   majority of scalar traffic, so give the softcore a variant with no
+   size dispatch. Semantics identical to [load_int]/[store_int] at
+   [~size:8]. *)
+let[@inline] load_word t a =
+  check_range t a 8;
+  Bytes.get_int64_le t.data a
 
-let store_int t ~addr ~size:sz v =
-  if uge addr t.size64 then raise (Bus_error addr);
-  store_int_at t (Int64.to_int addr) ~size:sz v
+let[@inline] store_word t a v =
+  check_range t a 8;
+  Bytes.set_int64_le t.data a v;
+  clear_tags_in_range t a 8
 
-let load_bytes t ~addr ~len =
-  let a = check_range t addr len in
+let load_bytes t a ~len =
+  check_range t a len;
   Bytes.sub t.data a len
 
-let store_bytes t ~addr b =
+let store_bytes t a b =
   let len = Bytes.length b in
-  let a = check_range t addr len in
+  check_range t a len;
   Bytes.blit b 0 t.data a len;
   clear_tags_in_range t a len
 
@@ -171,10 +171,10 @@ let[@inline] meta_int t a =
   let g i = Char.code (Bytes.unsafe_get t.data (a + 24 + i)) in
   g 0 lor (g 1 lsl 8) lor (g 2 lsl 16) lor (g 3 lsl 24) lor (g 4 lsl 32) lor (g 5 lsl 40)
 
-let load_cap_at t a =
+let load_cap t a =
   if a land (cap_width - 1) <> 0 then
     invalid_arg "Tagmem.load_cap: address must be capability-aligned";
-  check_range_at t a cap_width;
+  check_range t a cap_width;
   Cheri_core.Capability.of_raw_words
     ~tag:(tag_bit t (granule_index t a))
     ~base:(Bytes.get_int64_le t.data a)
@@ -182,14 +182,10 @@ let load_cap_at t a =
     ~offset:(Bytes.get_int64_le t.data (a + 16))
     ~meta:(meta_int t a)
 
-let load_cap t ~addr =
-  if uge addr t.size64 then raise (Bus_error addr);
-  load_cap_at t (Int64.to_int addr)
-
-let store_cap_at t a cap =
+let store_cap t a cap =
   if a land (cap_width - 1) <> 0 then
     invalid_arg "Tagmem.store_cap: address must be capability-aligned";
-  check_range_at t a cap_width;
+  check_range t a cap_width;
   Bytes.set_int64_le t.data a cap.Cheri_core.Capability.base;
   Bytes.set_int64_le t.data (a + 8) cap.Cheri_core.Capability.length;
   Bytes.set_int64_le t.data (a + 16) cap.Cheri_core.Capability.offset;
@@ -204,16 +200,48 @@ let store_cap_at t a cap =
       (Telemetry.Tag_write
          { addr = Int64.of_int a; tag = cap.Cheri_core.Capability.tag })
 
-let store_cap t ~addr cap =
-  if uge addr t.size64 then raise (Bus_error addr);
-  store_cap_at t (Int64.to_int addr) cap
+(* Record-free capability transfer for the softcore's struct-of-arrays
+   register file: the three payload words move between the byte store
+   and caller-owned 64-bit lanes at [pos], and the book-keeping bits
+   travel as one native int (perms in bits 0-7 and sealed in bit 8 —
+   the spill encoding — plus the granule tag in bit 9), so a CLC/CSC
+   never materializes a [Capability.t]. Bit-identical to
+   {!load_cap}/{!store_cap} composed with the record constructors. *)
 
-let tag_at t addr =
-  let a = check_range t addr 1 in
+let load_cap_fields t a ~base ~len ~off ~otype ~pos =
+  if a land (cap_width - 1) <> 0 then
+    invalid_arg "Tagmem.load_cap: address must be capability-aligned";
+  check_range t a cap_width;
+  Bytes.set_int64_le base pos (Bytes.get_int64_le t.data a);
+  Bytes.set_int64_le len pos (Bytes.get_int64_le t.data (a + 8));
+  Bytes.set_int64_le off pos (Bytes.get_int64_le t.data (a + 16));
+  let m = meta_int t a in
+  Bytes.set_int64_le otype pos (Int64.of_int ((m lsr 16) land 0xffffffff));
+  (m land 0x1ff) lor (if tag_bit t (granule_index t a) then 0x200 else 0)
+
+let store_cap_fields t a ~base ~len ~off ~pos ~meta ~otype =
+  if a land (cap_width - 1) <> 0 then
+    invalid_arg "Tagmem.store_cap: address must be capability-aligned";
+  check_range t a cap_width;
+  Bytes.set_int64_le t.data a (Bytes.get_int64_le base pos);
+  Bytes.set_int64_le t.data (a + 8) (Bytes.get_int64_le len pos);
+  Bytes.set_int64_le t.data (a + 16) (Bytes.get_int64_le off pos);
+  (* spill meta word: perms + sealed in the low 9 bits, otype's low 32
+     bits in bits 16-47 — exactly [Capability.meta_word] *)
+  Bytes.set_int64_le t.data (a + 24)
+    (Int64.of_int ((meta land 0x1ff) lor ((otype land 0xffffffff) lsl 16)));
+  clear_tags_in_range ~collateral:false t a cap_width;
+  let tag = meta land 0x200 <> 0 in
+  set_tag_bit t (granule_index t a) tag;
+  if not (Telemetry.Sink.is_null t.sink) then
+    Telemetry.Sink.record t.sink (Telemetry.Tag_write { addr = Int64.of_int a; tag })
+
+let tag_at t a =
+  check_range t a 1;
   tag_bit t (granule_index t a)
 
-let clear_tag_at t addr =
-  let a = check_range t addr 1 in
+let clear_tag_at t a =
+  check_range t a 1;
   set_tag_bit t (granule_index t a) false
 
 (* -- fault-injection hooks ---------------------------------------------- *)
@@ -221,13 +249,39 @@ let clear_tag_at t addr =
    below the architecture (tag-line SEUs, tag loss during paging), not
    stores. Nothing on the execution path calls them. *)
 
-let set_tag_at t addr =
-  let a = check_range t addr 1 in
+let set_tag_at t a =
+  check_range t a 1;
   set_tag_bit t (granule_index t a) true
 
-let poke_raw t addr v =
-  let a = check_range t addr 1 in
+let poke_raw t a v =
+  check_range t a 1;
   Bytes.set t.data a (Char.chr (v land 0xff))
+
+(* -- legacy int64-addressed wrappers ------------------------------------- *)
+(* Compatibility layer for callers that still hold addresses as int64
+   (campaign harnesses, GC root scans, tests). Each wrapper re-checks
+   the unsigned range against the store size before narrowing, so a
+   huge/negative int64 address raises [Bus_error addr] with the
+   original address — exactly the behavior of the pre-collapse dual
+   API. New code should narrow once and use the int-addressed core
+   above; these exist only until the remaining callers migrate. *)
+
+let[@inline] narrow t addr =
+  if uge addr t.size64 then raise (Bus_error addr);
+  Int64.to_int addr
+
+let load_byte_i64 t addr = load_byte t (narrow t addr)
+let store_byte_i64 t addr v = store_byte t (narrow t addr) v
+let load_int_i64 t ~addr ~size:sz = load_int t (narrow t addr) ~size:sz
+let store_int_i64 t ~addr ~size:sz v = store_int t (narrow t addr) ~size:sz v
+let load_bytes_i64 t ~addr ~len = load_bytes t (narrow t addr) ~len
+let store_bytes_i64 t ~addr b = store_bytes t (narrow t addr) b
+let load_cap_i64 t ~addr = load_cap t (narrow t addr)
+let store_cap_i64 t ~addr cap = store_cap t (narrow t addr) cap
+let tag_at_i64 t addr = tag_at t (narrow t addr)
+let clear_tag_at_i64 t addr = clear_tag_at t (narrow t addr)
+let set_tag_at_i64 t addr = set_tag_at t (narrow t addr)
+let poke_raw_i64 t addr v = poke_raw t (narrow t addr) v
 
 (* -- snapshot hooks ------------------------------------------------------ *)
 (* Raw page-granular dump/load of the two underlying stores, bypassing

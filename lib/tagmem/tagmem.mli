@@ -11,9 +11,15 @@
 
     Addresses are virtual addresses starting at 0; the simulator does
     not model translation (the paper's abstract machine always means
-    virtual memory, §3). Accesses outside the configured size raise
-    {!Bus_error} — that is a simulator configuration error, not a
-    modelled trap. *)
+    virtual memory, §3). The core API takes addresses as native ints —
+    the softcore computes addresses as unboxed int64s and narrows once,
+    and an int argument never crosses the module boundary in a heap box
+    (the dev profile compiles with -opaque, defeating cross-module
+    inlining, so an int64 argument would cost one allocation per call).
+    Accesses outside the configured size raise {!Bus_error} — that is a
+    simulator configuration error, not a modelled trap. Callers still
+    holding int64 addresses use the [_i64] wrappers in the legacy
+    section below. *)
 
 type t
 
@@ -40,47 +46,60 @@ val sink : t -> Cheri_telemetry.Telemetry.Sink.t
 
 (** {1 Data path} — every write clears the tags of all touched granules. *)
 
-val load_byte : t -> int64 -> int
-val store_byte : t -> int64 -> int -> unit
+val load_byte : t -> int -> int
+val store_byte : t -> int -> int -> unit
 
-val load_int : t -> addr:int64 -> size:int -> int64
+val load_int : t -> int -> size:int -> int64
 (** Little-endian load of [size] bytes (1, 2, 4 or 8), zero-extended. *)
 
-val store_int : t -> addr:int64 -> size:int -> int64 -> unit
-val load_bytes : t -> addr:int64 -> len:int -> bytes
-val store_bytes : t -> addr:int64 -> bytes -> unit
+val store_int : t -> int -> size:int -> int64 -> unit
 
-val load_int_at : t -> int -> size:int -> int64
-(** {!load_int} with the address as a native int: the softcore's
-    per-instruction path uses these so the (unboxed) address is never
-    forced into a heap-allocated [Int64] at the module boundary. The
-    caller must pass the exact byte address — the [int64] entry points
-    re-check the unsigned range themselves before narrowing. *)
+val load_word : t -> int -> int64
+(** [load_int ~size:8] without the size dispatch. *)
 
-val store_int_at : t -> int -> size:int -> int64 -> unit
+val store_word : t -> int -> int64 -> unit
+(** [store_int ~size:8] without the size dispatch. *)
+
+val load_bytes : t -> int -> len:int -> bytes
+val store_bytes : t -> int -> bytes -> unit
 
 (** {1 Capability path} *)
 
-val load_cap : t -> addr:int64 -> Cheri_core.Capability.t
+val load_cap : t -> int -> Cheri_core.Capability.t
 (** Load 32 bytes plus the granule tag as a capability. The address
     must be capability-aligned; misalignment raises [Invalid_argument]
     (alignment is checked by the ISA before reaching memory). If the
     granule's tag is clear the result is the untagged bit pattern. *)
 
-val store_cap : t -> addr:int64 -> Cheri_core.Capability.t -> unit
+val store_cap : t -> int -> Cheri_core.Capability.t -> unit
 (** Store 32 bytes and set/clear the granule tag from the capability's
     own tag. *)
 
-val load_cap_at : t -> int -> Cheri_core.Capability.t
-(** {!load_cap} / {!store_cap} with a native-int address; see
-    {!load_int_at} for why the hot path wants this. *)
+val load_cap_fields :
+  t -> int ->
+  base:Bytes.t -> len:Bytes.t -> off:Bytes.t -> otype:Bytes.t -> pos:int ->
+  int
+(** Record-free [load_cap] for a struct-of-arrays register file: the
+    base/length/offset words are written little-endian into the given
+    lanes at byte offset [pos], the otype word (zero-extended from the
+    spill's 32 bits) into [otype], and the return value packs perms in
+    bits 0-7, sealed in bit 8 and the granule tag in bit 9.
+    Bit-identical to [load_cap] followed by field projection. *)
 
-val store_cap_at : t -> int -> Cheri_core.Capability.t -> unit
+val store_cap_fields :
+  t -> int ->
+  base:Bytes.t -> len:Bytes.t -> off:Bytes.t -> pos:int ->
+  meta:int -> otype:int ->
+  unit
+(** Record-free [store_cap]: reads the three payload words from the
+    lanes at [pos]; [meta] uses the [load_cap_fields] packing (bit 9 is
+    the tag to store) and [otype]'s low 32 bits land in spill bits
+    16-47. *)
 
-val tag_at : t -> int64 -> bool
+val tag_at : t -> int -> bool
 (** The tag of the granule containing this address. *)
 
-val clear_tag_at : t -> int64 -> unit
+val clear_tag_at : t -> int -> unit
 
 (** {1 Fault-injection hooks}
 
@@ -91,15 +110,38 @@ val clear_tag_at : t -> int64 -> unit
     controller. They deliberately skip the §4.2 integrity rule and the
     telemetry events; no instruction-execution path calls them. *)
 
-val set_tag_at : t -> int64 -> unit
+val set_tag_at : t -> int -> unit
 (** Force the tag of the granule containing this address — forging
     validity onto whatever bytes are there. *)
 
-val poke_raw : t -> int64 -> int -> unit
+val poke_raw : t -> int -> int -> unit
 (** Overwrite one data byte {e without} clearing the granule tag: the
     hardware-fault analogue of {!store_byte}. A capability corrupted
     this way keeps its tag — exactly the corruption CHERI's tag bit
     does {e not} defend against (tags are not a checksum). *)
+
+(** {1 LEGACY int64-addressed wrappers}
+
+    The pre-collapse API took every address as an [int64]; these
+    wrappers keep those callers compiling. Each re-checks the unsigned
+    range against the store size before narrowing, so a huge or
+    negative address raises [Bus_error] carrying the {e original}
+    int64, byte-identical to the old behavior. New code should narrow
+    once and call the int-addressed core; this section is slated for
+    removal once the remaining campaign/GC/test callers migrate. *)
+
+val load_byte_i64 : t -> int64 -> int
+val store_byte_i64 : t -> int64 -> int -> unit
+val load_int_i64 : t -> addr:int64 -> size:int -> int64
+val store_int_i64 : t -> addr:int64 -> size:int -> int64 -> unit
+val load_bytes_i64 : t -> addr:int64 -> len:int -> bytes
+val store_bytes_i64 : t -> addr:int64 -> bytes -> unit
+val load_cap_i64 : t -> addr:int64 -> Cheri_core.Capability.t
+val store_cap_i64 : t -> addr:int64 -> Cheri_core.Capability.t -> unit
+val tag_at_i64 : t -> int64 -> bool
+val clear_tag_at_i64 : t -> int64 -> unit
+val set_tag_at_i64 : t -> int64 -> unit
+val poke_raw_i64 : t -> int64 -> int -> unit
 
 (** {1 Snapshot hooks}
 

@@ -95,7 +95,7 @@ let test_loader_reserves_data () =
   | o -> Alcotest.failf "unexpected outcome %a" Machine.pp_outcome o
 
 let test_machine_rejects_unresolved () =
-  match Machine.create (Machine.default_config Cheri_core.Cap_ops.V3) ~code:[| I.J (I.Sym "x") |] with
+  match Machine.create_code (Machine.default_config Cheri_core.Cap_ops.V3) ~code:[| I.J (I.Sym "x") |] with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "machine accepted unresolved code"
 

@@ -25,8 +25,8 @@ let build_list mem gc n =
     if i = 0 then acc
     else begin
       let c = Gc.alloc gc ~size:cell_size in
-      Mem.store_cap mem ~addr:(Cap.address c) acc;
-      Mem.store_int mem ~addr:(Int64.add (Cap.address c) 32L) ~size:8 (Int64.of_int i);
+      Mem.store_cap_i64 mem ~addr:(Cap.address c) acc;
+      Mem.store_int_i64 mem ~addr:(Int64.add (Cap.address c) 32L) ~size:8 (Int64.of_int i);
       go c (i - 1)
     end
   in
@@ -35,8 +35,8 @@ let build_list mem gc n =
 let rec list_sum mem cap acc =
   if not (Ops.c_get_tag cap) then acc
   else
-    let v = Mem.load_int mem ~addr:(Int64.add (Cap.address cap) 32L) ~size:8 in
-    list_sum mem (Mem.load_cap mem ~addr:(Cap.address cap)) (Int64.add acc v)
+    let v = Mem.load_int_i64 mem ~addr:(Int64.add (Cap.address cap) 32L) ~size:8 in
+    list_sum mem (Mem.load_cap_i64 mem ~addr:(Cap.address cap)) (Int64.add acc v)
 
 let test_alloc_bounds () =
   let _, gc = setup () in
@@ -72,7 +72,7 @@ let test_objects_relocate () =
   check_bool "object moved out of the nursery" true (before <> after);
   (* §3.6: address comparisons are not stable across collections *)
   check_i64 "data moved with it" 1L
-    (Mem.load_int mem ~addr:(Int64.add after 32L) ~size:8)
+    (Mem.load_int_i64 mem ~addr:(Int64.add after 32L) ~size:8)
 
 let test_nursery_reset_and_detagged () =
   let mem, gc = setup () in
@@ -80,7 +80,7 @@ let test_nursery_reset_and_detagged () =
   let old_addr = Cap.address g in
   Gc.collect_minor gc;
   check_int "nursery empty" 0 (Gc.nursery_used gc);
-  check_bool "stale granule detagged" false (Mem.tag_at mem old_addr)
+  check_bool "stale granule detagged" false (Mem.tag_at_i64 mem old_addr)
 
 let test_allocation_triggers_collection () =
   let mem, gc = setup ~nursery:2048 () in
@@ -100,15 +100,15 @@ let test_write_barrier () =
   Gc.collect_minor gc (* promote holder *);
   (* young object stored into the old one: needs the barrier *)
   let young = Gc.alloc gc ~size:cell_size in
-  Mem.store_int mem ~addr:(Int64.add (Cap.address young) 32L) ~size:8 99L;
+  Mem.store_int_i64 mem ~addr:(Int64.add (Cap.address young) 32L) ~size:8 99L;
   let slot = Cap.address (Gc.root_get holder) in
-  Mem.store_cap mem ~addr:slot young;
+  Mem.store_cap_i64 mem ~addr:slot young;
   Gc.write_barrier gc slot;
   Gc.collect_minor gc;
-  let reloaded = Mem.load_cap mem ~addr:(Cap.address (Gc.root_get holder)) in
+  let reloaded = Mem.load_cap_i64 mem ~addr:(Cap.address (Gc.root_get holder)) in
   check_bool "pointer still valid" true (Ops.c_get_tag reloaded);
   check_i64 "young data survived via remembered set" 99L
-    (Mem.load_int mem ~addr:(Int64.add (Cap.address reloaded) 32L) ~size:8)
+    (Mem.load_int_i64 mem ~addr:(Int64.add (Cap.address reloaded) 32L) ~size:8)
 
 let test_integers_cannot_hoard () =
   (* §3.6: with tags, an integer copy of an address does not keep the
@@ -118,7 +118,7 @@ let test_integers_cannot_hoard () =
   let addr_as_int = Cap.address c in
   (* store the address as a plain integer (clears no tags; it IS data) *)
   let keeper = Gc.new_root gc (Gc.alloc gc ~size:32) in
-  Mem.store_int mem ~addr:(Cap.address (Gc.root_get keeper)) ~size:8 addr_as_int;
+  Mem.store_int_i64 mem ~addr:(Cap.address (Gc.root_get keeper)) ~size:8 addr_as_int;
   Gc.collect_minor gc;
   check_int "only the keeper survives" 1 (Gc.live_objects gc);
   check_bool "hoarded address is dead" false (Gc.is_live_address gc addr_as_int)

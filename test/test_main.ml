@@ -6,6 +6,7 @@ let () =
       ("cap_ops", Test_cap_ops.suite);
       ("tagmem", Test_tagmem.suite);
       ("machine", Test_machine.suite);
+      ("decoded", Test_decoded.suite);
       ("asm", Test_asm.suite);
       ("minic", Test_minic.suite);
       ("interp", Test_interp.suite);

@@ -129,8 +129,8 @@ let prop_tagmem_cap_roundtrip_random =
       let mem = Cheri_tagmem.Tagmem.create ~size_bytes:8192 () in
       let addr = Int64.of_int (slot * 32) in
       let c = Cap.make ~base:(Int64.of_int base) ~length:(Int64.of_int len) ~perms:Perms.all in
-      Cheri_tagmem.Tagmem.store_cap mem ~addr c;
-      Cap.equal c (Cheri_tagmem.Tagmem.load_cap mem ~addr))
+      Cheri_tagmem.Tagmem.store_cap_i64 mem ~addr c;
+      Cap.equal c (Cheri_tagmem.Tagmem.load_cap_i64 mem ~addr))
 
 (* -- snapshot serialization --------------------------------------------------- *)
 

@@ -12,79 +12,79 @@ let test_int_roundtrip () =
   let m = mem () in
   List.iter
     (fun (size, v) ->
-      Mem.store_int m ~addr:128L ~size v;
-      check_i64 (Printf.sprintf "size %d" size) v (Mem.load_int m ~addr:128L ~size))
+      Mem.store_int_i64 m ~addr:128L ~size v;
+      check_i64 (Printf.sprintf "size %d" size) v (Mem.load_int_i64 m ~addr:128L ~size))
     [ (1, 0xabL); (2, 0xbeefL); (4, 0xdeadbeefL); (8, 0x1122334455667788L) ]
 
 let test_little_endian () =
   let m = mem () in
-  Mem.store_int m ~addr:0L ~size:8 0x0102030405060708L;
-  check_int "low byte first" 8 (Mem.load_byte m 0L);
-  check_int "high byte last" 1 (Mem.load_byte m 7L)
+  Mem.store_int_i64 m ~addr:0L ~size:8 0x0102030405060708L;
+  check_int "low byte first" 8 (Mem.load_byte_i64 m 0L);
+  check_int "high byte last" 1 (Mem.load_byte_i64 m 7L)
 
 let test_cap_roundtrip () =
   let m = mem () in
   let c = Cap.make ~base:0x40L ~length:0x20L ~perms:Perms.read_only in
-  Mem.store_cap m ~addr:64L c;
-  check_bool "tag set" true (Mem.tag_at m 64L);
-  let c' = Mem.load_cap m ~addr:64L in
+  Mem.store_cap_i64 m ~addr:64L c;
+  check_bool "tag set" true (Mem.tag_at_i64 m 64L);
+  let c' = Mem.load_cap_i64 m ~addr:64L in
   check_bool "roundtrip" true (Cap.equal c c')
 
 let test_data_store_clears_tag () =
   let m = mem () in
   let c = Cap.make ~base:0x40L ~length:0x20L ~perms:Perms.all in
-  Mem.store_cap m ~addr:64L c;
+  Mem.store_cap_i64 m ~addr:64L c;
   (* overwrite one byte in the middle of the capability *)
-  Mem.store_byte m 80L 0xff;
-  check_bool "tag cleared by data store" false (Mem.tag_at m 64L);
-  let c' = Mem.load_cap m ~addr:64L in
+  Mem.store_byte_i64 m 80L 0xff;
+  check_bool "tag cleared by data store" false (Mem.tag_at_i64 m 64L);
+  let c' = Mem.load_cap_i64 m ~addr:64L in
   check_bool "loaded capability untagged" false c'.Cap.tag
 
 let test_untagged_store_of_cap () =
   let m = mem () in
   let c = Cap.clear_tag (Cap.make ~base:1L ~length:2L ~perms:Perms.all) in
-  Mem.store_cap m ~addr:96L c;
-  check_bool "storing untagged cap leaves tag clear" false (Mem.tag_at m 96L)
+  Mem.store_cap_i64 m ~addr:96L c;
+  check_bool "storing untagged cap leaves tag clear" false (Mem.tag_at_i64 m 96L)
 
 let test_tag_granularity () =
   let m = mem () in
   let c = Cap.make ~base:0L ~length:8L ~perms:Perms.all in
-  Mem.store_cap m ~addr:0L c;
-  Mem.store_cap m ~addr:32L c;
+  Mem.store_cap_i64 m ~addr:0L c;
+  Mem.store_cap_i64 m ~addr:32L c;
   check_int "two tags" 2 (Mem.count_tags m);
   (* a write in the second granule must not disturb the first *)
-  Mem.store_byte m 40L 1;
-  check_bool "first granule keeps its tag" true (Mem.tag_at m 0L);
-  check_bool "second granule lost its tag" false (Mem.tag_at m 32L);
+  Mem.store_byte_i64 m 40L 1;
+  check_bool "first granule keeps its tag" true (Mem.tag_at_i64 m 0L);
+  check_bool "second granule lost its tag" false (Mem.tag_at_i64 m 32L);
   check_int "one tag left" 1 (Mem.count_tags m)
 
 let test_wide_store_clears_both_granules () =
   let m = mem () in
   let c = Cap.make ~base:0L ~length:8L ~perms:Perms.all in
-  Mem.store_cap m ~addr:0L c;
-  Mem.store_cap m ~addr:32L c;
+  Mem.store_cap_i64 m ~addr:0L c;
+  Mem.store_cap_i64 m ~addr:32L c;
   (* an 8-byte store straddling the granule boundary clears both tags *)
-  Mem.store_int m ~addr:28L ~size:8 0L;
+  Mem.store_int_i64 m ~addr:28L ~size:8 0L;
   check_int "both tags cleared" 0 (Mem.count_tags m)
 
 let test_bus_error () =
   let m = mem () in
   Alcotest.check_raises "load beyond end" (Mem.Bus_error 4096L) (fun () ->
-      ignore (Mem.load_byte m 4096L));
+      ignore (Mem.load_byte_i64 m 4096L));
   Alcotest.check_raises "straddling store" (Mem.Bus_error 4092L) (fun () ->
-      Mem.store_int m ~addr:4092L ~size:8 0L)
+      Mem.store_int_i64 m ~addr:4092L ~size:8 0L)
 
 let test_misaligned_cap () =
   let m = mem () in
   Alcotest.check_raises "misaligned cap load"
     (Invalid_argument "Tagmem.load_cap: address must be capability-aligned") (fun () ->
-      ignore (Mem.load_cap m ~addr:8L))
+      ignore (Mem.load_cap_i64 m ~addr:8L))
 
 let test_iter_tagged () =
   let m = mem () in
   let c = Cap.make ~base:0L ~length:8L ~perms:Perms.all in
-  Mem.store_cap m ~addr:64L c;
-  Mem.store_cap m ~addr:512L c;
+  Mem.store_cap_i64 m ~addr:64L c;
+  Mem.store_cap_i64 m ~addr:512L c;
   let seen = ref [] in
   Mem.iter_tagged m (fun a -> seen := a :: !seen);
   Alcotest.(check (list int64)) "tagged granule addresses" [ 64L; 512L ] (List.rev !seen)
@@ -92,85 +92,85 @@ let test_iter_tagged () =
 let test_custom_granule () =
   let m = Mem.create ~granule:64 ~size_bytes:4096 () in
   let c = Cap.make ~base:0L ~length:8L ~perms:Perms.all in
-  Mem.store_cap m ~addr:0L c;
+  Mem.store_cap_i64 m ~addr:0L c;
   (* with 64-byte granules, a data write 40 bytes in still clears the tag *)
-  Mem.store_byte m 40L 1;
-  check_bool "coarse granule collateral clearing" false (Mem.tag_at m 0L)
+  Mem.store_byte_i64 m 40L 1;
+  check_bool "coarse granule collateral clearing" false (Mem.tag_at_i64 m 0L)
 
 (* -- collateral tag-clear edge cases -------------------------------------- *)
 
 let test_zero_length_write_preserves_tag () =
   let m = mem () in
-  Mem.store_cap m ~addr:64L (Cap.make ~base:0L ~length:8L ~perms:Perms.all);
+  Mem.store_cap_i64 m ~addr:64L (Cap.make ~base:0L ~length:8L ~perms:Perms.all);
   (* a zero-length store touches no granule, so the §4.2 rule must not fire *)
-  Mem.store_bytes m ~addr:64L Bytes.empty;
-  Mem.store_bytes m ~addr:80L Bytes.empty;
-  Mem.store_bytes m ~addr:95L Bytes.empty;
-  check_bool "zero-length writes leave the tag" true (Mem.tag_at m 64L);
+  Mem.store_bytes_i64 m ~addr:64L Bytes.empty;
+  Mem.store_bytes_i64 m ~addr:80L Bytes.empty;
+  Mem.store_bytes_i64 m ~addr:95L Bytes.empty;
+  check_bool "zero-length writes leave the tag" true (Mem.tag_at_i64 m 64L);
   check_int "still exactly one tag" 1 (Mem.count_tags m)
 
 let test_bytes_write_straddling_lines () =
   let m = mem () in
   let c = Cap.make ~base:0L ~length:8L ~perms:Perms.all in
-  List.iter (fun a -> Mem.store_cap m ~addr:a c) [ 0L; 32L; 64L; 96L ];
+  List.iter (fun a -> Mem.store_cap_i64 m ~addr:a c) [ 0L; 32L; 64L; 96L ];
   (* a 40-byte write at 40..79 straddles the 64-byte line boundary:
      lines 32 and 64 are touched, their neighbours are not *)
-  Mem.store_bytes m ~addr:40L (Bytes.make 40 'x');
-  check_bool "line before the write keeps its tag" true (Mem.tag_at m 0L);
-  check_bool "first straddled line cleared" false (Mem.tag_at m 32L);
-  check_bool "second straddled line cleared" false (Mem.tag_at m 64L);
-  check_bool "line after the write keeps its tag" true (Mem.tag_at m 96L);
+  Mem.store_bytes_i64 m ~addr:40L (Bytes.make 40 'x');
+  check_bool "line before the write keeps its tag" true (Mem.tag_at_i64 m 0L);
+  check_bool "first straddled line cleared" false (Mem.tag_at_i64 m 32L);
+  check_bool "second straddled line cleared" false (Mem.tag_at_i64 m 64L);
+  check_bool "line after the write keeps its tag" true (Mem.tag_at_i64 m 96L);
   check_int "two survivors" 2 (Mem.count_tags m)
 
 let test_one_byte_each_side_of_line_boundary () =
   let m = mem () in
   let c = Cap.make ~base:0L ~length:8L ~perms:Perms.all in
-  Mem.store_cap m ~addr:0L c;
-  Mem.store_cap m ~addr:32L c;
+  Mem.store_cap_i64 m ~addr:0L c;
+  Mem.store_cap_i64 m ~addr:32L c;
   (* the last byte of line 0 clears only line 0 *)
-  Mem.store_byte m 31L 1;
-  check_bool "last byte of the line clears it" false (Mem.tag_at m 0L);
-  check_bool "next line untouched" true (Mem.tag_at m 32L);
-  Mem.store_cap m ~addr:0L c;
+  Mem.store_byte_i64 m 31L 1;
+  check_bool "last byte of the line clears it" false (Mem.tag_at_i64 m 0L);
+  check_bool "next line untouched" true (Mem.tag_at_i64 m 32L);
+  Mem.store_cap_i64 m ~addr:0L c;
   (* the first byte of line 1 clears only line 1 *)
-  Mem.store_byte m 32L 1;
-  check_bool "first byte of the line clears it" false (Mem.tag_at m 32L);
-  check_bool "previous line untouched" true (Mem.tag_at m 0L)
+  Mem.store_byte_i64 m 32L 1;
+  check_bool "first byte of the line clears it" false (Mem.tag_at_i64 m 32L);
+  check_bool "previous line untouched" true (Mem.tag_at_i64 m 0L)
 
 let test_last_line_of_address_space () =
   let m = mem () in
   let last = Int64.of_int (4096 - 32) in
-  Mem.store_cap m ~addr:last (Cap.make ~base:0L ~length:8L ~perms:Perms.all);
-  check_bool "tag on the last line" true (Mem.tag_at m 4095L);
+  Mem.store_cap_i64 m ~addr:last (Cap.make ~base:0L ~length:8L ~perms:Perms.all);
+  check_bool "tag on the last line" true (Mem.tag_at_i64 m 4095L);
   (* the very last byte of memory still triggers the integrity rule *)
-  Mem.store_byte m 4095L 0xff;
-  check_bool "write to the final byte clears it" false (Mem.tag_at m last);
-  Mem.store_cap m ~addr:last (Cap.make ~base:0L ~length:8L ~perms:Perms.all);
+  Mem.store_byte_i64 m 4095L 0xff;
+  check_bool "write to the final byte clears it" false (Mem.tag_at_i64 m last);
+  Mem.store_cap_i64 m ~addr:last (Cap.make ~base:0L ~length:8L ~perms:Perms.all);
   (* a store that would run off the end faults before mutating anything *)
   Alcotest.check_raises "store past the end is rejected" (Mem.Bus_error 4092L) (fun () ->
-      Mem.store_int m ~addr:4092L ~size:8 0L);
-  check_bool "rejected store cleared no tag" true (Mem.tag_at m last);
-  check_i64 "rejected store wrote no bytes" 0L (Mem.load_int m ~addr:4092L ~size:4)
+      Mem.store_int_i64 m ~addr:4092L ~size:8 0L);
+  check_bool "rejected store cleared no tag" true (Mem.tag_at_i64 m last);
+  check_i64 "rejected store wrote no bytes" 0L (Mem.load_int_i64 m ~addr:4092L ~size:4)
 
 (* -- fault-injection hooks (below-architecture mutations) ------------------- *)
 
 let test_poke_raw_preserves_tag () =
   let m = mem () in
   let c = Cap.make ~base:0x40L ~length:0x20L ~perms:Perms.all in
-  Mem.store_cap m ~addr:64L c;
-  Mem.poke_raw m 72L 0xff;
-  check_bool "poke_raw bypasses the integrity rule" true (Mem.tag_at m 64L);
-  let c' = Mem.load_cap m ~addr:64L in
+  Mem.store_cap_i64 m ~addr:64L c;
+  Mem.poke_raw_i64 m 72L 0xff;
+  check_bool "poke_raw bypasses the integrity rule" true (Mem.tag_at_i64 m 64L);
+  let c' = Mem.load_cap_i64 m ~addr:64L in
   check_bool "corrupted capability still tagged" true c'.Cap.tag;
   check_bool "but its bits changed" false (Cap.equal c c')
 
 let test_set_tag_at_forges () =
   let m = mem () in
-  Mem.store_int m ~addr:64L ~size:8 0xdeadbeefL;
-  check_bool "plain data is untagged" false (Mem.tag_at m 64L);
-  Mem.set_tag_at m 70L;
-  check_bool "forged tag on the containing line" true (Mem.tag_at m 64L);
-  let c = Mem.load_cap m ~addr:64L in
+  Mem.store_int_i64 m ~addr:64L ~size:8 0xdeadbeefL;
+  check_bool "plain data is untagged" false (Mem.tag_at_i64 m 64L);
+  Mem.set_tag_at_i64 m 70L;
+  check_bool "forged tag on the containing line" true (Mem.tag_at_i64 m 64L);
+  let c = Mem.load_cap_i64 m ~addr:64L in
   check_bool "forged bytes now load as a tagged capability" true c.Cap.tag
 
 let prop_data_roundtrip =
@@ -180,9 +180,9 @@ let prop_data_roundtrip =
       let size = [| 1; 2; 4; 8 |].(szi) in
       let addr = Int64.of_int (min addr (4096 - size)) in
       let m = mem () in
-      Mem.store_int m ~addr ~size v;
+      Mem.store_int_i64 m ~addr ~size v;
       let expected = Cheri_util.Bits.zero_extend v ~width:(size * 8) in
-      Mem.load_int m ~addr ~size = expected)
+      Mem.load_int_i64 m ~addr ~size = expected)
 
 let prop_any_data_write_kills_overlapping_tag =
   QCheck.Test.make ~name:"any data write into a tagged granule clears the tag" ~count:500
@@ -191,9 +191,9 @@ let prop_any_data_write_kills_overlapping_tag =
       let size = [| 1; 2; 4; 8 |].(szi) in
       let off = min off (32 - size) in
       let m = mem () in
-      Mem.store_cap m ~addr:0L (Cap.make ~base:0L ~length:1L ~perms:Perms.all);
-      Mem.store_int m ~addr:(Int64.of_int off) ~size 0L;
-      not (Mem.tag_at m 0L))
+      Mem.store_cap_i64 m ~addr:0L (Cap.make ~base:0L ~length:1L ~perms:Perms.all);
+      Mem.store_int_i64 m ~addr:(Int64.of_int off) ~size 0L;
+      not (Mem.tag_at_i64 m 0L))
 
 let suite =
   [

@@ -312,18 +312,18 @@ let test_tagmem_collateral_clears () =
   let s = T.Sink.create () in
   Mem.set_sink mem s;
   let c = Cap.make ~base:64L ~length:32L ~perms:Perms.all in
-  Mem.store_cap mem ~addr:64L c;
+  Mem.store_cap_i64 mem ~addr:64L c;
   check_int "cap store recorded" 1 (T.Sink.tag_writes s);
   check_int "no collateral yet" 0 (T.Sink.collateral_tag_clears s);
   (* a plain data write into the capability's granule detags it *)
-  Mem.store_byte mem 70L 0xff;
+  Mem.store_byte_i64 mem 70L 0xff;
   check_int "collateral clear recorded" 1 (T.Sink.collateral_tag_clears s);
   (* overwriting a capability with a capability is not collateral *)
-  Mem.store_cap mem ~addr:64L c;
-  Mem.store_cap mem ~addr:64L c;
+  Mem.store_cap_i64 mem ~addr:64L c;
+  Mem.store_cap_i64 mem ~addr:64L c;
   check_int "cap-over-cap is not collateral" 1 (T.Sink.collateral_tag_clears s);
   (* clearing an already-clear granule records nothing *)
-  Mem.store_byte mem 200L 1;
+  Mem.store_byte_i64 mem 200L 1;
   check_int "clear of untagged granule not counted" 1 (T.Sink.collateral_tag_clears s)
 
 let buggy_src = "int main(void) { char *p = (char *)malloc(16); p[20] = 'x'; return 0; }"
