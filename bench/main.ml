@@ -31,6 +31,13 @@
                                  preemptive-slicing throughput tax
                                  (default FILE: [snap_output_file];
                                  measure with --profile release)
+     bench/main.exe serve [--quick] [FILE]
+                                 multi-tenant service benchmark against a
+                                 real cheri-serve supervisor: sustained
+                                 jobs/s with p50/p99 latency, then the
+                                 recovery time after a worker SIGKILL
+                                 (default FILE: [serve_output_file];
+                                 measure with --profile release)
      bench/main.exe smoke        fast telemetry-overhead assertions (runs
                                  under dune runtest)
      bench/main.exe compare [--threshold P] [--quick] OLD.json NEW.json
@@ -57,6 +64,7 @@ module Telemetry = Cheri_telemetry.Telemetry
 module Exec = Cheri_exec.Exec
 module Inject = Cheri_inject.Inject
 module Json = Cheri_util.Json
+module Obs = Cheri_obs.Obs
 module Bench_compare = Cheri_obs.Bench_compare
 
 (* the default output of `bench/main.exe json`, bumped once per PR so
@@ -770,6 +778,183 @@ let bench_snap ~quick path =
   close_out oc;
   Format.fprintf ppf "wrote %s (%d measurements)@." path (List.length cells)
 
+(* -- multi-tenant service benchmark (serve subcommand) ------------------------- *)
+
+let serve_output_file = "BENCH_PR8.json"
+
+let bench_serve ~quick path =
+  let module Service = Cheri_service.Service in
+  let module Chaos = Cheri_service.Chaos in
+  section
+    (if quick then "Multi-tenant service (serve --quick, test scales)"
+     else "Multi-tenant service (serve, default scales)");
+  if Build_profile.profile <> "release" then
+    Format.fprintf ppf
+      "WARNING: built with the %s profile — sustained throughput and latency@.\
+      \ are pessimistic. Re-run with `dune exec --profile release@.\
+      \ bench/main.exe -- serve` for the numbers a release build gets.@."
+      Build_profile.profile;
+  let mem_int k j = Option.bind (Json.member k j) Json.to_int in
+  let mem_bool k j = Option.bind (Json.member k j) Json.to_bool in
+  let mem_str k j = Option.bind (Json.member k j) Json.to_string in
+  let now = Unix.gettimeofday in
+  let dir = Printf.sprintf "/tmp/cheri-serve-bench-%d" (Unix.getpid ()) in
+  Chaos.rm_rf dir;
+  let tenants = if quick then 8 else 24 in
+  let recovery_batch = if quick then 6 else 12 in
+  let cfg =
+    {
+      (Service.default_config ~dir) with
+      Service.workers = 2;
+      worker_jobs = 1;
+      capacity = (tenants + recovery_batch) * 2;
+      slice = 50_000;
+      fuel = 50_000_000;
+      heartbeat_s = 0.25;
+      tick_s = 0.02;
+      seed = 1;
+    }
+  in
+  let srv_pid = Chaos.Client.spawn_server cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill srv_pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] srv_pid) with Unix.Unix_error _ -> ());
+      Chaos.rm_rf dir)
+    (fun () ->
+      if not (Chaos.Client.wait_socket cfg.Service.socket ~timeout_s:10.0) then
+        failwith "serve bench: server socket never came up";
+      let cl = Chaos.Client.connect cfg.Service.socket in
+      let request j =
+        match Chaos.Client.request cl j with
+        | Ok r -> r
+        | Error e -> failwith ("serve bench: request failed: " ^ e)
+      in
+      let submit ~seed i =
+        let r =
+          request
+            (Json.Obj
+               [
+                 ("op", Json.Str "submit");
+                 ("source", Json.Str (Chaos.tenant_source ~seed ~index:i));
+                 ("abi", Json.Str [| "mips"; "cheriv2"; "cheriv3" |].(i mod 3));
+                 ("fuel", Json.Num (string_of_int cfg.Service.fuel));
+                 ("slice", Json.Num (string_of_int cfg.Service.slice));
+               ])
+        in
+        match mem_int "tenant" r with
+        | Some tid -> tid
+        | None -> failwith ("serve bench: submit rejected: " ^ Json.encode r)
+      in
+      let poll tid = request (Json.Obj [ ("op", Json.Str "poll"); ("tenant", Json.Num (string_of_int tid)) ]) in
+      (* phase 1: sustained throughput + client-observed latency *)
+      let t0 = now () in
+      let batch1 = Array.init tenants (fun i -> (submit ~seed:1 i, ref None)) in
+      let deadline = now () +. 300.0 in
+      let unfinished () = Array.exists (fun (_, r) -> !r = None) batch1 in
+      while unfinished () do
+        if now () > deadline then failwith "serve bench: sustained phase timed out";
+        Array.iter
+          (fun (tid, r) ->
+            if !r = None then
+              let p = poll tid in
+              match mem_str "state" p with
+              | Some "done" -> r := Some (now () -. t0)
+              | Some "failed" -> failwith ("serve bench: tenant failed: " ^ Json.encode p)
+              | _ -> ())
+          batch1;
+        ignore (Unix.select [] [] [] 0.005)
+      done;
+      let wall = now () -. t0 in
+      let lats =
+        Array.to_list batch1 |> List.filter_map (fun (_, r) -> Option.map (fun x -> x *. 1000.) !r)
+      in
+      let jobs_per_s = float_of_int tenants /. wall in
+      let p50_ms = Obs.quantile_of lats 0.5 in
+      let p99_ms = Obs.quantile_of lats 0.99 in
+      Format.fprintf ppf "sustained: %d tenants over 2 workers in %.2fs — %.2f jobs/s, p50 %.0f ms, p99 %.0f ms@."
+        tenants wall jobs_per_s p50_ms p99_ms;
+      (* phase 2: SIGKILL the busiest worker mid-batch; recovery time is
+         kill -> first completion of a tenant that was requeued by it *)
+      let batch2 = Array.init recovery_batch (fun i -> (submit ~seed:77 (1000 + i), ref None)) in
+      let done2 () = Array.fold_left (fun a (_, r) -> if !r = None then a else a + 1) 0 batch2 in
+      let killed = ref false in
+      let t_kill = ref 0.0 in
+      let recovery_ms = ref None in
+      let deadline = now () +. 300.0 in
+      while Array.exists (fun (_, r) -> !r = None) batch2 do
+        if now () > deadline then failwith "serve bench: recovery phase timed out";
+        if (not !killed) && done2 () >= recovery_batch / 4 then begin
+          let st = request (Json.Obj [ ("op", Json.Str "stats") ]) in
+          match Json.member "workers" st with
+          | Some (Json.Arr ws) ->
+              let busiest =
+                List.fold_left
+                  (fun acc w ->
+                    match (mem_bool "alive" w, mem_int "pid" w, mem_int "tenants" w) with
+                    | Some true, Some pid, Some n when n >= 1 -> (
+                        match acc with Some (_, bn) when bn >= n -> acc | _ -> Some (pid, n))
+                    | _ -> acc)
+                  None ws
+              in
+              (match busiest with
+              | Some (pid, _) ->
+                  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+                  t_kill := now ();
+                  killed := true
+              | None -> ())
+          | _ -> ()
+        end;
+        Array.iter
+          (fun (tid, r) ->
+            if !r = None then
+              let p = poll tid in
+              match mem_str "state" p with
+              | Some "done" ->
+                  r := Some (now ());
+                  let restarts =
+                    Option.value ~default:0
+                      (Option.bind (Json.member "result" p) (mem_int "restarts"))
+                  in
+                  if !killed && !recovery_ms = None && restarts >= 1 then
+                    recovery_ms := Some ((now () -. !t_kill) *. 1000.)
+              | Some "failed" -> failwith ("serve bench: tenant failed: " ^ Json.encode p)
+              | _ -> ())
+          batch2;
+        ignore (Unix.select [] [] [] 0.005)
+      done;
+      let recovery_ms =
+        match !recovery_ms with
+        | Some r -> r
+        | None ->
+            (* the killed worker held no tenant that outlived it; fall
+               back to kill -> batch drained *)
+            if !killed then (now () -. !t_kill) *. 1000. else 0.0
+      in
+      Format.fprintf ppf "recovery: first requeued tenant completed %.0f ms after SIGKILL@."
+        recovery_ms;
+      ignore (request (Json.Obj [ ("op", Json.Str "shutdown") ]));
+      Chaos.Client.close cl;
+      let body =
+        Printf.sprintf
+          "{\n\
+          \  \"schema\": \"cheri_c.serve-bench/v1\",\n\
+          \  \"profile\": \"%s\",\n\
+          \  \"quick\": %b,\n\
+          \  \"workers\": %d,\n\
+          \  \"results\": [\n\
+          \    {\"workload\":\"sustained\",\"tenants\":%d,\"jobs_per_s\":%.3f,\"p50_ms\":%.1f,\"p99_ms\":%.1f},\n\
+          \    {\"workload\":\"recovery\",\"tenants\":%d,\"recovery_ms\":%.1f}\n\
+          \  ]\n\
+           }\n"
+          (Json.escape Build_profile.profile)
+          quick cfg.Service.workers tenants jobs_per_s p50_ms p99_ms recovery_batch recovery_ms
+      in
+      let oc = open_out path in
+      output_string oc body;
+      close_out oc;
+      Format.fprintf ppf "wrote %s (2 measurements)@." path)
+
 (* -- telemetry overhead smoke checks (smoke subcommand) ------------------------ *)
 
 (* A short program with real memory traffic for the overhead check. *)
@@ -1025,6 +1210,10 @@ let all () =
   micro ()
 
 let () =
+  (* a process re-executed with a service marker in argv is a serve
+     worker/supervisor child (bench serve spawns them), never a
+     benchmark invocation *)
+  Cheri_service.Service.child_dispatch ();
   (* split --jobs/-j N out of argv; what remains is JOB [FILE] *)
   let rec split_jobs = function
     | ("--jobs" | "-j") :: v :: rest -> (
@@ -1079,6 +1268,15 @@ let () =
            | [] -> snap_output_file
          in
          bench_snap ~quick path
+     | "serve" ->
+         let rest = List.tl positional in
+         let quick = List.mem "--quick" rest in
+         let path =
+           match List.filter (fun s -> s <> "--quick") rest with
+           | f :: _ -> f
+           | [] -> serve_output_file
+         in
+         bench_serve ~quick path
      | other ->
          Format.eprintf "unknown job %s@." other;
          exit 2

@@ -1,0 +1,87 @@
+(* The multi-tenant simulation service driver:
+
+     cheri-serve --dir DIR [--socket PATH] [--workers N] [--worker-jobs N]
+                 [--capacity N] [--slice N] [--fuel N] [--heartbeat SECS]
+
+   Runs the supervisor in the foreground: binds the Unix-domain
+   socket, spawns N worker processes (re-executions of this binary),
+   and serves length-prefixed JSON requests (submit / poll / stats /
+   metrics / shutdown) until a shutdown request arrives. Tenants are
+   admitted under --capacity, executed preemptively in fuel-bounded
+   slices, checkpointed at every yield, and survive worker crashes
+   with at most the in-flight slice lost.
+
+     cheri-serve --chaos [--tenants N] [--kills N] [--seed N] [--jobs N]
+                 [--slice N] [--keep] [--verbose]
+
+   The self-test: a real server with --jobs workers is flooded past
+   its admission cap while workers are SIGSTOPped/SIGKILLed and a
+   checkpoint is corrupted on disk; every tenant must come out
+   byte-identical to an undisturbed serial run. Exit 0 iff every
+   assertion held. *)
+
+module Service = Cheri_service.Service
+module Chaos = Cheri_service.Chaos
+module Cli = Cheri_util.Cli
+
+let () =
+  (* a process re-executed with a service marker in argv is a worker or
+     supervisor child, never a CLI invocation *)
+  Service.child_dispatch ();
+  let chaos = ref false in
+  let c = ref Chaos.default in
+  let dir = ref None in
+  let cfg_override = ref [] in
+  let override f = cfg_override := f :: !cfg_override in
+  Cli.parse ~prog:"cheri-serve"
+    ~usage:"--dir DIR [OPTIONS] | --chaos [OPTIONS]"
+    [
+      Cli.string "--dir" ~metavar:"DIR" ~doc:"state directory (socket, status, checkpoints)"
+        (fun d -> dir := Some d);
+      Cli.string "--socket" ~metavar:"PATH" ~doc:"listen socket (default DIR/serve.sock)"
+        (fun p -> override (fun cfg -> { cfg with Service.socket = p }));
+      Cli.int ~min:1 "--workers" ~metavar:"N" ~doc:"worker processes (default 2)" (fun n ->
+          override (fun cfg -> { cfg with Service.workers = n });
+          c := { !c with Chaos.ch_workers = n });
+      Cli.int ~min:1 "--worker-jobs" ~metavar:"N" ~doc:"pool domains per worker (default 1)"
+        (fun n ->
+          override (fun cfg -> { cfg with Service.worker_jobs = n });
+          c := { !c with Chaos.ch_worker_jobs = n });
+      Cli.int ~min:1 "--capacity" ~metavar:"N" ~doc:"admission cap on live tenants (default 64)"
+        (fun n -> override (fun cfg -> { cfg with Service.capacity = n }));
+      Cli.int ~min:1 "--slice" ~metavar:"N" ~doc:"per-slice fuel (default 100000)" (fun n ->
+          override (fun cfg -> { cfg with Service.slice = n });
+          c := { !c with Chaos.ch_slice = n });
+      Cli.int ~min:1 "--fuel" ~metavar:"N" ~doc:"default per-tenant fuel budget" (fun n ->
+          override (fun cfg -> { cfg with Service.fuel = n }));
+      Cli.float ~strictly_positive:true "--heartbeat" ~metavar:"SECS"
+        ~doc:"worker heartbeat interval (default 0.25)" (fun s ->
+          override (fun cfg -> { cfg with Service.heartbeat_s = s }));
+      Cli.unit "--chaos" ~doc:"run the kill-a-worker chaos self-test, then exit" (fun () ->
+          chaos := true);
+      Cli.int ~min:1 "--tenants" ~metavar:"N" ~doc:"chaos: tenant count (default 16)" (fun n ->
+          c := { !c with Chaos.ch_tenants = n });
+      Cli.int "--kills" ~metavar:"N" ~doc:"chaos: worker SIGKILLs (default 3)" (fun n ->
+          c := { !c with Chaos.ch_kills = n });
+      Cli.int "--seed" ~metavar:"N" ~doc:"chaos: workload seed (default 42)" (fun n ->
+          c := { !c with Chaos.ch_seed = n });
+      Cli.int ~min:1 "--jobs" ~metavar:"N" ~doc:"chaos: worker processes (alias of --workers)"
+        (fun n -> c := { !c with Chaos.ch_workers = n });
+      Cli.unit "--keep" ~doc:"chaos: keep the state directory for post-mortem" (fun () ->
+          c := { !c with Chaos.ch_keep = true });
+      Cli.unit "--verbose" ~doc:"chaos: narrate disruptions on stderr" (fun () ->
+          c := { !c with Chaos.ch_verbose = true });
+    ]
+    (List.tl (Array.to_list Sys.argv));
+  if !chaos then exit (Chaos.run !c)
+  else
+    match !dir with
+    | None -> Cli.die "--dir is required (or use --chaos for the self-test)"
+    | Some dir ->
+        let cfg =
+          List.fold_left (fun cfg f -> f cfg) (Service.default_config ~dir)
+            (List.rev !cfg_override)
+        in
+        Printf.printf "cheri-serve: listening on %s (%d workers, capacity %d)\n%!"
+          cfg.Service.socket cfg.Service.workers cfg.Service.capacity;
+        Service.server_main cfg

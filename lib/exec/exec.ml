@@ -96,6 +96,14 @@ module Pool = struct
     pm_tasks : Obs.Counter.t;
     pm_retries : Obs.Counter.t;
     pm_slices : Obs.Counter.t;
+    pm_retry_events : Obs.Counter.t;
+        (* like pm_retries but incremented at retry time, not when the
+           task's cell is recorded — a supervisor watching the registry
+           mid-campaign sees retries as they happen *)
+    pm_requeues : Obs.Counter.t;
+        (* one increment per Yield that sends a task to the back of the
+           queue; chaos harnesses bound "slices lost to a crash" from
+           this and the per-cell slice counts alone *)
     pm_wait : Obs.Histogram.t;
     pm_wall : Obs.Histogram.t;
   }
@@ -105,6 +113,8 @@ module Pool = struct
       pm_tasks = Obs.counter obs "pool_tasks_total";
       pm_retries = Obs.counter obs "pool_task_retries_total";
       pm_slices = Obs.counter obs "pool_task_slices_total";
+      pm_retry_events = Obs.counter obs "pool_retries_total";
+      pm_requeues = Obs.counter obs "pool_requeues_total";
       pm_wait = Obs.histogram obs "pool_queue_wait_seconds";
       pm_wall = Obs.histogram obs "pool_task_seconds";
     }
@@ -133,6 +143,7 @@ module Pool = struct
       | Error _ ->
           (* transient-fault hypothesis: give the host a staggered
              moment before retrying *)
+          Obs.Counter.incr pm.pm_retry_events;
           let pause = backoff_duration ~base_s:backoff_s ~seed:backoff_seed ~task:i ~attempt:k in
           if pause > 0. then Unix.sleepf pause;
           go (k + 1)
@@ -212,6 +223,54 @@ module Pool = struct
     mutable j_ready : float;  (** when the job last entered the queue *)
   }
 
+  (* Advance one job by one slice and route it: back of the queue on
+     Yield, the result sink on Done or a spent retry budget, back to
+     [init] (via the queue) on a fault with budget left. Shared by
+     [map_sliced] (fixed task list) and [Stream] (live submissions) so
+     the two engines cannot drift in retry/requeue/metrics semantics. *)
+  let slice_step ~retries ~backoff_s ~backoff_seed ~pm ~init ~slice ~push ~record job =
+    let t0 = now () in
+    Obs.Histogram.observe pm.pm_wait (t0 -. job.j_ready);
+    let step =
+      try
+        let s =
+          match job.j_state with
+          | Some s -> s
+          | None ->
+              let s = init job.j_task in
+              job.j_state <- Some s;
+              s
+        in
+        job.j_slices <- job.j_slices + 1;
+        Ok (slice s)
+      with e ->
+        let backtrace = Printexc.get_backtrace () in
+        Error
+          {
+            task = job.j_index;
+            exn = Printexc.to_string e ^ Printf.sprintf " (attempt %d)" job.j_attempts;
+            backtrace;
+          }
+    in
+    job.j_elapsed <- job.j_elapsed +. (now () -. t0);
+    match step with
+    | Ok (Yield s') ->
+        job.j_state <- Some s';
+        Obs.Counter.incr pm.pm_requeues;
+        push job
+    | Ok (Done r) -> record job (Ok r)
+    | Error e when job.j_attempts > retries -> record job (Error e)
+    | Error _ ->
+        Obs.Counter.incr pm.pm_retry_events;
+        let pause =
+          backoff_duration ~base_s:backoff_s ~seed:backoff_seed ~task:job.j_index
+            ~attempt:job.j_attempts
+        in
+        if pause > 0. then Unix.sleepf pause;
+        job.j_attempts <- job.j_attempts + 1;
+        job.j_state <- None;
+        push job
+
   (* [map_sliced ~init ~slice tasks] drives every task through
      repeated bounded [slice] calls instead of one run-to-completion
      call. A worker pops a task from the shared FIFO, advances it by
@@ -286,45 +345,7 @@ module Pool = struct
           match pop () with
           | None -> ()
           | Some job ->
-              let t0 = now () in
-              Obs.Histogram.observe pm.pm_wait (t0 -. job.j_ready);
-              let step =
-                try
-                  let s =
-                    match job.j_state with
-                    | Some s -> s
-                    | None ->
-                        let s = init job.j_task in
-                        job.j_state <- Some s;
-                        s
-                  in
-                  job.j_slices <- job.j_slices + 1;
-                  Ok (slice s)
-                with e ->
-                  let backtrace = Printexc.get_backtrace () in
-                  Error
-                    {
-                      task = job.j_index;
-                      exn = Printexc.to_string e ^ Printf.sprintf " (attempt %d)" job.j_attempts;
-                      backtrace;
-                    }
-              in
-              job.j_elapsed <- job.j_elapsed +. (now () -. t0);
-              (match step with
-              | Ok (Yield s') ->
-                  job.j_state <- Some s';
-                  push job
-              | Ok (Done r) -> record job (Ok r)
-              | Error e when job.j_attempts > retries -> record job (Error e)
-              | Error _ ->
-                  let pause =
-                    backoff_duration ~base_s:backoff_s ~seed:backoff_seed ~task:job.j_index
-                      ~attempt:job.j_attempts
-                  in
-                  if pause > 0. then Unix.sleepf pause;
-                  job.j_attempts <- job.j_attempts + 1;
-                  job.j_state <- None;
-                  push job);
+              slice_step ~retries ~backoff_s ~backoff_seed ~pm ~init ~slice ~push ~record job;
               drain ()
         in
         drain ()
@@ -332,6 +353,126 @@ module Pool = struct
       spawn_workers ~jobs ~n worker
     end;
     collect results
+
+  (* --- the dynamic preemptive engine (Stream) ----------------------- *)
+
+  (* [map_sliced] needs the whole task list up front; a long-running
+     service does not have one — tenants arrive over a socket while
+     earlier tenants are mid-flight. [Stream] is the same sliced
+     round-robin engine with a live submission side: domains are
+     spawned at [create], [submit] enqueues a task at any later time,
+     and [close] waits for the queue to drain. Results leave through
+     [on_result] only (there is no final list to collect), serialized
+     under one mutex exactly like the map engines. *)
+  module Stream = struct
+    type ('t, 's, 'r) t = {
+      st_mu : Mutex.t;
+      st_nonempty : Condition.t;
+      st_q : ('t, 's) job Queue.t;
+      mutable st_closed : bool;
+      mutable st_next : int;  (* submission indices, 0-based *)
+      mutable st_live : int;  (* submitted and not yet recorded *)
+      mutable st_domains : unit Domain.t list;
+    }
+
+    let submit t task =
+      Mutex.protect t.st_mu (fun () ->
+          if t.st_closed then invalid_arg "Pool.Stream.submit: stream is closed";
+          let i = t.st_next in
+          t.st_next <- i + 1;
+          t.st_live <- t.st_live + 1;
+          Queue.push
+            {
+              j_index = i;
+              j_task = task;
+              j_state = None;
+              j_attempts = 1;
+              j_slices = 0;
+              j_elapsed = 0.;
+              j_ready = now ();
+            }
+            t.st_q;
+          Condition.signal t.st_nonempty;
+          i)
+
+    let live t = Mutex.protect t.st_mu (fun () -> t.st_live)
+
+    let create ?(jobs = 1) ?(retries = 0) ?(backoff_s = 0.05) ?(backoff_seed = 0)
+        ?(obs = Obs.default) ~init ~slice ~on_result () =
+      let pm = pool_metrics obs in
+      let on_result = serialize_hook (Some on_result) in
+      let t =
+        {
+          st_mu = Mutex.create ();
+          st_nonempty = Condition.create ();
+          st_q = Queue.create ();
+          st_closed = false;
+          st_next = 0;
+          st_live = 0;
+          st_domains = [];
+        }
+      in
+      let push job =
+        job.j_ready <- now ();
+        Mutex.protect t.st_mu (fun () ->
+            Queue.push job t.st_q;
+            Condition.signal t.st_nonempty)
+      in
+      let record job result =
+        let cell =
+          {
+            index = job.j_index;
+            result;
+            elapsed_s = job.j_elapsed;
+            attempts = job.j_attempts;
+            slices = job.j_slices;
+          }
+        in
+        observe_cell pm cell;
+        on_result cell;
+        Mutex.protect t.st_mu (fun () ->
+            t.st_live <- t.st_live - 1;
+            (* the last record under a closed stream releases every
+               worker parked on the condition *)
+            if t.st_closed && t.st_live = 0 then Condition.broadcast t.st_nonempty)
+      in
+      let step job =
+        slice_step ~retries ~backoff_s ~backoff_seed ~pm ~init ~slice ~push ~record job
+      in
+      let worker () =
+        let rec next () =
+          let job =
+            Mutex.protect t.st_mu (fun () ->
+                let rec wait () =
+                  if not (Queue.is_empty t.st_q) then Some (Queue.pop t.st_q)
+                  else if t.st_closed && t.st_live = 0 then None
+                  else begin
+                    (* live jobs may be held by other workers and come
+                       back to the queue; wait for a push, a record, or
+                       close *)
+                    Condition.wait t.st_nonempty t.st_mu;
+                    wait ()
+                  end
+                in
+                wait ())
+          in
+          match job with
+          | None -> ()
+          | Some job ->
+              step job;
+              next ()
+        in
+        next ()
+      in
+      t.st_domains <- List.init (max 1 jobs) (fun _ -> Domain.spawn worker);
+      t
+
+    let close t =
+      Mutex.protect t.st_mu (fun () ->
+          t.st_closed <- true;
+          Condition.broadcast t.st_nonempty);
+      List.iter Domain.join t.st_domains
+  end
 
   let get cell = match cell.result with Ok v -> v | Error e -> raise (Worker_failed e)
   let serial_seconds cells = List.fold_left (fun acc c -> acc +. c.elapsed_s) 0. cells

@@ -61,7 +61,13 @@ module Pool : sig
       metrics: [pool_tasks_total], [pool_task_retries_total] and
       [pool_task_slices_total] counters (values independent of [jobs])
       plus [pool_queue_wait_seconds] and [pool_task_seconds]
-      histograms. *)
+      histograms. Two live-progress counters ride along for watchers
+      that read the registry mid-run: [pool_retries_total] ticks at the
+      moment a retry is decided (not when the task's cell is finally
+      recorded) and [pool_requeues_total] ticks every time a sliced
+      task yields back to the queue — together with per-cell [slices]
+      they let a chaos harness bound "work lost to a crash" from
+      metrics alone. *)
 
   (** What one slice of work produced: either an updated state to
       continue from, or the task's final result. *)
@@ -87,6 +93,46 @@ module Pool : sig
       never resumed). For deterministic tasks the returned cells are
       bit-identical for every (jobs, slice-granularity) choice; only
       [elapsed_s] varies. *)
+
+  (** The dynamic preemptive engine: {!map_sliced} semantics without a
+      fixed task list. A long-running service submits tasks as they
+      arrive over the wire while earlier tasks are mid-slice; domains
+      are spawned once at {!Stream.create} and park on a condition
+      variable when idle. *)
+  module Stream : sig
+    type ('t, 's, 'r) t
+
+    val create :
+      ?jobs:int ->
+      ?retries:int ->
+      ?backoff_s:float ->
+      ?backoff_seed:int ->
+      ?obs:Cheri_obs.Obs.t ->
+      init:('t -> 's) ->
+      slice:('s -> ('s, 'r) progress) ->
+      on_result:('r cell -> unit) ->
+      unit ->
+      ('t, 's, 'r) t
+    (** Spawn [max 1 jobs] worker domains (the caller's domain is never
+        a worker — it stays free to feed the stream) sharing one FIFO.
+        Slice, retry, requeue and metrics semantics are {e the same
+        code} as {!map_sliced}. [on_result] is the only result channel
+        (cells stream out in completion order, serialized under one
+        mutex); cell [index] is the value {!submit} returned. *)
+
+    val submit : ('t, 's, 'r) t -> 't -> int
+    (** Enqueue a task; returns its submission index. The task may
+        start — and even finish — before [submit] returns, so any state
+        keyed by the index must be registered before calling.
+        Raises [Invalid_argument] after {!close}. *)
+
+    val live : ('t, 's, 'r) t -> int
+    (** Tasks submitted and not yet delivered to [on_result]. *)
+
+    val close : ('t, 's, 'r) t -> unit
+    (** Refuse further submissions, drain every live task to its
+        result, and join the worker domains. *)
+  end
 
   val get : 'a cell -> 'a
   (** The task's value, or raises {!Worker_failed} with its error. *)

@@ -71,6 +71,22 @@ let families =
           ("ratio", Higher_better);
         ];
     };
+    (* the multi-tenant service (bench/main.exe serve): cells are
+       heterogeneous — "sustained" carries throughput/latency,
+       "recovery" carries post-kill recovery time — and extract
+       already drops fields a cell does not have *)
+    {
+      f_name = "cheri_c.serve-bench";
+      f_cell_fields =
+        [
+          ("jobs_per_s", Higher_better);
+          ("p50_ms", Lower_better);
+          ("p99_ms", Lower_better);
+          ("recovery_ms", Lower_better);
+        ];
+      f_key_abi = false;
+      f_slicing = [];
+    };
   ]
 
 let family_of_schema schema =

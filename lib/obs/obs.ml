@@ -577,6 +577,25 @@ module Heartbeat = struct
     Mutex.protect t.hb_mu (fun () ->
         t.hb_last <- now ();
         write t payload)
+
+  (* The supervisor-side half of the plane: classify a status file by
+     its age. The threshold is 2x the writer's interval — one interval
+     of legitimate silence (the writer beats at most once per interval)
+     plus one interval of slack for scheduling. An mtime in the future
+     means clock skew between writer and prober (or a coarse
+     filesystem clock), never staleness — a skewed-but-beating worker
+     must not be reaped. *)
+  let staleness ~interval_s ~now:t_now ~mtime =
+    let age = t_now -. mtime in
+    if age > 2. *. interval_s then `Stale age else `Fresh
+
+  let probe ?now:probe_now ~interval_s path =
+    match Unix.stat path with
+    | exception Unix.Unix_error _ -> `Missing
+    | exception Sys_error _ -> `Missing
+    | st ->
+        let t_now = match probe_now with Some t -> t | None -> now () in
+        staleness ~interval_s ~now:t_now ~mtime:st.Unix.st_mtime
 end
 
 let status_json ?(verdicts = []) ?p99_task_s ~tasks_done ~tasks_total ~elapsed_s () =

@@ -176,6 +176,22 @@ module Heartbeat : sig
 
   val write_atomic : path:string -> string -> unit
   (** The underlying temp+rename write; raises on I/O failure. *)
+
+  val staleness :
+    interval_s:float -> now:float -> mtime:float -> [ `Fresh | `Stale of float ]
+  (** The supervisor-side classification: a status file last written at
+      [mtime] is [`Stale age] when [now - mtime > 2 *. interval_s] —
+      one interval of legitimate silence plus one of scheduling slack.
+      Exactly 2x is still [`Fresh] (the boundary belongs to the
+      writer). A future [mtime] (clock skew between writer and prober)
+      is [`Fresh]: skew must never reap a beating worker. Pure, so the
+      boundary cases are testable without touching a filesystem. *)
+
+  val probe :
+    ?now:float -> interval_s:float -> string -> [ `Fresh | `Stale of float | `Missing ]
+  (** {!staleness} of the file's mtime ([`Missing] when it cannot be
+      stat'ed). [now] defaults to the current time; pass it explicitly
+      to make a probe decision reproducible in tests. *)
 end
 
 val status_json :

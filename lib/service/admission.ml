@@ -1,0 +1,60 @@
+(* Bounded admission control for the multi-tenant service.
+
+   The contract under overload is a structured rejection, not queue
+   growth: the server holds at most [capacity] live tenants (admitted,
+   not yet finished), and a submit past that cap is answered with
+   `Overloaded` plus a retry-after hint. The hint reuses the pool's
+   decorrelated-jitter schedule (Exec.Pool.backoff_duration) keyed by
+   the run of consecutive rejections: the first rejected client is told
+   to come back in ~base seconds, and under sustained overload the
+   hints stretch (capped at 64x base) and de-synchronize — a thundering
+   herd of rejected clients is re-spread instead of re-colliding. An
+   admit resets the streak: once capacity frees up, hints snap back to
+   the base.
+
+   The state machine is tiny and single-threaded by design (the
+   supervisor loop is the only caller); keeping it pure of I/O makes
+   the boundary cases unit-testable. *)
+
+type decision = Admit | Reject of { retry_after_s : float }
+
+type t = {
+  capacity : int;
+  retry_base_s : float;
+  seed : int;
+  mutable live : int;
+  mutable streak : int;  (* consecutive rejections since the last admit *)
+  mutable admitted : int;
+  mutable rejected : int;
+}
+
+let create ?(seed = 0) ?(retry_base_s = 0.05) ~capacity () =
+  if capacity < 1 then invalid_arg "Admission.create: capacity must be >= 1";
+  { capacity; retry_base_s; seed; live = 0; streak = 0; admitted = 0; rejected = 0 }
+
+let request t =
+  if t.live < t.capacity then begin
+    t.live <- t.live + 1;
+    t.streak <- 0;
+    t.admitted <- t.admitted + 1;
+    Admit
+  end
+  else begin
+    t.streak <- t.streak + 1;
+    t.rejected <- t.rejected + 1;
+    (* cap the attempt index so the hint saturates instead of the
+       backoff loop doing unbounded work under a rejection storm *)
+    let attempt = min t.streak 8 in
+    Reject
+      {
+        retry_after_s =
+          Cheri_exec.Exec.Pool.backoff_duration ~base_s:t.retry_base_s ~seed:t.seed ~task:0
+            ~attempt;
+      }
+  end
+
+let release t = if t.live > 0 then t.live <- t.live - 1
+let live t = t.live
+let capacity t = t.capacity
+let admitted t = t.admitted
+let rejected t = t.rejected

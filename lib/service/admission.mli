@@ -1,0 +1,26 @@
+(** Bounded admission control: at most [capacity] live tenants; a
+    submit past the cap gets a structured rejection with a
+    decorrelated-jitter retry-after hint ({!Cheri_exec.Exec.Pool.backoff_duration}
+    keyed by the consecutive-rejection streak, so hints stretch and
+    de-synchronize under sustained overload and snap back to the base
+    after the next admit). Single-threaded: the supervisor loop is the
+    only caller. *)
+
+type t
+
+type decision = Admit | Reject of { retry_after_s : float }
+
+val create : ?seed:int -> ?retry_base_s:float -> capacity:int -> unit -> t
+(** [retry_base_s] defaults to 0.05 s. Raises [Invalid_argument] when
+    [capacity < 1]. *)
+
+val request : t -> decision
+(** Decide one submission; [Admit] takes a live slot. *)
+
+val release : t -> unit
+(** Return a live slot (tenant finished or failed). *)
+
+val live : t -> int
+val capacity : t -> int
+val admitted : t -> int
+val rejected : t -> int

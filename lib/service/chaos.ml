@@ -1,0 +1,495 @@
+(* Kill-a-worker chaos harness for the multi-tenant service.
+
+   The harness is an open-loop client of a real server: it spawns the
+   supervisor as a separate process, floods it with more tenants than
+   the admission cap (asserting the overflow gets structured
+   `overloaded` rejections with retry-after hints, not queue growth),
+   and while the fleet is busy it disrupts it for real — one worker is
+   SIGSTOPped (the supervisor must detect the stale heartbeat and
+   SIGKILL it), [kills] more are SIGKILLed outright, and one requeued
+   tenant's checkpoint file is damaged on disk (the supervisor's
+   corrupt_requeue hook), which must demote to a clean restart rather
+   than crash anything.
+
+   The verdict is byte-identity: after every tenant completes, each one
+   is replayed in-process through Service.run_serial — the exact
+   fuel-sliced loop a worker runs — and output, cycles, instret,
+   outcome AND slice count must match exactly. Slice-count equality is
+   the "at most one slice lost" invariant made observable: a tenant's
+   slice counter rides inside its checkpoint note, so the only slice a
+   crash can take is the one in flight (counted by neither side), and
+   any further loss — a stale checkpoint, a replayed slice — would show
+   up as a count mismatch. The requeue ledger is cross-checked too:
+   the sum of per-tenant restart counters must equal the supervisor's
+   requeues counter, which is itself bounded by deaths x capacity. *)
+
+module Json = Cheri_util.Json
+
+let jint n = Json.Num (string_of_int n)
+let jstr s = Json.Str s
+let mem_int k j = Option.bind (Json.member k j) Json.to_int
+let mem_float k j = Option.bind (Json.member k j) Json.to_float
+let mem_str k j = Option.bind (Json.member k j) Json.to_string
+let mem_bool k j = Option.bind (Json.member k j) Json.to_bool
+let now = Unix.gettimeofday
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | st -> (
+      match st.Unix.st_kind with
+      | Unix.S_DIR ->
+          Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+          (try Unix.rmdir path with Unix.Unix_error _ -> ())
+      | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Client: spawn a server process, speak the protocol to it            *)
+
+module Client = struct
+  type t = { fd : Unix.file_descr; rd : Protocol.Reader.t }
+
+  let spawn_server cfg =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; Service.server_marker; Service.config_to_json cfg |]
+      Unix.stdin Unix.stdout Unix.stderr
+
+  let connect path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    { fd; rd = Protocol.Reader.create () }
+
+  let wait_socket path ~timeout_s =
+    let deadline = now () +. timeout_s in
+    let rec go () =
+      match connect path with
+      | c ->
+          Unix.close c.fd;
+          true
+      | exception Unix.Unix_error _ ->
+          if now () > deadline then false
+          else begin
+            ignore (Unix.select [] [] [] 0.02);
+            go ()
+          end
+    in
+    go ()
+
+  let request t j = Protocol.request t.fd t.rd j
+  let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic tenants                                                   *)
+
+(* splitmix-style step, kept in 62 bits so it is identical on any
+   int64-word OCaml *)
+let mix x =
+  let x = (x + 0x1E3779B97F4A7C15) land 0x3FFFFFFFFFFFFFFF in
+  let x = (x lxor (x lsr 30)) * 0x2545F4914F6CDD1D land 0x3FFFFFFFFFFFFFFF in
+  (x lxor (x lsr 27)) land 0x3FFFFFFFFFFFFFFF
+
+let tenant_source ~seed ~index =
+  let r0 = mix ((seed * 1_000_003) + index) in
+  let r1 = mix r0 and r2 = mix (mix r0) in
+  let iters = 20_000 + (r0 mod 60_000) in
+  let stride = 1 + (r1 mod 997) in
+  let acc0 = r2 mod 100_000 in
+  Printf.sprintf
+    {|
+int main(void) {
+  long *tab = (long *)malloc(8 * 64);
+  for (long i = 0; i < 64; i++) { tab[i] = %d + i * %d; }
+  long acc = %d;
+  for (long i = 0; i < %d; i++) {
+    acc = acc * 1103515245 + 12345 + tab[i & 63];
+  }
+  print_int(acc & 1048575);
+  return 0;
+}
+|}
+    (stride * 7) stride acc0 iters
+
+let spin_source = {|
+int main(void) {
+  long i = 0;
+  while (1) { i = i + 1; }
+  return 0;
+}
+|}
+
+let abis = [| "mips"; "cheriv2"; "cheriv3" |]
+
+(* ------------------------------------------------------------------ *)
+(* The harness                                                         *)
+
+type cfg = {
+  ch_tenants : int;
+  ch_kills : int;
+  ch_seed : int;
+  ch_workers : int;
+  ch_worker_jobs : int;
+  ch_slice : int;
+  ch_keep : bool;
+  ch_verbose : bool;
+}
+
+let default =
+  {
+    ch_tenants = 16;
+    ch_kills = 3;
+    ch_seed = 42;
+    ch_workers = 2;
+    ch_worker_jobs = 1;
+    ch_slice = 20_000;
+    ch_keep = false;
+    ch_verbose = false;
+  }
+
+type spec = {
+  x_index : int;
+  x_source : string;
+  x_abi : string;
+  x_fuel : int;
+  x_slice : int;
+  mutable x_tid : int option;
+  mutable x_result : Json.t option;  (* the poll "result" object *)
+  mutable x_restarts : int;
+}
+
+exception Chaos_failure of string
+
+let run (c : cfg) =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let info fmt =
+    Printf.ksprintf (fun m -> if c.ch_verbose then Printf.eprintf "chaos: %s\n%!" m) fmt
+  in
+  let dir = Printf.sprintf "/tmp/cheri-serve-%d-%d" (Unix.getpid ()) c.ch_seed in
+  rm_rf dir;
+  let capacity = max 2 (c.ch_tenants / 4) in
+  let scfg =
+    {
+      (Service.default_config ~dir) with
+      Service.workers = c.ch_workers;
+      worker_jobs = c.ch_worker_jobs;
+      capacity;
+      slice = c.ch_slice;
+      fuel = 50_000_000;
+      heartbeat_s = 0.3;
+      tick_s = 0.02;
+      retry_base_s = 0.02;
+      seed = c.ch_seed;
+      corrupt_requeue = (if c.ch_kills > 0 then 1 else 0);
+    }
+  in
+  let specs =
+    Array.init c.ch_tenants (fun i ->
+        if i = c.ch_tenants - 1 then
+          (* one tenant that never terminates: the fuel watchdog must
+             cut it off deterministically *)
+          { x_index = i; x_source = spin_source; x_abi = "cheriv3"; x_fuel = 150_000;
+            x_slice = c.ch_slice; x_tid = None; x_result = None; x_restarts = 0 }
+        else
+          { x_index = i; x_source = tenant_source ~seed:c.ch_seed ~index:i;
+            x_abi = abis.(i mod Array.length abis); x_fuel = 50_000_000;
+            x_slice = c.ch_slice; x_tid = None; x_result = None; x_restarts = 0 })
+  in
+  info "state dir %s, capacity %d, %d workers" dir capacity c.ch_workers;
+  let srv_pid = Client.spawn_server scfg in
+  let cleanup_server () =
+    (try Unix.kill srv_pid Sys.sigkill with Unix.Unix_error _ -> ());
+    try ignore (Unix.waitpid [] srv_pid) with Unix.Unix_error _ -> ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      cleanup_server ();
+      if not c.ch_keep then rm_rf dir)
+    (fun () ->
+      if not (Client.wait_socket scfg.Service.socket ~timeout_s:10.0) then
+        raise (Chaos_failure "server socket never came up");
+      let cl = Client.connect scfg.Service.socket in
+      let request j =
+        match Client.request cl j with
+        | Ok r -> r
+        | Error e -> raise (Chaos_failure ("request failed: " ^ e))
+      in
+      let stats () = request (Json.Obj [ ("op", jstr "stats") ]) in
+      (* Idle soak: sit past the spawn grace plus several staleness
+         windows before submitting anything. An idle worker beats no
+         slices, so if it ever stops beating on its own it is
+         indistinguishable from a stalled one — a supervisor that
+         reaps healthy idle workers fails here with spurious deaths
+         before the first job is even submitted. *)
+      let hb = scfg.Service.heartbeat_s in
+      Unix.sleepf ((2.0 *. hb) +. 1.0 +. (6.0 *. hb));
+      (let st = stats () in
+       match (mem_int "worker_deaths" st, mem_int "stall_kills" st) with
+       | Some 0, Some 0 -> ()
+       | Some d, Some s -> err "idle workers were reaped before any work: deaths=%d stalls=%d" d s
+       | _ -> err "stats reply missing worker_deaths/stall_kills");
+      let rejections = ref 0 in
+      let best_hint = ref 0.0 in
+      let check_stats st =
+        (match (mem_int "live" st, mem_int "capacity" st) with
+        | Some live, Some cap ->
+            if live > cap then err "admission over cap: live=%d capacity=%d" live cap
+        | _ -> err "stats reply missing live/capacity")
+      in
+      let submit sp =
+        let req =
+          Json.Obj
+            [
+              ("op", jstr "submit");
+              ("source", jstr sp.x_source);
+              ("abi", jstr sp.x_abi);
+              ("fuel", jint sp.x_fuel);
+              ("slice", jint sp.x_slice);
+            ]
+        in
+        let r = request req in
+        match (mem_bool "ok" r, mem_int "tenant" r, mem_str "error" r) with
+        | Some true, Some tid, _ ->
+            sp.x_tid <- Some tid;
+            `Admitted
+        | Some false, _, Some "overloaded" -> (
+            incr rejections;
+            match mem_float "retry_after_s" r with
+            | Some h when h > 0.0 ->
+                if h > !best_hint then best_hint := h;
+                `Rejected h
+            | _ ->
+                err "overloaded rejection without a positive retry_after_s hint";
+                `Rejected 0.05)
+        | _ -> raise (Chaos_failure ("unexpected submit reply: " ^ Json.encode r))
+      in
+      (* ---- disruption schedule, fired against done-counts ---- *)
+      let deaths_seen = ref 0 in
+      let disruptions =
+        ref
+          ((1, `Stall)
+          :: List.init c.ch_kills (fun k ->
+                 (((k + 2) * c.ch_tenants / (c.ch_kills + 3)) + 1, `Kill)))
+      in
+      let busiest_worker st =
+        match Json.member "workers" st with
+        | Some (Json.Arr ws) ->
+            List.fold_left
+              (fun acc w ->
+                match (mem_bool "alive" w, mem_int "pid" w, mem_int "tenants" w) with
+                | Some true, Some pid, Some n when n >= 1 -> (
+                    match acc with
+                    | Some (_, best_n) when best_n >= n -> acc
+                    | _ -> Some (pid, n))
+                | _ -> acc)
+              None ws
+        | _ -> None
+      in
+      let await_death ~label deaths_before =
+        let deadline = now () +. 15.0 in
+        let rec go () =
+          let st = stats () in
+          check_stats st;
+          match mem_int "worker_deaths" st with
+          | Some d when d > deaths_before -> deaths_seen := d
+          | _ ->
+              if now () > deadline then
+                raise (Chaos_failure (Printf.sprintf "%s: supervisor never reaped the worker" label))
+              else begin
+                ignore (Unix.select [] [] [] 0.03);
+                go ()
+              end
+        in
+        go ()
+      in
+      let fire_disruption st kind =
+        match busiest_worker st with
+        | None -> false (* nobody busy this instant; retry next poll *)
+        | Some (pid, n) ->
+            let before = Option.value ~default:!deaths_seen (mem_int "worker_deaths" st) in
+            (match kind with
+            | `Stall ->
+                info "SIGSTOP worker pid %d (%d tenants)" pid n;
+                (try Unix.kill pid Sys.sigstop with Unix.Unix_error _ -> ());
+                await_death ~label:"stall" before
+            | `Kill ->
+                info "SIGKILL worker pid %d (%d tenants)" pid n;
+                (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+                await_death ~label:"kill" before);
+            true
+      in
+      (* ---- main loop: submit (riding rejection hints), poll, disrupt ---- *)
+      let pending = Queue.create () in
+      Array.iter (fun sp -> Queue.add sp pending) specs;
+      let next_submit_t = ref 0.0 in
+      let finished = ref 0 in
+      let deadline = now () +. 120.0 in
+      while !finished < c.ch_tenants do
+        if now () > deadline then
+          raise
+            (Chaos_failure
+               (Printf.sprintf "timeout: %d/%d tenants done, stats %s" !finished c.ch_tenants
+                  (Json.encode (stats ()))));
+        (* submissions: burst until rejected, then honor (a clamp of)
+           the hint so the test stays fast *)
+        if (not (Queue.is_empty pending)) && now () >= !next_submit_t then begin
+          match submit (Queue.peek pending) with
+          | `Admitted -> ignore (Queue.pop pending)
+          | `Rejected hint -> next_submit_t := now () +. Float.min hint 0.1
+        end;
+        let st = stats () in
+        check_stats st;
+        let done_now = Option.value ~default:0 (mem_int "done" st) in
+        (match !disruptions with
+        | (threshold, kind) :: rest when done_now >= threshold ->
+            if fire_disruption st kind then disruptions := rest
+        | _ -> ());
+        Array.iter
+          (fun sp ->
+            match (sp.x_tid, sp.x_result) with
+            | Some tid, None -> (
+                let r = request (Json.Obj [ ("op", jstr "poll"); ("tenant", jint tid) ]) in
+                match mem_str "state" r with
+                | Some "done" ->
+                    sp.x_result <- Json.member "result" r;
+                    sp.x_restarts <-
+                      Option.value ~default:0
+                        (Option.bind (Json.member "result" r) (mem_int "restarts"));
+                    incr finished
+                | Some "failed" ->
+                    err "tenant %d failed: %s" sp.x_index
+                      (Option.value ~default:"?" (mem_str "detail" r));
+                    sp.x_result <- Some (Json.Obj []);
+                    incr finished
+                | Some _ -> ()
+                | None -> err "poll reply without state: %s" (Json.encode r))
+            | _ -> ())
+          specs;
+        ignore (Unix.select [] [] [] 0.02)
+      done;
+      if !disruptions <> [] then
+        err "all tenants finished before %d disruption(s) could fire" (List.length !disruptions);
+      (* ---- final ledger ---- *)
+      let st = stats () in
+      check_stats st;
+      let stat k = Option.value ~default:(-1) (mem_int k st) in
+      let worker_deaths = stat "worker_deaths" in
+      let stall_kills = stat "stall_kills" in
+      let requeues = stat "requeues" in
+      let corruptions = stat "corruptions" in
+      let corrupted =
+        match Json.member "corrupted" st with
+        | Some (Json.Arr l) -> List.filter_map Json.to_int l
+        | _ -> []
+      in
+      info "deaths=%d stalls=%d requeues=%d corruptions=%d rejections=%d" worker_deaths
+        stall_kills requeues corruptions !rejections;
+      if !disruptions = [] then begin
+        if worker_deaths <> c.ch_kills + 1 then
+          err "expected exactly %d worker deaths (%d kills + 1 stall), saw %d" (c.ch_kills + 1)
+            c.ch_kills worker_deaths;
+        if stall_kills <> 1 then err "expected exactly 1 stall kill, saw %d" stall_kills;
+        if requeues < 1 then err "disruptions displaced no tenants (requeues = 0)"
+      end;
+      if requeues > worker_deaths * capacity then
+        err "requeues %d exceed deaths(%d) x capacity(%d)" requeues worker_deaths capacity;
+      if c.ch_kills > 0 && corruptions <> 1 then
+        err "expected exactly 1 injected checkpoint corruption, saw %d" corruptions;
+      if !rejections < 1 then
+        err "over-admission burst was never rejected (capacity %d, tenants %d)" capacity
+          c.ch_tenants;
+      if !best_hint <= 0.0 then err "no positive retry_after_s hint observed";
+      let restart_sum = Array.fold_left (fun a sp -> a + sp.x_restarts) 0 specs in
+      if restart_sum <> requeues then
+        err "per-tenant restart counters sum to %d but supervisor counted %d requeues"
+          restart_sum requeues;
+      (* ---- byte-identity against the undisturbed serial reference ---- *)
+      let resumed_seen = ref 0 in
+      Array.iter
+        (fun sp ->
+          match sp.x_result with
+          | None -> err "tenant %d never finished" sp.x_index
+          | Some r -> (
+              match
+                Service.run_serial ~abi:sp.x_abi ~fuel:sp.x_fuel ~slice:sp.x_slice sp.x_source
+              with
+              | Error e -> err "tenant %d: serial reference failed: %s" sp.x_index e
+              | Ok expect ->
+                  let got_s k = Option.value ~default:"<missing>" (mem_str k r) in
+                  let got_i k = Option.value ~default:(-1) (mem_int k r) in
+                  let fail_field f want got =
+                    err "tenant %d (%s): %s diverged: serial=%s disturbed=%s" sp.x_index
+                      sp.x_abi f want got
+                  in
+                  if got_s "outcome" <> expect.Service.r_outcome then
+                    fail_field "outcome" expect.Service.r_outcome (got_s "outcome");
+                  if got_s "output" <> expect.Service.r_output then
+                    fail_field "output" (String.escaped expect.Service.r_output)
+                      (String.escaped (got_s "output"));
+                  if got_i "cycles" <> expect.Service.r_cycles then
+                    fail_field "cycles" (string_of_int expect.Service.r_cycles)
+                      (string_of_int (got_i "cycles"));
+                  if got_i "instret" <> expect.Service.r_instret then
+                    fail_field "instret" (string_of_int expect.Service.r_instret)
+                      (string_of_int (got_i "instret"));
+                  (* slice-count equality IS the <=1-slice-loss bound:
+                     the counter rides in the checkpoint note, so only
+                     the uncheckpointed in-flight slice can be redone,
+                     and it is counted exactly once either way *)
+                  if got_i "slices" <> expect.Service.r_slices then
+                    fail_field "slices" (string_of_int expect.Service.r_slices)
+                      (string_of_int (got_i "slices"));
+                  if Option.value ~default:false (mem_bool "resumed" r) then incr resumed_seen;
+                  (match sp.x_tid with
+                  | Some tid when List.mem tid corrupted ->
+                      if not (Option.value ~default:false (mem_bool "scratch" r)) then
+                        err
+                          "tenant %d had its checkpoint corrupted but was not restarted from \
+                           scratch"
+                          sp.x_index
+                  | _ -> ())))
+        specs;
+      if worker_deaths > 0 && requeues > corruptions && !resumed_seen = 0 then
+        err "no tenant ever resumed from a checkpoint despite %d requeues" requeues;
+      (* ---- shutdown ---- *)
+      (match Client.request cl (Json.Obj [ ("op", jstr "shutdown") ]) with
+      | Ok _ -> ()
+      | Error e -> err "shutdown request failed: %s" e);
+      Client.close cl;
+      let sdeadline = now () +. 10.0 in
+      let rec reap () =
+        match Unix.waitpid [ Unix.WNOHANG ] srv_pid with
+        | 0, _ ->
+            if now () > sdeadline then err "server did not exit after shutdown"
+            else begin
+              ignore (Unix.select [] [] [] 0.05);
+              reap ()
+            end
+        | _, Unix.WEXITED 0 -> ()
+        | _, status ->
+            err "server exited abnormally: %s"
+              (match status with
+              | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+              | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+              | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n)
+        | exception Unix.Unix_error _ -> ()
+      in
+      reap ();
+      match List.rev !errors with
+      | [] ->
+          Printf.printf
+            "chaos: PASS %d tenants byte-identical through %d worker deaths (%d SIGKILL + %d \
+             stall), %d requeues, %d corrupted checkpoint(s), %d admission rejections\n%!"
+            c.ch_tenants worker_deaths c.ch_kills stall_kills requeues corruptions !rejections;
+          0
+      | es ->
+          List.iter (fun e -> Printf.eprintf "chaos: FAIL %s\n" e) es;
+          Printf.eprintf "chaos: %d assertion(s) failed\n%!" (List.length es);
+          1)
+
+let run c = try run c with Chaos_failure m ->
+  Printf.eprintf "chaos: ABORT %s\n%!" m;
+  1

@@ -1,0 +1,1179 @@
+(* The supervised multi-tenant simulation service.
+
+   Topology: one supervisor process owns a Unix-domain listen socket
+   and N worker processes (spawned via create_process of our own
+   executable with a hidden argv marker, so real SIGKILL kills real
+   processes). Clients speak length-prefixed JSON frames (Protocol);
+   the supervisor admits tenants under a bounded cap (Admission),
+   assigns them to the least-loaded worker, and multiplexes everything
+   — listen socket, client connections, worker event pipes — under one
+   select loop.
+
+   Workers run tenants preemptively on an Exec.Pool.Stream: every
+   slice is [Machine.run ~yield:true] for a bounded fuel budget, and
+   every yield writes a CRC-guarded cheri_snapshot checkpoint
+   (temp+rename) before the tenant re-enters the round-robin queue.
+   The recovery invariant follows: when a worker dies, the supervisor
+   drains its event pipe (completions that made it into the pipe are
+   honored), requeues the remaining tenants, and a respawned worker
+   resumes each one from its last checkpoint — so a crash costs at
+   most the one slice that was in flight, and the snapshot
+   byte-identity guarantee makes the recovered tenant's output /
+   cycles / instret indistinguishable from an undisturbed run. A
+   checkpoint that fails CRC validation (torn by the crash, or
+   damaged on disk) is not an error the tenant sees: the worker
+   restarts it cleanly from slice zero.
+
+   Liveness is the PR 6 heartbeat plane: workers beat a status file
+   every slice (interval-gated), the supervisor probes file age with
+   Obs.Heartbeat.probe each tick, and a stalled-but-alive worker
+   (stuck syscall, SIGSTOP) is SIGKILLed and treated exactly like a
+   crashed one. *)
+
+module Json = Cheri_util.Json
+module Obs = Cheri_obs.Obs
+module Pool = Cheri_exec.Exec.Pool
+module Abi = Cheri_compiler.Abi
+module Codegen = Cheri_compiler.Codegen
+module Machine = Cheri_isa.Machine
+module Snapshot = Cheri_snapshot.Snapshot
+
+let jint n = Json.Num (string_of_int n)
+let jfloat f = if f <> f then Json.Null else Json.Num (Json.number f)
+let jbool b = Json.Bool b
+let jstr s = Json.Str s
+let mem_int k j = Option.bind (Json.member k j) Json.to_int
+let mem_float k j = Option.bind (Json.member k j) Json.to_float
+let mem_str k j = Option.bind (Json.member k j) Json.to_string
+let now = Unix.gettimeofday
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+
+type config = {
+  dir : string;  (** state directory: socket, status files, checkpoints *)
+  socket : string;
+  workers : int;  (** worker processes *)
+  worker_jobs : int;  (** domains per worker *)
+  capacity : int;  (** admission cap on live tenants *)
+  slice : int;  (** default per-slice fuel *)
+  fuel : int;  (** default per-tenant total fuel budget *)
+  heartbeat_s : float;  (** worker heartbeat interval *)
+  tick_s : float;  (** supervisor select timeout / probe period *)
+  retry_base_s : float;  (** admission retry-after hint base *)
+  seed : int;
+  corrupt_requeue : int;
+      (** chaos hook: 0 = off; k = the k-th requeue that has a
+          checkpoint on disk gets that checkpoint damaged first, to
+          prove a bad sidecar means a clean restart, not a crash *)
+}
+
+let default_config ~dir =
+  {
+    dir;
+    socket = Filename.concat dir "serve.sock";
+    workers = 2;
+    worker_jobs = 1;
+    capacity = 64;
+    slice = 100_000;
+    fuel = 200_000_000;
+    heartbeat_s = 0.25;
+    tick_s = 0.05;
+    retry_base_s = 0.05;
+    seed = 0;
+    corrupt_requeue = 0;
+  }
+
+let config_to_json c =
+  Json.encode
+    (Json.Obj
+       [
+         ("dir", jstr c.dir);
+         ("socket", jstr c.socket);
+         ("workers", jint c.workers);
+         ("worker_jobs", jint c.worker_jobs);
+         ("capacity", jint c.capacity);
+         ("slice", jint c.slice);
+         ("fuel", jint c.fuel);
+         ("heartbeat_s", jfloat c.heartbeat_s);
+         ("tick_s", jfloat c.tick_s);
+         ("retry_base_s", jfloat c.retry_base_s);
+         ("seed", jint c.seed);
+         ("corrupt_requeue", jint c.corrupt_requeue);
+       ])
+
+let config_of_json s =
+  match Json.parse s with
+  | Error e -> Error ("config: " ^ e)
+  | Ok j -> (
+      match (mem_str "dir" j, mem_str "socket" j) with
+      | Some dir, Some socket ->
+          let d = default_config ~dir in
+          let i k dflt = Option.value ~default:dflt (mem_int k j) in
+          let f k dflt = Option.value ~default:dflt (mem_float k j) in
+          Ok
+            {
+              dir;
+              socket;
+              workers = i "workers" d.workers;
+              worker_jobs = i "worker_jobs" d.worker_jobs;
+              capacity = i "capacity" d.capacity;
+              slice = i "slice" d.slice;
+              fuel = i "fuel" d.fuel;
+              heartbeat_s = f "heartbeat_s" d.heartbeat_s;
+              tick_s = f "tick_s" d.tick_s;
+              retry_base_s = f "retry_base_s" d.retry_base_s;
+              seed = i "seed" d.seed;
+              corrupt_requeue = i "corrupt_requeue" d.corrupt_requeue;
+            }
+      | _ -> Error "config: missing dir/socket")
+
+type worker_config = { w_dir : string; w_id : int; w_jobs : int; w_heartbeat_s : float }
+
+let worker_config_to_json w =
+  Json.encode
+    (Json.Obj
+       [
+         ("dir", jstr w.w_dir);
+         ("id", jint w.w_id);
+         ("jobs", jint w.w_jobs);
+         ("heartbeat_s", jfloat w.w_heartbeat_s);
+       ])
+
+let worker_config_of_json s =
+  match Json.parse s with
+  | Error e -> Error ("worker config: " ^ e)
+  | Ok j -> (
+      match (mem_str "dir" j, mem_int "id" j, mem_int "jobs" j, mem_float "heartbeat_s" j) with
+      | Some w_dir, Some w_id, Some w_jobs, Some w_heartbeat_s ->
+          Ok { w_dir; w_id; w_jobs; w_heartbeat_s }
+      | _ -> Error "worker config: missing field")
+
+(* ------------------------------------------------------------------ *)
+(* Tenant assignments and results                                      *)
+
+type assignment = {
+  a_tenant : int;
+  a_source : string;
+  a_abi : string;
+  a_fuel : int;
+  a_slice : int;
+  a_deadline_s : float option;
+  a_restarts : int;  (** how many times this tenant has been requeued *)
+}
+
+let assignment_to_json a =
+  Json.Obj
+    [
+      ("op", jstr "run");
+      ("tenant", jint a.a_tenant);
+      ("source", jstr a.a_source);
+      ("abi", jstr a.a_abi);
+      ("fuel", jint a.a_fuel);
+      ("slice", jint a.a_slice);
+      ("deadline_s", match a.a_deadline_s with Some d -> jfloat d | None -> Json.Null);
+      ("restarts", jint a.a_restarts);
+    ]
+
+let assignment_of_json j =
+  match
+    (mem_int "tenant" j, mem_str "source" j, mem_str "abi" j, mem_int "fuel" j, mem_int "slice" j)
+  with
+  | Some a_tenant, Some a_source, Some a_abi, Some a_fuel, Some a_slice ->
+      Ok
+        {
+          a_tenant;
+          a_source;
+          a_abi;
+          a_fuel;
+          a_slice;
+          a_deadline_s = mem_float "deadline_s" j;
+          a_restarts = Option.value ~default:0 (mem_int "restarts" j);
+        }
+  | _ -> Error "assignment: missing field"
+
+type tresult = {
+  r_outcome : string;
+  r_output : string;
+  r_cycles : int;
+  r_instret : int;
+  r_slices : int;
+  r_resumed : bool;  (** resumed from a checkpoint at least once *)
+  r_scratch : bool;  (** a checkpoint load failed; restarted from slice 0 *)
+}
+
+let tresult_fields r =
+  [
+    ("outcome", jstr r.r_outcome);
+    ("output", jstr r.r_output);
+    ("cycles", jint r.r_cycles);
+    ("instret", jint r.r_instret);
+    ("slices", jint r.r_slices);
+    ("resumed", jbool r.r_resumed);
+    ("scratch", jbool r.r_scratch);
+  ]
+
+let tresult_of_json j =
+  match
+    ( mem_str "outcome" j,
+      mem_str "output" j,
+      mem_int "cycles" j,
+      mem_int "instret" j,
+      mem_int "slices" j )
+  with
+  | Some r_outcome, Some r_output, Some r_cycles, Some r_instret, Some r_slices ->
+      Ok
+        {
+          r_outcome;
+          r_output;
+          r_cycles;
+          r_instret;
+          r_slices;
+          r_resumed =
+            Option.value ~default:false (Option.bind (Json.member "resumed" j) Json.to_bool);
+          r_scratch =
+            Option.value ~default:false (Option.bind (Json.member "scratch" j) Json.to_bool);
+        }
+  | _ -> Error "result: missing field"
+
+let outcome_string (o : Machine.outcome) =
+  match o with
+  | Machine.Exit c -> Printf.sprintf "exit:%Ld" c
+  | Machine.Trap { trap; pc } ->
+      Printf.sprintf "trap:%s@pc=%d" (Format.asprintf "%a" Machine.pp_trap trap) pc
+  | Machine.Fuel_exhausted | Machine.Deadline_exceeded -> "fuel_exhausted"
+  | Machine.Yielded -> "yielded"
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints                                                         *)
+
+module Checkpoint = struct
+  let schema = "cheri_c.serve-inflight/v1"
+
+  type meta = {
+    ck_tenant : int;
+    ck_slices : int;
+    ck_wall_s : float;
+    ck_resumed : bool;  (** this lineage has resumed from a checkpoint *)
+    ck_scratch : bool;  (** this lineage has restarted from scratch *)
+  }
+
+  let path ~dir ~tenant =
+    Filename.concat dir (Printf.sprintf "checkpoints/tenant_%04d.snap" tenant)
+
+  (* resumed/scratch ride in the note so they are lineage-cumulative:
+     a tenant that scratch-restarted after a corrupted checkpoint still
+     reports scratch=true even if a later death resumes it cleanly *)
+  let note ~tenant ~slices ~wall_s ~resumed ~scratch =
+    Json.encode
+      (Json.Obj
+         [
+           ("schema", jstr schema);
+           ("tenant", jint tenant);
+           ("slices", jint slices);
+           ("wall_s", jfloat wall_s);
+           ("resumed", jbool resumed);
+           ("scratch", jbool scratch);
+         ])
+
+  let parse_note s =
+    match Json.parse s with
+    | Error e -> Error ("checkpoint note: " ^ e)
+    | Ok j -> (
+        match mem_str "schema" j with
+        | Some sch when sch = schema -> (
+            match (mem_int "tenant" j, mem_int "slices" j, mem_float "wall_s" j) with
+            | Some ck_tenant, Some ck_slices, Some ck_wall_s ->
+                let b k =
+                  Option.value ~default:false (Option.bind (Json.member k j) Json.to_bool)
+                in
+                Ok
+                  {
+                    ck_tenant;
+                    ck_slices;
+                    ck_wall_s;
+                    ck_resumed = b "resumed";
+                    ck_scratch = b "scratch";
+                  }
+            | _ -> Error "checkpoint note: missing field")
+        | Some sch -> Error ("checkpoint note: foreign schema " ^ sch)
+        | None -> Error "checkpoint note: no schema")
+end
+
+(* ------------------------------------------------------------------ *)
+(* The serial reference: the exact slicing loop a worker runs, minus
+   checkpoints, heartbeats and the deadline watchdog. The chaos harness
+   replays every tenant through this after the disturbed run — the
+   byte-identity assertion compares against precisely this code path,
+   including the slice count (so "slices lost to a kill" is observed
+   minus expected, not a guess from instret arithmetic). *)
+
+let run_serial ~abi:abi_key ~fuel ~slice source =
+  match Abi.of_key abi_key with
+  | None -> Error (Printf.sprintf "unknown abi %S" abi_key)
+  | Some abi -> (
+      match Codegen.compile_source abi source with
+      | exception e -> Error (Printexc.to_string e)
+      | linked ->
+          let m = Codegen.machine_for abi linked in
+          let finish ~slices outcome =
+            Ok
+              {
+                r_outcome = outcome;
+                r_output = Machine.output m;
+                r_cycles = Machine.cycles m;
+                r_instret = Machine.instret m;
+                r_slices = slices;
+                r_resumed = false;
+                r_scratch = false;
+              }
+          in
+          let rec go slices =
+            let remaining = fuel - Machine.instret m in
+            if remaining <= 0 then finish ~slices "fuel_exhausted"
+            else
+              match Machine.run ~fuel:(min slice remaining) ~yield:true m with
+              | Machine.Yielded ->
+                  if Machine.instret m >= fuel then finish ~slices:(slices + 1) "fuel_exhausted"
+                  else go (slices + 1)
+              | o -> finish ~slices:(slices + 1) (outcome_string o)
+          in
+          go 0)
+
+(* ------------------------------------------------------------------ *)
+(* Worker process                                                      *)
+
+type tstate = {
+  ts_a : assignment;
+  ts_m : Machine.t;
+  ts_ckpt : string;
+  mutable ts_slices : int;
+  mutable ts_wall : float;
+  mutable ts_resumed : bool;
+  mutable ts_scratch : bool;
+}
+
+let worker_hb_path ~dir ~id =
+  Filename.concat dir (Printf.sprintf "workers/worker_%d.status.json" id)
+
+let worker_main (w : worker_config) =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let hb = Obs.Heartbeat.create ~interval_s:w.w_heartbeat_s ~path:(worker_hb_path ~dir:w.w_dir ~id:w.w_id) () in
+  let slices_done = Atomic.make 0 in
+  let tenants_done = Atomic.make 0 in
+  let payload () =
+    Json.encode
+      (Json.Obj
+         [
+           ("schema", jstr "cheri_c.serve-worker/v1");
+           ("worker", jint w.w_id);
+           ("pid", jint (Unix.getpid ()));
+           ("slices", jint (Atomic.get slices_done));
+           ("done", jint (Atomic.get tenants_done));
+         ])
+  in
+  (* compile cache: tenants often share sources (retries, fleets); the
+     cache is hit from pool domains, hence the mutex *)
+  let cache_mu = Mutex.create () in
+  let cache = Hashtbl.create 16 in
+  let compile_cached abi key source =
+    Mutex.protect cache_mu (fun () ->
+        match Hashtbl.find_opt cache (key, source) with
+        | Some linked -> linked
+        | None ->
+            let linked = Codegen.compile_source abi source in
+            Hashtbl.add cache (key, source) linked;
+            linked)
+  in
+  let init (a : assignment) =
+    let abi =
+      match Abi.of_key a.a_abi with
+      | Some abi -> abi
+      | None -> failwith (Printf.sprintf "unknown abi %S" a.a_abi)
+    in
+    let linked = compile_cached abi a.a_abi a.a_source in
+    let ckpt = Checkpoint.path ~dir:w.w_dir ~tenant:a.a_tenant in
+    let fresh () = Codegen.machine_for abi linked in
+    (* Resume from the last checkpoint when one exists. Every failure
+       mode — unreadable file, CRC mismatch, foreign note, wrong
+       machine — lands in the same place: a clean restart from slice
+       zero on a fresh machine. A damaged sidecar costs recomputation,
+       never correctness and never the worker. *)
+    let resume () =
+      if not (Sys.file_exists ckpt) then None
+      else
+        match Snapshot.load ckpt with
+        | Error _ -> None
+        | Ok img -> (
+            match Checkpoint.parse_note (Snapshot.image_note img) with
+            | Ok ck when ck.Checkpoint.ck_tenant = a.a_tenant -> (
+                let m = fresh () in
+                match Snapshot.restore m ~abi:a.a_abi img with
+                | Ok () -> Some (m, ck)
+                | Error _ -> None)
+            | Ok _ | Error _ -> None)
+    in
+    match resume () with
+    | Some (m, ck) ->
+        {
+          ts_a = a;
+          ts_m = m;
+          ts_ckpt = ckpt;
+          ts_slices = ck.Checkpoint.ck_slices;
+          ts_wall = ck.Checkpoint.ck_wall_s;
+          ts_resumed = true;
+          ts_scratch = ck.Checkpoint.ck_scratch;
+        }
+    | None ->
+        {
+          ts_a = a;
+          ts_m = fresh ();
+          ts_ckpt = ckpt;
+          ts_slices = 0;
+          ts_wall = 0.;
+          ts_resumed = false;
+          ts_scratch = a.a_restarts > 0;
+        }
+  in
+  let finish st outcome =
+    {
+      r_outcome = outcome;
+      r_output = Machine.output st.ts_m;
+      r_cycles = Machine.cycles st.ts_m;
+      r_instret = Machine.instret st.ts_m;
+      r_slices = st.ts_slices;
+      r_resumed = st.ts_resumed;
+      r_scratch = st.ts_scratch;
+    }
+  in
+  let checkpoint st =
+    let note =
+      Checkpoint.note ~tenant:st.ts_a.a_tenant ~slices:st.ts_slices ~wall_s:st.ts_wall
+        ~resumed:st.ts_resumed ~scratch:st.ts_scratch
+    in
+    (* best-effort: a failed save costs a restart-from-scratch later,
+       not the tenant *)
+    match Snapshot.save ~note ~abi:st.ts_a.a_abi ~path:st.ts_ckpt st.ts_m with
+    | Ok _ | Error _ -> ()
+  in
+  let slice_fn st =
+    let a = st.ts_a in
+    let remaining = a.a_fuel - Machine.instret st.ts_m in
+    if remaining <= 0 then Pool.Done (finish st "fuel_exhausted")
+    else begin
+      let t0 = now () in
+      let o = Machine.run ~fuel:(min a.a_slice remaining) ~yield:true st.ts_m in
+      st.ts_wall <- st.ts_wall +. (now () -. t0);
+      st.ts_slices <- st.ts_slices + 1;
+      Atomic.incr slices_done;
+      Obs.Heartbeat.beat hb payload;
+      match o with
+      | Machine.Yielded ->
+          if Machine.instret st.ts_m >= a.a_fuel then Pool.Done (finish st "fuel_exhausted")
+          else if match a.a_deadline_s with Some d -> st.ts_wall > d | None -> false then
+            Pool.Done (finish st "deadline_exceeded")
+          else begin
+            checkpoint st;
+            Pool.Yield st
+          end
+      | o -> Pool.Done (finish st (outcome_string o))
+    end
+  in
+  (* submission index -> assignment, so an init/slice exception (whose
+     cell carries only the index) can still be attributed to a tenant.
+     Registered under the mutex BEFORE submit returns — a fast worker
+     domain may finish the task before submit's caller resumes. *)
+  let tbl_mu = Mutex.create () in
+  let by_index : (int, assignment) Hashtbl.t = Hashtbl.create 16 in
+  let out_frame json = Protocol.write_frame Unix.stdout (Json.encode json) in
+  let on_result (cell : _ Pool.cell) =
+    let a =
+      Mutex.protect tbl_mu (fun () ->
+          let a = Hashtbl.find by_index cell.Pool.index in
+          Hashtbl.remove by_index cell.Pool.index;
+          a)
+    in
+    match cell.Pool.result with
+    | Ok r ->
+        Atomic.incr tenants_done;
+        (* the done event must be on the wire before the checkpoint is
+           removed: if we die in between, the supervisor drains the
+           event at reap time and never requeues; the reverse order
+           could lose the whole tenant *)
+        out_frame (Json.Obj (("event", jstr "done") :: ("tenant", jint a.a_tenant) :: tresult_fields r));
+        let ckpt = Checkpoint.path ~dir:w.w_dir ~tenant:a.a_tenant in
+        (try Sys.remove ckpt with Sys_error _ -> ())
+    | Error e ->
+        out_frame
+          (Json.Obj
+             [
+               ("event", jstr "error");
+               ("tenant", jint a.a_tenant);
+               ("detail", jstr e.Pool.exn);
+             ])
+  in
+  let stream =
+    Pool.Stream.create ~jobs:(max 1 w.w_jobs) ~retries:0 ~init ~slice:slice_fn ~on_result ()
+  in
+  Obs.Heartbeat.force hb payload;
+  let reader = Protocol.Reader.create () in
+  let handle f =
+    match Json.parse f with
+    | Error _ -> exit 3
+    | Ok j -> (
+        match mem_str "op" j with
+        | Some "run" -> (
+            match assignment_of_json j with
+            | Error _ -> exit 3
+            | Ok a ->
+                Mutex.protect tbl_mu (fun () ->
+                    let i = Pool.Stream.submit stream a in
+                    Hashtbl.replace by_index i a);
+                Obs.Heartbeat.beat hb payload)
+        | Some "quit" -> exit 0
+        | _ -> ())
+  in
+  (* The main loop must NOT block in a plain read: an idle worker that
+     stops beating looks exactly like a stalled one, and once the
+     spawn grace expires the supervisor would reap a perfectly healthy
+     process. So: select with a sub-interval timeout and beat on every
+     wakeup (Heartbeat.beat is interval-gated, so the file is written
+     at most once per interval). *)
+  let buf = Bytes.create 65536 in
+  let rec loop () =
+    Obs.Heartbeat.beat hb payload;
+    match Protocol.Reader.next reader with
+    | `Corrupt _ -> exit 0 (* supervisor gone mad: checkpoints carry the work *)
+    | `Frame f ->
+        handle f;
+        loop ()
+    | `Awaiting -> (
+        match Unix.select [ Unix.stdin ] [] [] (w.w_heartbeat_s /. 2.) with
+        | [], _, _ -> loop ()
+        | _ -> (
+            match Unix.read Unix.stdin buf 0 (Bytes.length buf) with
+            | 0 -> exit 0 (* supervisor gone: in-flight work is in the checkpoints *)
+            | n ->
+                Protocol.Reader.feed reader (Bytes.sub_string buf 0 n);
+                loop ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor                                                          *)
+
+let worker_marker = "serve-worker-child"
+let server_marker = "serve-server-child"
+
+type worker = {
+  wk_id : int;
+  mutable wk_pid : int;
+  mutable wk_to : Unix.file_descr;
+  mutable wk_from : Unix.file_descr;
+  mutable wk_reader : Protocol.Reader.t;
+  mutable wk_alive : bool;
+  mutable wk_stalled : bool;  (* stale heartbeat: SIGKILL sent, reap pending *)
+  mutable wk_tenants : int list;
+  mutable wk_spawned : float;
+}
+
+type tstatus = Queued | Running of int | Finished of tresult | Failed of string
+
+type tenant = {
+  t_id : int;
+  t_source : string;
+  t_abi : string;
+  t_fuel : int;
+  t_slice : int;
+  t_deadline_s : float option;
+  mutable t_status : tstatus;
+  mutable t_restarts : int;
+  t_submit_t : float;
+  mutable t_done_t : float;
+}
+
+type client = { c_fd : Unix.file_descr; c_reader : Protocol.Reader.t }
+
+type server = {
+  s_cfg : config;
+  s_adm : Admission.t;
+  s_listen : Unix.file_descr;
+  mutable s_clients : client list;
+  s_tenants : (int, tenant) Hashtbl.t;
+  mutable s_next_tenant : int;
+  s_workers : worker array;
+  s_hb : Obs.Heartbeat.t;
+  s_t0 : float;
+  s_job_seconds : Obs.Histogram.t;
+  mutable s_done : int;
+  mutable s_failed : int;
+  mutable s_requeues : int;
+  mutable s_worker_deaths : int;
+  mutable s_stall_kills : int;
+  mutable s_corruptions : int;
+  mutable s_corrupted : int list;
+  mutable s_corrupt_armed : int;  (* counts down; 0 = fired/disarmed *)
+  mutable s_shutdown : bool;
+}
+
+let counter name = Obs.counter Obs.default ("serve_" ^ name)
+
+let c_admitted = lazy (counter "admitted_total")
+let c_rejected = lazy (counter "rejected_total")
+let c_done = lazy (counter "done_total")
+let c_failed = lazy (counter "failed_total")
+let c_requeues = lazy (counter "requeues_total")
+let c_deaths = lazy (counter "worker_deaths_total")
+let c_stalls = lazy (counter "stall_kills_total")
+let c_corruptions = lazy (counter "corruptions_total")
+let tick c = Obs.Counter.incr (Lazy.force c)
+
+let spawn_worker s (wk : worker) =
+  let cfg = s.s_cfg in
+  (* drop the dead incarnation's status file so staleness never blames
+     the new worker for its predecessor's silence *)
+  (try Sys.remove (worker_hb_path ~dir:cfg.dir ~id:wk.wk_id) with Sys_error _ -> ());
+  let to_r, to_w = Unix.pipe ~cloexec:true () in
+  let from_r, from_w = Unix.pipe ~cloexec:true () in
+  let wcfg =
+    worker_config_to_json
+      { w_dir = cfg.dir; w_id = wk.wk_id; w_jobs = cfg.worker_jobs; w_heartbeat_s = cfg.heartbeat_s }
+  in
+  let pid =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; worker_marker; wcfg |]
+      to_r from_w Unix.stderr
+  in
+  Unix.close to_r;
+  Unix.close from_w;
+  Unix.set_nonblock from_r;
+  wk.wk_pid <- pid;
+  wk.wk_to <- to_w;
+  wk.wk_from <- from_r;
+  wk.wk_reader <- Protocol.Reader.create ();
+  wk.wk_alive <- true;
+  wk.wk_stalled <- false;
+  wk.wk_tenants <- [];
+  wk.wk_spawned <- now ()
+
+let tenant_of_id s tid = Hashtbl.find_opt s.s_tenants tid
+
+let status_fields s =
+  let queued = ref 0 and running = ref 0 in
+  Hashtbl.iter
+    (fun _ t ->
+      match t.t_status with
+      | Queued -> incr queued
+      | Running _ -> incr running
+      | Finished _ | Failed _ -> ())
+    s.s_tenants;
+  [
+    ("schema", jstr "cheri_c.serve-status/v1");
+    ("pid", jint (Unix.getpid ()));
+    ("capacity", jint (Admission.capacity s.s_adm));
+    ("live", jint (Admission.live s.s_adm));
+    ("queued", jint !queued);
+    ("running", jint !running);
+    ("admitted", jint (Admission.admitted s.s_adm));
+    ("rejected", jint (Admission.rejected s.s_adm));
+    ("done", jint s.s_done);
+    ("failed", jint s.s_failed);
+    ("requeues", jint s.s_requeues);
+    ("worker_deaths", jint s.s_worker_deaths);
+    ("stall_kills", jint s.s_stall_kills);
+    ("corruptions", jint s.s_corruptions);
+    ("corrupted", Json.Arr (List.rev_map jint s.s_corrupted));
+    ( "workers",
+      Json.Arr
+        (Array.to_list s.s_workers
+        |> List.map (fun wk ->
+               Json.Obj
+                 [
+                   ("id", jint wk.wk_id);
+                   ("pid", jint wk.wk_pid);
+                   ("alive", jbool wk.wk_alive);
+                   ("tenants", jint (List.length wk.wk_tenants));
+                 ])) );
+    ("elapsed_s", jfloat (now () -. s.s_t0));
+  ]
+
+let status_payload s () = Json.encode (Json.Obj (status_fields s))
+
+(* deterministically damage a checkpoint file in place: flip one bit in
+   the middle so the CRC (or the header) no longer validates *)
+let damage_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let b = Bytes.create n in
+    really_input ic b 0 n;
+    close_in ic;
+    if n = 0 then false
+    else begin
+      let pos = n / 2 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc;
+      true
+    end
+  with Sys_error _ | End_of_file -> false
+
+let requeue s tid =
+  match tenant_of_id s tid with
+  | None -> ()
+  | Some t -> (
+      match t.t_status with
+      | Running _ ->
+          t.t_status <- Queued;
+          t.t_restarts <- t.t_restarts + 1;
+          s.s_requeues <- s.s_requeues + 1;
+          tick c_requeues;
+          (* chaos hook: the k-th requeue that has a checkpoint on disk
+             gets it damaged before any worker can resume from it *)
+          if s.s_corrupt_armed > 0 then begin
+            let ckpt = Checkpoint.path ~dir:s.s_cfg.dir ~tenant:tid in
+            if Sys.file_exists ckpt then begin
+              s.s_corrupt_armed <- s.s_corrupt_armed - 1;
+              if s.s_corrupt_armed = 0 && damage_file ckpt then begin
+                s.s_corruptions <- s.s_corruptions + 1;
+                s.s_corrupted <- tid :: s.s_corrupted;
+                tick c_corruptions
+              end
+            end
+          end
+      | Queued | Finished _ | Failed _ -> ())
+
+let least_loaded s =
+  Array.to_list s.s_workers
+  |> List.filter (fun wk -> wk.wk_alive && not wk.wk_stalled)
+  |> List.fold_left
+       (fun acc wk ->
+         match acc with
+         | None -> Some wk
+         | Some best ->
+             if List.length wk.wk_tenants < List.length best.wk_tenants then Some wk else acc)
+       None
+
+let schedule s =
+  let queued =
+    Hashtbl.fold (fun tid t acc -> match t.t_status with Queued -> (tid, t) :: acc | _ -> acc)
+      s.s_tenants []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (tid, t) ->
+      match least_loaded s with
+      | None -> () (* every worker dead or draining; the tick respawns *)
+      | Some wk -> (
+          let a =
+            {
+              a_tenant = tid;
+              a_source = t.t_source;
+              a_abi = t.t_abi;
+              a_fuel = t.t_fuel;
+              a_slice = t.t_slice;
+              a_deadline_s = t.t_deadline_s;
+              a_restarts = t.t_restarts;
+            }
+          in
+          match Protocol.write_frame wk.wk_to (Json.encode (assignment_to_json a)) with
+          | () ->
+              t.t_status <- Running wk.wk_id;
+              wk.wk_tenants <- tid :: wk.wk_tenants
+          | exception Unix.Unix_error _ ->
+              (* the worker died under us; leave the tenant queued —
+                 the reap pass will recycle the worker and reschedule *)
+              ()))
+    queued
+
+let finish_tenant s wk tid result =
+  match tenant_of_id s tid with
+  | None -> ()
+  | Some t -> (
+      match t.t_status with
+      | Running w when w = wk.wk_id -> (
+          wk.wk_tenants <- List.filter (fun x -> x <> tid) wk.wk_tenants;
+          t.t_done_t <- now ();
+          Obs.Histogram.observe s.s_job_seconds (t.t_done_t -. t.t_submit_t);
+          Admission.release s.s_adm;
+          match result with
+          | Ok r ->
+              t.t_status <- Finished r;
+              s.s_done <- s.s_done + 1;
+              tick c_done
+          | Error detail ->
+              t.t_status <- Failed detail;
+              s.s_failed <- s.s_failed + 1;
+              tick c_failed)
+      | _ -> () (* late event from a drained pipe for a reassigned tenant *))
+
+let handle_worker_frame s wk frame =
+  match Json.parse frame with
+  | Error _ -> ()
+  | Ok j -> (
+      match (mem_str "event" j, mem_int "tenant" j) with
+      | Some "done", Some tid -> (
+          match tresult_of_json j with
+          | Ok r -> finish_tenant s wk tid (Ok r)
+          | Error e -> finish_tenant s wk tid (Error e))
+      | Some "error", Some tid ->
+          finish_tenant s wk tid
+            (Error (Option.value ~default:"worker error" (mem_str "detail" j)))
+      | _ -> ())
+
+let drain_worker_frames s wk =
+  let rec go () =
+    match Protocol.Reader.next wk.wk_reader with
+    | `Frame f ->
+        handle_worker_frame s wk f;
+        go ()
+    | `Awaiting | `Corrupt _ -> ()
+  in
+  go ()
+
+(* read whatever the worker pipe holds right now; [`Eof] once the
+   write end is gone (worker dead and buffer drained) *)
+let pump_worker s wk =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match Unix.read wk.wk_from buf 0 (Bytes.length buf) with
+    | 0 -> `Eof
+    | n ->
+        Protocol.Reader.feed wk.wk_reader (Bytes.sub_string buf 0 n);
+        go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> `Open
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (_, _, _) -> `Eof
+  in
+  let state = go () in
+  drain_worker_frames s wk;
+  state
+
+let on_worker_death s wk =
+  wk.wk_alive <- false;
+  s.s_worker_deaths <- s.s_worker_deaths + 1;
+  tick c_deaths;
+  (* completions that reached the pipe before the crash are honored
+     first — only tenants with no buffered done event are requeued,
+     which is what bounds the loss at one in-flight slice *)
+  let rec drain_to_eof () = match pump_worker s wk with `Eof -> () | `Open -> drain_to_eof () in
+  drain_to_eof ();
+  (try Unix.close wk.wk_from with Unix.Unix_error _ -> ());
+  (try Unix.close wk.wk_to with Unix.Unix_error _ -> ());
+  let orphans = List.rev wk.wk_tenants in
+  wk.wk_tenants <- [];
+  List.iter (requeue s) orphans;
+  spawn_worker s wk;
+  schedule s
+
+let reap_workers s =
+  Array.iter
+    (fun wk ->
+      if wk.wk_alive then
+        match Unix.waitpid [ Unix.WNOHANG ] wk.wk_pid with
+        | 0, _ -> ()
+        | _, _ -> on_worker_death s wk
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) -> on_worker_death s wk)
+    s.s_workers
+
+let probe_workers s =
+  let t_now = now () in
+  Array.iter
+    (fun wk ->
+      (* spawn grace: a fresh worker owns the status-file path of its
+         dead predecessor until its own first heartbeat lands; probing
+         inside the grace would read the old incarnation's mtime and
+         kill-loop the slot *)
+      if
+        wk.wk_alive
+        && (not wk.wk_stalled)
+        && wk.wk_tenants <> []
+        && t_now -. wk.wk_spawned > (2. *. s.s_cfg.heartbeat_s) +. 1.0
+      then begin
+        let stale =
+          match
+            Obs.Heartbeat.probe ~now:t_now ~interval_s:s.s_cfg.heartbeat_s
+              (worker_hb_path ~dir:s.s_cfg.dir ~id:wk.wk_id)
+          with
+          | `Stale _ -> true
+          | `Missing -> t_now -. wk.wk_spawned > (2. *. s.s_cfg.heartbeat_s) +. 1.0
+          | `Fresh -> false
+        in
+        if stale then begin
+          (* stalled but alive (stuck syscall, SIGSTOP): reap it like a
+             crash — its tenants resume from checkpoints elsewhere *)
+          wk.wk_stalled <- true;
+          s.s_stall_kills <- s.s_stall_kills + 1;
+          tick c_stalls;
+          try Unix.kill wk.wk_pid Sys.sigkill with Unix.Unix_error _ -> ()
+        end
+      end)
+    s.s_workers
+
+(* ---------- client requests ---------- *)
+
+let reply_to client json =
+  try
+    Protocol.write_frame client.c_fd (Json.encode json);
+    true
+  with Unix.Unix_error _ -> false
+
+let err ?(extra = []) code = Json.Obj ((("ok", jbool false) :: ("error", jstr code) :: extra))
+
+let handle_submit s j =
+  match mem_str "source" j with
+  | None -> err "bad_request" ~extra:[ ("detail", jstr "missing source") ]
+  | Some source -> (
+      let abi = Option.value ~default:"CHERIv3" (mem_str "abi" j) in
+      match Abi.of_key abi with
+      | None -> err "bad_request" ~extra:[ ("detail", jstr (Printf.sprintf "unknown abi %S" abi)) ]
+      | Some a -> (
+          let fuel = Option.value ~default:s.s_cfg.fuel (mem_int "fuel" j) in
+          let slice = Option.value ~default:s.s_cfg.slice (mem_int "slice" j) in
+          if fuel < 1 || slice < 1 then
+            err "bad_request" ~extra:[ ("detail", jstr "fuel and slice must be >= 1") ]
+          else
+            match Admission.request s.s_adm with
+            | Admission.Reject { retry_after_s } ->
+                tick c_rejected;
+                err "overloaded" ~extra:[ ("retry_after_s", jfloat retry_after_s) ]
+            | Admission.Admit ->
+                tick c_admitted;
+                let tid = s.s_next_tenant in
+                s.s_next_tenant <- tid + 1;
+                Hashtbl.replace s.s_tenants tid
+                  {
+                    t_id = tid;
+                    t_source = source;
+                    t_abi = Abi.name a;
+                    t_fuel = fuel;
+                    t_slice = slice;
+                    t_deadline_s = mem_float "deadline_s" j;
+                    t_status = Queued;
+                    t_restarts = 0;
+                    t_submit_t = now ();
+                    t_done_t = 0.;
+                  };
+                schedule s;
+                Json.Obj [ ("ok", jbool true); ("tenant", jint tid) ]))
+
+let handle_poll s j =
+  match mem_int "tenant" j with
+  | None -> err "bad_request" ~extra:[ ("detail", jstr "missing tenant") ]
+  | Some tid -> (
+      match tenant_of_id s tid with
+      | None -> err "unknown_tenant"
+      | Some t ->
+          let base = [ ("ok", jbool true); ("tenant", jint tid) ] in
+          let state, extra =
+            match t.t_status with
+            | Queued -> ("queued", [])
+            | Running w -> ("running", [ ("worker", jint w) ])
+            | Finished r ->
+                ( "done",
+                  [
+                    ( "result",
+                      Json.Obj (tresult_fields r @ [ ("restarts", jint t.t_restarts) ]) );
+                  ] )
+            | Failed d -> ("failed", [ ("detail", jstr d) ])
+          in
+          Json.Obj (base @ [ ("state", jstr state) ] @ extra))
+
+let handle_request s req =
+  match Json.parse req with
+  | Error e -> err "bad_request" ~extra:[ ("detail", jstr ("unparseable request: " ^ e)) ]
+  | Ok j -> (
+      match mem_str "op" j with
+      | Some "submit" -> handle_submit s j
+      | Some "poll" -> handle_poll s j
+      | Some "stats" -> Json.Obj (("ok", jbool true) :: status_fields s)
+      | Some "metrics" ->
+          Json.Obj
+            [ ("ok", jbool true); ("metrics", jstr (Obs.to_prometheus Obs.default)) ]
+      | Some "shutdown" ->
+          s.s_shutdown <- true;
+          Json.Obj [ ("ok", jbool true); ("shutting_down", jbool true) ]
+      | Some op -> err "bad_request" ~extra:[ ("detail", jstr ("unknown op " ^ op)) ]
+      | None -> err "bad_request" ~extra:[ ("detail", jstr "missing op") ])
+
+let drop_client s client =
+  (try Unix.close client.c_fd with Unix.Unix_error _ -> ());
+  s.s_clients <- List.filter (fun c -> c.c_fd <> client.c_fd) s.s_clients
+
+let pump_client s client =
+  let buf = Bytes.create 65536 in
+  match Unix.read client.c_fd buf 0 (Bytes.length buf) with
+  | 0 -> drop_client s client
+  | n ->
+      Protocol.Reader.feed client.c_reader (Bytes.sub_string buf 0 n);
+      let rec frames () =
+        match Protocol.Reader.next client.c_reader with
+        | `Frame f ->
+            if reply_to client (handle_request s f) then frames () else drop_client s client
+        | `Awaiting -> ()
+        | `Corrupt m ->
+            ignore (reply_to client (err "bad_request" ~extra:[ ("detail", jstr m) ]));
+            drop_client s client
+      in
+      frames ()
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> drop_client s client
+
+let accept_client s =
+  match Unix.accept s.s_listen with
+  | fd, _ -> s.s_clients <- { c_fd = fd; c_reader = Protocol.Reader.create () } :: s.s_clients
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+
+let shutdown_workers s =
+  Array.iter
+    (fun wk ->
+      if wk.wk_alive then (
+        (try Protocol.write_frame wk.wk_to (Json.encode (Json.Obj [ ("op", jstr "quit") ]))
+         with Unix.Unix_error _ -> ());
+        try Unix.close wk.wk_to with Unix.Unix_error _ -> ()))
+    s.s_workers;
+  let deadline = now () +. 2.0 in
+  let rec wait_all () =
+    let pending =
+      Array.to_list s.s_workers
+      |> List.filter (fun wk ->
+             wk.wk_alive
+             &&
+             match Unix.waitpid [ Unix.WNOHANG ] wk.wk_pid with
+             | 0, _ -> true
+             | _, _ -> false
+             | exception Unix.Unix_error _ -> false)
+    in
+    if pending <> [] then
+      if now () > deadline then
+        List.iter
+          (fun wk ->
+            (try Unix.kill wk.wk_pid Sys.sigkill with Unix.Unix_error _ -> ());
+            try ignore (Unix.waitpid [] wk.wk_pid) with Unix.Unix_error _ -> ())
+          pending
+      else begin
+        ignore (Unix.select [] [] [] 0.05);
+        wait_all ()
+      end
+  in
+  wait_all ();
+  Array.iter
+    (fun wk -> try Unix.close wk.wk_from with Unix.Unix_error _ -> ())
+    s.s_workers
+
+let server_main (cfg : config) =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  mkdir_p cfg.dir;
+  mkdir_p (Filename.concat cfg.dir "workers");
+  mkdir_p (Filename.concat cfg.dir "checkpoints");
+  (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+  let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen (Unix.ADDR_UNIX cfg.socket);
+  Unix.listen listen 64;
+  let s =
+    {
+      s_cfg = cfg;
+      s_adm =
+        Admission.create ~seed:cfg.seed ~retry_base_s:cfg.retry_base_s ~capacity:cfg.capacity ();
+      s_listen = listen;
+      s_clients = [];
+      s_tenants = Hashtbl.create 64;
+      s_next_tenant = 0;
+      s_workers =
+        Array.init (max 1 cfg.workers) (fun i ->
+            {
+              wk_id = i;
+              wk_pid = -1;
+              wk_to = Unix.stderr;
+              wk_from = Unix.stderr;
+              wk_reader = Protocol.Reader.create ();
+              wk_alive = false;
+              wk_stalled = false;
+              wk_tenants = [];
+              wk_spawned = 0.;
+            });
+      s_hb = Obs.Heartbeat.create ~interval_s:1.0 ~path:(Filename.concat cfg.dir "status.json") ();
+      s_t0 = now ();
+      s_job_seconds = Obs.histogram Obs.default "serve_job_seconds";
+      s_done = 0;
+      s_failed = 0;
+      s_requeues = 0;
+      s_worker_deaths = 0;
+      s_stall_kills = 0;
+      s_corruptions = 0;
+      s_corrupted = [];
+      s_corrupt_armed = cfg.corrupt_requeue;
+      s_shutdown = false;
+    }
+  in
+  Array.iter (fun wk -> spawn_worker s wk) s.s_workers;
+  Obs.Heartbeat.force s.s_hb (status_payload s);
+  let rec loop () =
+    if not s.s_shutdown then begin
+      let worker_fds =
+        Array.to_list s.s_workers
+        |> List.filter_map (fun wk -> if wk.wk_alive then Some wk.wk_from else None)
+      in
+      let client_fds = List.map (fun c -> c.c_fd) s.s_clients in
+      let readable, _, _ =
+        match Unix.select ((s.s_listen :: worker_fds) @ client_fds) [] [] cfg.tick_s with
+        | r -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        | exception Unix.Unix_error (Unix.EBADF, _, _) -> ([], [], [])
+      in
+      List.iter
+        (fun fd ->
+          if fd = s.s_listen then accept_client s
+          else
+            match Array.to_list s.s_workers |> List.find_opt (fun wk -> wk.wk_alive && wk.wk_from = fd) with
+            | Some wk -> ignore (pump_worker s wk : [ `Eof | `Open ])
+            | None -> (
+                match List.find_opt (fun c -> c.c_fd = fd) s.s_clients with
+                | Some c -> pump_client s c
+                | None -> ()))
+        readable;
+      reap_workers s;
+      probe_workers s;
+      schedule s;
+      Obs.Heartbeat.beat s.s_hb (status_payload s);
+      loop ()
+    end
+  in
+  loop ();
+  Obs.Heartbeat.force s.s_hb (status_payload s);
+  shutdown_workers s;
+  List.iter (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ()) s.s_clients;
+  (try Unix.close s.s_listen with Unix.Unix_error _ -> ());
+  try Unix.unlink cfg.socket with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Child dispatch                                                      *)
+
+(* Host binaries (cheri-serve, bench/main) call this before their own
+   argument parsing: a process re-executed with a marker in argv[1] is
+   a service child, not a CLI invocation. *)
+let child_dispatch () =
+  if Array.length Sys.argv >= 3 then
+    if Sys.argv.(1) = worker_marker then
+      match worker_config_of_json Sys.argv.(2) with
+      | Ok w -> worker_main w
+      | Error e ->
+          prerr_endline ("serve worker child: " ^ e);
+          exit 2
+    else if Sys.argv.(1) = server_marker then
+      match config_of_json Sys.argv.(2) with
+      | Ok cfg ->
+          server_main cfg;
+          exit 0
+      | Error e ->
+          prerr_endline ("serve server child: " ^ e);
+          exit 2

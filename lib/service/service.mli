@@ -1,0 +1,121 @@
+(** The supervised multi-tenant simulation service.
+
+    One supervisor process owns a Unix-domain socket and a fleet of
+    worker {e processes} (children of the host binary, re-executed with
+    a hidden argv marker — so chaos testing can deliver real SIGKILL).
+    Tenants are admitted under a bounded cap ({!Admission}), scheduled
+    preemptively on each worker's {!Cheri_exec.Exec.Pool.Stream} in
+    fuel-bounded slices, and checkpointed to disk with
+    {!Cheri_snapshot.Snapshot} at every yield.
+
+    Recovery invariant: a worker death (crash, SIGKILL, or a stalled
+    heartbeat answered with SIGKILL) costs each of its tenants at most
+    the one slice that was in flight; everything up to the last
+    checkpoint is resumed byte-identically (output, cycles, instret).
+    A checkpoint that fails validation — torn write, damaged sidecar —
+    demotes to a clean restart from slice zero, never an error. *)
+
+(** {1 Configuration} *)
+
+type config = {
+  dir : string;  (** state directory: socket, status files, checkpoints *)
+  socket : string;
+  workers : int;  (** worker processes *)
+  worker_jobs : int;  (** pool domains per worker *)
+  capacity : int;  (** admission cap on live tenants *)
+  slice : int;  (** default per-slice fuel *)
+  fuel : int;  (** default per-tenant total fuel budget *)
+  heartbeat_s : float;  (** worker heartbeat interval; stale after 2x *)
+  tick_s : float;  (** supervisor select timeout / probe period *)
+  retry_base_s : float;  (** admission retry-after hint base *)
+  seed : int;
+  corrupt_requeue : int;
+      (** chaos hook: 0 = off; [k] = the [k]-th requeued tenant that
+          has a checkpoint on disk gets that checkpoint damaged before
+          any worker can resume from it *)
+}
+
+val default_config : dir:string -> config
+(** 2 workers x 1 domain, capacity 64, 100k-instruction slices, 200M
+    fuel, 0.25 s heartbeats, 50 ms ticks. *)
+
+val config_to_json : config -> string
+val config_of_json : string -> (config, string) result
+
+(** {1 Wire types} (exposed for the chaos harness and tests) *)
+
+type assignment = {
+  a_tenant : int;
+  a_source : string;
+  a_abi : string;
+  a_fuel : int;
+  a_slice : int;
+  a_deadline_s : float option;
+  a_restarts : int;
+}
+
+val assignment_to_json : assignment -> Cheri_util.Json.t
+val assignment_of_json : Cheri_util.Json.t -> (assignment, string) result
+
+type tresult = {
+  r_outcome : string;
+      (** ["exit:N"], ["trap:...@pc=N"], ["fuel_exhausted"], or
+          ["deadline_exceeded"] *)
+  r_output : string;
+  r_cycles : int;
+  r_instret : int;
+  r_slices : int;
+  r_resumed : bool;  (** resumed from a checkpoint at least once *)
+  r_scratch : bool;  (** a checkpoint load failed; restarted from slice 0 *)
+}
+
+val tresult_fields : tresult -> (string * Cheri_util.Json.t) list
+val tresult_of_json : Cheri_util.Json.t -> (tresult, string) result
+
+(** {1 Checkpoint sidecars} *)
+
+module Checkpoint : sig
+  val schema : string
+  (** ["cheri_c.serve-inflight/v1"] — the snapshot note schema. *)
+
+  type meta = {
+    ck_tenant : int;
+    ck_slices : int;
+    ck_wall_s : float;
+    ck_resumed : bool;  (** lineage-cumulative: ever resumed *)
+    ck_scratch : bool;  (** lineage-cumulative: ever restarted clean *)
+  }
+
+  val path : dir:string -> tenant:int -> string
+
+  val note :
+    tenant:int -> slices:int -> wall_s:float -> resumed:bool -> scratch:bool -> string
+  (** The JSON note embedded in a tenant checkpoint. *)
+
+  val parse_note : string -> (meta, string) result
+  (** Rejects foreign schemas. *)
+end
+
+(** {1 Reference execution} *)
+
+val run_serial :
+  abi:string -> fuel:int -> slice:int -> string -> (tresult, string) result
+(** Run a source in-process through the {e same} fuel-sliced loop a
+    worker uses (minus checkpoints and heartbeats). The chaos harness
+    compares every disturbed tenant against this — byte-identical
+    output/cycles/instret and an exact expected slice count. *)
+
+(** {1 Process entry points} *)
+
+val worker_marker : string
+val server_marker : string
+
+val child_dispatch : unit -> unit
+(** Call this {e first} in the main of any binary that hosts the
+    service (before CLI parsing): if [argv.(1)] is {!worker_marker} or
+    {!server_marker}, the process runs as that service child on the
+    JSON config in [argv.(2)] and never returns. *)
+
+val server_main : config -> unit
+(** Run the supervisor in this process: bind the socket, spawn
+    workers, serve until a [shutdown] request. *)

@@ -442,17 +442,30 @@ let load path =
       let n = String.length contents in
       let ml = String.length magic in
       if n < ml then
-        if n > 0 && String.sub magic 0 n = contents then
-          (* a prefix of our own magic: written by us, cut short *)
-          Error (Truncated "file ends inside the format magic")
+        if String.sub magic 0 n = contents then
+          (* a prefix of our own magic — or nothing at all: written by
+             us, cut short. The offset tells the operator exactly how
+             short (a 0-byte file is a crash before the first write hit
+             the disk, a 20-byte one died mid-rename-source). *)
+          Error
+            (Truncated
+               (Printf.sprintf "file ends inside the format magic at byte %d of %d" n ml))
         else Error (Version_mismatch { found = first_line contents })
       else if String.sub contents 0 ml <> magic then
         Error (Version_mismatch { found = first_line contents })
-      else if n < ml + 4 then Error (Truncated "file ends before the header length")
+      else if n < ml + 4 then
+        Error
+          (Truncated
+             (Printf.sprintf "file ends before the header length at byte %d of %d" n (ml + 4)))
       else
         let hlen = Int32.to_int (String.get_int32_le contents ml) in
-        if hlen < 0 || ml + 4 + hlen + 4 > n then
-          Error (Truncated "file ends inside the header")
+        if hlen < 0 then
+          Error (Truncated (Printf.sprintf "header length field is negative (%d)" hlen))
+        else if ml + 4 + hlen + 4 > n then
+          Error
+            (Truncated
+               (Printf.sprintf "file ends inside the header at byte %d of %d" n
+                  (ml + 4 + hlen + 4)))
         else
           match Json.parse (String.sub contents (ml + 4) hlen) with
           | Error why ->

@@ -2,6 +2,7 @@
    isolation, and the fuzz shrinker property it exists to serve. *)
 
 module Pool = Cheri_exec.Exec.Pool
+module Obs = Cheri_obs.Obs
 module Gen = Cheri_fuzz.Gen
 module Shrink = Cheri_fuzz.Shrink
 module Campaign = Cheri_fuzz.Campaign
@@ -269,6 +270,63 @@ let test_shrink_candidates_strictly_smaller () =
 
 (* -- generator/campaign glue ---------------------------------------------------- *)
 
+(* -- dynamic stream ----------------------------------------------------------- *)
+
+let test_stream_matches_map_sliced () =
+  let obs = Obs.create () in
+  let results = ref [] in
+  (* on_result is already serialized by the stream; no lock needed *)
+  let on_result (c : _ Pool.cell) = results := c :: !results in
+  let st =
+    Pool.Stream.create ~jobs:4 ~obs ~init:sliced_init ~slice:sliced_slice ~on_result ()
+  in
+  let tasks = List.init 23 (fun i -> i) in
+  List.iteri
+    (fun i n -> check_int "submit returns the submission index" i (Pool.Stream.submit st n))
+    tasks;
+  Pool.Stream.close st;
+  check_int "close drains everything" 0 (Pool.Stream.live st);
+  let flat = Pool.map ~jobs:1 work tasks in
+  let got =
+    List.sort (fun (a : _ Pool.cell) b -> compare a.Pool.index b.Pool.index) !results
+  in
+  check_bool "stream results equal map results, keyed by submission index" true
+    (strip got = strip flat);
+  List.iter
+    (fun (c : _ Pool.cell) ->
+      check_int "slice invocations counted" (1 + (c.Pool.index mod 3)) c.Pool.slices)
+    got;
+  (* every Yield is one requeue: with 1 + (i mod 3) slices per task the
+     requeue count is exactly the sum of (i mod 3) *)
+  let requeues = List.fold_left (fun a (c : _ Pool.cell) -> a + (c.Pool.slices - 1)) 0 got in
+  check_int "pool_requeues_total counts every yield" requeues
+    (Obs.Counter.value (Obs.counter obs "pool_requeues_total"));
+  check_int "no retries on a clean run" 0
+    (Obs.Counter.value (Obs.counter obs "pool_retries_total"));
+  check_bool "submit after close refused" true
+    (try
+       ignore (Pool.Stream.submit st 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_retry_and_requeue_counters () =
+  let obs = Obs.create () in
+  let attempts = Array.make 6 0 in
+  (* distinct indices are touched by distinct tasks, so plain mutation
+     is race-free even across domains *)
+  let flaky i =
+    attempts.(i) <- attempts.(i) + 1;
+    if attempts.(i) = 1 && i mod 2 = 0 then failwith "transient";
+    work i
+  in
+  let cells = Pool.map ~jobs:2 ~retries:1 ~backoff_s:0.001 ~obs flaky (List.init 6 (fun i -> i)) in
+  check_bool "transients absorbed" true
+    (List.for_all (fun (c : _ Pool.cell) -> Result.is_ok c.Pool.result) cells);
+  check_int "pool_retries_total ticks once per retry decision" 3
+    (Obs.Counter.value (Obs.counter obs "pool_retries_total"));
+  check_int "map never requeues" 0
+    (Obs.Counter.value (Obs.counter obs "pool_requeues_total"))
+
 let test_gen_render_deterministic () =
   List.iter
     (fun seed ->
@@ -317,6 +375,10 @@ let suite =
       test_map_sliced_retry_exhausted;
     Alcotest.test_case "map_sliced init failure is isolated" `Quick
       test_map_sliced_init_failure_isolated;
+    Alcotest.test_case "stream matches map_sliced + requeue counter" `Quick
+      test_stream_matches_map_sliced;
+    Alcotest.test_case "retry/requeue counters on private registry" `Quick
+      test_retry_and_requeue_counters;
     Alcotest.test_case "generator is deterministic" `Quick test_gen_render_deterministic;
     Alcotest.test_case "shrink candidates strictly smaller" `Quick
       test_shrink_candidates_strictly_smaller;

@@ -23,4 +23,5 @@ let () =
       ("properties", Test_props.suite);
       ("perf_equiv", Test_perf_equiv.suite);
       ("obs", Test_obs.suite);
+      ("service", Test_service.suite);
     ]

@@ -285,6 +285,40 @@ let test_heartbeat_interval () =
   check_string "force writes regardless" "forced" (read ());
   Sys.remove path
 
+let test_heartbeat_staleness () =
+  let interval = 0.5 in
+  let stale ~now ~mtime =
+    match Obs.Heartbeat.staleness ~interval_s:interval ~now ~mtime with
+    | `Stale _ -> true
+    | `Fresh -> false
+  in
+  check_bool "just written is fresh" false (stale ~now:100.0 ~mtime:100.0);
+  check_bool "one interval old is fresh" false (stale ~now:100.5 ~mtime:100.0);
+  (* the supervisor's probe contract: exactly 2x the interval is still
+     fresh — a beat that lands at the wire is not a death sentence *)
+  check_bool "exactly 2x interval is still fresh" false (stale ~now:101.0 ~mtime:100.0);
+  check_bool "just beyond 2x interval is stale" true (stale ~now:101.0001 ~mtime:100.0);
+  (match Obs.Heartbeat.staleness ~interval_s:interval ~now:103.0 ~mtime:100.0 with
+  | `Stale age -> check_float "staleness reports the age" 3.0 age
+  | `Fresh -> Alcotest.fail "3s-old file under a 0.5s interval must be stale");
+  (* clock skew: a writer on a faster clock produces an mtime in the
+     probe's future; a negative age must read as fresh, never stale *)
+  check_bool "future mtime (clock skew) is fresh" false (stale ~now:100.0 ~mtime:105.0)
+
+let test_heartbeat_probe () =
+  let path = Filename.temp_file "obs_probe" ".json" in
+  let missing = path ^ ".does-not-exist" in
+  check_bool "missing file probes `Missing" true
+    (Obs.Heartbeat.probe ~interval_s:1.0 missing = `Missing);
+  let mtime = (Unix.stat path).Unix.st_mtime in
+  check_bool "fresh file probes `Fresh" true
+    (Obs.Heartbeat.probe ~now:mtime ~interval_s:1.0 path = `Fresh);
+  check_bool "aged file probes `Stale" true
+    (match Obs.Heartbeat.probe ~now:(mtime +. 2.5) ~interval_s:1.0 path with
+    | `Stale _ -> true
+    | `Fresh | `Missing -> false);
+  Sys.remove path
+
 let test_status_json () =
   let j =
     parse_ok "status"
@@ -389,6 +423,9 @@ let suite =
     Alcotest.test_case "prometheus export line-valid" `Quick test_prometheus_roundtrip;
     Alcotest.test_case "heartbeat atomic write" `Quick test_heartbeat_atomic_write;
     Alcotest.test_case "heartbeat interval + force" `Quick test_heartbeat_interval;
+    Alcotest.test_case "heartbeat staleness boundaries + clock skew" `Quick
+      test_heartbeat_staleness;
+    Alcotest.test_case "heartbeat probe on real files" `Quick test_heartbeat_probe;
     Alcotest.test_case "status payload" `Quick test_status_json;
     Alcotest.test_case "compare thresholds" `Quick test_compare_thresholds;
     Alcotest.test_case "compare missing cells + mismatches" `Quick

@@ -1,0 +1,192 @@
+(* The multi-tenant service's pure pieces: wire framing, admission
+   control, and the checkpoint/config/assignment JSON round trips. The
+   process-level behavior (worker SIGKILL, heartbeat reaping,
+   checkpoint corruption) is covered by the cheri-serve --chaos rule
+   in bin/dune. *)
+
+module Protocol = Cheri_service.Protocol
+module Admission = Cheri_service.Admission
+module Service = Cheri_service.Service
+module Json = Cheri_util.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* -- protocol framing --------------------------------------------------------- *)
+
+let test_frame_roundtrip () =
+  let payloads = [ ""; "x"; "{\"op\":\"submit\"}"; String.make 100_000 'z'; "a\nb\nc\n" ] in
+  let r = Protocol.Reader.create () in
+  List.iter (fun p -> Protocol.Reader.feed r (Protocol.encode p)) payloads;
+  List.iter
+    (fun p ->
+      match Protocol.Reader.next r with
+      | `Frame got -> check_string "frame payload survives" p got
+      | `Awaiting -> Alcotest.fail "complete frame reported as awaiting"
+      | `Corrupt m -> Alcotest.failf "valid frame reported corrupt: %s" m)
+    payloads;
+  check_bool "drained reader awaits" true (Protocol.Reader.next r = `Awaiting)
+
+let test_frame_split_feeds () =
+  (* bytes arriving one at a time across reads must reassemble *)
+  let p = "{\"op\":\"poll\",\"tenant\":3}" in
+  let framed = Protocol.encode p in
+  let r = Protocol.Reader.create () in
+  String.iter
+    (fun c ->
+      check_bool "no frame before the last byte" true (Protocol.Reader.next r = `Awaiting);
+      Protocol.Reader.feed r (String.make 1 c))
+    (String.sub framed 0 (String.length framed - 1));
+  Protocol.Reader.feed r (String.make 1 framed.[String.length framed - 1]);
+  check_bool "frame completes on the last byte" true (Protocol.Reader.next r = `Frame p)
+
+let test_frame_corrupt_header () =
+  let r = Protocol.Reader.create () in
+  Protocol.Reader.feed r "not a hex header, definitely";
+  (match Protocol.Reader.next r with
+  | `Corrupt _ -> ()
+  | `Frame _ | `Awaiting -> Alcotest.fail "garbage header must read as corrupt");
+  (* a torn header (shorter than 9 bytes) is awaiting, not corrupt:
+     that is what a SIGKILLed writer's last frame looks like *)
+  let r2 = Protocol.Reader.create () in
+  Protocol.Reader.feed r2 "0000";
+  check_bool "torn header awaits" true (Protocol.Reader.next r2 = `Awaiting)
+
+let test_frame_oversize_refused () =
+  let r = Protocol.Reader.create () in
+  Protocol.Reader.feed r "7fffffff\n";
+  match Protocol.Reader.next r with
+  | `Corrupt m -> check_bool "mentions the limit" true (String.length m > 0)
+  | `Frame _ | `Awaiting -> Alcotest.fail "a 2 GiB length must be refused, not buffered"
+
+(* -- admission control -------------------------------------------------------- *)
+
+let test_admission_capacity () =
+  let a = Admission.create ~capacity:3 () in
+  let admits = List.init 3 (fun _ -> Admission.request a) in
+  check_bool "under capacity admits" true
+    (List.for_all (function Admission.Admit -> true | _ -> false) admits);
+  check_int "live tracks admits" 3 (Admission.live a);
+  (match Admission.request a with
+  | Admission.Admit -> Alcotest.fail "fourth tenant admitted over a capacity of 3"
+  | Admission.Reject { retry_after_s } ->
+      check_bool "hint is positive" true (retry_after_s > 0.0));
+  check_int "rejection does not take a slot" 3 (Admission.live a);
+  Admission.release a;
+  (match Admission.request a with
+  | Admission.Admit -> ()
+  | Admission.Reject _ -> Alcotest.fail "freed slot not readmitted");
+  check_int "admitted total" 4 (Admission.admitted a);
+  check_int "rejected total" 1 (Admission.rejected a)
+
+let test_admission_hints_stretch_and_reset () =
+  let hints seed =
+    let a = Admission.create ~seed ~capacity:1 () in
+    ignore (Admission.request a);
+    List.init 6 (fun _ ->
+        match Admission.request a with
+        | Admission.Reject { retry_after_s } -> retry_after_s
+        | Admission.Admit -> Alcotest.fail "admitted over capacity")
+  in
+  let h = hints 7 in
+  check_bool "hints grow under a sustained rejection streak" true
+    (List.nth h 5 > List.nth h 0);
+  check_bool "hints are reproducible for a seed" true (hints 7 = h);
+  check_bool "hints de-synchronize across seeds" true (hints 8 <> h);
+  (* an admit resets the streak: the next rejection snaps back *)
+  let a = Admission.create ~seed:7 ~capacity:1 () in
+  ignore (Admission.request a);
+  let first =
+    match Admission.request a with
+    | Admission.Reject { retry_after_s } -> retry_after_s
+    | Admission.Admit -> Alcotest.fail "admitted over capacity"
+  in
+  for _ = 1 to 5 do ignore (Admission.request a) done;
+  Admission.release a;
+  ignore (Admission.request a) (* admit: resets the streak *);
+  let after_reset =
+    match Admission.request a with
+    | Admission.Reject { retry_after_s } -> retry_after_s
+    | Admission.Admit -> Alcotest.fail "admitted over capacity"
+  in
+  check_bool "streak resets after an admit" true (after_reset = first)
+
+(* -- wire round trips --------------------------------------------------------- *)
+
+let test_config_roundtrip () =
+  let c =
+    {
+      (Service.default_config ~dir:"/tmp/x") with
+      Service.workers = 5;
+      capacity = 9;
+      heartbeat_s = 0.125;
+      corrupt_requeue = 2;
+    }
+  in
+  match Service.config_of_json (Service.config_to_json c) with
+  | Error e -> Alcotest.failf "config round trip: %s" e
+  | Ok c' -> check_bool "config survives the JSON round trip" true (c = c')
+
+let test_assignment_roundtrip () =
+  let a =
+    {
+      Service.a_tenant = 12;
+      a_source = "int main(void) { return 0; }\n";
+      a_abi = "CHERIv3";
+      a_fuel = 1_000_000;
+      a_slice = 10_000;
+      a_deadline_s = Some 2.5;
+      a_restarts = 3;
+    }
+  in
+  match Service.assignment_of_json (Service.assignment_to_json a) with
+  | Error e -> Alcotest.failf "assignment round trip: %s" e
+  | Ok a' -> check_bool "assignment survives the JSON round trip" true (a = a')
+
+let test_checkpoint_note () =
+  let note = Service.Checkpoint.note ~tenant:7 ~slices:42 ~wall_s:1.5 ~resumed:true ~scratch:false in
+  (match Service.Checkpoint.parse_note note with
+  | Error e -> Alcotest.failf "note round trip: %s" e
+  | Ok ck ->
+      check_int "tenant" 7 ck.Service.Checkpoint.ck_tenant;
+      check_int "slices" 42 ck.Service.Checkpoint.ck_slices;
+      check_bool "resumed flag is lineage-cumulative" true ck.Service.Checkpoint.ck_resumed;
+      check_bool "scratch flag" false ck.Service.Checkpoint.ck_scratch);
+  (* a foreign note schema must be refused, not misread *)
+  match Service.Checkpoint.parse_note "{\"schema\":\"cheri_c.status/v1\",\"tenant\":7}" with
+  | Ok _ -> Alcotest.fail "foreign schema accepted as a checkpoint note"
+  | Error e -> check_bool "error names the schema" true (String.length e > 0)
+
+let test_run_serial_slicing_invariant () =
+  (* the serial reference counts one slice per Machine.run call; the
+     slice count must be a pure function of (source, fuel, slice) *)
+  let src = "int main(void) { long a = 0; for (long i = 0; i < 5000; i++) { a = a + i; } print_int(a); return 0; }" in
+  match
+    ( Service.run_serial ~abi:"cheriv3" ~fuel:10_000_000 ~slice:5_000 src,
+      Service.run_serial ~abi:"cheriv3" ~fuel:10_000_000 ~slice:5_000 src )
+  with
+  | Ok a, Ok b ->
+      check_bool "serial reference is deterministic" true (a = b);
+      check_bool "terminates with an exit outcome" true
+        (String.length a.Service.r_outcome >= 5
+        && String.sub a.Service.r_outcome 0 5 = "exit:");
+      check_bool "multiple slices at a 5k-fuel slice" true (a.Service.r_slices > 1);
+      check_bool "output captured" true (String.length a.Service.r_output > 0)
+  | Error e, _ | _, Error e -> Alcotest.failf "run_serial failed: %s" e
+
+let suite =
+  [
+    Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame reassembly from split reads" `Quick test_frame_split_feeds;
+    Alcotest.test_case "corrupt / torn headers" `Quick test_frame_corrupt_header;
+    Alcotest.test_case "oversize frame refused" `Quick test_frame_oversize_refused;
+    Alcotest.test_case "admission capacity + release" `Quick test_admission_capacity;
+    Alcotest.test_case "admission hints stretch, reset, reproduce" `Quick
+      test_admission_hints_stretch_and_reset;
+    Alcotest.test_case "config JSON round trip" `Quick test_config_roundtrip;
+    Alcotest.test_case "assignment JSON round trip" `Quick test_assignment_roundtrip;
+    Alcotest.test_case "checkpoint note schema" `Quick test_checkpoint_note;
+    Alcotest.test_case "run_serial deterministic slicing" `Quick
+      test_run_serial_slicing_invariant;
+  ]

@@ -170,6 +170,49 @@ let test_refused_images () =
         (Snapshot.load (path ^ ".does-not-exist"))
         (function Snapshot.Io _ -> true | _ -> false))
 
+(* Truncation inside the fixed-size prelude (magic, header length) must
+   report [Truncated] with the byte offset — these are exactly the
+   shapes a crash-during-save or a torn copy leaves behind, and the
+   supervisor's recovery path keys on the error class. *)
+let test_truncated_header_offsets () =
+  let contains hay sub =
+    let n = String.length sub and m = String.length hay in
+    let rec go i = i + n <= m && (String.sub hay i n = sub || go (i + 1)) in
+    go 0
+  in
+  let abi = Abi.(Cheri Cheri_core.Cap_ops.V3) in
+  with_temp (fun path ->
+      let m = preempt_at abi ~at:5_000 in
+      ignore (save_exn ~abi:(Abi.name abi) ~path m);
+      let ic = open_in_bin path in
+      let good = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let write_variant contents =
+        let oc = open_out_bin path in
+        output_string oc contents;
+        close_out oc
+      in
+      let expect_truncated what frag =
+        expect_error what (Snapshot.load path) (function
+          | Snapshot.Truncated msg -> contains msg frag
+          | _ -> false)
+      in
+      (* a zero-byte file: the crash came before the first write *)
+      write_variant "";
+      expect_truncated "empty file" "at byte 0";
+      (* cut mid-magic *)
+      write_variant (String.sub good 0 3);
+      expect_truncated "mid-magic" "inside the format magic at byte 3";
+      (* magic intact, header-length word cut *)
+      write_variant (String.sub good 0 (String.length "cheri_c.snap/v1\n" + 2));
+      expect_truncated "cut header length" "before the header length";
+      (* sub-magic-length bytes that are NOT a magic prefix are a
+         foreign file, not our truncation *)
+      write_variant "xy";
+      expect_error "short alien" (Snapshot.load path) (function
+        | Snapshot.Version_mismatch _ -> true
+        | _ -> false))
+
 let test_mismatch_leaves_machine_untouched () =
   let v3 = Abi.(Cheri Cheri_core.Cap_ops.V3) in
   with_temp (fun path ->
@@ -234,6 +277,8 @@ let suite =
       test_save_restore_roundtrip;
     Alcotest.test_case "damaged images refused with structured errors" `Quick
       test_refused_images;
+    Alcotest.test_case "truncated prelude reports byte offsets" `Quick
+      test_truncated_header_offsets;
     Alcotest.test_case "mismatched restore refused, machine untouched" `Quick
       test_mismatch_leaves_machine_untouched;
     Alcotest.test_case "deadline sampled at syscall boundaries" `Quick
