@@ -38,6 +38,14 @@
                                  recovery time after a worker SIGKILL
                                  (default FILE: [serve_output_file];
                                  measure with --profile release)
+     bench/main.exe serve --shards [N] [--quick] [FILE]
+                                 sharded-fleet variant against a real
+                                 router over N >= 3 supervisor shards:
+                                 sustained jobs/s with p50/p99, recovery
+                                 after a whole-shard SIGKILL, and drain /
+                                 migration latency percentiles over
+                                 repeated admin drain+rebalance cycles
+                                 (default FILE: [serve_fleet_output_file])
      bench/main.exe smoke        fast telemetry-overhead assertions (runs
                                  under dune runtest)
      bench/main.exe compare [--threshold P] [--quick] OLD.json NEW.json
@@ -955,6 +963,301 @@ let bench_serve ~quick path =
       close_out oc;
       Format.fprintf ppf "wrote %s (2 measurements)@." path)
 
+(* -- sharded-fleet service benchmark (serve --shards) -------------------------- *)
+
+let serve_fleet_output_file = "BENCH_PR10.json"
+
+(* Same shape as [bench_serve] but against a router fleet: phase 1
+   measures sustained throughput and client-observed latency across
+   the shards, phase 2 SIGKILLs a whole shard (supervisor + workers)
+   and times recovery as kill -> first completion carrying a nonzero
+   migration lineage, phase 3 runs repeated admin drain + rebalance
+   cycles under load and reports drain latency (drain request ->
+   manifest absorbed) and per-tenant migration latency (drain request
+   -> tenant observed running on a surviving shard, or done)
+   percentiles. The drain/migration cells are new to the
+   cheri_c.serve-bench family; compare ignores cells absent from the
+   OLD file, so BENCH_PR8 -> BENCH_PR10 gates only the shared
+   sustained/recovery metrics. *)
+let bench_serve_fleet ~quick ~shards path =
+  let module Service = Cheri_service.Service in
+  let module Router = Cheri_service.Router in
+  let module Chaos = Cheri_service.Chaos in
+  let shards = max 3 shards in
+  section
+    (Printf.sprintf "Sharded fleet service (serve --shards %d%s)" shards
+       (if quick then " --quick, test scales" else ", default scales"));
+  if Build_profile.profile <> "release" then
+    Format.fprintf ppf
+      "WARNING: built with the %s profile — sustained throughput and latency@.\
+      \ are pessimistic. Re-run with `dune exec --profile release@.\
+      \ bench/main.exe -- serve --shards` for the numbers a release build gets.@."
+      Build_profile.profile;
+  let mem_int k j = Option.bind (Json.member k j) Json.to_int in
+  let mem_bool k j = Option.bind (Json.member k j) Json.to_bool in
+  let mem_str k j = Option.bind (Json.member k j) Json.to_string in
+  let now = Unix.gettimeofday in
+  let dir = Printf.sprintf "/tmp/cheri-fleet-bench-%d" (Unix.getpid ()) in
+  Chaos.rm_rf dir;
+  let tenants = if quick then 8 else 18 in
+  let recovery_batch = if quick then 6 else 10 in
+  let drain_cycles = if quick then 3 else 6 in
+  let rcfg =
+    {
+      (Router.default_rconfig ~dir) with
+      Router.r_shards = shards;
+      r_workers = 1;
+      r_worker_jobs = 1;
+      r_capacity = (tenants + recovery_batch) * 2;
+      r_slice = 50_000;
+      r_fuel = 50_000_000;
+      r_heartbeat_s = 0.25;
+      r_status_s = 0.25;
+      r_tick_s = 0.02;
+      r_take_s = 0.05;
+      r_seed = 1;
+    }
+  in
+  let rt_pid = Chaos.Client.spawn_router rcfg in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill rt_pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] rt_pid) with Unix.Unix_error _ -> ());
+      Chaos.rm_rf dir)
+    (fun () ->
+      if not (Chaos.Client.wait_socket rcfg.Router.r_socket ~timeout_s:15.0) then
+        failwith "fleet bench: router socket never came up";
+      let cl = Chaos.Client.connect rcfg.Router.r_socket in
+      let request j =
+        match Chaos.Client.request cl j with
+        | Ok r -> r
+        | Error e -> failwith ("fleet bench: request failed: " ^ e)
+      in
+      let submit ~seed i =
+        let r =
+          request
+            (Json.Obj
+               [
+                 ("op", Json.Str "submit");
+                 ("source", Json.Str (Chaos.tenant_source ~seed ~index:i));
+                 ("abi", Json.Str [| "mips"; "cheriv2"; "cheriv3" |].(i mod 3));
+                 ("fuel", Json.Num (string_of_int rcfg.Router.r_fuel));
+                 ("slice", Json.Num (string_of_int rcfg.Router.r_slice));
+               ])
+        in
+        match mem_int "tenant" r with
+        | Some tid -> tid
+        | None -> failwith ("fleet bench: submit rejected: " ^ Json.encode r)
+      in
+      let poll tid =
+        request (Json.Obj [ ("op", Json.Str "poll"); ("tenant", Json.Num (string_of_int tid)) ])
+      in
+      let stats () = request (Json.Obj [ ("op", Json.Str "stats") ]) in
+      let shard_rows st =
+        match Json.member "shards" st with Some (Json.Arr rows) -> rows | _ -> []
+      in
+      (* busiest shard that is up, admitting and holding work *)
+      let busiest_shard st =
+        List.fold_left
+          (fun acc row ->
+            match
+              ( mem_int "id" row,
+                mem_int "pid" row,
+                mem_bool "alive" row,
+                mem_bool "draining" row,
+                mem_bool "held" row,
+                mem_int "tenants" row )
+            with
+            | Some id, Some pid, Some true, Some false, Some false, Some n when n >= 1 -> (
+                match acc with Some (_, _, bn) when bn >= n -> acc | _ -> Some (id, pid, n))
+            | _ -> acc)
+          None (shard_rows st)
+      in
+      (* phase 1: sustained throughput + client-observed latency *)
+      let t0 = now () in
+      let batch1 = Array.init tenants (fun i -> (submit ~seed:1 i, ref None)) in
+      let deadline = now () +. 300.0 in
+      while Array.exists (fun (_, r) -> !r = None) batch1 do
+        if now () > deadline then failwith "fleet bench: sustained phase timed out";
+        Array.iter
+          (fun (tid, r) ->
+            if !r = None then
+              let p = poll tid in
+              match mem_str "state" p with
+              | Some "done" -> r := Some (now () -. t0)
+              | Some "failed" -> failwith ("fleet bench: tenant failed: " ^ Json.encode p)
+              | _ -> ())
+          batch1;
+        ignore (Unix.select [] [] [] 0.005)
+      done;
+      let wall = now () -. t0 in
+      let lats =
+        Array.to_list batch1 |> List.filter_map (fun (_, r) -> Option.map (fun x -> x *. 1000.) !r)
+      in
+      let jobs_per_s = float_of_int tenants /. wall in
+      let p50_ms = Obs.quantile_of lats 0.5 in
+      let p99_ms = Obs.quantile_of lats 0.99 in
+      Format.fprintf ppf
+        "sustained: %d tenants over %d shards in %.2fs — %.2f jobs/s, p50 %.0f ms, p99 %.0f ms@."
+        tenants shards wall jobs_per_s p50_ms p99_ms;
+      (* phase 2: SIGKILL the busiest whole shard mid-batch; recovery is
+         kill -> first completion that carries a migration lineage *)
+      let batch2 = Array.init recovery_batch (fun i -> (submit ~seed:77 (1000 + i), ref None)) in
+      let done2 () = Array.fold_left (fun a (_, r) -> if !r = None then a else a + 1) 0 batch2 in
+      let killed = ref false in
+      let t_kill = ref 0.0 in
+      let recovery_ms = ref None in
+      let deadline = now () +. 300.0 in
+      while Array.exists (fun (_, r) -> !r = None) batch2 do
+        if now () > deadline then failwith "fleet bench: recovery phase timed out";
+        (if (not !killed) && done2 () >= recovery_batch / 4 then
+           match busiest_shard (stats ()) with
+           | Some (_, pid, _) ->
+               (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+               t_kill := now ();
+               killed := true
+           | None -> ());
+        Array.iter
+          (fun (tid, r) ->
+            if !r = None then
+              let p = poll tid in
+              match mem_str "state" p with
+              | Some "done" ->
+                  r := Some (now ());
+                  let migrations =
+                    Option.value ~default:0
+                      (Option.bind (Json.member "result" p) (mem_int "migrations"))
+                  in
+                  if !killed && !recovery_ms = None && migrations >= 1 then
+                    recovery_ms := Some ((now () -. !t_kill) *. 1000.)
+              | Some "failed" -> failwith ("fleet bench: tenant failed: " ^ Json.encode p)
+              | _ -> ())
+          batch2;
+        ignore (Unix.select [] [] [] 0.005)
+      done;
+      let recovery_ms =
+        match !recovery_ms with
+        | Some r -> r
+        | None ->
+            (* the killed shard held no tenant that outlived it *)
+            if !killed then (now () -. !t_kill) *. 1000. else 0.0
+      in
+      Format.fprintf ppf "recovery: first migrated tenant completed %.0f ms after shard SIGKILL@."
+        recovery_ms;
+      (* phase 3: drain + rebalance cycles under load; drain latency is
+         drain request -> drains counter bump (the shard's manifest was
+         absorbed), migration latency is drain request -> each parked
+         tenant observed off the drained shard *)
+      let drain_samples = ref [] in
+      let mig_samples = ref [] in
+      let cycle = ref 0 in
+      let next_gid = ref 2000 in
+      let deadline = now () +. 300.0 in
+      while !cycle < drain_cycles && now () < deadline do
+        incr cycle;
+        let batch =
+          Array.init 4 (fun _ ->
+              incr next_gid;
+              submit ~seed:9 !next_gid)
+        in
+        (* wait until one shard actually holds work, then drain it *)
+        let victim = ref None in
+        let spin_deadline = now () +. 30.0 in
+        while !victim = None && now () < spin_deadline do
+          (match busiest_shard (stats ()) with
+          | Some (id, _, _) -> victim := Some id
+          | None -> ());
+          if !victim = None then ignore (Unix.select [] [] [] 0.005)
+        done;
+        match !victim with
+        | None -> () (* the batch drained before any shard was observed busy *)
+        | Some k ->
+            let on_k =
+              Array.to_list batch
+              |> List.filter (fun tid ->
+                     let p = poll tid in
+                     mem_str "state" p = Some "running" && mem_int "shard" p = Some k)
+            in
+            let drains_before =
+              Option.value ~default:0 (mem_int "drains" (stats ()))
+            in
+            let t_drain = now () in
+            let r = request (Json.Obj [ ("op", Json.Str "drain"); ("shard", Json.Num (string_of_int k)) ]) in
+            if mem_bool "ok" r <> Some true then
+              failwith ("fleet bench: drain rejected: " ^ Json.encode r);
+            let drained = ref false in
+            while (not !drained) && now () < deadline do
+              if Option.value ~default:0 (mem_int "drains" (stats ())) > drains_before then
+                drained := true
+              else ignore (Unix.select [] [] [] 0.005)
+            done;
+            if !drained then drain_samples := ((now () -. t_drain) *. 1000.) :: !drain_samples;
+            (* each tenant that was parked: time until it left shard k *)
+            List.iter
+              (fun tid ->
+                let moved = ref false in
+                while (not !moved) && now () < deadline do
+                  let p = poll tid in
+                  match (mem_str "state" p, mem_int "shard" p) with
+                  | Some "done", _ | Some "running", Some _ when mem_int "shard" p <> Some k ->
+                      moved := true;
+                      mig_samples := ((now () -. t_drain) *. 1000.) :: !mig_samples
+                  | Some "failed", _ -> failwith ("fleet bench: tenant failed: " ^ Json.encode p)
+                  | _ -> ignore (Unix.select [] [] [] 0.005)
+                done)
+              on_k;
+            (* revive the held slot so the next cycle has a full fleet *)
+            let r = request (Json.Obj [ ("op", Json.Str "rebalance") ]) in
+            if mem_bool "ok" r <> Some true then
+              failwith ("fleet bench: rebalance rejected: " ^ Json.encode r);
+            let revived = ref false in
+            while (not !revived) && now () < deadline do
+              let alive k' =
+                List.exists
+                  (fun row -> mem_int "id" row = Some k' && mem_bool "alive" row = Some true)
+                  (shard_rows (stats ()))
+              in
+              if alive k then revived := true else ignore (Unix.select [] [] [] 0.01)
+            done
+      done;
+      let drain_p50 = Obs.quantile_of !drain_samples 0.5 in
+      let drain_p99 = Obs.quantile_of !drain_samples 0.99 in
+      let mig_p50 = Obs.quantile_of !mig_samples 0.5 in
+      let mig_p99 = Obs.quantile_of !mig_samples 0.99 in
+      Format.fprintf ppf
+        "drain: %d cycles — p50 %.0f ms, p99 %.0f ms; migration: %d tenants — p50 %.0f ms, p99 %.0f \
+         ms@."
+        (List.length !drain_samples) drain_p50 drain_p99 (List.length !mig_samples) mig_p50 mig_p99;
+      ignore (request (Json.Obj [ ("op", Json.Str "shutdown") ]));
+      Chaos.Client.close cl;
+      let body =
+        Printf.sprintf
+          "{\n\
+          \  \"schema\": \"cheri_c.serve-bench/v1\",\n\
+          \  \"profile\": \"%s\",\n\
+          \  \"quick\": %b,\n\
+          \  \"shards\": %d,\n\
+          \  \"workers\": %d,\n\
+          \  \"results\": [\n\
+          \    {\"workload\":\"sustained\",\"tenants\":%d,\"jobs_per_s\":%.3f,\"p50_ms\":%.1f,\"p99_ms\":%.1f},\n\
+          \    {\"workload\":\"recovery\",\"tenants\":%d,\"recovery_ms\":%.1f},\n\
+          \    {\"workload\":\"drain\",\"cycles\":%d,\"p50_ms\":%.1f,\"p99_ms\":%.1f},\n\
+          \    {\"workload\":\"migration\",\"samples\":%d,\"p50_ms\":%.1f,\"p99_ms\":%.1f}\n\
+          \  ]\n\
+           }\n"
+          (Json.escape Build_profile.profile)
+          quick shards rcfg.Router.r_workers tenants jobs_per_s p50_ms p99_ms recovery_batch
+          recovery_ms
+          (List.length !drain_samples)
+          drain_p50 drain_p99
+          (List.length !mig_samples)
+          mig_p50 mig_p99
+      in
+      let oc = open_out path in
+      output_string oc body;
+      close_out oc;
+      Format.fprintf ppf "wrote %s (4 measurements)@." path)
+
 (* -- telemetry overhead smoke checks (smoke subcommand) ------------------------ *)
 
 (* A short program with real memory traffic for the overhead check. *)
@@ -1211,9 +1514,10 @@ let all () =
 
 let () =
   (* a process re-executed with a service marker in argv is a serve
-     worker/supervisor child (bench serve spawns them), never a
+     worker/supervisor/router child (bench serve spawns them), never a
      benchmark invocation *)
   Cheri_service.Service.child_dispatch ();
+  Cheri_service.Router.child_dispatch ();
   (* split --jobs/-j N out of argv; what remains is JOB [FILE] *)
   let rec split_jobs = function
     | ("--jobs" | "-j") :: v :: rest -> (
@@ -1271,12 +1575,29 @@ let () =
      | "serve" ->
          let rest = List.tl positional in
          let quick = List.mem "--quick" rest in
+         (* serve --shards [N]: the sharded-fleet variant (N defaults
+            to 3 when omitted, e.g. `serve --shards --quick`) *)
+         let rec split_shards = function
+           | "--shards" :: v :: rest' when int_of_string_opt v <> None ->
+               let _, rest'' = split_shards rest' in
+               (Some (int_of_string v), rest'')
+           | "--shards" :: rest' ->
+               let sh, rest'' = split_shards rest' in
+               (Some (Option.value ~default:3 sh), rest'')
+           | x :: rest' ->
+               let sh, rest'' = split_shards rest' in
+               (sh, x :: rest'')
+           | [] -> (None, [])
+         in
+         let shards, rest = split_shards rest in
          let path =
            match List.filter (fun s -> s <> "--quick") rest with
            | f :: _ -> f
-           | [] -> serve_output_file
+           | [] -> ( match shards with Some _ -> serve_fleet_output_file | None -> serve_output_file)
          in
-         bench_serve ~quick path
+         (match shards with
+         | Some n -> bench_serve_fleet ~quick ~shards:n path
+         | None -> bench_serve ~quick path)
      | other ->
          Format.eprintf "unknown job %s@." other;
          exit 2

@@ -74,10 +74,14 @@ module Pool = struct
      come back staggered instead of in lockstep. The function is pure
      in (seed, task, attempt), so a retry schedule is reproducible and
      testable without sleeping. *)
-  let backoff_duration ~base_s ~seed ~task ~attempt =
+  let backoff_duration ?cap_s ~base_s ~seed ~task ~attempt () =
     if base_s <= 0. || attempt < 1 then 0.
     else begin
-      let cap = 64. *. base_s in
+      let cap =
+        match cap_s with
+        | Some c when c > 0. -> Float.max base_s c
+        | _ -> 64. *. base_s
+      in
       let prev = ref base_s in
       for a = 1 to attempt do
         let u = unit_float ~seed ~task ~attempt:a in
@@ -144,7 +148,9 @@ module Pool = struct
           (* transient-fault hypothesis: give the host a staggered
              moment before retrying *)
           Obs.Counter.incr pm.pm_retry_events;
-          let pause = backoff_duration ~base_s:backoff_s ~seed:backoff_seed ~task:i ~attempt:k in
+          let pause =
+            backoff_duration ~base_s:backoff_s ~seed:backoff_seed ~task:i ~attempt:k ()
+          in
           if pause > 0. then Unix.sleepf pause;
           go (k + 1)
     in
@@ -264,7 +270,7 @@ module Pool = struct
         Obs.Counter.incr pm.pm_retry_events;
         let pause =
           backoff_duration ~base_s:backoff_s ~seed:backoff_seed ~task:job.j_index
-            ~attempt:job.j_attempts
+            ~attempt:job.j_attempts ()
         in
         if pause > 0. then Unix.sleepf pause;
         job.j_attempts <- job.j_attempts + 1;

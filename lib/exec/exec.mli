@@ -31,12 +31,18 @@ module Pool : sig
   (** [Unix.gettimeofday]; exposed for callers that time around a map. *)
 
   val backoff_duration :
-    base_s:float -> seed:int -> task:int -> attempt:int -> float
+    ?cap_s:float -> base_s:float -> seed:int -> task:int -> attempt:int -> unit -> float
   (** The pause taken before retry [attempt] (1-based) of [task]:
       decorrelated jitter, each pause uniform in [\[base_s, 3 x previous\]]
-      and capped at [64 x base_s]. Pure in its arguments, so a retry
-      schedule is reproducible across runs and testable without
-      sleeping. Returns 0 when [base_s <= 0]. *)
+      and capped at [cap_s] (default [64 x base_s]; a non-positive
+      [cap_s] falls back to the default, and a [cap_s] below [base_s]
+      clamps to [base_s]). The cap is an explicit contract, not an
+      artifact of the curve: no (seed, task, attempt) can quote a pause
+      above it, so a caller that surfaces these pauses as client-facing
+      retry-after hints can bound the worst hint it will ever emit.
+      Pure in its arguments, so a retry schedule is reproducible across
+      runs and testable without sleeping. Returns 0 when
+      [base_s <= 0]. *)
 
   val map :
     ?jobs:int ->

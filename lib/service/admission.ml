@@ -7,10 +7,17 @@
    decorrelated-jitter schedule (Exec.Pool.backoff_duration) keyed by
    the run of consecutive rejections: the first rejected client is told
    to come back in ~base seconds, and under sustained overload the
-   hints stretch (capped at 64x base) and de-synchronize — a thundering
-   herd of rejected clients is re-spread instead of re-colliding. An
-   admit resets the streak: once capacity frees up, hints snap back to
-   the base.
+   hints stretch (capped — see [hint_cap_s]) and de-synchronize — a
+   thundering herd of rejected clients is re-spread instead of
+   re-colliding. An admit resets the streak: once capacity frees up,
+   hints snap back to the base.
+
+   Capacity is dynamic: a sharded fleet shrinks it when a shard drains
+   or dies ([set_capacity]), so the rejection rate — and through the
+   streak, the hints — scales with fleet-wide pressure rather than any
+   single shard's. Shrinking below the current live count is legal:
+   nothing is evicted, but no one new is admitted until enough live
+   tenants finish.
 
    The state machine is tiny and single-threaded by design (the
    supervisor loop is the only caller); keeping it pure of I/O makes
@@ -19,7 +26,7 @@
 type decision = Admit | Reject of { retry_after_s : float }
 
 type t = {
-  capacity : int;
+  mutable capacity : int;
   retry_base_s : float;
   seed : int;
   mutable live : int;
@@ -28,9 +35,21 @@ type t = {
   mutable rejected : int;
 }
 
+(* The worst retry-after hint a client can ever be quoted. The jitter
+   curve's own cap is 64x the base, which for a service-scale base
+   (seconds, not the pool's default 50 ms) quotes multi-minute pauses
+   under a sustained rejection storm — long past the point where the
+   fleet has probably recovered. 30 s keeps rejected clients coming
+   back often enough to find freed capacity. *)
+let hint_cap_s = 30.
+
 let create ?(seed = 0) ?(retry_base_s = 0.05) ~capacity () =
   if capacity < 1 then invalid_arg "Admission.create: capacity must be >= 1";
   { capacity; retry_base_s; seed; live = 0; streak = 0; admitted = 0; rejected = 0 }
+
+let set_capacity t capacity =
+  if capacity < 1 then invalid_arg "Admission.set_capacity: capacity must be >= 1";
+  t.capacity <- capacity
 
 let request t =
   if t.live < t.capacity then begin
@@ -45,13 +64,22 @@ let request t =
     (* cap the attempt index so the hint saturates instead of the
        backoff loop doing unbounded work under a rejection storm *)
     let attempt = min t.streak 8 in
+    (* the final Float.min enforces the ceiling even when the
+       configured base itself exceeds it (backoff_duration's cap
+       clamps no lower than its base) *)
     Reject
       {
         retry_after_s =
-          Cheri_exec.Exec.Pool.backoff_duration ~base_s:t.retry_base_s ~seed:t.seed ~task:0
-            ~attempt;
+          Float.min hint_cap_s
+            (Cheri_exec.Exec.Pool.backoff_duration ~cap_s:hint_cap_s ~base_s:t.retry_base_s
+               ~seed:t.seed ~task:0 ~attempt ());
       }
   end
+
+let admit_forced t =
+  t.live <- t.live + 1;
+  t.streak <- 0;
+  t.admitted <- t.admitted + 1
 
 let release t = if t.live > 0 then t.live <- t.live - 1
 let live t = t.live

@@ -3,19 +3,36 @@
     decorrelated-jitter retry-after hint ({!Cheri_exec.Exec.Pool.backoff_duration}
     keyed by the consecutive-rejection streak, so hints stretch and
     de-synchronize under sustained overload and snap back to the base
-    after the next admit). Single-threaded: the supervisor loop is the
-    only caller. *)
+    after the next admit — never exceeding {!hint_cap_s}). Capacity is
+    dynamic ({!set_capacity}): a sharded fleet shrinks it as shards
+    drain or die, so hints track fleet-wide pressure. Single-threaded:
+    the supervisor loop is the only caller. *)
 
 type t
 
 type decision = Admit | Reject of { retry_after_s : float }
 
+val hint_cap_s : float
+(** 30 s: the ceiling on every [retry_after_s] hint, whatever the
+    base and however long the rejection streak. *)
+
 val create : ?seed:int -> ?retry_base_s:float -> capacity:int -> unit -> t
 (** [retry_base_s] defaults to 0.05 s. Raises [Invalid_argument] when
     [capacity < 1]. *)
 
+val set_capacity : t -> int -> unit
+(** Re-point the cap (fleet grew or shrank). Shrinking below the
+    current live count evicts nothing — it only blocks new admits
+    until enough live tenants finish. Raises [Invalid_argument] when
+    the new capacity is [< 1]. *)
+
 val request : t -> decision
 (** Decide one submission; [Admit] takes a live slot. *)
+
+val admit_forced : t -> unit
+(** Take a live slot unconditionally, even over capacity — for work
+    that predates the cap (orphaned checkpoints recovered at startup)
+    and must not be dropped. Resets the rejection streak. *)
 
 val release : t -> unit
 (** Return a live slot (tenant finished or failed). *)

@@ -54,6 +54,11 @@ module Client = struct
       [| Sys.executable_name; Service.server_marker; Service.config_to_json cfg |]
       Unix.stdin Unix.stdout Unix.stderr
 
+  let spawn_router rcfg =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; Router.router_marker; Router.rconfig_to_json rcfg |]
+      Unix.stdin Unix.stdout Unix.stderr
+
   let connect path =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     (try Unix.connect fd (Unix.ADDR_UNIX path)
@@ -492,4 +497,390 @@ let run (c : cfg) =
 
 let run c = try run c with Chaos_failure m ->
   Printf.eprintf "chaos: ABORT %s\n%!" m;
+  1
+
+(* ------------------------------------------------------------------ *)
+(* Fleet harness: shard-level faults against the router                *)
+
+(* The shard-level analog of [run]: a >=3-shard fleet (each shard a
+   full supervisor with its own worker pool) is driven through one
+   whole-shard SIGSTOP (the router must detect the stale shard
+   heartbeat and SIGKILL it), one direct SIGTERM drain under load (the
+   shard parks every tenant, writes its manifest, exits 0), one
+   whole-shard SIGKILL, and one admin drain + rebalance over the wire.
+   Every displaced tenant must migrate — resume on a surviving shard
+   from its checkpoint — and finish byte-identical to the serial
+   reference, and the migration ledger must balance exactly: the sum
+   of migration counters reported by finished tenants equals the
+   migrations the router says it performed. Finally the router itself
+   is SIGTERMed and must exit 0 leaving a fleet manifest. *)
+
+type fleet_cfg = {
+  f_tenants : int;
+  f_shards : int;
+  f_workers : int;  (* per shard *)
+  f_seed : int;
+  f_slice : int;
+  f_keep : bool;
+  f_verbose : bool;
+}
+
+let fleet_default =
+  {
+    f_tenants = 15;
+    f_shards = 3;
+    f_workers = 1;
+    f_seed = 7;
+    f_slice = 20_000;
+    f_keep = false;
+    f_verbose = false;
+  }
+
+let read_manifest path =
+  match
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  with
+  | exception (Sys_error _ | End_of_file) -> None
+  | s -> ( match Service.manifest_of_json s with Ok es -> Some es | Error _ -> None)
+
+let run_fleet (c : fleet_cfg) =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let info fmt =
+    Printf.ksprintf (fun m -> if c.f_verbose then Printf.eprintf "chaos-fleet: %s\n%!" m) fmt
+  in
+  let dir = Printf.sprintf "/tmp/cheri-fleet-%d-%d" (Unix.getpid ()) c.f_seed in
+  rm_rf dir;
+  let capacity = max 2 (c.f_tenants / 4) in
+  let rcfg =
+    {
+      (Router.default_rconfig ~dir) with
+      Router.r_shards = max 3 c.f_shards;
+      r_workers = c.f_workers;
+      r_worker_jobs = 1;
+      r_capacity = capacity;
+      r_slice = c.f_slice;
+      r_fuel = 50_000_000;
+      r_heartbeat_s = 0.3;
+      r_status_s = 0.4;
+      r_tick_s = 0.02;
+      r_take_s = 0.1;
+      r_req_timeout_s = 2.0;
+      r_retry_base_s = 0.02;
+      r_seed = c.f_seed;
+    }
+  in
+  let specs =
+    Array.init c.f_tenants (fun i ->
+        if i = c.f_tenants - 1 then
+          { x_index = i; x_source = spin_source; x_abi = "cheriv3"; x_fuel = 150_000;
+            x_slice = c.f_slice; x_tid = None; x_result = None; x_restarts = 0 }
+        else
+          { x_index = i; x_source = tenant_source ~seed:c.f_seed ~index:i;
+            x_abi = abis.(i mod Array.length abis); x_fuel = 50_000_000;
+            x_slice = c.f_slice; x_tid = None; x_result = None; x_restarts = 0 })
+  in
+  info "fleet dir %s, %d shards, capacity %d" dir rcfg.Router.r_shards capacity;
+  let router_pid = Client.spawn_router rcfg in
+  let cleanup_router () =
+    (try Unix.kill router_pid Sys.sigkill with Unix.Unix_error _ -> ());
+    try ignore (Unix.waitpid [] router_pid) with Unix.Unix_error _ -> ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      cleanup_router ();
+      if not c.f_keep then rm_rf dir)
+    (fun () ->
+      if not (Client.wait_socket rcfg.Router.r_socket ~timeout_s:15.0) then
+        raise (Chaos_failure "fleet socket never came up");
+      let cl = Client.connect rcfg.Router.r_socket in
+      let request j =
+        match Client.request cl j with
+        | Ok r -> r
+        | Error e -> raise (Chaos_failure ("fleet request failed: " ^ e))
+      in
+      let stats () = request (Json.Obj [ ("op", jstr "stats") ]) in
+      (* idle soak past the shard spawn grace plus staleness windows: a
+         router that reaps healthy idle shards fails here *)
+      Unix.sleepf (3.0 +. (2.0 *. rcfg.Router.r_status_s) +. 1.5);
+      (let st = stats () in
+       match (mem_int "shard_deaths" st, mem_int "stall_kills" st) with
+       | Some 0, Some 0 -> ()
+       | Some d, Some s -> err "idle shards were reaped before any work: deaths=%d stalls=%d" d s
+       | _ -> err "fleet stats missing shard_deaths/stall_kills");
+      let rejections = ref 0 in
+      let best_hint = ref 0.0 in
+      let submit sp =
+        let req =
+          Json.Obj
+            [
+              ("op", jstr "submit");
+              ("source", jstr sp.x_source);
+              ("abi", jstr sp.x_abi);
+              ("fuel", jint sp.x_fuel);
+              ("slice", jint sp.x_slice);
+            ]
+        in
+        let r = request req in
+        match (mem_bool "ok" r, mem_int "tenant" r, mem_str "error" r) with
+        | Some true, Some tid, _ ->
+            sp.x_tid <- Some tid;
+            `Admitted
+        | Some false, _, Some "overloaded" -> (
+            incr rejections;
+            match mem_float "retry_after_s" r with
+            | Some h when h > 0.0 ->
+                if h > !best_hint then best_hint := h;
+                `Rejected h
+            | _ ->
+                err "overloaded rejection without a positive retry_after_s hint";
+                `Rejected 0.05)
+        | _ -> raise (Chaos_failure ("unexpected submit reply: " ^ Json.encode r))
+      in
+      (* ---- shard-level disruption schedule, fired on done counts ---- *)
+      let stat st k = Option.value ~default:(-1) (mem_int k st) in
+      let busiest_shard st =
+        match Json.member "shards" st with
+        | Some (Json.Arr ss) ->
+            List.fold_left
+              (fun acc s ->
+                match
+                  (mem_bool "alive" s, mem_bool "draining" s, mem_int "id" s, mem_int "pid" s,
+                   mem_int "tenants" s)
+                with
+                | Some true, Some false, Some id, Some pid, Some n when n >= 1 -> (
+                    match acc with
+                    | Some (_, _, best_n) when best_n >= n -> acc
+                    | _ -> Some (id, pid, n))
+                | _ -> acc)
+              None ss
+        | _ -> None
+      in
+      let await ~label ~deadline_s pred =
+        let deadline = now () +. deadline_s in
+        let rec go () =
+          let st = stats () in
+          if pred st then ()
+          else if now () > deadline then
+            raise
+              (Chaos_failure
+                 (Printf.sprintf "%s: condition never held; stats %s" label (Json.encode st)))
+          else begin
+            ignore (Unix.select [] [] [] 0.05);
+            go ()
+          end
+        in
+        go ()
+      in
+      let disruptions = ref [ (1, `StopShard); (4, `TermShard); (7, `KillShard); (10, `AdminDrain) ] in
+      let fire_disruption st kind =
+        match busiest_shard st with
+        | None -> false (* nobody loaded this instant; retry next poll *)
+        | Some (id, pid, n) ->
+            let deaths0 = stat st "shard_deaths" in
+            let stalls0 = stat st "stall_kills" in
+            let drains0 = stat st "drains" in
+            (match kind with
+            | `StopShard ->
+                info "SIGSTOP shard %d pid %d (%d tenants)" id pid n;
+                (try Unix.kill pid Sys.sigstop with Unix.Unix_error _ -> ());
+                await ~label:"shard stall" ~deadline_s:30.0 (fun st ->
+                    stat st "stall_kills" > stalls0 && stat st "shard_deaths" > deaths0)
+            | `TermShard ->
+                info "SIGTERM shard %d pid %d (%d tenants)" id pid n;
+                (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+                await ~label:"shard drain" ~deadline_s:30.0 (fun st ->
+                    stat st "drains" > drains0)
+            | `KillShard ->
+                info "SIGKILL shard %d pid %d (%d tenants)" id pid n;
+                (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+                await ~label:"shard kill" ~deadline_s:30.0 (fun st ->
+                    stat st "shard_deaths" > deaths0)
+            | `AdminDrain ->
+                info "admin drain shard %d (%d tenants), then rebalance" id n;
+                (let r = request (Json.Obj [ ("op", jstr "drain"); ("shard", jint id) ]) in
+                 if mem_bool "ok" r <> Some true then
+                   err "admin drain refused: %s" (Json.encode r));
+                await ~label:"admin drain" ~deadline_s:30.0 (fun st ->
+                    stat st "drains" > drains0);
+                let r = request (Json.Obj [ ("op", jstr "rebalance") ]) in
+                if mem_bool "ok" r <> Some true then err "rebalance refused: %s" (Json.encode r)
+                else if Option.value ~default:0 (mem_int "revived" r) < 1 then
+                  err "rebalance revived no held shard slot: %s" (Json.encode r));
+            true
+      in
+      (* ---- main loop: submit (riding hints), poll, disrupt ---- *)
+      let pending = Queue.create () in
+      Array.iter (fun sp -> Queue.add sp pending) specs;
+      let next_submit_t = ref 0.0 in
+      let finished = ref 0 in
+      let deadline = now () +. 240.0 in
+      while !finished < c.f_tenants do
+        if now () > deadline then
+          raise
+            (Chaos_failure
+               (Printf.sprintf "timeout: %d/%d tenants done, stats %s" !finished c.f_tenants
+                  (Json.encode (stats ()))));
+        if (not (Queue.is_empty pending)) && now () >= !next_submit_t then begin
+          match submit (Queue.peek pending) with
+          | `Admitted -> ignore (Queue.pop pending)
+          | `Rejected hint -> next_submit_t := now () +. Float.min hint 0.1
+        end;
+        let st = stats () in
+        let done_now = Option.value ~default:0 (mem_int "done" st) in
+        (match !disruptions with
+        | (threshold, kind) :: rest when done_now >= threshold ->
+            if fire_disruption st kind then disruptions := rest
+        | _ -> ());
+        Array.iter
+          (fun sp ->
+            match (sp.x_tid, sp.x_result) with
+            | Some tid, None -> (
+                let r = request (Json.Obj [ ("op", jstr "poll"); ("tenant", jint tid) ]) in
+                match mem_str "state" r with
+                | Some "done" ->
+                    sp.x_result <- Json.member "result" r;
+                    sp.x_restarts <-
+                      Option.value ~default:0
+                        (Option.bind (Json.member "result" r) (mem_int "restarts"));
+                    incr finished
+                | Some "failed" ->
+                    err "tenant %d failed: %s" sp.x_index
+                      (Option.value ~default:"?" (mem_str "detail" r));
+                    sp.x_result <- Some (Json.Obj []);
+                    incr finished
+                | Some _ -> ()
+                | None -> err "poll reply without state: %s" (Json.encode r))
+            | _ -> ())
+          specs;
+        ignore (Unix.select [] [] [] 0.02)
+      done;
+      if !disruptions <> [] then
+        err "all tenants finished before %d disruption(s) could fire" (List.length !disruptions);
+      (* ---- final ledger: exact migration and drain accounting ---- *)
+      let st = stats () in
+      let shard_deaths = stat st "shard_deaths" in
+      let stall_kills = stat st "stall_kills" in
+      let drains = stat st "drains" in
+      let migrations = stat st "migrations" in
+      let failed = stat st "failed" in
+      info "deaths=%d stalls=%d drains=%d migrations=%d rejections=%d" shard_deaths stall_kills
+        drains migrations !rejections;
+      if failed <> 0 then err "%d tenant(s) failed at the router" failed;
+      if !disruptions = [] then begin
+        (* SIGSTOP (stall-killed) + SIGKILL are the dirty deaths; the
+           SIGTERM drain and the admin drain each reaped one manifest *)
+        if shard_deaths <> 2 then
+          err "expected exactly 2 shard deaths (1 stall + 1 SIGKILL), saw %d" shard_deaths;
+        if stall_kills <> 1 then err "expected exactly 1 shard stall kill, saw %d" stall_kills;
+        if drains <> 2 then
+          err "expected exactly 2 shard drains (1 SIGTERM + 1 admin), saw %d" drains;
+        if migrations < 1 then err "shard faults displaced no tenants (migrations = 0)"
+      end;
+      if !rejections < 1 then
+        err "over-admission burst was never rejected (capacity %d, tenants %d)" capacity
+          c.f_tenants;
+      if !best_hint <= 0.0 then err "no positive retry_after_s hint observed";
+      if !best_hint > Admission.hint_cap_s +. 1e-9 then
+        err "retry_after_s hint %.3f exceeds the %.0f s ceiling" !best_hint Admission.hint_cap_s;
+      (* sum of per-tenant migration lineages = migrations the router
+         performed: nothing double-migrated, nothing lost *)
+      let mig_sum =
+        Array.fold_left
+          (fun acc sp ->
+            acc
+            + match sp.x_result with Some r -> Option.value ~default:0 (mem_int "migrations" r) | None -> 0)
+          0 specs
+      in
+      if mig_sum <> migrations then
+        err "per-tenant migration counters sum to %d but the router performed %d" mig_sum
+          migrations;
+      (* ---- byte-identity against the undisturbed serial reference ---- *)
+      let migrated_seen = ref 0 in
+      Array.iter
+        (fun sp ->
+          match sp.x_result with
+          | None -> err "tenant %d never finished" sp.x_index
+          | Some r -> (
+              match
+                Service.run_serial ~abi:sp.x_abi ~fuel:sp.x_fuel ~slice:sp.x_slice sp.x_source
+              with
+              | Error e -> err "tenant %d: serial reference failed: %s" sp.x_index e
+              | Ok expect ->
+                  let got_s k = Option.value ~default:"<missing>" (mem_str k r) in
+                  let got_i k = Option.value ~default:(-1) (mem_int k r) in
+                  let fail_field f want got =
+                    err "tenant %d (%s): %s diverged: serial=%s disturbed=%s" sp.x_index
+                      sp.x_abi f want got
+                  in
+                  if got_s "outcome" <> expect.Service.r_outcome then
+                    fail_field "outcome" expect.Service.r_outcome (got_s "outcome");
+                  if got_s "output" <> expect.Service.r_output then
+                    fail_field "output" (String.escaped expect.Service.r_output)
+                      (String.escaped (got_s "output"));
+                  if got_i "cycles" <> expect.Service.r_cycles then
+                    fail_field "cycles" (string_of_int expect.Service.r_cycles)
+                      (string_of_int (got_i "cycles"));
+                  if got_i "instret" <> expect.Service.r_instret then
+                    fail_field "instret" (string_of_int expect.Service.r_instret)
+                      (string_of_int (got_i "instret"));
+                  (* slice-count equality makes the <=1-slice-loss bound
+                     observable across shard boundaries too: a migrated
+                     tenant's slice counter rides in its checkpoint
+                     note, so a drain loses zero and a shard SIGKILL
+                     loses only the uncounted in-flight slice *)
+                  if got_i "slices" <> expect.Service.r_slices then
+                    fail_field "slices" (string_of_int expect.Service.r_slices)
+                      (string_of_int (got_i "slices"));
+                  if got_i "migrations" > 0 then incr migrated_seen))
+        specs;
+      if migrations > 0 && !migrated_seen = 0 then
+        err "router performed %d migrations but no finished tenant carries one" migrations;
+      (* ---- graceful fleet shutdown: SIGTERM -> drain -> exit 0 ---- *)
+      Client.close cl;
+      (try Unix.kill router_pid Sys.sigterm with Unix.Unix_error _ -> ());
+      let sdeadline = now () +. 20.0 in
+      let rec reap () =
+        match Unix.waitpid [ Unix.WNOHANG ] router_pid with
+        | 0, _ ->
+            if now () > sdeadline then err "router did not exit after SIGTERM"
+            else begin
+              ignore (Unix.select [] [] [] 0.05);
+              reap ()
+            end
+        | _, Unix.WEXITED 0 -> ()
+        | _, status ->
+            err "router exited abnormally after SIGTERM: %s"
+              (match status with
+              | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+              | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+              | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n)
+        | exception Unix.Unix_error _ -> ()
+      in
+      reap ();
+      (* the fleet manifest is the router's will: every admitted tenant
+         accounted for (here all terminal, so all T_done entries) *)
+      (match read_manifest (Service.manifest_path ~dir) with
+      | Some entries ->
+          if List.length entries <> c.f_tenants then
+            err "fleet manifest lists %d tenants, expected %d" (List.length entries) c.f_tenants
+      | None -> err "router left no parseable fleet manifest at %s" (Service.manifest_path ~dir));
+      match List.rev !errors with
+      | [] ->
+          Printf.printf
+            "chaos-fleet: PASS %d tenants byte-identical across %d shards through 1 stall, 1 \
+             SIGKILL, 1 SIGTERM drain, 1 admin drain+rebalance; %d migrations exactly \
+             accounted, %d rejections\n%!"
+            c.f_tenants rcfg.Router.r_shards migrations !rejections;
+          0
+      | es ->
+          List.iter (fun e -> Printf.eprintf "chaos-fleet: FAIL %s\n" e) es;
+          Printf.eprintf "chaos-fleet: %d assertion(s) failed\n%!" (List.length es);
+          1)
+
+let run_fleet c = try run_fleet c with Chaos_failure m ->
+  Printf.eprintf "chaos-fleet: ABORT %s\n%!" m;
   1

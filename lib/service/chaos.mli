@@ -25,6 +25,32 @@ val run : cfg -> int
     held). The server and its state directory live under [/tmp] and
     are torn down unless [ch_keep]. *)
 
+(** {1 Fleet harness} — shard-level faults against the {!Router}. *)
+
+type fleet_cfg = {
+  f_tenants : int;
+  f_shards : int;  (** clamped to >= 3 *)
+  f_workers : int;  (** worker processes per shard *)
+  f_seed : int;
+  f_slice : int;
+  f_keep : bool;
+  f_verbose : bool;
+}
+
+val fleet_default : fleet_cfg
+(** 15 tenants over 3 shards x 1 worker, seed 7, 20k slices. *)
+
+val run_fleet : fleet_cfg -> int
+(** Drive a router fleet through one whole-shard SIGSTOP (stale-
+    heartbeat SIGKILL + failover), one direct SIGTERM drain under
+    load, one whole-shard SIGKILL, and one admin drain + rebalance;
+    assert byte-identity of every tenant against {!Service.run_serial}
+    (outcome, output, cycles, instret, slices), exact migration/drain
+    accounting (sum of per-tenant migration counters = router
+    migrations; deaths/stalls/drains exactly as scheduled), admission
+    hints under the {!Admission.hint_cap_s} ceiling, and a clean
+    SIGTERM exit 0 leaving a fleet manifest. Returns an exit code. *)
+
 val tenant_source : seed:int -> index:int -> string
 (** The deterministic minic workload for tenant [index]: a seeded
     LCG/table loop of 20k-80k iterations printing a masked
@@ -37,6 +63,10 @@ module Client : sig
   val spawn_server : Service.config -> int
   (** Re-exec this binary as a supervisor child; returns its pid.
       Requires the host binary to call {!Service.child_dispatch}. *)
+
+  val spawn_router : Router.rconfig -> int
+  (** Re-exec this binary as a router child; returns its pid.
+      Requires the host binary to call {!Router.child_dispatch}. *)
 
   val wait_socket : string -> timeout_s:float -> bool
   val connect : string -> t

@@ -92,3 +92,40 @@ let request fd reader json =
       | Error e -> Error ("unparseable response: " ^ e))
   | `Eof -> Error "connection closed by server"
   | `Corrupt m -> Error ("corrupt response frame: " ^ m)
+
+(* [request] with a deadline: a router talking to a shard that might be
+   SIGSTOPped (or wedged) must not hang with it — `Timeout hands the
+   no-answer case back to the caller, which owns the is-it-dead
+   decision (heartbeat probe, kill). Any partial response stays in the
+   reader, so a timed-out connection must be dropped, not reused. *)
+let request_timeout fd reader ~timeout_s json =
+  match write_frame fd (Cheri_util.Json.encode json) with
+  | exception Unix.Unix_error (e, _, _) -> `Error ("send: " ^ Unix.error_message e)
+  | () ->
+      let deadline = Unix.gettimeofday () +. timeout_s in
+      let buf = Bytes.create 65536 in
+      let rec go () =
+        match Reader.next reader with
+        | `Frame f -> (
+            match Cheri_util.Json.parse f with
+            | Ok j -> `Ok j
+            | Error e -> `Error ("unparseable response: " ^ e))
+        | `Corrupt m -> `Error ("corrupt response frame: " ^ m)
+        | `Awaiting -> (
+            let left = deadline -. Unix.gettimeofday () in
+            if left <= 0. then `Timeout
+            else
+              match Unix.select [ fd ] [] [] left with
+              | [], _, _ -> `Timeout
+              | _ -> (
+                  match Unix.read fd buf 0 (Bytes.length buf) with
+                  | 0 -> `Error "connection closed by server"
+                  | n ->
+                      Reader.feed reader (Bytes.sub_string buf 0 n);
+                      go ()
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+                  | exception Unix.Unix_error (e, _, _) ->
+                      `Error ("recv: " ^ Unix.error_message e))
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+      in
+      go ()

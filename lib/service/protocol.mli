@@ -49,3 +49,14 @@ val request :
   Unix.file_descr -> Reader.t -> Cheri_util.Json.t -> (Cheri_util.Json.t, string) result
 (** One blocking request/response round trip: frame and send the
     request, read and parse one response frame. *)
+
+val request_timeout :
+  Unix.file_descr ->
+  Reader.t ->
+  timeout_s:float ->
+  Cheri_util.Json.t ->
+  [ `Ok of Cheri_util.Json.t | `Timeout | `Error of string ]
+(** {!request} with a deadline, for peers that may be stalled
+    (SIGSTOP, wedged syscall): returns [`Timeout] instead of hanging.
+    A timed-out connection may hold a partial response in the reader —
+    drop it, don't reuse it. *)

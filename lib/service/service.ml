@@ -66,6 +66,7 @@ type config = {
   fuel : int;  (** default per-tenant total fuel budget *)
   heartbeat_s : float;  (** worker heartbeat interval *)
   tick_s : float;  (** supervisor select timeout / probe period *)
+  status_s : float;  (** supervisor status-file heartbeat interval *)
   retry_base_s : float;  (** admission retry-after hint base *)
   seed : int;
   corrupt_requeue : int;
@@ -85,6 +86,7 @@ let default_config ~dir =
     fuel = 200_000_000;
     heartbeat_s = 0.25;
     tick_s = 0.05;
+    status_s = 1.0;
     retry_base_s = 0.05;
     seed = 0;
     corrupt_requeue = 0;
@@ -103,6 +105,7 @@ let config_to_json c =
          ("fuel", jint c.fuel);
          ("heartbeat_s", jfloat c.heartbeat_s);
          ("tick_s", jfloat c.tick_s);
+         ("status_s", jfloat c.status_s);
          ("retry_base_s", jfloat c.retry_base_s);
          ("seed", jint c.seed);
          ("corrupt_requeue", jint c.corrupt_requeue);
@@ -128,6 +131,7 @@ let config_of_json s =
               fuel = i "fuel" d.fuel;
               heartbeat_s = f "heartbeat_s" d.heartbeat_s;
               tick_s = f "tick_s" d.tick_s;
+              status_s = f "status_s" d.status_s;
               retry_base_s = f "retry_base_s" d.retry_base_s;
               seed = i "seed" d.seed;
               corrupt_requeue = i "corrupt_requeue" d.corrupt_requeue;
@@ -166,6 +170,7 @@ type assignment = {
   a_slice : int;
   a_deadline_s : float option;
   a_restarts : int;  (** how many times this tenant has been requeued *)
+  a_migrations : int;  (** how many times the router moved it across shards *)
 }
 
 let assignment_to_json a =
@@ -179,6 +184,7 @@ let assignment_to_json a =
       ("slice", jint a.a_slice);
       ("deadline_s", match a.a_deadline_s with Some d -> jfloat d | None -> Json.Null);
       ("restarts", jint a.a_restarts);
+      ("migrations", jint a.a_migrations);
     ]
 
 let assignment_of_json j =
@@ -195,6 +201,7 @@ let assignment_of_json j =
           a_slice;
           a_deadline_s = mem_float "deadline_s" j;
           a_restarts = Option.value ~default:0 (mem_int "restarts" j);
+          a_migrations = Option.value ~default:0 (mem_int "migrations" j);
         }
   | _ -> Error "assignment: missing field"
 
@@ -206,6 +213,7 @@ type tresult = {
   r_slices : int;
   r_resumed : bool;  (** resumed from a checkpoint at least once *)
   r_scratch : bool;  (** a checkpoint load failed; restarted from slice 0 *)
+  r_migrations : int;  (** cross-shard moves in this tenant's lineage *)
 }
 
 let tresult_fields r =
@@ -217,6 +225,7 @@ let tresult_fields r =
     ("slices", jint r.r_slices);
     ("resumed", jbool r.r_resumed);
     ("scratch", jbool r.r_scratch);
+    ("migrations", jint r.r_migrations);
   ]
 
 let tresult_of_json j =
@@ -239,6 +248,7 @@ let tresult_of_json j =
             Option.value ~default:false (Option.bind (Json.member "resumed" j) Json.to_bool);
           r_scratch =
             Option.value ~default:false (Option.bind (Json.member "scratch" j) Json.to_bool);
+          r_migrations = Option.value ~default:0 (mem_int "migrations" j);
         }
   | _ -> Error "result: missing field"
 
@@ -262,6 +272,13 @@ module Checkpoint = struct
     ck_wall_s : float;
     ck_resumed : bool;  (** this lineage has resumed from a checkpoint *)
     ck_scratch : bool;  (** this lineage has restarted from scratch *)
+    ck_migrations : int;  (** cross-shard moves in this lineage *)
+    ck_restarts : int;
+    ck_source : string;  (** "" in pre-migration checkpoints *)
+    ck_abi : string;
+    ck_fuel : int;
+    ck_slice : int;
+    ck_deadline_s : float option;
   }
 
   let path ~dir ~tenant =
@@ -269,8 +286,17 @@ module Checkpoint = struct
 
   (* resumed/scratch ride in the note so they are lineage-cumulative:
      a tenant that scratch-restarted after a corrupted checkpoint still
-     reports scratch=true even if a later death resumes it cleanly *)
-  let note ~tenant ~slices ~wall_s ~resumed ~scratch =
+     reports scratch=true even if a later death resumes it cleanly.
+     The full assignment (source, abi, fuel, slice, deadline) rides
+     along too, making the checkpoint self-describing: a supervisor
+     that finds one at startup — its predecessor was SIGKILLed, or a
+     router moved the file in from a dead shard — can requeue the
+     tenant from the file alone, with no other surviving state. The
+     schema string is unchanged from v1: all new fields default on
+     parse, so pre-migration checkpoints still load (they just cannot
+     be orphan-requeued, lacking a source). *)
+  let note ~tenant ~slices ~wall_s ~resumed ~scratch ~migrations ~restarts ~source ~abi
+      ~fuel ~slice ~deadline_s =
     Json.encode
       (Json.Obj
          [
@@ -280,6 +306,13 @@ module Checkpoint = struct
            ("wall_s", jfloat wall_s);
            ("resumed", jbool resumed);
            ("scratch", jbool scratch);
+           ("migrations", jint migrations);
+           ("restarts", jint restarts);
+           ("source", jstr source);
+           ("abi", jstr abi);
+           ("fuel", jint fuel);
+           ("slice", jint slice);
+           ("deadline_s", match deadline_s with Some d -> jfloat d | None -> Json.Null);
          ])
 
   let parse_note s =
@@ -293,6 +326,7 @@ module Checkpoint = struct
                 let b k =
                   Option.value ~default:false (Option.bind (Json.member k j) Json.to_bool)
                 in
+                let i k = Option.value ~default:0 (mem_int k j) in
                 Ok
                   {
                     ck_tenant;
@@ -300,10 +334,20 @@ module Checkpoint = struct
                     ck_wall_s;
                     ck_resumed = b "resumed";
                     ck_scratch = b "scratch";
+                    ck_migrations = i "migrations";
+                    ck_restarts = i "restarts";
+                    ck_source = Option.value ~default:"" (mem_str "source" j);
+                    ck_abi = Option.value ~default:"" (mem_str "abi" j);
+                    ck_fuel = i "fuel";
+                    ck_slice = i "slice";
+                    ck_deadline_s = mem_float "deadline_s" j;
                   }
             | _ -> Error "checkpoint note: missing field")
         | Some sch -> Error ("checkpoint note: foreign schema " ^ sch)
         | None -> Error "checkpoint note: no schema")
+
+  (* a note carrying enough to rebuild the whole assignment *)
+  let self_describing m = m.ck_source <> "" && m.ck_abi <> "" && m.ck_fuel > 0 && m.ck_slice > 0
 end
 
 (* ------------------------------------------------------------------ *)
@@ -332,6 +376,7 @@ let run_serial ~abi:abi_key ~fuel ~slice source =
                 r_slices = slices;
                 r_resumed = false;
                 r_scratch = false;
+                r_migrations = 0;
               }
           in
           let rec go slices =
@@ -359,6 +404,11 @@ type tstate = {
   mutable ts_scratch : bool;
 }
 
+(* what a worker task yields up: a finished tenant, or one parked at a
+   checkpoint because the worker is draining (or the tenant was
+   evicted) — the checkpoint is on disk, the tenant resumes elsewhere *)
+type wresult = W_done of tresult | W_drained of { d_slices : int; d_migrations : int }
+
 let worker_hb_path ~dir ~id =
   Filename.concat dir (Printf.sprintf "workers/worker_%d.status.json" id)
 
@@ -367,6 +417,13 @@ let worker_main (w : worker_config) =
   let hb = Obs.Heartbeat.create ~interval_s:w.w_heartbeat_s ~path:(worker_hb_path ~dir:w.w_dir ~id:w.w_id) () in
   let slices_done = Atomic.make 0 in
   let tenants_done = Atomic.make 0 in
+  (* drain/evict plane: [draining] parks every task at its next yield;
+     [evicted] parks just the named tenants. Both are read from pool
+     domains, written from the control loop. *)
+  let draining = Atomic.make false in
+  let evict_mu = Mutex.create () in
+  let evicted : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let is_evicted tid = Mutex.protect evict_mu (fun () -> Hashtbl.mem evicted tid) in
   let payload () =
     Json.encode
       (Json.Obj
@@ -442,48 +499,62 @@ let worker_main (w : worker_config) =
         }
   in
   let finish st outcome =
-    {
-      r_outcome = outcome;
-      r_output = Machine.output st.ts_m;
-      r_cycles = Machine.cycles st.ts_m;
-      r_instret = Machine.instret st.ts_m;
-      r_slices = st.ts_slices;
-      r_resumed = st.ts_resumed;
-      r_scratch = st.ts_scratch;
-    }
+    W_done
+      {
+        r_outcome = outcome;
+        r_output = Machine.output st.ts_m;
+        r_cycles = Machine.cycles st.ts_m;
+        r_instret = Machine.instret st.ts_m;
+        r_slices = st.ts_slices;
+        r_resumed = st.ts_resumed;
+        r_scratch = st.ts_scratch;
+        r_migrations = st.ts_a.a_migrations;
+      }
   in
   let checkpoint st =
+    let a = st.ts_a in
     let note =
-      Checkpoint.note ~tenant:st.ts_a.a_tenant ~slices:st.ts_slices ~wall_s:st.ts_wall
-        ~resumed:st.ts_resumed ~scratch:st.ts_scratch
+      Checkpoint.note ~tenant:a.a_tenant ~slices:st.ts_slices ~wall_s:st.ts_wall
+        ~resumed:st.ts_resumed ~scratch:st.ts_scratch ~migrations:a.a_migrations
+        ~restarts:a.a_restarts ~source:a.a_source ~abi:a.a_abi ~fuel:a.a_fuel ~slice:a.a_slice
+        ~deadline_s:a.a_deadline_s
     in
     (* best-effort: a failed save costs a restart-from-scratch later,
        not the tenant *)
     match Snapshot.save ~note ~abi:st.ts_a.a_abi ~path:st.ts_ckpt st.ts_m with
     | Ok _ | Error _ -> ()
   in
+  let park st =
+    (* the checkpoint must be durable before the drained event can be
+       emitted: the event is the router's license to resume the tenant
+       elsewhere from this exact file *)
+    checkpoint st;
+    Pool.Done (W_drained { d_slices = st.ts_slices; d_migrations = st.ts_a.a_migrations })
+  in
   let slice_fn st =
     let a = st.ts_a in
-    let remaining = a.a_fuel - Machine.instret st.ts_m in
-    if remaining <= 0 then Pool.Done (finish st "fuel_exhausted")
-    else begin
-      let t0 = now () in
-      let o = Machine.run ~fuel:(min a.a_slice remaining) ~yield:true st.ts_m in
-      st.ts_wall <- st.ts_wall +. (now () -. t0);
-      st.ts_slices <- st.ts_slices + 1;
-      Atomic.incr slices_done;
-      Obs.Heartbeat.beat hb payload;
-      match o with
-      | Machine.Yielded ->
-          if Machine.instret st.ts_m >= a.a_fuel then Pool.Done (finish st "fuel_exhausted")
-          else if match a.a_deadline_s with Some d -> st.ts_wall > d | None -> false then
-            Pool.Done (finish st "deadline_exceeded")
-          else begin
-            checkpoint st;
-            Pool.Yield st
-          end
-      | o -> Pool.Done (finish st (outcome_string o))
-    end
+    if Atomic.get draining || is_evicted a.a_tenant then park st
+    else
+      let remaining = a.a_fuel - Machine.instret st.ts_m in
+      if remaining <= 0 then Pool.Done (finish st "fuel_exhausted")
+      else begin
+        let t0 = now () in
+        let o = Machine.run ~fuel:(min a.a_slice remaining) ~yield:true st.ts_m in
+        st.ts_wall <- st.ts_wall +. (now () -. t0);
+        st.ts_slices <- st.ts_slices + 1;
+        Atomic.incr slices_done;
+        Obs.Heartbeat.beat hb payload;
+        match o with
+        | Machine.Yielded ->
+            if Machine.instret st.ts_m >= a.a_fuel then Pool.Done (finish st "fuel_exhausted")
+            else if match a.a_deadline_s with Some d -> st.ts_wall > d | None -> false then
+              Pool.Done (finish st "deadline_exceeded")
+            else begin
+              checkpoint st;
+              Pool.Yield st
+            end
+        | o -> Pool.Done (finish st (outcome_string o))
+      end
   in
   (* submission index -> assignment, so an init/slice exception (whose
      cell carries only the index) can still be attributed to a tenant.
@@ -500,7 +571,7 @@ let worker_main (w : worker_config) =
           a)
     in
     match cell.Pool.result with
-    | Ok r ->
+    | Ok (W_done r) ->
         Atomic.incr tenants_done;
         (* the done event must be on the wire before the checkpoint is
            removed: if we die in between, the supervisor drains the
@@ -509,6 +580,16 @@ let worker_main (w : worker_config) =
         out_frame (Json.Obj (("event", jstr "done") :: ("tenant", jint a.a_tenant) :: tresult_fields r));
         let ckpt = Checkpoint.path ~dir:w.w_dir ~tenant:a.a_tenant in
         (try Sys.remove ckpt with Sys_error _ -> ())
+    | Ok (W_drained d) ->
+        (* parked, not finished: the checkpoint stays on disk *)
+        out_frame
+          (Json.Obj
+             [
+               ("event", jstr "drained");
+               ("tenant", jint a.a_tenant);
+               ("slices", jint d.d_slices);
+               ("migrations", jint d.d_migrations);
+             ])
     | Error e ->
         out_frame
           (Json.Obj
@@ -536,6 +617,14 @@ let worker_main (w : worker_config) =
                     let i = Pool.Stream.submit stream a in
                     Hashtbl.replace by_index i a);
                 Obs.Heartbeat.beat hb payload)
+        | Some "drain" ->
+            (* every task parks at its next slice turn; once the stream
+               is empty the main loop exits 0 (clean drain) *)
+            Atomic.set draining true
+        | Some "evict" -> (
+            match mem_int "tenant" j with
+            | Some tid -> Mutex.protect evict_mu (fun () -> Hashtbl.replace evicted tid ())
+            | None -> ())
         | Some "quit" -> exit 0
         | _ -> ())
   in
@@ -548,6 +637,10 @@ let worker_main (w : worker_config) =
   let buf = Bytes.create 65536 in
   let rec loop () =
     Obs.Heartbeat.beat hb payload;
+    (* a draining worker exits once every task has parked or finished:
+       [Stream.live] counts tasks not yet delivered to on_result, so
+       zero means every done/drained event is already on the wire *)
+    if Atomic.get draining && Pool.Stream.live stream = 0 then exit 0;
     match Protocol.Reader.next reader with
     | `Corrupt _ -> exit 0 (* supervisor gone mad: checkpoints carry the work *)
     | `Frame f ->
@@ -585,7 +678,19 @@ type worker = {
   mutable wk_spawned : float;
 }
 
-type tstatus = Queued | Running of int | Finished of tresult | Failed of string
+(* a tenant parked at a checkpoint, waiting for the router to move it *)
+type drained_info = {
+  dr_slices : int;
+  dr_migrations : int;
+  dr_checkpoint : bool;  (** a checkpoint file exists (false: resume = restart) *)
+}
+
+type tstatus =
+  | Queued
+  | Running of int
+  | Finished of tresult
+  | Failed of string
+  | Drained of drained_info
 
 type tenant = {
   t_id : int;
@@ -596,6 +701,7 @@ type tenant = {
   t_deadline_s : float option;
   mutable t_status : tstatus;
   mutable t_restarts : int;
+  mutable t_migrations : int;
   t_submit_t : float;
   mutable t_done_t : float;
 }
@@ -622,7 +728,16 @@ type server = {
   mutable s_corrupted : int list;
   mutable s_corrupt_armed : int;  (* counts down; 0 = fired/disarmed *)
   mutable s_shutdown : bool;
+  mutable s_draining : bool;
+  mutable s_drain_client : Unix.file_descr option;
+      (* the admin client owed the drain report, if the drain came over
+         the wire rather than from SIGTERM *)
+  mutable s_orphans_requeued : int;
+  mutable s_orphans_discarded : int;
 }
+
+(* SIGTERM = drain: set from the signal handler, consumed by the loop *)
+let sigterm_drain = ref false
 
 let counter name = Obs.counter Obs.default ("serve_" ^ name)
 
@@ -634,6 +749,9 @@ let c_requeues = lazy (counter "requeues_total")
 let c_deaths = lazy (counter "worker_deaths_total")
 let c_stalls = lazy (counter "stall_kills_total")
 let c_corruptions = lazy (counter "corruptions_total")
+
+let c_orphans_requeued = lazy (Obs.counter Obs.default "service_orphans_requeued_total")
+let c_orphans_discarded = lazy (Obs.counter Obs.default "service_orphans_discarded_total")
 let tick c = Obs.Counter.incr (Lazy.force c)
 
 let spawn_worker s (wk : worker) =
@@ -667,12 +785,13 @@ let spawn_worker s (wk : worker) =
 let tenant_of_id s tid = Hashtbl.find_opt s.s_tenants tid
 
 let status_fields s =
-  let queued = ref 0 and running = ref 0 in
+  let queued = ref 0 and running = ref 0 and drained = ref 0 in
   Hashtbl.iter
     (fun _ t ->
       match t.t_status with
       | Queued -> incr queued
       | Running _ -> incr running
+      | Drained _ -> incr drained
       | Finished _ | Failed _ -> ())
     s.s_tenants;
   [
@@ -682,6 +801,10 @@ let status_fields s =
     ("live", jint (Admission.live s.s_adm));
     ("queued", jint !queued);
     ("running", jint !running);
+    ("drained", jint !drained);
+    ("draining", jbool s.s_draining);
+    ("orphans_requeued", jint s.s_orphans_requeued);
+    ("orphans_discarded", jint s.s_orphans_discarded);
     ("admitted", jint (Admission.admitted s.s_adm));
     ("rejected", jint (Admission.rejected s.s_adm));
     ("done", jint s.s_done);
@@ -727,11 +850,45 @@ let damage_file path =
     end
   with Sys_error _ | End_of_file -> false
 
+(* reconstruct a parked tenant's position from its checkpoint file —
+   used when the worker died before it could report the park (its
+   drained event never reached the pipe) *)
+let drained_from_disk s t =
+  let ckpt = Checkpoint.path ~dir:s.s_cfg.dir ~tenant:t.t_id in
+  let slices =
+    if not (Sys.file_exists ckpt) then None
+    else
+      match Snapshot.load ckpt with
+      | Error _ -> Some 0 (* torn file: the resume will scratch-restart *)
+      | Ok img -> (
+          match Checkpoint.parse_note (Snapshot.image_note img) with
+          | Ok ck -> Some ck.Checkpoint.ck_slices
+          | Error _ -> Some 0)
+  in
+  {
+    dr_slices = Option.value ~default:0 slices;
+    dr_migrations = t.t_migrations;
+    dr_checkpoint = slices <> None;
+  }
+
+let mark_drained s t info =
+  match t.t_status with
+  | Queued | Running _ ->
+      t.t_status <- Drained info;
+      Admission.release s.s_adm
+  | Finished _ | Failed _ | Drained _ -> ()
+
 let requeue s tid =
   match tenant_of_id s tid with
   | None -> ()
   | Some t -> (
       match t.t_status with
+      | Running _ when s.s_draining ->
+          (* a worker crash mid-drain: the tenant is parked at whatever
+             checkpoint survives (≤1 slice stale) instead of being
+             rescheduled on a fleet that is going away *)
+          t.t_restarts <- t.t_restarts + 1;
+          mark_drained s t (drained_from_disk s t)
       | Running _ ->
           t.t_status <- Queued;
           t.t_restarts <- t.t_restarts + 1;
@@ -750,7 +907,7 @@ let requeue s tid =
               end
             end
           end
-      | Queued | Finished _ | Failed _ -> ())
+      | Queued | Finished _ | Failed _ | Drained _ -> ())
 
 let least_loaded s =
   Array.to_list s.s_workers
@@ -764,6 +921,8 @@ let least_loaded s =
        None
 
 let schedule s =
+  if s.s_draining then ()
+  else
   let queued =
     Hashtbl.fold (fun tid t acc -> match t.t_status with Queued -> (tid, t) :: acc | _ -> acc)
       s.s_tenants []
@@ -783,6 +942,7 @@ let schedule s =
               a_slice = t.t_slice;
               a_deadline_s = t.t_deadline_s;
               a_restarts = t.t_restarts;
+              a_migrations = t.t_migrations;
             }
           in
           match Protocol.write_frame wk.wk_to (Json.encode (assignment_to_json a)) with
@@ -825,6 +985,22 @@ let handle_worker_frame s wk frame =
           match tresult_of_json j with
           | Ok r -> finish_tenant s wk tid (Ok r)
           | Error e -> finish_tenant s wk tid (Error e))
+      | Some "drained", Some tid -> (
+          match tenant_of_id s tid with
+          | None -> ()
+          | Some t -> (
+              match t.t_status with
+              | Running w when w = wk.wk_id ->
+                  wk.wk_tenants <- List.filter (fun x -> x <> tid) wk.wk_tenants;
+                  let ckpt = Checkpoint.path ~dir:s.s_cfg.dir ~tenant:tid in
+                  mark_drained s t
+                    {
+                      dr_slices = Option.value ~default:0 (mem_int "slices" j);
+                      dr_migrations =
+                        Option.value ~default:t.t_migrations (mem_int "migrations" j);
+                      dr_checkpoint = Sys.file_exists ckpt;
+                    }
+              | _ -> ()))
       | Some "error", Some tid ->
           finish_tenant s wk tid
             (Error (Option.value ~default:"worker error" (mem_str "detail" j)))
@@ -860,8 +1036,11 @@ let pump_worker s wk =
 
 let on_worker_death s wk =
   wk.wk_alive <- false;
-  s.s_worker_deaths <- s.s_worker_deaths + 1;
-  tick c_deaths;
+  (* a worker exiting 0 because its drain completed is not a death *)
+  if not s.s_draining then begin
+    s.s_worker_deaths <- s.s_worker_deaths + 1;
+    tick c_deaths
+  end;
   (* completions that reached the pipe before the crash are honored
      first — only tenants with no buffered done event are requeued,
      which is what bounds the loss at one in-flight slice *)
@@ -872,8 +1051,12 @@ let on_worker_death s wk =
   let orphans = List.rev wk.wk_tenants in
   wk.wk_tenants <- [];
   List.iter (requeue s) orphans;
-  spawn_worker s wk;
-  schedule s
+  (* a draining supervisor is going away: no respawn, the parked
+     tenants leave with the manifest *)
+  if not s.s_draining then begin
+    spawn_worker s wk;
+    schedule s
+  end
 
 let reap_workers s =
   Array.iter
@@ -919,6 +1102,181 @@ let probe_workers s =
       end)
     s.s_workers
 
+(* ---------- hand-off entries ---------- *)
+
+(* What a supervisor hands upward — to a router's [take] request while
+   running, or through the drain manifest when exiting. One shape for
+   both channels, so the router adopts results and parked tenants with
+   a single parser whether the shard is alive or already gone. *)
+
+type taken =
+  | T_done of { tk_tenant : int; tk_restarts : int; tk_result : tresult }
+  | T_failed of { tk_tenant : int; tk_restarts : int; tk_migrations : int; tk_detail : string }
+  | T_drained of {
+      tk_tenant : int;
+      tk_source : string;
+      tk_abi : string;
+      tk_fuel : int;
+      tk_slice : int;
+      tk_deadline_s : float option;
+      tk_restarts : int;
+      tk_migrations : int;
+      tk_slices : int;
+      tk_checkpoint : bool;  (** a checkpoint file backs the resume *)
+    }
+
+let taken_tenant = function
+  | T_done e -> e.tk_tenant
+  | T_failed e -> e.tk_tenant
+  | T_drained e -> e.tk_tenant
+
+let taken_to_json = function
+  | T_done e ->
+      Json.Obj
+        (("tenant", jint e.tk_tenant) :: ("state", jstr "done")
+        :: ("restarts", jint e.tk_restarts) :: tresult_fields e.tk_result)
+  | T_failed e ->
+      Json.Obj
+        [
+          ("tenant", jint e.tk_tenant);
+          ("state", jstr "failed");
+          ("detail", jstr e.tk_detail);
+          ("restarts", jint e.tk_restarts);
+          ("migrations", jint e.tk_migrations);
+        ]
+  | T_drained e ->
+      Json.Obj
+        [
+          ("tenant", jint e.tk_tenant);
+          ("state", jstr "drained");
+          ("source", jstr e.tk_source);
+          ("abi", jstr e.tk_abi);
+          ("fuel", jint e.tk_fuel);
+          ("slice", jint e.tk_slice);
+          ("deadline_s", match e.tk_deadline_s with Some d -> jfloat d | None -> Json.Null);
+          ("restarts", jint e.tk_restarts);
+          ("migrations", jint e.tk_migrations);
+          ("slices", jint e.tk_slices);
+          ("checkpoint", jbool e.tk_checkpoint);
+        ]
+
+let taken_of_json j =
+  let i k = Option.value ~default:0 (mem_int k j) in
+  match (mem_int "tenant" j, mem_str "state" j) with
+  | Some tid, Some "done" -> (
+      match tresult_of_json j with
+      | Ok r -> Ok (T_done { tk_tenant = tid; tk_restarts = i "restarts"; tk_result = r })
+      | Error e -> Error e)
+  | Some tid, Some "failed" ->
+      Ok
+        (T_failed
+           {
+             tk_tenant = tid;
+             tk_restarts = i "restarts";
+             tk_migrations = i "migrations";
+             tk_detail = Option.value ~default:"failed" (mem_str "detail" j);
+           })
+  | Some tid, Some "drained" -> (
+      match (mem_str "source" j, mem_str "abi" j) with
+      | Some tk_source, Some tk_abi ->
+          Ok
+            (T_drained
+               {
+                 tk_tenant = tid;
+                 tk_source;
+                 tk_abi;
+                 tk_fuel = i "fuel";
+                 tk_slice = i "slice";
+                 tk_deadline_s = mem_float "deadline_s" j;
+                 tk_restarts = i "restarts";
+                 tk_migrations = i "migrations";
+                 tk_slices = i "slices";
+                 tk_checkpoint =
+                   Option.value ~default:false
+                     (Option.bind (Json.member "checkpoint" j) Json.to_bool);
+               })
+      | _ -> Error "taken entry: drained without source/abi")
+  | Some _, Some st -> Error ("taken entry: unknown state " ^ st)
+  | _ -> Error "taken entry: missing tenant/state"
+
+let taken_of_tenant (t : tenant) =
+  match t.t_status with
+  | Finished r -> Some (T_done { tk_tenant = t.t_id; tk_restarts = t.t_restarts; tk_result = r })
+  | Failed d ->
+      Some
+        (T_failed
+           {
+             tk_tenant = t.t_id;
+             tk_restarts = t.t_restarts;
+             tk_migrations = t.t_migrations;
+             tk_detail = d;
+           })
+  | Drained i ->
+      Some
+        (T_drained
+           {
+             tk_tenant = t.t_id;
+             tk_source = t.t_source;
+             tk_abi = t.t_abi;
+             tk_fuel = t.t_fuel;
+             tk_slice = t.t_slice;
+             tk_deadline_s = t.t_deadline_s;
+             tk_restarts = t.t_restarts;
+             tk_migrations = i.dr_migrations;
+             tk_slices = i.dr_slices;
+             tk_checkpoint = i.dr_checkpoint;
+           })
+  | Queued | Running _ -> None
+
+(* ---------- drain manifest ---------- *)
+
+(* the supervisor's will: written (temp+rename, so never torn) right
+   before a drained supervisor exits, read by the router at reap time *)
+
+let manifest_schema = "cheri_c.serve-drain/v1"
+let manifest_path ~dir = Filename.concat dir "drained.json"
+
+let manifest_to_json entries =
+  Json.Obj
+    [ ("schema", jstr manifest_schema); ("entries", Json.Arr (List.map taken_to_json entries)) ]
+
+let manifest_of_json s =
+  match Json.parse s with
+  | Error e -> Error ("drain manifest: " ^ e)
+  | Ok j -> (
+      match mem_str "schema" j with
+      | Some sch when sch = manifest_schema -> (
+          match Json.member "entries" j with
+          | Some (Json.Arr l) ->
+              List.fold_left
+                (fun acc e ->
+                  match (acc, taken_of_json e) with
+                  | Ok xs, Ok x -> Ok (x :: xs)
+                  | (Error _ as err), _ -> err
+                  | _, Error e -> Error e)
+                (Ok []) l
+              |> Result.map List.rev
+          | _ -> Error "drain manifest: missing entries")
+      | Some sch -> Error ("drain manifest: foreign schema " ^ sch)
+      | None -> Error "drain manifest: no schema")
+
+let write_manifest s =
+  let entries =
+    Hashtbl.fold
+      (fun _ t acc -> match taken_of_tenant t with Some e -> e :: acc | None -> acc)
+      s.s_tenants []
+    |> List.sort (fun a b -> compare (taken_tenant a) (taken_tenant b))
+  in
+  let path = manifest_path ~dir:s.s_cfg.dir in
+  let tmp = path ^ ".tmp" in
+  (try
+     let oc = open_out_bin tmp in
+     output_string oc (Json.encode (manifest_to_json entries));
+     close_out oc;
+     Sys.rename tmp path
+   with Sys_error _ -> ());
+  entries
+
 (* ---------- client requests ---------- *)
 
 let reply_to client json =
@@ -930,41 +1288,64 @@ let reply_to client json =
 let err ?(extra = []) code = Json.Obj ((("ok", jbool false) :: ("error", jstr code) :: extra))
 
 let handle_submit s j =
-  match mem_str "source" j with
-  | None -> err "bad_request" ~extra:[ ("detail", jstr "missing source") ]
-  | Some source -> (
-      let abi = Option.value ~default:"CHERIv3" (mem_str "abi" j) in
-      match Abi.of_key abi with
-      | None -> err "bad_request" ~extra:[ ("detail", jstr (Printf.sprintf "unknown abi %S" abi)) ]
-      | Some a -> (
-          let fuel = Option.value ~default:s.s_cfg.fuel (mem_int "fuel" j) in
-          let slice = Option.value ~default:s.s_cfg.slice (mem_int "slice" j) in
-          if fuel < 1 || slice < 1 then
-            err "bad_request" ~extra:[ ("detail", jstr "fuel and slice must be >= 1") ]
-          else
-            match Admission.request s.s_adm with
-            | Admission.Reject { retry_after_s } ->
-                tick c_rejected;
-                err "overloaded" ~extra:[ ("retry_after_s", jfloat retry_after_s) ]
-            | Admission.Admit ->
-                tick c_admitted;
-                let tid = s.s_next_tenant in
-                s.s_next_tenant <- tid + 1;
-                Hashtbl.replace s.s_tenants tid
-                  {
-                    t_id = tid;
-                    t_source = source;
-                    t_abi = Abi.name a;
-                    t_fuel = fuel;
-                    t_slice = slice;
-                    t_deadline_s = mem_float "deadline_s" j;
-                    t_status = Queued;
-                    t_restarts = 0;
-                    t_submit_t = now ();
-                    t_done_t = 0.;
-                  };
-                schedule s;
-                Json.Obj [ ("ok", jbool true); ("tenant", jint tid) ]))
+  if s.s_draining then err "draining"
+  else
+    match mem_str "source" j with
+    | None -> err "bad_request" ~extra:[ ("detail", jstr "missing source") ]
+    | Some source -> (
+        let abi = Option.value ~default:"CHERIv3" (mem_str "abi" j) in
+        match Abi.of_key abi with
+        | None ->
+            err "bad_request" ~extra:[ ("detail", jstr (Printf.sprintf "unknown abi %S" abi)) ]
+        | Some a -> (
+            let fuel = Option.value ~default:s.s_cfg.fuel (mem_int "fuel" j) in
+            let slice = Option.value ~default:s.s_cfg.slice (mem_int "slice" j) in
+            if fuel < 1 || slice < 1 then
+              err "bad_request" ~extra:[ ("detail", jstr "fuel and slice must be >= 1") ]
+            else
+              (* an explicit tenant id marks an adoption: a router is
+                 placing (or re-placing) a globally-admitted tenant, so
+                 per-shard admission must not bounce it — capacity was
+                 charged at first admission, and a rejection here would
+                 strand a tenant that already holds a fleet slot *)
+              let explicit = mem_int "tenant" j in
+              match explicit with
+              | Some tid when Hashtbl.mem s.s_tenants tid ->
+                  err "tenant_exists" ~extra:[ ("tenant", jint tid) ]
+              | _ -> (
+                  let decision =
+                    match explicit with
+                    | Some _ ->
+                        Admission.admit_forced s.s_adm;
+                        Admission.Admit
+                    | None -> Admission.request s.s_adm
+                  in
+                  match decision with
+                  | Admission.Reject { retry_after_s } ->
+                      tick c_rejected;
+                      err "overloaded" ~extra:[ ("retry_after_s", jfloat retry_after_s) ]
+                  | Admission.Admit ->
+                      tick c_admitted;
+                      let tid =
+                        match explicit with Some tid -> tid | None -> s.s_next_tenant
+                      in
+                      s.s_next_tenant <- max s.s_next_tenant (tid + 1);
+                      Hashtbl.replace s.s_tenants tid
+                        {
+                          t_id = tid;
+                          t_source = source;
+                          t_abi = Abi.name a;
+                          t_fuel = fuel;
+                          t_slice = slice;
+                          t_deadline_s = mem_float "deadline_s" j;
+                          t_status = Queued;
+                          t_restarts = Option.value ~default:0 (mem_int "restarts" j);
+                          t_migrations = Option.value ~default:0 (mem_int "migrations" j);
+                          t_submit_t = now ();
+                          t_done_t = 0.;
+                        };
+                      schedule s;
+                      Json.Obj [ ("ok", jbool true); ("tenant", jint tid) ])))
 
 let handle_poll s j =
   match mem_int "tenant" j with
@@ -985,25 +1366,103 @@ let handle_poll s j =
                       Json.Obj (tresult_fields r @ [ ("restarts", jint t.t_restarts) ]) );
                   ] )
             | Failed d -> ("failed", [ ("detail", jstr d) ])
+            | Drained i ->
+                ( "drained",
+                  [ ("slices", jint i.dr_slices); ("migrations", jint i.dr_migrations) ] )
           in
           Json.Obj (base @ [ ("state", jstr state) ] @ extra))
 
-let handle_request s req =
+(* Start a drain: refuse new admissions, park every queued tenant at
+   its (possibly absent) checkpoint, and ask every worker to park its
+   running ones at their next yield. Completion is detected by the main
+   loop once nothing is Running; nothing is interrupted mid-slice, so
+   drained checkpoints are exact, not torn. *)
+let initiate_drain s =
+  if not s.s_draining then begin
+    s.s_draining <- true;
+    Hashtbl.iter
+      (fun _ t ->
+        match t.t_status with
+        | Queued -> mark_drained s t (drained_from_disk s t)
+        | _ -> ())
+      s.s_tenants;
+    Array.iter
+      (fun wk ->
+        if wk.wk_alive then
+          try Protocol.write_frame wk.wk_to (Json.encode (Json.Obj [ ("op", jstr "drain") ]))
+          with Unix.Unix_error _ -> ())
+      s.s_workers
+  end
+
+let handle_evict s j =
+  match mem_int "tenant" j with
+  | None -> err "bad_request" ~extra:[ ("detail", jstr "missing tenant") ]
+  | Some tid -> (
+      match tenant_of_id s tid with
+      | None -> err "unknown_tenant"
+      | Some t -> (
+          let ok state = Json.Obj [ ("ok", jbool true); ("state", jstr state) ] in
+          match t.t_status with
+          | Queued ->
+              mark_drained s t (drained_from_disk s t);
+              ok "drained"
+          | Running w -> (
+              match
+                Array.to_list s.s_workers
+                |> List.find_opt (fun wk -> wk.wk_alive && wk.wk_id = w)
+              with
+              | Some wk -> (
+                  match
+                    Protocol.write_frame wk.wk_to
+                      (Json.encode (Json.Obj [ ("op", jstr "evict"); ("tenant", jint tid) ]))
+                  with
+                  | () -> ok "evicting"
+                  | exception Unix.Unix_error _ ->
+                      (* dying worker: the reap pass will requeue the
+                         tenant; the router's next evict finds it Queued *)
+                      ok "evicting")
+              | None -> ok "evicting")
+          | Drained _ -> ok "drained"
+          | Finished _ -> ok "done"
+          | Failed _ -> ok "failed"))
+
+(* collect-and-remove every terminal tenant: the one result channel a
+   router needs (polling per-tenant would race worker deaths) *)
+let handle_take s =
+  let taken =
+    Hashtbl.fold
+      (fun tid t acc -> match taken_of_tenant t with Some e -> (tid, e) :: acc | None -> acc)
+      s.s_tenants []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter (fun (tid, _) -> Hashtbl.remove s.s_tenants tid) taken;
+  Json.Obj
+    [ ("ok", jbool true); ("entries", Json.Arr (List.map (fun (_, e) -> taken_to_json e) taken)) ]
+
+(* [None] means the reply is deferred (drain: answered at completion) *)
+let handle_request s client req =
   match Json.parse req with
-  | Error e -> err "bad_request" ~extra:[ ("detail", jstr ("unparseable request: " ^ e)) ]
+  | Error e -> Some (err "bad_request" ~extra:[ ("detail", jstr ("unparseable request: " ^ e)) ])
   | Ok j -> (
       match mem_str "op" j with
-      | Some "submit" -> handle_submit s j
-      | Some "poll" -> handle_poll s j
-      | Some "stats" -> Json.Obj (("ok", jbool true) :: status_fields s)
+      | Some "submit" -> Some (handle_submit s j)
+      | Some "poll" -> Some (handle_poll s j)
+      | Some "take" -> Some (handle_take s)
+      | Some "evict" -> Some (handle_evict s j)
+      | Some "drain" ->
+          initiate_drain s;
+          s.s_drain_client <- Some client.c_fd;
+          None
+      | Some "stats" -> Some (Json.Obj (("ok", jbool true) :: status_fields s))
       | Some "metrics" ->
-          Json.Obj
-            [ ("ok", jbool true); ("metrics", jstr (Obs.to_prometheus Obs.default)) ]
+          Some
+            (Json.Obj
+               [ ("ok", jbool true); ("metrics", jstr (Obs.to_prometheus Obs.default)) ])
       | Some "shutdown" ->
           s.s_shutdown <- true;
-          Json.Obj [ ("ok", jbool true); ("shutting_down", jbool true) ]
-      | Some op -> err "bad_request" ~extra:[ ("detail", jstr ("unknown op " ^ op)) ]
-      | None -> err "bad_request" ~extra:[ ("detail", jstr "missing op") ])
+          Some (Json.Obj [ ("ok", jbool true); ("shutting_down", jbool true) ])
+      | Some op -> Some (err "bad_request" ~extra:[ ("detail", jstr ("unknown op " ^ op)) ])
+      | None -> Some (err "bad_request" ~extra:[ ("detail", jstr "missing op") ]))
 
 let drop_client s client =
   (try Unix.close client.c_fd with Unix.Unix_error _ -> ());
@@ -1017,8 +1476,10 @@ let pump_client s client =
       Protocol.Reader.feed client.c_reader (Bytes.sub_string buf 0 n);
       let rec frames () =
         match Protocol.Reader.next client.c_reader with
-        | `Frame f ->
-            if reply_to client (handle_request s f) then frames () else drop_client s client
+        | `Frame f -> (
+            match handle_request s client f with
+            | Some resp -> if reply_to client resp then frames () else drop_client s client
+            | None -> frames ())
         | `Awaiting -> ()
         | `Corrupt m ->
             ignore (reply_to client (err "bad_request" ~extra:[ ("detail", jstr m) ]));
@@ -1029,7 +1490,7 @@ let pump_client s client =
   | exception Unix.Unix_error (_, _, _) -> drop_client s client
 
 let accept_client s =
-  match Unix.accept s.s_listen with
+  match Unix.accept ~cloexec:true s.s_listen with
   | fd, _ -> s.s_clients <- { c_fd = fd; c_reader = Protocol.Reader.create () } :: s.s_clients
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
 
@@ -1070,15 +1531,127 @@ let shutdown_workers s =
     (fun wk -> try Unix.close wk.wk_from with Unix.Unix_error _ -> ())
     s.s_workers
 
+(* ---------- startup: socket claim and orphan sweep ---------- *)
+
+(* Claim a Unix-domain listen socket path. A leftover file at the path
+   is only an error if something still answers on it: probe with a
+   connect — a live listener accepts (the path is genuinely in use); a
+   dead leftover (crashed server, stale tmpdir) refuses, and is safe to
+   unlink and rebind. The old behavior (unlink unconditionally) could
+   steal a running server's socket; raw bind would crash on any
+   leftover with an unstructured Unix_error. *)
+let bind_listener path =
+  let bind_fresh () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (* workers (and shards, under the router) are spawned after the
+       bind: without close-on-exec they would inherit the listener, and
+       a SIGKILLed server's children would keep the socket answering
+       connect probes — making an honest respawn refuse to start *)
+    Unix.set_close_on_exec fd;
+    match
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64
+    with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Printf.sprintf "cannot bind %s: %s" path (Unix.error_message e))
+  in
+  if not (Sys.file_exists path) then bind_fresh ()
+  else begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error (_, _, _) -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      Error (Printf.sprintf "socket %s is in use: another server is listening on it" path)
+    else begin
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      bind_fresh ()
+    end
+  end
+
+(* Sweep the checkpoints directory for orphans — tenants whose
+   supervisor was SIGKILLed out from under them. Each file is
+   load-verified (CRC and note schema): a valid self-describing
+   checkpoint yields its meta so the caller can requeue the tenant; a
+   corrupt or pre-migration one (no embedded assignment to requeue
+   from) is deleted and counted. Exposed for tests. *)
+let sweep_checkpoints ~dir =
+  let cdir = Filename.concat dir "checkpoints" in
+  let files =
+    match Sys.readdir cdir with
+    | fs ->
+        Array.to_list fs |> List.filter (fun f -> Filename.check_suffix f ".snap") |> List.sort compare
+    | exception Sys_error _ -> []
+  in
+  let discard path = try Sys.remove path with Sys_error _ -> () in
+  let valid, discarded =
+    List.fold_left
+      (fun (valid, discarded) f ->
+        let path = Filename.concat cdir f in
+        match Snapshot.load path with
+        | Error _ ->
+            discard path;
+            (valid, discarded + 1)
+        | Ok img -> (
+            match Checkpoint.parse_note (Snapshot.image_note img) with
+            | Ok m when Checkpoint.self_describing m -> (m :: valid, discarded)
+            | Ok _ | Error _ ->
+                discard path;
+                (valid, discarded + 1)))
+      ([], 0) files
+  in
+  (List.rev valid, discarded)
+
+(* drain finished: everything is parked or terminal — write the will,
+   answer the admin who asked (if any), and let the loop fall out *)
+let maybe_finish_drain s =
+  if s.s_draining && not s.s_shutdown then begin
+    let all_parked =
+      Hashtbl.fold
+        (fun _ t acc -> acc && match t.t_status with Running _ -> false | _ -> true)
+        s.s_tenants true
+    in
+    if all_parked then begin
+      let entries = write_manifest s in
+      (match s.s_drain_client with
+      | Some fd -> (
+          let resp =
+            Json.Obj
+              [
+                ("ok", jbool true);
+                ("drained", jbool true);
+                ("tenants", jint (List.length entries));
+              ]
+          in
+          try Protocol.write_frame fd (Json.encode resp) with Unix.Unix_error _ -> ())
+      | None -> ());
+      s.s_shutdown <- true
+    end
+  end
+
 let server_main (cfg : config) =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  sigterm_drain := false;
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> sigterm_drain := true));
   mkdir_p cfg.dir;
   mkdir_p (Filename.concat cfg.dir "workers");
   mkdir_p (Filename.concat cfg.dir "checkpoints");
-  (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
-  let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen (Unix.ADDR_UNIX cfg.socket);
-  Unix.listen listen 64;
+  (try Sys.remove (manifest_path ~dir:cfg.dir) with Sys_error _ -> ());
+  let listen =
+    match bind_listener cfg.socket with
+    | Ok fd -> fd
+    | Error detail ->
+        prerr_endline
+          (Json.encode
+             (Json.Obj
+                [ ("error", jstr "socket_in_use"); ("detail", jstr detail); ("exit", jint 2) ]));
+        exit 2
+  in
   let s =
     {
       s_cfg = cfg;
@@ -1101,7 +1674,10 @@ let server_main (cfg : config) =
               wk_tenants = [];
               wk_spawned = 0.;
             });
-      s_hb = Obs.Heartbeat.create ~interval_s:1.0 ~path:(Filename.concat cfg.dir "status.json") ();
+      s_hb =
+        Obs.Heartbeat.create
+          ~interval_s:(if cfg.status_s > 0. then cfg.status_s else 1.0)
+          ~path:(Filename.concat cfg.dir "status.json") ();
       s_t0 = now ();
       s_job_seconds = Obs.histogram Obs.default "serve_job_seconds";
       s_done = 0;
@@ -1113,9 +1689,45 @@ let server_main (cfg : config) =
       s_corrupted = [];
       s_corrupt_armed = cfg.corrupt_requeue;
       s_shutdown = false;
+      s_draining = false;
+      s_drain_client = None;
+      s_orphans_requeued = 0;
+      s_orphans_discarded = 0;
     }
   in
+  (* adopt orphans before anything can race them: checkpoints left by a
+     SIGKILLed predecessor in this directory become queued tenants
+     again (their next worker resumes from the file); corrupt ones are
+     deleted and counted, never retried *)
+  let recovered, discarded = sweep_checkpoints ~dir:cfg.dir in
+  List.iter
+    (fun (m : Checkpoint.meta) ->
+      Admission.admit_forced s.s_adm;
+      tick c_admitted;
+      tick c_orphans_requeued;
+      s.s_orphans_requeued <- s.s_orphans_requeued + 1;
+      s.s_next_tenant <- max s.s_next_tenant (m.Checkpoint.ck_tenant + 1);
+      Hashtbl.replace s.s_tenants m.Checkpoint.ck_tenant
+        {
+          t_id = m.Checkpoint.ck_tenant;
+          t_source = m.Checkpoint.ck_source;
+          t_abi = m.Checkpoint.ck_abi;
+          t_fuel = m.Checkpoint.ck_fuel;
+          t_slice = m.Checkpoint.ck_slice;
+          t_deadline_s = m.Checkpoint.ck_deadline_s;
+          t_status = Queued;
+          t_restarts = m.Checkpoint.ck_restarts + 1;
+          t_migrations = m.Checkpoint.ck_migrations;
+          t_submit_t = now ();
+          t_done_t = 0.;
+        })
+    recovered;
+  s.s_orphans_discarded <- discarded;
+  for _ = 1 to discarded do
+    tick c_orphans_discarded
+  done;
   Array.iter (fun wk -> spawn_worker s wk) s.s_workers;
+  schedule s;
   Obs.Heartbeat.force s.s_hb (status_payload s);
   let rec loop () =
     if not s.s_shutdown then begin
@@ -1143,7 +1755,9 @@ let server_main (cfg : config) =
         readable;
       reap_workers s;
       probe_workers s;
+      if !sigterm_drain then initiate_drain s;
       schedule s;
+      maybe_finish_drain s;
       Obs.Heartbeat.beat s.s_hb (status_payload s);
       loop ()
     end

@@ -13,7 +13,15 @@
     the one slice that was in flight; everything up to the last
     checkpoint is resumed byte-identically (output, cycles, instret).
     A checkpoint that fails validation — torn write, damaged sidecar —
-    demotes to a clean restart from slice zero, never an error. *)
+    demotes to a clean restart from slice zero, never an error.
+
+    Migration plane (for {!Router}): checkpoints are self-describing
+    (the note embeds the full assignment), so a checkpoint {e file} is
+    a complete live tenant — a router moves one between shard
+    directories with a rename and re-submits under the same global id.
+    A [drain] (wire op, or SIGTERM) parks every tenant at its next
+    yield with zero slices lost, writes a manifest of parked tenants
+    and untaken results, and exits 0. *)
 
 (** {1 Configuration} *)
 
@@ -27,6 +35,7 @@ type config = {
   fuel : int;  (** default per-tenant total fuel budget *)
   heartbeat_s : float;  (** worker heartbeat interval; stale after 2x *)
   tick_s : float;  (** supervisor select timeout / probe period *)
+  status_s : float;  (** supervisor status-file heartbeat interval *)
   retry_base_s : float;  (** admission retry-after hint base *)
   seed : int;
   corrupt_requeue : int;
@@ -37,12 +46,12 @@ type config = {
 
 val default_config : dir:string -> config
 (** 2 workers x 1 domain, capacity 64, 100k-instruction slices, 200M
-    fuel, 0.25 s heartbeats, 50 ms ticks. *)
+    fuel, 0.25 s heartbeats, 50 ms ticks, 1 s status beats. *)
 
 val config_to_json : config -> string
 val config_of_json : string -> (config, string) result
 
-(** {1 Wire types} (exposed for the chaos harness and tests) *)
+(** {1 Wire types} (exposed for the router, chaos harness and tests) *)
 
 type assignment = {
   a_tenant : int;
@@ -52,6 +61,7 @@ type assignment = {
   a_slice : int;
   a_deadline_s : float option;
   a_restarts : int;
+  a_migrations : int;  (** cross-shard moves in this tenant's lineage *)
 }
 
 val assignment_to_json : assignment -> Cheri_util.Json.t
@@ -67,6 +77,7 @@ type tresult = {
   r_slices : int;
   r_resumed : bool;  (** resumed from a checkpoint at least once *)
   r_scratch : bool;  (** a checkpoint load failed; restarted from slice 0 *)
+  r_migrations : int;  (** cross-shard moves in this tenant's lineage *)
 }
 
 val tresult_fields : tresult -> (string * Cheri_util.Json.t) list
@@ -76,7 +87,9 @@ val tresult_of_json : Cheri_util.Json.t -> (tresult, string) result
 
 module Checkpoint : sig
   val schema : string
-  (** ["cheri_c.serve-inflight/v1"] — the snapshot note schema. *)
+  (** ["cheri_c.serve-inflight/v1"] — the snapshot note schema. The
+      migration fields were added without a schema bump: they default
+      on parse, so pre-migration checkpoints still load. *)
 
   type meta = {
     ck_tenant : int;
@@ -84,17 +97,89 @@ module Checkpoint : sig
     ck_wall_s : float;
     ck_resumed : bool;  (** lineage-cumulative: ever resumed *)
     ck_scratch : bool;  (** lineage-cumulative: ever restarted clean *)
+    ck_migrations : int;
+    ck_restarts : int;
+    ck_source : string;  (** [""] in pre-migration checkpoints *)
+    ck_abi : string;
+    ck_fuel : int;
+    ck_slice : int;
+    ck_deadline_s : float option;
   }
 
   val path : dir:string -> tenant:int -> string
 
   val note :
-    tenant:int -> slices:int -> wall_s:float -> resumed:bool -> scratch:bool -> string
-  (** The JSON note embedded in a tenant checkpoint. *)
+    tenant:int ->
+    slices:int ->
+    wall_s:float ->
+    resumed:bool ->
+    scratch:bool ->
+    migrations:int ->
+    restarts:int ->
+    source:string ->
+    abi:string ->
+    fuel:int ->
+    slice:int ->
+    deadline_s:float option ->
+    string
+  (** The JSON note embedded in a tenant checkpoint. Self-describing:
+      it carries the full assignment, so the file alone suffices to
+      requeue the tenant (orphan sweep, cross-shard migration). *)
 
   val parse_note : string -> (meta, string) result
   (** Rejects foreign schemas. *)
+
+  val self_describing : meta -> bool
+  (** The note carries enough ([source], [abi], positive [fuel] and
+      [slice]) to rebuild the whole assignment. *)
 end
+
+(** {1 Hand-off entries}
+
+    What a supervisor hands upward: to a router's [take] request while
+    running, or through the drain manifest when exiting. *)
+
+type taken =
+  | T_done of { tk_tenant : int; tk_restarts : int; tk_result : tresult }
+  | T_failed of { tk_tenant : int; tk_restarts : int; tk_migrations : int; tk_detail : string }
+  | T_drained of {
+      tk_tenant : int;
+      tk_source : string;
+      tk_abi : string;
+      tk_fuel : int;
+      tk_slice : int;
+      tk_deadline_s : float option;
+      tk_restarts : int;
+      tk_migrations : int;
+      tk_slices : int;
+      tk_checkpoint : bool;  (** a checkpoint file backs the resume *)
+    }
+
+val taken_tenant : taken -> int
+val taken_to_json : taken -> Cheri_util.Json.t
+val taken_of_json : Cheri_util.Json.t -> (taken, string) result
+
+val manifest_schema : string
+(** ["cheri_c.serve-drain/v1"] — the drained-supervisor manifest. *)
+
+val manifest_path : dir:string -> string
+(** [dir/drained.json]: written (temp+rename) by a draining supervisor
+    right before it exits 0; read by the router at reap time. *)
+
+val manifest_of_json : string -> (taken list, string) result
+
+(** {1 Startup helpers} (exposed for the router and tests) *)
+
+val bind_listener : string -> (Unix.file_descr, string) result
+(** Claim a Unix-domain listen socket path. A leftover file is probed
+    with a connect: a live listener makes this [Error] ("truly in
+    use"); a dead leftover is unlinked and rebound. *)
+
+val sweep_checkpoints : dir:string -> Checkpoint.meta list * int
+(** Scan [dir/checkpoints] for orphaned [*.snap] files: load-verify
+    each, return the metas of valid self-describing ones (requeue
+    candidates, sorted by filename) and the count of corrupt or
+    non-self-describing ones (deleted). *)
 
 (** {1 Reference execution} *)
 
@@ -117,5 +202,8 @@ val child_dispatch : unit -> unit
     JSON config in [argv.(2)] and never returns. *)
 
 val server_main : config -> unit
-(** Run the supervisor in this process: bind the socket, spawn
-    workers, serve until a [shutdown] request. *)
+(** Run the supervisor in this process: sweep orphaned checkpoints,
+    bind the socket, spawn workers, serve until a [shutdown] request —
+    or drain (wire op or SIGTERM: park every tenant at its next yield,
+    write the manifest, stop) and return. Exits 2 with a structured
+    message if the socket path is genuinely in use. *)

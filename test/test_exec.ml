@@ -118,7 +118,7 @@ let test_backoff_bounds () =
         (fun task ->
           let prev = ref base in
           for attempt = 1 to 12 do
-            let d = Pool.backoff_duration ~base_s:base ~seed ~task ~attempt in
+            let d = Pool.backoff_duration ~base_s:base ~seed ~task ~attempt () in
             check_bool "pause at least base" true (d >= base);
             check_bool "pause within the decorrelated-jitter window" true
               (d <= Float.min (3. *. !prev) (64. *. base) +. 1e-12);
@@ -129,15 +129,48 @@ let test_backoff_bounds () =
     [ 0; 42 ]
 
 let test_backoff_reproducible () =
-  let d () = Pool.backoff_duration ~base_s:0.25 ~seed:9 ~task:3 ~attempt:4 in
+  let d () = Pool.backoff_duration ~base_s:0.25 ~seed:9 ~task:3 ~attempt:4 () in
   check_bool "pure in (seed, task, attempt)" true (d () = d ());
   check_bool "different seeds decorrelate" true
-    (Pool.backoff_duration ~base_s:0.25 ~seed:1 ~task:3 ~attempt:4
-    <> Pool.backoff_duration ~base_s:0.25 ~seed:2 ~task:3 ~attempt:4);
+    (Pool.backoff_duration ~base_s:0.25 ~seed:1 ~task:3 ~attempt:4 ()
+    <> Pool.backoff_duration ~base_s:0.25 ~seed:2 ~task:3 ~attempt:4 ());
   check_bool "zero base disables the pause" true
-    (Pool.backoff_duration ~base_s:0. ~seed:1 ~task:1 ~attempt:1 = 0.);
+    (Pool.backoff_duration ~base_s:0. ~seed:1 ~task:1 ~attempt:1 () = 0.);
   check_bool "attempt 0 takes no pause" true
-    (Pool.backoff_duration ~base_s:1. ~seed:1 ~task:1 ~attempt:0 = 0.)
+    (Pool.backoff_duration ~base_s:1. ~seed:1 ~task:1 ~attempt:0 () = 0.)
+
+let test_backoff_explicit_cap () =
+  (* the cap is a hard contract: sweep deep streaks across seeds and
+     tasks and pin the maximum the curve can ever quote, for both the
+     default (64 x base) and an explicit [cap_s] *)
+  let base = 0.5 in
+  let worst cap_s =
+    let m = ref 0. in
+    List.iter
+      (fun seed ->
+        List.iter
+          (fun task ->
+            for attempt = 1 to 100 do
+              let d =
+                match cap_s with
+                | None -> Pool.backoff_duration ~base_s:base ~seed ~task ~attempt ()
+                | Some c -> Pool.backoff_duration ~cap_s:c ~base_s:base ~seed ~task ~attempt ()
+              in
+              if d > !m then m := d
+            done)
+          [ 0; 3; 11 ])
+      [ 0; 1; 42 ];
+    !m
+  in
+  check_bool "default cap is 64 x base" true (worst None <= (64. *. base) +. 1e-9);
+  check_bool "deep streaks actually reach near the default cap" true
+    (worst None > 32. *. base);
+  check_bool "explicit cap_s bounds every pause" true (worst (Some 2.) <= 2. +. 1e-9);
+  check_bool "explicit cap is reached, not just respected" true (worst (Some 2.) > 1.5);
+  check_bool "cap below base clamps to base" true
+    (worst (Some 0.1) <= base +. 1e-9 && worst (Some 0.1) >= base -. 1e-9);
+  check_bool "non-positive cap falls back to the default" true
+    (worst (Some 0.) <= (64. *. base) +. 1e-9 && worst (Some 0.) > 32. *. base)
 
 (* -- preemptive slicing (map_sliced) -------------------------------------------- *)
 
@@ -367,6 +400,7 @@ let suite =
     Alcotest.test_case "on_result hook fires once per task" `Quick test_pool_on_result_hook;
     Alcotest.test_case "backoff stays in the jitter window" `Quick test_backoff_bounds;
     Alcotest.test_case "backoff is reproducible" `Quick test_backoff_reproducible;
+    Alcotest.test_case "backoff cap is explicit and pinned" `Quick test_backoff_explicit_cap;
     Alcotest.test_case "map_sliced determinism (1 vs 4 domains)" `Quick
       test_map_sliced_determinism;
     Alcotest.test_case "map_sliced retry restarts from init" `Quick

@@ -60,6 +60,65 @@ let test_frame_oversize_refused () =
   | `Corrupt m -> check_bool "mentions the limit" true (String.length m > 0)
   | `Frame _ | `Awaiting -> Alcotest.fail "a 2 GiB length must be refused, not buffered"
 
+(* Adversarial chunking: any valid frame stream, split at arbitrary
+   byte boundaries (including mid-header), must round-trip exactly; and
+   every torn tail — any strict prefix of the stream — must read as
+   Awaiting, never Corrupt. This is the wire-level half of the crash
+   story: a SIGKILLed writer's final partial frame has to look like
+   "not yet", not "poisoned connection". *)
+let prop_reader_chunking =
+  QCheck.Test.make ~name:"reader: arbitrary chunking round-trips; torn tails never corrupt"
+    ~count:100
+    QCheck.(pair (small_list string) (small_list small_nat))
+    (fun (payloads, cuts) ->
+      let stream = String.concat "" (List.map Protocol.encode payloads) in
+      let len = String.length stream in
+      (* split the stream into chunks of 1..17 bytes driven by [cuts];
+         the final chunk takes whatever remains *)
+      let rec chunks pos cuts acc =
+        if pos >= len then List.rev acc
+        else
+          match cuts with
+          | [] -> List.rev (String.sub stream pos (len - pos) :: acc)
+          | c :: rest ->
+              let n = min (1 + (c mod 17)) (len - pos) in
+              chunks (pos + n) rest (String.sub stream pos n :: acc)
+      in
+      let r = Protocol.Reader.create () in
+      let got = ref [] in
+      let corrupt = ref false in
+      let rec drain () =
+        match Protocol.Reader.next r with
+        | `Frame f ->
+            got := f :: !got;
+            drain ()
+        | `Awaiting -> ()
+        | `Corrupt _ -> corrupt := true
+      in
+      List.iter
+        (fun chunk ->
+          Protocol.Reader.feed r chunk;
+          drain ())
+        (chunks 0 cuts []);
+      let roundtrips = (not !corrupt) && List.rev !got = payloads in
+      let tails_incomplete =
+        (* every strict prefix: frames then Awaiting, never Corrupt *)
+        let ok = ref true in
+        for k = 0 to len - 1 do
+          let r = Protocol.Reader.create () in
+          Protocol.Reader.feed r (String.sub stream 0 k);
+          let rec d () =
+            match Protocol.Reader.next r with
+            | `Frame _ -> d ()
+            | `Awaiting -> ()
+            | `Corrupt _ -> ok := false
+          in
+          d ()
+        done;
+        !ok
+      in
+      roundtrips && tails_incomplete)
+
 (* -- admission control -------------------------------------------------------- *)
 
 let test_admission_capacity () =
@@ -112,6 +171,48 @@ let test_admission_hints_stretch_and_reset () =
   in
   check_bool "streak resets after an admit" true (after_reset = first)
 
+let test_admission_dynamic_capacity () =
+  (* fleet pressure: shrinking the cap below live evicts nothing but
+     blocks new admits until enough tenants finish *)
+  let a = Admission.create ~capacity:4 () in
+  for _ = 1 to 4 do
+    ignore (Admission.request a)
+  done;
+  Admission.set_capacity a 2;
+  check_int "shrink keeps live untouched" 4 (Admission.live a);
+  (match Admission.request a with
+  | Admission.Admit -> Alcotest.fail "admitted over a shrunken capacity"
+  | Admission.Reject _ -> ());
+  Admission.release a;
+  Admission.release a;
+  (match Admission.request a with
+  | Admission.Admit -> Alcotest.fail "live 2 = capacity 2 must still reject"
+  | Admission.Reject _ -> ());
+  Admission.release a;
+  (match Admission.request a with
+  | Admission.Admit -> ()
+  | Admission.Reject _ -> Alcotest.fail "freed below the new cap must admit");
+  Admission.set_capacity a 8;
+  match Admission.request a with
+  | Admission.Admit -> ()
+  | Admission.Reject _ -> Alcotest.fail "grown capacity must admit"
+
+let test_admission_hint_ceiling () =
+  (* whatever the base and however deep the streak, no client is ever
+     told to wait longer than Admission.hint_cap_s *)
+  List.iter
+    (fun retry_base_s ->
+      let a = Admission.create ~seed:3 ~retry_base_s ~capacity:1 () in
+      ignore (Admission.request a);
+      for _ = 1 to 40 do
+        match Admission.request a with
+        | Admission.Reject { retry_after_s } ->
+            check_bool "hint below the ceiling" true
+              (retry_after_s <= Admission.hint_cap_s +. 1e-9)
+        | Admission.Admit -> Alcotest.fail "admitted over capacity"
+      done)
+    [ 0.05; 2.0; 10.0; 120.0 ]
+
 (* -- wire round trips --------------------------------------------------------- *)
 
 let test_config_roundtrip () =
@@ -138,21 +239,42 @@ let test_assignment_roundtrip () =
       a_slice = 10_000;
       a_deadline_s = Some 2.5;
       a_restarts = 3;
+      a_migrations = 2;
     }
   in
   match Service.assignment_of_json (Service.assignment_to_json a) with
   | Error e -> Alcotest.failf "assignment round trip: %s" e
   | Ok a' -> check_bool "assignment survives the JSON round trip" true (a = a')
 
+let sample_note =
+  Service.Checkpoint.note ~tenant:7 ~slices:42 ~wall_s:1.5 ~resumed:true ~scratch:false
+    ~migrations:2 ~restarts:1 ~source:"int main(void) { return 0; }" ~abi:"CHERIv3"
+    ~fuel:1_000_000 ~slice:10_000 ~deadline_s:None
+
 let test_checkpoint_note () =
-  let note = Service.Checkpoint.note ~tenant:7 ~slices:42 ~wall_s:1.5 ~resumed:true ~scratch:false in
-  (match Service.Checkpoint.parse_note note with
+  (match Service.Checkpoint.parse_note sample_note with
   | Error e -> Alcotest.failf "note round trip: %s" e
   | Ok ck ->
       check_int "tenant" 7 ck.Service.Checkpoint.ck_tenant;
       check_int "slices" 42 ck.Service.Checkpoint.ck_slices;
       check_bool "resumed flag is lineage-cumulative" true ck.Service.Checkpoint.ck_resumed;
-      check_bool "scratch flag" false ck.Service.Checkpoint.ck_scratch);
+      check_bool "scratch flag" false ck.Service.Checkpoint.ck_scratch;
+      check_int "migration lineage counter" 2 ck.Service.Checkpoint.ck_migrations;
+      check_int "restarts travel in the note" 1 ck.Service.Checkpoint.ck_restarts;
+      check_bool "the note is self-describing" true (Service.Checkpoint.self_describing ck));
+  (* a pre-migration note (no embedded assignment) still parses — the
+     schema string did not change — but is not self-describing *)
+  (match
+     Service.Checkpoint.parse_note
+       (Printf.sprintf
+          "{\"schema\":%S,\"tenant\":3,\"slices\":9,\"wall_s\":0.25,\"resumed\":false,\"scratch\":false}"
+          Service.Checkpoint.schema)
+   with
+  | Error e -> Alcotest.failf "pre-migration note must still parse: %s" e
+  | Ok ck ->
+      check_int "defaulted migrations" 0 ck.Service.Checkpoint.ck_migrations;
+      check_bool "not self-describing without a source" false
+        (Service.Checkpoint.self_describing ck));
   (* a foreign note schema must be refused, not misread *)
   match Service.Checkpoint.parse_note "{\"schema\":\"cheri_c.status/v1\",\"tenant\":7}" with
   | Ok _ -> Alcotest.fail "foreign schema accepted as a checkpoint note"
@@ -175,18 +297,178 @@ let test_run_serial_slicing_invariant () =
       check_bool "output captured" true (String.length a.Service.r_output > 0)
   | Error e, _ | _, Error e -> Alcotest.failf "run_serial failed: %s" e
 
+(* -- hand-off entries and the drain manifest ----------------------------------- *)
+
+let sample_result =
+  {
+    Service.r_outcome = "exit:0";
+    r_output = "42\n";
+    r_cycles = 1234;
+    r_instret = 1200;
+    r_slices = 3;
+    r_resumed = true;
+    r_scratch = false;
+    r_migrations = 1;
+  }
+
+let sample_taken =
+  [
+    Service.T_done { tk_tenant = 4; tk_restarts = 1; tk_result = sample_result };
+    Service.T_failed
+      { tk_tenant = 7; tk_restarts = 0; tk_migrations = 2; tk_detail = "unknown abi" };
+    Service.T_drained
+      {
+        tk_tenant = 9;
+        tk_source = "int main(void) { return 3; }";
+        tk_abi = "CHERIv3";
+        tk_fuel = 500_000;
+        tk_slice = 20_000;
+        tk_deadline_s = Some 1.5;
+        tk_restarts = 1;
+        tk_migrations = 1;
+        tk_slices = 11;
+        tk_checkpoint = true;
+      };
+  ]
+
+let test_taken_roundtrip () =
+  List.iter
+    (fun e ->
+      match Service.taken_of_json (Service.taken_to_json e) with
+      | Error err -> Alcotest.failf "taken round trip: %s" err
+      | Ok e' -> check_bool "taken entry survives the JSON round trip" true (e = e'))
+    sample_taken
+
+let test_manifest_roundtrip () =
+  let manifest =
+    Json.encode
+      (Json.Obj
+         [
+           ("schema", Json.Str Service.manifest_schema);
+           ("entries", Json.Arr (List.map Service.taken_to_json sample_taken));
+         ])
+  in
+  (match Service.manifest_of_json manifest with
+  | Error e -> Alcotest.failf "manifest round trip: %s" e
+  | Ok entries ->
+      check_int "all entries survive" (List.length sample_taken) (List.length entries);
+      check_bool "entries survive in order" true (entries = sample_taken));
+  match Service.manifest_of_json "{\"schema\":\"cheri_c.serve-status/v1\",\"entries\":[]}" with
+  | Ok _ -> Alcotest.fail "foreign schema accepted as a drain manifest"
+  | Error _ -> ()
+
+(* -- startup helpers: orphan sweep and socket claim ----------------------------- *)
+
+let with_tmpdir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cheri_serve_test_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))) (fun () -> f dir)
+
+let test_sweep_checkpoints () =
+  with_tmpdir (fun dir ->
+      Unix.mkdir (Filename.concat dir "checkpoints") 0o755;
+      (* a valid self-describing checkpoint: a real machine snapshot
+         with a migration-era note *)
+      let abi = Option.get (Cheri_compiler.Abi.of_key "cheriv3") in
+      let linked =
+        Cheri_compiler.Codegen.compile_source abi "int main(void) { return 0; }"
+      in
+      let m = Cheri_compiler.Codegen.machine_for abi linked in
+      let note =
+        Service.Checkpoint.note ~tenant:4 ~slices:2 ~wall_s:0.1 ~resumed:false ~scratch:false
+          ~migrations:1 ~restarts:0 ~source:"int main(void) { return 0; }" ~abi:"CHERIv3"
+          ~fuel:1_000_000 ~slice:10_000 ~deadline_s:None
+      in
+      (match
+         Cheri_snapshot.Snapshot.save ~note ~abi:"CHERIv3"
+           ~path:(Service.Checkpoint.path ~dir ~tenant:4)
+           m
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "snapshot save: %a" Cheri_snapshot.Snapshot.pp_error e);
+      (* a corrupt file and a pre-migration (non-self-describing) one *)
+      let corrupt = Service.Checkpoint.path ~dir ~tenant:8 in
+      let oc = open_out_bin corrupt in
+      output_string oc "definitely not a snapshot";
+      close_out oc;
+      let old_note =
+        Printf.sprintf
+          "{\"schema\":%S,\"tenant\":5,\"slices\":1,\"wall_s\":0.1,\"resumed\":false,\"scratch\":false}"
+          Service.Checkpoint.schema
+      in
+      (match
+         Cheri_snapshot.Snapshot.save ~note:old_note ~abi:"CHERIv3"
+           ~path:(Service.Checkpoint.path ~dir ~tenant:5)
+           m
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "snapshot save: %a" Cheri_snapshot.Snapshot.pp_error e);
+      let recovered, discarded = Service.sweep_checkpoints ~dir in
+      check_int "one orphan recovered" 1 (List.length recovered);
+      check_int "corrupt + pre-migration discarded" 2 discarded;
+      let meta = List.hd recovered in
+      check_int "recovered tenant id" 4 meta.Service.Checkpoint.ck_tenant;
+      check_int "recovered migrations" 1 meta.Service.Checkpoint.ck_migrations;
+      check_bool "valid checkpoint file kept" true
+        (Sys.file_exists (Service.Checkpoint.path ~dir ~tenant:4));
+      check_bool "corrupt checkpoint deleted" false (Sys.file_exists corrupt);
+      check_bool "non-self-describing checkpoint deleted" false
+        (Sys.file_exists (Service.Checkpoint.path ~dir ~tenant:5));
+      (* idempotent: a second sweep finds the same recoverable orphan *)
+      let again, d2 = Service.sweep_checkpoints ~dir in
+      check_int "second sweep: same orphan" 1 (List.length again);
+      check_int "second sweep: nothing left to discard" 0 d2)
+
+let test_bind_listener () =
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "probe.sock" in
+      (* fresh path binds *)
+      let fd =
+        match Service.bind_listener path with
+        | Ok fd -> fd
+        | Error e -> Alcotest.failf "fresh bind failed: %s" e
+      in
+      (* a live listener is detected, not stolen *)
+      (match Service.bind_listener path with
+      | Ok _ -> Alcotest.fail "second bind stole a live listener's socket"
+      | Error msg -> check_bool "error names the path" true (String.length msg > 0));
+      Unix.close fd;
+      (* the leftover file is now a dead socket: unlink and rebind *)
+      check_bool "socket file left behind" true (Sys.file_exists path);
+      (match Service.bind_listener path with
+      | Ok fd2 -> Unix.close fd2
+      | Error e -> Alcotest.failf "dead leftover not reclaimed: %s" e);
+      (* a stale regular file at the path is also reclaimed *)
+      let oc = open_out (Filename.concat dir "stale.sock") in
+      output_string oc "junk";
+      close_out oc;
+      match Service.bind_listener (Filename.concat dir "stale.sock") with
+      | Ok fd3 -> Unix.close fd3
+      | Error e -> Alcotest.failf "stale regular file not reclaimed: %s" e)
+
 let suite =
   [
     Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
     Alcotest.test_case "frame reassembly from split reads" `Quick test_frame_split_feeds;
     Alcotest.test_case "corrupt / torn headers" `Quick test_frame_corrupt_header;
     Alcotest.test_case "oversize frame refused" `Quick test_frame_oversize_refused;
+    QCheck_alcotest.to_alcotest prop_reader_chunking;
     Alcotest.test_case "admission capacity + release" `Quick test_admission_capacity;
     Alcotest.test_case "admission hints stretch, reset, reproduce" `Quick
       test_admission_hints_stretch_and_reset;
+    Alcotest.test_case "admission capacity is dynamic" `Quick test_admission_dynamic_capacity;
+    Alcotest.test_case "admission hints never exceed the ceiling" `Quick
+      test_admission_hint_ceiling;
     Alcotest.test_case "config JSON round trip" `Quick test_config_roundtrip;
     Alcotest.test_case "assignment JSON round trip" `Quick test_assignment_roundtrip;
     Alcotest.test_case "checkpoint note schema" `Quick test_checkpoint_note;
+    Alcotest.test_case "taken entry JSON round trip" `Quick test_taken_roundtrip;
+    Alcotest.test_case "drain manifest round trip" `Quick test_manifest_roundtrip;
+    Alcotest.test_case "orphan checkpoint sweep" `Quick test_sweep_checkpoints;
+    Alcotest.test_case "socket claim probes before unlinking" `Quick test_bind_listener;
     Alcotest.test_case "run_serial deterministic slicing" `Quick
       test_run_serial_slicing_invariant;
   ]
